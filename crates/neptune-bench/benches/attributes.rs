@@ -1,0 +1,110 @@
+//! E10 — attribute operations at current and historical times.
+//!
+//! The paper's attributes are "very dynamic" and fully versioned; every
+//! query mechanism rides on them. Measures set/get against attribute count
+//! and value-history depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{fresh_ham, main_ctx};
+use neptune_ham::types::Time;
+use neptune_ham::Value;
+
+fn bench_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_set");
+    group.bench_function("set_node_attribute_value", |b| {
+        let mut ham = fresh_ham("e10-set");
+        let (node, _) = ham.add_node(main_ctx(), true).unwrap();
+        let attr = ham.get_attribute_index(main_ctx(), "status").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i)).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    // Value-history depth: how much does a long history cost a lookup?
+    let mut group = c.benchmark_group("e10_get_by_history_depth");
+    for &depth in &[1usize, 100, 10_000] {
+        let mut ham = fresh_ham("e10-get");
+        let (node, _) = ham.add_node(main_ctx(), true).unwrap();
+        let attr = ham.get_attribute_index(main_ctx(), "status").unwrap();
+        let mut mid_time = Time::CURRENT;
+        for i in 0..depth {
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64)).unwrap();
+            if i == depth / 2 {
+                mid_time = ham.graph(main_ctx()).unwrap().now();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("current", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(
+                    ham.get_node_attribute_value(main_ctx(), node, attr, Time::CURRENT).unwrap(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("historical", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(ham.get_node_attribute_value(main_ctx(), node, attr, mid_time).unwrap())
+            });
+        });
+    }
+    group.finish();
+
+    // Attribute count per node: getNodeAttributes over wide nodes.
+    let mut group = c.benchmark_group("e10_get_all_by_width");
+    for &width in &[1usize, 16, 64] {
+        let mut ham = fresh_ham("e10-width");
+        let (node, _) = ham.add_node(main_ctx(), true).unwrap();
+        for i in 0..width {
+            let attr = ham.get_attribute_index(main_ctx(), &format!("a{i}")).unwrap();
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64)).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("attrs", width), &width, |b, _| {
+            b.iter(|| {
+                black_box(ham.get_node_attributes(main_ctx(), node, Time::CURRENT).unwrap().len())
+            });
+        });
+    }
+    group.finish();
+
+    // getAttributeValues: index fast path vs historical scan.
+    let mut group = c.benchmark_group("e10_attribute_values");
+    let mut ham = fresh_ham("e10-values");
+    let attr = ham.get_attribute_index(main_ctx(), "kind").unwrap();
+    for i in 0..1_000usize {
+        let (node, _) = ham.add_node(main_ctx(), true).unwrap();
+        ham.set_node_attribute_value(main_ctx(), node, attr, Value::str(format!("k{}", i % 25)))
+            .unwrap();
+    }
+    let t_then = ham.graph(main_ctx()).unwrap().now();
+    let (extra, _) = ham.add_node(main_ctx(), true).unwrap();
+    ham.set_node_attribute_value(main_ctx(), extra, attr, Value::str("k999")).unwrap();
+    group.bench_function("current_via_index", |b| {
+        b.iter(|| {
+            black_box(ham.get_attribute_values(main_ctx(), attr, Time::CURRENT).unwrap().len())
+        });
+    });
+    group.bench_function("historical_via_scan", |b| {
+        b.iter(|| black_box(ham.get_attribute_values(main_ctx(), attr, t_then).unwrap().len()));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_set, bench_get
+}
+criterion_main!(benches);

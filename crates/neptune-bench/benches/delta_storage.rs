@@ -1,0 +1,102 @@
+//! E1 — backward-delta storage efficiency.
+//!
+//! Paper §3: *"we wanted effective storage of many versions of such data
+//! without copying each individual item; for nodes this is provided by
+//! backward deltas similar to RCS."* Measures (a) check-in latency as
+//! history grows and (b) bytes stored by the delta archive vs the
+//! full-copy baseline (printed as a table, recorded in EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{edit_lines, text};
+use neptune_storage::archive::Archive;
+
+fn build_archive(bytes: usize, versions: usize) -> Archive {
+    let mut contents = text(bytes, 1);
+    let mut archive = Archive::new(contents.clone(), 1);
+    for v in 1..versions {
+        contents = edit_lines(&contents, 2, v as u64);
+        archive.checkin(contents.clone(), (v + 1) as u64).unwrap();
+    }
+    archive
+}
+
+fn storage_table() {
+    println!("\nE1: delta vs full-copy storage (node ~16 KiB, 2-line edits per version)");
+    println!("{:>10} {:>14} {:>14} {:>8}", "versions", "delta bytes", "full bytes", "ratio");
+    for versions in [10, 100, 500, 1000] {
+        let archive = build_archive(16 * 1024, versions);
+        let delta = archive.storage_bytes();
+        let full = archive.full_copy_bytes().unwrap();
+        println!(
+            "{:>10} {:>14} {:>14} {:>7.1}x",
+            versions,
+            delta,
+            full,
+            full as f64 / delta as f64
+        );
+    }
+    println!();
+}
+
+fn bench_checkin(c: &mut Criterion) {
+    storage_table();
+    let mut group = c.benchmark_group("e1_checkin");
+    for &versions in &[10usize, 100, 1000] {
+        // Check-in cost should be independent of history depth: only one
+        // backward delta is computed per check-in.
+        group.bench_with_input(
+            BenchmarkId::new("into_history_of", versions),
+            &versions,
+            |b, &versions| {
+                let archive = build_archive(16 * 1024, versions);
+                let head = archive.head().to_vec();
+                let next = edit_lines(&head, 2, 777);
+                let t = archive.head_time();
+                // The clone is setup, not the measured check-in.
+                b.iter_batched(
+                    || archive.clone(),
+                    |mut a| {
+                        a.checkin(next.clone(), t + 1).unwrap();
+                        black_box(a.version_count())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1_checkin_by_size");
+    for &kib in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("node_kib", kib), &kib, |b, &kib| {
+            let archive = build_archive(kib * 1024, 10);
+            let next = edit_lines(archive.head(), 2, 778);
+            let t = archive.head_time();
+            b.iter_batched(
+                || archive.clone(),
+                |mut a| {
+                    a.checkin(next.clone(), t + 1).unwrap();
+                    black_box(a.version_count())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_checkin
+}
+criterion_main!(benches);

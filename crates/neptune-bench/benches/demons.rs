@@ -1,0 +1,111 @@
+//! E8 — demon dispatch overhead and the incremental-compile cascade.
+//!
+//! Paper §3/§5: demons invoke application code on HAM events; the flagship
+//! use is "invoking an incremental compiler when a node which contains
+//! code is modified". Measures modifyNode with no demon, a notify demon, a
+//! node-marking demon, and a callback demon, plus the CASE compiler's
+//! cascade over an import chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{fresh_ham, main_ctx};
+use neptune_case::{compile_pass, install_recompile_demon, model, parse_module, CaseProject};
+use neptune_ham::demons::{DemonSpec, Event};
+use neptune_ham::types::Time;
+use neptune_ham::Value;
+
+fn bench_demon_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_modify_with_demon");
+    let variants: &[(&str, Option<DemonSpec>)] = &[
+        ("none", None),
+        ("notify", Some(DemonSpec::notify("n", "changed"))),
+        ("mark_node", Some(DemonSpec::mark_node("m", "dirty", true))),
+        ("callback", Some(DemonSpec::call("c", "counter"))),
+    ];
+    for (label, demon) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(*label), demon, |b, demon| {
+            let mut ham = fresh_ham("e8");
+            ham.register_demon_callback("counter", |_| {});
+            ham.set_graph_demon_value(main_ctx(), Event::NodeModified, demon.clone()).unwrap();
+            let (node, t0) = ham.add_node(main_ctx(), true).unwrap();
+            let mut t = ham.modify_node(main_ctx(), node, t0, b"v0\n".to_vec(), &[]).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                t = ham
+                    .modify_node(main_ctx(), node, t, format!("v{i}\n").into_bytes(), &[])
+                    .unwrap();
+                black_box(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Build a linear import chain M0 <- M1 <- ... <- M{n-1} and compile it.
+fn chain_fixture(n: usize) -> (neptune_ham::Ham, CaseProject, Vec<neptune_ham::NodeIndex>) {
+    let mut ham = fresh_ham("e8-chain");
+    let project = CaseProject::new(main_ctx());
+    let mut modules = Vec::new();
+    let mut nodes = Vec::new();
+    for i in 0..n {
+        let src = if i == 0 {
+            "DEFINITION MODULE M0;\nPROCEDURE P0;\nEND P0;\nEND M0.\n".to_string()
+        } else {
+            format!("MODULE M{i};\nIMPORT M{};\nPROCEDURE P{i};\nEND P{i};\nEND M{i}.\n", i - 1)
+        };
+        let m = parse_module(&src).unwrap();
+        let node = project.ingest_module(&mut ham, &m).unwrap().module;
+        modules.push(m);
+        nodes.push(node);
+    }
+    let pairs: Vec<_> = modules.iter().zip(nodes.iter().copied()).collect();
+    project.link_imports(&mut ham, &pairs).unwrap();
+    install_recompile_demon(&mut ham, main_ctx()).unwrap();
+    let dirty = ham.get_attribute_index(main_ctx(), model::DIRTY).unwrap();
+    for &node in &nodes {
+        ham.set_node_attribute_value(main_ctx(), node, dirty, Value::Bool(true)).unwrap();
+    }
+    compile_pass(&mut ham, &project).unwrap();
+    (ham, project, nodes)
+}
+
+fn bench_compile_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_compile_cascade");
+    group.sample_size(10);
+    for &chain in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("import_chain", chain), &chain, |b, &chain| {
+            let (mut ham, project, nodes) = chain_fixture(chain);
+            let mut round = 0u64;
+            b.iter(|| {
+                // Interface edit at the root of the chain.
+                round += 1;
+                let opened = ham.open_node(main_ctx(), nodes[0], Time::CURRENT, &[]).unwrap();
+                let mut text = opened.contents.clone();
+                text.extend_from_slice(
+                    format!("PROCEDURE Extra{round};\nEND Extra{round};\n").as_bytes(),
+                );
+                ham.modify_node(main_ctx(), nodes[0], opened.current_time, text, &opened.link_pts)
+                    .unwrap();
+                let stats = compile_pass(&mut ham, &project).unwrap();
+                black_box(stats.compiled.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_demon_dispatch, bench_compile_cascade
+}
+criterion_main!(benches);

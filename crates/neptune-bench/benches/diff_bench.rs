@@ -1,0 +1,58 @@
+//! E7 — `getNodeDifferences` and the node-differences browser.
+//!
+//! Measures the Myers line diff over node sizes and change fractions —
+//! the cost of the side-by-side comparison the paper's §4.1 browser shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{perturb, text};
+use neptune_storage::diff::differences;
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_diff_by_size");
+    for &kib in &[1usize, 16, 64] {
+        let old = text(kib * 1024, 5);
+        let new = perturb(&old, 100, 9); // 10% of lines
+        group.bench_with_input(BenchmarkId::new("kib_10pct", kib), &kib, |b, _| {
+            b.iter(|| black_box(differences(&old, &new).len()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e7_diff_by_change");
+    for &(permille, label) in &[(10usize, "1pct"), (100, "10pct"), (500, "50pct")] {
+        let old = text(16 * 1024, 5);
+        let new = perturb(&old, permille, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &permille, |b, _| {
+            b.iter(|| black_box(differences(&old, &new).len()));
+        });
+    }
+    group.finish();
+
+    // Worst case: completely unrelated buffers (falls back gracefully).
+    let mut group = c.benchmark_group("e7_diff_extremes");
+    let a = text(16 * 1024, 1);
+    let b_text = text(16 * 1024, 2_000_000);
+    group.bench_function("identical", |bch| {
+        bch.iter(|| black_box(differences(&a, &a).len()));
+    });
+    group.bench_function("unrelated", |bch| {
+        bch.iter(|| black_box(differences(&a, &b_text).len()));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_diff
+}
+criterion_main!(benches);

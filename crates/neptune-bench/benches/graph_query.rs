@@ -1,0 +1,99 @@
+//! E3 — `getGraphQuery` associative access.
+//!
+//! Paper §3's query example (`document = requirements`) over graphs of
+//! increasing size and predicate selectivity, plus the ablation of the
+//! attribute value index (indexed vs full scan) called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{attributed_graph, fresh_ham, main_ctx};
+use neptune_ham::types::Time;
+use neptune_ham::Predicate;
+
+fn bench_query_scaling(c: &mut Criterion) {
+    // Selectivity fixed at 10% (kinds = 10); graph size varies.
+    let mut group = c.benchmark_group("e3_query_by_size");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut ham = fresh_ham("e3-size");
+        attributed_graph(&mut ham, main_ctx(), n, 10);
+        let pred = Predicate::parse("kind = k0").unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                let sg = ham
+                    .get_graph_query(main_ctx(), Time::CURRENT, &pred, &Predicate::True, &[], &[])
+                    .unwrap();
+                black_box(sg.nodes.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                let sg = ham
+                    .get_graph_query_scan(
+                        main_ctx(),
+                        Time::CURRENT,
+                        &pred,
+                        &Predicate::True,
+                        &[],
+                        &[],
+                    )
+                    .unwrap();
+                black_box(sg.nodes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_selectivity(c: &mut Criterion) {
+    // Size fixed at 2000; selectivity varies via the kinds parameter.
+    let mut group = c.benchmark_group("e3_query_by_selectivity");
+    for &(kinds, label) in &[(100usize, "1pct"), (10, "10pct"), (1, "100pct")] {
+        let mut ham = fresh_ham("e3-sel");
+        attributed_graph(&mut ham, main_ctx(), 2_000, kinds);
+        let pred = Predicate::parse("kind = k0").unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", label), &kinds, |b, _| {
+            b.iter(|| {
+                let sg = ham
+                    .get_graph_query(main_ctx(), Time::CURRENT, &pred, &Predicate::True, &[], &[])
+                    .unwrap();
+                black_box(sg.nodes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_historical_query(c: &mut Criterion) {
+    // Historical queries cannot use the (current-only) index.
+    let mut group = c.benchmark_group("e3_query_historical");
+    let mut ham = fresh_ham("e3-hist");
+    attributed_graph(&mut ham, main_ctx(), 2_000, 10);
+    let t_then = ham.graph(main_ctx()).unwrap().now();
+    // Touch the graph afterwards so t_then is genuinely historical.
+    attributed_graph(&mut ham, main_ctx(), 10, 10);
+    let pred = Predicate::parse("kind = k0").unwrap();
+    group.bench_function("at_past_time", |b| {
+        b.iter(|| {
+            let sg = ham
+                .get_graph_query(main_ctx(), t_then, &pred, &Predicate::True, &[], &[])
+                .unwrap();
+            black_box(sg.nodes.len())
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_query_scaling, bench_query_selectivity, bench_historical_query
+}
+criterion_main!(benches);

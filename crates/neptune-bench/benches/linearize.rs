@@ -1,0 +1,81 @@
+//! E4 — `linearizeGraph` document extraction.
+//!
+//! Paper §4.2: linearizeGraph "can be used to extract a document from the
+//! hypertext graph so that hardcopies can be produced." Measures the
+//! offset-ordered DFS over document trees of varying shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{document_tree, fresh_ham, main_ctx};
+use neptune_ham::types::Time;
+use neptune_ham::Predicate;
+
+fn bench_linearize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_linearize");
+    // (fanout, depth) -> tree sizes 15, 121, 1365, 781
+    for &(fanout, depth) in &[(2usize, 4usize), (3, 5), (4, 6), (5, 5)] {
+        let mut ham = fresh_ham("e4");
+        let (root, count) = document_tree(&mut ham, main_ctx(), fanout, depth);
+        let structure = Predicate::parse("relation = isPartOf").unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("f{fanout}_d{depth}_n{count}")),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    let sg = ham
+                        .linearize_graph(
+                            main_ctx(),
+                            root,
+                            Time::CURRENT,
+                            &Predicate::True,
+                            &structure,
+                            &[],
+                            &[],
+                        )
+                        .unwrap();
+                    black_box(sg.nodes.len())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // With requested attribute values, as the document browser issues it.
+    let mut group = c.benchmark_group("e4_linearize_with_attrs");
+    let mut ham = fresh_ham("e4-attrs");
+    let (root, _) = document_tree(&mut ham, main_ctx(), 3, 5);
+    let rel = ham.get_attribute_index(main_ctx(), "relation").unwrap();
+    let structure = Predicate::parse("relation = isPartOf").unwrap();
+    group.bench_function("two_attrs_per_object", |b| {
+        b.iter(|| {
+            let sg = ham
+                .linearize_graph(
+                    main_ctx(),
+                    root,
+                    Time::CURRENT,
+                    &Predicate::True,
+                    &structure,
+                    &[rel],
+                    &[rel],
+                )
+                .unwrap();
+            black_box(sg.links.len())
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_linearize
+}
+criterion_main!(benches);

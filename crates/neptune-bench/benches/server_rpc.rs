@@ -1,0 +1,92 @@
+//! E6 — multi-user server access over the network.
+//!
+//! Paper §2.2: "Neptune has a central server which is accessible over a
+//! local area network from a variety of workstations." Measures RPC
+//! round-trip latency for reads and writes over loopback TCP, and
+//! aggregate throughput with concurrent clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use neptune_bench::{attributed_graph, fresh_ham, main_ctx};
+use neptune_ham::types::Time;
+use neptune_server::{serve, Client};
+
+fn bench_roundtrips(c: &mut Criterion) {
+    let mut ham = fresh_ham("e6-rt");
+    let nodes = attributed_graph(&mut ham, main_ctx(), 100, 10);
+    let target = nodes[0];
+    let server = serve(ham, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut group = c.benchmark_group("e6_roundtrip");
+    group.bench_function("ping", |b| {
+        b.iter(|| client.ping().unwrap());
+    });
+    group.bench_function("open_node", |b| {
+        b.iter(|| {
+            let opened = client.open_node(main_ctx(), target, Time::CURRENT, vec![]).unwrap();
+            black_box(opened.current_time)
+        });
+    });
+    group.bench_function("get_graph_query", |b| {
+        b.iter(|| {
+            let sg = client
+                .get_graph_query(main_ctx(), Time::CURRENT, "kind = k0", "true", vec![], vec![])
+                .unwrap();
+            black_box(sg.nodes.len())
+        });
+    });
+    group.bench_function("add_node", |b| {
+        b.iter(|| {
+            let (id, _) = client.add_node(main_ctx(), true).unwrap();
+            black_box(id)
+        });
+    });
+    group.finish();
+    server.stop();
+}
+
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_concurrent");
+    const OPS_PER_CLIENT: usize = 50;
+    for &clients in &[1usize, 2, 4, 8] {
+        let ham = fresh_ham("e6-conc");
+        let server = serve(ham, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        group.throughput(Throughput::Elements((clients * OPS_PER_CLIENT) as u64));
+        group.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, &clients| {
+            b.iter(|| {
+                let threads: Vec<_> = (0..clients)
+                    .map(|_| {
+                        std::thread::spawn(move || {
+                            let mut c = Client::connect(addr).unwrap();
+                            for _ in 0..OPS_PER_CLIENT {
+                                c.add_node(main_ctx(), true).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+            });
+        });
+        server.stop();
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_roundtrips, bench_concurrent_clients
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E5 — transaction commit/abort cost and crash recovery.
+//!
+//! Paper §2.2: Neptune "is transaction-oriented and provides for complete
+//! recovery from any aborted transaction"; the HAM provides
+//! "transaction-based crash recovery". Measures commit latency by
+//! transaction size, abort (rollback) latency, and WAL replay time by the
+//! number of committed transactions since the last checkpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{bench_dir, fresh_ham, main_ctx};
+use neptune_ham::types::{Machine, Protections};
+use neptune_ham::{Ham, Value};
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_commit");
+    for &ops in &[1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("ops_per_txn", ops), &ops, |b, &ops| {
+            let mut ham = fresh_ham("e5-commit");
+            let attr = ham.get_attribute_index(main_ctx(), "n").unwrap();
+            let (node, _) = ham.add_node(main_ctx(), true).unwrap();
+            b.iter(|| {
+                ham.begin_transaction().unwrap();
+                for i in 0..ops {
+                    ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64))
+                        .unwrap();
+                }
+                ham.commit_transaction().unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_abort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_abort");
+    for &ops in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("ops_rolled_back", ops), &ops, |b, &ops| {
+            let mut ham = fresh_ham("e5-abort");
+            b.iter(|| {
+                ham.begin_transaction().unwrap();
+                for _ in 0..ops {
+                    ham.add_node(main_ctx(), true).unwrap();
+                }
+                ham.abort_transaction().unwrap();
+                black_box(ham.graph(main_ctx()).unwrap().live_node_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_recovery");
+    for &txns in &[10usize, 100, 1000] {
+        // Build a graph directory with `txns` committed transactions past
+        // the checkpoint, then measure open_graph (snapshot + WAL replay).
+        let dir = bench_dir("e5-recover");
+        let (mut ham, pid, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+        let attr = ham.get_attribute_index(main_ctx(), "v").unwrap();
+        let (node, _) = ham.add_node(main_ctx(), true).unwrap();
+        ham.checkpoint().unwrap();
+        for i in 0..txns {
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64)).unwrap();
+        }
+        drop(ham); // crash
+        group.bench_with_input(BenchmarkId::new("replay_txns", txns), &txns, |b, _| {
+            b.iter(|| {
+                let (ham, _) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
+                black_box(ham.graph(main_ctx()).unwrap().now())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_commit, bench_abort, bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — "rapid access to any version of a hypergraph".
+//!
+//! Backward deltas make the current version O(size) to check out while a
+//! version k steps back applies k deltas. Measures `openNode` at the head,
+//! the midpoint, and the oldest version across history depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use neptune_bench::{fresh_ham, main_ctx, versioned_node};
+use neptune_ham::types::Time;
+
+fn bench_version_access(c: &mut Criterion) {
+    for &depth in &[10usize, 100, 1000] {
+        let mut ham = fresh_ham("e2");
+        let (node, times) = versioned_node(&mut ham, main_ctx(), 16 * 1024, depth, 2);
+        let mut group = c.benchmark_group(format!("e2_open_node_depth_{depth}"));
+        let positions = [
+            ("head", Time::CURRENT),
+            ("mid", times[depth / 2]),
+            ("oldest", times[0]),
+        ];
+        for (name, t) in positions {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, &t| {
+                b.iter(|| {
+                    let opened = ham.open_node(main_ctx(), node, t, &[]).unwrap();
+                    black_box(opened.contents.len())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_version_access
+}
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! Workload generators for the Neptune benchmark harness.
+//!
+//! Every experiment in EXPERIMENTS.md (E1–E10) builds its input through
+//! these generators so benches are deterministic (seeded) and comparable.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use neptune_ham::types::{ContextId, LinkPt, NodeIndex, Protections, Time, MAIN_CONTEXT};
+use neptune_ham::value::Value;
+use neptune_ham::{Ham, Predicate};
+
+/// A unique temp directory for a benchmark graph.
+pub fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "neptune-bench-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Create a fresh on-disk HAM for a benchmark.
+pub fn fresh_ham(tag: &str) -> Ham {
+    Ham::create_graph(bench_dir(tag), Protections::DEFAULT)
+        .expect("create bench graph")
+        .0
+}
+
+/// Deterministic multi-line text of roughly `bytes` bytes.
+pub fn text(bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(bytes + 64);
+    let mut line = 0usize;
+    while out.len() < bytes {
+        let words = 4 + (rng.gen::<u8>() % 8) as usize;
+        let mut l = format!("line {line:06}:");
+        for _ in 0..words {
+            l.push_str(match rng.gen::<u8>() % 8 {
+                0 => " hypertext",
+                1 => " node",
+                2 => " link",
+                3 => " version",
+                4 => " attribute",
+                5 => " graph",
+                6 => " demon",
+                _ => " transaction",
+            });
+        }
+        l.push('\n');
+        out.extend_from_slice(l.as_bytes());
+        line += 1;
+    }
+    out
+}
+
+/// Apply `edits` random single-line replacements to `contents`.
+pub fn edit_lines(contents: &[u8], edits: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines: Vec<Vec<u8>> = contents
+        .split_inclusive(|&b| b == b'\n')
+        .map(|l| l.to_vec())
+        .collect();
+    if lines.is_empty() {
+        return format!("edited {seed}\n").into_bytes();
+    }
+    for i in 0..edits {
+        let idx = rng.gen_range(0..lines.len());
+        lines[idx] = format!("line {idx:06}: EDITED pass {seed} change {i}\n").into_bytes();
+    }
+    lines.concat()
+}
+
+/// Replace a fraction (`permille`/1000) of lines — for diff benches.
+pub fn perturb(contents: &[u8], permille: usize, seed: u64) -> Vec<u8> {
+    let line_count = contents.iter().filter(|&&b| b == b'\n').count().max(1);
+    edit_lines(contents, (line_count * permille / 1000).max(1), seed)
+}
+
+/// Build a node with `depth` content versions of roughly `bytes` bytes,
+/// each differing from the previous by `edits_per_version` line edits.
+/// Returns the node and the time of each version (oldest first).
+pub fn versioned_node(
+    ham: &mut Ham,
+    context: ContextId,
+    bytes: usize,
+    depth: usize,
+    edits_per_version: usize,
+) -> (NodeIndex, Vec<Time>) {
+    let (node, t0) = ham.add_node(context, true).expect("add node");
+    let mut contents = text(bytes, 42);
+    let mut times = Vec::with_capacity(depth);
+    let mut t = ham
+        .modify_node(context, node, t0, contents.clone(), &[])
+        .expect("initial contents");
+    times.push(t);
+    for v in 1..depth {
+        contents = edit_lines(&contents, edits_per_version, v as u64);
+        t = ham.modify_node(context, node, t, contents.clone(), &[]).expect("version");
+        times.push(t);
+    }
+    (node, times)
+}
+
+/// Build a graph of `n` attributed nodes for query benches.
+///
+/// Every node gets `kind = k<i % kinds>` (so predicate `kind = k0` selects
+/// `1/kinds` of the graph) plus a `bucket` integer attribute; consecutive
+/// nodes are chained with links so queries also return connecting links.
+pub fn attributed_graph(
+    ham: &mut Ham,
+    context: ContextId,
+    n: usize,
+    kinds: usize,
+) -> Vec<NodeIndex> {
+    let kind = ham.get_attribute_index(context, "kind").expect("attr");
+    let bucket = ham.get_attribute_index(context, "bucket").expect("attr");
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let (node, _) = ham.add_node(context, true).expect("node");
+        ham.set_node_attribute_value(context, node, kind, Value::str(format!("k{}", i % kinds)))
+            .expect("set kind");
+        ham.set_node_attribute_value(context, node, bucket, Value::Int((i % 10) as i64))
+            .expect("set bucket");
+        nodes.push(node);
+    }
+    for w in nodes.windows(2) {
+        ham.add_link(context, LinkPt::current(w[0], 0), LinkPt::current(w[1], 0))
+            .expect("chain link");
+    }
+    nodes
+}
+
+/// Build a uniform document tree: each interior node has `fanout` children
+/// down to `depth` levels. Returns the root and the total node count.
+pub fn document_tree(
+    ham: &mut Ham,
+    context: ContextId,
+    fanout: usize,
+    depth: usize,
+) -> (NodeIndex, usize) {
+    let rel = ham.get_attribute_index(context, "relation").expect("attr");
+    let (root, t) = ham.add_node(context, true).expect("root");
+    ham.modify_node(context, root, t, b"root section\n".to_vec(), &[]).expect("contents");
+    let mut count = 1;
+    let mut frontier = vec![root];
+    for _ in 1..depth {
+        let mut next = Vec::new();
+        for parent in frontier {
+            for i in 0..fanout {
+                let (child, tc) = ham.add_node(context, true).expect("child");
+                ham.modify_node(context, child, tc, b"section text\n".to_vec(), &[])
+                    .expect("contents");
+                let (link, _) = ham
+                    .add_link(
+                        context,
+                        LinkPt::current(parent, i as u64),
+                        LinkPt::current(child, 0),
+                    )
+                    .expect("link");
+                ham.set_link_attribute_value(context, link, rel, Value::str("isPartOf"))
+                    .expect("rel");
+                next.push(child);
+                count += 1;
+            }
+        }
+        frontier = next;
+    }
+    (root, count)
+}
+
+/// Convenience: the always-true predicate.
+pub fn true_pred() -> Predicate {
+    Predicate::True
+}
+
+/// Convenience: the main context.
+pub fn main_ctx() -> ContextId {
+    MAIN_CONTEXT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_deterministic_and_sized() {
+        let a = text(4096, 7);
+        let b = text(4096, 7);
+        assert_eq!(a, b);
+        assert!(a.len() >= 4096);
+        assert!(a.len() < 4096 + 128);
+    }
+
+    #[test]
+    fn edits_change_exactly_lines() {
+        let base = text(2048, 1);
+        let edited = edit_lines(&base, 3, 99);
+        assert_ne!(base, edited);
+        let diffs = neptune_storage::diff::differences(&base, &edited);
+        assert!(!diffs.is_empty() && diffs.len() <= 3);
+    }
+
+    #[test]
+    fn versioned_node_has_requested_depth() {
+        let mut ham = fresh_ham("lib-test");
+        let (node, times) = versioned_node(&mut ham, MAIN_CONTEXT, 1024, 10, 2);
+        assert_eq!(times.len(), 10);
+        let (major, _) = ham.get_node_versions(MAIN_CONTEXT, node).unwrap();
+        assert_eq!(major.len(), 11); // created + 10 checkins
+    }
+
+    #[test]
+    fn attributed_graph_selectivity() {
+        let mut ham = fresh_ham("lib-attr");
+        attributed_graph(&mut ham, MAIN_CONTEXT, 100, 10);
+        let pred = Predicate::parse("kind = k0").unwrap();
+        let sg = ham
+            .get_graph_query(MAIN_CONTEXT, Time::CURRENT, &pred, &Predicate::True, &[], &[])
+            .unwrap();
+        assert_eq!(sg.nodes.len(), 10);
+    }
+
+    #[test]
+    fn document_tree_counts() {
+        let mut ham = fresh_ham("lib-tree");
+        let (root, count) = document_tree(&mut ham, MAIN_CONTEXT, 3, 3);
+        assert_eq!(count, 1 + 3 + 9);
+        let sg = ham
+            .linearize_graph(
+                MAIN_CONTEXT,
+                root,
+                Time::CURRENT,
+                &Predicate::True,
+                &Predicate::True,
+                &[],
+                &[],
+            )
+            .unwrap();
+        assert_eq!(sg.nodes.len(), 13);
+    }
+}

@@ -1,0 +1,207 @@
+//! Configuration management via version-pinned links.
+//!
+//! Paper §3: a link attachment that *"refers to a particular version of a
+//! node … is a useful primitive for building a configuration manager."*
+//! A [`Release`] is a node whose out-links are pinned to the exact versions
+//! of its member nodes at release time; checking the release out later
+//! reproduces those versions byte-for-byte, no matter how the members have
+//! evolved since.
+
+use neptune_ham::types::{ContextId, LinkPt, NodeIndex, Time};
+use neptune_ham::value::Value;
+use neptune_ham::{Ham, Result};
+
+use crate::model::RELATION;
+
+/// `relation` value on release membership links.
+pub const CONFIG_ITEM: &str = "configItem";
+
+/// A named, frozen configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Release {
+    /// The release's manifest node.
+    pub node: NodeIndex,
+}
+
+/// One member of a checked-out release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseMember {
+    /// The member node.
+    pub node: NodeIndex,
+    /// The pinned version time.
+    pub version: Time,
+    /// The member's contents at that version.
+    pub contents: Vec<u8>,
+}
+
+/// Freeze the current versions of `members` as a release named `name`.
+/// The manifest node lists the members; each membership link is pinned to
+/// the member's current version time.
+pub fn create_release(
+    ham: &mut Ham,
+    context: ContextId,
+    name: &str,
+    members: &[NodeIndex],
+) -> Result<Release> {
+    ham.begin_transaction()?;
+    let result = (|| {
+        let (manifest, t) = ham.add_node(context, true)?;
+        let rel = ham.get_attribute_index(context, RELATION)?;
+        let icon = ham.get_attribute_index(context, "icon")?;
+        // Write the manifest text before attaching links: modifyNode
+        // requires a LinkPt per existing attachment.
+        let mut versions = Vec::with_capacity(members.len());
+        let mut text = format!("RELEASE {name}\n");
+        for &member in members {
+            let version = ham.get_node_time_stamp(context, member)?;
+            text.push_str(&format!("  node {} @ {}\n", member.0, version.0));
+            versions.push(version);
+        }
+        ham.modify_node(context, manifest, t, text.into_bytes(), &[])?;
+        for (i, (&member, &version)) in members.iter().zip(&versions).enumerate() {
+            let (link, _) = ham.add_link(
+                context,
+                LinkPt::current(manifest, i as u64),
+                LinkPt::pinned(member, 0, version),
+            )?;
+            ham.set_link_attribute_value(context, link, rel, Value::str(CONFIG_ITEM))?;
+        }
+        ham.set_node_attribute_value(context, manifest, icon, Value::str(name))?;
+        Ok(Release { node: manifest })
+    })();
+    match result {
+        Ok(release) => {
+            ham.commit_transaction()?;
+            Ok(release)
+        }
+        Err(e) => {
+            let _ = ham.abort_transaction();
+            Err(e)
+        }
+    }
+}
+
+/// Reconstruct the exact member versions a release froze.
+pub fn checkout(ham: &mut Ham, context: ContextId, release: Release) -> Result<Vec<ReleaseMember>> {
+    // Collect the pinned membership links.
+    let links: Vec<_> = {
+        let graph = ham.graph(context)?;
+        let rel = graph.attr_table.lookup(RELATION);
+        let manifest = graph.node(release.node)?;
+        let mut out: Vec<(u64, neptune_ham::LinkIndex)> = Vec::new();
+        for &link_id in &manifest.incident_links {
+            let link = graph.link(link_id)?;
+            if link.from.node != release.node || !link.exists_at(Time::CURRENT) {
+                continue;
+            }
+            let is_member = rel
+                .and_then(|attr| link.attrs.get(attr, Time::CURRENT))
+                .map(|v| *v == Value::str(CONFIG_ITEM))
+                .unwrap_or(false);
+            if is_member {
+                if let Some(offset) = link.from.position_at(Time::CURRENT) {
+                    out.push((offset, link_id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.into_iter().map(|(_, l)| l).collect()
+    };
+
+    let mut members = Vec::with_capacity(links.len());
+    for link in links {
+        // getToNode resolves the pinned version (paper §A.3).
+        let (node, version) = ham.get_to_node(context, link, Time::CURRENT)?;
+        let contents = ham.open_node(context, node, version, &[])?.contents;
+        members.push(ReleaseMember { node, version, contents });
+    }
+    Ok(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_ham::types::{Protections, MAIN_CONTEXT};
+
+    fn fresh(name: &str) -> (Ham, Vec<NodeIndex>) {
+        let dir = std::env::temp_dir().join(format!("neptune-cfg-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
+        let mut nodes = Vec::new();
+        for i in 0..3 {
+            let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t, format!("module {i} v1\n").into_bytes(), &[])
+                .unwrap();
+            nodes.push(n);
+        }
+        (ham, nodes)
+    }
+
+    #[test]
+    fn checkout_reproduces_frozen_versions() {
+        let (mut ham, nodes) = fresh("freeze");
+        let release = create_release(&mut ham, MAIN_CONTEXT, "R1", &nodes).unwrap();
+
+        // Evolve every member after the release.
+        for (i, &n) in nodes.iter().enumerate() {
+            let opened = ham.open_node(MAIN_CONTEXT, n, Time::CURRENT, &[]).unwrap();
+            ham.modify_node(
+                MAIN_CONTEXT,
+                n,
+                opened.current_time,
+                format!("module {i} v2 CHANGED\n").into_bytes(),
+                &opened.link_pts,
+            )
+            .unwrap();
+        }
+
+        let members = checkout(&mut ham, MAIN_CONTEXT, release).unwrap();
+        assert_eq!(members.len(), 3);
+        for (i, m) in members.iter().enumerate() {
+            assert_eq!(m.node, nodes[i]);
+            assert_eq!(m.contents, format!("module {i} v1\n").into_bytes());
+        }
+    }
+
+    #[test]
+    fn two_releases_freeze_different_states() {
+        let (mut ham, nodes) = fresh("two");
+        let r1 = create_release(&mut ham, MAIN_CONTEXT, "R1", &nodes).unwrap();
+        let opened = ham.open_node(MAIN_CONTEXT, nodes[0], Time::CURRENT, &[]).unwrap();
+        ham.modify_node(
+            MAIN_CONTEXT,
+            nodes[0],
+            opened.current_time,
+            b"module 0 v2\n".to_vec(),
+            &opened.link_pts,
+        )
+        .unwrap();
+        let r2 = create_release(&mut ham, MAIN_CONTEXT, "R2", &nodes).unwrap();
+
+        let m1 = checkout(&mut ham, MAIN_CONTEXT, r1).unwrap();
+        let m2 = checkout(&mut ham, MAIN_CONTEXT, r2).unwrap();
+        assert_eq!(m1[0].contents, b"module 0 v1\n".to_vec());
+        assert_eq!(m2[0].contents, b"module 0 v2\n".to_vec());
+        assert_eq!(m1[1].contents, m2[1].contents);
+    }
+
+    #[test]
+    fn manifest_lists_members() {
+        let (mut ham, nodes) = fresh("manifest");
+        let release = create_release(&mut ham, MAIN_CONTEXT, "R1", &nodes).unwrap();
+        let manifest = ham.open_node(MAIN_CONTEXT, release.node, Time::CURRENT, &[]).unwrap();
+        let text = String::from_utf8_lossy(&manifest.contents).into_owned();
+        assert!(text.starts_with("RELEASE R1"));
+        for n in &nodes {
+            assert!(text.contains(&format!("node {}", n.0)));
+        }
+    }
+
+    #[test]
+    fn release_of_missing_node_rolls_back() {
+        let (mut ham, _) = fresh("rollback");
+        let before = ham.graph(MAIN_CONTEXT).unwrap().live_node_count();
+        assert!(create_release(&mut ham, MAIN_CONTEXT, "bad", &[NodeIndex(777)]).is_err());
+        assert_eq!(ham.graph(MAIN_CONTEXT).unwrap().live_node_count(), before);
+    }
+}

@@ -1,0 +1,21 @@
+//! # neptune-case
+//!
+//! The CASE (Computer-Aided Software Engineering) application layer from
+//! the Neptune paper (§4.2): attribute conventions (`contentType`,
+//! `codeType`, `relation`), a Modula-2 subset parser, ingestion of programs
+//! into hypertext (module trees + import links), a demon-driven toy
+//! incremental compiler, and a configuration manager built on
+//! version-pinned link attachments.
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod config;
+pub mod model;
+pub mod modula;
+pub mod project;
+
+pub use compiler::{compile_pass, dirty_sources, install_recompile_demon, CompileStats};
+pub use config::{checkout, create_release, Release, ReleaseMember};
+pub use modula::{parse_module, Module, ModuleKind, Procedure};
+pub use project::{CaseProject, ModuleNodes};

@@ -1,0 +1,84 @@
+//! CASE attribute conventions.
+//!
+//! Paper §4.2: *"In a Modula-2 CASE environment every node has an attached
+//! attribute, named contentType, that identifies what the node contains …
+//! Values of contentType could include text, graphics, Modula-2 source
+//! code, Modula-2 object code or Modula-2 symbol table. … nodes that
+//! contain portions of a Modula-2 source program could have an attribute
+//! codeType … such as definitionModule, implementationModule, or
+//! procedure. Every link has an attached attribute, named relation … Values
+//! of 'relation' could include isPartOf, annotates, references, or
+//! compilesInto."*
+
+/// Attribute identifying what a node contains.
+pub const CONTENT_TYPE: &str = "contentType";
+/// Attribute describing the syntactic kind of a source fragment.
+pub const CODE_TYPE: &str = "codeType";
+/// Attribute naming a link's relationship (shared with the document layer).
+pub const RELATION: &str = "relation";
+/// Attribute recording which project member is responsible for a node.
+pub const RESPONSIBLE: &str = "responsible";
+/// Attribute a modification demon sets so the incremental compiler can
+/// find work (paper §5's "invoking an incremental compiler when a node
+/// which contains code is modified").
+pub const DIRTY: &str = "dirty";
+
+/// `contentType` values.
+pub mod content_type {
+    /// Plain text.
+    pub const TEXT: &str = "text";
+    /// Graphics data.
+    pub const GRAPHICS: &str = "graphics";
+    /// Modula-2 source code.
+    pub const MODULA2_SOURCE: &str = "modula2Source";
+    /// Modula-2 object code.
+    pub const MODULA2_OBJECT: &str = "modula2Object";
+    /// Modula-2 symbol table.
+    pub const MODULA2_SYMBOLS: &str = "modula2SymbolTable";
+}
+
+/// `codeType` values.
+pub mod code_type {
+    /// A definition module.
+    pub const DEFINITION_MODULE: &str = "definitionModule";
+    /// An implementation module.
+    pub const IMPLEMENTATION_MODULE: &str = "implementationModule";
+    /// A procedure.
+    pub const PROCEDURE: &str = "procedure";
+}
+
+/// `relation` values used by the CASE layer.
+pub mod relation {
+    /// Structural containment.
+    pub const IS_PART_OF: &str = "isPartOf";
+    /// Annotation.
+    pub const ANNOTATES: &str = "annotates";
+    /// Cross-reference.
+    pub const REFERENCES: &str = "references";
+    /// Source → object code produced by compilation.
+    pub const COMPILES_INTO: &str = "compilesInto";
+    /// Module import (the paper: "Associated with each import list in a
+    /// module is a link that points to the node representing the module
+    /// being imported").
+    pub const IMPORTS: &str = "imports";
+    /// Source → symbol table produced by compilation.
+    pub const EXPORTS_SYMBOLS: &str = "exportsSymbols";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_ham::Predicate;
+
+    #[test]
+    fn conventions_form_valid_predicates() {
+        for text in [
+            format!("{CONTENT_TYPE} = {}", content_type::MODULA2_SOURCE),
+            format!("{CODE_TYPE} = {}", code_type::PROCEDURE),
+            format!("{RELATION} = {}", relation::COMPILES_INTO),
+            format!("{DIRTY} = true"),
+        ] {
+            assert!(Predicate::parse(&text).is_ok(), "{text}");
+        }
+    }
+}

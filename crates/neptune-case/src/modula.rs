@@ -1,0 +1,316 @@
+//! A Modula-2 subset parser.
+//!
+//! Paper §4.2: *"In a language like Modula-2 a program requires a directed
+//! graph to represent its static structure. Each module can be represented
+//! by a simple tree similar to the Pascal program; the need for a directed
+//! graph is due to links that are used to specify imported modules."* To
+//! ingest programs into hypertext we parse the structural subset that
+//! matters: module headers, import lists, and (nested) procedures — the
+//! compiler's unit of incrementality (§4.2 cites Magpie's per-procedure
+//! recompilation \[SDB84\]).
+//!
+//! Grammar subset (line-oriented, case-sensitive keywords):
+//!
+//! ```text
+//! module    := ("DEFINITION" | "IMPLEMENTATION")? "MODULE" ident ";"
+//!              import* decl* ("BEGIN" text)? "END" ident "."
+//! import    := "IMPORT" ident ("," ident)* ";"
+//!            | "FROM" ident "IMPORT" ident ("," ident)* ";"
+//! decl      := "PROCEDURE" ident ...";" body "END" ident ";"  (nestable)
+//! ```
+
+use std::fmt;
+
+/// The kind of module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleKind {
+    /// `DEFINITION MODULE`.
+    Definition,
+    /// `IMPLEMENTATION MODULE` (or a bare `MODULE`, treated the same).
+    Implementation,
+}
+
+/// A parsed procedure with its nested procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// The procedure's name.
+    pub name: String,
+    /// The procedure's own source text (header + body lines belonging to
+    /// it, excluding nested procedures' text).
+    pub text: String,
+    /// Nested procedures, in order of appearance.
+    pub children: Vec<Procedure>,
+}
+
+/// A parsed module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Definition vs implementation module.
+    pub kind: ModuleKind,
+    /// Imported module names, in order, deduplicated.
+    pub imports: Vec<String>,
+    /// Top-level procedures.
+    pub procedures: Vec<Procedure>,
+    /// Module-level text (header, declarations, module body) excluding
+    /// procedure text.
+    pub text: String,
+}
+
+impl Module {
+    /// Total number of procedures, including nested ones.
+    pub fn procedure_count(&self) -> usize {
+        fn count(p: &Procedure) -> usize {
+            1 + p.children.iter().map(count).sum::<usize>()
+        }
+        self.procedures.iter().map(count).sum()
+    }
+}
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn ident_after<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.trim().strip_prefix(keyword)?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Parse Modula-2 source text into a [`Module`].
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut kind = ModuleKind::Implementation;
+    let mut name: Option<String> = None;
+    let mut imports: Vec<String> = Vec::new();
+    let mut module_text = String::new();
+
+    // Stack of open procedures; the finished top-level ones accumulate.
+    let mut stack: Vec<Procedure> = Vec::new();
+    let mut procedures: Vec<Procedure> = Vec::new();
+
+    for (i, raw) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if name.is_none() {
+            if line.is_empty() || line.starts_with("(*") {
+                continue;
+            }
+            let (k, rest) = if let Some(rest) = line.strip_prefix("DEFINITION ") {
+                (ModuleKind::Definition, rest.trim_start())
+            } else if let Some(rest) = line.strip_prefix("IMPLEMENTATION ") {
+                (ModuleKind::Implementation, rest.trim_start())
+            } else {
+                (ModuleKind::Implementation, line)
+            };
+            let Some(n) = ident_after(rest, "MODULE") else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected MODULE header, found '{line}'"),
+                });
+            };
+            kind = k;
+            name = Some(n.to_string());
+            module_text.push_str(raw);
+            module_text.push('\n');
+            continue;
+        }
+
+        // Imports (module level only).
+        if stack.is_empty() {
+            if let Some(rest) = line.strip_prefix("FROM ") {
+                if let Some(module) = ident_after(rest, "") {
+                    if !imports.iter().any(|m| m == module) {
+                        imports.push(module.to_string());
+                    }
+                }
+                module_text.push_str(raw);
+                module_text.push('\n');
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("IMPORT ") {
+                for m in rest.trim_end_matches(';').split(',') {
+                    let m = m.trim();
+                    if !m.is_empty() && !imports.iter().any(|x| x == m) {
+                        imports.push(m.to_string());
+                    }
+                }
+                module_text.push_str(raw);
+                module_text.push('\n');
+                continue;
+            }
+        }
+
+        if let Some(pname) = ident_after(line, "PROCEDURE") {
+            let mut proc = Procedure {
+                name: pname.to_string(),
+                text: String::new(),
+                children: Vec::new(),
+            };
+            proc.text.push_str(raw);
+            proc.text.push('\n');
+            stack.push(proc);
+            continue;
+        }
+
+        // END of a procedure (matched by name) or of the module.
+        if let Some(end_name) = ident_after(line, "END") {
+            if let Some(top) = stack.last() {
+                if top.name == end_name {
+                    let mut finished = stack.pop().expect("non-empty stack");
+                    finished.text.push_str(raw);
+                    finished.text.push('\n');
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(finished),
+                        None => procedures.push(finished),
+                    }
+                    continue;
+                }
+            }
+            if Some(end_name) == name.as_deref() && stack.is_empty() {
+                module_text.push_str(raw);
+                module_text.push('\n');
+                continue;
+            }
+            return Err(ParseError {
+                line: lineno,
+                message: format!(
+                    "END {end_name} does not match open scope {:?}",
+                    stack.last().map(|p| p.name.as_str()).or(name.as_deref())
+                ),
+            });
+        }
+
+        // Ordinary line: belongs to the innermost open scope.
+        match stack.last_mut() {
+            Some(proc) => {
+                proc.text.push_str(raw);
+                proc.text.push('\n');
+            }
+            None => {
+                module_text.push_str(raw);
+                module_text.push('\n');
+            }
+        }
+    }
+
+    let Some(name) = name else {
+        return Err(ParseError { line: lines.len(), message: "no MODULE header found".into() });
+    };
+    if let Some(open) = stack.last() {
+        return Err(ParseError {
+            line: lines.len(),
+            message: format!("unterminated PROCEDURE {}", open.name),
+        });
+    }
+    Ok(Module { name, kind, imports, procedures, text: module_text })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+IMPLEMENTATION MODULE Storage;
+FROM SYSTEM IMPORT ADR, SIZE;
+IMPORT Lists, Strings;
+
+VAR pool: ARRAY [0..255] OF CARDINAL;
+
+PROCEDURE Allocate;
+  VAR x: CARDINAL;
+  PROCEDURE Grow;
+  BEGIN
+    (* grow the pool *)
+  END Grow;
+BEGIN
+  Grow;
+END Allocate;
+
+PROCEDURE Release;
+BEGIN
+END Release;
+
+BEGIN
+END Storage.
+";
+
+    #[test]
+    fn parses_structure() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert_eq!(m.name, "Storage");
+        assert_eq!(m.kind, ModuleKind::Implementation);
+        assert_eq!(m.imports, vec!["SYSTEM", "Lists", "Strings"]);
+        assert_eq!(m.procedures.len(), 2);
+        assert_eq!(m.procedures[0].name, "Allocate");
+        assert_eq!(m.procedures[0].children.len(), 1);
+        assert_eq!(m.procedures[0].children[0].name, "Grow");
+        assert_eq!(m.procedures[1].name, "Release");
+        assert_eq!(m.procedure_count(), 3);
+    }
+
+    #[test]
+    fn procedure_text_excludes_nested() {
+        let m = parse_module(SAMPLE).unwrap();
+        let alloc = &m.procedures[0];
+        assert!(alloc.text.contains("PROCEDURE Allocate"));
+        assert!(alloc.text.contains("END Allocate"));
+        assert!(!alloc.text.contains("grow the pool"), "nested body excluded");
+        assert!(alloc.children[0].text.contains("grow the pool"));
+    }
+
+    #[test]
+    fn module_text_excludes_procedures() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert!(m.text.contains("MODULE Storage"));
+        assert!(m.text.contains("VAR pool"));
+        assert!(!m.text.contains("PROCEDURE Allocate"));
+    }
+
+    #[test]
+    fn definition_modules() {
+        let m = parse_module("DEFINITION MODULE Lists;\nEND Lists.\n").unwrap();
+        assert_eq!(m.kind, ModuleKind::Definition);
+        assert_eq!(m.name, "Lists");
+        assert!(m.imports.is_empty());
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_module("VAR x: CARDINAL;\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("MODULE header"));
+
+        let err = parse_module("MODULE M;\nPROCEDURE P;\nEND Wrong;\n").unwrap_err();
+        assert_eq!(err.line, 3);
+
+        let err = parse_module("MODULE M;\nPROCEDURE P;\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn duplicate_imports_dedupe() {
+        let m = parse_module("MODULE M;\nIMPORT A, B;\nIMPORT A;\nEND M.\n").unwrap();
+        assert_eq!(m.imports, vec!["A", "B"]);
+    }
+}

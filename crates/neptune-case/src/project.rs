@@ -1,0 +1,327 @@
+//! Representing Modula-2 programs as hypertext.
+//!
+//! Paper §4.2: a module is *"a simple tree"* of procedure nodes under a
+//! module node, with `isPartOf` links; import lists become links to the
+//! imported modules' nodes, making the program a directed graph. The
+//! compiler's unit of incrementality — the procedure — determines what a
+//! source node holds.
+
+use std::collections::HashMap;
+
+use neptune_ham::types::{ContextId, LinkPt, NodeIndex, Time};
+use neptune_ham::value::Value;
+use neptune_ham::{Ham, Predicate, Result};
+
+use crate::model::{code_type, content_type, relation, CODE_TYPE, CONTENT_TYPE, RELATION};
+use crate::modula::{Module, ModuleKind, Procedure};
+
+/// Attribute naming nodes (shared with the document layer's browsers).
+const ICON: &str = "icon";
+
+/// The hypertext footprint of one ingested module.
+#[derive(Debug, Clone)]
+pub struct ModuleNodes {
+    /// The module's root node (module-level text).
+    pub module: NodeIndex,
+    /// Procedure nodes by (possibly nested, dot-joined) name, e.g.
+    /// `Allocate` or `Allocate.Grow`.
+    pub procedures: HashMap<String, NodeIndex>,
+}
+
+/// A CASE project: conventions bound to one context.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseProject {
+    /// The context the project lives in.
+    pub context: ContextId,
+}
+
+impl CaseProject {
+    /// Create a project handle.
+    pub fn new(context: ContextId) -> CaseProject {
+        CaseProject { context }
+    }
+
+    /// Ingest a parsed module: one node for the module text, one per
+    /// procedure (nested procedures under their parents), `isPartOf`
+    /// structure links, and the §4.2 attribute conventions. One
+    /// transaction.
+    pub fn ingest_module(&self, ham: &mut Ham, module: &Module) -> Result<ModuleNodes> {
+        ham.begin_transaction()?;
+        let result = (|| {
+            let ctx = self.context;
+            let (mnode, t) = ham.add_node(ctx, true)?;
+            ham.modify_node(ctx, mnode, t, module.text.clone().into_bytes(), &[])?;
+            let ct = ham.get_attribute_index(ctx, CONTENT_TYPE)?;
+            let code = ham.get_attribute_index(ctx, CODE_TYPE)?;
+            let icon = ham.get_attribute_index(ctx, ICON)?;
+            ham.set_node_attribute_value(ctx, mnode, ct, Value::str(content_type::MODULA2_SOURCE))?;
+            let kind = match module.kind {
+                ModuleKind::Definition => code_type::DEFINITION_MODULE,
+                ModuleKind::Implementation => code_type::IMPLEMENTATION_MODULE,
+            };
+            ham.set_node_attribute_value(ctx, mnode, code, Value::str(kind))?;
+            ham.set_node_attribute_value(ctx, mnode, icon, Value::str(&module.name))?;
+
+            let mut procedures = HashMap::new();
+            for (i, proc) in module.procedures.iter().enumerate() {
+                self.ingest_procedure(ham, mnode, proc, &module.name, i as u64, "", &mut procedures)?;
+            }
+            Ok(ModuleNodes { module: mnode, procedures })
+        })();
+        match result {
+            Ok(nodes) => {
+                ham.commit_transaction()?;
+                Ok(nodes)
+            }
+            Err(e) => {
+                let _ = ham.abort_transaction();
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_procedure(
+        &self,
+        ham: &mut Ham,
+        parent: NodeIndex,
+        proc: &Procedure,
+        module_name: &str,
+        order: u64,
+        prefix: &str,
+        out: &mut HashMap<String, NodeIndex>,
+    ) -> Result<()> {
+        let ctx = self.context;
+        let (pnode, t) = ham.add_node(ctx, true)?;
+        ham.modify_node(ctx, pnode, t, proc.text.clone().into_bytes(), &[])?;
+        let ct = ham.get_attribute_index(ctx, CONTENT_TYPE)?;
+        let code = ham.get_attribute_index(ctx, CODE_TYPE)?;
+        let icon = ham.get_attribute_index(ctx, ICON)?;
+        let rel = ham.get_attribute_index(ctx, RELATION)?;
+        ham.set_node_attribute_value(ctx, pnode, ct, Value::str(content_type::MODULA2_SOURCE))?;
+        ham.set_node_attribute_value(ctx, pnode, code, Value::str(code_type::PROCEDURE))?;
+        let qualified =
+            if prefix.is_empty() { proc.name.clone() } else { format!("{prefix}.{}", proc.name) };
+        ham.set_node_attribute_value(
+            ctx,
+            pnode,
+            icon,
+            Value::str(format!("{module_name}.{qualified}")),
+        )?;
+        let (link, _) =
+            ham.add_link(ctx, LinkPt::current(parent, order), LinkPt::current(pnode, 0))?;
+        ham.set_link_attribute_value(ctx, link, rel, Value::str(relation::IS_PART_OF))?;
+        out.insert(qualified.clone(), pnode);
+        for (i, child) in proc.children.iter().enumerate() {
+            self.ingest_procedure(ham, pnode, child, module_name, i as u64, &qualified, out)?;
+        }
+        Ok(())
+    }
+
+    /// Create `imports` links from each module node to the nodes of the
+    /// modules it imports. Unknown imports (library modules not in the
+    /// project) are skipped. Returns the number of links created.
+    pub fn link_imports(
+        &self,
+        ham: &mut Ham,
+        modules: &[(&Module, NodeIndex)],
+    ) -> Result<usize> {
+        let by_name: HashMap<&str, NodeIndex> =
+            modules.iter().map(|(m, n)| (m.name.as_str(), *n)).collect();
+        let ctx = self.context;
+        ham.begin_transaction()?;
+        let result = (|| {
+            let rel = ham.get_attribute_index(ctx, RELATION)?;
+            let mut created = 0;
+            for (module, node) in modules {
+                for (i, import) in module.imports.iter().enumerate() {
+                    let Some(&target) = by_name.get(import.as_str()) else { continue };
+                    let (link, _) = ham.add_link(
+                        ctx,
+                        LinkPt::current(*node, i as u64),
+                        LinkPt::current(target, 0),
+                    )?;
+                    ham.set_link_attribute_value(ctx, link, rel, Value::str(relation::IMPORTS))?;
+                    created += 1;
+                }
+            }
+            Ok(created)
+        })();
+        match result {
+            Ok(n) => {
+                ham.commit_transaction()?;
+                Ok(n)
+            }
+            Err(e) => {
+                let _ = ham.abort_transaction();
+                Err(e)
+            }
+        }
+    }
+
+    /// Find a module node by name (its `icon` attribute).
+    pub fn module_node(&self, ham: &Ham, name: &str) -> Result<Option<NodeIndex>> {
+        let pred = Predicate::parse(&format!(
+            "{ICON} = \"{name}\" and {CODE_TYPE} != {}",
+            code_type::PROCEDURE
+        ))
+        .expect("static predicate parses");
+        let sg = ham.get_graph_query(
+            self.context,
+            Time::CURRENT,
+            &pred,
+            &Predicate::True,
+            &[],
+            &[],
+        )?;
+        Ok(sg.nodes.first().map(|(id, _)| *id))
+    }
+
+    /// Modules `node` imports (targets of its `imports` links).
+    pub fn imports_of(&self, ham: &Ham, node: NodeIndex) -> Result<Vec<NodeIndex>> {
+        self.linked_targets(ham, node, relation::IMPORTS)
+    }
+
+    /// Modules that import `node` (sources of `imports` links into it).
+    pub fn importers_of(&self, ham: &Ham, node: NodeIndex) -> Result<Vec<NodeIndex>> {
+        let graph = ham.graph(self.context)?;
+        let rel = graph.attr_table.lookup(RELATION);
+        let n = graph.node(node)?;
+        let mut out = Vec::new();
+        for &link_id in &n.incident_links {
+            let link = graph.link(link_id)?;
+            if link.to.node != node || !link.exists_at(Time::CURRENT) {
+                continue;
+            }
+            let matches = rel
+                .and_then(|attr| link.attrs.get(attr, Time::CURRENT))
+                .map(|v| *v == Value::str(relation::IMPORTS))
+                .unwrap_or(false);
+            if matches {
+                out.push(link.from.node);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Targets of `node`'s out-links carrying `relation = wanted`.
+    pub fn linked_targets(
+        &self,
+        ham: &Ham,
+        node: NodeIndex,
+        wanted: &str,
+    ) -> Result<Vec<NodeIndex>> {
+        let graph = ham.graph(self.context)?;
+        let rel = graph.attr_table.lookup(RELATION);
+        let n = graph.node(node)?;
+        let mut out: Vec<(u64, NodeIndex)> = Vec::new();
+        for &link_id in &n.incident_links {
+            let link = graph.link(link_id)?;
+            if link.from.node != node || !link.exists_at(Time::CURRENT) {
+                continue;
+            }
+            let matches = rel
+                .and_then(|attr| link.attrs.get(attr, Time::CURRENT))
+                .map(|v| *v == Value::str(wanted))
+                .unwrap_or(false);
+            if matches {
+                if let Some(offset) = link.from.position_at(Time::CURRENT) {
+                    out.push((offset, link.to.node));
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out.into_iter().map(|(_, n)| n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modula::parse_module;
+    use neptune_ham::types::{Protections, MAIN_CONTEXT};
+
+    fn fresh(name: &str) -> Ham {
+        let dir = std::env::temp_dir().join(format!("neptune-case-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Ham::create_graph(dir, Protections::DEFAULT).unwrap().0
+    }
+
+    const LISTS: &str = "DEFINITION MODULE Lists;\nEND Lists.\n";
+    const MAIN: &str = "\
+MODULE Main;
+IMPORT Lists;
+PROCEDURE Run;
+BEGIN
+END Run;
+BEGIN
+END Main.
+";
+
+    #[test]
+    fn ingest_builds_tree_with_conventions() {
+        let mut ham = fresh("ingest");
+        let project = CaseProject::new(MAIN_CONTEXT);
+        let module = parse_module(MAIN).unwrap();
+        let nodes = project.ingest_module(&mut ham, &module).unwrap();
+        assert_eq!(nodes.procedures.len(), 1);
+        let run = nodes.procedures["Run"];
+        // Attributes applied.
+        let code = ham.get_attribute_index(MAIN_CONTEXT, CODE_TYPE).unwrap();
+        assert_eq!(
+            ham.get_node_attribute_value(MAIN_CONTEXT, run, code, Time::CURRENT).unwrap(),
+            Value::str(code_type::PROCEDURE)
+        );
+        // Structure link in place.
+        let children = project.linked_targets(&ham, nodes.module, relation::IS_PART_OF).unwrap();
+        assert_eq!(children, vec![run]);
+        // The module node holds the module-level text.
+        let opened = ham.open_node(MAIN_CONTEXT, nodes.module, Time::CURRENT, &[]).unwrap();
+        assert!(String::from_utf8_lossy(&opened.contents).contains("MODULE Main"));
+    }
+
+    #[test]
+    fn import_links_form_the_directed_graph() {
+        let mut ham = fresh("imports");
+        let project = CaseProject::new(MAIN_CONTEXT);
+        let lists = parse_module(LISTS).unwrap();
+        let main = parse_module(MAIN).unwrap();
+        let lists_nodes = project.ingest_module(&mut ham, &lists).unwrap();
+        let main_nodes = project.ingest_module(&mut ham, &main).unwrap();
+        let created = project
+            .link_imports(&mut ham, &[(&lists, lists_nodes.module), (&main, main_nodes.module)])
+            .unwrap();
+        assert_eq!(created, 1);
+        assert_eq!(project.imports_of(&ham, main_nodes.module).unwrap(), vec![lists_nodes.module]);
+        assert_eq!(
+            project.importers_of(&ham, lists_nodes.module).unwrap(),
+            vec![main_nodes.module]
+        );
+        // Unknown imports are skipped silently.
+        assert!(project.imports_of(&ham, lists_nodes.module).unwrap().is_empty());
+    }
+
+    #[test]
+    fn module_node_lookup_by_name() {
+        let mut ham = fresh("lookup");
+        let project = CaseProject::new(MAIN_CONTEXT);
+        let main = parse_module(MAIN).unwrap();
+        let nodes = project.ingest_module(&mut ham, &main).unwrap();
+        assert_eq!(project.module_node(&ham, "Main").unwrap(), Some(nodes.module));
+        assert_eq!(project.module_node(&ham, "Ghost").unwrap(), None);
+    }
+
+    #[test]
+    fn nested_procedures_nest_in_hypertext() {
+        let mut ham = fresh("nested");
+        let project = CaseProject::new(MAIN_CONTEXT);
+        let src = "MODULE M;\nPROCEDURE Outer;\nPROCEDURE Inner;\nEND Inner;\nEND Outer;\nEND M.\n";
+        let module = parse_module(src).unwrap();
+        let nodes = project.ingest_module(&mut ham, &module).unwrap();
+        let outer = nodes.procedures["Outer"];
+        let inner = nodes.procedures["Outer.Inner"];
+        assert_eq!(project.linked_targets(&ham, outer, relation::IS_PART_OF).unwrap(), vec![inner]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Attribute conventions of the documentation application layer.
+//!
+//! Paper §3 and §4.2 establish the conventions this layer relies on: the
+//! `icon` attribute names a node in browsers, `relation` describes what a
+//! link means (`isPartOf` structures documents; `annotates`, `references`
+//! are diversions), `document` says which document a node belongs to, and
+//! `contentType` what its contents are.
+
+/// Attribute naming the icon/label shown for a node or link in browsers
+/// (paper §4.1: "The user specifies the name associated with a node by
+/// attaching the attribute *icon*").
+pub const ICON: &str = "icon";
+
+/// Attribute naming the relationship a link denotes (paper §4.2).
+pub const RELATION: &str = "relation";
+
+/// Attribute naming the document a node belongs to (paper §3's example:
+/// `document = requirements`).
+pub const DOCUMENT: &str = "document";
+
+/// Attribute describing what a node contains (paper §4.2).
+pub const CONTENT_TYPE: &str = "contentType";
+
+/// `relation` value structuring documents into section hierarchies.
+pub const IS_PART_OF: &str = "isPartOf";
+
+/// `relation` value for annotation links.
+pub const ANNOTATES: &str = "annotates";
+
+/// `relation` value for cross-references.
+pub const REFERENCES: &str = "references";
+
+/// Standard link predicate selecting only document structure.
+pub fn structure_predicate() -> String {
+    format!("{RELATION} = {IS_PART_OF}")
+}
+
+/// Standard node predicate selecting one document's nodes.
+pub fn document_predicate(document: &str) -> String {
+    format!("{DOCUMENT} = \"{document}\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_ham::Predicate;
+
+    #[test]
+    fn predicates_parse() {
+        assert!(Predicate::parse(&structure_predicate()).is_ok());
+        assert!(Predicate::parse(&document_predicate("requirements")).is_ok());
+        assert!(Predicate::parse(&document_predicate("with space")).is_ok());
+    }
+}

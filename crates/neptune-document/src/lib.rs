@@ -1,0 +1,29 @@
+//! # neptune-document
+//!
+//! The documentation application layer and browser models from the Neptune
+//! paper (§4.1): hierarchical documents built from the HAM's primitives,
+//! the `annotate` command, hardcopy extraction via `linearizeGraph`, and
+//! textual models of the paper's browsers — the graph browser (Figure 1),
+//! the document browser (Figure 2), the node browser (Figure 3), and the
+//! node-differences browser.
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod browser;
+pub mod inspect;
+pub mod conventions;
+pub mod diffview;
+pub mod doc;
+pub mod nodeview;
+pub mod outline;
+pub mod render;
+pub mod trail;
+
+pub use annotate::{annotate, annotations_of, Annotation};
+pub use browser::{GraphBrowser, GraphView};
+pub use doc::Document;
+pub use nodeview::{follow, view_node, NodeView};
+pub use outline::{DocumentBrowser, OutlineView};
+pub use render::{flatten, hardcopy, RenderedSection};
+pub use trail::{Trail, TrailStep};

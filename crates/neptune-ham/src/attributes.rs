@@ -1,0 +1,460 @@
+//! Attribute names, versioned attribute values, and the value index.
+//!
+//! Paper §3: *"an unlimited number of attribute/value pairs can be attached
+//! to a node or link"*; attributes are *"very dynamic"* (attachable,
+//! deletable, modifiable at any time) and every change to an archive's
+//! attribute *"creates a new version of the attribute value"* (§A.4). The
+//! appendix also demands history of the attribute *vocabulary* itself:
+//! `getAttributes(Context × Time)` lists the attributes "that existed at
+//! time Time".
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use neptune_storage::codec::{Decode, Encode, Reader, Writer};
+use neptune_storage::error::Result as StorageResult;
+
+use crate::history::Versioned;
+use crate::types::{AttributeIndex, Time};
+use crate::value::{value_index_key, Value};
+
+/// The graph-wide registry interning attribute names.
+///
+/// `getAttributeIndex` has create-on-miss semantics in the paper ("If no
+/// attribute exists, then creates one"), so the table records each name's
+/// creation time for `getAttributes(… Time)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeTable {
+    by_name: HashMap<String, AttributeIndex>,
+    names: Vec<(String, Time)>, // indexed by AttributeIndex.0
+}
+
+impl AttributeTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `name`, creating it at `now` if absent — the HAM's
+    /// `getAttributeIndex`.
+    pub fn intern(&mut self, name: &str, now: Time) -> AttributeIndex {
+        match self.by_name.entry(name.to_string()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let idx = AttributeIndex(self.names.len() as u64);
+                self.names.push((name.to_string(), now));
+                *e.insert(idx)
+            }
+        }
+    }
+
+    /// Look up `name` without creating it.
+    pub fn lookup(&self, name: &str) -> Option<AttributeIndex> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `idx`, if it exists.
+    pub fn name(&self, idx: AttributeIndex) -> Option<&str> {
+        self.names.get(idx.0 as usize).map(|(n, _)| n.as_str())
+    }
+
+    /// All `(name, index)` pairs existing at `time` — `getAttributes`.
+    pub fn attributes_at(&self, time: Time) -> Vec<(String, AttributeIndex)> {
+        self.names
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, created))| time.is_current() || *created <= time)
+            .map(|(i, (name, _))| (name.clone(), AttributeIndex(i as u64)))
+            .collect()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Drop names created after `time` (transaction rollback).
+    pub fn truncate_after(&mut self, time: Time) {
+        let keep = self.names.partition_point(|(_, created)| *created <= time);
+        for (name, _) in self.names.drain(keep..) {
+            self.by_name.remove(&name);
+        }
+    }
+}
+
+impl Encode for AttributeTable {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.names.len() as u64);
+        for (name, created) in &self.names {
+            w.put_str(name);
+            created.encode(w);
+        }
+    }
+}
+
+impl Decode for AttributeTable {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let count = r.get_u64()? as usize;
+        let mut table = AttributeTable::new();
+        for i in 0..count {
+            let name = r.get_str()?.to_owned();
+            let created = Time::decode(r)?;
+            table.by_name.insert(name.clone(), AttributeIndex(i as u64));
+            table.names.push((name, created));
+        }
+        Ok(table)
+    }
+}
+
+/// The versioned attribute/value pairs attached to one node or link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttrMap {
+    values: BTreeMap<AttributeIndex, Versioned<Value>>,
+}
+
+impl AttrMap {
+    /// An empty attribute map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `attr` to `value` as of `now` — `setNodeAttributeValue` /
+    /// `setLinkAttributeValue`.
+    pub fn set(&mut self, attr: AttributeIndex, value: Value, now: Time) {
+        self.values.entry(attr).or_default().set(now, value);
+    }
+
+    /// Delete `attr` as of `now` — `deleteNodeAttribute` /
+    /// `deleteLinkAttribute`. Returns whether the attribute had a value.
+    pub fn delete(&mut self, attr: AttributeIndex, now: Time) -> bool {
+        match self.values.get_mut(&attr) {
+            Some(v) if v.exists_at(Time::CURRENT) => {
+                v.delete(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The value of `attr` at `time` — `getNodeAttributeValue` /
+    /// `getLinkAttributeValue`.
+    pub fn get(&self, attr: AttributeIndex, time: Time) -> Option<&Value> {
+        self.values.get(&attr).and_then(|v| v.get_at(time))
+    }
+
+    /// All `(attribute, value)` pairs with a value at `time` —
+    /// `getNodeAttributes` / `getLinkAttributes`.
+    pub fn all_at(&self, time: Time) -> Vec<(AttributeIndex, Value)> {
+        self.values
+            .iter()
+            .filter_map(|(idx, v)| v.get_at(time).map(|val| (*idx, val.clone())))
+            .collect()
+    }
+
+    /// Times at which any attribute of this object changed (for minor
+    /// version histories).
+    pub fn change_times(&self) -> Vec<Time> {
+        let mut times: Vec<Time> =
+            self.values.values().flat_map(|v| v.change_times()).collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
+
+    /// Attributes whose value changed (set or deleted) strictly after
+    /// `time` — used by context merging to find divergent attributes.
+    pub fn attrs_changed_after(&self, time: Time) -> Vec<AttributeIndex> {
+        self.values
+            .iter()
+            .filter(|(_, v)| v.change_times().last().is_some_and(|t| *t > time))
+            .map(|(idx, _)| *idx)
+            .collect()
+    }
+
+    /// Roll back changes after `time`.
+    pub fn truncate_after(&mut self, time: Time) {
+        self.values.retain(|_, v| {
+            v.truncate_after(time);
+            !v.is_empty()
+        });
+    }
+
+    /// Number of attributes that ever had a value.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no attribute ever had a value.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Encode for AttrMap {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.values.len() as u64);
+        for (idx, versions) in &self.values {
+            idx.encode(w);
+            versions.encode(w);
+        }
+    }
+}
+
+impl Decode for AttrMap {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let count = r.get_u64()? as usize;
+        let mut values = BTreeMap::new();
+        for _ in 0..count {
+            let idx = AttributeIndex::decode(r)?;
+            let versions = Versioned::<Value>::decode(r)?;
+            values.insert(idx, versions);
+        }
+        Ok(AttrMap { values })
+    }
+}
+
+/// What kind of object an index entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjKind {
+    /// A node.
+    Node,
+    /// A link.
+    Link,
+}
+
+/// An inverted index from `(attribute, value)` to the objects currently
+/// carrying that pair.
+///
+/// This accelerates `getGraphQuery` for the common `attr = literal`
+/// predicate (the paper's own example) and `getAttributeValues`. It tracks
+/// **current** values only; historical queries fall back to scanning, which
+/// experiment E3 quantifies.
+/// An object reference in the index: what kind it is plus its raw id.
+pub type ObjRef = (ObjKind, u64);
+
+/// An inverted index from `(attribute, value)` to the objects currently
+/// carrying that pair.
+///
+/// This accelerates `getGraphQuery` for the common `attr = literal`
+/// predicate (the paper's own example) and `getAttributeValues`. It tracks
+/// **current** values only; historical queries fall back to scanning, which
+/// experiment E3 quantifies.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    by_pair: HashMap<(AttributeIndex, Vec<u8>), HashSet<ObjRef>>,
+    values_by_attr: HashMap<AttributeIndex, HashMap<Vec<u8>, (Value, usize)>>,
+}
+
+impl ValueIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `obj`'s current value of `attr` is now `value`,
+    /// replacing `old` if the attribute was previously set.
+    pub fn update(
+        &mut self,
+        obj: (ObjKind, u64),
+        attr: AttributeIndex,
+        old: Option<&Value>,
+        value: &Value,
+    ) {
+        if let Some(old) = old {
+            self.remove(obj, attr, old);
+        }
+        let key = value_index_key(value);
+        self.by_pair.entry((attr, key.clone())).or_default().insert(obj);
+        let entry = self
+            .values_by_attr
+            .entry(attr)
+            .or_default()
+            .entry(key)
+            .or_insert_with(|| (value.clone(), 0));
+        entry.1 += 1;
+    }
+
+    /// Record that `obj` no longer carries `attr = value`.
+    pub fn remove(&mut self, obj: (ObjKind, u64), attr: AttributeIndex, value: &Value) {
+        let key = value_index_key(value);
+        if let Some(set) = self.by_pair.get_mut(&(attr, key.clone())) {
+            set.remove(&obj);
+            if set.is_empty() {
+                self.by_pair.remove(&(attr, key.clone()));
+            }
+        }
+        if let Some(values) = self.values_by_attr.get_mut(&attr) {
+            if let Some(entry) = values.get_mut(&key) {
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    values.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Objects currently carrying `attr = value`.
+    pub fn lookup(&self, attr: AttributeIndex, value: &Value) -> Vec<(ObjKind, u64)> {
+        self.by_pair
+            .get(&(attr, value_index_key(value)))
+            .map(|set| {
+                let mut v: Vec<_> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Distinct current values of `attr` — the fast path of
+    /// `getAttributeValues` at the current time.
+    pub fn current_values(&self, attr: AttributeIndex) -> Vec<Value> {
+        let mut vals: Vec<(Vec<u8>, Value)> = self
+            .values_by_attr
+            .get(&attr)
+            .map(|m| m.iter().map(|(k, (v, _))| (k.clone(), v.clone())).collect())
+            .unwrap_or_default();
+        vals.sort_by(|a, b| a.0.cmp(&b.0));
+        vals.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = AttributeTable::new();
+        let a = t.intern("contentType", Time(1));
+        let b = t.intern("contentType", Time(2));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(a), Some("contentType"));
+        assert_eq!(t.lookup("contentType"), Some(a));
+        assert_eq!(t.lookup("missing"), None);
+    }
+
+    #[test]
+    fn attributes_at_respects_creation_time() {
+        let mut t = AttributeTable::new();
+        t.intern("early", Time(1));
+        t.intern("late", Time(10));
+        assert_eq!(t.attributes_at(Time(5)).len(), 1);
+        assert_eq!(t.attributes_at(Time(10)).len(), 2);
+        assert_eq!(t.attributes_at(Time::CURRENT).len(), 2);
+    }
+
+    #[test]
+    fn table_truncate_rolls_back_interning() {
+        let mut t = AttributeTable::new();
+        let early = t.intern("early", Time(1));
+        t.intern("late", Time(10));
+        t.truncate_after(Time(5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("late"), None);
+        // Re-interning after rollback reuses the freed index slot.
+        let again = t.intern("late2", Time(6));
+        assert_eq!(again, AttributeIndex(1));
+        assert_eq!(t.lookup("early"), Some(early));
+    }
+
+    #[test]
+    fn table_codec_roundtrip() {
+        let mut t = AttributeTable::new();
+        t.intern("a", Time(1));
+        t.intern("b", Time(2));
+        let decoded = AttributeTable::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn attrmap_versioned_values() {
+        let mut m = AttrMap::new();
+        let attr = AttributeIndex(0);
+        m.set(attr, Value::str("draft"), Time(1));
+        m.set(attr, Value::str("final"), Time(5));
+        assert_eq!(m.get(attr, Time(1)), Some(&Value::str("draft")));
+        assert_eq!(m.get(attr, Time(4)), Some(&Value::str("draft")));
+        assert_eq!(m.get(attr, Time(5)), Some(&Value::str("final")));
+        assert_eq!(m.get(attr, Time::CURRENT), Some(&Value::str("final")));
+    }
+
+    #[test]
+    fn attrmap_delete_keeps_history() {
+        let mut m = AttrMap::new();
+        let attr = AttributeIndex(3);
+        m.set(attr, Value::Int(1), Time(1));
+        assert!(m.delete(attr, Time(2)));
+        assert!(!m.delete(attr, Time(3)), "double delete reports false");
+        assert_eq!(m.get(attr, Time(1)), Some(&Value::Int(1)));
+        assert_eq!(m.get(attr, Time::CURRENT), None);
+    }
+
+    #[test]
+    fn attrmap_all_at_reflects_time() {
+        let mut m = AttrMap::new();
+        m.set(AttributeIndex(0), Value::str("x"), Time(1));
+        m.set(AttributeIndex(1), Value::Int(9), Time(5));
+        assert_eq!(m.all_at(Time(1)).len(), 1);
+        assert_eq!(m.all_at(Time(5)).len(), 2);
+        assert_eq!(m.all_at(Time::CURRENT).len(), 2);
+    }
+
+    #[test]
+    fn attrmap_truncate_after() {
+        let mut m = AttrMap::new();
+        m.set(AttributeIndex(0), Value::str("keep"), Time(1));
+        m.set(AttributeIndex(0), Value::str("drop"), Time(9));
+        m.set(AttributeIndex(1), Value::str("drop-entirely"), Time(8));
+        m.truncate_after(Time(5));
+        assert_eq!(m.get(AttributeIndex(0), Time::CURRENT), Some(&Value::str("keep")));
+        assert_eq!(m.get(AttributeIndex(1), Time::CURRENT), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn attrmap_codec_roundtrip() {
+        let mut m = AttrMap::new();
+        m.set(AttributeIndex(0), Value::str("v"), Time(1));
+        m.delete(AttributeIndex(0), Time(2));
+        m.set(AttributeIndex(7), Value::Float(2.5), Time(3));
+        let decoded = AttrMap::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn value_index_tracks_current_pairs() {
+        let mut ix = ValueIndex::new();
+        let attr = AttributeIndex(0);
+        let n1 = (ObjKind::Node, 1);
+        let n2 = (ObjKind::Node, 2);
+        ix.update(n1, attr, None, &Value::str("requirements"));
+        ix.update(n2, attr, None, &Value::str("requirements"));
+        assert_eq!(ix.lookup(attr, &Value::str("requirements")), vec![n1, n2]);
+        // n2 changes document.
+        ix.update(n2, attr, Some(&Value::str("requirements")), &Value::str("design"));
+        assert_eq!(ix.lookup(attr, &Value::str("requirements")), vec![n1]);
+        assert_eq!(ix.lookup(attr, &Value::str("design")), vec![n2]);
+        // Deletion.
+        ix.remove(n1, attr, &Value::str("requirements"));
+        assert!(ix.lookup(attr, &Value::str("requirements")).is_empty());
+        let values = ix.current_values(attr);
+        assert_eq!(values, vec![Value::str("design")]);
+    }
+
+    #[test]
+    fn value_index_counts_duplicates() {
+        let mut ix = ValueIndex::new();
+        let attr = AttributeIndex(1);
+        ix.update((ObjKind::Node, 1), attr, None, &Value::Int(7));
+        ix.update((ObjKind::Link, 1), attr, None, &Value::Int(7));
+        ix.remove((ObjKind::Node, 1), attr, &Value::Int(7));
+        // The value survives because the link still carries it.
+        assert_eq!(ix.current_values(attr), vec![Value::Int(7)]);
+    }
+}

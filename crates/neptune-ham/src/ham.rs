@@ -1,0 +1,1839 @@
+//! The Hypertext Abstract Machine facade.
+//!
+//! [`Ham`] implements every operation of the paper's Appendix under its
+//! paper name (in Rust snake_case): graph operations (§A.1), node
+//! operations (§A.2), link operations (§A.3), attribute operations (§A.4),
+//! and demon operations (§A.5) — plus the §5 extensions (transactions are
+//! §2.2 core behaviour; multiple version threads and parameterized demons
+//! are the extensions the paper describes as in progress).
+//!
+//! Durability model: all state lives in memory (the HamGraph per context);
+//! every state-changing operation is journaled to the write-ahead log at
+//! commit, and `checkpoint` folds the log into an atomic snapshot. Opening
+//! a graph loads the snapshot and replays committed transactions, giving
+//! the paper's "complete recovery" from both aborts and crashes.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use neptune_storage::blobstore::BlobStore;
+use neptune_storage::codec::{Decode, Encode, Reader, Writer};
+use neptune_storage::diff::Difference;
+use neptune_storage::snapshot::{read_snapshot, write_snapshot};
+use neptune_storage::wal::{RecordKind, Wal};
+
+use crate::context::{merge_context, ConflictPolicy, MergeReport};
+use crate::demons::{DemonAction, DemonFireInfo, DemonRegistry, DemonSpec, Event, FireRecord};
+use crate::error::{HamError, Result};
+use crate::graph::HamGraph;
+use crate::predicate::Predicate;
+use crate::query::{get_graph_query, get_graph_query_scan, linearize_graph, SubGraph};
+use crate::txn::{ActiveTxn, RedoOp};
+use crate::types::{
+    decode_protections, AttributeIndex, ContextId, LinkIndex, LinkPt, Machine, NodeIndex,
+    ProjectId, Protections, Time, Version, MAIN_CONTEXT,
+};
+use crate::value::Value;
+
+/// One version thread and where it forked from.
+#[derive(Debug, Clone)]
+struct GraphThread {
+    graph: HamGraph,
+    /// `(parent context, parent clock at fork)`; `None` for the main thread.
+    forked_from: Option<(ContextId, Time)>,
+}
+
+/// Result of `openNode`: `Contents × LinkPt* × Value^m × Time₂`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenedNode {
+    /// The node's contents at the requested time.
+    pub contents: Vec<u8>,
+    /// Link attachments visible on that version, in canonical order
+    /// (ascending link index, "from" end before "to" end). `modifyNode`
+    /// expects its `LinkPt*` operand in this same order.
+    pub link_pts: Vec<LinkPt>,
+    /// Values of the requested attributes (None = not set at that time).
+    pub values: Vec<Option<Value>>,
+    /// Version time of the **current** version of the node.
+    pub current_time: Time,
+}
+
+/// File names inside a graph directory.
+const META_FILE: &str = "graph.meta";
+const SNAPSHOT_FILE: &str = "graph.snap";
+const WAL_FILE: &str = "wal.log";
+const NODES_DIR: &str = "nodes";
+
+/// The Hypertext Abstract Machine: a single opened Neptune database.
+///
+/// A `Ham` is single-writer; `neptune-server` serializes concurrent clients
+/// in front of it (the paper's central-server architecture, §2.2).
+pub struct Ham {
+    directory: PathBuf,
+    project_id: ProjectId,
+    protections: Protections,
+    wal: Wal,
+    blobs: BlobStore,
+    threads: HashMap<ContextId, GraphThread>,
+    next_context: u64,
+    txn: Option<ActiveTxn>,
+    next_txn: u64,
+    registry: DemonRegistry,
+    journal: Vec<FireRecord>,
+    in_demon: bool,
+    replaying: bool,
+}
+
+impl std::fmt::Debug for Ham {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ham")
+            .field("directory", &self.directory)
+            .field("project_id", &self.project_id)
+            .field("contexts", &self.threads.len())
+            .field("in_txn", &self.txn.is_some())
+            .finish()
+    }
+}
+
+impl Ham {
+    // =====================================================================
+    // A.1 Graph operations
+    // =====================================================================
+
+    /// `createGraph: Directory × Protections → ProjectId × Time`
+    ///
+    /// Creates a new empty hyperdata graph in `directory`, using
+    /// `protections` for the files representing it. Returns the machine
+    /// with the graph open, its `ProjectId`, and the creation time.
+    pub fn create_graph(
+        directory: impl AsRef<Path>,
+        protections: Protections,
+    ) -> Result<(Ham, ProjectId, Time)> {
+        let directory = directory.as_ref().to_path_buf();
+        std::fs::create_dir_all(&directory).map_err(neptune_storage::StorageError::from)?;
+        let project_id = ProjectId(fresh_project_id(&directory));
+        let graph = HamGraph::new(project_id);
+        let created = graph.created;
+        let mut threads = HashMap::new();
+        threads.insert(MAIN_CONTEXT, GraphThread { graph, forked_from: None });
+        let wal = Wal::open(directory.join(WAL_FILE))?;
+        let blobs = BlobStore::open(directory.join(NODES_DIR), protections)?;
+        let mut ham = Ham {
+            directory,
+            project_id,
+            protections,
+            wal,
+            blobs,
+            threads,
+            next_context: 1,
+            txn: None,
+            next_txn: 1,
+            registry: DemonRegistry::new(),
+            journal: Vec::new(),
+            in_demon: false,
+            replaying: false,
+        };
+        ham.write_meta()?;
+        ham.checkpoint()?;
+        Ok((ham, project_id, created))
+    }
+
+    /// `destroyGraph: ProjectId × Directory →`
+    ///
+    /// Destroys the graph in `directory`. `project_id` must match the value
+    /// returned by the `createGraph` that created it.
+    pub fn destroy_graph(project_id: ProjectId, directory: impl AsRef<Path>) -> Result<()> {
+        let directory = directory.as_ref();
+        let meta = read_meta(directory)?;
+        if meta.0 != project_id {
+            return Err(HamError::ProjectMismatch { given: project_id, actual: meta.0 });
+        }
+        std::fs::remove_dir_all(directory).map_err(neptune_storage::StorageError::from)?;
+        Ok(())
+    }
+
+    /// `openGraph: ProjectId × Machine × Directory → Context`
+    ///
+    /// Opens an existing graph. `machine` names where the graph lives; the
+    /// in-process implementation requires the local machine (the network
+    /// path goes through `neptune-server`). Returns the machine with the
+    /// main context id. Triggers the `graphOpened` demon.
+    pub fn open_graph(
+        project_id: ProjectId,
+        _machine: &Machine,
+        directory: impl AsRef<Path>,
+    ) -> Result<(Ham, ContextId)> {
+        let directory = directory.as_ref().to_path_buf();
+        let (meta_pid, protections, next_context, next_txn) = read_meta(&directory)?;
+        if meta_pid != project_id {
+            return Err(HamError::ProjectMismatch { given: project_id, actual: meta_pid });
+        }
+        let snapshot_bytes = read_snapshot(directory.join(SNAPSHOT_FILE))?;
+        let threads = decode_threads(&snapshot_bytes)?;
+        let mut wal = Wal::open(directory.join(WAL_FILE))?;
+        let committed = wal.recover()?;
+        let blobs = BlobStore::open(directory.join(NODES_DIR), protections)?;
+        let mut ham = Ham {
+            directory,
+            project_id,
+            protections,
+            wal,
+            blobs,
+            threads,
+            next_context,
+            txn: None,
+            next_txn,
+            registry: DemonRegistry::new(),
+            journal: Vec::new(),
+            in_demon: false,
+            replaying: false,
+        };
+        // Replay committed transactions that postdate the snapshot.
+        ham.replaying = true;
+        for (txn_id, ops) in committed {
+            ham.next_txn = ham.next_txn.max(txn_id + 1);
+            for payload in ops {
+                let op = RedoOp::from_bytes(&payload)?;
+                ham.apply_redo(op)?;
+            }
+        }
+        ham.replaying = false;
+        ham.fire(MAIN_CONTEXT, Event::GraphOpened, None, None)?;
+        Ok((ham, MAIN_CONTEXT))
+    }
+
+    /// Open a graph without knowing its `ProjectId` (directory inspection).
+    pub fn open_existing(directory: impl AsRef<Path>) -> Result<(Ham, ContextId, ProjectId)> {
+        let (pid, ..) = read_meta(directory.as_ref())?;
+        let (ham, ctx) = Ham::open_graph(pid, &Machine::local(), directory)?;
+        Ok((ham, ctx, pid))
+    }
+
+    /// `addNode: Context × Boolean → NodeIndex × Time`
+    ///
+    /// Creates a new empty node; `keep_history = true` maintains a complete
+    /// version history (archive). Triggers the `nodeAdded` demon.
+    pub fn add_node(&mut self, context: ContextId, keep_history: bool) -> Result<(NodeIndex, Time)> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let (id, time) = ham.graph_mut(context)?.add_node(keep_history);
+            ham.push_redo(RedoOp::AddNode { context, id, time, keep_history });
+            ham.fire(context, Event::NodeAdded, Some(id), None)?;
+            Ok((id, time))
+        })
+    }
+
+    /// `deleteNode: Context × NodeIndex →`
+    ///
+    /// Removes the node; all links into or out of it are deleted. History
+    /// is preserved: earlier versions of the graph still see it. Triggers
+    /// the `nodeDeleted` demon.
+    pub fn delete_node(&mut self, context: ContextId, node: NodeIndex) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.delete_node(node)?;
+            ham.push_redo(RedoOp::DeleteNode { context, id: node, time });
+            ham.fire(context, Event::NodeDeleted, Some(node), None)?;
+            Ok(())
+        })
+    }
+
+    /// `addLink: Context × LinkPt₁ × LinkPt₂ → LinkIndex × Time`
+    ///
+    /// Creates a link from `from` to `to`. Both nodes must exist at their
+    /// respective times; a zero time means the attachment tracks the
+    /// current version. Triggers the `linkAdded` demon.
+    pub fn add_link(
+        &mut self,
+        context: ContextId,
+        from: LinkPt,
+        to: LinkPt,
+    ) -> Result<(LinkIndex, Time)> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let (id, time) = ham.graph_mut(context)?.add_link(from, to)?;
+            ham.push_redo(RedoOp::AddLink { context, id, from, to, time });
+            ham.fire(context, Event::LinkAdded, None, Some(id))?;
+            Ok((id, time))
+        })
+    }
+
+    /// `copyLink: Context × LinkIndex × Time₁ × Boolean × LinkPt → LinkIndex × Time`
+    ///
+    /// Creates a new link sharing one end with `link` as of `time1`: with
+    /// `keep_source = true` the new link's source is `link`'s source and
+    /// `pt` is the destination; otherwise the destination is shared and
+    /// `pt` is the source. Triggers the `linkAdded` demon.
+    pub fn copy_link(
+        &mut self,
+        context: ContextId,
+        link: LinkIndex,
+        time1: Time,
+        keep_source: bool,
+        pt: LinkPt,
+    ) -> Result<(LinkIndex, Time)> {
+        let shared = {
+            let graph = self.graph(context)?;
+            let l = graph.live_link(link, time1)?;
+            let end = if keep_source { &l.from } else { &l.to };
+            end.linkpt_at(time1).ok_or(HamError::NoSuchLink(link))?
+        };
+        let (from, to) = if keep_source { (shared, pt) } else { (pt, shared) };
+        self.add_link(context, from, to)
+    }
+
+    /// `deleteLink: Context × LinkIndex →`
+    ///
+    /// Removes the link (history preserved). Triggers `linkDeleted`.
+    pub fn delete_link(&mut self, context: ContextId, link: LinkIndex) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.delete_link(link)?;
+            ham.push_redo(RedoOp::DeleteLink { context, id: link, time });
+            ham.fire(context, Event::LinkDeleted, None, Some(link))?;
+            Ok(())
+        })
+    }
+
+    /// `linearizeGraph`: depth-first, offset-ordered traversal from `start`
+    /// at `time`, filtered by node and link predicates, returning each
+    /// result object's requested attribute values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn linearize_graph(
+        &self,
+        context: ContextId,
+        start: NodeIndex,
+        time: Time,
+        node_pred: &Predicate,
+        link_pred: &Predicate,
+        node_attrs: &[AttributeIndex],
+        link_attrs: &[AttributeIndex],
+    ) -> Result<SubGraph> {
+        let graph = self.graph(context)?;
+        linearize_graph(graph, start, time, node_pred, link_pred, node_attrs, link_attrs)
+    }
+
+    /// `getGraphQuery`: associative access to all nodes satisfying the node
+    /// predicate and their interconnecting links satisfying the link
+    /// predicate, at `time`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_graph_query(
+        &self,
+        context: ContextId,
+        time: Time,
+        node_pred: &Predicate,
+        link_pred: &Predicate,
+        node_attrs: &[AttributeIndex],
+        link_attrs: &[AttributeIndex],
+    ) -> Result<SubGraph> {
+        let graph = self.graph(context)?;
+        get_graph_query(graph, time, node_pred, link_pred, node_attrs, link_attrs)
+    }
+
+    /// [`Ham::get_graph_query`] with the value-index accelerator disabled —
+    /// the ablation baseline for experiment E3.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_graph_query_scan(
+        &self,
+        context: ContextId,
+        time: Time,
+        node_pred: &Predicate,
+        link_pred: &Predicate,
+        node_attrs: &[AttributeIndex],
+        link_attrs: &[AttributeIndex],
+    ) -> Result<SubGraph> {
+        let graph = self.graph(context)?;
+        get_graph_query_scan(graph, time, node_pred, link_pred, node_attrs, link_attrs)
+    }
+
+    // =====================================================================
+    // A.2 Node operations
+    // =====================================================================
+
+    /// `openNode: NodeIndex × Time₁ × AttributeIndexᵐ → Contents × LinkPt* × Valueᵐ × Time₂`
+    ///
+    /// Returns the node's contents at `time` (zero = current), the link
+    /// attachments of that version, the requested attribute values, and the
+    /// current version time. Triggers the `nodeOpened` demon.
+    pub fn open_node(
+        &mut self,
+        context: ContextId,
+        node: NodeIndex,
+        time: Time,
+        attrs: &[AttributeIndex],
+    ) -> Result<OpenedNode> {
+        let opened = {
+            let graph = self.graph(context)?;
+            let n = graph.live_node(node, time)?;
+            let contents = n.contents_at(time)?;
+            let link_pts = canonical_attachments(graph, node, time)?
+                .into_iter()
+                .map(|(_, _, pt)| pt)
+                .collect();
+            let values = attrs.iter().map(|a| n.attrs.get(*a, time).cloned()).collect();
+            OpenedNode { contents, link_pts, values, current_time: n.current_time() }
+        };
+        // `openNode` can trigger a demon; only pay the dispatch cost if one
+        // is actually registered for this event.
+        if self.demon_registered(context, Event::NodeOpened, Some(node)) {
+            self.auto_txn(|ham| ham.fire(context, Event::NodeOpened, Some(node), None))?;
+        }
+        Ok(opened)
+    }
+
+    /// `modifyNode: NodeIndex × Time × Contents × LinkPt* →`
+    ///
+    /// Checks in new contents. `time` must equal the node's current version
+    /// time (optimistic concurrency); `link_pts` must supply one point per
+    /// attachment of the current version, in the canonical order returned
+    /// by `openNode`. Attachments whose position changed get a new version
+    /// of their offset; pinned attachments may not move. Triggers the
+    /// `nodeModified` demon.
+    pub fn modify_node(
+        &mut self,
+        context: ContextId,
+        node: NodeIndex,
+        time: Time,
+        contents: Vec<u8>,
+        link_pts: &[LinkPt],
+    ) -> Result<Time> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let now =
+                apply_modify_node(ham.graph_mut(context)?, node, Some(time), contents.clone(), link_pts)?;
+            ham.push_redo(RedoOp::ModifyNode {
+                context,
+                id: node,
+                contents,
+                link_pts: link_pts.to_vec(),
+                time: now,
+            });
+            ham.fire(context, Event::NodeModified, Some(node), None)?;
+            Ok(now)
+        })
+    }
+
+    /// `getNodeTimeStamp: NodeIndex → Time`
+    ///
+    /// The version time of the node's current version.
+    pub fn get_node_time_stamp(&self, context: ContextId, node: NodeIndex) -> Result<Time> {
+        Ok(self.graph(context)?.live_node(node, Time::CURRENT)?.current_time())
+    }
+
+    /// `changeNodeProtection: NodeIndex × Protections →`
+    ///
+    /// Sets the protections for the file storing the node's contents.
+    pub fn change_node_protection(
+        &mut self,
+        context: ContextId,
+        node: NodeIndex,
+        protections: Protections,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            ham.graph_mut(context)?.live_node(node, Time::CURRENT)?;
+            ham.graph_mut(context)?.node_mut(node)?.protections = protections;
+            if context == MAIN_CONTEXT && ham.blobs.contains(node.0) {
+                ham.blobs.set_protections(node.0, protections)?;
+            }
+            ham.push_redo(RedoOp::ChangeProtection { context, node, protections });
+            Ok(())
+        })
+    }
+
+    /// `getNodeVersions: NodeIndex → Version₁⁺ × Version₂*`
+    ///
+    /// The node's version history: major versions (content updates) and
+    /// minor versions (link/attribute changes).
+    pub fn get_node_versions(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+    ) -> Result<(Vec<Version>, Vec<Version>)> {
+        Ok(self.graph(context)?.node(node)?.versions())
+    }
+
+    /// `getNodeDifferences: NodeIndex × Time₁ × Time₂ → Difference*`
+    ///
+    /// Line-level differences between the node's contents at the two times.
+    pub fn get_node_differences(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+        time1: Time,
+        time2: Time,
+    ) -> Result<Vec<Difference>> {
+        let graph = self.graph(context)?;
+        let n = graph.node(node)?;
+        let old = n.contents_at(time1)?;
+        let new = n.contents_at(time2)?;
+        Ok(neptune_storage::diff::differences(&old, &new))
+    }
+
+    // =====================================================================
+    // A.3 Link operations
+    // =====================================================================
+
+    /// `getToNode: LinkIndex × Time₁ → NodeIndex × Time₂`
+    ///
+    /// The destination node and the version of it the link refers to at
+    /// `time1` (the pinned version for pinned ends, the version current at
+    /// `time1` for tracking ends).
+    pub fn get_to_node(
+        &self,
+        context: ContextId,
+        link: LinkIndex,
+        time1: Time,
+    ) -> Result<(NodeIndex, Time)> {
+        let graph = self.graph(context)?;
+        let l = graph.live_link(link, time1)?;
+        endpoint_version(graph, &l.to, time1)
+    }
+
+    /// `getFromNode: LinkIndex × Time₁ → NodeIndex × Time₂`
+    ///
+    /// The source-node analogue of [`Ham::get_to_node`].
+    pub fn get_from_node(
+        &self,
+        context: ContextId,
+        link: LinkIndex,
+        time1: Time,
+    ) -> Result<(NodeIndex, Time)> {
+        let graph = self.graph(context)?;
+        let l = graph.live_link(link, time1)?;
+        endpoint_version(graph, &l.from, time1)
+    }
+
+    // =====================================================================
+    // A.4 Attribute operations
+    // =====================================================================
+
+    /// `getAttributes: Context × Time → (Attribute × AttributeIndex)*`
+    ///
+    /// All attribute names (and their indices) that existed at `time`.
+    pub fn get_attributes(
+        &self,
+        context: ContextId,
+        time: Time,
+    ) -> Result<Vec<(String, AttributeIndex)>> {
+        Ok(self.graph(context)?.attr_table.attributes_at(time))
+    }
+
+    /// `getAttributeValues: Context × AttributeIndex × Time → Value*`
+    ///
+    /// The set of all values defined for the attribute at `time`, across
+    /// all nodes and links.
+    pub fn get_attribute_values(
+        &self,
+        context: ContextId,
+        attr: AttributeIndex,
+        time: Time,
+    ) -> Result<Vec<Value>> {
+        self.graph(context)?.attribute_values(attr, time)
+    }
+
+    /// `getAttributeIndex: Context × Attribute → AttributeIndex`
+    ///
+    /// The unique identification for the attribute name, creating it if it
+    /// does not exist.
+    pub fn get_attribute_index(
+        &mut self,
+        context: ContextId,
+        name: &str,
+    ) -> Result<AttributeIndex> {
+        if let Some(idx) = self.graph(context)?.attr_table.lookup(name) {
+            return Ok(idx);
+        }
+        let name = name.to_string();
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let idx = ham.graph_mut(context)?.attribute_index(&name);
+            let time = ham.graph(context)?.now();
+            ham.push_redo(RedoOp::InternAttr { context, name, time });
+            Ok(idx)
+        })
+    }
+
+    /// `setNodeAttributeValue: NodeIndex × AttributeIndex × Value →`
+    ///
+    /// Sets the attribute's value for the node, creating a new version of
+    /// the attribute value. Triggers the `attributeChanged` demon.
+    pub fn set_node_attribute_value(
+        &mut self,
+        context: ContextId,
+        node: NodeIndex,
+        attr: AttributeIndex,
+        value: Value,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.set_node_attr(node, attr, value.clone())?;
+            let name = ham.graph(context)?.attr_name(attr)?.to_string();
+            ham.push_redo(RedoOp::SetNodeAttr { context, node, attr: name, value, time });
+            ham.fire(context, Event::AttributeChanged, Some(node), None)?;
+            Ok(())
+        })
+    }
+
+    /// `deleteNodeAttribute: NodeIndex × AttributeIndex →`
+    ///
+    /// Deletes the attribute's value for the node (the history remains
+    /// queryable at earlier times). Triggers `attributeChanged`.
+    pub fn delete_node_attribute(
+        &mut self,
+        context: ContextId,
+        node: NodeIndex,
+        attr: AttributeIndex,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.delete_node_attr(node, attr)?;
+            let name = ham.graph(context)?.attr_name(attr)?.to_string();
+            ham.push_redo(RedoOp::DeleteNodeAttr { context, node, attr: name, time });
+            ham.fire(context, Event::AttributeChanged, Some(node), None)?;
+            Ok(())
+        })
+    }
+
+    /// `getNodeAttributeValue: NodeIndex × AttributeIndex × Time → Value`
+    pub fn get_node_attribute_value(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+        attr: AttributeIndex,
+        time: Time,
+    ) -> Result<Value> {
+        let graph = self.graph(context)?;
+        graph.attr_name(attr)?;
+        graph
+            .node(node)?
+            .attrs
+            .get(attr, time)
+            .cloned()
+            .ok_or(HamError::AttributeNotSet { attribute: attr, time })
+    }
+
+    /// `getNodeAttributes: NodeIndex × Time → (Attribute × AttributeIndex × Value)*`
+    pub fn get_node_attributes(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+        time: Time,
+    ) -> Result<Vec<(String, AttributeIndex, Value)>> {
+        let graph = self.graph(context)?;
+        let n = graph.node(node)?;
+        Ok(resolve_attr_names(graph, n.attrs.all_at(time)))
+    }
+
+    /// `setLinkAttributeValue: LinkIndex × AttributeIndex × Value →`
+    pub fn set_link_attribute_value(
+        &mut self,
+        context: ContextId,
+        link: LinkIndex,
+        attr: AttributeIndex,
+        value: Value,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.set_link_attr(link, attr, value.clone())?;
+            let name = ham.graph(context)?.attr_name(attr)?.to_string();
+            ham.push_redo(RedoOp::SetLinkAttr { context, link, attr: name, value, time });
+            ham.fire(context, Event::AttributeChanged, None, Some(link))?;
+            Ok(())
+        })
+    }
+
+    /// `deleteLinkAttribute: LinkIndex × AttributeIndex →`
+    pub fn delete_link_attribute(
+        &mut self,
+        context: ContextId,
+        link: LinkIndex,
+        attr: AttributeIndex,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.delete_link_attr(link, attr)?;
+            let name = ham.graph(context)?.attr_name(attr)?.to_string();
+            ham.push_redo(RedoOp::DeleteLinkAttr { context, link, attr: name, time });
+            ham.fire(context, Event::AttributeChanged, None, Some(link))?;
+            Ok(())
+        })
+    }
+
+    /// `getLinkAttributeValue: LinkIndex × AttributeIndex × Time → Value`
+    pub fn get_link_attribute_value(
+        &self,
+        context: ContextId,
+        link: LinkIndex,
+        attr: AttributeIndex,
+        time: Time,
+    ) -> Result<Value> {
+        let graph = self.graph(context)?;
+        graph.attr_name(attr)?;
+        graph
+            .link(link)?
+            .attrs
+            .get(attr, time)
+            .cloned()
+            .ok_or(HamError::AttributeNotSet { attribute: attr, time })
+    }
+
+    /// `getLinkAttributes: LinkIndex × Time → (Attribute × AttributeIndex × Value)*`
+    pub fn get_link_attributes(
+        &self,
+        context: ContextId,
+        link: LinkIndex,
+        time: Time,
+    ) -> Result<Vec<(String, AttributeIndex, Value)>> {
+        let graph = self.graph(context)?;
+        let l = graph.link(link)?;
+        Ok(resolve_attr_names(graph, l.attrs.all_at(time)))
+    }
+
+    // =====================================================================
+    // A.5 Demon operations
+    // =====================================================================
+
+    /// `setGraphDemonValue: Context × Event × Demon →`
+    ///
+    /// Sets the graph-level demon for `event` (a new version of the demon
+    /// is created); `None` disables it.
+    pub fn set_graph_demon_value(
+        &mut self,
+        context: ContextId,
+        event: Event,
+        demon: Option<DemonSpec>,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            let time = ham.graph_mut(context)?.tick();
+            ham.graph_mut(context)?.graph_demons.set(event, demon.clone(), time);
+            ham.push_redo(RedoOp::SetGraphDemon { context, event, demon, time });
+            Ok(())
+        })
+    }
+
+    /// `getGraphDemons: Context × Time → (Event × Demon)*`
+    pub fn get_graph_demons(
+        &self,
+        context: ContextId,
+        time: Time,
+    ) -> Result<Vec<(Event, DemonSpec)>> {
+        Ok(self.graph(context)?.graph_demons.all_at(time))
+    }
+
+    /// `setNodeDemon: NodeIndex × Event × Demon →`
+    pub fn set_node_demon(
+        &mut self,
+        context: ContextId,
+        node: NodeIndex,
+        event: Event,
+        demon: Option<DemonSpec>,
+    ) -> Result<()> {
+        self.auto_txn(|ham| {
+            ham.note_context(context)?;
+            ham.graph_mut(context)?.live_node(node, Time::CURRENT)?;
+            let time = ham.graph_mut(context)?.tick();
+            let g = ham.graph_mut(context)?;
+            g.node_mut(node)?.demons.set(event, demon.clone(), time);
+            g.node_mut(node)?.record_minor(time, "demon set");
+            ham.push_redo(RedoOp::SetNodeDemon { context, node, event, demon, time });
+            Ok(())
+        })
+    }
+
+    /// `getNodeDemons: NodeIndex × Time → (Event × Demon)*`
+    pub fn get_node_demons(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+        time: Time,
+    ) -> Result<Vec<(Event, DemonSpec)>> {
+        Ok(self.graph(context)?.node(node)?.demons.all_at(time))
+    }
+
+    /// Register a named Rust callback for `DemonAction::Call` demons — the
+    /// §5 "parameterized demons … written in Smalltalk, Modula-2, or C".
+    pub fn register_demon_callback<F>(&mut self, name: impl Into<String>, callback: F)
+    where
+        F: Fn(&DemonFireInfo) + Send + Sync + 'static,
+    {
+        self.registry.register(name, callback);
+    }
+
+    /// The journal of demon firings (notifications, missing callbacks).
+    pub fn demon_journal(&self) -> &[FireRecord] {
+        &self.journal
+    }
+
+    /// Clear the demon journal (e.g. between test phases).
+    pub fn clear_demon_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    // =====================================================================
+    // Transactions (paper §2.2)
+    // =====================================================================
+
+    /// Begin an explicit transaction bundling several primitive operations.
+    pub fn begin_transaction(&mut self) -> Result<u64> {
+        if self.txn.is_some() {
+            return Err(HamError::TransactionState { reason: "transaction already active" });
+        }
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txn = Some(ActiveTxn::new(id));
+        Ok(id)
+    }
+
+    /// Commit the active transaction: its operations become durable (the
+    /// WAL is forced) before this returns.
+    pub fn commit_transaction(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or(HamError::TransactionState { reason: "no active transaction" })?;
+        if txn.redo.is_empty() {
+            return Ok(()); // read-only transaction: nothing to make durable
+        }
+        self.wal.append(txn.id, RecordKind::Begin, Vec::new())?;
+        for op in &txn.redo {
+            self.wal.append(txn.id, RecordKind::Op, op.to_bytes())?;
+        }
+        self.wal.append_commit(txn.id)?;
+        Ok(())
+    }
+
+    /// Abort the active transaction: every context it touched is rolled
+    /// back to its state at transaction start ("complete recovery from any
+    /// aborted transaction").
+    pub fn abort_transaction(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or(HamError::TransactionState { reason: "no active transaction" })?;
+        // Contexts destroyed/overwritten during the txn come back first.
+        for (id, graph) in txn.saved_contexts.into_iter().rev() {
+            let forked_from = self.threads.get(&id).and_then(|t| t.forked_from);
+            self.threads.insert(id, GraphThread { graph, forked_from });
+        }
+        for id in txn.created_contexts {
+            self.threads.remove(&id);
+        }
+        for (context, start) in txn.start_times {
+            if let Some(thread) = self.threads.get_mut(&context) {
+                thread.graph.truncate_after(start);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a transaction is currently active.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Fold the WAL into an atomic snapshot: after this, recovery starts
+    /// from the snapshot instead of replaying history. Also mirrors each
+    /// main-context node's current contents into its per-node file with the
+    /// node's protections (the paper's file-per-node storage model).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(HamError::TransactionState { reason: "cannot checkpoint inside a transaction" });
+        }
+        let bytes = encode_threads(&self.threads);
+        write_snapshot(self.directory.join(SNAPSHOT_FILE), &bytes)?;
+        self.write_meta()?;
+        self.wal.checkpoint()?;
+        // Mirror current node contents to per-node files.
+        let main = &self.threads[&MAIN_CONTEXT].graph;
+        for node in main.nodes() {
+            if node.exists_at(Time::CURRENT) {
+                let contents = node.contents_at(Time::CURRENT)?;
+                self.blobs.put(node.id.0, &contents)?;
+                self.blobs.set_protections(node.id.0, node.protections)?;
+            } else if self.blobs.contains(node.id.0) {
+                self.blobs.delete(node.id.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    // =====================================================================
+    // Contexts: multiple version threads (paper §5)
+    // =====================================================================
+
+    /// Fork a new context ("private world") from `from`, sharing all its
+    /// history up to now.
+    pub fn create_context(&mut self, from: ContextId) -> Result<ContextId> {
+        self.auto_txn(|ham| {
+            let parent = ham.thread(from)?;
+            let fork_time = parent.graph.now();
+            let graph = parent.graph.clone();
+            let id = ContextId(ham.next_context);
+            ham.next_context += 1;
+            ham.threads.insert(id, GraphThread { graph, forked_from: Some((from, fork_time)) });
+            if let Some(txn) = &mut ham.txn {
+                txn.created_contexts.push(id);
+            }
+            ham.push_redo(RedoOp::CreateContext { id, from, time: fork_time });
+            Ok(id)
+        })
+    }
+
+    /// Merge the changes made in `child` since its fork back into its
+    /// parent context. The child remains usable afterwards (re-forked from
+    /// the merge point).
+    pub fn merge_context(
+        &mut self,
+        child: ContextId,
+        policy: ConflictPolicy,
+    ) -> Result<MergeReport> {
+        let (parent_id, fork_time) = self
+            .thread(child)?
+            .forked_from
+            .ok_or(HamError::TransactionState { reason: "cannot merge the main context" })?;
+        self.auto_txn(|ham| {
+            ham.note_context(parent_id)?;
+            let child_graph = ham.thread(child)?.graph.clone();
+            let parent = ham.graph_mut(parent_id)?;
+            let report = merge_context(parent, &child_graph, fork_time, policy)?;
+            let new_fork = ham.graph(parent_id)?.now();
+            if let Some(thread) = ham.threads.get_mut(&child) {
+                thread.forked_from = Some((parent_id, new_fork));
+            }
+            ham.push_redo(RedoOp::MergeContext {
+                child,
+                into: parent_id,
+                policy: policy_tag(policy),
+            });
+            Ok(report)
+        })
+    }
+
+    /// Discard a context and its private history.
+    pub fn destroy_context(&mut self, id: ContextId) -> Result<()> {
+        if id == MAIN_CONTEXT {
+            return Err(HamError::TransactionState { reason: "cannot destroy the main context" });
+        }
+        self.auto_txn(|ham| {
+            let thread = ham.threads.get(&id).ok_or(HamError::NoSuchContext(id))?;
+            if let Some(txn) = &mut ham.txn {
+                txn.saved_contexts.push((id, thread.graph.clone()));
+            }
+            ham.threads.remove(&id);
+            ham.push_redo(RedoOp::DestroyContext { id });
+            Ok(())
+        })
+    }
+
+    /// All live context ids (the main context first).
+    pub fn contexts(&self) -> Vec<ContextId> {
+        let mut ids: Vec<ContextId> = self.threads.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // =====================================================================
+    // Introspection
+    // =====================================================================
+
+    /// The graph's project id.
+    pub fn project_id(&self) -> ProjectId {
+        self.project_id
+    }
+
+    /// The graph directory.
+    pub fn directory(&self) -> &Path {
+        &self.directory
+    }
+
+    /// Read-only access to a context's graph (for tools, browsers, tests).
+    pub fn graph(&self, context: ContextId) -> Result<&HamGraph> {
+        self.threads
+            .get(&context)
+            .map(|t| &t.graph)
+            .ok_or(HamError::NoSuchContext(context))
+    }
+
+    // =====================================================================
+    // Internals
+    // =====================================================================
+
+    fn thread(&self, context: ContextId) -> Result<&GraphThread> {
+        self.threads.get(&context).ok_or(HamError::NoSuchContext(context))
+    }
+
+    fn graph_mut(&mut self, context: ContextId) -> Result<&mut HamGraph> {
+        self.threads
+            .get_mut(&context)
+            .map(|t| &mut t.graph)
+            .ok_or(HamError::NoSuchContext(context))
+    }
+
+    fn note_context(&mut self, context: ContextId) -> Result<()> {
+        let now = self.graph(context)?.now();
+        if let Some(txn) = &mut self.txn {
+            txn.note_context(context, now);
+        }
+        Ok(())
+    }
+
+    fn push_redo(&mut self, op: RedoOp) {
+        if self.replaying {
+            return;
+        }
+        if let Some(txn) = &mut self.txn {
+            txn.redo.push(op);
+        }
+    }
+
+    /// Run `f` inside the active transaction, or wrap it in a single-op
+    /// transaction (begin/commit, abort on error) if none is active.
+    fn auto_txn<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if self.replaying || self.txn.is_some() {
+            return f(self);
+        }
+        self.begin_transaction()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit_transaction()?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = self.abort_transaction();
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether any demon is registered for `event` (graph-level, or on the
+    /// specific node).
+    fn demon_registered(&self, context: ContextId, event: Event, node: Option<NodeIndex>) -> bool {
+        let Ok(graph) = self.graph(context) else { return false };
+        if graph.graph_demons.get(event, Time::CURRENT).is_some() {
+            return true;
+        }
+        if let Some(node) = node {
+            if let Ok(n) = graph.node(node) {
+                return n.demons.get(event, Time::CURRENT).is_some();
+            }
+        }
+        false
+    }
+
+    /// Fire graph-level and node-level demons for `event`.
+    fn fire(
+        &mut self,
+        context: ContextId,
+        event: Event,
+        node: Option<NodeIndex>,
+        link: Option<LinkIndex>,
+    ) -> Result<()> {
+        if self.in_demon || self.replaying {
+            return Ok(());
+        }
+        let graph = self.graph(context)?;
+        let mut demons: Vec<DemonSpec> = Vec::new();
+        if let Some(d) = graph.graph_demons.get(event, Time::CURRENT) {
+            demons.push(d.clone());
+        }
+        if let Some(node_id) = node {
+            if let Ok(n) = graph.node(node_id) {
+                if let Some(d) = n.demons.get(event, Time::CURRENT) {
+                    demons.push(d.clone());
+                }
+            }
+        }
+        if demons.is_empty() {
+            return Ok(());
+        }
+        let info = DemonFireInfo { event, time: graph.now(), node, link };
+        for demon in demons {
+            match &demon.action {
+                DemonAction::Notify(message) => {
+                    self.journal.push(FireRecord {
+                        demon: demon.name.clone(),
+                        info: info.clone(),
+                        message: Some(message.clone()),
+                    });
+                }
+                DemonAction::MarkNode { attr, value } => {
+                    if let Some(node_id) = node {
+                        let attr_idx = {
+                            self.in_demon = true;
+                            let r = self.get_attribute_index(context, attr);
+                            self.in_demon = false;
+                            r?
+                        };
+                        self.in_demon = true;
+                        let result = self.set_node_attribute_value(
+                            context,
+                            node_id,
+                            attr_idx,
+                            value.clone(),
+                        );
+                        self.in_demon = false;
+                        result?;
+                    }
+                    self.journal.push(FireRecord {
+                        demon: demon.name.clone(),
+                        info: info.clone(),
+                        message: None,
+                    });
+                }
+                DemonAction::Call(callback) => {
+                    match self.registry.get(callback).cloned() {
+                        Some(cb) => {
+                            self.in_demon = true;
+                            cb(&info);
+                            self.in_demon = false;
+                            self.journal.push(FireRecord {
+                                demon: demon.name.clone(),
+                                info: info.clone(),
+                                message: None,
+                            });
+                        }
+                        None => {
+                            self.journal.push(FireRecord {
+                                demon: demon.name.clone(),
+                                info: info.clone(),
+                                message: Some(format!("no callback registered for '{callback}'")),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a logged operation during recovery.
+    fn apply_redo(&mut self, op: RedoOp) -> Result<()> {
+        match op {
+            RedoOp::AddNode { context, id, time, keep_history } => {
+                self.graph_mut(context)?.add_node_forced(id, time, keep_history);
+            }
+            RedoOp::DeleteNode { context, id, time } => {
+                let g = self.graph_mut(context)?;
+                g.set_clock(Time(time.0 - 1));
+                g.delete_node(id)?;
+            }
+            RedoOp::AddLink { context, id, from, to, time } => {
+                self.graph_mut(context)?.add_link_forced(id, from, to, time);
+            }
+            RedoOp::DeleteLink { context, id, time } => {
+                let g = self.graph_mut(context)?;
+                g.set_clock(Time(time.0 - 1));
+                g.delete_link(id)?;
+            }
+            RedoOp::ModifyNode { context, id, contents, link_pts, time } => {
+                let g = self.graph_mut(context)?;
+                g.set_clock(Time(time.0 - 1));
+                apply_modify_node(g, id, None, contents, &link_pts)?;
+            }
+            RedoOp::SetNodeAttr { context, node, attr, value, time } => {
+                let g = self.graph_mut(context)?;
+                // The name was interned by an earlier InternAttr record, so
+                // this lookup does not advance the clock.
+                let idx = g.attribute_index(&attr);
+                g.set_clock(Time(time.0 - 1));
+                g.set_node_attr(node, idx, value)?;
+            }
+            RedoOp::DeleteNodeAttr { context, node, attr, time } => {
+                let g = self.graph_mut(context)?;
+                let idx = g.attribute_index(&attr);
+                g.set_clock(Time(time.0 - 1));
+                g.delete_node_attr(node, idx)?;
+            }
+            RedoOp::SetLinkAttr { context, link, attr, value, time } => {
+                let g = self.graph_mut(context)?;
+                let idx = g.attribute_index(&attr);
+                g.set_clock(Time(time.0 - 1));
+                g.set_link_attr(link, idx, value)?;
+            }
+            RedoOp::DeleteLinkAttr { context, link, attr, time } => {
+                let g = self.graph_mut(context)?;
+                let idx = g.attribute_index(&attr);
+                g.set_clock(Time(time.0 - 1));
+                g.delete_link_attr(link, idx)?;
+            }
+            RedoOp::InternAttr { context, name, time } => {
+                let g = self.graph_mut(context)?;
+                g.set_clock(Time(time.0 - 1));
+                g.attribute_index(&name);
+            }
+            RedoOp::SetGraphDemon { context, event, demon, time } => {
+                let g = self.graph_mut(context)?;
+                g.set_clock(time);
+                g.graph_demons.set(event, demon, time);
+            }
+            RedoOp::SetNodeDemon { context, node, event, demon, time } => {
+                let g = self.graph_mut(context)?;
+                g.set_clock(time);
+                g.node_mut(node)?.demons.set(event, demon, time);
+            }
+            RedoOp::ChangeProtection { context, node, protections } => {
+                self.graph_mut(context)?.node_mut(node)?.protections = protections;
+            }
+            RedoOp::CreateContext { id, from, time } => {
+                let parent = self.thread(from)?;
+                let graph = parent.graph.clone();
+                self.next_context = self.next_context.max(id.0 + 1);
+                self.threads.insert(id, GraphThread { graph, forked_from: Some((from, time)) });
+            }
+            RedoOp::MergeContext { child, into, policy } => {
+                let (parent_id, fork_time) = self
+                    .thread(child)?
+                    .forked_from
+                    .ok_or(HamError::NoSuchContext(child))?;
+                debug_assert_eq!(parent_id, into);
+                let child_graph = self.thread(child)?.graph.clone();
+                let parent = self.graph_mut(into)?;
+                merge_context(parent, &child_graph, fork_time, policy_from_tag(policy))?;
+                let new_fork = self.graph(into)?.now();
+                if let Some(thread) = self.threads.get_mut(&child) {
+                    thread.forked_from = Some((into, new_fork));
+                }
+            }
+            RedoOp::DestroyContext { id } => {
+                self.threads.remove(&id);
+            }
+        }
+        Ok(())
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        let mut w = Writer::new();
+        self.project_id.encode(&mut w);
+        self.protections.encode(&mut w);
+        w.put_u64(self.next_context);
+        w.put_u64(self.next_txn);
+        write_snapshot(self.directory.join(META_FILE), w.as_slice())?;
+        Ok(())
+    }
+}
+
+fn policy_tag(p: ConflictPolicy) -> u8 {
+    match p {
+        ConflictPolicy::Fail => 0,
+        ConflictPolicy::PreferChild => 1,
+        ConflictPolicy::PreferParent => 2,
+    }
+}
+
+fn policy_from_tag(tag: u8) -> ConflictPolicy {
+    match tag {
+        1 => ConflictPolicy::PreferChild,
+        2 => ConflictPolicy::PreferParent,
+        _ => ConflictPolicy::Fail,
+    }
+}
+
+fn read_meta(directory: &Path) -> Result<(ProjectId, Protections, u64, u64)> {
+    let bytes = read_snapshot(directory.join(META_FILE))?;
+    let mut r = Reader::new(&bytes);
+    let pid = ProjectId::decode(&mut r)?;
+    let protections = decode_protections(&mut r)?;
+    let next_context = r.get_u64()?;
+    let next_txn = r.get_u64()?;
+    Ok((pid, protections, next_context, next_txn))
+}
+
+fn encode_threads(threads: &HashMap<ContextId, GraphThread>) -> Vec<u8> {
+    let mut ids: Vec<ContextId> = threads.keys().copied().collect();
+    ids.sort_unstable();
+    let mut w = Writer::new();
+    w.put_u64(ids.len() as u64);
+    for id in ids {
+        let t = &threads[&id];
+        id.encode(&mut w);
+        t.forked_from.encode(&mut w);
+        t.graph.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+fn decode_threads(bytes: &[u8]) -> Result<HashMap<ContextId, GraphThread>> {
+    let mut r = Reader::new(bytes);
+    let count = r.get_u64()? as usize;
+    let mut threads = HashMap::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        let id = ContextId::decode(&mut r)?;
+        let forked_from = Option::<(ContextId, Time)>::decode(&mut r)?;
+        let graph = HamGraph::decode(&mut r)?;
+        threads.insert(id, GraphThread { graph, forked_from });
+    }
+    Ok(threads)
+}
+
+/// Generate a fresh project id: unique per creation, stable thereafter
+/// (persisted in the graph's meta file).
+fn fresh_project_id(directory: &Path) -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = RandomState::new().build_hasher();
+    h.write(directory.as_os_str().as_encoded_bytes());
+    let v = h.finish();
+    if v == 0 {
+        1
+    } else {
+        v
+    }
+}
+
+/// Canonical attachment list for a node at a version: every live incident
+/// endpoint visible on that version, ordered by (link index, from-end
+/// first). Returns `(link, is_to_end, LinkPt)`.
+fn canonical_attachments(
+    graph: &HamGraph,
+    node: NodeIndex,
+    time: Time,
+) -> Result<Vec<(LinkIndex, bool, LinkPt)>> {
+    let n = graph.node(node)?;
+    let version = n.resolve_content_time(time)?;
+    let mut out = Vec::new();
+    let mut link_ids = n.incident_links.clone();
+    link_ids.sort_unstable();
+    for link_id in link_ids {
+        let link = graph.link(link_id)?;
+        if !link.exists_at(time) {
+            continue;
+        }
+        for (is_to, end) in [(false, &link.from), (true, &link.to)] {
+            if end.node != node {
+                continue;
+            }
+            if end.track_current {
+                if let Some(pt) = end.linkpt_at(time) {
+                    out.push((link_id, is_to, pt));
+                }
+            } else {
+                // Pinned attachments belong to exactly one version.
+                let pinned_version = n.resolve_content_time(end.pinned_time)?;
+                if pinned_version == version {
+                    if let Some(pt) = end.linkpt_at(time) {
+                        out.push((link_id, is_to, pt));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn endpoint_version(
+    graph: &HamGraph,
+    end: &crate::link::Endpoint,
+    time1: Time,
+) -> Result<(NodeIndex, Time)> {
+    let node = graph.node(end.node)?;
+    let version = if end.track_current {
+        node.resolve_content_time(time1)?
+    } else {
+        node.resolve_content_time(end.pinned_time)?
+    };
+    Ok((end.node, version))
+}
+
+fn resolve_attr_names(
+    graph: &HamGraph,
+    pairs: Vec<(AttributeIndex, Value)>,
+) -> Vec<(String, AttributeIndex, Value)> {
+    pairs
+        .into_iter()
+        .filter_map(|(idx, value)| {
+            graph.attr_table.name(idx).map(|name| (name.to_string(), idx, value))
+        })
+        .collect()
+}
+
+/// Shared implementation of `modifyNode` for live execution (with the
+/// optimistic `expected_time` check) and WAL replay (check skipped).
+fn apply_modify_node(
+    graph: &mut HamGraph,
+    node: NodeIndex,
+    expected_time: Option<Time>,
+    contents: Vec<u8>,
+    link_pts: &[LinkPt],
+) -> Result<Time> {
+    graph.live_node(node, Time::CURRENT)?;
+    let current = graph.node(node)?.current_time();
+    if let Some(expected) = expected_time {
+        if expected != current {
+            return Err(HamError::StaleVersion { node, given: expected, current });
+        }
+    }
+    let attachments = canonical_attachments(graph, node, Time::CURRENT)?;
+    if attachments.len() != link_pts.len() {
+        return Err(HamError::AttachmentMismatch {
+            node,
+            expected: attachments.len(),
+            supplied: link_pts.len(),
+        });
+    }
+    // Validate before mutating: supplied points must refer to this node and
+    // may not move pinned attachments.
+    for ((link_id, is_to, old_pt), new_pt) in attachments.iter().zip(link_pts) {
+        if new_pt.node != node {
+            return Err(HamError::BadEndpoint { node: new_pt.node, time: new_pt.time });
+        }
+        if !old_pt.track_current && new_pt.position != old_pt.position {
+            let _ = (link_id, is_to);
+            return Err(HamError::AttachmentMismatch {
+                node,
+                expected: attachments.len(),
+                supplied: link_pts.len(),
+            });
+        }
+    }
+    let now = graph.tick();
+    graph.node_mut(node)?.modify(contents, now, "modifyNode")?;
+    for ((link_id, is_to, old_pt), new_pt) in attachments.iter().zip(link_pts) {
+        if old_pt.track_current && new_pt.position != old_pt.position {
+            let link = graph.link_mut(*link_id)?;
+            let end = if *is_to { &mut link.to } else { &mut link.from };
+            end.move_to(new_pt.position, now);
+            link.record_version(now, "attachment moved");
+        }
+    }
+    Ok(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("neptune-ham-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fresh(name: &str) -> (Ham, ContextId) {
+        let (ham, _, _) = Ham::create_graph(tmpdir(name), Protections::DEFAULT).unwrap();
+        (ham, MAIN_CONTEXT)
+    }
+
+    #[test]
+    fn create_open_destroy_graph() {
+        let dir = tmpdir("lifecycle");
+        let (ham, pid, created) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+        assert_eq!(created, Time(1));
+        drop(ham);
+        let (ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
+        assert_eq!(ctx, MAIN_CONTEXT);
+        drop(ham);
+        // Wrong pid is rejected.
+        assert!(matches!(
+            Ham::open_graph(ProjectId(pid.0.wrapping_add(1)), &Machine::local(), &dir),
+            Err(HamError::ProjectMismatch { .. })
+        ));
+        Ham::destroy_graph(pid, &dir).unwrap();
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn node_roundtrip_with_versions() {
+        let (mut ham, ctx) = fresh("node-rt");
+        let (n, t0) = ham.add_node(ctx, true).unwrap();
+        let opened = ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap();
+        assert!(opened.contents.is_empty());
+        assert_eq!(opened.current_time, t0);
+
+        ham.modify_node(ctx, n, t0, b"first version\n".to_vec(), &[]).unwrap();
+        let t1 = ham.get_node_time_stamp(ctx, n).unwrap();
+        ham.modify_node(ctx, n, t1, b"second version\n".to_vec(), &[]).unwrap();
+
+        assert_eq!(
+            ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap().contents,
+            b"second version\n".to_vec()
+        );
+        assert_eq!(ham.open_node(ctx, n, t1, &[]).unwrap().contents, b"first version\n".to_vec());
+
+        // Stale modify is rejected.
+        let err = ham.modify_node(ctx, n, t1, b"stale\n".to_vec(), &[]);
+        assert!(matches!(err, Err(HamError::StaleVersion { .. })));
+
+        let (major, _) = ham.get_node_versions(ctx, n).unwrap();
+        assert_eq!(major.len(), 3);
+        let diffs = ham.get_node_differences(ctx, n, t1, Time::CURRENT).unwrap();
+        assert_eq!(diffs.len(), 1);
+    }
+
+    #[test]
+    fn links_and_attachment_motion() {
+        let (mut ham, ctx) = fresh("links");
+        let (a, ta) = ham.add_node(ctx, true).unwrap();
+        let (b, _) = ham.add_node(ctx, true).unwrap();
+        ham.modify_node(ctx, a, ta, b"0123456789".to_vec(), &[]).unwrap();
+        let (l, t_linked) = ham.add_link(ctx, LinkPt::current(a, 4), LinkPt::current(b, 0)).unwrap();
+
+        // openNode reports the attachment.
+        let opened = ham.open_node(ctx, a, Time::CURRENT, &[]).unwrap();
+        assert_eq!(opened.link_pts.len(), 1);
+        assert_eq!(opened.link_pts[0].position, 4);
+
+        // modifyNode must account for it and can move it.
+        let t = opened.current_time;
+        let moved = LinkPt::current(a, 7);
+        ham.modify_node(ctx, a, t, b"0123456789ABC".to_vec(), &[moved]).unwrap();
+        let now_open = ham.open_node(ctx, a, Time::CURRENT, &[]).unwrap();
+        assert_eq!(now_open.link_pts[0].position, 7);
+        // At the time the link was added (before the move) the offset
+        // history still shows the original attachment point.
+        let old_open = ham.open_node(ctx, a, t_linked, &[]).unwrap();
+        assert_eq!(old_open.link_pts[0].position, 4);
+        // Before the link existed, the version had no attachments.
+        let pre_link = ham.open_node(ctx, a, t, &[]).unwrap();
+        assert!(pre_link.link_pts.is_empty());
+
+        // Wrong arity is rejected.
+        let err = ham.modify_node(ctx, a, now_open.current_time, b"x".to_vec(), &[]);
+        assert!(matches!(err, Err(HamError::AttachmentMismatch { .. })));
+
+        // getTo/FromNode.
+        let (to, _) = ham.get_to_node(ctx, l, Time::CURRENT).unwrap();
+        assert_eq!(to, b);
+        let (from, _) = ham.get_from_node(ctx, l, Time::CURRENT).unwrap();
+        assert_eq!(from, a);
+    }
+
+    #[test]
+    fn copy_link_shares_one_end() {
+        let (mut ham, ctx) = fresh("copylink");
+        let (a, _) = ham.add_node(ctx, true).unwrap();
+        let (b, _) = ham.add_node(ctx, true).unwrap();
+        let (c, _) = ham.add_node(ctx, true).unwrap();
+        let (l, _) = ham.add_link(ctx, LinkPt::current(a, 3), LinkPt::current(b, 0)).unwrap();
+        // Keep the source, point to c.
+        let (l2, _) = ham
+            .copy_link(ctx, l, Time::CURRENT, true, LinkPt::current(c, 0))
+            .unwrap();
+        let (from, _) = ham.get_from_node(ctx, l2, Time::CURRENT).unwrap();
+        let (to, _) = ham.get_to_node(ctx, l2, Time::CURRENT).unwrap();
+        assert_eq!((from, to), (a, c));
+        // Keep the destination, source from c.
+        let (l3, _) = ham
+            .copy_link(ctx, l, Time::CURRENT, false, LinkPt::current(c, 1))
+            .unwrap();
+        let (from, _) = ham.get_from_node(ctx, l3, Time::CURRENT).unwrap();
+        let (to, _) = ham.get_to_node(ctx, l3, Time::CURRENT).unwrap();
+        assert_eq!((from, to), (c, b));
+    }
+
+    #[test]
+    fn attributes_via_facade() {
+        let (mut ham, ctx) = fresh("attrs");
+        let (n, _) = ham.add_node(ctx, true).unwrap();
+        let doc = ham.get_attribute_index(ctx, "document").unwrap();
+        assert_eq!(ham.get_attribute_index(ctx, "document").unwrap(), doc);
+        ham.set_node_attribute_value(ctx, n, doc, Value::str("requirements")).unwrap();
+        assert_eq!(
+            ham.get_node_attribute_value(ctx, n, doc, Time::CURRENT).unwrap(),
+            Value::str("requirements")
+        );
+        let all = ham.get_node_attributes(ctx, n, Time::CURRENT).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, "document");
+        let vals = ham.get_attribute_values(ctx, doc, Time::CURRENT).unwrap();
+        assert_eq!(vals, vec![Value::str("requirements")]);
+        ham.delete_node_attribute(ctx, n, doc).unwrap();
+        assert!(ham.get_node_attribute_value(ctx, n, doc, Time::CURRENT).is_err());
+        let names = ham.get_attributes(ctx, Time::CURRENT).unwrap();
+        assert_eq!(names.len(), 1);
+    }
+
+    #[test]
+    fn explicit_transaction_commit_and_abort() {
+        let (mut ham, ctx) = fresh("txn");
+        let (keep, tk) = ham.add_node(ctx, true).unwrap();
+        ham.modify_node(ctx, keep, tk, b"kept\n".to_vec(), &[]).unwrap();
+
+        // Abort: everything inside vanishes.
+        ham.begin_transaction().unwrap();
+        let (doomed, _) = ham.add_node(ctx, true).unwrap();
+        let t = ham.get_node_time_stamp(ctx, keep).unwrap();
+        ham.modify_node(ctx, keep, t, b"should vanish\n".to_vec(), &[]).unwrap();
+        ham.abort_transaction().unwrap();
+        assert!(ham.open_node(ctx, doomed, Time::CURRENT, &[]).is_err());
+        assert_eq!(
+            ham.open_node(ctx, keep, Time::CURRENT, &[]).unwrap().contents,
+            b"kept\n".to_vec()
+        );
+
+        // Commit: annotate-style bundle survives.
+        ham.begin_transaction().unwrap();
+        let (note, tn) = ham.add_node(ctx, true).unwrap();
+        ham.modify_node(ctx, note, tn, b"an annotation\n".to_vec(), &[]).unwrap();
+        let (l, _) = ham.add_link(ctx, LinkPt::current(keep, 2), LinkPt::current(note, 0)).unwrap();
+        let rel = ham.get_attribute_index(ctx, "relation").unwrap();
+        ham.set_link_attribute_value(ctx, l, rel, Value::str("annotates")).unwrap();
+        ham.commit_transaction().unwrap();
+        assert_eq!(
+            ham.get_link_attribute_value(ctx, l, rel, Time::CURRENT).unwrap(),
+            Value::str("annotates")
+        );
+    }
+
+    #[test]
+    fn crash_recovery_replays_committed_transactions() {
+        let dir = tmpdir("recovery");
+        let pid;
+        let node;
+        {
+            let (mut ham, p, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+            pid = p;
+            let (n, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+            node = n;
+            ham.modify_node(MAIN_CONTEXT, n, t0, b"durable contents\n".to_vec(), &[]).unwrap();
+            let doc = ham.get_attribute_index(MAIN_CONTEXT, "document").unwrap();
+            ham.set_node_attribute_value(MAIN_CONTEXT, n, doc, Value::str("spec")).unwrap();
+            // Drop without checkpoint: simulates a crash after commits.
+        }
+        let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
+        let opened = ham.open_node(ctx, node, Time::CURRENT, &[]).unwrap();
+        assert_eq!(opened.contents, b"durable contents\n".to_vec());
+        let doc = ham.get_attribute_index(ctx, "document").unwrap();
+        assert_eq!(
+            ham.get_node_attribute_value(ctx, node, doc, Time::CURRENT).unwrap(),
+            Value::str("spec")
+        );
+        // History survives recovery too.
+        let (major, _) = ham.get_node_versions(ctx, node).unwrap();
+        assert_eq!(major.len(), 2);
+    }
+
+    #[test]
+    fn recovery_after_checkpoint_and_more_commits() {
+        let dir = tmpdir("recovery2");
+        let pid;
+        let node;
+        {
+            let (mut ham, p, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+            pid = p;
+            let (n, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+            node = n;
+            ham.modify_node(MAIN_CONTEXT, n, t0, b"before checkpoint\n".to_vec(), &[]).unwrap();
+            ham.checkpoint().unwrap();
+            let t = ham.get_node_time_stamp(MAIN_CONTEXT, n).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t, b"after checkpoint\n".to_vec(), &[]).unwrap();
+        }
+        let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
+        assert_eq!(
+            ham.open_node(ctx, node, Time::CURRENT, &[]).unwrap().contents,
+            b"after checkpoint\n".to_vec()
+        );
+        // And the pre-checkpoint version is still reachable.
+        let (major, _) = ham.get_node_versions(ctx, node).unwrap();
+        assert_eq!(major.len(), 3);
+    }
+
+    #[test]
+    fn demons_fire_with_parameters() {
+        let (mut ham, ctx) = fresh("demons");
+        let (n, _) = ham.add_node(ctx, true).unwrap();
+        ham.set_graph_demon_value(
+            ctx,
+            Event::NodeModified,
+            Some(DemonSpec::notify("watcher", "node changed")),
+        )
+        .unwrap();
+        ham.set_node_demon(ctx, n, Event::NodeModified, Some(DemonSpec::mark_node("dirtier", "dirty", true)))
+            .unwrap();
+        let t = ham.get_node_time_stamp(ctx, n).unwrap();
+        ham.modify_node(ctx, n, t, b"edited\n".to_vec(), &[]).unwrap();
+
+        let journal = ham.demon_journal();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal[0].demon, "watcher");
+        assert_eq!(journal[0].info.event, Event::NodeModified);
+        assert_eq!(journal[0].info.node, Some(n));
+        assert!(journal[0].info.time > Time(0));
+        // The MarkNode demon actually set the attribute.
+        let dirty = ham.get_attribute_index(ctx, "dirty").unwrap();
+        assert_eq!(
+            ham.get_node_attribute_value(ctx, n, dirty, Time::CURRENT).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn callback_demons_dispatch() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let (mut ham, ctx) = fresh("callbacks");
+        let count = Arc::new(AtomicU64::new(0));
+        let count2 = count.clone();
+        ham.register_demon_callback("counter", move |info| {
+            assert_eq!(info.event, Event::NodeAdded);
+            count2.fetch_add(1, Ordering::SeqCst);
+        });
+        ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::call("adder", "counter")))
+            .unwrap();
+        ham.add_node(ctx, true).unwrap();
+        ham.add_node(ctx, true).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        // Unregistered callback: journaled, not fatal.
+        ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::call("ghost", "missing")))
+            .unwrap();
+        ham.add_node(ctx, true).unwrap();
+        assert!(ham
+            .demon_journal()
+            .last()
+            .unwrap()
+            .message
+            .as_deref()
+            .unwrap()
+            .contains("missing"));
+    }
+
+    #[test]
+    fn demon_versions_are_queryable() {
+        let (mut ham, ctx) = fresh("demonver");
+        ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::notify("v1", "a")))
+            .unwrap();
+        let t1 = ham.graph(ctx).unwrap().now();
+        ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::notify("v2", "b")))
+            .unwrap();
+        ham.set_graph_demon_value(ctx, Event::NodeAdded, None).unwrap();
+        assert_eq!(ham.get_graph_demons(ctx, t1).unwrap()[0].1.name, "v1");
+        assert!(ham.get_graph_demons(ctx, Time::CURRENT).unwrap().is_empty());
+    }
+
+    #[test]
+    fn contexts_fork_and_merge() {
+        let (mut ham, main) = fresh("contexts");
+        let (n, t0) = ham.add_node(main, true).unwrap();
+        ham.modify_node(main, n, t0, b"main line\n".to_vec(), &[]).unwrap();
+
+        let private = ham.create_context(main).unwrap();
+        let t = ham.get_node_time_stamp(private, n).unwrap();
+        ham.modify_node(private, n, t, b"tentative design\n".to_vec(), &[]).unwrap();
+        let (extra, te) = ham.add_node(private, true).unwrap();
+        ham.modify_node(private, extra, te, b"extra node\n".to_vec(), &[]).unwrap();
+
+        // Main is untouched until the merge.
+        assert_eq!(
+            ham.open_node(main, n, Time::CURRENT, &[]).unwrap().contents,
+            b"main line\n".to_vec()
+        );
+        let report = ham.merge_context(private, ConflictPolicy::Fail).unwrap();
+        assert_eq!(report.nodes_modified, vec![n]);
+        assert_eq!(report.nodes_added.len(), 1);
+        assert_eq!(
+            ham.open_node(main, n, Time::CURRENT, &[]).unwrap().contents,
+            b"tentative design\n".to_vec()
+        );
+
+        ham.destroy_context(private).unwrap();
+        assert_eq!(ham.contexts(), vec![main]);
+        assert!(ham.merge_context(private, ConflictPolicy::Fail).is_err());
+    }
+
+    #[test]
+    fn contexts_survive_recovery() {
+        let dir = tmpdir("ctx-recovery");
+        let pid;
+        let private;
+        let node;
+        {
+            let (mut ham, p, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+            pid = p;
+            let (n, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+            node = n;
+            ham.modify_node(MAIN_CONTEXT, n, t0, b"base\n".to_vec(), &[]).unwrap();
+            private = ham.create_context(MAIN_CONTEXT).unwrap();
+            let t = ham.get_node_time_stamp(private, n).unwrap();
+            ham.modify_node(private, n, t, b"private edit\n".to_vec(), &[]).unwrap();
+        }
+        let (mut ham, main) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
+        assert_eq!(ham.contexts(), vec![main, private]);
+        assert_eq!(
+            ham.open_node(private, node, Time::CURRENT, &[]).unwrap().contents,
+            b"private edit\n".to_vec()
+        );
+        assert_eq!(
+            ham.open_node(main, node, Time::CURRENT, &[]).unwrap().contents,
+            b"base\n".to_vec()
+        );
+        // The recovered fork metadata still supports merging.
+        ham.merge_context(private, ConflictPolicy::Fail).unwrap();
+        assert_eq!(
+            ham.open_node(main, node, Time::CURRENT, &[]).unwrap().contents,
+            b"private edit\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn abort_rolls_back_context_operations() {
+        let (mut ham, main) = fresh("ctx-abort");
+        ham.begin_transaction().unwrap();
+        let private = ham.create_context(main).unwrap();
+        ham.add_node(private, true).unwrap();
+        ham.abort_transaction().unwrap();
+        assert_eq!(ham.contexts(), vec![main]);
+
+        // Destroy inside an aborted txn is undone.
+        let keep = ham.create_context(main).unwrap();
+        ham.begin_transaction().unwrap();
+        ham.destroy_context(keep).unwrap();
+        ham.abort_transaction().unwrap();
+        assert!(ham.contexts().contains(&keep));
+    }
+
+    #[test]
+    fn queries_via_facade() {
+        let (mut ham, ctx) = fresh("queries");
+        let doc = ham.get_attribute_index(ctx, "document").unwrap();
+        let (root, _) = ham.add_node(ctx, true).unwrap();
+        let (child, _) = ham.add_node(ctx, true).unwrap();
+        ham.set_node_attribute_value(ctx, root, doc, Value::str("spec")).unwrap();
+        ham.set_node_attribute_value(ctx, child, doc, Value::str("spec")).unwrap();
+        ham.add_link(ctx, LinkPt::current(root, 0), LinkPt::current(child, 0)).unwrap();
+
+        let pred = Predicate::parse("document = spec").unwrap();
+        let q = ham
+            .get_graph_query(ctx, Time::CURRENT, &pred, &Predicate::True, &[doc], &[])
+            .unwrap();
+        assert_eq!(q.nodes.len(), 2);
+        assert_eq!(q.links.len(), 1);
+        assert_eq!(q.nodes[0].1[0], Some(Value::str("spec")));
+
+        let lin = ham
+            .linearize_graph(ctx, root, Time::CURRENT, &Predicate::True, &Predicate::True, &[], &[])
+            .unwrap();
+        assert_eq!(lin.node_ids(), vec![root, child]);
+    }
+
+    #[test]
+    fn protections_apply_at_checkpoint() {
+        let (mut ham, ctx) = fresh("protections");
+        let (n, t0) = ham.add_node(ctx, true).unwrap();
+        ham.modify_node(ctx, n, t0, b"guarded\n".to_vec(), &[]).unwrap();
+        ham.change_node_protection(ctx, n, Protections::READ_ONLY).unwrap();
+        ham.checkpoint().unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let blob = ham.directory().join(NODES_DIR).join(format!("{:016x}.blob", n.0));
+            let mode = std::fs::metadata(blob).unwrap().permissions().mode() & 0o777;
+            assert_eq!(mode, 0o444);
+        }
+        assert_eq!(ham.graph(ctx).unwrap().node(n).unwrap().protections, Protections::READ_ONLY);
+    }
+
+    #[test]
+    fn read_only_ops_write_nothing_to_wal() {
+        let (mut ham, ctx) = fresh("readonly");
+        let (n, _) = ham.add_node(ctx, true).unwrap();
+        let wal_len_before = std::fs::metadata(ham.directory().join(WAL_FILE)).unwrap().len();
+        for _ in 0..10 {
+            ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap();
+            ham.get_node_time_stamp(ctx, n).unwrap();
+        }
+        let wal_len_after = std::fs::metadata(ham.directory().join(WAL_FILE)).unwrap().len();
+        assert_eq!(wal_len_before, wal_len_after);
+    }
+}

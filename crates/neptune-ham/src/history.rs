@@ -1,0 +1,274 @@
+//! Time-indexed versioned cells.
+//!
+//! The HAM keeps *"a complete version history of the hypergraph"* and can
+//! answer any query *at a Time*: attribute values, link attachment offsets,
+//! demons, even whether a node existed. [`Versioned<T>`] is the building
+//! block: an append-only series of `(Time, Option<T>)` entries, where `None`
+//! records a deletion. Queries binary-search for the newest entry at or
+//! before the asked time.
+
+use neptune_storage::codec::{Decode, Encode, Reader, Writer};
+use neptune_storage::error::Result as StorageResult;
+
+use crate::types::Time;
+
+/// An append-only, time-indexed value history.
+///
+/// Invariants: entry times strictly increase; `get_at(Time::CURRENT)` is the
+/// newest entry; a `None` entry means "deleted as of this time".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Versioned<T> {
+    entries: Vec<(Time, Option<T>)>,
+}
+
+impl<T> Default for Versioned<T> {
+    fn default() -> Self {
+        Versioned { entries: Vec::new() }
+    }
+}
+
+impl<T> Versioned<T> {
+    /// An empty history: the value exists at no time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A history with a single initial entry.
+    pub fn with_initial(time: Time, value: T) -> Self {
+        Versioned { entries: vec![(time, Some(value))] }
+    }
+
+    /// Record `value` as of `time`.
+    ///
+    /// `time` must be ≥ every existing entry's time (the graph's version
+    /// clock guarantees this). Setting at an existing newest time replaces
+    /// that entry — several updates inside one clock tick coalesce.
+    pub fn set(&mut self, time: Time, value: T) {
+        self.put(time, Some(value));
+    }
+
+    /// Record a deletion as of `time`.
+    pub fn delete(&mut self, time: Time) {
+        self.put(time, None);
+    }
+
+    fn put(&mut self, time: Time, value: Option<T>) {
+        debug_assert!(!time.is_current(), "cannot write at the CURRENT marker");
+        match self.entries.last_mut() {
+            Some((t, v)) if *t == time => *v = value,
+            Some((t, _)) => {
+                debug_assert!(*t < time, "versioned writes must be in time order");
+                self.entries.push((time, value));
+            }
+            None => self.entries.push((time, value)),
+        }
+    }
+
+    /// The value in effect at `time` (`CURRENT` = newest). `None` if the
+    /// value did not exist (never set, or deleted) at that time.
+    pub fn get_at(&self, time: Time) -> Option<&T> {
+        self.entry_at(time).and_then(|e| e.as_ref())
+    }
+
+    /// The newest value, if it exists.
+    pub fn current(&self) -> Option<&T> {
+        self.get_at(Time::CURRENT)
+    }
+
+    /// Whether a (non-deleted) value exists at `time`.
+    pub fn exists_at(&self, time: Time) -> bool {
+        self.get_at(time).is_some()
+    }
+
+    /// The time of the entry in effect at `time`, if any.
+    pub fn effective_time(&self, time: Time) -> Option<Time> {
+        let idx = self.index_at(time)?;
+        Some(self.entries[idx].0)
+    }
+
+    fn entry_at(&self, time: Time) -> Option<&Option<T>> {
+        let idx = self.index_at(time)?;
+        Some(&self.entries[idx].1)
+    }
+
+    fn index_at(&self, time: Time) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if time.is_current() {
+            return Some(self.entries.len() - 1);
+        }
+        // Newest entry with entry.0 <= time.
+        match self.entries.binary_search_by_key(&time, |e| e.0) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// All `(time, value)` change entries, oldest first (deletions included).
+    pub fn entries(&self) -> impl Iterator<Item = (Time, Option<&T>)> {
+        self.entries.iter().map(|(t, v)| (*t, v.as_ref()))
+    }
+
+    /// Times at which the value changed, oldest first.
+    pub fn change_times(&self) -> Vec<Time> {
+        self.entries.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Number of recorded changes.
+    pub fn change_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove every entry with time strictly greater than `time`.
+    ///
+    /// This is the primitive behind transaction rollback: aborting a
+    /// transaction truncates all versioned state back to the transaction's
+    /// start time. Returns true if anything was removed.
+    pub fn truncate_after(&mut self, time: Time) -> bool {
+        let keep = self.entries.partition_point(|(t, _)| *t <= time);
+        if keep < self.entries.len() {
+            self.entries.truncate(keep);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T: Encode> Encode for Versioned<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.entries.len() as u64);
+        for (t, v) in &self.entries {
+            t.encode(w);
+            v.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Versioned<T> {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let count = r.get_u64()? as usize;
+        let mut entries = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            let t = Time::decode(r)?;
+            let v = Option::<T>::decode(r)?;
+            entries.push((t, v));
+        }
+        Ok(Versioned { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_has_no_value() {
+        let v: Versioned<u64> = Versioned::new();
+        assert!(v.current().is_none());
+        assert!(!v.exists_at(Time(5)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn values_are_visible_from_their_time_onward() {
+        let mut v = Versioned::new();
+        v.set(Time(10), "first");
+        v.set(Time(20), "second");
+        assert_eq!(v.get_at(Time(9)), None);
+        assert_eq!(v.get_at(Time(10)), Some(&"first"));
+        assert_eq!(v.get_at(Time(15)), Some(&"first"));
+        assert_eq!(v.get_at(Time(20)), Some(&"second"));
+        assert_eq!(v.get_at(Time(99)), Some(&"second"));
+        assert_eq!(v.current(), Some(&"second"));
+    }
+
+    #[test]
+    fn deletion_is_part_of_history() {
+        let mut v = Versioned::new();
+        v.set(Time(1), 100u64);
+        v.delete(Time(5));
+        v.set(Time(9), 200);
+        assert_eq!(v.get_at(Time(1)), Some(&100));
+        assert_eq!(v.get_at(Time(4)), Some(&100));
+        assert_eq!(v.get_at(Time(5)), None);
+        assert_eq!(v.get_at(Time(8)), None);
+        assert_eq!(v.get_at(Time(9)), Some(&200));
+        assert!(!v.exists_at(Time(6)));
+        assert!(v.exists_at(Time::CURRENT));
+    }
+
+    #[test]
+    fn same_tick_updates_coalesce() {
+        let mut v = Versioned::new();
+        v.set(Time(3), 1u64);
+        v.set(Time(3), 2);
+        assert_eq!(v.change_count(), 1);
+        assert_eq!(v.current(), Some(&2));
+    }
+
+    #[test]
+    fn effective_time_reports_the_entry_in_force() {
+        let mut v = Versioned::new();
+        v.set(Time(10), 'a');
+        v.set(Time(20), 'b');
+        assert_eq!(v.effective_time(Time(15)), Some(Time(10)));
+        assert_eq!(v.effective_time(Time(20)), Some(Time(20)));
+        assert_eq!(v.effective_time(Time::CURRENT), Some(Time(20)));
+        assert_eq!(v.effective_time(Time(5)), None);
+    }
+
+    #[test]
+    fn truncate_after_rolls_back() {
+        let mut v = Versioned::new();
+        v.set(Time(1), 1u64);
+        v.set(Time(5), 2);
+        v.set(Time(9), 3);
+        assert!(v.truncate_after(Time(5)));
+        assert_eq!(v.current(), Some(&2));
+        assert_eq!(v.change_count(), 2);
+        assert!(!v.truncate_after(Time(5)));
+        assert!(v.truncate_after(Time(0)) || v.is_empty() || v.change_count() == 0);
+    }
+
+    #[test]
+    fn truncate_to_time_zero_empties() {
+        let mut v = Versioned::new();
+        v.set(Time(1), 1u64);
+        v.truncate_after(Time(0));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut v: Versioned<String> = Versioned::new();
+        v.set(Time(2), "x".into());
+        v.delete(Time(4));
+        v.set(Time(6), "y".into());
+        let decoded = Versioned::<String>::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn with_initial_constructor() {
+        let v = Versioned::with_initial(Time(3), 7u64);
+        assert_eq!(v.get_at(Time(3)), Some(&7));
+        assert_eq!(v.get_at(Time(2)), None);
+    }
+
+    #[test]
+    fn entries_iterator_includes_deletions() {
+        let mut v = Versioned::new();
+        v.set(Time(1), 1u64);
+        v.delete(Time(2));
+        let entries: Vec<_> = v.entries().collect();
+        assert_eq!(entries, vec![(Time(1), Some(&1)), (Time(2), None)]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # neptune-ham
+//!
+//! The **Hypertext Abstract Machine** (HAM) from *"Neptune: a Hypertext
+//! System for CAD Applications"* (Delisle & Schwartz, SIGMOD 1986) — a
+//! transaction-based, fully versioned hypergraph store.
+//!
+//! The paper's Appendix specifies the HAM as a set of operations over
+//! nodes, links, attributes, and demons; [`ham::Ham`] implements every one
+//! of them under its paper name (`createGraph` … `getNodeDemons`), plus the
+//! §5 extensions the authors describe as in progress: **multiple version
+//! threads** ([`context`]) and **parameterized demons** ([`demons`]).
+//!
+//! Layering (paper §3): applications sit on top of this crate
+//! (`neptune-document`, `neptune-case`), and a network server wraps it
+//! (`neptune-server`). Storage mechanics (backward deltas, WAL, snapshots)
+//! come from `neptune-storage`.
+
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod context;
+pub mod demons;
+pub mod error;
+pub mod graph;
+pub mod ham;
+pub mod history;
+pub mod link;
+pub mod node;
+pub mod predicate;
+pub mod query;
+pub mod txn;
+pub mod types;
+pub mod value;
+
+pub use demons::{DemonAction, DemonFireInfo, DemonRegistry, DemonSpec, Event};
+pub use error::{HamError, Result};
+pub use graph::HamGraph;
+pub use ham::Ham;
+pub use predicate::Predicate;
+pub use types::{
+    AttributeIndex, ContextId, LinkIndex, LinkPt, Machine, NodeIndex, Position, ProjectId,
+    Protections, Time, Version, MAIN_CONTEXT,
+};
+pub use value::Value;

@@ -1,0 +1,232 @@
+//! Tokenizer for predicate text.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare identifier or keyword.
+    Ident(String),
+    /// A double-quoted string (quotes stripped, `\"` and `\\` unescaped).
+    Quoted(String),
+    /// A numeric literal, kept as text for the value parser.
+    Number(String),
+    /// `=` or `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `&` (synonym for `and`)
+    Amp,
+    /// `|` (synonym for `or`)
+    Pipe,
+    /// `!` (synonym for `not`)
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Quoted(s) => write!(f, "\"{s}\""),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '.' | '-')
+}
+
+/// Tokenize `text`, or report the offending character position.
+pub fn lex(text: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '=' => {
+                // Accept both `=` and `==`.
+                i += if chars.get(i + 1) == Some(&'=') { 2 } else { 1 };
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(format!("unterminated string at offset {i}")),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => match chars.get(i + 1) {
+                            Some('"') => {
+                                s.push('"');
+                                i += 2;
+                            }
+                            Some('\\') => {
+                                s.push('\\');
+                                i += 2;
+                            }
+                            _ => return Err(format!("bad escape at offset {i}")),
+                        },
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Quoted(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                tokens.push(Token::Number(chars[start..i].iter().collect()));
+            }
+            c if is_ident_char(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(format!("unexpected character '{other}' at offset {i}")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_example() {
+        let tokens = lex("document = requirements").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("document".into()),
+                Token::Eq,
+                Token::Ident("requirements".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(lex("= == != < <= > >=").unwrap(), vec![
+            Token::Eq,
+            Token::Eq,
+            Token::Ne,
+            Token::Lt,
+            Token::Le,
+            Token::Gt,
+            Token::Ge
+        ]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            lex(r#""he said \"hi\" \\ done""#).unwrap(),
+            vec![Token::Quoted(r#"he said "hi" \ done"#.into())]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(lex("42 -7 2.5").unwrap(), vec![
+            Token::Number("42".into()),
+            Token::Number("-7".into()),
+            Token::Number("2.5".into())
+        ]);
+    }
+
+    #[test]
+    fn identifier_charset() {
+        assert_eq!(lex("content-type code.type snake_case").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("bad escape: \"\\x\"").is_err());
+        assert!(lex("a = é").is_ok()); // alphabetic chars are identifier chars
+        assert!(lex("a = €").is_err()); // currency symbols are not
+        assert!(lex("a = ;").is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The HAM's predicate language.
+//!
+//! Paper §3: both query mechanisms *"use predicates based on
+//! attribute/value pairs to determine which nodes and links satisfy the
+//! query"*, giving the example `document = requirements`. The appendix
+//! types them as `Predicate: a Boolean formula in terms of attributes and
+//! their values`.
+//!
+//! Grammar (case-sensitive keywords, `|`/`&`/`!` accepted as synonyms):
+//!
+//! ```text
+//! pred    := or
+//! or      := and  ( ("or"  | "|") and )*
+//! and     := unary( ("and" | "&") unary )*
+//! unary   := ("not" | "!") unary | primary
+//! primary := "(" pred ")" | "true" | "false"
+//!          | "exists" "(" attr ")"
+//!          | attr cmp literal
+//! cmp     := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+//! attr    := identifier | quoted string
+//! literal := quoted string | integer | float | "true" | "false" | bareword
+//! ```
+//!
+//! Missing attributes fail every comparison (including `!=`); use
+//! `not exists(attr)` to select objects lacking an attribute.
+
+mod lexer;
+mod parser;
+
+pub use parser::parse;
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::value::Value;
+
+/// Comparison operators usable in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` / `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator's source text.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A parsed Boolean formula over attribute/value pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true — the default "visibility predicate" showing everything.
+    True,
+    /// Always false.
+    False,
+    /// `attr op literal`.
+    Cmp {
+        /// The attribute name.
+        attr: String,
+        /// The comparison.
+        op: CmpOp,
+        /// The literal to compare against.
+        value: Value,
+    },
+    /// `exists(attr)` — the attribute has a value.
+    Exists(String),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Parse predicate source text.
+    ///
+    /// ```
+    /// use neptune_ham::{Predicate, Value};
+    /// let p = Predicate::parse("document = requirements and version > 3").unwrap();
+    /// let lookup = |name: &str| match name {
+    ///     "document" => Some(Value::str("requirements")),
+    ///     "version" => Some(Value::Int(4)),
+    ///     _ => None,
+    /// };
+    /// assert!(p.matches(&lookup));
+    /// ```
+    pub fn parse(text: &str) -> Result<Predicate, String> {
+        parse(text)
+    }
+
+    /// Evaluate against an attribute lookup function.
+    ///
+    /// `lookup` returns the value of a named attribute for the object under
+    /// test (at whatever time the caller has fixed), or `None` if unset.
+    pub fn matches<F>(&self, lookup: &F) -> bool
+    where
+        F: Fn(&str) -> Option<Value>,
+    {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Cmp { attr, op, value } => match lookup(attr) {
+                Some(actual) => actual
+                    .partial_cmp_same_type(value)
+                    .map(|ord| op.eval(ord))
+                    .unwrap_or(false),
+                None => false,
+            },
+            Predicate::Exists(attr) => lookup(attr).is_some(),
+            Predicate::Not(p) => !p.matches(lookup),
+            Predicate::And(a, b) => a.matches(lookup) && b.matches(lookup),
+            Predicate::Or(a, b) => a.matches(lookup) || b.matches(lookup),
+        }
+    }
+
+    /// If this predicate (possibly under conjunctions) requires
+    /// `attr = value` for some attribute, return one such pair. This is the
+    /// hook the query planner uses to consult the attribute value index
+    /// instead of scanning every node (experiment E3's ablation).
+    pub fn index_hint(&self) -> Option<(&str, &Value)> {
+        match self {
+            Predicate::Cmp { attr, op: CmpOp::Eq, value } => Some((attr.as_str(), value)),
+            Predicate::And(a, b) => a.index_hint().or_else(|| b.index_hint()),
+            _ => None,
+        }
+    }
+
+    /// Build `a and b`, simplifying around `True`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Cmp { attr, op, value } => {
+                let lit = match value {
+                    Value::Str(s) => format!("\"{s}\""),
+                    other => other.to_string(),
+                };
+                write!(f, "{attr} {} {lit}", op.symbol())
+            }
+            Predicate::Exists(attr) => write!(f, "exists({attr})"),
+            Predicate::Not(p) => write!(f, "not ({p})"),
+            Predicate::And(a, b) => write!(f, "({a}) and ({b})"),
+            Predicate::Or(a, b) => write!(f, "({a}) or ({b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup_fixture(attr: &str) -> Option<Value> {
+        match attr {
+            "document" => Some(Value::str("requirements")),
+            "version" => Some(Value::Int(4)),
+            "reviewed" => Some(Value::Bool(true)),
+            "score" => Some(Value::Float(2.5)),
+            _ => None,
+        }
+    }
+
+    fn eval(text: &str) -> bool {
+        Predicate::parse(text).unwrap().matches(&lookup_fixture)
+    }
+
+    #[test]
+    fn paper_example_predicate() {
+        // §3: "The node visibility predicate 'document = requirements'".
+        assert!(eval("document = requirements"));
+        assert!(!eval("document = design"));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(eval("version = 4"));
+        assert!(eval("version != 3"));
+        assert!(eval("version > 3"));
+        assert!(eval("version >= 4"));
+        assert!(eval("version < 5"));
+        assert!(eval("version <= 4"));
+        assert!(!eval("version > 4"));
+        assert!(eval("score > 2.0"));
+        assert!(eval("reviewed = true"));
+    }
+
+    #[test]
+    fn missing_attributes_fail_all_comparisons() {
+        assert!(!eval("owner = norm"));
+        assert!(!eval("owner != norm"));
+        assert!(!eval("owner < zzz"));
+        assert!(eval("not exists(owner)"));
+        assert!(eval("exists(document)"));
+    }
+
+    #[test]
+    fn cross_type_comparisons_fail() {
+        assert!(!eval("version = \"4\""));
+        assert!(!eval("document = 4"));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        assert!(eval("document = requirements and version = 4"));
+        assert!(!eval("document = requirements and version = 5"));
+        assert!(eval("document = design or version = 4"));
+        assert!(eval("not document = design"));
+        assert!(eval("document = requirements & reviewed = true"));
+        assert!(eval("document = design | reviewed = true"));
+        assert!(eval("! document = design"));
+    }
+
+    #[test]
+    fn precedence_or_lower_than_and() {
+        // a or b and c  ==  a or (b and c)
+        assert!(eval("document = requirements or document = design and version = 99"));
+        assert!(!eval("(document = requirements or document = design) and version = 99"));
+    }
+
+    #[test]
+    fn parens_and_constants() {
+        assert!(eval("true"));
+        assert!(!eval("false"));
+        assert!(eval("(true)"));
+        assert!(eval("not false"));
+    }
+
+    #[test]
+    fn quoted_strings_and_attrs() {
+        assert!(eval("document = \"requirements\""));
+        assert!(eval("\"document\" = requirements"));
+    }
+
+    #[test]
+    fn display_reparses_to_equivalent_predicate() {
+        for text in [
+            "document = requirements and version > 3",
+            "not exists(owner) or reviewed = true",
+            "true",
+            "score >= 2.5",
+        ] {
+            let p = Predicate::parse(text).unwrap();
+            let p2 = Predicate::parse(&p.to_string()).unwrap();
+            assert_eq!(p.matches(&lookup_fixture), p2.matches(&lookup_fixture), "{text}");
+        }
+    }
+
+    #[test]
+    fn index_hint_finds_equality_under_conjunction() {
+        let p = Predicate::parse("version > 3 and document = requirements").unwrap();
+        let (attr, value) = p.index_hint().unwrap();
+        assert_eq!(attr, "document");
+        assert_eq!(value, &Value::str("requirements"));
+        assert!(Predicate::parse("version > 3").unwrap().index_hint().is_none());
+        assert!(Predicate::parse("a = 1 or b = 2").unwrap().index_hint().is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Predicate::parse("").is_err());
+        assert!(Predicate::parse("document =").is_err());
+        assert!(Predicate::parse("and document = x").is_err());
+        assert!(Predicate::parse("(document = x").is_err());
+        assert!(Predicate::parse("document = x extra").is_err());
+        assert!(Predicate::parse("exists document").is_err());
+    }
+
+    #[test]
+    fn and_builder_simplifies_true() {
+        let p = Predicate::True.and(Predicate::Exists("x".into()));
+        assert_eq!(p, Predicate::Exists("x".into()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Recursive-descent parser for predicate text.
+
+use super::lexer::{lex, Token};
+use super::{CmpOp, Predicate};
+use crate::value::Value;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse predicate source text into a [`Predicate`].
+pub fn parse(text: &str) -> Result<Predicate, String> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let pred = p.or_expr()?;
+    match p.peek() {
+        None => Ok(pred),
+        Some(t) => Err(format!("unexpected trailing token '{t}'")),
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), String> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(format!("expected {what}, found '{t}'")),
+            None => Err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, String> {
+        let mut left = self.and_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::Pipe) => {
+                    self.pos += 1;
+                }
+                Some(Token::Ident(s)) if s == "or" => {
+                    self.pos += 1;
+                }
+                _ => return Ok(left),
+            }
+            let right = self.and_expr()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, String> {
+        let mut left = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Amp) => {
+                    self.pos += 1;
+                }
+                Some(Token::Ident(s)) if s == "and" => {
+                    self.pos += 1;
+                }
+                _ => return Ok(left),
+            }
+            let right = self.unary()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Predicate, String> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Predicate::Not(Box::new(self.unary()?)))
+            }
+            Some(Token::Ident(s)) if s == "not" => {
+                self.pos += 1;
+                Ok(Predicate::Not(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Predicate, String> {
+        match self.next() {
+            Some(Token::LParen) => {
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) if name == "true" && !self.comparison_follows() => {
+                Ok(Predicate::True)
+            }
+            Some(Token::Ident(name)) if name == "false" && !self.comparison_follows() => {
+                Ok(Predicate::False)
+            }
+            Some(Token::Ident(name)) if name == "exists" => {
+                self.expect(&Token::LParen, "'(' after exists")?;
+                let attr = match self.next() {
+                    Some(Token::Ident(a)) => a,
+                    Some(Token::Quoted(a)) => a,
+                    Some(t) => return Err(format!("expected attribute name, found '{t}'")),
+                    None => return Err("expected attribute name, found end of input".into()),
+                };
+                self.expect(&Token::RParen, "')' after exists(attr")?;
+                Ok(Predicate::Exists(attr))
+            }
+            Some(Token::Ident(attr)) => self.comparison(attr),
+            Some(Token::Quoted(attr)) => self.comparison(attr),
+            Some(t) => Err(format!("expected a predicate, found '{t}'")),
+            None => Err("expected a predicate, found end of input".into()),
+        }
+    }
+
+    /// Whether the next token begins a comparison (so that an attribute
+    /// named `true` can still appear on the left of `=`).
+    fn comparison_follows(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge)
+        )
+    }
+
+    fn comparison(&mut self, attr: String) -> Result<Predicate, String> {
+        let op = match self.next() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(t) => return Err(format!("expected a comparison operator, found '{t}'")),
+            None => return Err("expected a comparison operator, found end of input".into()),
+        };
+        let value = match self.next() {
+            Some(Token::Quoted(s)) => Value::Str(s),
+            Some(Token::Number(n)) => Value::parse_literal(&n),
+            Some(Token::Ident(w)) => Value::parse_literal(&w),
+            Some(t) => return Err(format!("expected a literal, found '{t}'")),
+            None => return Err("expected a literal, found end of input".into()),
+        };
+        Ok(Predicate::Cmp { attr, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comparison_shapes() {
+        assert_eq!(
+            parse("contentType = sourceCode").unwrap(),
+            Predicate::Cmp {
+                attr: "contentType".into(),
+                op: CmpOp::Eq,
+                value: Value::str("sourceCode")
+            }
+        );
+        assert!(matches!(parse("n >= 10").unwrap(), Predicate::Cmp { op: CmpOp::Ge, .. }));
+    }
+
+    #[test]
+    fn attribute_named_true_can_compare() {
+        let p = parse("true = yes").unwrap();
+        assert!(matches!(p, Predicate::Cmp { .. }));
+        assert_eq!(parse("true").unwrap(), Predicate::True);
+    }
+
+    #[test]
+    fn nested_structure() {
+        let p = parse("a = 1 and (b = 2 or not c = 3)").unwrap();
+        match p {
+            Predicate::And(_, rhs) => match *rhs {
+                Predicate::Or(_, not_part) => {
+                    assert!(matches!(*not_part, Predicate::Not(_)));
+                }
+                other => panic!("expected Or, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let err = parse("a = ").unwrap_err();
+        assert!(err.contains("literal"), "{err}");
+        let err = parse("a b").unwrap_err();
+        assert!(err.contains("comparison"), "{err}");
+        let err = parse("a = 1 b = 2").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Attribute values.
+//!
+//! Paper §3: *"Attribute names and values tend therefore to be short strings
+//! of characters."* Strings are the paper's canonical case, but the CASE
+//! examples also want numbers ("version > 3") and flags, so `Value` is a
+//! small typed union. Comparisons are defined within a type; cross-type
+//! comparisons are always false, so predicates never conflate `"3"` and `3`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use neptune_storage::codec::{Decode, Encode, Reader, Writer};
+use neptune_storage::error::{Result as StorageResult, StorageError};
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A short character string — the paper's canonical value kind.
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A floating-point number (e.g. coordinates in graphics nodes).
+    Float(f64),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Compare two values if they are of the same kind.
+    pub fn partial_cmp_same_type(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            _ => None,
+        }
+    }
+
+    /// A stable name for the value's kind.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Float(_) => "float",
+        }
+    }
+
+    /// Parse a literal as it appears in predicate text: quoted strings,
+    /// integer and float literals, `true`/`false`; anything else is treated
+    /// as a bare-word string (the paper writes `document = requirements`).
+    pub fn parse_literal(text: &str) -> Value {
+        if let Some(stripped) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+            return Value::Str(stripped.to_string());
+        }
+        if text == "true" {
+            return Value::Bool(true);
+        }
+        if text == "false" {
+            return Value::Bool(false);
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(x) = text.parse::<f64>() {
+            return Value::Float(x);
+        }
+        Value::Str(text.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Str(s) => {
+                w.put_u8(0);
+                w.put_str(s);
+            }
+            Value::Int(i) => {
+                w.put_u8(1);
+                w.put_i64(*i);
+            }
+            Value::Bool(b) => {
+                w.put_u8(2);
+                w.put_bool(*b);
+            }
+            Value::Float(x) => {
+                w.put_u8(3);
+                w.put_f64(*x);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => Value::Str(r.get_str()?.to_owned()),
+            1 => Value::Int(r.get_i64()?),
+            2 => Value::Bool(r.get_bool()?),
+            3 => Value::Float(r.get_f64()?),
+            tag => return Err(StorageError::InvalidTag { context: "Value", tag: tag as u64 }),
+        })
+    }
+}
+
+/// A canonical byte key for indexing values (value-equality keyed maps).
+/// Floats key by bit pattern, so `-0.0` and `0.0` index separately even
+/// though they compare equal — acceptable for an index accelerator, since
+/// lookups fall back to predicate evaluation.
+pub fn value_index_key(v: &Value) -> Vec<u8> {
+    let mut key = Vec::new();
+    match v {
+        Value::Str(s) => {
+            key.push(0);
+            key.extend_from_slice(s.as_bytes());
+        }
+        Value::Int(i) => {
+            key.push(1);
+            key.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Bool(b) => {
+            key.push(2);
+            key.push(*b as u8);
+        }
+        Value::Float(x) => {
+            key.push(3);
+            key.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    key
+}
+
+/// Canonical ordering of values by their index key, for deterministic
+/// result ordering in query results.
+pub fn value_index_key_cmp(a: &Value, b: &Value) -> Ordering {
+    value_index_key(a).cmp(&value_index_key(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_type_comparisons() {
+        assert_eq!(
+            Value::str("a").partial_cmp_same_type(&Value::str("b")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(3).partial_cmp_same_type(&Value::Int(3)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Float(1.0).partial_cmp_same_type(&Value::Float(2.0)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn cross_type_comparisons_are_none() {
+        assert_eq!(Value::Int(3).partial_cmp_same_type(&Value::str("3")), None);
+        assert_eq!(Value::Bool(true).partial_cmp_same_type(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn literal_parsing() {
+        assert_eq!(Value::parse_literal("\"quoted\""), Value::str("quoted"));
+        assert_eq!(Value::parse_literal("requirements"), Value::str("requirements"));
+        assert_eq!(Value::parse_literal("42"), Value::Int(42));
+        assert_eq!(Value::parse_literal("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_literal("2.5"), Value::Float(2.5));
+        assert_eq!(Value::parse_literal("true"), Value::Bool(true));
+        assert_eq!(Value::parse_literal("false"), Value::Bool(false));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        for v in [Value::str("x"), Value::Int(-9), Value::Bool(true), Value::Float(1.5)] {
+            assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn index_keys_distinguish_types_and_values() {
+        let keys: Vec<Vec<u8>> = [
+            Value::str("1"),
+            Value::Int(1),
+            Value::Bool(true),
+            Value::Float(1.0),
+            Value::str("2"),
+        ]
+        .iter()
+        .map(value_index_key)
+        .collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+        assert_eq!(value_index_key(&Value::Int(5)), value_index_key(&Value::Int(5)));
+    }
+
+    #[test]
+    fn display_is_plain() {
+        assert_eq!(Value::str("doc").to_string(), "doc");
+        assert_eq!(Value::Int(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the predicate language: display/parse roundtrips,
+//! evaluation laws, and decoder robustness.
+
+use proptest::prelude::*;
+
+use neptune_ham::predicate::{CmpOp, Predicate};
+use neptune_ham::value::Value;
+
+fn attr_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(s.as_str(), "and" | "or" | "not" | "exists" | "true" | "false")
+    })
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(Value::Str),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        Just(Predicate::False),
+        (attr_name(), cmp_op(), literal())
+            .prop_map(|(attr, op, value)| Predicate::Cmp { attr, op, value }),
+        attr_name().prop_map(Predicate::Exists),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|p| Predicate::Not(Box::new(p))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// A small environment of attribute values to evaluate against.
+fn environment() -> impl Strategy<Value = Vec<(String, Value)>> {
+    proptest::collection::vec((attr_name(), literal()), 0..6)
+}
+
+fn lookup<'a>(env: &'a [(String, Value)]) -> impl Fn(&str) -> Option<Value> + 'a {
+    move |name: &str| env.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+}
+
+proptest! {
+    /// display → parse preserves evaluation on every environment tested.
+    #[test]
+    fn display_parse_preserves_semantics(p in predicate(), env in environment()) {
+        let text = p.to_string();
+        let reparsed = Predicate::parse(&text)
+            .unwrap_or_else(|e| panic!("display output must reparse: '{text}': {e}"));
+        prop_assert_eq!(
+            p.matches(&lookup(&env)),
+            reparsed.matches(&lookup(&env)),
+            "text: {}", text
+        );
+    }
+
+    /// Boolean laws hold under evaluation.
+    #[test]
+    fn evaluation_laws(p in predicate(), q in predicate(), env in environment()) {
+        let l = lookup(&env);
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        prop_assert_eq!(not_p.matches(&l), !p.matches(&l));
+        let and = Predicate::And(Box::new(p.clone()), Box::new(q.clone()));
+        prop_assert_eq!(and.matches(&l), p.matches(&l) && q.matches(&l));
+        let or = Predicate::Or(Box::new(p.clone()), Box::new(q.clone()));
+        prop_assert_eq!(or.matches(&l), p.matches(&l) || q.matches(&l));
+        // and(True) is identity.
+        prop_assert_eq!(p.clone().and(Predicate::True).matches(&l), p.matches(&l));
+    }
+
+    /// The index hint never changes results: a predicate with an equality
+    /// hint matches an object iff the object carries that value.
+    #[test]
+    fn index_hint_is_sound(p in predicate(), env in environment()) {
+        if let Some((attr, value)) = p.index_hint() {
+            if p.matches(&lookup(&env)) {
+                // Everything the predicate accepts must satisfy the hint.
+                let actual = lookup(&env)(attr);
+                prop_assert_eq!(
+                    actual.as_ref(),
+                    Some(value),
+                    "hint ({} = {}) must hold on accepted env", attr, value
+                );
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the parser.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,60}") {
+        let _ = Predicate::parse(&text);
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests for HAM invariants.
+//!
+//! The central invariants under test:
+//! * any random sequence of HAM operations leaves every historical query
+//!   answerable (complete version history);
+//! * aborting a transaction restores the exact pre-transaction state;
+//! * persistence (snapshot + WAL replay) reproduces the exact state;
+//! * `Versioned<T>` behaves like an append-only map from time to value.
+
+use proptest::prelude::*;
+
+use neptune_ham::graph::HamGraph;
+use neptune_ham::history::Versioned;
+use neptune_ham::predicate::Predicate;
+use neptune_ham::query::get_graph_query;
+use neptune_ham::types::{LinkPt, NodeIndex, ProjectId, Time};
+use neptune_ham::value::Value;
+
+use neptune_storage::codec::{Decode, Encode};
+
+/// A randomized mutation against a graph.
+#[derive(Debug, Clone)]
+enum GraphOp {
+    AddNode(bool),
+    DeleteNode(usize),
+    AddLink(usize, usize, u64),
+    DeleteLink(usize),
+    ModifyNode(usize, Vec<u8>),
+    SetAttr(usize, u8, u8),
+    DeleteAttr(usize, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = GraphOp> {
+    prop_oneof![
+        any::<bool>().prop_map(GraphOp::AddNode),
+        (any::<usize>()).prop_map(GraphOp::DeleteNode),
+        (any::<usize>(), any::<usize>(), 0u64..100).prop_map(|(a, b, o)| GraphOp::AddLink(a, b, o)),
+        (any::<usize>()).prop_map(GraphOp::DeleteLink),
+        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(n, c)| GraphOp::ModifyNode(n, c)),
+        (any::<usize>(), any::<u8>(), any::<u8>()).prop_map(|(n, a, v)| GraphOp::SetAttr(n, a % 4, v)),
+        (any::<usize>(), any::<u8>()).prop_map(|(n, a)| GraphOp::DeleteAttr(n, a % 4)),
+    ]
+}
+
+const ATTR_NAMES: [&str; 4] = ["document", "contentType", "status", "owner"];
+
+/// Apply an op, mapping arbitrary indices onto live objects; unmatched ops
+/// become no-ops so every generated sequence is valid.
+fn apply(graph: &mut HamGraph, op: &GraphOp) {
+    let live_nodes: Vec<NodeIndex> = graph
+        .nodes()
+        .filter(|n| n.exists_at(Time::CURRENT))
+        .map(|n| n.id)
+        .collect();
+    let live_links: Vec<_> = graph
+        .links()
+        .filter(|l| l.exists_at(Time::CURRENT))
+        .map(|l| l.id)
+        .collect();
+    match op {
+        GraphOp::AddNode(keep) => {
+            graph.add_node(*keep);
+        }
+        GraphOp::DeleteNode(i) => {
+            if !live_nodes.is_empty() {
+                let id = live_nodes[i % live_nodes.len()];
+                graph.delete_node(id).unwrap();
+            }
+        }
+        GraphOp::AddLink(a, b, offset) => {
+            if !live_nodes.is_empty() {
+                let from = live_nodes[a % live_nodes.len()];
+                let to = live_nodes[b % live_nodes.len()];
+                graph
+                    .add_link(LinkPt::current(from, *offset), LinkPt::current(to, 0))
+                    .unwrap();
+            }
+        }
+        GraphOp::DeleteLink(i) => {
+            if !live_links.is_empty() {
+                let id = live_links[i % live_links.len()];
+                graph.delete_link(id).unwrap();
+            }
+        }
+        GraphOp::ModifyNode(i, contents) => {
+            if !live_nodes.is_empty() {
+                let id = live_nodes[i % live_nodes.len()];
+                // Only archive nodes accept historical modification here.
+                if graph.node(id).unwrap().is_archive() {
+                    let now = graph.tick();
+                    graph.node_mut(id).unwrap().modify(contents.clone(), now, "prop").unwrap();
+                }
+            }
+        }
+        GraphOp::SetAttr(i, a, v) => {
+            if !live_nodes.is_empty() {
+                let id = live_nodes[i % live_nodes.len()];
+                let attr = graph.attribute_index(ATTR_NAMES[*a as usize]);
+                graph.set_node_attr(id, attr, Value::Int(*v as i64)).unwrap();
+            }
+        }
+        GraphOp::DeleteAttr(i, a) => {
+            if !live_nodes.is_empty() {
+                let id = live_nodes[i % live_nodes.len()];
+                let attr = graph.attribute_index(ATTR_NAMES[*a as usize]);
+                let _ = graph.delete_node_attr(id, attr);
+            }
+        }
+    }
+}
+
+/// Snapshot of all observable state at a time, for equivalence checks.
+fn observe(graph: &HamGraph, time: Time) -> String {
+    let mut out = String::new();
+    for n in graph.nodes() {
+        if !n.exists_at(time) {
+            continue;
+        }
+        out.push_str(&format!("node {} ", n.id.0));
+        if n.is_archive() {
+            if let Ok(c) = n.contents_at(time) {
+                out.push_str(&format!("contents={c:?} "));
+            }
+        }
+        for (attr, value) in n.attrs.all_at(time) {
+            out.push_str(&format!("{}={} ", attr.0, value));
+        }
+        out.push('\n');
+    }
+    for l in graph.links() {
+        if !l.exists_at(time) {
+            continue;
+        }
+        out.push_str(&format!(
+            "link {} {}->{} @{:?}\n",
+            l.id.0,
+            l.from.node.0,
+            l.to.node.0,
+            l.from.position_at(time)
+        ));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutating the graph never disturbs what historical times observe.
+    #[test]
+    fn history_is_immutable(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut graph = HamGraph::new(ProjectId(1));
+        let mut checkpoints: Vec<(Time, String)> = Vec::new();
+        for op in &ops {
+            apply(&mut graph, op);
+            let now = graph.now();
+            checkpoints.push((now, observe(&graph, now)));
+        }
+        // Every past observation must still hold.
+        for (time, expected) in &checkpoints {
+            prop_assert_eq!(&observe(&graph, *time), expected);
+        }
+    }
+
+    /// truncate_after(t) restores exactly the state observed at t, and the
+    /// full current state matches what it was then.
+    #[test]
+    fn rollback_restores_observed_state(
+        ops_before in proptest::collection::vec(op_strategy(), 1..20),
+        ops_after in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        let mut graph = HamGraph::new(ProjectId(1));
+        for op in &ops_before {
+            apply(&mut graph, op);
+        }
+        let checkpoint = graph.now();
+        let expected = observe(&graph, Time::CURRENT);
+        for op in &ops_after {
+            apply(&mut graph, op);
+        }
+        graph.truncate_after(checkpoint);
+        prop_assert_eq!(observe(&graph, Time::CURRENT), expected);
+        prop_assert_eq!(graph.now(), checkpoint);
+    }
+
+    /// Encoding and decoding a graph preserves every observable time.
+    #[test]
+    fn graph_codec_is_faithful(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut graph = HamGraph::new(ProjectId(7));
+        for op in &ops {
+            apply(&mut graph, op);
+        }
+        let decoded = HamGraph::from_bytes(&graph.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &graph);
+        for t in 1..=graph.now().0 {
+            prop_assert_eq!(observe(&decoded, Time(t)), observe(&graph, Time(t)));
+        }
+    }
+
+    /// The indexed query path always agrees with the scan path.
+    #[test]
+    fn indexed_query_equals_scan(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut graph = HamGraph::new(ProjectId(3));
+        for op in &ops {
+            apply(&mut graph, op);
+        }
+        for v in 0..4u8 {
+            let pred = Predicate::parse(&format!("document = {v}")).unwrap();
+            let fast = get_graph_query(&graph, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+            let slow = neptune_ham::query::get_graph_query_scan(
+                &graph, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    /// Versioned cells answer get_at consistently with a naive model.
+    #[test]
+    fn versioned_cell_matches_model(
+        writes in proptest::collection::vec((1u64..100, proptest::option::of(any::<u32>())), 1..30)
+    ) {
+        // Sort and dedup times to satisfy the monotonic-write contract.
+        let mut writes = writes;
+        writes.sort_by_key(|(t, _)| *t);
+        let mut cell: Versioned<u32> = Versioned::new();
+        let mut model: Vec<(u64, Option<u32>)> = Vec::new();
+        for (t, v) in &writes {
+            match v {
+                Some(v) => cell.set(Time(*t), *v),
+                None => cell.delete(Time(*t)),
+            }
+            if model.last().map(|(mt, _)| *mt) == Some(*t) {
+                model.last_mut().unwrap().1 = *v;
+            } else {
+                model.push((*t, *v));
+            }
+        }
+        for q in 0..110u64 {
+            let expected = model
+                .iter()
+                .rev()
+                .find(|(t, _)| *t <= q && q > 0)
+                .and_then(|(_, v)| v.as_ref());
+            // q == 0 means CURRENT.
+            let expected = if q == 0 {
+                model.last().and_then(|(_, v)| v.as_ref())
+            } else {
+                expected
+            };
+            prop_assert_eq!(cell.get_at(Time(q)), expected, "query at {}", q);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # neptune-relational
+//!
+//! The paper's §5 "possible synergy, which is not currently being
+//! addressed, between the use of a relational database in conjunction with
+//! hypertext" — implemented. A minimal relational algebra ([`relation`]),
+//! bridges that materialize HAM state as relations ([`bridge`]), and the
+//! paper's motivating cross-reference query ([`xref`]): *"find all
+//! references to a variable, not only in the code, but in all the
+//! documentation as well."*
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod relation;
+pub mod xref;
+
+pub use bridge::{attributes_relation, links_relation, nodes_relation};
+pub use relation::{RelError, Relation};
+pub use xref::{build_xref, Xref};

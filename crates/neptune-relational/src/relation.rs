@@ -1,0 +1,500 @@
+//! A minimal relational algebra.
+//!
+//! Paper §5: *"A relationally complete query language makes possible a wide
+//! range of interesting questions which can be asked."* This module
+//! provides the classical operators — select, project, natural join,
+//! union, difference, rename — over typed tuples of HAM [`Value`]s, enough
+//! to express the paper's motivating cross-domain queries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use neptune_ham::value::{value_index_key, Value};
+
+/// A relation: a named schema and a set of tuples.
+///
+/// Tuples are kept deduplicated and in a canonical order, so relational
+/// expressions are deterministic and comparable with `==`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    name: String,
+    schema: Vec<String>,
+    tuples: Vec<Vec<Value>>,
+}
+
+/// Errors from relational operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A referenced column does not exist in the schema.
+    NoSuchColumn {
+        /// The missing column.
+        column: String,
+        /// The relation's name.
+        relation: String,
+    },
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Expected column count.
+        expected: usize,
+        /// Supplied value count.
+        got: usize,
+    },
+    /// Union/difference operands have different schemas.
+    SchemaMismatch {
+        /// Left schema.
+        left: Vec<String>,
+        /// Right schema.
+        right: Vec<String>,
+    },
+    /// A join would produce no shared columns.
+    NoCommonColumns,
+    /// Renaming collides with an existing column.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::NoSuchColumn { column, relation } => {
+                write!(f, "no column '{column}' in relation '{relation}'")
+            }
+            RelError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            RelError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left:?} vs {right:?}")
+            }
+            RelError::NoCommonColumns => write!(f, "join operands share no columns"),
+            RelError::DuplicateColumn(c) => write!(f, "duplicate column '{c}'"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias for relational operations.
+pub type Result<T> = std::result::Result<T, RelError>;
+
+/// A borrowed view of one tuple with named-column access, handed to
+/// [`Relation::select`] predicates.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    schema: &'a [String],
+    tuple: &'a [Value],
+}
+
+impl<'a> Row<'a> {
+    /// The value of the named column, if it exists.
+    pub fn get(&self, name: &str) -> Option<&'a Value> {
+        self.schema.iter().position(|c| c == name).map(|i| &self.tuple[i])
+    }
+}
+
+fn tuple_key(tuple: &[Value]) -> Vec<u8> {
+    let mut key = Vec::new();
+    for v in tuple {
+        let k = value_index_key(v);
+        key.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        key.extend_from_slice(&k);
+    }
+    key
+}
+
+impl Relation {
+    /// Create a relation with the given schema and tuples.
+    ///
+    /// ```
+    /// use neptune_relational::Relation;
+    /// use neptune_ham::Value;
+    /// let r = Relation::new("nodes", vec!["node", "kind"], vec![
+    ///     vec![Value::Int(1), Value::str("spec")],
+    ///     vec![Value::Int(2), Value::str("design")],
+    /// ]).unwrap();
+    /// let spec = r.select_eq("kind", &Value::str("spec")).unwrap();
+    /// assert_eq!(spec.len(), 1);
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        schema: Vec<&str>,
+        tuples: Vec<Vec<Value>>,
+    ) -> Result<Relation> {
+        let schema: Vec<String> = schema.into_iter().map(|s| s.to_string()).collect();
+        {
+            let mut seen = BTreeSet::new();
+            for c in &schema {
+                if !seen.insert(c.clone()) {
+                    return Err(RelError::DuplicateColumn(c.clone()));
+                }
+            }
+        }
+        for t in &tuples {
+            if t.len() != schema.len() {
+                return Err(RelError::ArityMismatch { expected: schema.len(), got: t.len() });
+            }
+        }
+        let mut rel = Relation { name: name.into(), schema, tuples };
+        rel.normalize();
+        Ok(rel)
+    }
+
+    /// An empty relation with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Vec<&str>) -> Result<Relation> {
+        Relation::new(name, schema, Vec::new())
+    }
+
+    fn normalize(&mut self) {
+        self.tuples.sort_by_key(|t| tuple_key(t));
+        self.tuples.dedup_by(|a, b| tuple_key(a) == tuple_key(b));
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column names.
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    /// The tuples, canonically ordered.
+    pub fn tuples(&self) -> &[Vec<Value>] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Index of a column.
+    pub fn column(&self, name: &str) -> Result<usize> {
+        self.schema.iter().position(|c| c == name).ok_or_else(|| RelError::NoSuchColumn {
+            column: name.to_string(),
+            relation: self.name.clone(),
+        })
+    }
+
+    /// Insert a tuple (idempotent).
+    pub fn insert(&mut self, tuple: Vec<Value>) -> Result<()> {
+        if tuple.len() != self.schema.len() {
+            return Err(RelError::ArityMismatch { expected: self.schema.len(), got: tuple.len() });
+        }
+        self.tuples.push(tuple);
+        self.normalize();
+        Ok(())
+    }
+
+    /// σ — keep tuples where column `name` equals `value`.
+    pub fn select_eq(&self, name: &str, value: &Value) -> Result<Relation> {
+        let idx = self.column(name)?;
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| t[idx] == *value)
+            .cloned()
+            .collect();
+        Ok(Relation {
+            name: format!("σ({})", self.name),
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// σ — keep tuples satisfying an arbitrary predicate on named columns.
+    pub fn select<F>(&self, pred: F) -> Relation
+    where
+        F: Fn(Row<'_>) -> bool,
+    {
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| pred(Row { schema: &self.schema, tuple: t }))
+            .cloned()
+            .collect();
+        Relation { name: format!("σ({})", self.name), schema: self.schema.clone(), tuples }
+    }
+
+    /// π — keep only the named columns, in the given order.
+    pub fn project(&self, columns: &[&str]) -> Result<Relation> {
+        let indices: Vec<usize> =
+            columns.iter().map(|c| self.column(c)).collect::<Result<_>>()?;
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| indices.iter().map(|&i| t[i].clone()).collect())
+            .collect();
+        let mut rel = Relation {
+            name: format!("π({})", self.name),
+            schema: columns.iter().map(|c| c.to_string()).collect(),
+            tuples,
+        };
+        rel.normalize();
+        Ok(rel)
+    }
+
+    /// ρ — rename a column.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Relation> {
+        let idx = self.column(from)?;
+        if self.schema.iter().any(|c| c == to) {
+            return Err(RelError::DuplicateColumn(to.to_string()));
+        }
+        let mut schema = self.schema.clone();
+        schema[idx] = to.to_string();
+        Ok(Relation { name: self.name.clone(), schema, tuples: self.tuples.clone() })
+    }
+
+    /// ⋈ — natural join on all shared column names.
+    pub fn join(&self, other: &Relation) -> Result<Relation> {
+        let shared: Vec<String> = self
+            .schema
+            .iter()
+            .filter(|c| other.schema.contains(c))
+            .cloned()
+            .collect();
+        if shared.is_empty() {
+            return Err(RelError::NoCommonColumns);
+        }
+        let my_shared: Vec<usize> =
+            shared.iter().map(|c| self.column(c)).collect::<Result<_>>()?;
+        let their_shared: Vec<usize> =
+            shared.iter().map(|c| other.column(c)).collect::<Result<_>>()?;
+        let their_extra: Vec<usize> = (0..other.schema.len())
+            .filter(|i| !shared.contains(&other.schema[*i]))
+            .collect();
+
+        // Hash join on the shared-column key.
+        let mut index: std::collections::HashMap<Vec<u8>, Vec<&Vec<Value>>> =
+            std::collections::HashMap::new();
+        for t in &other.tuples {
+            let key = tuple_key(&their_shared.iter().map(|&i| t[i].clone()).collect::<Vec<_>>());
+            index.entry(key).or_default().push(t);
+        }
+        let mut schema = self.schema.clone();
+        schema.extend(their_extra.iter().map(|&i| other.schema[i].clone()));
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            let key = tuple_key(&my_shared.iter().map(|&i| t[i].clone()).collect::<Vec<_>>());
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut row = t.clone();
+                    row.extend(their_extra.iter().map(|&i| m[i].clone()));
+                    tuples.push(row);
+                }
+            }
+        }
+        let mut rel = Relation {
+            name: format!("({} ⋈ {})", self.name, other.name),
+            schema,
+            tuples,
+        };
+        rel.normalize();
+        Ok(rel)
+    }
+
+    /// ∪ — union of two same-schema relations.
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        if self.schema != other.schema {
+            return Err(RelError::SchemaMismatch {
+                left: self.schema.clone(),
+                right: other.schema.clone(),
+            });
+        }
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        let mut rel = Relation {
+            name: format!("({} ∪ {})", self.name, other.name),
+            schema: self.schema.clone(),
+            tuples,
+        };
+        rel.normalize();
+        Ok(rel)
+    }
+
+    /// − — tuples in `self` not in `other` (same schema).
+    pub fn difference(&self, other: &Relation) -> Result<Relation> {
+        if self.schema != other.schema {
+            return Err(RelError::SchemaMismatch {
+                left: self.schema.clone(),
+                right: other.schema.clone(),
+            });
+        }
+        let exclude: BTreeSet<Vec<u8>> = other.tuples.iter().map(|t| tuple_key(t)).collect();
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| !exclude.contains(&tuple_key(t)))
+            .cloned()
+            .collect();
+        Ok(Relation {
+            name: format!("({} − {})", self.name, other.name),
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Render as an aligned text table (for shell/browser output).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.schema.iter().map(|c| c.chars().count()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(&format!("{} ({} rows)\n", self.name, self.len()));
+        out.push_str(&format!("| {} |\n", header.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        ));
+        for row in rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employees() -> Relation {
+        Relation::new(
+            "employees",
+            vec!["name", "dept"],
+            vec![
+                vec![Value::str("norm"), Value::str("labs")],
+                vec![Value::str("mayer"), Value::str("labs")],
+                vec![Value::str("kim"), Value::str("sales")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn depts() -> Relation {
+        Relation::new(
+            "depts",
+            vec!["dept", "site"],
+            vec![
+                vec![Value::str("labs"), Value::str("beaverton")],
+                vec![Value::str("sales"), Value::str("portland")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Relation::new("r", vec!["a", "a"], vec![]),
+            Err(RelError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            Relation::new("r", vec!["a"], vec![vec![]]),
+            Err(RelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tuples_dedupe_and_order_canonically() {
+        let r = Relation::new(
+            "r",
+            vec!["x"],
+            vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        let r2 = Relation::new("r", vec!["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        assert_eq!(r.tuples(), r2.tuples());
+    }
+
+    #[test]
+    fn select_and_project() {
+        let labs = employees().select_eq("dept", &Value::str("labs")).unwrap();
+        assert_eq!(labs.len(), 2);
+        let names = labs.project(&["name"]).unwrap();
+        assert_eq!(names.schema(), &["name".to_string()]);
+        assert_eq!(names.len(), 2);
+        assert!(employees().select_eq("missing", &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn select_with_closure() {
+        let r = employees().select(|row| {
+            matches!(row.get("name"), Some(Value::Str(s)) if s.starts_with('m'))
+        });
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn natural_join() {
+        let joined = employees().join(&depts()).unwrap();
+        assert_eq!(joined.schema(), &["name", "dept", "site"]);
+        assert_eq!(joined.len(), 3);
+        let norm = joined.select_eq("name", &Value::str("norm")).unwrap();
+        assert_eq!(norm.tuples()[0][2], Value::str("beaverton"));
+        // No shared columns → error.
+        let other = Relation::new("o", vec!["z"], vec![]).unwrap();
+        assert!(matches!(employees().join(&other), Err(RelError::NoCommonColumns)));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Relation::new("a", vec!["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        let b = Relation::new("b", vec!["x"], vec![vec![Value::Int(2)], vec![Value::Int(3)]])
+            .unwrap();
+        assert_eq!(a.union(&b).unwrap().len(), 3);
+        let diff = a.difference(&b).unwrap();
+        assert_eq!(diff.len(), 1);
+        assert_eq!(diff.tuples()[0][0], Value::Int(1));
+        let c = Relation::new("c", vec!["y"], vec![]).unwrap();
+        assert!(a.union(&c).is_err());
+    }
+
+    #[test]
+    fn rename_then_join_on_new_name() {
+        let managers = Relation::new(
+            "managers",
+            vec!["who", "dept"],
+            vec![vec![Value::str("norm"), Value::str("labs")]],
+        )
+        .unwrap()
+        .rename("who", "name")
+        .unwrap();
+        let joined = employees().join(&managers).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert!(employees().rename("name", "dept").is_err());
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let text = employees().render();
+        assert!(text.contains("| name "));
+        assert!(text.contains("norm"));
+        assert!(text.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the classical relational algebra laws hold for the
+//! mini-engine, over arbitrary generated relations.
+
+use proptest::prelude::*;
+
+use neptune_ham::value::Value;
+use neptune_relational::Relation;
+
+/// Relations over a fixed two-column schema, so binary operators apply.
+fn relation_ab() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..6, 0i64..6), 0..12).prop_map(|pairs| {
+        let tuples = pairs
+            .into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect();
+        Relation::new("r", vec!["a", "b"], tuples).unwrap()
+    })
+}
+
+/// Relations over (b, c): shares column `b` with relation_ab for joins.
+fn relation_bc() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..6, 0i64..6), 0..12).prop_map(|pairs| {
+        let tuples = pairs
+            .into_iter()
+            .map(|(b, c)| vec![Value::Int(b), Value::Int(c)])
+            .collect();
+        Relation::new("s", vec!["b", "c"], tuples).unwrap()
+    })
+}
+
+fn tuples_sorted(r: &Relation) -> Vec<Vec<Value>> {
+    r.tuples().to_vec()
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_associative_idempotent(
+        x in relation_ab(), y in relation_ab(), z in relation_ab()
+    ) {
+        prop_assert_eq!(
+            tuples_sorted(&x.union(&y).unwrap()),
+            tuples_sorted(&y.union(&x).unwrap())
+        );
+        prop_assert_eq!(
+            tuples_sorted(&x.union(&y).unwrap().union(&z).unwrap()),
+            tuples_sorted(&x.union(&y.union(&z).unwrap()).unwrap())
+        );
+        prop_assert_eq!(tuples_sorted(&x.union(&x).unwrap()), tuples_sorted(&x));
+    }
+
+    #[test]
+    fn difference_laws(x in relation_ab(), y in relation_ab()) {
+        // x − x = ∅
+        prop_assert!(x.difference(&x).unwrap().is_empty());
+        // (x − y) ⊆ x
+        let d = x.difference(&y).unwrap();
+        prop_assert!(d.union(&x).unwrap().len() == x.len());
+        // (x − y) ∪ (x ∩ y) = x, where x ∩ y = x − (x − y)
+        let intersection = x.difference(&d).unwrap();
+        prop_assert_eq!(
+            tuples_sorted(&d.union(&intersection).unwrap()),
+            tuples_sorted(&x)
+        );
+    }
+
+    #[test]
+    fn select_distributes_over_union(x in relation_ab(), y in relation_ab(), v in 0i64..6) {
+        let value = Value::Int(v);
+        let left = x.union(&y).unwrap().select_eq("a", &value).unwrap();
+        let right = x
+            .select_eq("a", &value)
+            .unwrap()
+            .union(&y.select_eq("a", &value).unwrap())
+            .unwrap();
+        prop_assert_eq!(tuples_sorted(&left), tuples_sorted(&right));
+    }
+
+    #[test]
+    fn select_is_idempotent_and_narrowing(x in relation_ab(), v in 0i64..6) {
+        let value = Value::Int(v);
+        let once = x.select_eq("a", &value).unwrap();
+        let twice = once.select_eq("a", &value).unwrap();
+        prop_assert_eq!(tuples_sorted(&once), tuples_sorted(&twice));
+        prop_assert!(once.len() <= x.len());
+    }
+
+    #[test]
+    fn project_is_idempotent(x in relation_ab()) {
+        let p1 = x.project(&["a"]).unwrap();
+        let p2 = p1.project(&["a"]).unwrap();
+        prop_assert_eq!(tuples_sorted(&p1), tuples_sorted(&p2));
+        // Projection never increases cardinality.
+        prop_assert!(p1.len() <= x.len());
+    }
+
+    /// Natural join agrees with the nested-loop definition.
+    #[test]
+    fn join_matches_nested_loop_semantics(x in relation_ab(), y in relation_bc()) {
+        let joined = x.join(&y).unwrap();
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for tx in x.tuples() {
+            for ty in y.tuples() {
+                if tx[1] == ty[0] {
+                    expected.push(vec![tx[0].clone(), tx[1].clone(), ty[1].clone()]);
+                }
+            }
+        }
+        expected.sort_by_key(|t| {
+            t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+        });
+        expected.dedup();
+        let mut actual = tuples_sorted(&joined);
+        actual.sort_by_key(|t| {
+            t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+        });
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Joining with a renamed copy of itself on all columns is identity.
+    #[test]
+    fn self_join_is_identity(x in relation_ab()) {
+        let joined = x.join(&x).unwrap();
+        prop_assert_eq!(tuples_sorted(&joined), tuples_sorted(&x));
+    }
+}

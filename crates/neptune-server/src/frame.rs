@@ -1,0 +1,99 @@
+//! Message framing over a byte stream.
+//!
+//! Each message travels as `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! The CRC protects against a corrupted or desynchronized stream turning
+//! into a silently wrong operation on the server.
+
+use std::io::{Read, Write};
+
+use bytes::{BufMut, BytesMut};
+
+use neptune_storage::checksum::crc32;
+use neptune_storage::codec::{Decode, Encode};
+use neptune_storage::error::{Result, StorageError};
+
+/// Largest accepted frame (64 MiB): a node's contents can be large, but a
+/// length beyond this indicates a desynchronized or hostile stream.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Write one encodable message as a frame.
+pub fn write_frame<W: Write, T: Encode>(writer: &mut W, message: &T) -> Result<()> {
+    let payload = message.to_bytes();
+    let mut frame = BytesMut::with_capacity(payload.len() + 8);
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(&payload));
+    frame.put_slice(&payload);
+    writer.write_all(&frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Read one frame and decode it as `T`.
+///
+/// Returns `Err(StorageError::Io)` with `UnexpectedEof` on clean stream
+/// close before a frame starts (the caller treats that as disconnect).
+pub fn read_frame<R: Read, T: Decode>(reader: &mut R) -> Result<T> {
+    let mut header = [0u8; 8];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(StorageError::InvalidTag { context: "frame length", tag: len as u64 });
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != expected_crc {
+        return Err(StorageError::ChecksumMismatch { expected: expected_crc, actual });
+    }
+    T::from_bytes(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &"hello hypertext".to_string()).unwrap();
+        write_frame(&mut buf, &42u64).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let s: String = read_frame(&mut cursor).unwrap();
+        assert_eq!(s, "hello hypertext");
+        let n: u64 = read_frame(&mut cursor).unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn corrupt_payload_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &"payload".to_string()).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_frame::<_, String>(&mut cursor),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame::<_, String>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &"payload".to_string()).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame::<_, String>(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # neptune-server
+//!
+//! Multi-user network access to a Neptune HAM, reproducing the paper's
+//! architecture (§2.2, §4.1): *"Neptune has a central server which is
+//! accessible over a local area network from a variety of workstations; it
+//! is transaction-oriented and provides for complete recovery from any
+//! aborted transaction"*, with the UI layer talking to the HAM over *"a
+//! remote procedure call mechanism"*.
+//!
+//! * [`proto`] — one request/response pair per HAM operation;
+//! * [`frame`] — checksummed length-prefixed framing;
+//! * [`server`] — threaded TCP server serializing clients through the
+//!   single-writer HAM, with per-connection transaction ownership;
+//! * [`client`] — a blocking RPC client mirroring the HAM API.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{Request, Response};
+pub use server::{serve, ServerHandle};

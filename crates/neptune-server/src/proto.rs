@@ -1,0 +1,1098 @@
+//! The Neptune wire protocol.
+//!
+//! Paper §4.1: *"The user interface process communicates with the HAM using
+//! a remote procedure call mechanism; the HAM runs as a separate process,
+//! typically on a machine accessed over a network."* Each HAM operation is
+//! one [`Request`] variant; the server answers with one [`Response`].
+//! Messages are encoded with the storage codec and framed by
+//! [`crate::frame`].
+
+use neptune_ham::context::{ConflictPolicy, MergeReport};
+use neptune_ham::demons::{DemonSpec, Event};
+use neptune_ham::query::SubGraph;
+use neptune_ham::types::{
+    AttributeIndex, ContextId, LinkIndex, LinkPt, NodeIndex, Protections, Time, Version,
+};
+use neptune_ham::value::Value;
+use neptune_storage::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
+use neptune_storage::diff::Difference;
+use neptune_storage::error::{Result as StorageResult, StorageError};
+
+fn encode_event(e: Event, w: &mut Writer) {
+    let tag = Event::ALL.iter().position(|x| *x == e).expect("event in ALL") as u8;
+    w.put_u8(tag);
+}
+
+fn decode_event(r: &mut Reader<'_>) -> StorageResult<Event> {
+    let tag = r.get_u8()?;
+    Event::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(StorageError::InvalidTag { context: "Event", tag: tag as u64 })
+}
+
+fn encode_policy(p: ConflictPolicy, w: &mut Writer) {
+    w.put_u8(match p {
+        ConflictPolicy::Fail => 0,
+        ConflictPolicy::PreferChild => 1,
+        ConflictPolicy::PreferParent => 2,
+    });
+}
+
+fn decode_policy(r: &mut Reader<'_>) -> StorageResult<ConflictPolicy> {
+    Ok(match r.get_u8()? {
+        0 => ConflictPolicy::Fail,
+        1 => ConflictPolicy::PreferChild,
+        2 => ConflictPolicy::PreferParent,
+        tag => return Err(StorageError::InvalidTag { context: "ConflictPolicy", tag: tag as u64 }),
+    })
+}
+
+/// A client request: one HAM operation (or transaction control).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `addNode`.
+    AddNode {
+        /// Target context.
+        context: ContextId,
+        /// Archive (true) or file (false).
+        keep_history: bool,
+    },
+    /// `deleteNode`.
+    DeleteNode {
+        /// Target context.
+        context: ContextId,
+        /// Node to delete.
+        node: NodeIndex,
+    },
+    /// `addLink`.
+    AddLink {
+        /// Target context.
+        context: ContextId,
+        /// Source end.
+        from: LinkPt,
+        /// Destination end.
+        to: LinkPt,
+    },
+    /// `copyLink`.
+    CopyLink {
+        /// Target context.
+        context: ContextId,
+        /// Link to copy an end from.
+        link: LinkIndex,
+        /// Time at which to read the shared end.
+        time: Time,
+        /// Keep the source end (true) or the destination end (false).
+        keep_source: bool,
+        /// The other end.
+        pt: LinkPt,
+    },
+    /// `deleteLink`.
+    DeleteLink {
+        /// Target context.
+        context: ContextId,
+        /// Link to delete.
+        link: LinkIndex,
+    },
+    /// `linearizeGraph` (predicates as source text).
+    LinearizeGraph {
+        /// Target context.
+        context: ContextId,
+        /// Traversal root.
+        start: NodeIndex,
+        /// Time of the traversal.
+        time: Time,
+        /// Node visibility predicate.
+        node_pred: String,
+        /// Link visibility predicate.
+        link_pred: String,
+        /// Attributes to return per node.
+        node_attrs: Vec<AttributeIndex>,
+        /// Attributes to return per link.
+        link_attrs: Vec<AttributeIndex>,
+    },
+    /// `getGraphQuery` (predicates as source text).
+    GetGraphQuery {
+        /// Target context.
+        context: ContextId,
+        /// Time of the query.
+        time: Time,
+        /// Node visibility predicate.
+        node_pred: String,
+        /// Link visibility predicate.
+        link_pred: String,
+        /// Attributes to return per node.
+        node_attrs: Vec<AttributeIndex>,
+        /// Attributes to return per link.
+        link_attrs: Vec<AttributeIndex>,
+    },
+    /// `openNode`.
+    OpenNode {
+        /// Target context.
+        context: ContextId,
+        /// Node to open.
+        node: NodeIndex,
+        /// Version time (zero = current).
+        time: Time,
+        /// Attributes to return.
+        attrs: Vec<AttributeIndex>,
+    },
+    /// `modifyNode`.
+    ModifyNode {
+        /// Target context.
+        context: ContextId,
+        /// Node to modify.
+        node: NodeIndex,
+        /// Expected current version time.
+        time: Time,
+        /// New contents.
+        contents: Vec<u8>,
+        /// Attachment points (canonical order).
+        link_pts: Vec<LinkPt>,
+    },
+    /// `getNodeTimeStamp`.
+    GetNodeTimeStamp {
+        /// Target context.
+        context: ContextId,
+        /// Node queried.
+        node: NodeIndex,
+    },
+    /// `changeNodeProtection`.
+    ChangeNodeProtection {
+        /// Target context.
+        context: ContextId,
+        /// Node affected.
+        node: NodeIndex,
+        /// New protections.
+        protections: Protections,
+    },
+    /// `getNodeVersions`.
+    GetNodeVersions {
+        /// Target context.
+        context: ContextId,
+        /// Node queried.
+        node: NodeIndex,
+    },
+    /// `getNodeDifferences`.
+    GetNodeDifferences {
+        /// Target context.
+        context: ContextId,
+        /// Node queried.
+        node: NodeIndex,
+        /// Old version time.
+        time1: Time,
+        /// New version time.
+        time2: Time,
+    },
+    /// `getToNode`.
+    GetToNode {
+        /// Target context.
+        context: ContextId,
+        /// Link queried.
+        link: LinkIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `getFromNode`.
+    GetFromNode {
+        /// Target context.
+        context: ContextId,
+        /// Link queried.
+        link: LinkIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `getAttributes`.
+    GetAttributes {
+        /// Target context.
+        context: ContextId,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `getAttributeValues`.
+    GetAttributeValues {
+        /// Target context.
+        context: ContextId,
+        /// Attribute queried.
+        attr: AttributeIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `getAttributeIndex`.
+    GetAttributeIndex {
+        /// Target context.
+        context: ContextId,
+        /// Attribute name to intern.
+        name: String,
+    },
+    /// `setNodeAttributeValue`.
+    SetNodeAttributeValue {
+        /// Target context.
+        context: ContextId,
+        /// Node affected.
+        node: NodeIndex,
+        /// Attribute set.
+        attr: AttributeIndex,
+        /// New value.
+        value: Value,
+    },
+    /// `deleteNodeAttribute`.
+    DeleteNodeAttribute {
+        /// Target context.
+        context: ContextId,
+        /// Node affected.
+        node: NodeIndex,
+        /// Attribute deleted.
+        attr: AttributeIndex,
+    },
+    /// `getNodeAttributeValue`.
+    GetNodeAttributeValue {
+        /// Target context.
+        context: ContextId,
+        /// Node queried.
+        node: NodeIndex,
+        /// Attribute queried.
+        attr: AttributeIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `getNodeAttributes`.
+    GetNodeAttributes {
+        /// Target context.
+        context: ContextId,
+        /// Node queried.
+        node: NodeIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `setLinkAttributeValue`.
+    SetLinkAttributeValue {
+        /// Target context.
+        context: ContextId,
+        /// Link affected.
+        link: LinkIndex,
+        /// Attribute set.
+        attr: AttributeIndex,
+        /// New value.
+        value: Value,
+    },
+    /// `deleteLinkAttribute`.
+    DeleteLinkAttribute {
+        /// Target context.
+        context: ContextId,
+        /// Link affected.
+        link: LinkIndex,
+        /// Attribute deleted.
+        attr: AttributeIndex,
+    },
+    /// `getLinkAttributeValue`.
+    GetLinkAttributeValue {
+        /// Target context.
+        context: ContextId,
+        /// Link queried.
+        link: LinkIndex,
+        /// Attribute queried.
+        attr: AttributeIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `getLinkAttributes`.
+    GetLinkAttributes {
+        /// Target context.
+        context: ContextId,
+        /// Link queried.
+        link: LinkIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `setGraphDemonValue`.
+    SetGraphDemonValue {
+        /// Target context.
+        context: ContextId,
+        /// Triggering event.
+        event: Event,
+        /// Demon (None disables).
+        demon: Option<DemonSpec>,
+    },
+    /// `getGraphDemons`.
+    GetGraphDemons {
+        /// Target context.
+        context: ContextId,
+        /// Time of the query.
+        time: Time,
+    },
+    /// `setNodeDemon`.
+    SetNodeDemon {
+        /// Target context.
+        context: ContextId,
+        /// Node affected.
+        node: NodeIndex,
+        /// Triggering event.
+        event: Event,
+        /// Demon (None disables).
+        demon: Option<DemonSpec>,
+    },
+    /// `getNodeDemons`.
+    GetNodeDemons {
+        /// Target context.
+        context: ContextId,
+        /// Node queried.
+        node: NodeIndex,
+        /// Time of the query.
+        time: Time,
+    },
+    /// Begin an explicit transaction owned by this connection.
+    BeginTransaction,
+    /// Commit this connection's transaction.
+    CommitTransaction,
+    /// Abort this connection's transaction.
+    AbortTransaction,
+    /// Fork a context.
+    CreateContext {
+        /// Parent context.
+        from: ContextId,
+    },
+    /// Merge a context back into its parent.
+    MergeContext {
+        /// Child to merge.
+        child: ContextId,
+        /// Conflict policy.
+        policy: ConflictPolicy,
+    },
+    /// Discard a context.
+    DestroyContext {
+        /// Context to discard.
+        id: ContextId,
+    },
+    /// List live contexts.
+    ListContexts,
+    /// Force a checkpoint.
+    Checkpoint,
+    /// Liveness probe.
+    Ping,
+}
+
+/// The server's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Operation succeeded with no payload.
+    Ok,
+    /// `(NodeIndex, Time)` — addNode.
+    NodeCreated(NodeIndex, Time),
+    /// `(LinkIndex, Time)` — addLink / copyLink.
+    LinkCreated(LinkIndex, Time),
+    /// A query result.
+    SubGraph(SubGraph),
+    /// openNode's result.
+    Opened {
+        /// Contents at the requested time.
+        contents: Vec<u8>,
+        /// Link attachments of that version.
+        link_pts: Vec<LinkPt>,
+        /// Requested attribute values.
+        values: Vec<Option<Value>>,
+        /// Current version time.
+        current_time: Time,
+    },
+    /// A single time (timestamps, modify results).
+    Time(Time),
+    /// Version histories (major, minor).
+    Versions(Vec<Version>, Vec<Version>),
+    /// Differences between versions.
+    Differences(Vec<Difference>),
+    /// A node and the version of it a link end refers to.
+    NodeAt(NodeIndex, Time),
+    /// Attribute names and indices.
+    Attributes(Vec<(String, AttributeIndex)>),
+    /// A set of values.
+    Values(Vec<Value>),
+    /// An attribute index.
+    AttrIndex(AttributeIndex),
+    /// A single value.
+    Value(Value),
+    /// Attribute triples.
+    AttrTriples(Vec<(String, AttributeIndex, Value)>),
+    /// Demon table entries.
+    Demons(Vec<(Event, DemonSpec)>),
+    /// A transaction id.
+    TxnStarted(u64),
+    /// A created context.
+    Context(ContextId),
+    /// A merge report (serialized as counts + conflict strings).
+    Merged(MergeReport),
+    /// Live contexts.
+    Contexts(Vec<ContextId>),
+    /// The operation failed; human-readable reason.
+    Error(String),
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        use Request::*;
+        match self {
+            AddNode { context, keep_history } => {
+                w.put_u8(0);
+                context.encode(w);
+                w.put_bool(*keep_history);
+            }
+            DeleteNode { context, node } => {
+                w.put_u8(1);
+                context.encode(w);
+                node.encode(w);
+            }
+            AddLink { context, from, to } => {
+                w.put_u8(2);
+                context.encode(w);
+                from.encode(w);
+                to.encode(w);
+            }
+            CopyLink { context, link, time, keep_source, pt } => {
+                w.put_u8(3);
+                context.encode(w);
+                link.encode(w);
+                time.encode(w);
+                w.put_bool(*keep_source);
+                pt.encode(w);
+            }
+            DeleteLink { context, link } => {
+                w.put_u8(4);
+                context.encode(w);
+                link.encode(w);
+            }
+            LinearizeGraph { context, start, time, node_pred, link_pred, node_attrs, link_attrs } => {
+                w.put_u8(5);
+                context.encode(w);
+                start.encode(w);
+                time.encode(w);
+                w.put_str(node_pred);
+                w.put_str(link_pred);
+                encode_seq(node_attrs, w);
+                encode_seq(link_attrs, w);
+            }
+            GetGraphQuery { context, time, node_pred, link_pred, node_attrs, link_attrs } => {
+                w.put_u8(6);
+                context.encode(w);
+                time.encode(w);
+                w.put_str(node_pred);
+                w.put_str(link_pred);
+                encode_seq(node_attrs, w);
+                encode_seq(link_attrs, w);
+            }
+            OpenNode { context, node, time, attrs } => {
+                w.put_u8(7);
+                context.encode(w);
+                node.encode(w);
+                time.encode(w);
+                encode_seq(attrs, w);
+            }
+            ModifyNode { context, node, time, contents, link_pts } => {
+                w.put_u8(8);
+                context.encode(w);
+                node.encode(w);
+                time.encode(w);
+                w.put_bytes(contents);
+                encode_seq(link_pts, w);
+            }
+            GetNodeTimeStamp { context, node } => {
+                w.put_u8(9);
+                context.encode(w);
+                node.encode(w);
+            }
+            ChangeNodeProtection { context, node, protections } => {
+                w.put_u8(10);
+                context.encode(w);
+                node.encode(w);
+                protections.encode(w);
+            }
+            GetNodeVersions { context, node } => {
+                w.put_u8(11);
+                context.encode(w);
+                node.encode(w);
+            }
+            GetNodeDifferences { context, node, time1, time2 } => {
+                w.put_u8(12);
+                context.encode(w);
+                node.encode(w);
+                time1.encode(w);
+                time2.encode(w);
+            }
+            GetToNode { context, link, time } => {
+                w.put_u8(13);
+                context.encode(w);
+                link.encode(w);
+                time.encode(w);
+            }
+            GetFromNode { context, link, time } => {
+                w.put_u8(14);
+                context.encode(w);
+                link.encode(w);
+                time.encode(w);
+            }
+            GetAttributes { context, time } => {
+                w.put_u8(15);
+                context.encode(w);
+                time.encode(w);
+            }
+            GetAttributeValues { context, attr, time } => {
+                w.put_u8(16);
+                context.encode(w);
+                attr.encode(w);
+                time.encode(w);
+            }
+            GetAttributeIndex { context, name } => {
+                w.put_u8(17);
+                context.encode(w);
+                w.put_str(name);
+            }
+            SetNodeAttributeValue { context, node, attr, value } => {
+                w.put_u8(18);
+                context.encode(w);
+                node.encode(w);
+                attr.encode(w);
+                value.encode(w);
+            }
+            DeleteNodeAttribute { context, node, attr } => {
+                w.put_u8(19);
+                context.encode(w);
+                node.encode(w);
+                attr.encode(w);
+            }
+            GetNodeAttributeValue { context, node, attr, time } => {
+                w.put_u8(20);
+                context.encode(w);
+                node.encode(w);
+                attr.encode(w);
+                time.encode(w);
+            }
+            GetNodeAttributes { context, node, time } => {
+                w.put_u8(21);
+                context.encode(w);
+                node.encode(w);
+                time.encode(w);
+            }
+            SetLinkAttributeValue { context, link, attr, value } => {
+                w.put_u8(22);
+                context.encode(w);
+                link.encode(w);
+                attr.encode(w);
+                value.encode(w);
+            }
+            DeleteLinkAttribute { context, link, attr } => {
+                w.put_u8(23);
+                context.encode(w);
+                link.encode(w);
+                attr.encode(w);
+            }
+            GetLinkAttributeValue { context, link, attr, time } => {
+                w.put_u8(24);
+                context.encode(w);
+                link.encode(w);
+                attr.encode(w);
+                time.encode(w);
+            }
+            GetLinkAttributes { context, link, time } => {
+                w.put_u8(25);
+                context.encode(w);
+                link.encode(w);
+                time.encode(w);
+            }
+            SetGraphDemonValue { context, event, demon } => {
+                w.put_u8(26);
+                context.encode(w);
+                encode_event(*event, w);
+                demon.encode(w);
+            }
+            GetGraphDemons { context, time } => {
+                w.put_u8(27);
+                context.encode(w);
+                time.encode(w);
+            }
+            SetNodeDemon { context, node, event, demon } => {
+                w.put_u8(28);
+                context.encode(w);
+                node.encode(w);
+                encode_event(*event, w);
+                demon.encode(w);
+            }
+            GetNodeDemons { context, node, time } => {
+                w.put_u8(29);
+                context.encode(w);
+                node.encode(w);
+                time.encode(w);
+            }
+            BeginTransaction => w.put_u8(30),
+            CommitTransaction => w.put_u8(31),
+            AbortTransaction => w.put_u8(32),
+            CreateContext { from } => {
+                w.put_u8(33);
+                from.encode(w);
+            }
+            MergeContext { child, policy } => {
+                w.put_u8(34);
+                child.encode(w);
+                encode_policy(*policy, w);
+            }
+            DestroyContext { id } => {
+                w.put_u8(35);
+                id.encode(w);
+            }
+            ListContexts => w.put_u8(36),
+            Checkpoint => w.put_u8(37),
+            Ping => w.put_u8(38),
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        use Request::*;
+        Ok(match r.get_u8()? {
+            0 => AddNode { context: ContextId::decode(r)?, keep_history: r.get_bool()? },
+            1 => DeleteNode { context: ContextId::decode(r)?, node: NodeIndex::decode(r)? },
+            2 => AddLink {
+                context: ContextId::decode(r)?,
+                from: LinkPt::decode(r)?,
+                to: LinkPt::decode(r)?,
+            },
+            3 => CopyLink {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                time: Time::decode(r)?,
+                keep_source: r.get_bool()?,
+                pt: LinkPt::decode(r)?,
+            },
+            4 => DeleteLink { context: ContextId::decode(r)?, link: LinkIndex::decode(r)? },
+            5 => LinearizeGraph {
+                context: ContextId::decode(r)?,
+                start: NodeIndex::decode(r)?,
+                time: Time::decode(r)?,
+                node_pred: r.get_str()?.to_owned(),
+                link_pred: r.get_str()?.to_owned(),
+                node_attrs: decode_seq(r)?,
+                link_attrs: decode_seq(r)?,
+            },
+            6 => GetGraphQuery {
+                context: ContextId::decode(r)?,
+                time: Time::decode(r)?,
+                node_pred: r.get_str()?.to_owned(),
+                link_pred: r.get_str()?.to_owned(),
+                node_attrs: decode_seq(r)?,
+                link_attrs: decode_seq(r)?,
+            },
+            7 => OpenNode {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                time: Time::decode(r)?,
+                attrs: decode_seq(r)?,
+            },
+            8 => ModifyNode {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                time: Time::decode(r)?,
+                contents: r.get_bytes()?.to_vec(),
+                link_pts: decode_seq(r)?,
+            },
+            9 => GetNodeTimeStamp { context: ContextId::decode(r)?, node: NodeIndex::decode(r)? },
+            10 => ChangeNodeProtection {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                protections: Protections::decode(r)?,
+            },
+            11 => GetNodeVersions { context: ContextId::decode(r)?, node: NodeIndex::decode(r)? },
+            12 => GetNodeDifferences {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                time1: Time::decode(r)?,
+                time2: Time::decode(r)?,
+            },
+            13 => GetToNode {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            14 => GetFromNode {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            15 => GetAttributes { context: ContextId::decode(r)?, time: Time::decode(r)? },
+            16 => GetAttributeValues {
+                context: ContextId::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            17 => GetAttributeIndex {
+                context: ContextId::decode(r)?,
+                name: r.get_str()?.to_owned(),
+            },
+            18 => SetNodeAttributeValue {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+                value: Value::decode(r)?,
+            },
+            19 => DeleteNodeAttribute {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+            },
+            20 => GetNodeAttributeValue {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            21 => GetNodeAttributes {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            22 => SetLinkAttributeValue {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+                value: Value::decode(r)?,
+            },
+            23 => DeleteLinkAttribute {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+            },
+            24 => GetLinkAttributeValue {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                attr: AttributeIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            25 => GetLinkAttributes {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            26 => SetGraphDemonValue {
+                context: ContextId::decode(r)?,
+                event: decode_event(r)?,
+                demon: Option::<DemonSpec>::decode(r)?,
+            },
+            27 => GetGraphDemons { context: ContextId::decode(r)?, time: Time::decode(r)? },
+            28 => SetNodeDemon {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                event: decode_event(r)?,
+                demon: Option::<DemonSpec>::decode(r)?,
+            },
+            29 => GetNodeDemons {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+                time: Time::decode(r)?,
+            },
+            30 => BeginTransaction,
+            31 => CommitTransaction,
+            32 => AbortTransaction,
+            33 => CreateContext { from: ContextId::decode(r)? },
+            34 => MergeContext { child: ContextId::decode(r)?, policy: decode_policy(r)? },
+            35 => DestroyContext { id: ContextId::decode(r)? },
+            36 => ListContexts,
+            37 => Checkpoint,
+            38 => Ping,
+            tag => return Err(StorageError::InvalidTag { context: "Request", tag: tag as u64 }),
+        })
+    }
+}
+
+fn encode_subgraph(sg: &SubGraph, w: &mut Writer) {
+    w.put_u64(sg.nodes.len() as u64);
+    for (id, values) in &sg.nodes {
+        id.encode(w);
+        encode_seq(values, w);
+    }
+    w.put_u64(sg.links.len() as u64);
+    for (id, values) in &sg.links {
+        id.encode(w);
+        encode_seq(values, w);
+    }
+}
+
+fn decode_subgraph(r: &mut Reader<'_>) -> StorageResult<SubGraph> {
+    let node_count = r.get_u64()? as usize;
+    let mut nodes = Vec::with_capacity(node_count.min(r.remaining()));
+    for _ in 0..node_count {
+        let id = NodeIndex::decode(r)?;
+        let values: Vec<Option<Value>> = decode_seq(r)?;
+        nodes.push((id, values));
+    }
+    let link_count = r.get_u64()? as usize;
+    let mut links = Vec::with_capacity(link_count.min(r.remaining()));
+    for _ in 0..link_count {
+        let id = LinkIndex::decode(r)?;
+        let values: Vec<Option<Value>> = decode_seq(r)?;
+        links.push((id, values));
+    }
+    Ok(SubGraph { nodes, links })
+}
+
+fn encode_merge_report(m: &MergeReport, w: &mut Writer) {
+    encode_seq(&m.nodes_added, w);
+    encode_seq(&m.links_added, w);
+    encode_seq(&m.nodes_modified, w);
+    w.put_u64(m.attrs_changed as u64);
+    encode_seq(&m.nodes_deleted, w);
+    encode_seq(&m.links_deleted, w);
+    encode_seq(&m.conflicts, w);
+}
+
+fn decode_merge_report(r: &mut Reader<'_>) -> StorageResult<MergeReport> {
+    Ok(MergeReport {
+        nodes_added: decode_seq(r)?,
+        links_added: decode_seq(r)?,
+        nodes_modified: decode_seq(r)?,
+        attrs_changed: r.get_u64()? as usize,
+        nodes_deleted: decode_seq(r)?,
+        links_deleted: decode_seq(r)?,
+        conflicts: decode_seq(r)?,
+    })
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut Writer) {
+        use Response::*;
+        match self {
+            Ok => w.put_u8(0),
+            NodeCreated(id, t) => {
+                w.put_u8(1);
+                id.encode(w);
+                t.encode(w);
+            }
+            LinkCreated(id, t) => {
+                w.put_u8(2);
+                id.encode(w);
+                t.encode(w);
+            }
+            SubGraph(sg) => {
+                w.put_u8(3);
+                encode_subgraph(sg, w);
+            }
+            Opened { contents, link_pts, values, current_time } => {
+                w.put_u8(4);
+                w.put_bytes(contents);
+                encode_seq(link_pts, w);
+                encode_seq(values, w);
+                current_time.encode(w);
+            }
+            Time(t) => {
+                w.put_u8(5);
+                t.encode(w);
+            }
+            Versions(major, minor) => {
+                w.put_u8(6);
+                encode_seq(major, w);
+                encode_seq(minor, w);
+            }
+            Differences(ds) => {
+                w.put_u8(7);
+                encode_seq(ds, w);
+            }
+            NodeAt(id, t) => {
+                w.put_u8(8);
+                id.encode(w);
+                t.encode(w);
+            }
+            Attributes(items) => {
+                w.put_u8(9);
+                encode_seq(items, w);
+            }
+            Values(vs) => {
+                w.put_u8(10);
+                encode_seq(vs, w);
+            }
+            AttrIndex(idx) => {
+                w.put_u8(11);
+                idx.encode(w);
+            }
+            Value(v) => {
+                w.put_u8(12);
+                v.encode(w);
+            }
+            AttrTriples(items) => {
+                w.put_u8(13);
+                encode_seq(items, w);
+            }
+            Demons(items) => {
+                w.put_u8(14);
+                w.put_u64(items.len() as u64);
+                for (e, d) in items {
+                    encode_event(*e, w);
+                    d.encode(w);
+                }
+            }
+            TxnStarted(id) => {
+                w.put_u8(15);
+                w.put_u64(*id);
+            }
+            Context(id) => {
+                w.put_u8(16);
+                id.encode(w);
+            }
+            Merged(m) => {
+                w.put_u8(17);
+                encode_merge_report(m, w);
+            }
+            Contexts(ids) => {
+                w.put_u8(18);
+                encode_seq(ids, w);
+            }
+            Error(msg) => {
+                w.put_u8(19);
+                w.put_str(msg);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        use Response as A;
+        Ok(match r.get_u8()? {
+            0 => A::Ok,
+            1 => A::NodeCreated(NodeIndex::decode(r)?, Time::decode(r)?),
+            2 => A::LinkCreated(LinkIndex::decode(r)?, Time::decode(r)?),
+            3 => A::SubGraph(decode_subgraph(r)?),
+            4 => A::Opened {
+                contents: r.get_bytes()?.to_vec(),
+                link_pts: decode_seq(r)?,
+                values: decode_seq(r)?,
+                current_time: Time::decode(r)?,
+            },
+            5 => A::Time(Time::decode(r)?),
+            6 => A::Versions(decode_seq(r)?, decode_seq(r)?),
+            7 => A::Differences(decode_seq(r)?),
+            8 => A::NodeAt(NodeIndex::decode(r)?, Time::decode(r)?),
+            9 => A::Attributes(decode_seq(r)?),
+            10 => A::Values(decode_seq(r)?),
+            11 => A::AttrIndex(AttributeIndex::decode(r)?),
+            12 => A::Value(Value::decode(r)?),
+            13 => A::AttrTriples(decode_seq(r)?),
+            14 => {
+                let count = r.get_u64()? as usize;
+                let mut items = Vec::with_capacity(count.min(r.remaining()));
+                for _ in 0..count {
+                    let e = decode_event(r)?;
+                    let d = DemonSpec::decode(r)?;
+                    items.push((e, d));
+                }
+                A::Demons(items)
+            }
+            15 => A::TxnStarted(r.get_u64()?),
+            16 => A::Context(ContextId::decode(r)?),
+            17 => A::Merged(decode_merge_report(r)?),
+            18 => A::Contexts(decode_seq(r)?),
+            19 => A::Error(r.get_str()?.to_owned()),
+            tag => return Err(StorageError::InvalidTag { context: "Response", tag: tag as u64 }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let requests = vec![
+            Request::AddNode { context: ContextId(0), keep_history: true },
+            Request::DeleteNode { context: ContextId(0), node: NodeIndex(3) },
+            Request::AddLink {
+                context: ContextId(1),
+                from: LinkPt::current(NodeIndex(1), 5),
+                to: LinkPt::pinned(NodeIndex(2), 0, Time(3)),
+            },
+            Request::LinearizeGraph {
+                context: ContextId(0),
+                start: NodeIndex(1),
+                time: Time(0),
+                node_pred: "document = spec".into(),
+                link_pred: "true".into(),
+                node_attrs: vec![AttributeIndex(0)],
+                link_attrs: vec![],
+            },
+            Request::OpenNode {
+                context: ContextId(0),
+                node: NodeIndex(1),
+                time: Time(7),
+                attrs: vec![AttributeIndex(1), AttributeIndex(2)],
+            },
+            Request::ModifyNode {
+                context: ContextId(0),
+                node: NodeIndex(1),
+                time: Time(7),
+                contents: b"body".to_vec(),
+                link_pts: vec![LinkPt::current(NodeIndex(1), 3)],
+            },
+            Request::SetNodeAttributeValue {
+                context: ContextId(0),
+                node: NodeIndex(1),
+                attr: AttributeIndex(0),
+                value: Value::str("requirements"),
+            },
+            Request::SetGraphDemonValue {
+                context: ContextId(0),
+                event: Event::NodeModified,
+                demon: Some(DemonSpec::notify("d", "m")),
+            },
+            Request::BeginTransaction,
+            Request::MergeContext { child: ContextId(2), policy: ConflictPolicy::PreferChild },
+            Request::Ping,
+        ];
+        for req in requests {
+            let decoded = Request::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let responses = vec![
+            Response::Ok,
+            Response::NodeCreated(NodeIndex(4), Time(9)),
+            Response::SubGraph(SubGraph {
+                nodes: vec![(NodeIndex(1), vec![Some(Value::str("x")), None])],
+                links: vec![(LinkIndex(2), vec![])],
+            }),
+            Response::Opened {
+                contents: b"text".to_vec(),
+                link_pts: vec![LinkPt::current(NodeIndex(1), 0)],
+                values: vec![None, Some(Value::Int(3))],
+                current_time: Time(12),
+            },
+            Response::Versions(
+                vec![Version::new(Time(1), "created")],
+                vec![Version::new(Time(2), "attr")],
+            ),
+            Response::Differences(vec![Difference::Insertion {
+                at: 0,
+                new_lines: vec![b"x\n".to_vec()],
+            }]),
+            Response::Attributes(vec![("doc".into(), AttributeIndex(0))]),
+            Response::AttrTriples(vec![("doc".into(), AttributeIndex(0), Value::str("v"))]),
+            Response::Demons(vec![(Event::NodeAdded, DemonSpec::notify("n", "m"))]),
+            Response::Merged(MergeReport {
+                nodes_added: vec![(NodeIndex(5), NodeIndex(9))],
+                conflicts: vec!["x".into()],
+                attrs_changed: 2,
+                ..Default::default()
+            }),
+            Response::Contexts(vec![ContextId(0), ContextId(3)]),
+            Response::Error("boom".into()),
+        ];
+        for resp in responses {
+            let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(Request::from_bytes(&[99]).is_err());
+        assert!(Response::from_bytes(&[99]).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! The Neptune server: multi-user access to one HAM.
+//!
+//! Paper §2.2: *"Neptune has a central server which is accessible over a
+//! local area network from a variety of workstations; it is
+//! transaction-oriented and provides for complete recovery from any aborted
+//! transaction."* The server owns the (single-writer) [`Ham`] and
+//! serializes client operations through it. A client holding an explicit
+//! transaction has exclusive write access until it commits or aborts —
+//! other clients block (with a timeout) rather than interleave, which is
+//! the concurrency control a check-in/check-out CAD workflow expects.
+//! A client that disconnects mid-transaction is aborted automatically.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use neptune_ham::predicate::Predicate;
+use neptune_ham::types::Time;
+use neptune_ham::Ham;
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+
+/// How long a client waits for another client's transaction before its
+/// request fails with a lock-timeout error.
+pub const LOCK_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Shared {
+    state: Mutex<ServerState>,
+    txn_released: Condvar,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+struct ServerState {
+    ham: Ham,
+    /// Connection currently holding an explicit transaction, if any.
+    txn_owner: Option<u64>,
+}
+
+/// A running Neptune server; dropping it (or calling [`ServerHandle::stop`])
+/// shuts it down and checkpoints the graph.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections, abort any open transaction, checkpoint,
+    /// and shut down.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let mut state = self.shared.state.lock();
+        if state.ham.in_transaction() {
+            let _ = state.ham.abort_transaction();
+        }
+        let _ = state.ham.checkpoint();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Start serving `ham` on `addr` (use port 0 for an ephemeral port).
+pub fn serve(ham: Ham, addr: impl Into<String>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr.into())?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ServerState { ham, txn_owner: None }),
+        txn_released: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        next_conn: AtomicU64::new(1),
+    });
+
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::spawn(move || {
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        while !accept_shared.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let conn_shared = accept_shared.clone();
+                    let id = conn_shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                    conn_threads.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, id, conn_shared);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+    });
+
+    Ok(ServerHandle { addr: local, shared, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    conn_id: u64,
+    shared: Arc<Shared>,
+) -> neptune_storage::error::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Reads poll with a timeout so connection threads notice shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(100))).ok();
+    let result = loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        let request: Request = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(neptune_storage::StorageError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(neptune_storage::StorageError::Io(e))
+                if e.kind() == std::io::ErrorKind::UnexpectedEof =>
+            {
+                break Ok(()) // clean disconnect
+            }
+            Err(e) => break Err(e),
+        };
+        let response = execute(&shared, conn_id, request);
+        write_frame(&mut stream, &response)?;
+    };
+    // Abort an abandoned transaction.
+    let mut state = shared.state.lock();
+    if state.txn_owner == Some(conn_id) {
+        let _ = state.ham.abort_transaction();
+        state.txn_owner = None;
+        shared.txn_released.notify_all();
+    }
+    result
+}
+
+/// Run one request under the transaction-ownership discipline.
+fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
+    let mut state = shared.state.lock();
+    // Wait while another connection holds a transaction.
+    while state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
+        let timed_out = shared
+            .txn_released
+            .wait_for(&mut state, LOCK_TIMEOUT)
+            .timed_out();
+        if timed_out && state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
+            return Response::Error("timed out waiting for another client's transaction".into());
+        }
+    }
+    match request {
+        Request::BeginTransaction => match state.ham.begin_transaction() {
+            Ok(id) => {
+                state.txn_owner = Some(conn_id);
+                Response::TxnStarted(id)
+            }
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::CommitTransaction => {
+            if state.txn_owner != Some(conn_id) {
+                return Response::Error("no transaction owned by this connection".into());
+            }
+            let r = state.ham.commit_transaction();
+            state.txn_owner = None;
+            shared.txn_released.notify_all();
+            result_to_response(r.map(|_| Response::Ok))
+        }
+        Request::AbortTransaction => {
+            if state.txn_owner != Some(conn_id) {
+                return Response::Error("no transaction owned by this connection".into());
+            }
+            let r = state.ham.abort_transaction();
+            state.txn_owner = None;
+            shared.txn_released.notify_all();
+            result_to_response(r.map(|_| Response::Ok))
+        }
+        other => dispatch(&mut state.ham, other),
+    }
+}
+
+fn result_to_response(r: neptune_ham::Result<Response>) -> Response {
+    match r {
+        Ok(resp) => resp,
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// Translate a request into a HAM call.
+fn dispatch(ham: &mut Ham, request: Request) -> Response {
+    use Request as Q;
+    use Response as A;
+    let result: neptune_ham::Result<Response> = (|| {
+        Ok(match request {
+            Q::AddNode { context, keep_history } => {
+                let (id, t) = ham.add_node(context, keep_history)?;
+                A::NodeCreated(id, t)
+            }
+            Q::DeleteNode { context, node } => {
+                ham.delete_node(context, node)?;
+                A::Ok
+            }
+            Q::AddLink { context, from, to } => {
+                let (id, t) = ham.add_link(context, from, to)?;
+                A::LinkCreated(id, t)
+            }
+            Q::CopyLink { context, link, time, keep_source, pt } => {
+                let (id, t) = ham.copy_link(context, link, time, keep_source, pt)?;
+                A::LinkCreated(id, t)
+            }
+            Q::DeleteLink { context, link } => {
+                ham.delete_link(context, link)?;
+                A::Ok
+            }
+            Q::LinearizeGraph {
+                context,
+                start,
+                time,
+                node_pred,
+                link_pred,
+                node_attrs,
+                link_attrs,
+            } => {
+                let np = parse_pred(&node_pred)?;
+                let lp = parse_pred(&link_pred)?;
+                A::SubGraph(ham.linearize_graph(
+                    context,
+                    start,
+                    time,
+                    &np,
+                    &lp,
+                    &node_attrs,
+                    &link_attrs,
+                )?)
+            }
+            Q::GetGraphQuery { context, time, node_pred, link_pred, node_attrs, link_attrs } => {
+                let np = parse_pred(&node_pred)?;
+                let lp = parse_pred(&link_pred)?;
+                A::SubGraph(ham.get_graph_query(
+                    context,
+                    time,
+                    &np,
+                    &lp,
+                    &node_attrs,
+                    &link_attrs,
+                )?)
+            }
+            Q::OpenNode { context, node, time, attrs } => {
+                let opened = ham.open_node(context, node, time, &attrs)?;
+                A::Opened {
+                    contents: opened.contents,
+                    link_pts: opened.link_pts,
+                    values: opened.values,
+                    current_time: opened.current_time,
+                }
+            }
+            Q::ModifyNode { context, node, time, contents, link_pts } => {
+                A::Time(ham.modify_node(context, node, time, contents, &link_pts)?)
+            }
+            Q::GetNodeTimeStamp { context, node } => {
+                A::Time(ham.get_node_time_stamp(context, node)?)
+            }
+            Q::ChangeNodeProtection { context, node, protections } => {
+                ham.change_node_protection(context, node, protections)?;
+                A::Ok
+            }
+            Q::GetNodeVersions { context, node } => {
+                let (major, minor) = ham.get_node_versions(context, node)?;
+                A::Versions(major, minor)
+            }
+            Q::GetNodeDifferences { context, node, time1, time2 } => {
+                A::Differences(ham.get_node_differences(context, node, time1, time2)?)
+            }
+            Q::GetToNode { context, link, time } => {
+                let (n, t) = ham.get_to_node(context, link, time)?;
+                A::NodeAt(n, t)
+            }
+            Q::GetFromNode { context, link, time } => {
+                let (n, t) = ham.get_from_node(context, link, time)?;
+                A::NodeAt(n, t)
+            }
+            Q::GetAttributes { context, time } => A::Attributes(ham.get_attributes(context, time)?),
+            Q::GetAttributeValues { context, attr, time } => {
+                A::Values(ham.get_attribute_values(context, attr, time)?)
+            }
+            Q::GetAttributeIndex { context, name } => {
+                A::AttrIndex(ham.get_attribute_index(context, &name)?)
+            }
+            Q::SetNodeAttributeValue { context, node, attr, value } => {
+                ham.set_node_attribute_value(context, node, attr, value)?;
+                A::Ok
+            }
+            Q::DeleteNodeAttribute { context, node, attr } => {
+                ham.delete_node_attribute(context, node, attr)?;
+                A::Ok
+            }
+            Q::GetNodeAttributeValue { context, node, attr, time } => {
+                A::Value(ham.get_node_attribute_value(context, node, attr, time)?)
+            }
+            Q::GetNodeAttributes { context, node, time } => {
+                A::AttrTriples(ham.get_node_attributes(context, node, time)?)
+            }
+            Q::SetLinkAttributeValue { context, link, attr, value } => {
+                ham.set_link_attribute_value(context, link, attr, value)?;
+                A::Ok
+            }
+            Q::DeleteLinkAttribute { context, link, attr } => {
+                ham.delete_link_attribute(context, link, attr)?;
+                A::Ok
+            }
+            Q::GetLinkAttributeValue { context, link, attr, time } => {
+                A::Value(ham.get_link_attribute_value(context, link, attr, time)?)
+            }
+            Q::GetLinkAttributes { context, link, time } => {
+                A::AttrTriples(ham.get_link_attributes(context, link, time)?)
+            }
+            Q::SetGraphDemonValue { context, event, demon } => {
+                ham.set_graph_demon_value(context, event, demon)?;
+                A::Ok
+            }
+            Q::GetGraphDemons { context, time } => A::Demons(ham.get_graph_demons(context, time)?),
+            Q::SetNodeDemon { context, node, event, demon } => {
+                ham.set_node_demon(context, node, event, demon)?;
+                A::Ok
+            }
+            Q::GetNodeDemons { context, node, time } => {
+                A::Demons(ham.get_node_demons(context, node, time)?)
+            }
+            Q::CreateContext { from } => A::Context(ham.create_context(from)?),
+            Q::MergeContext { child, policy } => A::Merged(ham.merge_context(child, policy)?),
+            Q::DestroyContext { id } => {
+                ham.destroy_context(id)?;
+                A::Ok
+            }
+            Q::ListContexts => A::Contexts(ham.contexts()),
+            Q::Checkpoint => {
+                ham.checkpoint()?;
+                A::Ok
+            }
+            Q::Ping => A::Ok,
+            Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
+                unreachable!("transaction control handled by execute()")
+            }
+        })
+    })();
+    result_to_response(result)
+}
+
+fn parse_pred(text: &str) -> neptune_ham::Result<Predicate> {
+    Predicate::parse(text).map_err(|message| neptune_ham::HamError::BadPredicate { message })
+}
+
+/// Convenience for servers and tests: the Time the HAM currently reports
+/// for a context's clock.
+pub fn graph_now(ham: &Ham, context: neptune_ham::types::ContextId) -> neptune_ham::Result<Time> {
+    Ok(ham.graph(context)?.now())
+}

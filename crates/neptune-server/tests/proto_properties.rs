@@ -1,0 +1,178 @@
+//! Property tests for the wire protocol: every generatable message must
+//! survive an encode/decode roundtrip, and arbitrary bytes must never
+//! panic the decoder (a hostile or corrupt peer can send anything).
+
+use proptest::prelude::*;
+
+use neptune_ham::context::ConflictPolicy;
+use neptune_ham::demons::{DemonSpec, Event};
+use neptune_ham::types::{AttributeIndex, ContextId, LinkIndex, LinkPt, NodeIndex, Time};
+use neptune_ham::value::Value;
+use neptune_server::{Request, Response};
+use neptune_storage::codec::{Decode, Encode};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "\\PC{0,24}".prop_map(Value::Str),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
+        (-1e12f64..1e12).prop_map(Value::Float),
+    ]
+}
+
+fn linkpt_strategy() -> impl Strategy<Value = LinkPt> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(n, p, t, track)| LinkPt {
+        node: NodeIndex(n),
+        position: p,
+        time: Time(t),
+        track_current: track,
+    })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0usize..Event::ALL.len()).prop_map(|i| Event::ALL[i])
+}
+
+fn demon_strategy() -> impl Strategy<Value = DemonSpec> {
+    prop_oneof![
+        ("\\w{1,8}", "\\PC{0,20}").prop_map(|(n, m)| DemonSpec::notify(n, m)),
+        ("\\w{1,8}", "\\w{1,8}", value_strategy())
+            .prop_map(|(n, a, v)| DemonSpec::mark_node(n, a, v)),
+        ("\\w{1,8}", "\\w{1,8}").prop_map(|(n, c)| DemonSpec::call(n, c)),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let ctx = any::<u64>().prop_map(ContextId);
+    let node = any::<u64>().prop_map(NodeIndex);
+    let link = any::<u64>().prop_map(LinkIndex);
+    let time = any::<u64>().prop_map(Time);
+    let attr = any::<u64>().prop_map(AttributeIndex);
+    prop_oneof![
+        (ctx.clone(), any::<bool>())
+            .prop_map(|(context, keep_history)| Request::AddNode { context, keep_history }),
+        (ctx.clone(), node.clone())
+            .prop_map(|(context, node)| Request::DeleteNode { context, node }),
+        (ctx.clone(), linkpt_strategy(), linkpt_strategy())
+            .prop_map(|(context, from, to)| Request::AddLink { context, from, to }),
+        (ctx.clone(), link.clone(), time.clone(), any::<bool>(), linkpt_strategy()).prop_map(
+            |(context, link, time, keep_source, pt)| Request::CopyLink {
+                context,
+                link,
+                time,
+                keep_source,
+                pt
+            }
+        ),
+        (
+            ctx.clone(),
+            node.clone(),
+            time.clone(),
+            "\\PC{0,30}",
+            "\\PC{0,30}",
+            proptest::collection::vec(any::<u64>().prop_map(AttributeIndex), 0..4),
+        )
+            .prop_map(|(context, start, time, node_pred, link_pred, node_attrs)| {
+                Request::LinearizeGraph {
+                    context,
+                    start,
+                    time,
+                    node_pred,
+                    link_pred,
+                    node_attrs,
+                    link_attrs: vec![],
+                }
+            }),
+        (
+            ctx.clone(),
+            node.clone(),
+            time.clone(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec(linkpt_strategy(), 0..4),
+        )
+            .prop_map(|(context, node, time, contents, link_pts)| Request::ModifyNode {
+                context,
+                node,
+                time,
+                contents,
+                link_pts
+            }),
+        (ctx.clone(), node.clone(), attr.clone(), value_strategy()).prop_map(
+            |(context, node, attr, value)| Request::SetNodeAttributeValue {
+                context,
+                node,
+                attr,
+                value
+            }
+        ),
+        (ctx.clone(), event_strategy(), proptest::option::of(demon_strategy())).prop_map(
+            |(context, event, demon)| Request::SetGraphDemonValue { context, event, demon }
+        ),
+        Just(Request::BeginTransaction),
+        Just(Request::CommitTransaction),
+        Just(Request::AbortTransaction),
+        (ctx.clone()).prop_map(|from| Request::CreateContext { from }),
+        (ctx.clone(), prop_oneof![
+            Just(ConflictPolicy::Fail),
+            Just(ConflictPolicy::PreferChild),
+            Just(ConflictPolicy::PreferParent)
+        ])
+            .prop_map(|(child, policy)| Request::MergeContext { child, policy }),
+        Just(Request::Ping),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(n, t)| Response::NodeCreated(NodeIndex(n), Time(t))),
+        (
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec(linkpt_strategy(), 0..4),
+            proptest::collection::vec(proptest::option::of(value_strategy()), 0..4),
+            any::<u64>(),
+        )
+            .prop_map(|(contents, link_pts, values, t)| Response::Opened {
+                contents,
+                link_pts,
+                values,
+                current_time: Time(t)
+            }),
+        proptest::collection::vec(value_strategy(), 0..6).prop_map(Response::Values),
+        "\\PC{0,40}".prop_map(Response::Error),
+        (any::<u64>()).prop_map(Response::TxnStarted),
+        proptest::collection::vec(any::<u64>().prop_map(ContextId), 0..4)
+            .prop_map(Response::Contexts),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip(req in request_strategy()) {
+        let bytes = req.to_bytes();
+        let decoded = Request::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn responses_roundtrip(resp in response_strategy()) {
+        let bytes = resp.to_bytes();
+        let decoded = Response::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Request::from_bytes(&bytes);
+        let _ = Response::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(req in request_strategy(), cut in 0usize..64) {
+        let bytes = req.to_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = Request::from_bytes(&bytes[..cut]);
+    }
+}

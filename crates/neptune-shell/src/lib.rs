@@ -1,0 +1,17 @@
+//! # neptune-shell
+//!
+//! An interactive shell over a Neptune graph — the reproduction's "user
+//! interface layer" (paper §3): it drives the browsers of
+//! `neptune-document`, the HAM's operations, trails, contexts, and the
+//! relational bridge from a line-oriented command language, the way the
+//! original's Smalltalk browsers drove the HAM over RPC.
+//!
+//! The interpreter is a library ([`Shell`]) so sessions are scriptable and
+//! testable; `src/main.rs` wraps it in a stdin REPL.
+
+#![warn(missing_docs)]
+
+mod commands;
+mod shell;
+
+pub use shell::{Shell, ShellError};

@@ -1,0 +1,51 @@
+//! The Neptune shell binary: a stdin REPL over a graph directory.
+//!
+//! ```sh
+//! neptune-shell /path/to/graph-dir
+//! ```
+
+use std::io::{BufRead, Write};
+
+use neptune_shell::{Shell, ShellError};
+
+fn main() {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => d,
+        None => {
+            eprintln!("usage: neptune-shell <graph-directory>");
+            std::process::exit(2);
+        }
+    };
+    let mut shell = match Shell::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open graph in {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("Neptune shell — 'help' for commands, 'quit' to leave.");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("{}", shell.prompt());
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match shell.execute(&line) {
+            Ok(output) => print!("{output}"),
+            Err(ShellError::Quit) => break,
+            Err(e) => println!("{e}"),
+        }
+    }
+    // Leave the graph in a cleanly checkpointed state.
+    if let Err(e) = shell.ham_mut().checkpoint() {
+        eprintln!("checkpoint on exit failed: {e}");
+    }
+}

@@ -1,0 +1,123 @@
+//! The shell's state and command dispatch.
+
+use std::fmt;
+use std::path::Path;
+
+use neptune_document::trail::Trail;
+use neptune_ham::types::{ContextId, NodeIndex, Protections, Time, MAIN_CONTEXT};
+use neptune_ham::{Ham, HamError};
+
+/// Errors surfaced to the user as messages.
+#[derive(Debug)]
+pub enum ShellError {
+    /// The HAM refused an operation.
+    Ham(HamError),
+    /// The command line could not be understood.
+    Usage(String),
+    /// The command needs a current node but none is selected.
+    NoCurrentNode,
+    /// The shell has been asked to exit.
+    Quit,
+}
+
+impl fmt::Display for ShellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShellError::Ham(e) => write!(f, "error: {e}"),
+            ShellError::Usage(msg) => write!(f, "usage: {msg}"),
+            ShellError::NoCurrentNode => write!(f, "no current node — use 'goto <id>' first"),
+            ShellError::Quit => write!(f, "bye"),
+        }
+    }
+}
+
+impl std::error::Error for ShellError {}
+
+impl From<HamError> for ShellError {
+    fn from(e: HamError) -> Self {
+        ShellError::Ham(e)
+    }
+}
+
+/// Result alias for shell commands.
+pub type Result<T> = std::result::Result<T, ShellError>;
+
+/// One interactive session over an opened graph.
+pub struct Shell {
+    pub(crate) ham: Ham,
+    pub(crate) context: ContextId,
+    pub(crate) current: Option<NodeIndex>,
+    pub(crate) trail: Option<Trail>,
+}
+
+impl Shell {
+    /// Open (or create) the graph in `directory` and start a session.
+    pub fn open(directory: impl AsRef<Path>) -> Result<Shell> {
+        let directory = directory.as_ref();
+        let ham = if directory.join("graph.meta").exists() {
+            Ham::open_existing(directory)?.0
+        } else {
+            Ham::create_graph(directory, Protections::DEFAULT)?.0
+        };
+        Ok(Shell { ham, context: MAIN_CONTEXT, current: None, trail: None })
+    }
+
+    /// Start a session over an already-open HAM (used by tests).
+    pub fn with_ham(ham: Ham) -> Shell {
+        Shell { ham, context: MAIN_CONTEXT, current: None, trail: None }
+    }
+
+    /// The underlying machine (for embedding).
+    pub fn ham_mut(&mut self) -> &mut Ham {
+        &mut self.ham
+    }
+
+    /// Execute one command line, returning the text to display.
+    ///
+    /// `Err(ShellError::Quit)` means the user asked to leave.
+    pub fn execute(&mut self, line: &str) -> Result<String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (command, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        crate::commands::dispatch(self, command, rest)
+    }
+
+    pub(crate) fn current_node(&self) -> Result<NodeIndex> {
+        self.current.ok_or(ShellError::NoCurrentNode)
+    }
+
+    pub(crate) fn parse_node(&self, text: &str) -> Result<NodeIndex> {
+        text.trim()
+            .parse::<u64>()
+            .map(NodeIndex)
+            .map_err(|_| ShellError::Usage(format!("'{text}' is not a node id")))
+    }
+
+    pub(crate) fn parse_time(&self, text: &str) -> Result<Time> {
+        match text.trim() {
+            "now" | "current" | "0" => Ok(Time::CURRENT),
+            t => t
+                .parse::<u64>()
+                .map(Time)
+                .map_err(|_| ShellError::Usage(format!("'{text}' is not a time"))),
+        }
+    }
+
+    /// The prompt string, reflecting context and current node.
+    pub fn prompt(&self) -> String {
+        let ctx = if self.context == MAIN_CONTEXT {
+            String::new()
+        } else {
+            format!("ctx{}:", self.context.0)
+        };
+        match self.current {
+            Some(n) => format!("neptune {ctx}n{}> ", n.0),
+            None => format!("neptune {ctx}> "),
+        }
+    }
+}

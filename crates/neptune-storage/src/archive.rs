@@ -1,0 +1,331 @@
+//! Backward-delta version archives.
+//!
+//! Paper §A.2: *"Each node is either an archive or a file. Complete version
+//! histories are maintained for archives; only the current version is
+//! available for files."* An [`Archive`] keeps the **current** contents in
+//! full and, for every older version, a backward [`Delta`] that rebuilds it
+//! from the next-newer version — exactly RCS's reverse-delta scheme \[Tic82\],
+//! which the paper cites. Check-out of the head is O(size); check-out of a
+//! version `k` steps back applies `k` deltas.
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::delta::Delta;
+use crate::error::{Result, StorageError};
+
+/// One historical version's metadata plus the backward delta to reach it
+/// from its successor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BackEntry {
+    /// Logical time at which this version was checked in.
+    time: u64,
+    /// Rebuilds this version's contents from the next-newer version.
+    back_delta: Delta,
+}
+
+/// A versioned byte container storing the head in full and older versions as
+/// backward deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Archive {
+    /// Current contents, stored whole.
+    head: Vec<u8>,
+    /// Check-in time of the head.
+    head_time: u64,
+    /// Older versions, most recent last; `entries[i].back_delta` applied to
+    /// version `i+1` (or to the head for the last entry) yields version `i`.
+    entries: Vec<BackEntry>,
+}
+
+impl Archive {
+    /// Create an archive whose first version is `contents` at `time`.
+    ///
+    /// ```
+    /// use neptune_storage::Archive;
+    /// let mut a = Archive::new(b"v1".to_vec(), 1);
+    /// a.checkin(b"v2".to_vec(), 2).unwrap();
+    /// assert_eq!(a.checkout(1).unwrap(), b"v1");
+    /// assert_eq!(a.checkout(0).unwrap(), b"v2"); // 0 = current
+    /// ```
+    pub fn new(contents: Vec<u8>, time: u64) -> Self {
+        Archive { head: contents, head_time: time, entries: Vec::new() }
+    }
+
+    /// Check in a new current version at `time`.
+    ///
+    /// `time` must exceed the head's time: version history is append-only and
+    /// totally ordered, as the HAM's version clock guarantees.
+    pub fn checkin(&mut self, contents: Vec<u8>, time: u64) -> Result<()> {
+        if time <= self.head_time {
+            return Err(StorageError::NoSuchVersion { time });
+        }
+        let back_delta = Delta::compute(&contents, &self.head);
+        let old_head = std::mem::replace(&mut self.head, contents);
+        debug_assert_eq!(back_delta.target_len() as usize, old_head.len());
+        self.entries.push(BackEntry { time: self.head_time, back_delta });
+        self.head_time = time;
+        Ok(())
+    }
+
+    /// Contents of the current version.
+    pub fn head(&self) -> &[u8] {
+        &self.head
+    }
+
+    /// Check-in time of the current version.
+    pub fn head_time(&self) -> u64 {
+        self.head_time
+    }
+
+    /// Number of stored versions (history plus head).
+    pub fn version_count(&self) -> usize {
+        self.entries.len() + 1
+    }
+
+    /// Times of every version, oldest first.
+    pub fn version_times(&self) -> Vec<u64> {
+        let mut times: Vec<u64> = self.entries.iter().map(|e| e.time).collect();
+        times.push(self.head_time);
+        times
+    }
+
+    /// The version time in effect *at* logical time `t`: the newest version
+    /// whose check-in time is ≤ `t`. Time `0` means "current" throughout the
+    /// HAM (paper §A.2).
+    pub fn resolve_time(&self, t: u64) -> Result<u64> {
+        if t == 0 || t >= self.head_time {
+            return Ok(self.head_time);
+        }
+        let times = self.version_times();
+        match times.binary_search(&t) {
+            Ok(_) => Ok(t),
+            Err(0) => Err(StorageError::NoSuchVersion { time: t }),
+            Err(pos) => Ok(times[pos - 1]),
+        }
+    }
+
+    /// Contents as of logical time `t` (`0` = current).
+    ///
+    /// Walks backward deltas from the head; cost is proportional to how far
+    /// back `t` lies, and zero-copy for the head itself.
+    pub fn checkout(&self, t: u64) -> Result<Vec<u8>> {
+        let resolved = self.resolve_time(t)?;
+        if resolved == self.head_time {
+            return Ok(self.head.clone());
+        }
+        // Find the entry index for the resolved time, then apply deltas from
+        // the newest entry down to it.
+        let idx = self
+            .entries
+            .binary_search_by_key(&resolved, |e| e.time)
+            .map_err(|_| StorageError::NoSuchVersion { time: t })?;
+        let mut current = self.head.clone();
+        for entry in self.entries[idx..].iter().rev() {
+            current = entry.back_delta.apply(&current)?;
+        }
+        Ok(current)
+    }
+
+    /// Discard every version checked in after logical time `t`, restoring
+    /// the newest remaining version as the head. Supports transaction
+    /// rollback, where aborting truncates all versioned state back to the
+    /// transaction's start time. Errors if no version at or before `t`
+    /// exists (the archive itself should be deleted in that case).
+    pub fn truncate_after(&mut self, t: u64) -> Result<()> {
+        if self.head_time <= t {
+            return Ok(());
+        }
+        let resolved = self.resolve_time(t)?; // newest surviving version
+        let new_head = self.checkout(resolved)?;
+        let idx = self
+            .entries
+            .binary_search_by_key(&resolved, |e| e.time)
+            .map_err(|_| StorageError::NoSuchVersion { time: t })?;
+        self.entries.truncate(idx);
+        self.head = new_head;
+        self.head_time = resolved;
+        Ok(())
+    }
+
+    /// Total bytes of stored state: head plus all encoded deltas. This is
+    /// the quantity the paper's backward-delta design minimizes relative to
+    /// keeping every version in full.
+    pub fn storage_bytes(&self) -> u64 {
+        self.head.len() as u64
+            + self.entries.iter().map(|e| e.back_delta.storage_size()).sum::<u64>()
+    }
+
+    /// Sum of the lengths of every version in full — what naive full-copy
+    /// storage would cost. Used by the E1 storage-efficiency experiment.
+    pub fn full_copy_bytes(&self) -> Result<u64> {
+        let mut total = self.head.len() as u64;
+        let mut current = self.head.clone();
+        for entry in self.entries.iter().rev() {
+            current = entry.back_delta.apply(&current)?;
+            total += current.len() as u64;
+        }
+        Ok(total)
+    }
+}
+
+impl Encode for Archive {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.head);
+        w.put_u64(self.head_time);
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.put_u64(e.time);
+            e.back_delta.encode(w);
+        }
+    }
+}
+
+impl Decode for Archive {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let head = r.get_bytes()?.to_vec();
+        let head_time = r.get_u64()?;
+        let count = r.get_u64()? as usize;
+        let mut entries = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            let time = r.get_u64()?;
+            let back_delta = Delta::decode(r)?;
+            entries.push(BackEntry { time, back_delta });
+        }
+        Ok(Archive { head, head_time, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn version(i: usize) -> Vec<u8> {
+        (0..100)
+            .map(|line| {
+                if line == i % 100 {
+                    format!("line {line} edited at version {i}\n")
+                } else {
+                    format!("line {line}\n")
+                }
+            })
+            .collect::<String>()
+            .into_bytes()
+    }
+
+    fn build(n: usize) -> Archive {
+        let mut a = Archive::new(version(0), 1);
+        for i in 1..n {
+            a.checkin(version(i), (i + 1) as u64).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn every_version_is_recoverable() {
+        let a = build(25);
+        assert_eq!(a.version_count(), 25);
+        for i in 0..25 {
+            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i), "version {i}");
+        }
+    }
+
+    #[test]
+    fn time_zero_means_current() {
+        let a = build(5);
+        assert_eq!(a.checkout(0).unwrap(), version(4));
+        assert_eq!(a.resolve_time(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn times_between_versions_resolve_downward() {
+        // Versions at times 1 and 10; time 5 sees version-at-1.
+        let mut a = Archive::new(b"v1".to_vec(), 1);
+        a.checkin(b"v2".to_vec(), 10).unwrap();
+        assert_eq!(a.checkout(5).unwrap(), b"v1".to_vec());
+        assert_eq!(a.checkout(10).unwrap(), b"v2".to_vec());
+        assert_eq!(a.checkout(99).unwrap(), b"v2".to_vec());
+        assert_eq!(a.resolve_time(5).unwrap(), 1);
+    }
+
+    #[test]
+    fn time_before_creation_is_an_error() {
+        let mut a = Archive::new(b"v1".to_vec(), 5);
+        a.checkin(b"v2".to_vec(), 10).unwrap();
+        assert!(matches!(a.checkout(3), Err(StorageError::NoSuchVersion { time: 3 })));
+    }
+
+    #[test]
+    fn checkin_requires_monotonic_time() {
+        let mut a = Archive::new(b"v1".to_vec(), 5);
+        assert!(a.checkin(b"v2".to_vec(), 5).is_err());
+        assert!(a.checkin(b"v2".to_vec(), 4).is_err());
+        assert!(a.checkin(b"v2".to_vec(), 6).is_ok());
+    }
+
+    #[test]
+    fn storage_is_much_smaller_than_full_copies() {
+        let a = build(100);
+        let delta_bytes = a.storage_bytes();
+        let full_bytes = a.full_copy_bytes().unwrap();
+        assert!(
+            delta_bytes * 4 < full_bytes,
+            "deltas {delta_bytes} should be far below full copies {full_bytes}"
+        );
+    }
+
+    #[test]
+    fn version_times_sorted() {
+        let a = build(10);
+        let times = a.version_times();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(times.len(), 10);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_history() {
+        let a = build(12);
+        let decoded = Archive::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(decoded, a);
+        for i in 0..12 {
+            assert_eq!(decoded.checkout((i + 1) as u64).unwrap(), version(i));
+        }
+    }
+
+    #[test]
+    fn truncate_after_restores_older_head() {
+        let mut a = build(10);
+        a.truncate_after(4).unwrap();
+        assert_eq!(a.version_count(), 4);
+        assert_eq!(a.head(), version(3).as_slice());
+        assert_eq!(a.head_time(), 4);
+        for i in 0..4 {
+            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i));
+        }
+        // Truncating at or past the head is a no-op.
+        a.truncate_after(4).unwrap();
+        assert_eq!(a.version_count(), 4);
+        a.truncate_after(99).unwrap();
+        assert_eq!(a.version_count(), 4);
+        // Truncating before the first version is an error.
+        assert!(a.truncate_after(0).is_err());
+    }
+
+    #[test]
+    fn truncate_then_checkin_continues_history() {
+        let mut a = build(5);
+        a.truncate_after(2).unwrap();
+        a.checkin(b"new branch tip".to_vec(), 9).unwrap();
+        assert_eq!(a.checkout(0).unwrap(), b"new branch tip".to_vec());
+        assert_eq!(a.checkout(1).unwrap(), version(0));
+        assert_eq!(a.checkout(2).unwrap(), version(1));
+        assert_eq!(a.checkout(5).unwrap(), version(1), "times 3..8 resolve to v2");
+    }
+
+    #[test]
+    fn empty_contents_are_fine() {
+        let mut a = Archive::new(Vec::new(), 1);
+        a.checkin(b"now nonempty\n".to_vec(), 2).unwrap();
+        a.checkin(Vec::new(), 3).unwrap();
+        assert_eq!(a.checkout(1).unwrap(), Vec::<u8>::new());
+        assert_eq!(a.checkout(2).unwrap(), b"now nonempty\n".to_vec());
+        assert_eq!(a.checkout(3).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,236 @@
+//! Directory-backed blob store with Unix-style protections.
+//!
+//! The HAM's `createGraph` takes a `Directory × Protections` and
+//! `changeNodeProtection` sets *"the protections for the file storing the
+//! contents of node NodeIndex"* (paper §A.2). A [`BlobStore`] maps u64
+//! object ids onto files inside a graph directory and carries the paper's
+//! `Protections` domain through to the filesystem where the platform
+//! supports it.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{Result, StorageError};
+
+/// The paper's `Protections` domain: "one of the possible file protection
+/// modes". Modeled as the classic owner/group/other read-write triplet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Protections {
+    /// Unix-style permission bits (e.g. `0o644`).
+    pub mode: u32,
+}
+
+impl Protections {
+    /// Owner read/write, group and world read.
+    pub const DEFAULT: Protections = Protections { mode: 0o644 };
+    /// Owner read/write only.
+    pub const PRIVATE: Protections = Protections { mode: 0o600 };
+    /// Read-only for everyone.
+    pub const READ_ONLY: Protections = Protections { mode: 0o444 };
+
+    /// Whether the owner may write under these protections.
+    pub fn owner_writable(&self) -> bool {
+        self.mode & 0o200 != 0
+    }
+}
+
+impl Default for Protections {
+    fn default() -> Self {
+        Protections::DEFAULT
+    }
+}
+
+impl crate::codec::Encode for Protections {
+    fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_u64(self.mode as u64);
+    }
+}
+
+impl crate::codec::Decode for Protections {
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self> {
+        Ok(Protections { mode: r.get_u64()? as u32 })
+    }
+}
+
+/// A store of uninterpreted blobs, one file per object id.
+#[derive(Debug)]
+pub struct BlobStore {
+    root: PathBuf,
+    protections: Protections,
+}
+
+impl BlobStore {
+    /// Open (creating if needed) a blob store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>, protections: Protections) -> Result<BlobStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(BlobStore { root, protections })
+    }
+
+    fn path_for(&self, id: u64) -> PathBuf {
+        self.root.join(format!("{id:016x}.blob"))
+    }
+
+    /// Write (or overwrite) the blob for `id`.
+    pub fn put(&self, id: u64, contents: &[u8]) -> Result<()> {
+        let path = self.path_for(id);
+        let tmp = path.with_extension("blob.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(contents)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.apply_protections(&path, self.protections)?;
+        Ok(())
+    }
+
+    /// Read the blob for `id`.
+    pub fn get(&self, id: u64) -> Result<Vec<u8>> {
+        match fs::read(self.path_for(id)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound { id })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether a blob exists for `id`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.path_for(id).exists()
+    }
+
+    /// Delete the blob for `id` (idempotent).
+    pub fn delete(&self, id: u64) -> Result<()> {
+        match fs::remove_file(self.path_for(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Apply `protections` to the blob for `id` — the HAM's
+    /// `changeNodeProtection`.
+    pub fn set_protections(&self, id: u64, protections: Protections) -> Result<()> {
+        let path = self.path_for(id);
+        if !path.exists() {
+            return Err(StorageError::NotFound { id });
+        }
+        self.apply_protections(&path, protections)
+    }
+
+    #[cfg(unix)]
+    fn apply_protections(&self, path: &Path, protections: Protections) -> Result<()> {
+        use std::os::unix::fs::PermissionsExt;
+        let perms = fs::Permissions::from_mode(protections.mode);
+        fs::set_permissions(path, perms)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn apply_protections(&self, _path: &Path, _protections: Protections) -> Result<()> {
+        Ok(())
+    }
+
+    /// All object ids currently stored, unsorted.
+    pub fn ids(&self) -> Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hex) = name.strip_suffix(".blob") {
+                if let Ok(id) = u64::from_str_radix(hex, 16) {
+                    ids.push(id);
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(name: &str) -> BlobStore {
+        let dir = std::env::temp_dir().join(format!("neptune-blob-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        BlobStore::open(dir, Protections::DEFAULT).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store("rt");
+        s.put(1, b"node one").unwrap();
+        s.put(2, b"").unwrap();
+        assert_eq!(s.get(1).unwrap(), b"node one".to_vec());
+        assert_eq!(s.get(2).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = store("ow");
+        s.put(7, b"old").unwrap();
+        s.put(7, b"new contents").unwrap();
+        assert_eq!(s.get(7).unwrap(), b"new contents".to_vec());
+    }
+
+    #[test]
+    fn missing_blob_is_not_found() {
+        let s = store("missing");
+        assert!(matches!(s.get(99), Err(StorageError::NotFound { id: 99 })));
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let s = store("del");
+        s.put(3, b"x").unwrap();
+        s.delete(3).unwrap();
+        s.delete(3).unwrap();
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn ids_lists_contents() {
+        let s = store("ids");
+        s.put(10, b"a").unwrap();
+        s.put(20, b"b").unwrap();
+        let mut ids = s.ids().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![10, 20]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn protections_are_applied() {
+        use std::os::unix::fs::PermissionsExt;
+        let s = store("prot");
+        s.put(5, b"guarded").unwrap();
+        s.set_protections(5, Protections::READ_ONLY).unwrap();
+        let meta = fs::metadata(s.root().join(format!("{:016x}.blob", 5u64))).unwrap();
+        assert_eq!(meta.permissions().mode() & 0o777, 0o444);
+        // Restore writability so temp cleanup works elsewhere.
+        s.set_protections(5, Protections::DEFAULT).unwrap();
+    }
+
+    #[test]
+    fn set_protections_on_missing_blob_fails() {
+        let s = store("prot-missing");
+        assert!(s.set_protections(42, Protections::PRIVATE).is_err());
+    }
+
+    #[test]
+    fn protections_helpers() {
+        assert!(Protections::DEFAULT.owner_writable());
+        assert!(!Protections::READ_ONLY.owner_writable());
+    }
+}

@@ -1,0 +1,458 @@
+//! A small, explicit binary codec.
+//!
+//! The HAM persists graphs and speaks its wire protocol using this codec
+//! rather than a general-purpose serialization framework: the set of domains
+//! is small and closed (see the paper's Appendix), and a bespoke format keeps
+//! the on-disk representation auditable and stable.
+//!
+//! Integers are varint-encoded ([`crate::varint`]); byte strings and
+//! sequences are length-prefixed. [`Encode`]/[`Decode`] are implemented for
+//! the primitives the HAM needs and compose structurally for containers.
+
+use crate::error::{Result, StorageError};
+use crate::varint;
+
+/// Incremental writer that appends encoded values to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Create a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Append an unsigned varint.
+    pub fn put_u64(&mut self, v: u64) {
+        varint::write_u64(&mut self.buf, v);
+    }
+
+    /// Append a signed (zig-zag) varint.
+    pub fn put_i64(&mut self, v: i64) {
+        varint::write_i64(&mut self.buf, v);
+    }
+
+    /// Append a single raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append an IEEE-754 double, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes with no length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Encode `value` into this writer.
+    pub fn put<T: Encode + ?Sized>(&mut self, value: &T) {
+        value.encode(self);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Cursor that decodes values from the front of a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap `input` for decoding.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Whether the entire input has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current byte offset into the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Decode an unsigned varint.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let (v, used) = varint::read_u64(&self.input[self.pos..])?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    /// Decode a signed (zig-zag) varint.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        let (v, used) = varint::read_i64(&self.input[self.pos..])?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    /// Decode one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        let b = *self
+            .input
+            .get(self.pos)
+            .ok_or(StorageError::UnexpectedEof { context: "u8" })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Decode a boolean; any nonzero byte other than 1 is rejected.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(StorageError::InvalidTag { context: "bool", tag: tag as u64 }),
+        }
+    }
+
+    /// Decode a little-endian IEEE-754 double.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        let raw = self.get_raw(8, "f64")?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(raw);
+        Ok(f64::from_le_bytes(arr))
+    }
+
+    /// Take exactly `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::UnexpectedEof { context });
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Decode a length-prefixed byte string, borrowing from the input.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u64()? as usize;
+        self.get_raw(len, "byte string")
+    }
+
+    /// Decode a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| StorageError::InvalidUtf8)
+    }
+
+    /// Decode a value of type `T`.
+    pub fn get<T: Decode>(&mut self) -> Result<T> {
+        T::decode(self)
+    }
+}
+
+/// Types that can serialize themselves into a [`Writer`].
+pub trait Encode {
+    /// Append the binary form of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Encode into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Types that can deserialize themselves from a [`Reader`].
+pub trait Decode: Sized {
+    /// Decode one value from the front of `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Decode from a complete byte slice, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_at_end() {
+            return Err(StorageError::InvalidTag { context: "trailing bytes", tag: r.remaining() as u64 });
+        }
+        Ok(v)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+}
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_u64()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+}
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let v = r.get_u64()?;
+        u32::try_from(v).map_err(|_| StorageError::InvalidTag { context: "u32", tag: v })
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i64(*self);
+    }
+}
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_i64()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(*self);
+    }
+}
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_bool()
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+}
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_f64()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(r.get_str()?.to_owned())
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+}
+impl Decode for Vec<u8> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(r.get_bytes()?.to_vec())
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(StorageError::InvalidTag { context: "Option", tag: tag as u64 }),
+        }
+    }
+}
+
+/// Sequences encode as a count followed by each element.
+///
+/// A blanket impl would collide with `Vec<u8>`'s byte-string form, so
+/// sequences of encodable values go through these helpers instead.
+pub fn encode_seq<T: Encode>(items: &[T], w: &mut Writer) {
+    w.put_u64(items.len() as u64);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+/// Decode a sequence written by [`encode_seq`].
+pub fn decode_seq<T: Decode>(r: &mut Reader<'_>) -> Result<Vec<T>> {
+    let len = r.get_u64()? as usize;
+    // Guard against hostile lengths: never pre-allocate more than the
+    // remaining input could possibly hold (1 byte per element minimum).
+    let mut out = Vec::with_capacity(len.min(r.remaining()));
+    for _ in 0..len {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+}
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut w = Writer::new();
+        w.put_u64(300);
+        w.put_i64(-5);
+        w.put_bool(true);
+        w.put_f64(2.5);
+        w.put_str("hypertext");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 300);
+        assert_eq!(r.get_i64().unwrap(), -5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_f64().unwrap(), 2.5);
+        assert_eq!(r.get_str().unwrap(), "hypertext");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn option_roundtrips() {
+        let some: Option<u64> = Some(9);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_bytes(&some.to_bytes()).unwrap(), some);
+        assert_eq!(Option::<u64>::from_bytes(&none.to_bytes()).unwrap(), none);
+    }
+
+    #[test]
+    fn seq_roundtrips() {
+        let items = vec!["a".to_string(), "bb".to_string(), "".to_string()];
+        let mut w = Writer::new();
+        encode_seq(&items, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded: Vec<String> = decode_seq(&mut r).unwrap();
+        assert_eq!(decoded, items);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let v = (5u64, "x".to_string(), false);
+        let decoded = <(u64, String, bool)>::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0xAB);
+        assert!(u64::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bool_rejects_other_tags() {
+        let mut r = Reader::new(&[2]);
+        assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_overallocate() {
+        // Claims 2^60 elements but provides none.
+        let mut w = Writer::new();
+        w.put_u64(1u64 << 60);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(decode_seq::<u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn u32_range_checked() {
+        let bytes = (u32::MAX as u64 + 1).to_bytes();
+        assert!(u32::from_bytes(&bytes).is_err());
+        let ok = u32::MAX.to_bytes();
+        assert_eq!(u32::from_bytes(&ok).unwrap(), u32::MAX);
+    }
+}

@@ -1,0 +1,269 @@
+//! Copy/add deltas between byte buffers.
+//!
+//! Paper §3: *"we wanted effective storage of many versions of such data
+//! without copying each individual item; for nodes this is provided by
+//! backward deltas similar to RCS"*. A [`Delta`] is a compact program that
+//! rebuilds a target buffer from a base buffer: a sequence of `Copy`
+//! (byte range of the base) and `Add` (literal bytes) instructions. The
+//! archive stores the *current* version in full and one backward delta per
+//! older version.
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::diff::{diff_lines, split_lines, HunkKind};
+use crate::error::{Result, StorageError};
+
+/// One delta instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes starting at `offset` in the base buffer.
+    Copy {
+        /// Byte offset into the base.
+        offset: u64,
+        /// Number of bytes to copy.
+        len: u64,
+    },
+    /// Append these literal bytes.
+    Add(Vec<u8>),
+}
+
+/// A program that reconstructs a target buffer from a base buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+    target_len: u64,
+}
+
+impl Delta {
+    /// Compute a delta such that `delta.apply(base) == target`.
+    ///
+    /// Uses the line-level Myers diff to find shared regions; byte-identical
+    /// runs of lines become `Copy` instructions, novel bytes become `Add`s.
+    pub fn compute(base: &[u8], target: &[u8]) -> Delta {
+        let hunks = diff_lines(base, target);
+        let base_lines = split_lines(base);
+        let target_lines = split_lines(target);
+
+        // Byte offset of each line start, plus total length sentinel.
+        let mut base_offsets = Vec::with_capacity(base_lines.len() + 1);
+        let mut acc = 0u64;
+        for l in &base_lines {
+            base_offsets.push(acc);
+            acc += l.len() as u64;
+        }
+        base_offsets.push(acc);
+
+        let mut ops: Vec<DeltaOp> = Vec::new();
+        for h in &hunks {
+            match h.kind {
+                HunkKind::Equal => {
+                    let start = base_offsets[h.a_range.0];
+                    let end = base_offsets[h.a_range.1];
+                    if end > start {
+                        // Coalesce with a preceding contiguous copy.
+                        if let Some(DeltaOp::Copy { offset, len }) = ops.last_mut() {
+                            if *offset + *len == start {
+                                *len = end - *offset;
+                                continue;
+                            }
+                        }
+                        ops.push(DeltaOp::Copy { offset: start, len: end - start });
+                    }
+                }
+                HunkKind::Insert => {
+                    let mut bytes = Vec::new();
+                    for l in &target_lines[h.b_range.0..h.b_range.1] {
+                        bytes.extend_from_slice(l);
+                    }
+                    if !bytes.is_empty() {
+                        if let Some(DeltaOp::Add(prev)) = ops.last_mut() {
+                            prev.extend_from_slice(&bytes);
+                        } else {
+                            ops.push(DeltaOp::Add(bytes));
+                        }
+                    }
+                }
+                HunkKind::Delete => {}
+            }
+        }
+        Delta { ops, target_len: target.len() as u64 }
+    }
+
+    /// Rebuild the target buffer from `base`.
+    pub fn apply(&self, base: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.target_len as usize);
+        for op in &self.ops {
+            match op {
+                DeltaOp::Copy { offset, len } => {
+                    let start = *offset as usize;
+                    let end = start
+                        .checked_add(*len as usize)
+                        .ok_or(StorageError::DeltaOutOfRange { offset: *offset, base_len: base.len() as u64 })?;
+                    let slice = base.get(start..end).ok_or(StorageError::DeltaOutOfRange {
+                        offset: *offset,
+                        base_len: base.len() as u64,
+                    })?;
+                    out.extend_from_slice(slice);
+                }
+                DeltaOp::Add(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Length of the buffer this delta reconstructs.
+    pub fn target_len(&self) -> u64 {
+        self.target_len
+    }
+
+    /// Number of instructions.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Bytes of literal (`Add`) data carried by this delta — the part that
+    /// actually costs storage beyond fixed overhead.
+    pub fn added_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Add(b) => b.len() as u64,
+                DeltaOp::Copy { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Approximate encoded size in bytes, for storage accounting.
+    pub fn storage_size(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+
+    /// The instruction stream.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+}
+
+impl Encode for Delta {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.target_len);
+        w.put_u64(self.ops.len() as u64);
+        for op in &self.ops {
+            match op {
+                DeltaOp::Copy { offset, len } => {
+                    w.put_u8(0);
+                    w.put_u64(*offset);
+                    w.put_u64(*len);
+                }
+                DeltaOp::Add(bytes) => {
+                    w.put_u8(1);
+                    w.put_bytes(bytes);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Delta {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let target_len = r.get_u64()?;
+        let count = r.get_u64()? as usize;
+        let mut ops = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            ops.push(match r.get_u8()? {
+                0 => DeltaOp::Copy { offset: r.get_u64()?, len: r.get_u64()? },
+                1 => DeltaOp::Add(r.get_bytes()?.to_vec()),
+                tag => return Err(StorageError::InvalidTag { context: "DeltaOp", tag: tag as u64 }),
+            });
+        }
+        Ok(Delta { ops, target_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(base: &[u8], target: &[u8]) -> Delta {
+        let d = Delta::compute(base, target);
+        assert_eq!(d.apply(base).unwrap(), target.to_vec());
+        assert_eq!(d.target_len(), target.len() as u64);
+        d
+    }
+
+    #[test]
+    fn roundtrips() {
+        check(b"", b"");
+        check(b"", b"hello\nworld\n");
+        check(b"hello\nworld\n", b"");
+        check(b"a\nb\nc\n", b"a\nB\nc\n");
+        check(b"same\nsame\n", b"same\nsame\n");
+        check(b"\x00\x01\x02", b"\x00\x01\x02\x03");
+    }
+
+    #[test]
+    fn small_edit_produces_small_delta() {
+        // 1000 lines, one changed: delta literal payload should be ~1 line.
+        let base: Vec<u8> = (0..1000).map(|i| format!("line number {i}\n")).collect::<String>().into_bytes();
+        let mut target_str = String::new();
+        for i in 0..1000 {
+            if i == 500 {
+                target_str.push_str("EDITED LINE\n");
+            } else {
+                target_str.push_str(&format!("line number {i}\n"));
+            }
+        }
+        let target = target_str.into_bytes();
+        let d = check(&base, &target);
+        assert!(d.added_bytes() < 64, "added {} bytes", d.added_bytes());
+        assert!(d.storage_size() < 128, "stored {} bytes", d.storage_size());
+        assert!(d.storage_size() < base.len() as u64 / 10);
+    }
+
+    #[test]
+    fn identical_buffers_delta_is_one_copy() {
+        let base = b"x\ny\nz\n";
+        let d = Delta::compute(base, base);
+        assert_eq!(d.op_count(), 1);
+        assert_eq!(d.added_bytes(), 0);
+    }
+
+    #[test]
+    fn adjacent_copies_coalesce() {
+        // A deletion in the middle leaves two copy regions which must stay
+        // separate; but consecutive equal hunks would coalesce.
+        let base = b"a\nb\nc\nd\n";
+        let target = b"a\nb\nd\n";
+        let d = check(base, target);
+        assert_eq!(d.added_bytes(), 0);
+        assert_eq!(d.op_count(), 2); // copy "a\nb\n", copy "d\n"
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_copy() {
+        let d = Delta { ops: vec![DeltaOp::Copy { offset: 10, len: 5 }], target_len: 5 };
+        assert!(matches!(d.apply(b"short"), Err(StorageError::DeltaOutOfRange { .. })));
+    }
+
+    #[test]
+    fn apply_rejects_overflowing_copy() {
+        let d = Delta { ops: vec![DeltaOp::Copy { offset: u64::MAX, len: u64::MAX }], target_len: 1 };
+        assert!(d.apply(b"x").is_err());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let d = Delta::compute(b"one\ntwo\nthree\n", b"one\n2\nthree\nfour\n");
+        let decoded = Delta::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(decoded, d);
+        assert_eq!(decoded.apply(b"one\ntwo\nthree\n").unwrap(), b"one\n2\nthree\nfour\n".to_vec());
+    }
+
+    #[test]
+    fn binary_data_without_newlines_still_works() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let mut target = base.clone();
+        target[128] = 0;
+        let d = Delta::compute(&base, &target);
+        assert_eq!(d.apply(&base).unwrap(), target);
+    }
+}

@@ -1,0 +1,104 @@
+//! Line splitting and interning for the diff engine.
+
+use std::collections::HashMap;
+
+/// Split `data` into lines, each retaining its trailing `\n` (the final line
+/// may lack one). Concatenating the slices yields `data` exactly.
+pub fn split_lines(data: &[u8]) -> Vec<&[u8]> {
+    let mut lines = Vec::new();
+    let mut start = 0;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            lines.push(&data[start..=i]);
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        lines.push(&data[start..]);
+    }
+    lines
+}
+
+/// Interns line contents so the diff core compares small integer tokens
+/// instead of byte slices. Identical lines — wherever they occur in either
+/// input — receive the same token.
+#[derive(Debug, Default)]
+pub struct Interner {
+    table: HashMap<Vec<u8>, u32>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern every line of `data`, returning one token per line.
+    pub fn intern_lines(&mut self, data: &[u8]) -> Vec<u32> {
+        split_lines(data)
+            .into_iter()
+            .map(|line| {
+                let next = self.table.len() as u32;
+                *self.table.entry(line.to_vec()).or_insert(next)
+            })
+            .collect()
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no lines have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_preserves_bytes() {
+        for data in [
+            &b"a\nb\nc\n"[..],
+            b"no newline",
+            b"",
+            b"\n",
+            b"\n\n",
+            b"trailing\npartial",
+            b"\x00\x01\n\xFF",
+        ] {
+            let joined: Vec<u8> = split_lines(data).concat();
+            assert_eq!(joined, data);
+        }
+    }
+
+    #[test]
+    fn split_counts() {
+        assert_eq!(split_lines(b"").len(), 0);
+        assert_eq!(split_lines(b"x").len(), 1);
+        assert_eq!(split_lines(b"x\n").len(), 1);
+        assert_eq!(split_lines(b"x\ny").len(), 2);
+        assert_eq!(split_lines(b"\n\n\n").len(), 3);
+    }
+
+    #[test]
+    fn interning_is_stable_across_inputs() {
+        let mut i = Interner::new();
+        let a = i.intern_lines(b"same\ndiff_a\n");
+        let b = i.intern_lines(b"same\ndiff_b\n");
+        assert_eq!(a[0], b[0], "identical lines share a token");
+        assert_ne!(a[1], b[1]);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn line_with_and_without_newline_differ() {
+        let mut i = Interner::new();
+        let a = i.intern_lines(b"x\n");
+        let b = i.intern_lines(b"x");
+        assert_ne!(a[0], b[0]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Myers O(ND) shortest-edit-script diff over token sequences.
+//!
+//! The classic greedy algorithm from Myers, "An O(ND) Difference Algorithm
+//! and Its Variations" (1986 — contemporaneous with the Neptune paper). We
+//! keep the full trace to reconstruct the script, and bail out to a trivial
+//! whole-replacement script if the edit distance grows past a budget, which
+//! bounds memory to O(budget²) for pathological binary inputs.
+
+/// One primitive diff operation over token indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Token `a[i]` matches token `b[j]`.
+    Equal {
+        /// Index into the left sequence.
+        a: usize,
+        /// Index into the right sequence.
+        b: usize,
+    },
+    /// Token `a[i]` is absent from `b`.
+    Delete {
+        /// Index into the left sequence.
+        a: usize,
+    },
+    /// Token `b[j]` is absent from `a`.
+    Insert {
+        /// Index into the right sequence.
+        b: usize,
+    },
+}
+
+/// Edit-distance budget past which we fall back to delete-all/insert-all.
+/// 8192 edits covers any plausible text node; beyond it the delta would be
+/// nearly a full copy anyway.
+const MAX_D: usize = 8192;
+
+/// Diff two token sequences, returning ops in order.
+///
+/// The result is a minimal edit script when the edit distance is within the
+/// internal budget, and a correct (whole-replacement) script otherwise.
+pub fn diff_tokens(a: &[u32], b: &[u32]) -> Vec<DiffOp> {
+    // Strip common prefix/suffix first: cheap and makes the common case
+    // (small edit in a large node) fast regardless of node size.
+    let mut prefix = 0;
+    while prefix < a.len() && prefix < b.len() && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < a.len() - prefix && suffix < b.len() - prefix
+        && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+
+    let core_a = &a[prefix..a.len() - suffix];
+    let core_b = &b[prefix..b.len() - suffix];
+
+    let mut ops = Vec::with_capacity(a.len().max(b.len()));
+    for i in 0..prefix {
+        ops.push(DiffOp::Equal { a: i, b: i });
+    }
+    let core_ops = myers_core(core_a, core_b);
+    for op in core_ops {
+        ops.push(match op {
+            DiffOp::Equal { a: i, b: j } => DiffOp::Equal { a: i + prefix, b: j + prefix },
+            DiffOp::Delete { a: i } => DiffOp::Delete { a: i + prefix },
+            DiffOp::Insert { b: j } => DiffOp::Insert { b: j + prefix },
+        });
+    }
+    for k in 0..suffix {
+        ops.push(DiffOp::Equal {
+            a: a.len() - suffix + k,
+            b: b.len() - suffix + k,
+        });
+    }
+    ops
+}
+
+fn trivial_script(n: usize, m: usize) -> Vec<DiffOp> {
+    let mut ops = Vec::with_capacity(n + m);
+    ops.extend((0..n).map(|i| DiffOp::Delete { a: i }));
+    ops.extend((0..m).map(|j| DiffOp::Insert { b: j }));
+    ops
+}
+
+fn myers_core(a: &[u32], b: &[u32]) -> Vec<DiffOp> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return trivial_script(n, m);
+    }
+
+    let max = (n + m).min(MAX_D);
+    let offset = max as isize;
+    // v[k + offset] = furthest x along diagonal k.
+    let mut v = vec![0usize; 2 * max + 1];
+    let mut trace: Vec<Vec<usize>> = Vec::new();
+
+    let mut found_d = None;
+    'outer: for d in 0..=max {
+        trace.push(v.clone());
+        let d_i = d as isize;
+        let mut k = -d_i;
+        while k <= d_i {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d_i || (k != d_i && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1] // move down (insert from b)
+            } else {
+                v[idx - 1] + 1 // move right (delete from a)
+            };
+            let mut y = (x as isize - k) as usize;
+            while x < n && y < m && a[x] == b[y] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                found_d = Some(d);
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+
+    let Some(d_final) = found_d else {
+        // Edit distance exceeded the budget; emit a correct, non-minimal script.
+        return trivial_script(n, m);
+    };
+
+    // Backtrack through the trace to recover the path.
+    let mut ops_rev: Vec<DiffOp> = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    for d in (0..=d_final).rev() {
+        let v = &trace[d];
+        let d_i = d as isize;
+        let k = x as isize - y as isize;
+        let idx = (k + offset) as usize;
+        let (prev_k, down) = if k == -d_i || (k != d_i && v[idx - 1] < v[idx + 1]) {
+            (k + 1, true)
+        } else {
+            (k - 1, false)
+        };
+        let prev_x = if d == 0 { 0 } else { v[(prev_k + offset) as usize] };
+        let prev_y = (prev_x as isize - prev_k) as usize;
+
+        // Snake: trailing matches on this diagonal. At d == 0 the whole path
+        // from (0,0) is one snake with no preceding edit.
+        let snake_end_x = if d == 0 { 0 } else if down { prev_x } else { prev_x + 1 };
+        let snake_end_y = if d == 0 { 0 } else if down { prev_y + 1 } else { prev_y };
+        while x > snake_end_x && y > snake_end_y {
+            x -= 1;
+            y -= 1;
+            ops_rev.push(DiffOp::Equal { a: x, b: y });
+        }
+        if d > 0 {
+            if down {
+                y -= 1;
+                ops_rev.push(DiffOp::Insert { b: y });
+            } else {
+                x -= 1;
+                ops_rev.push(DiffOp::Delete { a: x });
+            }
+            debug_assert_eq!(x, prev_x);
+            debug_assert_eq!(y, prev_y);
+        }
+    }
+    debug_assert_eq!(x, 0);
+    debug_assert_eq!(y, 0);
+    ops_rev.reverse();
+    ops_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Apply a script to `a`, checking indices walk both inputs in order.
+    fn apply(a: &[u32], b: &[u32], ops: &[DiffOp]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut ai = 0;
+        let mut bi = 0;
+        for op in ops {
+            match *op {
+                DiffOp::Equal { a: i, b: j } => {
+                    assert_eq!(i, ai);
+                    assert_eq!(j, bi);
+                    assert_eq!(a[i], b[j]);
+                    out.push(a[i]);
+                    ai += 1;
+                    bi += 1;
+                }
+                DiffOp::Delete { a: i } => {
+                    assert_eq!(i, ai);
+                    ai += 1;
+                }
+                DiffOp::Insert { b: j } => {
+                    assert_eq!(j, bi);
+                    out.push(b[j]);
+                    bi += 1;
+                }
+            }
+        }
+        assert_eq!(ai, a.len());
+        assert_eq!(bi, b.len());
+        out
+    }
+
+    fn edit_count(ops: &[DiffOp]) -> usize {
+        ops.iter().filter(|o| !matches!(o, DiffOp::Equal { .. })).count()
+    }
+
+    #[test]
+    fn classic_myers_example() {
+        // ABCABBA -> CBABAC, minimal edit distance 5.
+        let a = [0u32, 1, 2, 0, 1, 1, 0];
+        let b = [2u32, 1, 0, 1, 0, 2];
+        let ops = diff_tokens(&a, &b);
+        assert_eq!(apply(&a, &b, &ops), b.to_vec());
+        assert_eq!(edit_count(&ops), 5);
+    }
+
+    #[test]
+    fn equal_sequences() {
+        let a = [1u32, 2, 3];
+        let ops = diff_tokens(&a, &a);
+        assert_eq!(edit_count(&ops), 0);
+        assert_eq!(apply(&a, &a, &ops), a.to_vec());
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(diff_tokens(&[], &[]), vec![]);
+        let ops = diff_tokens(&[], &[1, 2]);
+        assert_eq!(edit_count(&ops), 2);
+        let ops = diff_tokens(&[1, 2], &[]);
+        assert_eq!(edit_count(&ops), 2);
+    }
+
+    #[test]
+    fn single_substitution_costs_two() {
+        let a = [1u32, 2, 3, 4, 5];
+        let b = [1u32, 2, 9, 4, 5];
+        let ops = diff_tokens(&a, &b);
+        assert_eq!(apply(&a, &b, &ops), b.to_vec());
+        assert_eq!(edit_count(&ops), 2);
+    }
+
+    #[test]
+    fn disjoint_sequences() {
+        let a = [1u32, 2, 3];
+        let b = [4u32, 5];
+        let ops = diff_tokens(&a, &b);
+        assert_eq!(apply(&a, &b, &ops), b.to_vec());
+        assert_eq!(edit_count(&ops), 5);
+    }
+
+    #[test]
+    fn long_common_prefix_and_suffix() {
+        let mut a: Vec<u32> = (0..1000).collect();
+        let mut b = a.clone();
+        b[500] = 9999;
+        a.push(42);
+        b.push(42);
+        let ops = diff_tokens(&a, &b);
+        assert_eq!(apply(&a, &b, &ops), b);
+        assert_eq!(edit_count(&ops), 2);
+    }
+
+    #[test]
+    fn randomized_scripts_always_apply() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (next() % 40) as usize;
+            let m = (next() % 40) as usize;
+            let a: Vec<u32> = (0..n).map(|_| (next() % 6) as u32).collect();
+            let b: Vec<u32> = (0..m).map(|_| (next() % 6) as u32).collect();
+            let ops = diff_tokens(&a, &b);
+            assert_eq!(apply(&a, &b, &ops), b);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Atomic, checksummed snapshot files.
+//!
+//! Graph state that is folded out of the WAL at checkpoint time is written
+//! as a snapshot: a header, a CRC-32, and the payload, written to a
+//! temporary file and atomically renamed into place so a crash during
+//! checkpointing never leaves a half-written snapshot where a good one was.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use crate::checksum::crc32;
+use crate::error::{Result, StorageError};
+
+/// Magic bytes identifying a Neptune snapshot file, version 1.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"NEPTSNP1";
+
+/// Atomically write `payload` as a snapshot at `path`.
+pub fn write_snapshot(path: impl AsRef<Path>, payload: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(SNAPSHOT_MAGIC)?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(&crc32(payload).to_le_bytes())?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename itself requires syncing the directory.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read and verify a snapshot written by [`write_snapshot`].
+pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Vec<u8>> {
+    let bytes = fs::read(path.as_ref())?;
+    let header_len = SNAPSHOT_MAGIC.len() + 8 + 4;
+    if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StorageError::BadFileHeader { context: "snapshot" });
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let payload = bytes
+        .get(header_len..header_len + len)
+        .ok_or(StorageError::UnexpectedEof { context: "snapshot payload" })?;
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(StorageError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("neptune-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("rt");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"hello graph").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), b"hello graph".to_vec());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let dir = tmpdir("empty");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn overwrite_replaces_cleanly() {
+        let dir = tmpdir("overwrite");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"first").unwrap();
+        write_snapshot(&path, b"second, longer payload").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), b"second, longer payload".to_vec());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"important bytes").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StorageError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"important bytes").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let dir = tmpdir("magic");
+        let path = dir.join("graph.snap");
+        fs::write(&path, b"WRONGMAGxxxxxxxxxxxx").unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StorageError::BadFileHeader { .. })));
+    }
+
+    #[test]
+    fn no_tmp_file_left_behind() {
+        let dir = tmpdir("tmpfile");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"payload").unwrap();
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

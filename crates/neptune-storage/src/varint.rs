@@ -1,0 +1,152 @@
+//! LEB128-style variable-length integer encoding.
+//!
+//! The storage layer's binary formats (codec, deltas, WAL records) encode
+//! most integers as varints: the HAM's identifiers and offsets are usually
+//! small, so this keeps on-disk records compact without a fixed-width tax.
+
+use crate::error::{Result, StorageError};
+
+/// Maximum number of bytes a 64-bit varint can occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append the unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zig-zag encoded signed integer to `out`.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag_encode(value));
+}
+
+/// Decode an unsigned LEB128 varint from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed.
+pub fn read_u64(input: &[u8]) -> Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(StorageError::VarintOverflow);
+        }
+        let low = (byte & 0x7F) as u64;
+        // The tenth byte may only contribute the final bit of a u64.
+        if shift == 63 && low > 1 {
+            return Err(StorageError::VarintOverflow);
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(StorageError::UnexpectedEof { context: "varint" })
+}
+
+/// Decode a zig-zag encoded signed integer from the front of `input`.
+pub fn read_i64(input: &[u8]) -> Result<(i64, usize)> {
+    let (raw, used) = read_u64(input)?;
+    Ok((zigzag_decode(raw), used))
+}
+
+/// Map signed integers onto unsigned so small magnitudes stay short.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Number of bytes [`write_u64`] would emit for `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        assert_eq!(buf.len(), encoded_len(v));
+        let (decoded, used) = read_u64(&buf).unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn unsigned_roundtrips() {
+        for v in [0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (decoded, used) = read_i64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_short() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in -1000..1000 {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_u64(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // Eleven continuation bytes can never be a valid u64.
+        let bad = [0x80u8; 11];
+        assert!(matches!(read_u64(&bad), Err(StorageError::VarintOverflow)));
+        // Ten bytes whose final byte overflows the top bit.
+        let mut high = vec![0xFFu8; 9];
+        high.push(0x02);
+        assert!(matches!(read_u64(&high), Err(StorageError::VarintOverflow)));
+    }
+
+    #[test]
+    fn reads_only_consume_one_varint() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        write_u64(&mut buf, 7);
+        let (a, used) = read_u64(&buf).unwrap();
+        assert_eq!(a, 300);
+        let (b, used2) = read_u64(&buf[used..]).unwrap();
+        assert_eq!(b, 7);
+        assert_eq!(used + used2, buf.len());
+    }
+}

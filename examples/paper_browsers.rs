@@ -1,0 +1,100 @@
+//! Reproduce the paper's Figures 1–3.
+//!
+//! Builds the Neptune paper itself as a hyperdocument (the same document
+//! the original figures browse), then renders the textual analogues of:
+//!
+//! * Figure 1 — the graph browser's pictorial view,
+//! * Figure 2 — the document browser's miller-column panes,
+//! * Figure 3 — the node browser with inline link icons,
+//! * plus the node-differences browser described alongside them.
+//!
+//! Run with: `cargo run --example paper_browsers`
+
+use neptune::document::{diffview, view_node, DocumentBrowser, GraphBrowser};
+use neptune::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("neptune-figures-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT)?;
+
+    // ---- Build the paper as a hyperdocument --------------------------------
+    let doc = Document::create(&mut ham, MAIN_CONTEXT, "sigmod-paper", "SIGMOD Paper")?;
+    let intro = doc.add_section(
+        &mut ham,
+        doc.root,
+        10,
+        "Introduction",
+        "Traditional databases have certain weaknesses for CAD...\n",
+    )?;
+    let hypertext = doc.add_section(
+        &mut ham,
+        doc.root,
+        20,
+        "Hypertext",
+        "Hypertext in its essence is non-linear text.\n",
+    )?;
+    doc.add_section(&mut ham, hypertext, 1, "Existing Systems", "memex, NLS/Augment, Xanadu...\n")?;
+    doc.add_section(&mut ham, hypertext, 2, "Properties", "editing, traversal, multimedia...\n")?;
+    let overview =
+        doc.add_section(&mut ham, doc.root, 30, "Overview of Neptune", "A layered architecture.\n")?;
+    doc.add_section(&mut ham, doc.root, 40, "Hypertext-based CAD", "CASE over the HAM.\n")?;
+    doc.add_section(&mut ham, doc.root, 50, "Conclusions", "Contexts and demons ahead.\n")?;
+    // A cross-reference from the introduction to the overview.
+    doc.add_reference(&mut ham, intro, 20, overview)?;
+    // An annotation, to give the node browser an inline icon to show.
+    neptune::document::annotate(&mut ham, MAIN_CONTEXT, intro, 12, "cite Katz & Lehman here\n")?;
+
+    // ---- Figure 1: the graph browser ---------------------------------------
+    println!("============ Figure 1: Graph Browser ============\n");
+    let graph_browser = GraphBrowser::with_predicates("document = \"sigmod-paper\"", "true");
+    print!("{}", graph_browser.render(&ham, MAIN_CONTEXT, Time::CURRENT)?);
+
+    // ---- Figure 2: the document browser -------------------------------------
+    println!("\n============ Figure 2: Document Browser ============\n");
+    let mut outline = DocumentBrowser::new("document = \"sigmod-paper\"");
+    // Select the root in pane 1, then "Hypertext" in pane 2 (as the paper's
+    // screenshot does).
+    let view = outline.view(&mut ham, MAIN_CONTEXT, Time::CURRENT)?;
+    let root_idx = view
+        .panes[0]
+        .iter()
+        .position(|(n, _, _)| *n == doc.root)
+        .expect("root in query pane");
+    outline.select(0, root_idx);
+    outline.select(1, 1); // "Hypertext" is the second child
+    print!("{}", outline.render(&mut ham, MAIN_CONTEXT, Time::CURRENT)?);
+
+    // ---- Figure 3: the node browser ------------------------------------------
+    println!("\n============ Figure 3: Node Browser ============\n");
+    let node_view = view_node(&mut ham, MAIN_CONTEXT, intro, Time::CURRENT)?;
+    println!("+-- Node Browser: node {} ----", node_view.node.0);
+    for line in node_view.text.lines() {
+        println!("| {line}");
+    }
+    println!("| links: {}", node_view.links.len());
+    for l in &node_view.links {
+        println!("|   @{} -> node {} ({})", l.offset, l.target.0, l.icon);
+    }
+
+    // ---- The node-differences browser ----------------------------------------
+    println!("\n============ Node Differences Browser ============\n");
+    let opened = ham.open_node(MAIN_CONTEXT, overview, Time::CURRENT, &[])?;
+    let old_time = opened.current_time;
+    ham.modify_node(
+        MAIN_CONTEXT,
+        overview,
+        old_time,
+        b"Overview of Neptune\nA layered architecture: HAM, applications, UI.\n".to_vec(),
+        &opened.link_pts,
+    )?;
+    print!(
+        "{}",
+        diffview::render(&ham, MAIN_CONTEXT, overview, old_time, Time::CURRENT)?
+    );
+
+    // ---- Hardcopy via linearizeGraph ------------------------------------------
+    println!("\n============ Hardcopy (linearizeGraph) ============\n");
+    print!("{}", neptune::document::hardcopy(&mut ham, &doc, Time::CURRENT)?);
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The hypertext × relational synergy (paper §5).
+//!
+//! "It could be very beneficial to combine the advantages that hypertext
+//! provides with those provided by a relational data base. For example,
+//! given such fine grained information as a symbol table, one might want
+//! to find all references to a variable, not only in the code, but in all
+//! the documentation as well."
+//!
+//! Builds a CASE project plus its documentation in one graph, then runs
+//! exactly that query relationally.
+//!
+//! Run with: `cargo run --example relational_queries`
+
+use neptune::prelude::*;
+use neptune::relational::{build_xref, links_relation, nodes_relation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("neptune-rel-ex-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT)?;
+
+    // ---- Code: two Modula-2 modules -----------------------------------------
+    let project = CaseProject::new(MAIN_CONTEXT);
+    let lists = parse_module(
+        "DEFINITION MODULE Lists;\nPROCEDURE Insert;\nEND Insert;\nPROCEDURE Remove;\nEND Remove;\nEND Lists.\n",
+    )?;
+    let editor = parse_module(
+        "MODULE Editor;\nIMPORT Lists;\nPROCEDURE Paste;\n  Lists.Insert;\nEND Paste;\nEND Editor.\n",
+    )?;
+    let lists_nodes = project.ingest_module(&mut ham, &lists)?;
+    let editor_nodes = project.ingest_module(&mut ham, &editor)?;
+    project.link_imports(&mut ham, &[(&lists, lists_nodes.module), (&editor, editor_nodes.module)])?;
+
+    // ---- Documentation mentioning the same symbols ---------------------------
+    let doc = Document::create(&mut ham, MAIN_CONTEXT, "design", "Design Notes")?;
+    doc.add_section(
+        &mut ham,
+        doc.root,
+        10,
+        "List invariants",
+        "Insert must keep the list sorted; Remove may not.\n",
+    )?;
+    doc.add_section(&mut ham, doc.root, 20, "Editor", "Paste calls into Lists.\n")?;
+
+    // ---- Plain relational views over the hypertext ----------------------------
+    println!("== nodes with their contentType ==\n");
+    let nodes = nodes_relation(&ham, MAIN_CONTEXT, Time::CURRENT, &["contentType"])?;
+    print!("{}", nodes.render());
+
+    println!("\n== structural links (relation attribute) ==\n");
+    let links = links_relation(&ham, MAIN_CONTEXT, Time::CURRENT, &["relation"])?;
+    print!("{}", links.select_eq("relation", &Value::str("isPartOf"))?.render());
+
+    // ---- The paper's query ------------------------------------------------------
+    println!("\n== all references to 'Insert' — code AND documentation ==\n");
+    let xref = build_xref(&mut ham, MAIN_CONTEXT, Time::CURRENT)?;
+    print!("{}", xref.references_to("Insert")?.render());
+
+    println!("\n== the same, joined with each referrer's document attribute ==\n");
+    let with_doc = xref.references_with_context(
+        &ham,
+        MAIN_CONTEXT,
+        Time::CURRENT,
+        "Insert",
+        &["document"],
+    )?;
+    print!("{}", with_doc.render());
+
+    // ---- Composition: which documents reference symbols defined in Lists? ------
+    println!("\n== documents touching anything Lists defines ==\n");
+    // Join defs with refs on `symbol`, keeping documentation referrers.
+    let doc_refs = xref
+        .refs
+        .select_eq("kind", &Value::str("documentation"))?
+        .rename("node", "referrer")?;
+    let hits = xref.defs.rename("node", "definer")?.join(&doc_refs)?;
+    print!("{}", hits.project(&["symbol", "referrer"])?.render());
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # Neptune — a hypertext system for CAD applications
+//!
+//! A from-scratch Rust reproduction of *"Neptune: a Hypertext System for
+//! CAD Applications"* (Norman Delisle & Mayer Schwartz, Tektronix
+//! Laboratories, SIGMOD 1986): the **Hypertext Abstract Machine (HAM)** —
+//! a transaction-based, fully versioned hypergraph store — together with
+//! the layers the paper builds on and around it.
+//!
+//! ## Layers (paper §3)
+//!
+//! * [`storage`] — substrate: backward-delta archives (RCS-style), a
+//!   write-ahead log, Myers diff, checksummed snapshots.
+//! * [`ham`] — the HAM itself: every operation of the paper's appendix
+//!   ([`ham::Ham`]), predicates, demons, transactions, and the §5
+//!   extensions (multiple version threads, parameterized demons).
+//! * [`server`] — the central multi-user server and its RPC client.
+//! * [`document`] — the documentation application layer and the paper's
+//!   browsers (Figures 1–3).
+//! * [`case`] — the CASE application layer: Modula-2 ingestion, a
+//!   demon-driven incremental compiler, configuration management.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use neptune::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join(format!("neptune-doc-quickstart-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let (mut ham, _project, _t) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+//!
+//! // Create two nodes and a link between them.
+//! let (a, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+//! ham.modify_node(MAIN_CONTEXT, a, t, b"hello hypertext\n".to_vec(), &[]).unwrap();
+//! let (b, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+//! ham.add_link(MAIN_CONTEXT, LinkPt::current(a, 5), LinkPt::current(b, 0)).unwrap();
+//!
+//! // Attach an attribute and query for it.
+//! let doc = ham.get_attribute_index(MAIN_CONTEXT, "document").unwrap();
+//! ham.set_node_attribute_value(MAIN_CONTEXT, a, doc, Value::str("requirements")).unwrap();
+//! let pred = Predicate::parse("document = requirements").unwrap();
+//! let hits = ham
+//!     .get_graph_query(MAIN_CONTEXT, Time::CURRENT, &pred, &Predicate::True, &[], &[])
+//!     .unwrap();
+//! assert_eq!(hits.nodes.len(), 1);
+//! ```
+
+pub use neptune_case as case;
+pub use neptune_document as document;
+pub use neptune_ham as ham;
+pub use neptune_relational as relational;
+pub use neptune_server as server;
+pub use neptune_storage as storage;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use neptune_case::{
+        compile_pass, install_recompile_demon, parse_module, CaseProject,
+    };
+    pub use neptune_document::{annotate, hardcopy, Document, DocumentBrowser, GraphBrowser};
+    pub use neptune_ham::{
+        AttributeIndex, ContextId, DemonSpec, Event, Ham, HamError, LinkIndex, LinkPt, Machine,
+        NodeIndex, Predicate, ProjectId, Protections, Time, Value, MAIN_CONTEXT,
+    };
+    pub use neptune_server::{serve, Client};
+}

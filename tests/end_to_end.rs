@@ -1,0 +1,164 @@
+//! Cross-crate integration: documents, CASE, server, and recovery working
+//! against one graph — the "hypertext as the project database" scenario
+//! the paper's §4 describes.
+
+use neptune::case::{checkout, create_release, model};
+use neptune::document::{diffview, view_node};
+use neptune::ham::context::ConflictPolicy;
+use neptune::prelude::*;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("neptune-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn documentation_and_code_share_one_hyperdocument() {
+    let dir = tmpdir("shared");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+
+    // A design document...
+    let doc = Document::create(&mut ham, MAIN_CONTEXT, "design", "Design").unwrap();
+    let storage_sec = doc
+        .add_section(&mut ham, doc.root, 10, "Storage Design", "Use backward deltas.\n")
+        .unwrap();
+
+    // ...and source code in the same graph.
+    let project = CaseProject::new(MAIN_CONTEXT);
+    let module = parse_module("MODULE Storage;\nPROCEDURE Alloc;\nEND Alloc;\nEND Storage.\n")
+        .unwrap();
+    let nodes = project.ingest_module(&mut ham, &module).unwrap();
+
+    // The paper's motivating link: documentation references code.
+    let reference = doc.add_reference(&mut ham, storage_sec, 4, nodes.module).unwrap();
+    let (target, _) = ham.get_to_node(MAIN_CONTEXT, reference, Time::CURRENT).unwrap();
+    assert_eq!(target, nodes.module);
+
+    // One query spans both: everything in the graph with an icon.
+    let sg = ham
+        .get_graph_query(
+            MAIN_CONTEXT,
+            Time::CURRENT,
+            &Predicate::parse("exists(icon)").unwrap(),
+            &Predicate::True,
+            &[],
+            &[],
+        )
+        .unwrap();
+    // design root + section + module + procedure
+    assert_eq!(sg.nodes.len(), 4);
+
+    // An annotation on the code node, from the document layer.
+    let note = annotate(&mut ham, MAIN_CONTEXT, nodes.module, 0, "reviewed 1986-05-28\n").unwrap();
+    let view = view_node(&mut ham, MAIN_CONTEXT, nodes.module, Time::CURRENT).unwrap();
+    assert!(view.links.iter().any(|l| l.target == note.node));
+}
+
+#[test]
+fn compile_document_release_and_recover() {
+    let dir = tmpdir("lifecycle");
+    let pid;
+    let module_node;
+    let release;
+    {
+        let (mut ham, p, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+        pid = p;
+        let project = CaseProject::new(MAIN_CONTEXT);
+        let m = parse_module("MODULE App;\nPROCEDURE Go;\nEND Go;\nEND App.\n").unwrap();
+        let nodes = project.ingest_module(&mut ham, &m).unwrap();
+        module_node = nodes.module;
+        install_recompile_demon(&mut ham, MAIN_CONTEXT).unwrap();
+        let dirty = ham.get_attribute_index(MAIN_CONTEXT, model::DIRTY).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, module_node, dirty, Value::Bool(true)).unwrap();
+        let stats = compile_pass(&mut ham, &project).unwrap();
+        assert!(stats.compiled.contains(&module_node));
+        release = create_release(&mut ham, MAIN_CONTEXT, "gold", &[module_node]).unwrap();
+        // Crash without checkpoint: WAL must carry everything.
+    }
+    let (mut ham, _) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
+    let project = CaseProject::new(MAIN_CONTEXT);
+    // The compiled object survived.
+    let objs = project
+        .linked_targets(&ham, module_node, neptune::case::model::relation::COMPILES_INTO)
+        .unwrap();
+    assert_eq!(objs.len(), 1);
+    // The release still checks out.
+    let members = checkout(&mut ham, MAIN_CONTEXT, release).unwrap();
+    assert_eq!(members.len(), 1);
+    assert!(String::from_utf8_lossy(&members[0].contents).contains("MODULE App"));
+    // And the demon is still installed (it was versioned graph state).
+    assert_eq!(ham.get_graph_demons(MAIN_CONTEXT, Time::CURRENT).unwrap().len(), 1);
+}
+
+#[test]
+fn server_clients_see_document_layer_structures() {
+    let dir = tmpdir("server-doc");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let doc = Document::create(&mut ham, MAIN_CONTEXT, "spec", "Spec").unwrap();
+    doc.add_section(&mut ham, doc.root, 10, "Scope", "Everything.\n").unwrap();
+    let server = serve(ham, "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    // The client traverses the same structure with raw HAM calls.
+    let sg = c
+        .linearize_graph(
+            MAIN_CONTEXT,
+            doc.root,
+            Time::CURRENT,
+            "document = \"spec\"",
+            "relation = isPartOf",
+            vec![],
+            vec![],
+        )
+        .unwrap();
+    assert_eq!(sg.nodes.len(), 2);
+    server.stop();
+}
+
+#[test]
+fn private_world_workflow_with_documents() {
+    let dir = tmpdir("private-doc");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let doc = Document::create(&mut ham, MAIN_CONTEXT, "spec", "Spec").unwrap();
+    let sec = doc.add_section(&mut ham, doc.root, 10, "API", "v1 api\n").unwrap();
+
+    // Designer forks a world and rewrites the section.
+    let world = ham.create_context(MAIN_CONTEXT).unwrap();
+    let opened = ham.open_node(world, sec, Time::CURRENT, &[]).unwrap();
+    ham.modify_node(world, sec, opened.current_time, b"API\nv2 api, redesigned\n".to_vec(), &opened.link_pts)
+        .unwrap();
+
+    // Reviewer diffs the worlds via the diff browser on the private context.
+    let rows = diffview::side_by_side(
+        &ham,
+        world,
+        sec,
+        opened.current_time,
+        Time::CURRENT,
+    )
+    .unwrap();
+    assert!(rows.iter().any(|r| r.marker != ' '));
+
+    // Merge back; the mainline document now reads v2.
+    ham.merge_context(world, ConflictPolicy::Fail).unwrap();
+    let text = hardcopy(&mut ham, &doc, Time::CURRENT).unwrap();
+    assert!(text.contains("v2 api"));
+    // History on main still shows v1 at the old time.
+    let (major, _) = ham.get_node_versions(MAIN_CONTEXT, sec).unwrap();
+    let old = ham.open_node(MAIN_CONTEXT, sec, major[1].time, &[]).unwrap();
+    assert!(String::from_utf8_lossy(&old.contents).contains("v1 api"));
+}
+
+#[test]
+fn checkpoint_then_destroy_graph() {
+    let dir = tmpdir("destroy");
+    let (mut ham, pid, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.checkpoint().unwrap();
+    drop(ham);
+    // Wrong project id refuses.
+    assert!(Ham::destroy_graph(ProjectId(pid.0.wrapping_add(1)), &dir).is_err());
+    assert!(dir.exists());
+    Ham::destroy_graph(pid, &dir).unwrap();
+    assert!(!dir.exists());
+}
