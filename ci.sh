@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full local CI: formatting, lints, the tier-1 build+test gate, and the
+# strict-invariant instrumentation run. Mirrors .github/workflows/ci.yml.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 gate: release build plus the whole workspace test suite.
+cargo build --release
+cargo test --workspace
+
+# The commit-path invariant hooks only exist under this feature; run the
+# neptune-ham suite with them armed so a violated invariant fails CI.
+cargo test -p neptune-ham --features strict-invariants --lib
+
+echo "ci: all green"

@@ -4,7 +4,8 @@
 //! query mechanism rides on them. Measures set/get against attribute count
 //! and value-history depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{fresh_ham, main_ctx};
@@ -20,7 +21,8 @@ fn bench_set(c: &mut Criterion) {
         let mut i = 0i64;
         b.iter(|| {
             i += 1;
-            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i)).unwrap();
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i))
+                .unwrap();
         });
     });
     group.finish();
@@ -35,7 +37,8 @@ fn bench_get(c: &mut Criterion) {
         let attr = ham.get_attribute_index(main_ctx(), "status").unwrap();
         let mut mid_time = Time::CURRENT;
         for i in 0..depth {
-            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64)).unwrap();
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64))
+                .unwrap();
             if i == depth / 2 {
                 mid_time = ham.graph(main_ctx()).unwrap().now();
             }
@@ -43,13 +46,17 @@ fn bench_get(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("current", depth), &depth, |b, _| {
             b.iter(|| {
                 black_box(
-                    ham.get_node_attribute_value(main_ctx(), node, attr, Time::CURRENT).unwrap(),
+                    ham.get_node_attribute_value(main_ctx(), node, attr, Time::CURRENT)
+                        .unwrap(),
                 )
             });
         });
         group.bench_with_input(BenchmarkId::new("historical", depth), &depth, |b, _| {
             b.iter(|| {
-                black_box(ham.get_node_attribute_value(main_ctx(), node, attr, mid_time).unwrap())
+                black_box(
+                    ham.get_node_attribute_value(main_ctx(), node, attr, mid_time)
+                        .unwrap(),
+                )
             });
         });
     }
@@ -61,12 +68,19 @@ fn bench_get(c: &mut Criterion) {
         let mut ham = fresh_ham("e10-width");
         let (node, _) = ham.add_node(main_ctx(), true).unwrap();
         for i in 0..width {
-            let attr = ham.get_attribute_index(main_ctx(), &format!("a{i}")).unwrap();
-            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64)).unwrap();
+            let attr = ham
+                .get_attribute_index(main_ctx(), &format!("a{i}"))
+                .unwrap();
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64))
+                .unwrap();
         }
         group.bench_with_input(BenchmarkId::new("attrs", width), &width, |b, _| {
             b.iter(|| {
-                black_box(ham.get_node_attributes(main_ctx(), node, Time::CURRENT).unwrap().len())
+                black_box(
+                    ham.get_node_attributes(main_ctx(), node, Time::CURRENT)
+                        .unwrap()
+                        .len(),
+                )
             });
         });
     }
@@ -83,14 +97,25 @@ fn bench_get(c: &mut Criterion) {
     }
     let t_then = ham.graph(main_ctx()).unwrap().now();
     let (extra, _) = ham.add_node(main_ctx(), true).unwrap();
-    ham.set_node_attribute_value(main_ctx(), extra, attr, Value::str("k999")).unwrap();
+    ham.set_node_attribute_value(main_ctx(), extra, attr, Value::str("k999"))
+        .unwrap();
     group.bench_function("current_via_index", |b| {
         b.iter(|| {
-            black_box(ham.get_attribute_values(main_ctx(), attr, Time::CURRENT).unwrap().len())
+            black_box(
+                ham.get_attribute_values(main_ctx(), attr, Time::CURRENT)
+                    .unwrap()
+                    .len(),
+            )
         });
     });
     group.bench_function("historical_via_scan", |b| {
-        b.iter(|| black_box(ham.get_attribute_values(main_ctx(), attr, t_then).unwrap().len()));
+        b.iter(|| {
+            black_box(
+                ham.get_attribute_values(main_ctx(), attr, t_then)
+                    .unwrap()
+                    .len(),
+            )
+        });
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! Paper §5's private worlds: fork cost vs graph size, and merge cost vs
 //! how much the private world diverged.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{attributed_graph, fresh_ham, main_ctx};
@@ -29,41 +30,51 @@ fn bench_fork(c: &mut Criterion) {
 fn bench_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_merge");
     for &(divergence, label) in &[(10usize, "10_edits"), (100, "100_edits")] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &divergence, |b, &divergence| {
-            let mut ham = fresh_ham("e9-merge");
-            let nodes = attributed_graph(&mut ham, main_ctx(), 1_000, 10);
-            let status = ham.get_attribute_index(main_ctx(), "status").unwrap();
-            b.iter(|| {
-                let world = ham.create_context(main_ctx()).unwrap();
-                for i in 0..divergence {
-                    let node = nodes[i * 7 % nodes.len()];
-                    ham.set_node_attribute_value(world, node, status, Value::Int(i as i64))
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &divergence,
+            |b, &divergence| {
+                let mut ham = fresh_ham("e9-merge");
+                let nodes = attributed_graph(&mut ham, main_ctx(), 1_000, 10);
+                let status = ham.get_attribute_index(main_ctx(), "status").unwrap();
+                b.iter(|| {
+                    let world = ham.create_context(main_ctx()).unwrap();
+                    for i in 0..divergence {
+                        let node = nodes[i * 7 % nodes.len()];
+                        ham.set_node_attribute_value(world, node, status, Value::Int(i as i64))
+                            .unwrap();
+                    }
+                    let report = ham
+                        .merge_context(world, ConflictPolicy::PreferChild)
                         .unwrap();
-                }
-                let report = ham.merge_context(world, ConflictPolicy::PreferChild).unwrap();
-                ham.destroy_context(world).unwrap();
-                black_box(report.attrs_changed)
-            });
-        });
+                    ham.destroy_context(world).unwrap();
+                    black_box(report.attrs_changed)
+                });
+            },
+        );
     }
     group.finish();
 
     // Merge bringing new nodes across.
     let mut group = c.benchmark_group("e9_merge_new_nodes");
     for &new_nodes in &[10usize, 100] {
-        group.bench_with_input(BenchmarkId::new("added", new_nodes), &new_nodes, |b, &new_nodes| {
-            let mut ham = fresh_ham("e9-merge-new");
-            attributed_graph(&mut ham, main_ctx(), 500, 10);
-            b.iter(|| {
-                let world = ham.create_context(main_ctx()).unwrap();
-                for _ in 0..new_nodes {
-                    ham.add_node(world, true).unwrap();
-                }
-                let report = ham.merge_context(world, ConflictPolicy::Fail).unwrap();
-                ham.destroy_context(world).unwrap();
-                black_box(report.nodes_added.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("added", new_nodes),
+            &new_nodes,
+            |b, &new_nodes| {
+                let mut ham = fresh_ham("e9-merge-new");
+                attributed_graph(&mut ham, main_ctx(), 500, 10);
+                b.iter(|| {
+                    let world = ham.create_context(main_ctx()).unwrap();
+                    for _ in 0..new_nodes {
+                        ham.add_node(world, true).unwrap();
+                    }
+                    let report = ham.merge_context(world, ConflictPolicy::Fail).unwrap();
+                    ham.destroy_context(world).unwrap();
+                    black_box(report.nodes_added.len())
+                });
+            },
+        );
     }
     group.finish();
 

@@ -6,7 +6,8 @@
 //! history grows and (b) bytes stored by the delta archive vs the
 //! full-copy baseline (printed as a table, recorded in EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use neptune_bench::harness::{BatchSize, BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{edit_lines, text};
@@ -24,7 +25,10 @@ fn build_archive(bytes: usize, versions: usize) -> Archive {
 
 fn storage_table() {
     println!("\nE1: delta vs full-copy storage (node ~16 KiB, 2-line edits per version)");
-    println!("{:>10} {:>14} {:>14} {:>8}", "versions", "delta bytes", "full bytes", "ratio");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "versions", "delta bytes", "full bytes", "ratio"
+    );
     for versions in [10, 100, 500, 1000] {
         let archive = build_archive(16 * 1024, versions);
         let delta = archive.storage_bytes();

@@ -6,7 +6,8 @@
 //! node-marking demon, and a callback demon, plus the CASE compiler's
 //! cascade over an import chain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{fresh_ham, main_ctx};
@@ -27,9 +28,12 @@ fn bench_demon_dispatch(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(*label), demon, |b, demon| {
             let mut ham = fresh_ham("e8");
             ham.register_demon_callback("counter", |_| {});
-            ham.set_graph_demon_value(main_ctx(), Event::NodeModified, demon.clone()).unwrap();
+            ham.set_graph_demon_value(main_ctx(), Event::NodeModified, demon.clone())
+                .unwrap();
             let (node, t0) = ham.add_node(main_ctx(), true).unwrap();
-            let mut t = ham.modify_node(main_ctx(), node, t0, b"v0\n".to_vec(), &[]).unwrap();
+            let mut t = ham
+                .modify_node(main_ctx(), node, t0, b"v0\n".to_vec(), &[])
+                .unwrap();
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
@@ -53,7 +57,10 @@ fn chain_fixture(n: usize) -> (neptune_ham::Ham, CaseProject, Vec<neptune_ham::N
         let src = if i == 0 {
             "DEFINITION MODULE M0;\nPROCEDURE P0;\nEND P0;\nEND M0.\n".to_string()
         } else {
-            format!("MODULE M{i};\nIMPORT M{};\nPROCEDURE P{i};\nEND P{i};\nEND M{i}.\n", i - 1)
+            format!(
+                "MODULE M{i};\nIMPORT M{};\nPROCEDURE P{i};\nEND P{i};\nEND M{i}.\n",
+                i - 1
+            )
         };
         let m = parse_module(&src).unwrap();
         let node = project.ingest_module(&mut ham, &m).unwrap().module;
@@ -65,7 +72,8 @@ fn chain_fixture(n: usize) -> (neptune_ham::Ham, CaseProject, Vec<neptune_ham::N
     install_recompile_demon(&mut ham, main_ctx()).unwrap();
     let dirty = ham.get_attribute_index(main_ctx(), model::DIRTY).unwrap();
     for &node in &nodes {
-        ham.set_node_attribute_value(main_ctx(), node, dirty, Value::Bool(true)).unwrap();
+        ham.set_node_attribute_value(main_ctx(), node, dirty, Value::Bool(true))
+            .unwrap();
     }
     compile_pass(&mut ham, &project).unwrap();
     (ham, project, nodes)
@@ -75,23 +83,35 @@ fn bench_compile_cascade(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_compile_cascade");
     group.sample_size(10);
     for &chain in &[2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("import_chain", chain), &chain, |b, &chain| {
-            let (mut ham, project, nodes) = chain_fixture(chain);
-            let mut round = 0u64;
-            b.iter(|| {
-                // Interface edit at the root of the chain.
-                round += 1;
-                let opened = ham.open_node(main_ctx(), nodes[0], Time::CURRENT, &[]).unwrap();
-                let mut text = opened.contents.clone();
-                text.extend_from_slice(
-                    format!("PROCEDURE Extra{round};\nEND Extra{round};\n").as_bytes(),
-                );
-                ham.modify_node(main_ctx(), nodes[0], opened.current_time, text, &opened.link_pts)
+        group.bench_with_input(
+            BenchmarkId::new("import_chain", chain),
+            &chain,
+            |b, &chain| {
+                let (mut ham, project, nodes) = chain_fixture(chain);
+                let mut round = 0u64;
+                b.iter(|| {
+                    // Interface edit at the root of the chain.
+                    round += 1;
+                    let opened = ham
+                        .open_node(main_ctx(), nodes[0], Time::CURRENT, &[])
+                        .unwrap();
+                    let mut text = opened.contents.clone();
+                    text.extend_from_slice(
+                        format!("PROCEDURE Extra{round};\nEND Extra{round};\n").as_bytes(),
+                    );
+                    ham.modify_node(
+                        main_ctx(),
+                        nodes[0],
+                        opened.current_time,
+                        text,
+                        &opened.link_pts,
+                    )
                     .unwrap();
-                let stats = compile_pass(&mut ham, &project).unwrap();
-                black_box(stats.compiled.len())
-            });
-        });
+                    let stats = compile_pass(&mut ham, &project).unwrap();
+                    black_box(stats.compiled.len())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! Measures the Myers line diff over node sizes and change fractions —
 //! the cost of the side-by-side comparison the paper's §4.1 browser shows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{perturb, text};

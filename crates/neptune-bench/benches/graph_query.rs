@@ -4,7 +4,8 @@
 //! increasing size and predicate selectivity, plus the ablation of the
 //! attribute value index (indexed vs full scan) called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{attributed_graph, fresh_ham, main_ctx};

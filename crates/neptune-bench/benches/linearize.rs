@@ -4,7 +4,8 @@
 //! hypertext graph so that hardcopies can be produced." Measures the
 //! offset-ordered DFS over document trees of varying shape.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{document_tree, fresh_ham, main_ctx};

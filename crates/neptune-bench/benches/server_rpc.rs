@@ -5,7 +5,8 @@
 //! round-trip latency for reads and writes over loopback TCP, and
 //! aggregate throughput with concurrent clients.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neptune_bench::harness::{BenchmarkId, Criterion, Throughput};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{attributed_graph, fresh_ham, main_ctx};
@@ -25,14 +26,23 @@ fn bench_roundtrips(c: &mut Criterion) {
     });
     group.bench_function("open_node", |b| {
         b.iter(|| {
-            let opened = client.open_node(main_ctx(), target, Time::CURRENT, vec![]).unwrap();
+            let opened = client
+                .open_node(main_ctx(), target, Time::CURRENT, vec![])
+                .unwrap();
             black_box(opened.current_time)
         });
     });
     group.bench_function("get_graph_query", |b| {
         b.iter(|| {
             let sg = client
-                .get_graph_query(main_ctx(), Time::CURRENT, "kind = k0", "true", vec![], vec![])
+                .get_graph_query(
+                    main_ctx(),
+                    Time::CURRENT,
+                    "kind = k0",
+                    "true",
+                    vec![],
+                    vec![],
+                )
                 .unwrap();
             black_box(sg.nodes.len())
         });
@@ -55,23 +65,27 @@ fn bench_concurrent_clients(c: &mut Criterion) {
         let server = serve(ham, "127.0.0.1:0").unwrap();
         let addr = server.addr();
         group.throughput(Throughput::Elements((clients * OPS_PER_CLIENT) as u64));
-        group.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, &clients| {
-            b.iter(|| {
-                let threads: Vec<_> = (0..clients)
-                    .map(|_| {
-                        std::thread::spawn(move || {
-                            let mut c = Client::connect(addr).unwrap();
-                            for _ in 0..OPS_PER_CLIENT {
-                                c.add_node(main_ctx(), true).unwrap();
-                            }
+        group.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let threads: Vec<_> = (0..clients)
+                        .map(|_| {
+                            std::thread::spawn(move || {
+                                let mut c = Client::connect(addr).unwrap();
+                                for _ in 0..OPS_PER_CLIENT {
+                                    c.add_node(main_ctx(), true).unwrap();
+                                }
+                            })
                         })
-                    })
-                    .collect();
-                for t in threads {
-                    t.join().unwrap();
-                }
-            });
-        });
+                        .collect();
+                    for t in threads {
+                        t.join().unwrap();
+                    }
+                });
+            },
+        );
         server.stop();
     }
     group.finish();

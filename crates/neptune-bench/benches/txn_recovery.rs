@@ -6,7 +6,8 @@
 //! transaction size, abort (rollback) latency, and WAL replay time by the
 //! number of committed transactions since the last checkpoint.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{bench_dir, fresh_ham, main_ctx};
@@ -62,7 +63,8 @@ fn bench_recovery(c: &mut Criterion) {
         let (node, _) = ham.add_node(main_ctx(), true).unwrap();
         ham.checkpoint().unwrap();
         for i in 0..txns {
-            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64)).unwrap();
+            ham.set_node_attribute_value(main_ctx(), node, attr, Value::Int(i as i64))
+                .unwrap();
         }
         drop(ham); // crash
         group.bench_with_input(BenchmarkId::new("replay_txns", txns), &txns, |b, _| {

@@ -4,7 +4,8 @@
 //! version k steps back applies k deltas. Measures `openNode` at the head,
 //! the midpoint, and the oldest version across history depths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neptune_bench::harness::{BenchmarkId, Criterion};
+use neptune_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use neptune_bench::{fresh_ham, main_ctx, versioned_node};

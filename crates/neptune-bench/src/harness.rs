@@ -1,0 +1,281 @@
+//! A minimal benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds offline with no external crates, so the E1–E10
+//! benches run on this small wall-clock harness instead of criterion. It
+//! reproduces exactly the API surface the benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — and reports the mean
+//! wall-clock time per iteration for each benchmark.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state: timing configuration plus a result log.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    min_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(1000),
+            warm_up: Duration::from_millis(200),
+            min_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Target duration of the measured phase of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Duration of the unmeasured warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Minimum number of iterations regardless of elapsed time.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.min_samples = n as u64;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, &mut f);
+        group.finish();
+    }
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_samples: self.min_samples,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{label:<52} (no iterations)");
+            return;
+        }
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        println!(
+            "{label:<52} {:>12} /iter  ({} iters)",
+            format_nanos(per_iter),
+            bencher.iterations
+        );
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing the group's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the minimum number of iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.min_samples = n as u64;
+        self
+    }
+
+    /// Declare the number of logical elements processed per iteration.
+    /// Recorded for context only; times are still reported per iteration.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = self.label(&id.0);
+        self.criterion.run(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = self.label(&name.to_string());
+        self.criterion.run(&label, &mut f);
+        self
+    }
+
+    /// End the group (prints nothing; provided for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn label(&self, item: &str) -> String {
+        if self.name.is_empty() {
+            item.to_string()
+        } else {
+            format!("{}/{item}", self.name)
+        }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: u64,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running it repeatedly for the configured duration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while iterations < self.min_samples || start.elapsed() < self.measurement {
+            black_box(f());
+            iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+
+    /// Time `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u64;
+        while iterations < self.min_samples || measured < self.measurement {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iterations += 1;
+        }
+        self.elapsed = measured;
+        self.iterations = iterations;
+    }
+}
+
+/// How much setup output to batch per measurement (API compatibility).
+pub enum BatchSize {
+    /// Setup output is small.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+}
+
+/// Logical work per iteration, for context in reports.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function/parameter`.
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Bundle benchmark functions under one entry point, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(3);
+        let mut group = c.benchmark_group("t");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 7), &7, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

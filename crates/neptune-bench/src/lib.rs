@@ -5,10 +5,11 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::path::PathBuf;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use neptune_storage::testutil::XorShift;
 
 use neptune_ham::types::{ContextId, LinkPt, NodeIndex, Protections, Time, MAIN_CONTEXT};
 use neptune_ham::value::Value;
@@ -36,14 +37,14 @@ pub fn fresh_ham(tag: &str) -> Ham {
 
 /// Deterministic multi-line text of roughly `bytes` bytes.
 pub fn text(bytes: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift::new(seed);
     let mut out = Vec::with_capacity(bytes + 64);
     let mut line = 0usize;
     while out.len() < bytes {
-        let words = 4 + (rng.gen::<u8>() % 8) as usize;
+        let words = 4 + rng.below(8) as usize;
         let mut l = format!("line {line:06}:");
         for _ in 0..words {
-            l.push_str(match rng.gen::<u8>() % 8 {
+            l.push_str(match rng.below(8) {
                 0 => " hypertext",
                 1 => " node",
                 2 => " link",
@@ -63,7 +64,7 @@ pub fn text(bytes: usize, seed: u64) -> Vec<u8> {
 
 /// Apply `edits` random single-line replacements to `contents`.
 pub fn edit_lines(contents: &[u8], edits: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift::new(seed);
     let mut lines: Vec<Vec<u8>> = contents
         .split_inclusive(|&b| b == b'\n')
         .map(|l| l.to_vec())
@@ -72,7 +73,7 @@ pub fn edit_lines(contents: &[u8], edits: usize, seed: u64) -> Vec<u8> {
         return format!("edited {seed}\n").into_bytes();
     }
     for i in 0..edits {
-        let idx = rng.gen_range(0..lines.len());
+        let idx = rng.index(lines.len());
         lines[idx] = format!("line {idx:06}: EDITED pass {seed} change {i}\n").into_bytes();
     }
     lines.concat()
@@ -103,7 +104,9 @@ pub fn versioned_node(
     times.push(t);
     for v in 1..depth {
         contents = edit_lines(&contents, edits_per_version, v as u64);
-        t = ham.modify_node(context, node, t, contents.clone(), &[]).expect("version");
+        t = ham
+            .modify_node(context, node, t, contents.clone(), &[])
+            .expect("version");
         times.push(t);
     }
     (node, times)
@@ -148,7 +151,8 @@ pub fn document_tree(
 ) -> (NodeIndex, usize) {
     let rel = ham.get_attribute_index(context, "relation").expect("attr");
     let (root, t) = ham.add_node(context, true).expect("root");
-    ham.modify_node(context, root, t, b"root section\n".to_vec(), &[]).expect("contents");
+    ham.modify_node(context, root, t, b"root section\n".to_vec(), &[])
+        .expect("contents");
     let mut count = 1;
     let mut frontier = vec![root];
     for _ in 1..depth {
@@ -223,7 +227,14 @@ mod tests {
         attributed_graph(&mut ham, MAIN_CONTEXT, 100, 10);
         let pred = Predicate::parse("kind = k0").unwrap();
         let sg = ham
-            .get_graph_query(MAIN_CONTEXT, Time::CURRENT, &pred, &Predicate::True, &[], &[])
+            .get_graph_query(
+                MAIN_CONTEXT,
+                Time::CURRENT,
+                &pred,
+                &Predicate::True,
+                &[],
+                &[],
+            )
             .unwrap();
         assert_eq!(sg.nodes.len(), 10);
     }

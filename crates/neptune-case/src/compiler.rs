@@ -118,7 +118,9 @@ fn compile_one(ham: &mut Ham, project: &CaseProject, source: NodeIndex) -> Resul
     // The toy "compilation": digest of source + imported interfaces.
     let mut input = contents.clone();
     for import in project.imports_of(ham, source)? {
-        if let Some(symbols) = project.linked_targets(ham, import, relation::EXPORTS_SYMBOLS)?.first()
+        if let Some(symbols) = project
+            .linked_targets(ham, import, relation::EXPORTS_SYMBOLS)?
+            .first()
         {
             input.extend_from_slice(&ham.open_node(ctx, *symbols, Time::CURRENT, &[])?.contents);
         }
@@ -131,8 +133,13 @@ fn compile_one(ham: &mut Ham, project: &CaseProject, source: NodeIndex) -> Resul
     let symbol_table = format!("SYM {:08x}\n", crc32(interface.as_bytes())).into_bytes();
 
     write_product(ham, project, source, relation::COMPILES_INTO, object_code)?;
-    let symbols_changed =
-        write_product(ham, project, source, relation::EXPORTS_SYMBOLS, symbol_table)?;
+    let symbols_changed = write_product(
+        ham,
+        project,
+        source,
+        relation::EXPORTS_SYMBOLS,
+        symbol_table,
+    )?;
     Ok(symbols_changed)
 }
 
@@ -164,7 +171,13 @@ fn write_product(
             if opened.contents == contents {
                 return Ok(false);
             }
-            ham.modify_node(ctx, product, opened.current_time, contents, &opened.link_pts)?;
+            ham.modify_node(
+                ctx,
+                product,
+                opened.current_time,
+                contents,
+                &opened.link_pts,
+            )?;
             Ok(true)
         }
         None => {
@@ -205,10 +218,8 @@ mod tests {
     use crate::modula::parse_module;
     use neptune_ham::types::{Protections, MAIN_CONTEXT};
 
-    const LISTS: &str =
-        "DEFINITION MODULE Lists;\nPROCEDURE Length;\nEND Length;\nEND Lists.\n";
-    const MAIN: &str =
-        "MODULE Main;\nIMPORT Lists;\nPROCEDURE Run;\nBEGIN\nEND Run;\nEND Main.\n";
+    const LISTS: &str = "DEFINITION MODULE Lists;\nPROCEDURE Length;\nEND Length;\nEND Lists.\n";
+    const MAIN: &str = "MODULE Main;\nIMPORT Lists;\nPROCEDURE Run;\nBEGIN\nEND Run;\nEND Main.\n";
 
     struct Fixture {
         ham: Ham,
@@ -233,9 +244,15 @@ mod tests {
         // Mark everything dirty for the initial build.
         let dirty = ham.get_attribute_index(MAIN_CONTEXT, DIRTY).unwrap();
         for node in [lists, main] {
-            ham.set_node_attribute_value(MAIN_CONTEXT, node, dirty, Value::Bool(true)).unwrap();
+            ham.set_node_attribute_value(MAIN_CONTEXT, node, dirty, Value::Bool(true))
+                .unwrap();
         }
-        Fixture { ham, project, lists, main }
+        Fixture {
+            ham,
+            project,
+            lists,
+            main,
+        }
     }
 
     #[test]
@@ -250,7 +267,10 @@ mod tests {
             .linked_targets(&f.ham, f.main, relation::COMPILES_INTO)
             .unwrap();
         assert_eq!(obj.len(), 1);
-        let ct = f.ham.get_attribute_index(MAIN_CONTEXT, CONTENT_TYPE).unwrap();
+        let ct = f
+            .ham
+            .get_attribute_index(MAIN_CONTEXT, CONTENT_TYPE)
+            .unwrap();
         assert_eq!(
             f.ham
                 .get_node_attribute_value(MAIN_CONTEXT, obj[0], ct, Time::CURRENT)
@@ -266,11 +286,20 @@ mod tests {
         let mut f = fixture("demon");
         compile_pass(&mut f.ham, &f.project).unwrap();
         // Edit Main via modifyNode: the graph demon marks it dirty.
-        let opened = f.ham.open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[]).unwrap();
+        let opened = f
+            .ham
+            .open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[])
+            .unwrap();
         let mut text = opened.contents.clone();
         text.extend_from_slice(b"(* edited *)\n");
         f.ham
-            .modify_node(MAIN_CONTEXT, f.main, opened.current_time, text, &opened.link_pts)
+            .modify_node(
+                MAIN_CONTEXT,
+                f.main,
+                opened.current_time,
+                text,
+                &opened.link_pts,
+            )
             .unwrap();
         assert_eq!(dirty_sources(&f.ham, MAIN_CONTEXT).unwrap(), vec![f.main]);
     }
@@ -282,11 +311,20 @@ mod tests {
         // A comment-only edit to Main changes its object code but not its
         // interface, so Lists must not recompile. (Main exports nothing
         // anyone imports, so nothing cascades either.)
-        let opened = f.ham.open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[]).unwrap();
+        let opened = f
+            .ham
+            .open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[])
+            .unwrap();
         let mut text = opened.contents.clone();
         text.extend_from_slice(b"(* body tweak *)\n");
         f.ham
-            .modify_node(MAIN_CONTEXT, f.main, opened.current_time, text, &opened.link_pts)
+            .modify_node(
+                MAIN_CONTEXT,
+                f.main,
+                opened.current_time,
+                text,
+                &opened.link_pts,
+            )
             .unwrap();
         let stats = compile_pass(&mut f.ham, &f.project).unwrap();
         assert_eq!(stats.compiled, vec![f.main]);
@@ -297,15 +335,27 @@ mod tests {
         let mut f = fixture("cascade");
         compile_pass(&mut f.ham, &f.project).unwrap();
         // Editing Lists changes its symbol table → Main must recompile too.
-        let opened = f.ham.open_node(MAIN_CONTEXT, f.lists, Time::CURRENT, &[]).unwrap();
+        let opened = f
+            .ham
+            .open_node(MAIN_CONTEXT, f.lists, Time::CURRENT, &[])
+            .unwrap();
         let mut text = opened.contents.clone();
         text.extend_from_slice(b"PROCEDURE Extra;\nEND Extra;\n");
         f.ham
-            .modify_node(MAIN_CONTEXT, f.lists, opened.current_time, text, &opened.link_pts)
+            .modify_node(
+                MAIN_CONTEXT,
+                f.lists,
+                opened.current_time,
+                text,
+                &opened.link_pts,
+            )
             .unwrap();
         let stats = compile_pass(&mut f.ham, &f.project).unwrap();
         assert!(stats.compiled.contains(&f.lists));
-        assert!(stats.compiled.contains(&f.main), "importer recompiled: {stats:?}");
+        assert!(
+            stats.compiled.contains(&f.main),
+            "importer recompiled: {stats:?}"
+        );
         assert!(stats.rounds >= 2);
     }
 
@@ -321,21 +371,41 @@ mod tests {
     fn object_history_is_versioned_too() {
         let mut f = fixture("history");
         compile_pass(&mut f.ham, &f.project).unwrap();
-        let obj =
-            f.project.linked_targets(&f.ham, f.main, relation::COMPILES_INTO).unwrap()[0];
-        let first = f.ham.open_node(MAIN_CONTEXT, obj, Time::CURRENT, &[]).unwrap();
+        let obj = f
+            .project
+            .linked_targets(&f.ham, f.main, relation::COMPILES_INTO)
+            .unwrap()[0];
+        let first = f
+            .ham
+            .open_node(MAIN_CONTEXT, obj, Time::CURRENT, &[])
+            .unwrap();
         // Edit + rebuild.
-        let opened = f.ham.open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[]).unwrap();
+        let opened = f
+            .ham
+            .open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[])
+            .unwrap();
         let mut text = opened.contents.clone();
         text.extend_from_slice(b"(* v2 *)\n");
         f.ham
-            .modify_node(MAIN_CONTEXT, f.main, opened.current_time, text, &opened.link_pts)
+            .modify_node(
+                MAIN_CONTEXT,
+                f.main,
+                opened.current_time,
+                text,
+                &opened.link_pts,
+            )
             .unwrap();
         compile_pass(&mut f.ham, &f.project).unwrap();
-        let second = f.ham.open_node(MAIN_CONTEXT, obj, Time::CURRENT, &[]).unwrap();
+        let second = f
+            .ham
+            .open_node(MAIN_CONTEXT, obj, Time::CURRENT, &[])
+            .unwrap();
         assert_ne!(first.contents, second.contents);
         // The old object code is still reachable at its version time.
-        let old = f.ham.open_node(MAIN_CONTEXT, obj, first.current_time, &[]).unwrap();
+        let old = f
+            .ham
+            .open_node(MAIN_CONTEXT, obj, first.current_time, &[])
+            .unwrap();
         assert_eq!(old.contents, first.contents);
     }
 }

@@ -113,7 +113,11 @@ pub fn checkout(ham: &mut Ham, context: ContextId, release: Release) -> Result<V
         // getToNode resolves the pinned version (paper §A.3).
         let (node, version) = ham.get_to_node(context, link, Time::CURRENT)?;
         let contents = ham.open_node(context, node, version, &[])?.contents;
-        members.push(ReleaseMember { node, version, contents });
+        members.push(ReleaseMember {
+            node,
+            version,
+            contents,
+        });
     }
     Ok(members)
 }
@@ -130,8 +134,14 @@ mod tests {
         let mut nodes = Vec::new();
         for i in 0..3 {
             let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-            ham.modify_node(MAIN_CONTEXT, n, t, format!("module {i} v1\n").into_bytes(), &[])
-                .unwrap();
+            ham.modify_node(
+                MAIN_CONTEXT,
+                n,
+                t,
+                format!("module {i} v1\n").into_bytes(),
+                &[],
+            )
+            .unwrap();
             nodes.push(n);
         }
         (ham, nodes)
@@ -167,7 +177,9 @@ mod tests {
     fn two_releases_freeze_different_states() {
         let (mut ham, nodes) = fresh("two");
         let r1 = create_release(&mut ham, MAIN_CONTEXT, "R1", &nodes).unwrap();
-        let opened = ham.open_node(MAIN_CONTEXT, nodes[0], Time::CURRENT, &[]).unwrap();
+        let opened = ham
+            .open_node(MAIN_CONTEXT, nodes[0], Time::CURRENT, &[])
+            .unwrap();
         ham.modify_node(
             MAIN_CONTEXT,
             nodes[0],
@@ -189,7 +201,9 @@ mod tests {
     fn manifest_lists_members() {
         let (mut ham, nodes) = fresh("manifest");
         let release = create_release(&mut ham, MAIN_CONTEXT, "R1", &nodes).unwrap();
-        let manifest = ham.open_node(MAIN_CONTEXT, release.node, Time::CURRENT, &[]).unwrap();
+        let manifest = ham
+            .open_node(MAIN_CONTEXT, release.node, Time::CURRENT, &[])
+            .unwrap();
         let text = String::from_utf8_lossy(&manifest.contents).into_owned();
         assert!(text.starts_with("RELEASE R1"));
         for n in &nodes {

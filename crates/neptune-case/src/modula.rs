@@ -51,6 +51,10 @@ pub struct Module {
     pub kind: ModuleKind,
     /// Imported module names, in order, deduplicated.
     pub imports: Vec<String>,
+    /// For each `FROM <module> IMPORT <items>;` line: the source module and
+    /// the items pulled from it, in order of appearance. Used by the lint
+    /// pass to find exported-but-never-imported procedures.
+    pub from_imports: Vec<(String, Vec<String>)>,
     /// Top-level procedures.
     pub procedures: Vec<Procedure>,
     /// Module-level text (header, declarations, module body) excluding
@@ -103,6 +107,7 @@ pub fn parse_module(source: &str) -> Result<Module, ParseError> {
     let mut kind = ModuleKind::Implementation;
     let mut name: Option<String> = None;
     let mut imports: Vec<String> = Vec::new();
+    let mut from_imports: Vec<(String, Vec<String>)> = Vec::new();
     let mut module_text = String::new();
 
     // Stack of open procedures; the finished top-level ones accumulate.
@@ -143,6 +148,20 @@ pub fn parse_module(source: &str) -> Result<Module, ParseError> {
                     if !imports.iter().any(|m| m == module) {
                         imports.push(module.to_string());
                     }
+                    // Items after the inner IMPORT keyword.
+                    let items: Vec<String> = rest
+                        .split_once("IMPORT")
+                        .map(|(_, items)| {
+                            items
+                                .trim_end_matches(';')
+                                .split(',')
+                                .map(str::trim)
+                                .filter(|s| !s.is_empty())
+                                .map(str::to_string)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    from_imports.push((module.to_string(), items));
                 }
                 module_text.push_str(raw);
                 module_text.push('\n');
@@ -215,7 +234,10 @@ pub fn parse_module(source: &str) -> Result<Module, ParseError> {
     }
 
     let Some(name) = name else {
-        return Err(ParseError { line: lines.len(), message: "no MODULE header found".into() });
+        return Err(ParseError {
+            line: lines.len(),
+            message: "no MODULE header found".into(),
+        });
     };
     if let Some(open) = stack.last() {
         return Err(ParseError {
@@ -223,7 +245,14 @@ pub fn parse_module(source: &str) -> Result<Module, ParseError> {
             message: format!("unterminated PROCEDURE {}", open.name),
         });
     }
-    Ok(Module { name, kind, imports, procedures, text: module_text })
+    Ok(Module {
+        name,
+        kind,
+        imports,
+        from_imports,
+        procedures,
+        text: module_text,
+    })
 }
 
 #[cfg(test)]
@@ -261,6 +290,10 @@ END Storage.
         assert_eq!(m.name, "Storage");
         assert_eq!(m.kind, ModuleKind::Implementation);
         assert_eq!(m.imports, vec!["SYSTEM", "Lists", "Strings"]);
+        assert_eq!(
+            m.from_imports,
+            vec![("SYSTEM".to_string(), vec!["ADR".into(), "SIZE".into()])]
+        );
         assert_eq!(m.procedures.len(), 2);
         assert_eq!(m.procedures[0].name, "Allocate");
         assert_eq!(m.procedures[0].children.len(), 1);
@@ -275,7 +308,10 @@ END Storage.
         let alloc = &m.procedures[0];
         assert!(alloc.text.contains("PROCEDURE Allocate"));
         assert!(alloc.text.contains("END Allocate"));
-        assert!(!alloc.text.contains("grow the pool"), "nested body excluded");
+        assert!(
+            !alloc.text.contains("grow the pool"),
+            "nested body excluded"
+        );
         assert!(alloc.children[0].text.contains("grow the pool"));
     }
 

@@ -64,9 +64,20 @@ impl CaseProject {
 
             let mut procedures = HashMap::new();
             for (i, proc) in module.procedures.iter().enumerate() {
-                self.ingest_procedure(ham, mnode, proc, &module.name, i as u64, "", &mut procedures)?;
+                self.ingest_procedure(
+                    ham,
+                    mnode,
+                    proc,
+                    &module.name,
+                    i as u64,
+                    "",
+                    &mut procedures,
+                )?;
             }
-            Ok(ModuleNodes { module: mnode, procedures })
+            Ok(ModuleNodes {
+                module: mnode,
+                procedures,
+            })
         })();
         match result {
             Ok(nodes) => {
@@ -100,16 +111,22 @@ impl CaseProject {
         let rel = ham.get_attribute_index(ctx, RELATION)?;
         ham.set_node_attribute_value(ctx, pnode, ct, Value::str(content_type::MODULA2_SOURCE))?;
         ham.set_node_attribute_value(ctx, pnode, code, Value::str(code_type::PROCEDURE))?;
-        let qualified =
-            if prefix.is_empty() { proc.name.clone() } else { format!("{prefix}.{}", proc.name) };
+        let qualified = if prefix.is_empty() {
+            proc.name.clone()
+        } else {
+            format!("{prefix}.{}", proc.name)
+        };
         ham.set_node_attribute_value(
             ctx,
             pnode,
             icon,
             Value::str(format!("{module_name}.{qualified}")),
         )?;
-        let (link, _) =
-            ham.add_link(ctx, LinkPt::current(parent, order), LinkPt::current(pnode, 0))?;
+        let (link, _) = ham.add_link(
+            ctx,
+            LinkPt::current(parent, order),
+            LinkPt::current(pnode, 0),
+        )?;
         ham.set_link_attribute_value(ctx, link, rel, Value::str(relation::IS_PART_OF))?;
         out.insert(qualified.clone(), pnode);
         for (i, child) in proc.children.iter().enumerate() {
@@ -121,11 +138,7 @@ impl CaseProject {
     /// Create `imports` links from each module node to the nodes of the
     /// modules it imports. Unknown imports (library modules not in the
     /// project) are skipped. Returns the number of links created.
-    pub fn link_imports(
-        &self,
-        ham: &mut Ham,
-        modules: &[(&Module, NodeIndex)],
-    ) -> Result<usize> {
+    pub fn link_imports(&self, ham: &mut Ham, modules: &[(&Module, NodeIndex)]) -> Result<usize> {
         let by_name: HashMap<&str, NodeIndex> =
             modules.iter().map(|(m, n)| (m.name.as_str(), *n)).collect();
         let ctx = self.context;
@@ -135,7 +148,9 @@ impl CaseProject {
             let mut created = 0;
             for (module, node) in modules {
                 for (i, import) in module.imports.iter().enumerate() {
-                    let Some(&target) = by_name.get(import.as_str()) else { continue };
+                    let Some(&target) = by_name.get(import.as_str()) else {
+                        continue;
+                    };
                     let (link, _) = ham.add_link(
                         ctx,
                         LinkPt::current(*node, i as u64),
@@ -271,14 +286,19 @@ END Main.
         // Attributes applied.
         let code = ham.get_attribute_index(MAIN_CONTEXT, CODE_TYPE).unwrap();
         assert_eq!(
-            ham.get_node_attribute_value(MAIN_CONTEXT, run, code, Time::CURRENT).unwrap(),
+            ham.get_node_attribute_value(MAIN_CONTEXT, run, code, Time::CURRENT)
+                .unwrap(),
             Value::str(code_type::PROCEDURE)
         );
         // Structure link in place.
-        let children = project.linked_targets(&ham, nodes.module, relation::IS_PART_OF).unwrap();
+        let children = project
+            .linked_targets(&ham, nodes.module, relation::IS_PART_OF)
+            .unwrap();
         assert_eq!(children, vec![run]);
         // The module node holds the module-level text.
-        let opened = ham.open_node(MAIN_CONTEXT, nodes.module, Time::CURRENT, &[]).unwrap();
+        let opened = ham
+            .open_node(MAIN_CONTEXT, nodes.module, Time::CURRENT, &[])
+            .unwrap();
         assert!(String::from_utf8_lossy(&opened.contents).contains("MODULE Main"));
     }
 
@@ -291,16 +311,25 @@ END Main.
         let lists_nodes = project.ingest_module(&mut ham, &lists).unwrap();
         let main_nodes = project.ingest_module(&mut ham, &main).unwrap();
         let created = project
-            .link_imports(&mut ham, &[(&lists, lists_nodes.module), (&main, main_nodes.module)])
+            .link_imports(
+                &mut ham,
+                &[(&lists, lists_nodes.module), (&main, main_nodes.module)],
+            )
             .unwrap();
         assert_eq!(created, 1);
-        assert_eq!(project.imports_of(&ham, main_nodes.module).unwrap(), vec![lists_nodes.module]);
+        assert_eq!(
+            project.imports_of(&ham, main_nodes.module).unwrap(),
+            vec![lists_nodes.module]
+        );
         assert_eq!(
             project.importers_of(&ham, lists_nodes.module).unwrap(),
             vec![main_nodes.module]
         );
         // Unknown imports are skipped silently.
-        assert!(project.imports_of(&ham, lists_nodes.module).unwrap().is_empty());
+        assert!(project
+            .imports_of(&ham, lists_nodes.module)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -309,7 +338,10 @@ END Main.
         let project = CaseProject::new(MAIN_CONTEXT);
         let main = parse_module(MAIN).unwrap();
         let nodes = project.ingest_module(&mut ham, &main).unwrap();
-        assert_eq!(project.module_node(&ham, "Main").unwrap(), Some(nodes.module));
+        assert_eq!(
+            project.module_node(&ham, "Main").unwrap(),
+            Some(nodes.module)
+        );
         assert_eq!(project.module_node(&ham, "Ghost").unwrap(), None);
     }
 
@@ -322,6 +354,11 @@ END Main.
         let nodes = project.ingest_module(&mut ham, &module).unwrap();
         let outer = nodes.procedures["Outer"];
         let inner = nodes.procedures["Outer.Inner"];
-        assert_eq!(project.linked_targets(&ham, outer, relation::IS_PART_OF).unwrap(), vec![inner]);
+        assert_eq!(
+            project
+                .linked_targets(&ham, outer, relation::IS_PART_OF)
+                .unwrap(),
+            vec![inner]
+        );
     }
 }

@@ -1,0 +1,320 @@
+//! Lints over the CASE layer's Modula-2 module graph.
+//!
+//! Paper §4.2 represents a program as a directed graph: module trees joined
+//! by import links. These lints audit that graph: imports that resolve to
+//! nothing, modules that import each other in a cycle (illegal between
+//! Modula-2 definition modules), and definition-module procedures nothing
+//! ever imports.
+
+use std::collections::{HashMap, HashSet};
+
+use neptune_case::model::{code_type, relation, CODE_TYPE};
+use neptune_case::{parse_module, CaseProject, Module, ModuleKind, Procedure};
+use neptune_ham::types::Time;
+use neptune_ham::{Ham, Value};
+
+use crate::{
+    Finding, Severity, RULE_CASE_IMPORT_CYCLE, RULE_CASE_PARSE_ERROR, RULE_CASE_UNDEFINED_IMPORT,
+    RULE_CASE_UNUSED_EXPORT,
+};
+
+/// Library modules the environment provides; importing them is never an
+/// undefined-import finding.
+pub const KNOWN_LIBRARY_MODULES: &[&str] = &["SYSTEM"];
+
+/// Lint a set of parsed modules as one program.
+///
+/// Reports undefined imports, import cycles, and definition-module
+/// procedures no other module ever imports.
+pub fn lint_modules(modules: &[Module]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let by_name: HashMap<&str, &Module> = modules.iter().map(|m| (m.name.as_str(), m)).collect();
+
+    // Undefined imports.
+    for module in modules {
+        for import in &module.imports {
+            if !by_name.contains_key(import.as_str())
+                && !KNOWN_LIBRARY_MODULES.contains(&import.as_str())
+            {
+                findings.push(Finding::new(
+                    Severity::Warning,
+                    RULE_CASE_UNDEFINED_IMPORT,
+                    format!("module {}", module.name),
+                    format!(
+                        "imports '{import}', which is neither in the project nor a known \
+                             library module"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Import cycles, over edges between project modules only.
+    for cycle in find_cycles(modules, &by_name) {
+        findings.push(Finding::new(
+            Severity::Error,
+            RULE_CASE_IMPORT_CYCLE,
+            format!("module {}", cycle[0]),
+            format!("import cycle: {}", cycle.join(" -> ")),
+        ));
+    }
+
+    // Unused exports: a definition module's procedures that no FROM-import
+    // ever names. A wholesale `IMPORT M` makes every export reachable
+    // (qualified), so such modules are exempt.
+    let mut imported_items: HashMap<&str, HashSet<&str>> = HashMap::new();
+    let mut wholesale: HashSet<&str> = HashSet::new();
+    for module in modules {
+        for (source, items) in &module.from_imports {
+            imported_items
+                .entry(source.as_str())
+                .or_default()
+                .extend(items.iter().map(String::as_str));
+        }
+        for import in &module.imports {
+            if !module.from_imports.iter().any(|(s, _)| s == import) {
+                wholesale.insert(import.as_str());
+            }
+        }
+    }
+    for module in modules {
+        if module.kind != ModuleKind::Definition || wholesale.contains(module.name.as_str()) {
+            continue;
+        }
+        let used = imported_items.get(module.name.as_str());
+        for proc in &module.procedures {
+            if used.is_none_or(|items| !items.contains(proc.name.as_str())) {
+                findings.push(Finding::new(
+                    Severity::Warning,
+                    RULE_CASE_UNUSED_EXPORT,
+                    format!("module {}", module.name),
+                    format!("exports procedure '{}', which no module imports", proc.name),
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Distinct import cycles among project modules, each as the path of module
+/// names with the starting module repeated at the end.
+fn find_cycles(modules: &[Module], by_name: &HashMap<&str, &Module>) -> Vec<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<&str, Color> = modules
+        .iter()
+        .map(|m| (m.name.as_str(), Color::White))
+        .collect();
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_sets: HashSet<Vec<String>> = HashSet::new();
+
+    fn dfs<'a>(
+        name: &'a str,
+        by_name: &HashMap<&'a str, &'a Module>,
+        color: &mut HashMap<&'a str, Color>,
+        path: &mut Vec<&'a str>,
+        cycles: &mut Vec<Vec<String>>,
+        seen_sets: &mut HashSet<Vec<String>>,
+    ) {
+        color.insert(name, Color::Gray);
+        path.push(name);
+        if let Some(module) = by_name.get(name) {
+            for import in &module.imports {
+                let Some(next) = by_name.get(import.as_str()).map(|m| m.name.as_str()) else {
+                    continue;
+                };
+                match color.get(next).copied().unwrap_or(Color::White) {
+                    Color::White => dfs(next, by_name, color, path, cycles, seen_sets),
+                    Color::Gray => {
+                        let start = path.iter().position(|n| *n == next).expect("on path");
+                        let mut cycle: Vec<String> =
+                            path[start..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(next.to_string());
+                        let mut key = cycle.clone();
+                        key.pop();
+                        key.sort();
+                        if seen_sets.insert(key) {
+                            cycles.push(cycle);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+        path.pop();
+        color.insert(name, Color::Black);
+    }
+
+    for module in modules {
+        if color[module.name.as_str()] == Color::White {
+            let mut path = Vec::new();
+            dfs(
+                module.name.as_str(),
+                by_name,
+                &mut color,
+                &mut path,
+                &mut cycles,
+                &mut seen_sets,
+            );
+        }
+    }
+    cycles
+}
+
+/// Reconstruct the program from a [`CaseProject`]'s hypertext and lint it.
+///
+/// Module nodes are found by their `codeType` attribute; each node's
+/// contents are re-parsed for the import lists, and the module's exported
+/// procedures are read back from its `isPartOf` procedure subtree (the
+/// ingest split the procedures out of the module text). Module nodes whose
+/// contents no longer parse produce a [`RULE_CASE_PARSE_ERROR`] finding.
+pub fn lint_project(ham: &Ham, project: &CaseProject) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Ok(graph) = ham.graph(project.context) else {
+        return findings;
+    };
+    let Some(code_attr) = graph.attr_table.lookup(CODE_TYPE) else {
+        return findings; // no CASE conventions in this context: nothing to lint
+    };
+
+    let mut modules: Vec<Module> = Vec::new();
+    for node in graph.nodes() {
+        if !node.exists_at(Time::CURRENT) {
+            continue;
+        }
+        let is_module = matches!(
+            node.attrs.get(code_attr, Time::CURRENT),
+            Some(Value::Str(s))
+                if s == code_type::DEFINITION_MODULE || s == code_type::IMPLEMENTATION_MODULE
+        );
+        if !is_module {
+            continue;
+        }
+        let Ok(contents) = node.contents_at(Time::CURRENT) else {
+            continue;
+        };
+        let text = String::from_utf8_lossy(&contents);
+        let mut module = match parse_module(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                findings.push(Finding::new(
+                    Severity::Error,
+                    RULE_CASE_PARSE_ERROR,
+                    format!("node {}", node.id.0),
+                    format!("module node contents no longer parse: {e}"),
+                ));
+                continue;
+            }
+        };
+        // Exports live in the procedure subtree, not the module text.
+        if let Ok(children) = project.linked_targets(ham, node.id, relation::IS_PART_OF) {
+            let prefix = format!("{}.", module.name);
+            if let Some(icon_attr) = graph.attr_table.lookup("icon") {
+                for child in children {
+                    let Ok(cnode) = graph.node(child) else {
+                        continue;
+                    };
+                    if let Some(Value::Str(icon)) = cnode.attrs.get(icon_attr, Time::CURRENT) {
+                        if let Some(name) = icon.strip_prefix(&prefix) {
+                            module.procedures.push(Procedure {
+                                name: name.to_string(),
+                                text: String::new(),
+                                children: Vec::new(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        modules.push(module);
+    }
+
+    findings.extend(lint_modules(&modules));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sources: &[&str]) -> Vec<Module> {
+        sources.iter().map(|s| parse_module(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let modules = parse(&[
+            "DEFINITION MODULE Lists;\nPROCEDURE Insert;\nEND Insert;\nEND Lists.\n",
+            "MODULE Main;\nFROM Lists IMPORT Insert;\nEND Main.\n",
+        ]);
+        assert_eq!(lint_modules(&modules), Vec::new());
+    }
+
+    #[test]
+    fn undefined_import_is_reported() {
+        let modules = parse(&["MODULE Main;\nIMPORT Ghost;\nFROM SYSTEM IMPORT ADR;\nEND Main.\n"]);
+        let findings = lint_modules(&modules);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, RULE_CASE_UNDEFINED_IMPORT);
+        assert!(findings[0].detail.contains("Ghost"));
+    }
+
+    #[test]
+    fn import_cycle_is_reported_once() {
+        let modules = parse(&[
+            "DEFINITION MODULE A;\nIMPORT B;\nEND A.\n",
+            "DEFINITION MODULE B;\nIMPORT A;\nEND B.\n",
+        ]);
+        let findings = lint_modules(&modules);
+        let cycles: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == RULE_CASE_IMPORT_CYCLE)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{findings:?}");
+        assert!(cycles[0].detail.contains("A") && cycles[0].detail.contains("B"));
+    }
+
+    #[test]
+    fn self_import_is_a_cycle() {
+        let modules = parse(&["MODULE Loop;\nIMPORT Loop;\nEND Loop.\n"]);
+        let findings = lint_modules(&modules);
+        assert!(
+            findings.iter().any(|f| f.rule == RULE_CASE_IMPORT_CYCLE),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unused_export_is_reported_but_wholesale_import_exempts() {
+        let modules = parse(&[
+            "DEFINITION MODULE Lists;\nPROCEDURE Insert;\nEND Insert;\n\
+             PROCEDURE Remove;\nEND Remove;\nEND Lists.\n",
+            "MODULE Main;\nFROM Lists IMPORT Insert;\nEND Main.\n",
+        ]);
+        let findings = lint_modules(&modules);
+        let unused: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == RULE_CASE_UNUSED_EXPORT)
+            .collect();
+        assert_eq!(unused.len(), 1, "{findings:?}");
+        assert!(unused[0].detail.contains("Remove"));
+
+        // A wholesale IMPORT Lists makes every export reachable.
+        let modules = parse(&[
+            "DEFINITION MODULE Lists;\nPROCEDURE Insert;\nEND Insert;\n\
+             PROCEDURE Remove;\nEND Remove;\nEND Lists.\n",
+            "MODULE Main;\nIMPORT Lists;\nEND Main.\n",
+        ]);
+        assert!(
+            lint_modules(&modules)
+                .iter()
+                .all(|f| f.rule != RULE_CASE_UNUSED_EXPORT),
+            "wholesale import should exempt exports"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end checker tests over real stores: build a graph on disk,
+//! damage it a specific way, and assert the exact rule that trips — plus
+//! the baseline that an undamaged store verifies clean.
+
+use std::path::PathBuf;
+
+use neptune_check::{
+    verify_store, Severity, RULE_CONTEXT_PARTITION, RULE_DELTA_CHAIN, RULE_LINK_OFFSET,
+    RULE_SNAPSHOT_CHECKSUM, RULE_STORE_UNOPENABLE, RULE_WAL_CHECKSUM,
+};
+use neptune_ham::demons::{DemonSpec, Event};
+use neptune_ham::ham::{Ham, SNAPSHOT_FILE, WAL_FILE};
+use neptune_ham::types::{LinkPt, Protections, Time, MAIN_CONTEXT};
+use neptune_ham::Value;
+use neptune_storage::snapshot::{read_snapshot, write_snapshot};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neptune-check-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A store exercising every subsystem: contents, links, attributes, a
+/// mark-node demon, and a forked context.
+fn build_store(dir: &PathBuf) -> Ham {
+    let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
+    let (a, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(
+        MAIN_CONTEXT,
+        a,
+        t,
+        b"first line\nsecond line\n".to_vec(),
+        &[],
+    )
+    .unwrap();
+    let (b, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(MAIN_CONTEXT, b, t, b"target\n".to_vec(), &[])
+        .unwrap();
+    ham.add_link(MAIN_CONTEXT, LinkPt::current(a, 6), LinkPt::current(b, 0))
+        .unwrap();
+    let doc = ham.get_attribute_index(MAIN_CONTEXT, "document").unwrap();
+    ham.set_node_attribute_value(MAIN_CONTEXT, a, doc, Value::str("spec"))
+        .unwrap();
+    ham.set_node_demon(
+        MAIN_CONTEXT,
+        a,
+        Event::NodeModified,
+        Some(DemonSpec::mark_node("stale", "dirty", Value::Bool(true))),
+    )
+    .unwrap();
+    let ctx = ham.create_context(MAIN_CONTEXT).unwrap();
+    let (c, t) = ham.add_node(ctx, true).unwrap();
+    ham.modify_node(ctx, c, t, b"private work\n".to_vec(), &[])
+        .unwrap();
+    ham
+}
+
+#[test]
+fn clean_store_has_zero_findings() {
+    let dir = tmpdir("clean");
+    let mut ham = build_store(&dir);
+    ham.checkpoint().unwrap();
+    drop(ham);
+    let findings = verify_store(&dir);
+    assert_eq!(findings, Vec::new(), "clean store must verify clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncheckpointed_clean_store_also_verifies_clean() {
+    let dir = tmpdir("clean-wal");
+    let ham = build_store(&dir);
+    drop(ham); // WAL still holds the whole history; recovery replays it
+    let findings = verify_store(&dir);
+    assert_eq!(
+        findings,
+        Vec::new(),
+        "store with pending WAL must verify clean"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_snapshot_byte_is_a_checksum_failure() {
+    let dir = tmpdir("snap-flip");
+    let mut ham = build_store(&dir);
+    ham.checkpoint().unwrap();
+    drop(ham);
+
+    // Flip one payload byte directly in the file, leaving the stored CRC.
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = 20 + (bytes.len() - 20) / 2; // past the magic/len/crc header
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let findings = verify_store(&dir);
+    let crc = findings
+        .iter()
+        .find(|f| f.rule == RULE_SNAPSHOT_CHECKSUM)
+        .expect("snapshot-checksum finding");
+    assert_eq!(crc.severity, Severity::Critical);
+    assert!(crc.detail.contains("CRC mismatch"), "{crc}");
+    // The same damage also makes the store unopenable.
+    assert!(
+        findings.iter().any(|f| f.rule == RULE_STORE_UNOPENABLE),
+        "expected store-unopenable too, got {findings:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_wal_byte_is_a_frame_failure() {
+    let dir = tmpdir("wal-flip");
+    let ham = build_store(&dir);
+    drop(ham); // no checkpoint: the WAL holds every frame
+
+    let path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip a byte inside the first frame's payload (8-byte magic, then
+    // [len u32][crc u32][payload]).
+    assert!(bytes.len() > 20, "WAL should hold at least one frame");
+    bytes[18] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let findings = verify_store(&dir);
+    let frame = findings
+        .iter()
+        .find(|f| f.rule == RULE_WAL_CHECKSUM)
+        .expect("wal-checksum finding");
+    assert_eq!(frame.severity, Severity::Error);
+    assert!(frame.detail.contains("CRC mismatch"), "{frame}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_delta_length_breaks_the_chain() {
+    let dir = tmpdir("delta-flip");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    // v1: 65 recognizable bytes; v2 shares no lines with it, so the
+    // back-delta to v1 is a single literal Add of all 65 bytes.
+    let v1: Vec<u8> = [vec![b'x'; 64], vec![b'\n']].concat();
+    let t = ham
+        .modify_node(MAIN_CONTEXT, n, t, v1.clone(), &[])
+        .unwrap();
+    ham.modify_node(
+        MAIN_CONTEXT,
+        n,
+        t,
+        b"now something entirely different\n".to_vec(),
+        &[],
+    )
+    .unwrap();
+    ham.checkpoint().unwrap();
+    drop(ham);
+
+    // Surgery on the snapshot payload: a delta encodes as
+    // [target_len][op_count][op_tag][byte_len][literal...]; find the 65-byte
+    // literal and shrink the claimed target_len varint (65 = 0x41) by one.
+    // write_snapshot recomputes the CRC, so only the semantic damage stays.
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut payload = read_snapshot(&path).unwrap();
+    let lit = payload
+        .windows(v1.len())
+        .position(|w| w == v1.as_slice())
+        .expect("v1 literal inside the snapshot");
+    assert_eq!(
+        &payload[lit - 4..lit],
+        &[0x41, 0x01, 0x01, 0x41],
+        "delta header before the literal"
+    );
+    payload[lit - 4] = 0x40; // target_len 65 -> 64
+    write_snapshot(&path, &payload).unwrap();
+
+    let findings = verify_store(&dir);
+    let broken = findings
+        .iter()
+        .find(|f| f.rule == RULE_DELTA_CHAIN)
+        .expect("delta-chain finding");
+    assert_eq!(broken.severity, Severity::Error);
+    assert!(broken.detail.contains("64"), "{broken}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn destroying_a_fork_parent_partitions_the_store() {
+    let dir = tmpdir("partition");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let mid = ham.create_context(MAIN_CONTEXT).unwrap();
+    let leaf = ham.create_context(mid).unwrap();
+    ham.destroy_context(mid).unwrap();
+    ham.checkpoint().unwrap();
+    drop(ham);
+
+    let findings = verify_store(&dir);
+    let cut = findings
+        .iter()
+        .find(|f| f.rule == RULE_CONTEXT_PARTITION)
+        .expect("context-partition finding");
+    assert_eq!(cut.entity, format!("context {}", leaf.0));
+    assert!(cut.detail.contains(&format!("context {}", mid.0)), "{cut}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncating_contents_below_an_attachment_is_reported() {
+    let dir = tmpdir("offset");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let (a, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(
+        MAIN_CONTEXT,
+        a,
+        t,
+        b"a reasonably long line\n".to_vec(),
+        &[],
+    )
+    .unwrap();
+    let (b, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.add_link(MAIN_CONTEXT, LinkPt::current(a, 15), LinkPt::current(b, 0))
+        .unwrap();
+    // Shrink the contents while insisting the attachment stays at 15 —
+    // modifyNode accepts this, and the checker must catch it.
+    let opened = ham.open_node(MAIN_CONTEXT, a, Time::CURRENT, &[]).unwrap();
+    ham.modify_node(
+        MAIN_CONTEXT,
+        a,
+        opened.current_time,
+        b"tiny\n".to_vec(),
+        &opened.link_pts,
+    )
+    .unwrap();
+    ham.checkpoint().unwrap();
+    drop(ham);
+
+    let findings = verify_store(&dir);
+    assert!(
+        findings.iter().any(|f| f.rule == RULE_LINK_OFFSET),
+        "expected a link-offset finding, got {findings:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

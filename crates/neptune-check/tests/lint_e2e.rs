@@ -1,0 +1,70 @@
+//! End-to-end CASE lint: ingest real modules into a hypertext project and
+//! lint the reconstructed program graph.
+
+use neptune_case::{parse_module, CaseProject};
+use neptune_check::{lint_project, RULE_CASE_UNDEFINED_IMPORT, RULE_CASE_UNUSED_EXPORT};
+use neptune_ham::types::{Protections, MAIN_CONTEXT};
+use neptune_ham::Ham;
+
+const LISTS: &str = "\
+DEFINITION MODULE Lists;
+PROCEDURE Insert;
+END Insert;
+PROCEDURE Remove;
+END Remove;
+END Lists.
+";
+
+const MAIN: &str = "\
+MODULE Main;
+FROM Lists IMPORT Insert;
+IMPORT Ghost;
+BEGIN
+END Main.
+";
+
+#[test]
+fn ingested_program_is_linted_from_the_graph() {
+    let dir = std::env::temp_dir().join(format!("neptune-check-lint-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let project = CaseProject::new(MAIN_CONTEXT);
+    project
+        .ingest_module(&mut ham, &parse_module(LISTS).unwrap())
+        .unwrap();
+    project
+        .ingest_module(&mut ham, &parse_module(MAIN).unwrap())
+        .unwrap();
+
+    let findings = lint_project(&ham, &project);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RULE_CASE_UNDEFINED_IMPORT && f.detail.contains("Ghost")),
+        "expected Ghost to be an undefined import, got {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RULE_CASE_UNUSED_EXPORT && f.detail.contains("Remove")),
+        "expected Remove to be an unused export, got {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.detail.contains("'Insert'")),
+        "Insert is imported and must not be flagged, got {findings:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graph_without_case_conventions_lints_clean() {
+    let dir = std::env::temp_dir().join(format!("neptune-check-lint-none-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(MAIN_CONTEXT, n, t, b"just a document\n".to_vec(), &[])
+        .unwrap();
+    let project = CaseProject::new(MAIN_CONTEXT);
+    assert_eq!(lint_project(&ham, &project), Vec::new());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -36,12 +36,21 @@ pub fn annotate(
     let result = (|| {
         let (node, t) = ham.add_node(context, true)?;
         ham.modify_node(context, node, t, text.as_bytes().to_vec(), &[])?;
-        let (link, _) =
-            ham.add_link(context, LinkPt::current(target, cursor), LinkPt::current(node, 0))?;
+        let (link, _) = ham.add_link(
+            context,
+            LinkPt::current(target, cursor),
+            LinkPt::current(node, 0),
+        )?;
         let rel = ham.get_attribute_index(context, RELATION)?;
         ham.set_link_attribute_value(context, link, rel, Value::str(ANNOTATES))?;
         let icon = ham.get_attribute_index(context, ICON)?;
-        let label: String = text.lines().next().unwrap_or("annotation").chars().take(24).collect();
+        let label: String = text
+            .lines()
+            .next()
+            .unwrap_or("annotation")
+            .chars()
+            .take(24)
+            .collect();
         ham.set_node_attribute_value(context, node, icon, Value::str(label))?;
         Ok(Annotation { node, link })
     })();
@@ -81,7 +90,13 @@ pub fn annotations_of(
             continue;
         }
         if let Some(offset) = link.from.position_at(time) {
-            out.push((offset, Annotation { node: link.to.node, link: link_id }));
+            out.push((
+                offset,
+                Annotation {
+                    node: link.to.node,
+                    link: link_id,
+                },
+            ));
         }
     }
     out.sort_by_key(|(offset, a)| (*offset, a.link));
@@ -94,28 +109,39 @@ mod tests {
     use neptune_ham::types::{Protections, MAIN_CONTEXT};
 
     fn fresh(name: &str) -> (Ham, NodeIndex) {
-        let dir =
-            std::env::temp_dir().join(format!("neptune-annot-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("neptune-annot-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.modify_node(MAIN_CONTEXT, n, t, b"The quick brown fox.\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, n, t, b"The quick brown fox.\n".to_vec(), &[])
+            .unwrap();
         (ham, n)
     }
 
     #[test]
     fn annotate_bundles_everything() {
         let (mut ham, target) = fresh("bundle");
-        let a = annotate(&mut ham, MAIN_CONTEXT, target, 4, "really? citation needed\n").unwrap();
+        let a = annotate(
+            &mut ham,
+            MAIN_CONTEXT,
+            target,
+            4,
+            "really? citation needed\n",
+        )
+        .unwrap();
         // The annotation node holds the text.
-        let opened = ham.open_node(MAIN_CONTEXT, a.node, Time::CURRENT, &[]).unwrap();
+        let opened = ham
+            .open_node(MAIN_CONTEXT, a.node, Time::CURRENT, &[])
+            .unwrap();
         assert_eq!(opened.contents, b"really? citation needed\n".to_vec());
         // The link is tagged as an annotation at the cursor.
         let found = annotations_of(&ham, MAIN_CONTEXT, target, Time::CURRENT).unwrap();
         assert_eq!(found, vec![(4, a)]);
         // The annotation node has an icon derived from its first line.
         let icon = ham.get_attribute_index(MAIN_CONTEXT, ICON).unwrap();
-        let v = ham.get_node_attribute_value(MAIN_CONTEXT, a.node, icon, Time::CURRENT).unwrap();
+        let v = ham
+            .get_node_attribute_value(MAIN_CONTEXT, a.node, icon, Time::CURRENT)
+            .unwrap();
         assert_eq!(v, Value::str("really? citation needed"));
     }
 
@@ -142,7 +168,14 @@ mod tests {
         let (mut ham, target) = fresh("time");
         let t_before = ham.graph(MAIN_CONTEXT).unwrap().now();
         annotate(&mut ham, MAIN_CONTEXT, target, 0, "new note\n").unwrap();
-        assert!(annotations_of(&ham, MAIN_CONTEXT, target, t_before).unwrap().is_empty());
-        assert_eq!(annotations_of(&ham, MAIN_CONTEXT, target, Time::CURRENT).unwrap().len(), 1);
+        assert!(annotations_of(&ham, MAIN_CONTEXT, target, t_before)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            annotations_of(&ham, MAIN_CONTEXT, target, Time::CURRENT)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 }

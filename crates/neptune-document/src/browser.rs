@@ -31,7 +31,10 @@ pub struct GraphBrowser {
 
 impl Default for GraphBrowser {
     fn default() -> Self {
-        GraphBrowser { node_predicate: "true".into(), link_predicate: "true".into() }
+        GraphBrowser {
+            node_predicate: "true".into(),
+            link_predicate: "true".into(),
+        }
     }
 }
 
@@ -100,8 +103,7 @@ impl GraphBrowser {
         out.push('\n');
         for row in layered_rows(&view) {
             out.push_str("| ");
-            let boxes: Vec<String> =
-                row.iter().map(|(_, label)| format!("[{label}]")).collect();
+            let boxes: Vec<String> = row.iter().map(|(_, label)| format!("[{label}]")).collect();
             out.push_str(&boxes.join("   "));
             out.push('\n');
         }
@@ -137,8 +139,7 @@ fn parse(text: &str) -> Result<Predicate> {
 /// the rows top-down — a simple Sugiyama-style layering.
 fn layered_rows(view: &GraphView) -> Vec<Vec<(NodeIndex, String)>> {
     let ids: Vec<NodeIndex> = view.nodes.iter().map(|(id, _)| *id).collect();
-    let labels: HashMap<NodeIndex, &String> =
-        view.nodes.iter().map(|(id, l)| (*id, l)).collect();
+    let labels: HashMap<NodeIndex, &String> = view.nodes.iter().map(|(id, l)| (*id, l)).collect();
     let mut layer: HashMap<NodeIndex, usize> = ids.iter().map(|id| (*id, 0)).collect();
     // Relax longest-path layering; bounded by node count to survive cycles.
     for _ in 0..ids.len() {
@@ -179,7 +180,8 @@ mod tests {
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let doc = Document::create(&mut ham, MAIN_CONTEXT, "paper", "SIGMOD Paper").unwrap();
         let spec = doc.add_section(&mut ham, doc.root, 10, "Spec", "").unwrap();
-        doc.add_section(&mut ham, doc.root, 20, "Design", "").unwrap();
+        doc.add_section(&mut ham, doc.root, 20, "Design", "")
+            .unwrap();
         doc.add_section(&mut ham, spec, 5, "Spec2", "").unwrap();
         (ham, doc)
     }
@@ -187,7 +189,9 @@ mod tests {
     #[test]
     fn view_shows_labeled_nodes_and_edges() {
         let (ham, _) = sample();
-        let view = GraphBrowser::new().view(&ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
+        let view = GraphBrowser::new()
+            .view(&ham, MAIN_CONTEXT, Time::CURRENT)
+            .unwrap();
         assert_eq!(view.nodes.len(), 4);
         assert_eq!(view.edges.len(), 3);
         let labels: Vec<&str> = view.nodes.iter().map(|(_, l)| l.as_str()).collect();
@@ -207,16 +211,24 @@ mod tests {
     #[test]
     fn render_has_four_panes_and_layers() {
         let (ham, _) = sample();
-        let text = GraphBrowser::new().render(&ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
+        let text = GraphBrowser::new()
+            .render(&ham, MAIN_CONTEXT, Time::CURRENT)
+            .unwrap();
         assert!(text.contains("Graph Browser"));
         assert!(text.contains("[SIGMOD Paper]"));
         assert!(text.contains("node visibility: true"));
         assert!(text.contains("link visibility: true"));
         // Root is on a line above its children.
-        let root_line = text.lines().position(|l| l.contains("[SIGMOD Paper]")).unwrap();
+        let root_line = text
+            .lines()
+            .position(|l| l.contains("[SIGMOD Paper]"))
+            .unwrap();
         let child_line = text.lines().position(|l| l.contains("[Spec]")).unwrap();
         let grandchild_line = text.lines().position(|l| l.contains("[Spec2]")).unwrap();
-        assert!(root_line < child_line && child_line < grandchild_line, "{text}");
+        assert!(
+            root_line < child_line && child_line < grandchild_line,
+            "{text}"
+        );
         // Edges listed.
         assert!(text.contains("SIGMOD Paper --> Spec"));
     }
@@ -232,7 +244,9 @@ mod tests {
             neptune_ham::LinkPt::current(doc.root, 0),
         )
         .unwrap();
-        let text = GraphBrowser::new().render(&ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
+        let text = GraphBrowser::new()
+            .render(&ham, MAIN_CONTEXT, Time::CURRENT)
+            .unwrap();
         assert!(text.contains("[Spec]"));
     }
 

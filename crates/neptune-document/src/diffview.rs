@@ -38,7 +38,11 @@ pub fn side_by_side(
     let new = n.contents_at(time2)?;
     let old_lines = split_lines(&old);
     let new_lines = split_lines(&new);
-    let line = |l: &[u8]| String::from_utf8_lossy(l).trim_end_matches('\n').to_string();
+    let line = |l: &[u8]| {
+        String::from_utf8_lossy(l)
+            .trim_end_matches('\n')
+            .to_string()
+    };
 
     let hunks = diff_lines(&old, &new);
     let mut rows = Vec::new();
@@ -65,7 +69,11 @@ pub fn side_by_side(
                     for k in 0..dels.max(adds) {
                         rows.push(DiffRow {
                             marker: '~',
-                            left: if k < dels { line(old_lines[h.a_range.0 + k]) } else { String::new() },
+                            left: if k < dels {
+                                line(old_lines[h.a_range.0 + k])
+                            } else {
+                                String::new()
+                            },
                             right: if k < adds {
                                 line(new_lines[ins.b_range.0 + k])
                             } else {
@@ -125,7 +133,12 @@ pub fn render(
     out.push_str(&format!("| {} | {} |\n", clip("(old)"), clip("(new)")));
     out.push_str(&format!("|{}|\n", "-".repeat(2 * W + 5)));
     for row in rows {
-        out.push_str(&format!("|{}{} | {} |\n", row.marker, clip(&row.left), clip(&row.right)));
+        out.push_str(&format!(
+            "|{}{} | {} |\n",
+            row.marker,
+            clip(&row.left),
+            clip(&row.right)
+        ));
     }
     Ok(out)
 }
@@ -144,7 +157,13 @@ mod tests {
             .modify_node(MAIN_CONTEXT, n, t0, b"alpha\nbeta\ngamma\n".to_vec(), &[])
             .unwrap();
         let t2 = ham
-            .modify_node(MAIN_CONTEXT, n, t1, b"alpha\nBETA!\ngamma\ndelta\n".to_vec(), &[])
+            .modify_node(
+                MAIN_CONTEXT,
+                n,
+                t1,
+                b"alpha\nBETA!\ngamma\ndelta\n".to_vec(),
+                &[],
+            )
             .unwrap();
         (ham, n, t1, t2)
     }
@@ -174,7 +193,12 @@ mod tests {
         let text = render(&ham, MAIN_CONTEXT, n, t1, t2).unwrap();
         assert!(text.contains("Node Differences Browser"));
         let beta_row = text.lines().find(|l| l.contains("beta")).unwrap();
-        assert!(beta_row.contains("BETA!"), "replacement on one row: {beta_row}");
-        assert!(text.lines().any(|l| l.starts_with("|+") && l.contains("delta")));
+        assert!(
+            beta_row.contains("BETA!"),
+            "replacement on one row: {beta_row}"
+        );
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("|+") && l.contains("delta")));
     }
 }

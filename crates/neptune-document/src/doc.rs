@@ -40,7 +40,11 @@ impl Document {
             let icon_attr = ham.get_attribute_index(context, ICON)?;
             ham.set_node_attribute_value(context, root, doc_attr, Value::str(name))?;
             ham.set_node_attribute_value(context, root, icon_attr, Value::str(title))?;
-            Ok(Document { context, name: name.to_string(), root })
+            Ok(Document {
+                context,
+                name: name.to_string(),
+                root,
+            })
         })();
         match result {
             Ok(doc) => {
@@ -76,8 +80,11 @@ impl Document {
             let rel_attr = ham.get_attribute_index(ctx, RELATION)?;
             ham.set_node_attribute_value(ctx, section, doc_attr, Value::str(&self.name))?;
             ham.set_node_attribute_value(ctx, section, icon_attr, Value::str(title))?;
-            let (link, _) =
-                ham.add_link(ctx, LinkPt::current(parent, order), LinkPt::current(section, 0))?;
+            let (link, _) = ham.add_link(
+                ctx,
+                LinkPt::current(parent, order),
+                LinkPt::current(section, 0),
+            )?;
             ham.set_link_attribute_value(ctx, link, rel_attr, Value::str(IS_PART_OF))?;
             Ok(section)
         })();
@@ -176,7 +183,12 @@ impl Document {
         let graph = ham.graph(self.context)?;
         let icon_attr = graph.attr_table.lookup(ICON);
         Ok(icon_attr
-            .and_then(|attr| graph.node(section).ok().and_then(|n| n.attrs.get(attr, time)))
+            .and_then(|attr| {
+                graph
+                    .node(section)
+                    .ok()
+                    .and_then(|n| n.attrs.get(attr, time))
+            })
             .map(|v| v.to_string())
             .unwrap_or_else(|| format!("node-{}", section.0)))
     }
@@ -197,23 +209,41 @@ mod tests {
     fn build_and_linearize_a_document() {
         let mut ham = fresh("build");
         let doc = Document::create(&mut ham, MAIN_CONTEXT, "paper", "Neptune").unwrap();
-        let s1 = doc.add_section(&mut ham, doc.root, 10, "Introduction", "intro text\n").unwrap();
-        let s2 = doc.add_section(&mut ham, doc.root, 20, "Hypertext", "survey text\n").unwrap();
-        let s21 = doc.add_section(&mut ham, s2, 5, "Existing Systems", "memex...\n").unwrap();
+        let s1 = doc
+            .add_section(&mut ham, doc.root, 10, "Introduction", "intro text\n")
+            .unwrap();
+        let s2 = doc
+            .add_section(&mut ham, doc.root, 20, "Hypertext", "survey text\n")
+            .unwrap();
+        let s21 = doc
+            .add_section(&mut ham, s2, 5, "Existing Systems", "memex...\n")
+            .unwrap();
 
         let order = doc.sections(&ham, Time::CURRENT).unwrap();
         assert_eq!(order, vec![doc.root, s1, s2, s21]);
-        assert_eq!(doc.children(&ham, doc.root, Time::CURRENT).unwrap(), vec![s1, s2]);
-        assert_eq!(doc.title(&ham, s21, Time::CURRENT).unwrap(), "Existing Systems");
+        assert_eq!(
+            doc.children(&ham, doc.root, Time::CURRENT).unwrap(),
+            vec![s1, s2]
+        );
+        assert_eq!(
+            doc.title(&ham, s21, Time::CURRENT).unwrap(),
+            "Existing Systems"
+        );
     }
 
     #[test]
     fn child_order_follows_offsets_not_creation() {
         let mut ham = fresh("order");
         let doc = Document::create(&mut ham, MAIN_CONTEXT, "d", "Doc").unwrap();
-        let late = doc.add_section(&mut ham, doc.root, 30, "Third", "").unwrap();
-        let early = doc.add_section(&mut ham, doc.root, 10, "First", "").unwrap();
-        let mid = doc.add_section(&mut ham, doc.root, 20, "Second", "").unwrap();
+        let late = doc
+            .add_section(&mut ham, doc.root, 30, "Third", "")
+            .unwrap();
+        let early = doc
+            .add_section(&mut ham, doc.root, 10, "First", "")
+            .unwrap();
+        let mid = doc
+            .add_section(&mut ham, doc.root, 20, "Second", "")
+            .unwrap();
         assert_eq!(
             doc.children(&ham, doc.root, Time::CURRENT).unwrap(),
             vec![early, mid, late]
@@ -228,7 +258,10 @@ mod tests {
         let s2 = doc.add_section(&mut ham, doc.root, 20, "B", "").unwrap();
         doc.add_reference(&mut ham, s1, 0, s2).unwrap();
         // s2 is not a child of s1; it remains a child of root only.
-        assert_eq!(doc.children(&ham, s1, Time::CURRENT).unwrap(), Vec::<NodeIndex>::new());
+        assert_eq!(
+            doc.children(&ham, s1, Time::CURRENT).unwrap(),
+            Vec::<NodeIndex>::new()
+        );
         // And linearize with structure-only links doesn't duplicate s2.
         let order = doc.sections(&ham, Time::CURRENT).unwrap();
         assert_eq!(order, vec![doc.root, s1, s2]);

@@ -86,8 +86,18 @@ pub fn demon_browser(
         }
     }
     let journal = ham.demon_journal();
-    out.push_str(&format!("| journal ({} firings, newest last):\n", journal.len()));
-    for record in journal.iter().rev().take(5).collect::<Vec<_>>().into_iter().rev() {
+    out.push_str(&format!(
+        "| journal ({} firings, newest last):\n",
+        journal.len()
+    ));
+    for record in journal
+        .iter()
+        .rev()
+        .take(5)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         out.push_str(&format!(
             "|   {} @ {:?} on {}{}\n",
             record.demon,
@@ -116,9 +126,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.modify_node(MAIN_CONTEXT, n, t, b"content\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, n, t, b"content\n".to_vec(), &[])
+            .unwrap();
         let status = ham.get_attribute_index(MAIN_CONTEXT, "status").unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, n, status, Value::str("draft")).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, n, status, Value::str("draft"))
+            .unwrap();
         (ham, n)
     }
 
@@ -165,8 +177,14 @@ mod tests {
         .unwrap();
         // Fire both.
         let opened = ham.open_node(MAIN_CONTEXT, n, Time::CURRENT, &[]).unwrap();
-        ham.modify_node(MAIN_CONTEXT, n, opened.current_time, b"v2\n".to_vec(), &opened.link_pts)
-            .unwrap();
+        ham.modify_node(
+            MAIN_CONTEXT,
+            n,
+            opened.current_time,
+            b"v2\n".to_vec(),
+            &opened.link_pts,
+        )
+        .unwrap();
         let text = demon_browser(&ham, MAIN_CONTEXT, Some(n), Time::CURRENT).unwrap();
         assert!(text.contains("watcher"));
         assert!(text.contains("greeter"));
@@ -174,4 +192,3 @@ mod tests {
         assert!(text.contains("changed") || text.contains("opened"));
     }
 }
-

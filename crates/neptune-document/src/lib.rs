@@ -11,10 +11,10 @@
 
 pub mod annotate;
 pub mod browser;
-pub mod inspect;
 pub mod conventions;
 pub mod diffview;
 pub mod doc;
+pub mod inspect;
 pub mod nodeview;
 pub mod outline;
 pub mod render;

@@ -45,7 +45,12 @@ pub struct NodeView {
 }
 
 /// Compute a node view at `time` (zero = current).
-pub fn view_node(ham: &mut Ham, context: ContextId, node: NodeIndex, time: Time) -> Result<NodeView> {
+pub fn view_node(
+    ham: &mut Ham,
+    context: ContextId,
+    node: NodeIndex,
+    time: Time,
+) -> Result<NodeView> {
     let opened = ham.open_node(context, node, time, &[])?;
     let contents = opened.contents;
 
@@ -59,14 +64,21 @@ pub fn view_node(ham: &mut Ham, context: ContextId, node: NodeIndex, time: Time)
         if link.from.node != node || !link.exists_at(time) {
             continue;
         }
-        let Some(offset) = link.from.position_at(time) else { continue };
+        let Some(offset) = link.from.position_at(time) else {
+            continue;
+        };
         // Paper: the icon comes from the link's `icon` attribute if set,
         // else a default.
         let icon = icon_attr
             .and_then(|attr| link.attrs.get(attr, time))
             .map(|v| v.to_string())
             .unwrap_or_else(|| DEFAULT_ICON.to_string());
-        links.push(InlineLink { offset, link: link_id, target: link.to.node, icon });
+        links.push(InlineLink {
+            offset,
+            link: link_id,
+            target: link.to.node,
+            icon,
+        });
     }
     links.sort_by_key(|l| (l.offset, l.link));
 
@@ -98,7 +110,9 @@ pub fn follow(
     let link = view
         .links
         .get(index)
-        .ok_or(neptune_ham::HamError::NoSuchLink(neptune_ham::LinkIndex(u64::MAX)))?;
+        .ok_or(neptune_ham::HamError::NoSuchLink(neptune_ham::LinkIndex(
+            u64::MAX,
+        )))?;
     view_node(ham, context, link.target, time)
 }
 
@@ -114,7 +128,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.modify_node(MAIN_CONTEXT, n, t, b"hello world\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, n, t, b"hello world\n".to_vec(), &[])
+            .unwrap();
         (ham, n)
     }
 
@@ -122,12 +137,18 @@ mod tests {
     fn markers_appear_at_offsets() {
         let (mut ham, n) = fresh("markers");
         let (target, tt) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.modify_node(MAIN_CONTEXT, target, tt, b"the target\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, target, tt, b"the target\n".to_vec(), &[])
+            .unwrap();
         let (link, _) = ham
-            .add_link(MAIN_CONTEXT, LinkPt::current(n, 5), LinkPt::current(target, 0))
+            .add_link(
+                MAIN_CONTEXT,
+                LinkPt::current(n, 5),
+                LinkPt::current(target, 0),
+            )
             .unwrap();
         let icon = ham.get_attribute_index(MAIN_CONTEXT, ICON).unwrap();
-        ham.set_link_attribute_value(MAIN_CONTEXT, link, icon, Value::str("note")).unwrap();
+        ham.set_link_attribute_value(MAIN_CONTEXT, link, icon, Value::str("note"))
+            .unwrap();
 
         let view = view_node(&mut ham, MAIN_CONTEXT, n, Time::CURRENT).unwrap();
         assert_eq!(view.text, "hello⟦note⟧ world\n");
@@ -139,7 +160,12 @@ mod tests {
     fn default_icon_when_unset() {
         let (mut ham, n) = fresh("default");
         let (target, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.add_link(MAIN_CONTEXT, LinkPt::current(n, 0), LinkPt::current(target, 0)).unwrap();
+        ham.add_link(
+            MAIN_CONTEXT,
+            LinkPt::current(n, 0),
+            LinkPt::current(target, 0),
+        )
+        .unwrap();
         let view = view_node(&mut ham, MAIN_CONTEXT, n, Time::CURRENT).unwrap();
         assert!(view.text.starts_with(&format!("⟦{DEFAULT_ICON}⟧")));
     }
@@ -161,8 +187,10 @@ mod tests {
         let (mut ham, n) = fresh("multi");
         let (t1, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
         let (t2, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.add_link(MAIN_CONTEXT, LinkPt::current(n, 11), LinkPt::current(t2, 0)).unwrap();
-        ham.add_link(MAIN_CONTEXT, LinkPt::current(n, 0), LinkPt::current(t1, 0)).unwrap();
+        ham.add_link(MAIN_CONTEXT, LinkPt::current(n, 11), LinkPt::current(t2, 0))
+            .unwrap();
+        ham.add_link(MAIN_CONTEXT, LinkPt::current(n, 0), LinkPt::current(t1, 0))
+            .unwrap();
         let view = view_node(&mut ham, MAIN_CONTEXT, n, Time::CURRENT).unwrap();
         assert_eq!(view.links[0].offset, 0);
         assert_eq!(view.links[1].offset, 11);
@@ -170,11 +198,16 @@ mod tests {
     }
 
     #[test]
-    fn old_versions_render_without_later_links(){
+    fn old_versions_render_without_later_links() {
         let (mut ham, n) = fresh("old");
         let t_before = ham.graph(MAIN_CONTEXT).unwrap().now();
         let (target, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.add_link(MAIN_CONTEXT, LinkPt::current(n, 3), LinkPt::current(target, 0)).unwrap();
+        ham.add_link(
+            MAIN_CONTEXT,
+            LinkPt::current(n, 3),
+            LinkPt::current(target, 0),
+        )
+        .unwrap();
         let old = view_node(&mut ham, MAIN_CONTEXT, n, t_before).unwrap();
         assert_eq!(old.text, "hello world\n");
         assert!(old.links.is_empty());

@@ -77,8 +77,8 @@ impl DocumentBrowser {
     /// result; each subsequent level lists the selected node's immediate
     /// descendants via `linearizeGraph`.
     pub fn view(&self, ham: &mut Ham, context: ContextId, time: Time) -> Result<OutlineView> {
-        let node_pred = Predicate::parse(&self.query)
-            .map_err(|message| HamError::BadPredicate { message })?;
+        let node_pred =
+            Predicate::parse(&self.query).map_err(|message| HamError::BadPredicate { message })?;
         let link_pred = Predicate::parse(&self.link_predicate)
             .map_err(|message| HamError::BadPredicate { message })?;
 
@@ -90,7 +90,9 @@ impl DocumentBrowser {
         let mut focus = None;
         for (depth, &selected) in self.selections.iter().enumerate() {
             let current = &levels[depth];
-            let Some(&node) = current.get(selected) else { break };
+            let Some(&node) = current.get(selected) else {
+                break;
+            };
             focus = Some(node);
             let children = immediate_children(ham, context, node, time, &link_pred)?;
             if children.is_empty() {
@@ -126,7 +128,11 @@ impl DocumentBrowser {
             }
             None => String::new(),
         };
-        Ok(OutlineView { panes, focus, contents })
+        Ok(OutlineView {
+            panes,
+            focus,
+            contents,
+        })
     }
 
     /// Render the five-pane browser as text: four columns side by side and
@@ -217,10 +223,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let doc = Document::create(&mut ham, MAIN_CONTEXT, "paper", "Paper").unwrap();
-        let h = doc.add_section(&mut ham, doc.root, 10, "Hypertext", "About hypertext.\n").unwrap();
-        doc.add_section(&mut ham, h, 1, "Existing Systems", "memex, NLS.\n").unwrap();
-        doc.add_section(&mut ham, h, 2, "Properties", "editing, traversal.\n").unwrap();
-        doc.add_section(&mut ham, doc.root, 20, "Overview", "HAM overview.\n").unwrap();
+        let h = doc
+            .add_section(&mut ham, doc.root, 10, "Hypertext", "About hypertext.\n")
+            .unwrap();
+        doc.add_section(&mut ham, h, 1, "Existing Systems", "memex, NLS.\n")
+            .unwrap();
+        doc.add_section(&mut ham, h, 2, "Properties", "editing, traversal.\n")
+            .unwrap();
+        doc.add_section(&mut ham, doc.root, 20, "Overview", "HAM overview.\n")
+            .unwrap();
         (ham, doc)
     }
 
@@ -229,7 +240,11 @@ mod tests {
         let (mut ham, _) = sample();
         let browser = DocumentBrowser::new("document = \"paper\"");
         let view = browser.view(&mut ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
-        assert_eq!(view.panes[0].len(), 5, "query pane lists all document nodes");
+        assert_eq!(
+            view.panes[0].len(),
+            5,
+            "query pane lists all document nodes"
+        );
         assert!(view.panes[1].is_empty(), "no selection yet");
         assert!(view.focus.is_none());
     }
@@ -240,7 +255,10 @@ mod tests {
         let mut browser = DocumentBrowser::new("document = \"paper\"");
         // Find the root's index in pane 0 and select it.
         let view = browser.view(&mut ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
-        let root_idx = view.panes[0].iter().position(|(n, _, _)| *n == doc.root).unwrap();
+        let root_idx = view.panes[0]
+            .iter()
+            .position(|(n, _, _)| *n == doc.root)
+            .unwrap();
         browser.select(0, root_idx);
         let view = browser.view(&mut ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
         let names: Vec<&str> = view.panes[1].iter().map(|(_, n, _)| n.as_str()).collect();
@@ -261,7 +279,10 @@ mod tests {
         let (mut ham, doc) = sample();
         let mut browser = DocumentBrowser::new("document = \"paper\"");
         let view = browser.view(&mut ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
-        let root_idx = view.panes[0].iter().position(|(n, _, _)| *n == doc.root).unwrap();
+        let root_idx = view.panes[0]
+            .iter()
+            .position(|(n, _, _)| *n == doc.root)
+            .unwrap();
         browser.select(0, root_idx);
         browser.select(1, 0);
         browser.shift_right();
@@ -279,9 +300,14 @@ mod tests {
         let (mut ham, doc) = sample();
         let mut browser = DocumentBrowser::new("document = \"paper\"");
         let view = browser.view(&mut ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
-        let root_idx = view.panes[0].iter().position(|(n, _, _)| *n == doc.root).unwrap();
+        let root_idx = view.panes[0]
+            .iter()
+            .position(|(n, _, _)| *n == doc.root)
+            .unwrap();
         browser.select(0, root_idx);
-        let text = browser.render(&mut ham, MAIN_CONTEXT, Time::CURRENT).unwrap();
+        let text = browser
+            .render(&mut ham, MAIN_CONTEXT, Time::CURRENT)
+            .unwrap();
         assert!(text.contains("Document Browser"));
         assert!(text.contains(">Paper") || text.contains("> Paper") || text.contains(">Pape"));
         assert!(text.contains("Hypertext"));

@@ -94,10 +94,18 @@ mod tests {
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let doc = Document::create(&mut ham, MAIN_CONTEXT, "paper", "Neptune Paper").unwrap();
         let intro = doc
-            .add_section(&mut ham, doc.root, 10, "Introduction", "Hypertext for CAD.\n")
+            .add_section(
+                &mut ham,
+                doc.root,
+                10,
+                "Introduction",
+                "Hypertext for CAD.\n",
+            )
             .unwrap();
-        doc.add_section(&mut ham, intro, 5, "Motivation", "Version control gaps.\n").unwrap();
-        doc.add_section(&mut ham, doc.root, 20, "Hypertext", "Nodes and links.\n").unwrap();
+        doc.add_section(&mut ham, intro, 5, "Motivation", "Version control gaps.\n")
+            .unwrap();
+        doc.add_section(&mut ham, doc.root, 20, "Hypertext", "Nodes and links.\n")
+            .unwrap();
         (ham, doc)
     }
 
@@ -126,7 +134,8 @@ mod tests {
     fn hardcopy_of_old_version_omits_later_sections() {
         let (mut ham, doc) = sample();
         let t_before = ham.graph(MAIN_CONTEXT).unwrap().now();
-        doc.add_section(&mut ham, doc.root, 30, "Conclusions", "Later addition.\n").unwrap();
+        doc.add_section(&mut ham, doc.root, 30, "Conclusions", "Later addition.\n")
+            .unwrap();
         let old = hardcopy(&mut ham, &doc, t_before).unwrap();
         assert!(!old.contains("Conclusions"));
         let new = hardcopy(&mut ham, &doc, Time::CURRENT).unwrap();

@@ -42,24 +42,28 @@ pub struct Trail {
 
 impl Trail {
     /// Start a new trail named `name` at `start`.
-    pub fn start(
-        ham: &mut Ham,
-        context: ContextId,
-        name: &str,
-        start: NodeIndex,
-    ) -> Result<Trail> {
+    pub fn start(ham: &mut Ham, context: ContextId, name: &str, start: NodeIndex) -> Result<Trail> {
         ham.graph(context)?.live_node(start, Time::CURRENT)?;
         ham.begin_transaction()?;
         let result = (|| {
             let (node, t) = ham.add_node(context, true)?;
-            let mut trail =
-                Trail { node, name: name.to_string(), steps: vec![TrailStep { link: None, node: start }] };
+            let mut trail = Trail {
+                node,
+                name: name.to_string(),
+                steps: vec![TrailStep {
+                    link: None,
+                    node: start,
+                }],
+            };
             ham.modify_node(context, node, t, trail.serialize(), &[])?;
             let icon = ham.get_attribute_index(context, ICON)?;
             ham.set_node_attribute_value(context, node, icon, Value::str(name))?;
             let ct = ham.get_attribute_index(context, "contentType")?;
             ham.set_node_attribute_value(context, node, ct, Value::str(TRAIL_CONTENT_TYPE))?;
-            trail.steps = vec![TrailStep { link: None, node: start }];
+            trail.steps = vec![TrailStep {
+                link: None,
+                node: start,
+            }];
             Ok(trail)
         })();
         match result {
@@ -88,13 +92,24 @@ impl Trail {
     /// Follow `link` from the current node, recording the step and
     /// persisting the trail. The link must leave the current node and be
     /// alive now.
-    pub fn follow(&mut self, ham: &mut Ham, context: ContextId, link: LinkIndex) -> Result<NodeIndex> {
+    pub fn follow(
+        &mut self,
+        ham: &mut Ham,
+        context: ContextId,
+        link: LinkIndex,
+    ) -> Result<NodeIndex> {
         let (from, _) = ham.get_from_node(context, link, Time::CURRENT)?;
         if from != self.current() {
-            return Err(HamError::BadEndpoint { node: from, time: Time::CURRENT });
+            return Err(HamError::BadEndpoint {
+                node: from,
+                time: Time::CURRENT,
+            });
         }
         let (target, _) = ham.get_to_node(context, link, Time::CURRENT)?;
-        self.steps.push(TrailStep { link: Some(link), node: target });
+        self.steps.push(TrailStep {
+            link: Some(link),
+            node: target,
+        });
         self.persist(ham, context)?;
         Ok(target)
     }
@@ -106,7 +121,10 @@ impl Trail {
             return Ok(None);
         }
         let previous = self.steps[self.steps.len() - 2].node;
-        self.steps.push(TrailStep { link: None, node: previous });
+        self.steps.push(TrailStep {
+            link: None,
+            node: previous,
+        });
         self.persist(ham, context)?;
         Ok(Some(previous))
     }
@@ -140,12 +158,18 @@ impl Trail {
         let text = String::from_utf8_lossy(&contents);
         let mut lines = text.lines();
         let header = lines.next().unwrap_or("");
-        let name = header.strip_prefix("TRAIL ").unwrap_or("unnamed").to_string();
+        let name = header
+            .strip_prefix("TRAIL ")
+            .unwrap_or("unnamed")
+            .to_string();
         let mut steps = Vec::new();
         for line in lines {
             if let Some(rest) = line.strip_prefix("at node ") {
                 if let Ok(id) = rest.trim().parse::<u64>() {
-                    steps.push(TrailStep { link: None, node: NodeIndex(id) });
+                    steps.push(TrailStep {
+                        link: None,
+                        node: NodeIndex(id),
+                    });
                 }
             } else if let Some(rest) = line.strip_prefix("via ") {
                 let mut parts = rest.split(" -> node ");
@@ -186,13 +210,18 @@ mod tests {
         let mut nodes = Vec::new();
         for i in 0..4 {
             let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-            ham.modify_node(MAIN_CONTEXT, n, t, format!("page {i}\n").into_bytes(), &[]).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t, format!("page {i}\n").into_bytes(), &[])
+                .unwrap();
             nodes.push(n);
         }
         let mut links = Vec::new();
         for w in nodes.windows(2) {
             let (l, _) = ham
-                .add_link(MAIN_CONTEXT, LinkPt::current(w[0], 0), LinkPt::current(w[1], 0))
+                .add_link(
+                    MAIN_CONTEXT,
+                    LinkPt::current(w[0], 0),
+                    LinkPt::current(w[1], 0),
+                )
                 .unwrap();
             links.push(l);
         }
@@ -261,10 +290,14 @@ mod tests {
         let t_short = ham.graph(MAIN_CONTEXT).unwrap().now();
         trail.follow(&mut ham, MAIN_CONTEXT, links[0]).unwrap();
         // The earlier, shorter trail is still visible at the earlier time.
-        let old = ham.open_node(MAIN_CONTEXT, trail.node, t_short, &[]).unwrap();
+        let old = ham
+            .open_node(MAIN_CONTEXT, trail.node, t_short, &[])
+            .unwrap();
         let old_text = String::from_utf8_lossy(&old.contents).into_owned();
         assert!(!old_text.contains("via"), "{old_text}");
-        let new = ham.open_node(MAIN_CONTEXT, trail.node, Time::CURRENT, &[]).unwrap();
+        let new = ham
+            .open_node(MAIN_CONTEXT, trail.node, Time::CURRENT, &[])
+            .unwrap();
         assert!(String::from_utf8_lossy(&new.contents).contains("via"));
     }
 }

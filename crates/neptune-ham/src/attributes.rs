@@ -159,8 +159,11 @@ impl AttrMap {
     /// Times at which any attribute of this object changed (for minor
     /// version histories).
     pub fn change_times(&self) -> Vec<Time> {
-        let mut times: Vec<Time> =
-            self.values.values().flat_map(|v| v.change_times()).collect();
+        let mut times: Vec<Time> = self
+            .values
+            .values()
+            .flat_map(|v| v.change_times())
+            .collect();
         times.sort_unstable();
         times.dedup();
         times
@@ -174,6 +177,11 @@ impl AttrMap {
             .filter(|(_, v)| v.change_times().last().is_some_and(|t| *t > time))
             .map(|(idx, _)| *idx)
             .collect()
+    }
+
+    /// Every attribute's full versioned history, for integrity checking.
+    pub fn histories(&self) -> impl Iterator<Item = (AttributeIndex, &Versioned<Value>)> {
+        self.values.iter().map(|(idx, v)| (*idx, v))
     }
 
     /// Roll back changes after `time`.
@@ -269,7 +277,10 @@ impl ValueIndex {
             self.remove(obj, attr, old);
         }
         let key = value_index_key(value);
-        self.by_pair.entry((attr, key.clone())).or_default().insert(obj);
+        self.by_pair
+            .entry((attr, key.clone()))
+            .or_default()
+            .insert(obj);
         let entry = self
             .values_by_attr
             .entry(attr)
@@ -412,7 +423,10 @@ mod tests {
         m.set(AttributeIndex(0), Value::str("drop"), Time(9));
         m.set(AttributeIndex(1), Value::str("drop-entirely"), Time(8));
         m.truncate_after(Time(5));
-        assert_eq!(m.get(AttributeIndex(0), Time::CURRENT), Some(&Value::str("keep")));
+        assert_eq!(
+            m.get(AttributeIndex(0), Time::CURRENT),
+            Some(&Value::str("keep"))
+        );
         assert_eq!(m.get(AttributeIndex(1), Time::CURRENT), None);
         assert_eq!(m.len(), 1);
     }
@@ -437,7 +451,12 @@ mod tests {
         ix.update(n2, attr, None, &Value::str("requirements"));
         assert_eq!(ix.lookup(attr, &Value::str("requirements")), vec![n1, n2]);
         // n2 changes document.
-        ix.update(n2, attr, Some(&Value::str("requirements")), &Value::str("design"));
+        ix.update(
+            n2,
+            attr,
+            Some(&Value::str("requirements")),
+            &Value::str("design"),
+        );
         assert_eq!(ix.lookup(attr, &Value::str("requirements")), vec![n1]);
         assert_eq!(ix.lookup(attr, &Value::str("design")), vec![n2]);
         // Deletion.

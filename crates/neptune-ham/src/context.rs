@@ -85,7 +85,9 @@ pub fn merge_context(
         let contents = cnode.contents_at(Time::CURRENT)?;
         if !contents.is_empty() {
             let now = parent_tick(parent);
-            parent.node_mut(new_id)?.modify(contents, now, "merged from context")?;
+            parent
+                .node_mut(new_id)?
+                .modify(contents, now, "merged from context")?;
         }
         copy_current_attrs_node(parent, child, cnode, new_id)?;
     }
@@ -107,9 +109,7 @@ pub fn merge_context(
                     match policy {
                         ConflictPolicy::Fail => {
                             return Err(HamError::MergeConflict {
-                                detail: format!(
-                                    "{id} deleted in child but modified in parent"
-                                ),
+                                detail: format!("{id} deleted in child but modified in parent"),
                             })
                         }
                         ConflictPolicy::PreferChild => {
@@ -180,7 +180,9 @@ pub fn merge_context(
             if apply {
                 let contents = cnode.contents_at(Time::CURRENT)?;
                 let now = parent_tick(parent);
-                parent.node_mut(id)?.modify(contents, now, "merged from context")?;
+                parent
+                    .node_mut(id)?
+                    .modify(contents, now, "merged from context")?;
                 report.nodes_modified.push(id);
             }
         }
@@ -225,7 +227,12 @@ pub fn merge_context(
                     }
                     None => {
                         // Deleted in child since the fork.
-                        if parent.node(id)?.attrs.get(parent_attr, Time::CURRENT).is_some() {
+                        if parent
+                            .node(id)?
+                            .attrs
+                            .get(parent_attr, Time::CURRENT)
+                            .is_some()
+                        {
                             parent.delete_node_attr(id, parent_attr)?;
                         }
                     }
@@ -253,7 +260,9 @@ pub fn merge_context(
             }
             let from_pt = remap_linkpt(clink.from.linkpt_at(Time::CURRENT), from_node);
             let to_pt = remap_linkpt(clink.to.linkpt_at(Time::CURRENT), to_node);
-            let (Some(from_pt), Some(to_pt)) = (from_pt, to_pt) else { continue };
+            let (Some(from_pt), Some(to_pt)) = (from_pt, to_pt) else {
+                continue;
+            };
             let (new_id, _) = parent.add_link(from_pt, to_pt)?;
             report.links_added.push((clink.id, new_id));
             for (attr, value) in clink.attrs.all_at(Time::CURRENT) {
@@ -264,7 +273,9 @@ pub fn merge_context(
             }
         } else {
             // Pre-fork link: propagate deletion; attrs last-wins from child.
-            let Ok(plink) = parent.link(clink.id) else { continue };
+            let Ok(plink) = parent.link(clink.id) else {
+                continue;
+            };
             if !clink.exists_at(Time::CURRENT) && plink.exists_at(Time::CURRENT) {
                 parent.delete_link(clink.id)?;
                 report.links_deleted.push(clink.id);
@@ -306,8 +317,7 @@ fn parent_tick(parent: &mut HamGraph) -> Time {
 }
 
 fn node_changed_after(node: &crate::node::Node, fork_time: Time) -> bool {
-    content_changed_after(node, fork_time)
-        || !node.attrs.attrs_changed_after(fork_time).is_empty()
+    content_changed_after(node, fork_time) || !node.attrs.attrs_changed_after(fork_time).is_empty()
 }
 
 fn content_changed_after(node: &crate::node::Node, fork_time: Time) -> bool {
@@ -353,7 +363,10 @@ mod tests {
         let mut g = HamGraph::new(ProjectId(1));
         let (a, _) = g.add_node(true);
         let (b, _) = g.add_node(true);
-        g.node_mut(a).unwrap().modify(b"original a\n".to_vec(), Time(10), "init").unwrap();
+        g.node_mut(a)
+            .unwrap()
+            .modify(b"original a\n".to_vec(), Time(10), "init")
+            .unwrap();
         g.set_clock(Time(10));
         (g, a, b)
     }
@@ -366,17 +379,27 @@ mod tests {
 
         let (c, _) = child.add_node(true);
         let tc = child.tick();
-        child.node_mut(c).unwrap().modify(b"child node\n".to_vec(), tc, "x").unwrap();
+        child
+            .node_mut(c)
+            .unwrap()
+            .modify(b"child node\n".to_vec(), tc, "x")
+            .unwrap();
         let icon = child.attribute_index("icon");
         child.set_node_attr(c, icon, Value::str("newbie")).unwrap();
-        child.add_link(LinkPt::current(a, 0), LinkPt::current(c, 0)).unwrap();
+        child
+            .add_link(LinkPt::current(a, 0), LinkPt::current(c, 0))
+            .unwrap();
 
         let report = merge_context(&mut parent, &child, fork, ConflictPolicy::Fail).unwrap();
         assert_eq!(report.nodes_added.len(), 1);
         assert_eq!(report.links_added.len(), 1);
         let (_, new_id) = report.nodes_added[0];
         assert_eq!(
-            parent.node(new_id).unwrap().contents_at(Time::CURRENT).unwrap(),
+            parent
+                .node(new_id)
+                .unwrap()
+                .contents_at(Time::CURRENT)
+                .unwrap(),
             b"child node\n".to_vec()
         );
         let picon = parent.attr_table.lookup("icon").unwrap();
@@ -392,7 +415,11 @@ mod tests {
         let fork = parent.now();
         let mut child = parent.clone();
         let t = child.tick();
-        child.node_mut(a).unwrap().modify(b"child edit\n".to_vec(), t, "e").unwrap();
+        child
+            .node_mut(a)
+            .unwrap()
+            .modify(b"child edit\n".to_vec(), t, "e")
+            .unwrap();
 
         let report = merge_context(&mut parent, &child, fork, ConflictPolicy::Fail).unwrap();
         assert_eq!(report.nodes_modified, vec![a]);
@@ -411,9 +438,17 @@ mod tests {
             let mut parent = parent0.clone();
             let mut child = parent0.clone();
             let tp = parent.tick();
-            parent.node_mut(a).unwrap().modify(b"parent edit\n".to_vec(), tp, "p").unwrap();
+            parent
+                .node_mut(a)
+                .unwrap()
+                .modify(b"parent edit\n".to_vec(), tp, "p")
+                .unwrap();
             let tc = child.tick();
-            child.node_mut(a).unwrap().modify(b"child edit\n".to_vec(), tc, "c").unwrap();
+            child
+                .node_mut(a)
+                .unwrap()
+                .modify(b"child edit\n".to_vec(), tc, "c")
+                .unwrap();
             (parent, child)
         };
 
@@ -424,8 +459,7 @@ mod tests {
         ));
 
         let (mut parent, child) = make_diverged();
-        let report =
-            merge_context(&mut parent, &child, fork, ConflictPolicy::PreferChild).unwrap();
+        let report = merge_context(&mut parent, &child, fork, ConflictPolicy::PreferChild).unwrap();
         assert_eq!(report.conflicts.len(), 1);
         assert_eq!(
             parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap(),
@@ -445,7 +479,9 @@ mod tests {
         let (parent0, a, _) = base_graph();
         let mut parent = parent0.clone();
         let status_p = parent.attribute_index("status");
-        parent.set_node_attr(a, status_p, Value::str("base")).unwrap();
+        parent
+            .set_node_attr(a, status_p, Value::str("base"))
+            .unwrap();
         let fork = parent.now();
         let mut child = parent.clone();
 
@@ -454,8 +490,12 @@ mod tests {
         child.set_node_attr(a, owner, Value::str("norm")).unwrap();
         // Conflicting: both set "status".
         let status_c = child.attribute_index("status");
-        child.set_node_attr(a, status_c, Value::str("child")).unwrap();
-        parent.set_node_attr(a, status_p, Value::str("parent")).unwrap();
+        child
+            .set_node_attr(a, status_c, Value::str("child"))
+            .unwrap();
+        parent
+            .set_node_attr(a, status_p, Value::str("parent"))
+            .unwrap();
 
         assert!(merge_context(&mut parent.clone(), &child, fork, ConflictPolicy::Fail).is_err());
         let report =

@@ -80,7 +80,10 @@ impl Event {
         Event::ALL
             .get(tag as usize)
             .copied()
-            .ok_or(StorageError::InvalidTag { context: "Event", tag: tag as u64 })
+            .ok_or(StorageError::InvalidTag {
+                context: "Event",
+                tag: tag as u64,
+            })
     }
 }
 
@@ -145,7 +148,10 @@ pub struct DemonSpec {
 impl DemonSpec {
     /// A notification demon.
     pub fn notify(name: impl Into<String>, message: impl Into<String>) -> DemonSpec {
-        DemonSpec { name: name.into(), action: DemonAction::Notify(message.into()) }
+        DemonSpec {
+            name: name.into(),
+            action: DemonAction::Notify(message.into()),
+        }
     }
 
     /// A node-marking demon.
@@ -156,13 +162,19 @@ impl DemonSpec {
     ) -> DemonSpec {
         DemonSpec {
             name: name.into(),
-            action: DemonAction::MarkNode { attr: attr.into(), value: value.into() },
+            action: DemonAction::MarkNode {
+                attr: attr.into(),
+                value: value.into(),
+            },
         }
     }
 
     /// A callback demon dispatching to registered user code.
     pub fn call(name: impl Into<String>, callback: impl Into<String>) -> DemonSpec {
-        DemonSpec { name: name.into(), action: DemonAction::Call(callback.into()) }
+        DemonSpec {
+            name: name.into(),
+            action: DemonAction::Call(callback.into()),
+        }
     }
 }
 
@@ -197,7 +209,12 @@ impl Decode for DemonSpec {
                 value: Value::decode(r)?,
             },
             2 => DemonAction::Call(r.get_str()?.to_owned()),
-            tag => return Err(StorageError::InvalidTag { context: "DemonAction", tag: tag as u64 }),
+            tag => {
+                return Err(StorageError::InvalidTag {
+                    context: "DemonAction",
+                    tag: tag as u64,
+                })
+            }
         };
         Ok(DemonSpec { name, action })
     }
@@ -239,6 +256,11 @@ impl DemonTable {
             .iter()
             .filter_map(|(e, v)| v.get_at(time).map(|d| (*e, d.clone())))
             .collect()
+    }
+
+    /// Every event slot's full versioned history, for integrity checking.
+    pub fn histories(&self) -> impl Iterator<Item = (Event, &Versioned<DemonSpec>)> {
+        self.slots.iter().map(|(e, v)| (*e, v))
     }
 
     /// Roll back changes after `time`.
@@ -325,7 +347,9 @@ impl fmt::Debug for DemonRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.callbacks.keys().map(|s| s.as_str()).collect();
         names.sort_unstable();
-        f.debug_struct("DemonRegistry").field("callbacks", &names).finish()
+        f.debug_struct("DemonRegistry")
+            .field("callbacks", &names)
+            .finish()
     }
 }
 
@@ -369,8 +393,16 @@ mod tests {
     #[test]
     fn table_versions_demons() {
         let mut t = DemonTable::new();
-        t.set(Event::NodeModified, Some(DemonSpec::notify("v1", "a")), Time(1));
-        t.set(Event::NodeModified, Some(DemonSpec::notify("v2", "b")), Time(5));
+        t.set(
+            Event::NodeModified,
+            Some(DemonSpec::notify("v1", "a")),
+            Time(1),
+        );
+        t.set(
+            Event::NodeModified,
+            Some(DemonSpec::notify("v2", "b")),
+            Time(5),
+        );
         t.set(Event::NodeModified, None, Time(9));
         assert_eq!(t.get(Event::NodeModified, Time(1)).unwrap().name, "v1");
         assert_eq!(t.get(Event::NodeModified, Time(7)).unwrap().name, "v2");

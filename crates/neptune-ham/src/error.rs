@@ -118,21 +118,35 @@ impl fmt::Display for HamError {
             HamError::ProjectMismatch { given, actual } => {
                 write!(f, "project id mismatch: given {given}, graph is {actual}")
             }
-            HamError::StaleVersion { node, given, current } => write!(
+            HamError::StaleVersion {
+                node,
+                given,
+                current,
+            } => write!(
                 f,
                 "stale version for {node}: caller saw {given}, current is {current}"
             ),
-            HamError::AttachmentMismatch { node, expected, supplied } => write!(
+            HamError::AttachmentMismatch {
+                node,
+                expected,
+                supplied,
+            } => write!(
                 f,
                 "modifyNode on {node} must supply {expected} link points, got {supplied}"
             ),
             HamError::TransactionState { reason } => write!(f, "transaction state: {reason}"),
             HamError::BadPredicate { message } => write!(f, "bad predicate: {message}"),
             HamError::BadEndpoint { node, time } => {
-                write!(f, "link endpoint refers to {node} at {time}, which does not exist")
+                write!(
+                    f,
+                    "link endpoint refers to {node} at {time}, which does not exist"
+                )
             }
             HamError::NoHistory(n) => {
-                write!(f, "{n} is a file node; only its current version is available")
+                write!(
+                    f,
+                    "{n} is a file node; only its current version is available"
+                )
             }
             HamError::MergeConflict { detail } => write!(f, "merge conflict: {detail}"),
             HamError::Deleted { what, id } => write!(f, "{what} {id} has been deleted"),

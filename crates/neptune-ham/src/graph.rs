@@ -151,12 +151,18 @@ impl HamGraph {
 
     /// Number of nodes alive at the current time.
     pub fn live_node_count(&self) -> usize {
-        self.nodes.values().filter(|n| n.exists_at(Time::CURRENT)).count()
+        self.nodes
+            .values()
+            .filter(|n| n.exists_at(Time::CURRENT))
+            .count()
     }
 
     /// Number of links alive at the current time.
     pub fn live_link_count(&self) -> usize {
-        self.links.values().filter(|l| l.exists_at(Time::CURRENT)).count()
+        self.links
+            .values()
+            .filter(|l| l.exists_at(Time::CURRENT))
+            .count()
     }
 
     // ----- structural mutation -----
@@ -196,7 +202,8 @@ impl HamGraph {
                 }
             };
             for (attr, value) in remove_pairs {
-                self.value_index.remove((ObjKind::Link, link_id.0), attr, &value);
+                self.value_index
+                    .remove((ObjKind::Link, link_id.0), attr, &value);
             }
         }
         let remove_pairs = {
@@ -253,9 +260,16 @@ impl HamGraph {
             node: pt.node,
             time: pt.time,
         })?;
-        let check_time = if pt.track_current { Time::CURRENT } else { pt.time };
+        let check_time = if pt.track_current {
+            Time::CURRENT
+        } else {
+            pt.time
+        };
         if !node.exists_at(check_time) || node.resolve_content_time(check_time).is_err() {
-            return Err(HamError::BadEndpoint { node: pt.node, time: pt.time });
+            return Err(HamError::BadEndpoint {
+                node: pt.node,
+                time: pt.time,
+            });
         }
         Ok(())
     }
@@ -316,7 +330,8 @@ impl HamGraph {
         let old = node.attrs.get(attr, Time::CURRENT).cloned();
         node.attrs.set(attr, value.clone(), now);
         node.record_minor(now, "attribute set");
-        self.value_index.update((ObjKind::Node, id.0), attr, old.as_ref(), &value);
+        self.value_index
+            .update((ObjKind::Node, id.0), attr, old.as_ref(), &value);
         Ok(now)
     }
 
@@ -333,10 +348,14 @@ impl HamGraph {
             Some(old_value) => {
                 node.attrs.delete(attr, now);
                 node.record_minor(now, "attribute deleted");
-                self.value_index.remove((ObjKind::Node, id.0), attr, &old_value);
+                self.value_index
+                    .remove((ObjKind::Node, id.0), attr, &old_value);
                 Ok(now)
             }
-            None => Err(HamError::AttributeNotSet { attribute: attr, time: Time::CURRENT }),
+            None => Err(HamError::AttributeNotSet {
+                attribute: attr,
+                time: Time::CURRENT,
+            }),
         }
     }
 
@@ -356,7 +375,8 @@ impl HamGraph {
         let old = link.attrs.get(attr, Time::CURRENT).cloned();
         link.attrs.set(attr, value.clone(), now);
         link.record_version(now, "attribute set");
-        self.value_index.update((ObjKind::Link, id.0), attr, old.as_ref(), &value);
+        self.value_index
+            .update((ObjKind::Link, id.0), attr, old.as_ref(), &value);
         Ok(now)
     }
 
@@ -373,16 +393,22 @@ impl HamGraph {
             Some(old_value) => {
                 link.attrs.delete(attr, now);
                 link.record_version(now, "attribute deleted");
-                self.value_index.remove((ObjKind::Link, id.0), attr, &old_value);
+                self.value_index
+                    .remove((ObjKind::Link, id.0), attr, &old_value);
                 Ok(now)
             }
-            None => Err(HamError::AttributeNotSet { attribute: attr, time: Time::CURRENT }),
+            None => Err(HamError::AttributeNotSet {
+                attribute: attr,
+                time: Time::CURRENT,
+            }),
         }
     }
 
     /// Resolve an attribute index to its name.
     pub fn attr_name(&self, attr: AttributeIndex) -> Result<&str> {
-        self.attr_table.name(attr).ok_or(HamError::NoSuchAttribute(attr))
+        self.attr_table
+            .name(attr)
+            .ok_or(HamError::NoSuchAttribute(attr))
     }
 
     /// All values of `attr` across all live nodes and links at `time` —
@@ -451,8 +477,7 @@ impl HamGraph {
         self.nodes.retain(|_, n| n.truncate_after(time));
         self.links.retain(|_, l| l.truncate_after(time));
         // Remove dangling incidence entries for links dropped above.
-        let live_links: std::collections::HashSet<LinkIndex> =
-            self.links.keys().copied().collect();
+        let live_links: std::collections::HashSet<LinkIndex> = self.links.keys().copied().collect();
         for n in self.nodes.values_mut() {
             n.incident_links.retain(|l| live_links.contains(l));
         }
@@ -590,7 +615,9 @@ mod tests {
     #[test]
     fn delete_node_cascades_to_links() {
         let (mut g, a, b) = graph_with_two_nodes();
-        let (l, _) = g.add_link(LinkPt::current(a, 0), LinkPt::current(b, 0)).unwrap();
+        let (l, _) = g
+            .add_link(LinkPt::current(a, 0), LinkPt::current(b, 0))
+            .unwrap();
         let t_before = g.now();
         g.delete_node(a).unwrap();
         assert!(!g.node(a).unwrap().exists_at(Time::CURRENT));
@@ -613,7 +640,10 @@ mod tests {
         assert_eq!(vals, vec![Value::str("requirements")]);
         // Update moves the index entry.
         g.set_node_attr(a, doc, Value::str("design")).unwrap();
-        assert!(g.value_index().lookup(doc, &Value::str("requirements")).is_empty());
+        assert!(g
+            .value_index()
+            .lookup(doc, &Value::str("requirements"))
+            .is_empty());
         assert_eq!(g.value_index().lookup(doc, &Value::str("design")).len(), 1);
     }
 
@@ -662,7 +692,9 @@ mod tests {
 
         // Post-checkpoint changes to discard:
         let (c, _) = g.add_node(true);
-        let (l, _) = g.add_link(LinkPt::current(a, 0), LinkPt::current(c, 0)).unwrap();
+        let (l, _) = g
+            .add_link(LinkPt::current(a, 0), LinkPt::current(c, 0))
+            .unwrap();
         g.set_node_attr(a, doc, Value::str("drop")).unwrap();
         let late_attr = g.attribute_index("late");
         g.set_node_attr(c, late_attr, Value::Int(1)).unwrap();
@@ -689,7 +721,8 @@ mod tests {
         let (mut g, a, b) = graph_with_two_nodes();
         let doc = g.attribute_index("document");
         g.set_node_attr(a, doc, Value::str("requirements")).unwrap();
-        g.add_link(LinkPt::current(a, 3), LinkPt::current(b, 0)).unwrap();
+        g.add_link(LinkPt::current(a, 3), LinkPt::current(b, 0))
+            .unwrap();
         g.node_mut(a)
             .unwrap()
             .modify(b"section one\n".to_vec(), Time(99), "edit")
@@ -698,7 +731,13 @@ mod tests {
         let decoded = HamGraph::from_bytes(&g.to_bytes()).unwrap();
         assert_eq!(decoded, g);
         // Derived index was rebuilt on decode.
-        assert_eq!(decoded.value_index().lookup(doc, &Value::str("requirements")).len(), 1);
+        assert_eq!(
+            decoded
+                .value_index()
+                .lookup(doc, &Value::str("requirements"))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -713,7 +752,9 @@ mod tests {
     #[test]
     fn self_link_is_allowed() {
         let (mut g, a, _) = graph_with_two_nodes();
-        let (l, _) = g.add_link(LinkPt::current(a, 0), LinkPt::current(a, 5)).unwrap();
+        let (l, _) = g
+            .add_link(LinkPt::current(a, 0), LinkPt::current(a, 5))
+            .unwrap();
         assert_eq!(g.node(a).unwrap().incident_links, vec![l]);
     }
 }

@@ -58,11 +58,14 @@ pub struct OpenedNode {
     pub current_time: Time,
 }
 
-/// File names inside a graph directory.
-const META_FILE: &str = "graph.meta";
-const SNAPSHOT_FILE: &str = "graph.snap";
-const WAL_FILE: &str = "wal.log";
-const NODES_DIR: &str = "nodes";
+/// Name of the metadata file inside a graph directory.
+pub const META_FILE: &str = "graph.meta";
+/// Name of the checkpoint snapshot file inside a graph directory.
+pub const SNAPSHOT_FILE: &str = "graph.snap";
+/// Name of the write-ahead log file inside a graph directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Name of the node-contents blob directory inside a graph directory.
+pub const NODES_DIR: &str = "nodes";
 
 /// The Hypertext Abstract Machine: a single opened Neptune database.
 ///
@@ -115,7 +118,13 @@ impl Ham {
         let graph = HamGraph::new(project_id);
         let created = graph.created;
         let mut threads = HashMap::new();
-        threads.insert(MAIN_CONTEXT, GraphThread { graph, forked_from: None });
+        threads.insert(
+            MAIN_CONTEXT,
+            GraphThread {
+                graph,
+                forked_from: None,
+            },
+        );
         let wal = Wal::open(directory.join(WAL_FILE))?;
         let blobs = BlobStore::open(directory.join(NODES_DIR), protections)?;
         let mut ham = Ham {
@@ -146,7 +155,10 @@ impl Ham {
         let directory = directory.as_ref();
         let meta = read_meta(directory)?;
         if meta.0 != project_id {
-            return Err(HamError::ProjectMismatch { given: project_id, actual: meta.0 });
+            return Err(HamError::ProjectMismatch {
+                given: project_id,
+                actual: meta.0,
+            });
         }
         std::fs::remove_dir_all(directory).map_err(neptune_storage::StorageError::from)?;
         Ok(())
@@ -166,7 +178,10 @@ impl Ham {
         let directory = directory.as_ref().to_path_buf();
         let (meta_pid, protections, next_context, next_txn) = read_meta(&directory)?;
         if meta_pid != project_id {
-            return Err(HamError::ProjectMismatch { given: project_id, actual: meta_pid });
+            return Err(HamError::ProjectMismatch {
+                given: project_id,
+                actual: meta_pid,
+            });
         }
         let snapshot_bytes = read_snapshot(directory.join(SNAPSHOT_FILE))?;
         let threads = decode_threads(&snapshot_bytes)?;
@@ -213,11 +228,20 @@ impl Ham {
     ///
     /// Creates a new empty node; `keep_history = true` maintains a complete
     /// version history (archive). Triggers the `nodeAdded` demon.
-    pub fn add_node(&mut self, context: ContextId, keep_history: bool) -> Result<(NodeIndex, Time)> {
+    pub fn add_node(
+        &mut self,
+        context: ContextId,
+        keep_history: bool,
+    ) -> Result<(NodeIndex, Time)> {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let (id, time) = ham.graph_mut(context)?.add_node(keep_history);
-            ham.push_redo(RedoOp::AddNode { context, id, time, keep_history });
+            ham.push_redo(RedoOp::AddNode {
+                context,
+                id,
+                time,
+                keep_history,
+            });
             ham.fire(context, Event::NodeAdded, Some(id), None)?;
             Ok((id, time))
         })
@@ -232,7 +256,11 @@ impl Ham {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let time = ham.graph_mut(context)?.delete_node(node)?;
-            ham.push_redo(RedoOp::DeleteNode { context, id: node, time });
+            ham.push_redo(RedoOp::DeleteNode {
+                context,
+                id: node,
+                time,
+            });
             ham.fire(context, Event::NodeDeleted, Some(node), None)?;
             Ok(())
         })
@@ -252,7 +280,13 @@ impl Ham {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let (id, time) = ham.graph_mut(context)?.add_link(from, to)?;
-            ham.push_redo(RedoOp::AddLink { context, id, from, to, time });
+            ham.push_redo(RedoOp::AddLink {
+                context,
+                id,
+                from,
+                to,
+                time,
+            });
             ham.fire(context, Event::LinkAdded, None, Some(id))?;
             Ok((id, time))
         })
@@ -278,7 +312,11 @@ impl Ham {
             let end = if keep_source { &l.from } else { &l.to };
             end.linkpt_at(time1).ok_or(HamError::NoSuchLink(link))?
         };
-        let (from, to) = if keep_source { (shared, pt) } else { (pt, shared) };
+        let (from, to) = if keep_source {
+            (shared, pt)
+        } else {
+            (pt, shared)
+        };
         self.add_link(context, from, to)
     }
 
@@ -289,7 +327,11 @@ impl Ham {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let time = ham.graph_mut(context)?.delete_link(link)?;
-            ham.push_redo(RedoOp::DeleteLink { context, id: link, time });
+            ham.push_redo(RedoOp::DeleteLink {
+                context,
+                id: link,
+                time,
+            });
             ham.fire(context, Event::LinkDeleted, None, Some(link))?;
             Ok(())
         })
@@ -310,7 +352,9 @@ impl Ham {
         link_attrs: &[AttributeIndex],
     ) -> Result<SubGraph> {
         let graph = self.graph(context)?;
-        linearize_graph(graph, start, time, node_pred, link_pred, node_attrs, link_attrs)
+        linearize_graph(
+            graph, start, time, node_pred, link_pred, node_attrs, link_attrs,
+        )
     }
 
     /// `getGraphQuery`: associative access to all nodes satisfying the node
@@ -370,8 +414,16 @@ impl Ham {
                 .into_iter()
                 .map(|(_, _, pt)| pt)
                 .collect();
-            let values = attrs.iter().map(|a| n.attrs.get(*a, time).cloned()).collect();
-            OpenedNode { contents, link_pts, values, current_time: n.current_time() }
+            let values = attrs
+                .iter()
+                .map(|a| n.attrs.get(*a, time).cloned())
+                .collect();
+            OpenedNode {
+                contents,
+                link_pts,
+                values,
+                current_time: n.current_time(),
+            }
         };
         // `openNode` can trigger a demon; only pay the dispatch cost if one
         // is actually registered for this event.
@@ -399,8 +451,13 @@ impl Ham {
     ) -> Result<Time> {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
-            let now =
-                apply_modify_node(ham.graph_mut(context)?, node, Some(time), contents.clone(), link_pts)?;
+            let now = apply_modify_node(
+                ham.graph_mut(context)?,
+                node,
+                Some(time),
+                contents.clone(),
+                link_pts,
+            )?;
             ham.push_redo(RedoOp::ModifyNode {
                 context,
                 id: node,
@@ -417,7 +474,10 @@ impl Ham {
     ///
     /// The version time of the node's current version.
     pub fn get_node_time_stamp(&self, context: ContextId, node: NodeIndex) -> Result<Time> {
-        Ok(self.graph(context)?.live_node(node, Time::CURRENT)?.current_time())
+        Ok(self
+            .graph(context)?
+            .live_node(node, Time::CURRENT)?
+            .current_time())
     }
 
     /// `changeNodeProtection: NodeIndex × Protections →`
@@ -436,7 +496,11 @@ impl Ham {
             if context == MAIN_CONTEXT && ham.blobs.contains(node.0) {
                 ham.blobs.set_protections(node.0, protections)?;
             }
-            ham.push_redo(RedoOp::ChangeProtection { context, node, protections });
+            ham.push_redo(RedoOp::ChangeProtection {
+                context,
+                node,
+                protections,
+            });
             Ok(())
         })
     }
@@ -549,7 +613,11 @@ impl Ham {
             ham.note_context(context)?;
             let idx = ham.graph_mut(context)?.attribute_index(&name);
             let time = ham.graph(context)?.now();
-            ham.push_redo(RedoOp::InternAttr { context, name, time });
+            ham.push_redo(RedoOp::InternAttr {
+                context,
+                name,
+                time,
+            });
             Ok(idx)
         })
     }
@@ -567,9 +635,17 @@ impl Ham {
     ) -> Result<()> {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
-            let time = ham.graph_mut(context)?.set_node_attr(node, attr, value.clone())?;
+            let time = ham
+                .graph_mut(context)?
+                .set_node_attr(node, attr, value.clone())?;
             let name = ham.graph(context)?.attr_name(attr)?.to_string();
-            ham.push_redo(RedoOp::SetNodeAttr { context, node, attr: name, value, time });
+            ham.push_redo(RedoOp::SetNodeAttr {
+                context,
+                node,
+                attr: name,
+                value,
+                time,
+            });
             ham.fire(context, Event::AttributeChanged, Some(node), None)?;
             Ok(())
         })
@@ -589,7 +665,12 @@ impl Ham {
             ham.note_context(context)?;
             let time = ham.graph_mut(context)?.delete_node_attr(node, attr)?;
             let name = ham.graph(context)?.attr_name(attr)?.to_string();
-            ham.push_redo(RedoOp::DeleteNodeAttr { context, node, attr: name, time });
+            ham.push_redo(RedoOp::DeleteNodeAttr {
+                context,
+                node,
+                attr: name,
+                time,
+            });
             ham.fire(context, Event::AttributeChanged, Some(node), None)?;
             Ok(())
         })
@@ -610,7 +691,10 @@ impl Ham {
             .attrs
             .get(attr, time)
             .cloned()
-            .ok_or(HamError::AttributeNotSet { attribute: attr, time })
+            .ok_or(HamError::AttributeNotSet {
+                attribute: attr,
+                time,
+            })
     }
 
     /// `getNodeAttributes: NodeIndex × Time → (Attribute × AttributeIndex × Value)*`
@@ -635,9 +719,17 @@ impl Ham {
     ) -> Result<()> {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
-            let time = ham.graph_mut(context)?.set_link_attr(link, attr, value.clone())?;
+            let time = ham
+                .graph_mut(context)?
+                .set_link_attr(link, attr, value.clone())?;
             let name = ham.graph(context)?.attr_name(attr)?.to_string();
-            ham.push_redo(RedoOp::SetLinkAttr { context, link, attr: name, value, time });
+            ham.push_redo(RedoOp::SetLinkAttr {
+                context,
+                link,
+                attr: name,
+                value,
+                time,
+            });
             ham.fire(context, Event::AttributeChanged, None, Some(link))?;
             Ok(())
         })
@@ -654,7 +746,12 @@ impl Ham {
             ham.note_context(context)?;
             let time = ham.graph_mut(context)?.delete_link_attr(link, attr)?;
             let name = ham.graph(context)?.attr_name(attr)?.to_string();
-            ham.push_redo(RedoOp::DeleteLinkAttr { context, link, attr: name, time });
+            ham.push_redo(RedoOp::DeleteLinkAttr {
+                context,
+                link,
+                attr: name,
+                time,
+            });
             ham.fire(context, Event::AttributeChanged, None, Some(link))?;
             Ok(())
         })
@@ -675,7 +772,10 @@ impl Ham {
             .attrs
             .get(attr, time)
             .cloned()
-            .ok_or(HamError::AttributeNotSet { attribute: attr, time })
+            .ok_or(HamError::AttributeNotSet {
+                attribute: attr,
+                time,
+            })
     }
 
     /// `getLinkAttributes: LinkIndex × Time → (Attribute × AttributeIndex × Value)*`
@@ -706,9 +806,26 @@ impl Ham {
     ) -> Result<()> {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
+            // A mark-node demon's attribute must exist for the demon to be
+            // meaningful; intern it now rather than at first fire.
+            if let Some(DemonSpec {
+                action: DemonAction::MarkNode { attr, .. },
+                ..
+            }) = &demon
+            {
+                let attr = attr.clone();
+                ham.get_attribute_index(context, &attr)?;
+            }
             let time = ham.graph_mut(context)?.tick();
-            ham.graph_mut(context)?.graph_demons.set(event, demon.clone(), time);
-            ham.push_redo(RedoOp::SetGraphDemon { context, event, demon, time });
+            ham.graph_mut(context)?
+                .graph_demons
+                .set(event, demon.clone(), time);
+            ham.push_redo(RedoOp::SetGraphDemon {
+                context,
+                event,
+                demon,
+                time,
+            });
             Ok(())
         })
     }
@@ -733,11 +850,25 @@ impl Ham {
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             ham.graph_mut(context)?.live_node(node, Time::CURRENT)?;
+            if let Some(DemonSpec {
+                action: DemonAction::MarkNode { attr, .. },
+                ..
+            }) = &demon
+            {
+                let attr = attr.clone();
+                ham.get_attribute_index(context, &attr)?;
+            }
             let time = ham.graph_mut(context)?.tick();
             let g = ham.graph_mut(context)?;
             g.node_mut(node)?.demons.set(event, demon.clone(), time);
             g.node_mut(node)?.record_minor(time, "demon set");
-            ham.push_redo(RedoOp::SetNodeDemon { context, node, event, demon, time });
+            ham.push_redo(RedoOp::SetNodeDemon {
+                context,
+                node,
+                event,
+                demon,
+                time,
+            });
             Ok(())
         })
     }
@@ -778,7 +909,9 @@ impl Ham {
     /// Begin an explicit transaction bundling several primitive operations.
     pub fn begin_transaction(&mut self) -> Result<u64> {
         if self.txn.is_some() {
-            return Err(HamError::TransactionState { reason: "transaction already active" });
+            return Err(HamError::TransactionState {
+                reason: "transaction already active",
+            });
         }
         let id = self.next_txn;
         self.next_txn += 1;
@@ -789,10 +922,9 @@ impl Ham {
     /// Commit the active transaction: its operations become durable (the
     /// WAL is forced) before this returns.
     pub fn commit_transaction(&mut self) -> Result<()> {
-        let txn = self
-            .txn
-            .take()
-            .ok_or(HamError::TransactionState { reason: "no active transaction" })?;
+        let txn = self.txn.take().ok_or(HamError::TransactionState {
+            reason: "no active transaction",
+        })?;
         if txn.redo.is_empty() {
             return Ok(()); // read-only transaction: nothing to make durable
         }
@@ -801,17 +933,34 @@ impl Ham {
             self.wal.append(txn.id, RecordKind::Op, op.to_bytes())?;
         }
         self.wal.append_commit(txn.id)?;
+        #[cfg(feature = "strict-invariants")]
+        self.assert_strict_invariants("commit_transaction");
         Ok(())
+    }
+
+    /// With the `strict-invariants` feature, every commit and checkpoint
+    /// re-verifies the integrity rules the `neptune-check` crate reports on
+    /// and panics on the first violation — a debug harness for catching
+    /// corruption at the operation that introduces it.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_strict_invariants(&self, site: &str) {
+        if self.replaying {
+            return; // replay re-applies ops one at a time; check at the end
+        }
+        let violations = crate::invariants::ham_violations(self);
+        assert!(
+            violations.is_empty(),
+            "strict-invariants violated at {site}: {violations:?}"
+        );
     }
 
     /// Abort the active transaction: every context it touched is rolled
     /// back to its state at transaction start ("complete recovery from any
     /// aborted transaction").
     pub fn abort_transaction(&mut self) -> Result<()> {
-        let txn = self
-            .txn
-            .take()
-            .ok_or(HamError::TransactionState { reason: "no active transaction" })?;
+        let txn = self.txn.take().ok_or(HamError::TransactionState {
+            reason: "no active transaction",
+        })?;
         // Contexts destroyed/overwritten during the txn come back first.
         for (id, graph) in txn.saved_contexts.into_iter().rev() {
             let forked_from = self.threads.get(&id).and_then(|t| t.forked_from);
@@ -839,7 +988,9 @@ impl Ham {
     /// node's protections (the paper's file-per-node storage model).
     pub fn checkpoint(&mut self) -> Result<()> {
         if self.txn.is_some() {
-            return Err(HamError::TransactionState { reason: "cannot checkpoint inside a transaction" });
+            return Err(HamError::TransactionState {
+                reason: "cannot checkpoint inside a transaction",
+            });
         }
         let bytes = encode_threads(&self.threads);
         write_snapshot(self.directory.join(SNAPSHOT_FILE), &bytes)?;
@@ -856,6 +1007,8 @@ impl Ham {
                 self.blobs.delete(node.id.0)?;
             }
         }
+        #[cfg(feature = "strict-invariants")]
+        self.assert_strict_invariants("checkpoint");
         Ok(())
     }
 
@@ -872,11 +1025,21 @@ impl Ham {
             let graph = parent.graph.clone();
             let id = ContextId(ham.next_context);
             ham.next_context += 1;
-            ham.threads.insert(id, GraphThread { graph, forked_from: Some((from, fork_time)) });
+            ham.threads.insert(
+                id,
+                GraphThread {
+                    graph,
+                    forked_from: Some((from, fork_time)),
+                },
+            );
             if let Some(txn) = &mut ham.txn {
                 txn.created_contexts.push(id);
             }
-            ham.push_redo(RedoOp::CreateContext { id, from, time: fork_time });
+            ham.push_redo(RedoOp::CreateContext {
+                id,
+                from,
+                time: fork_time,
+            });
             Ok(id)
         })
     }
@@ -889,10 +1052,12 @@ impl Ham {
         child: ContextId,
         policy: ConflictPolicy,
     ) -> Result<MergeReport> {
-        let (parent_id, fork_time) = self
-            .thread(child)?
-            .forked_from
-            .ok_or(HamError::TransactionState { reason: "cannot merge the main context" })?;
+        let (parent_id, fork_time) =
+            self.thread(child)?
+                .forked_from
+                .ok_or(HamError::TransactionState {
+                    reason: "cannot merge the main context",
+                })?;
         self.auto_txn(|ham| {
             ham.note_context(parent_id)?;
             let child_graph = ham.thread(child)?.graph.clone();
@@ -914,7 +1079,9 @@ impl Ham {
     /// Discard a context and its private history.
     pub fn destroy_context(&mut self, id: ContextId) -> Result<()> {
         if id == MAIN_CONTEXT {
-            return Err(HamError::TransactionState { reason: "cannot destroy the main context" });
+            return Err(HamError::TransactionState {
+                reason: "cannot destroy the main context",
+            });
         }
         self.auto_txn(|ham| {
             let thread = ham.threads.get(&id).ok_or(HamError::NoSuchContext(id))?;
@@ -956,12 +1123,24 @@ impl Ham {
             .ok_or(HamError::NoSuchContext(context))
     }
 
+    /// Where `context` was forked from: `(parent, parent clock at fork)`,
+    /// or `None` for the main context. Integrity checkers use this to
+    /// verify the context-partition topology.
+    pub fn context_forked_from(&self, context: ContextId) -> Result<Option<(ContextId, Time)>> {
+        self.threads
+            .get(&context)
+            .map(|t| t.forked_from)
+            .ok_or(HamError::NoSuchContext(context))
+    }
+
     // =====================================================================
     // Internals
     // =====================================================================
 
     fn thread(&self, context: ContextId) -> Result<&GraphThread> {
-        self.threads.get(&context).ok_or(HamError::NoSuchContext(context))
+        self.threads
+            .get(&context)
+            .ok_or(HamError::NoSuchContext(context))
     }
 
     fn graph_mut(&mut self, context: ContextId) -> Result<&mut HamGraph> {
@@ -1010,7 +1189,9 @@ impl Ham {
     /// Whether any demon is registered for `event` (graph-level, or on the
     /// specific node).
     fn demon_registered(&self, context: ContextId, event: Event, node: Option<NodeIndex>) -> bool {
-        let Ok(graph) = self.graph(context) else { return false };
+        let Ok(graph) = self.graph(context) else {
+            return false;
+        };
         if graph.graph_demons.get(event, Time::CURRENT).is_some() {
             return true;
         }
@@ -1048,7 +1229,12 @@ impl Ham {
         if demons.is_empty() {
             return Ok(());
         }
-        let info = DemonFireInfo { event, time: graph.now(), node, link };
+        let info = DemonFireInfo {
+            event,
+            time: graph.now(),
+            node,
+            link,
+        };
         for demon in demons {
             match &demon.action {
                 DemonAction::Notify(message) => {
@@ -1082,27 +1268,25 @@ impl Ham {
                         message: None,
                     });
                 }
-                DemonAction::Call(callback) => {
-                    match self.registry.get(callback).cloned() {
-                        Some(cb) => {
-                            self.in_demon = true;
-                            cb(&info);
-                            self.in_demon = false;
-                            self.journal.push(FireRecord {
-                                demon: demon.name.clone(),
-                                info: info.clone(),
-                                message: None,
-                            });
-                        }
-                        None => {
-                            self.journal.push(FireRecord {
-                                demon: demon.name.clone(),
-                                info: info.clone(),
-                                message: Some(format!("no callback registered for '{callback}'")),
-                            });
-                        }
+                DemonAction::Call(callback) => match self.registry.get(callback).cloned() {
+                    Some(cb) => {
+                        self.in_demon = true;
+                        cb(&info);
+                        self.in_demon = false;
+                        self.journal.push(FireRecord {
+                            demon: demon.name.clone(),
+                            info: info.clone(),
+                            message: None,
+                        });
                     }
-                }
+                    None => {
+                        self.journal.push(FireRecord {
+                            demon: demon.name.clone(),
+                            info: info.clone(),
+                            message: Some(format!("no callback registered for '{callback}'")),
+                        });
+                    }
+                },
             }
         }
         Ok(())
@@ -1111,15 +1295,27 @@ impl Ham {
     /// Apply a logged operation during recovery.
     fn apply_redo(&mut self, op: RedoOp) -> Result<()> {
         match op {
-            RedoOp::AddNode { context, id, time, keep_history } => {
-                self.graph_mut(context)?.add_node_forced(id, time, keep_history);
+            RedoOp::AddNode {
+                context,
+                id,
+                time,
+                keep_history,
+            } => {
+                self.graph_mut(context)?
+                    .add_node_forced(id, time, keep_history);
             }
             RedoOp::DeleteNode { context, id, time } => {
                 let g = self.graph_mut(context)?;
                 g.set_clock(Time(time.0 - 1));
                 g.delete_node(id)?;
             }
-            RedoOp::AddLink { context, id, from, to, time } => {
+            RedoOp::AddLink {
+                context,
+                id,
+                from,
+                to,
+                time,
+            } => {
                 self.graph_mut(context)?.add_link_forced(id, from, to, time);
             }
             RedoOp::DeleteLink { context, id, time } => {
@@ -1127,12 +1323,24 @@ impl Ham {
                 g.set_clock(Time(time.0 - 1));
                 g.delete_link(id)?;
             }
-            RedoOp::ModifyNode { context, id, contents, link_pts, time } => {
+            RedoOp::ModifyNode {
+                context,
+                id,
+                contents,
+                link_pts,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 g.set_clock(Time(time.0 - 1));
                 apply_modify_node(g, id, None, contents, &link_pts)?;
             }
-            RedoOp::SetNodeAttr { context, node, attr, value, time } => {
+            RedoOp::SetNodeAttr {
+                context,
+                node,
+                attr,
+                value,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 // The name was interned by an earlier InternAttr record, so
                 // this lookup does not advance the clock.
@@ -1140,49 +1348,94 @@ impl Ham {
                 g.set_clock(Time(time.0 - 1));
                 g.set_node_attr(node, idx, value)?;
             }
-            RedoOp::DeleteNodeAttr { context, node, attr, time } => {
+            RedoOp::DeleteNodeAttr {
+                context,
+                node,
+                attr,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 let idx = g.attribute_index(&attr);
                 g.set_clock(Time(time.0 - 1));
                 g.delete_node_attr(node, idx)?;
             }
-            RedoOp::SetLinkAttr { context, link, attr, value, time } => {
+            RedoOp::SetLinkAttr {
+                context,
+                link,
+                attr,
+                value,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 let idx = g.attribute_index(&attr);
                 g.set_clock(Time(time.0 - 1));
                 g.set_link_attr(link, idx, value)?;
             }
-            RedoOp::DeleteLinkAttr { context, link, attr, time } => {
+            RedoOp::DeleteLinkAttr {
+                context,
+                link,
+                attr,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 let idx = g.attribute_index(&attr);
                 g.set_clock(Time(time.0 - 1));
                 g.delete_link_attr(link, idx)?;
             }
-            RedoOp::InternAttr { context, name, time } => {
+            RedoOp::InternAttr {
+                context,
+                name,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 g.set_clock(Time(time.0 - 1));
                 g.attribute_index(&name);
             }
-            RedoOp::SetGraphDemon { context, event, demon, time } => {
+            RedoOp::SetGraphDemon {
+                context,
+                event,
+                demon,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 g.set_clock(time);
                 g.graph_demons.set(event, demon, time);
             }
-            RedoOp::SetNodeDemon { context, node, event, demon, time } => {
+            RedoOp::SetNodeDemon {
+                context,
+                node,
+                event,
+                demon,
+                time,
+            } => {
                 let g = self.graph_mut(context)?;
                 g.set_clock(time);
                 g.node_mut(node)?.demons.set(event, demon, time);
             }
-            RedoOp::ChangeProtection { context, node, protections } => {
+            RedoOp::ChangeProtection {
+                context,
+                node,
+                protections,
+            } => {
                 self.graph_mut(context)?.node_mut(node)?.protections = protections;
             }
             RedoOp::CreateContext { id, from, time } => {
                 let parent = self.thread(from)?;
                 let graph = parent.graph.clone();
                 self.next_context = self.next_context.max(id.0 + 1);
-                self.threads.insert(id, GraphThread { graph, forked_from: Some((from, time)) });
+                self.threads.insert(
+                    id,
+                    GraphThread {
+                        graph,
+                        forked_from: Some((from, time)),
+                    },
+                );
             }
-            RedoOp::MergeContext { child, into, policy } => {
+            RedoOp::MergeContext {
+                child,
+                into,
+                policy,
+            } => {
                 let (parent_id, fork_time) = self
                     .thread(child)?
                     .forked_from
@@ -1343,7 +1596,10 @@ fn resolve_attr_names(
     pairs
         .into_iter()
         .filter_map(|(idx, value)| {
-            graph.attr_table.name(idx).map(|name| (name.to_string(), idx, value))
+            graph
+                .attr_table
+                .name(idx)
+                .map(|name| (name.to_string(), idx, value))
         })
         .collect()
 }
@@ -1361,7 +1617,11 @@ fn apply_modify_node(
     let current = graph.node(node)?.current_time();
     if let Some(expected) = expected_time {
         if expected != current {
-            return Err(HamError::StaleVersion { node, given: expected, current });
+            return Err(HamError::StaleVersion {
+                node,
+                given: expected,
+                current,
+            });
         }
     }
     let attachments = canonical_attachments(graph, node, Time::CURRENT)?;
@@ -1376,7 +1636,10 @@ fn apply_modify_node(
     // may not move pinned attachments.
     for ((link_id, is_to, old_pt), new_pt) in attachments.iter().zip(link_pts) {
         if new_pt.node != node {
-            return Err(HamError::BadEndpoint { node: new_pt.node, time: new_pt.time });
+            return Err(HamError::BadEndpoint {
+                node: new_pt.node,
+                time: new_pt.time,
+            });
         }
         if !old_pt.track_current && new_pt.position != old_pt.position {
             let _ = (link_id, is_to);
@@ -1405,8 +1668,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("neptune-ham-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("neptune-ham-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -1442,15 +1704,20 @@ mod tests {
         assert!(opened.contents.is_empty());
         assert_eq!(opened.current_time, t0);
 
-        ham.modify_node(ctx, n, t0, b"first version\n".to_vec(), &[]).unwrap();
+        ham.modify_node(ctx, n, t0, b"first version\n".to_vec(), &[])
+            .unwrap();
         let t1 = ham.get_node_time_stamp(ctx, n).unwrap();
-        ham.modify_node(ctx, n, t1, b"second version\n".to_vec(), &[]).unwrap();
+        ham.modify_node(ctx, n, t1, b"second version\n".to_vec(), &[])
+            .unwrap();
 
         assert_eq!(
             ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap().contents,
             b"second version\n".to_vec()
         );
-        assert_eq!(ham.open_node(ctx, n, t1, &[]).unwrap().contents, b"first version\n".to_vec());
+        assert_eq!(
+            ham.open_node(ctx, n, t1, &[]).unwrap().contents,
+            b"first version\n".to_vec()
+        );
 
         // Stale modify is rejected.
         let err = ham.modify_node(ctx, n, t1, b"stale\n".to_vec(), &[]);
@@ -1467,8 +1734,11 @@ mod tests {
         let (mut ham, ctx) = fresh("links");
         let (a, ta) = ham.add_node(ctx, true).unwrap();
         let (b, _) = ham.add_node(ctx, true).unwrap();
-        ham.modify_node(ctx, a, ta, b"0123456789".to_vec(), &[]).unwrap();
-        let (l, t_linked) = ham.add_link(ctx, LinkPt::current(a, 4), LinkPt::current(b, 0)).unwrap();
+        ham.modify_node(ctx, a, ta, b"0123456789".to_vec(), &[])
+            .unwrap();
+        let (l, t_linked) = ham
+            .add_link(ctx, LinkPt::current(a, 4), LinkPt::current(b, 0))
+            .unwrap();
 
         // openNode reports the attachment.
         let opened = ham.open_node(ctx, a, Time::CURRENT, &[]).unwrap();
@@ -1478,7 +1748,8 @@ mod tests {
         // modifyNode must account for it and can move it.
         let t = opened.current_time;
         let moved = LinkPt::current(a, 7);
-        ham.modify_node(ctx, a, t, b"0123456789ABC".to_vec(), &[moved]).unwrap();
+        ham.modify_node(ctx, a, t, b"0123456789ABC".to_vec(), &[moved])
+            .unwrap();
         let now_open = ham.open_node(ctx, a, Time::CURRENT, &[]).unwrap();
         assert_eq!(now_open.link_pts[0].position, 7);
         // At the time the link was added (before the move) the offset
@@ -1503,10 +1774,16 @@ mod tests {
     #[test]
     fn copy_link_shares_one_end() {
         let (mut ham, ctx) = fresh("copylink");
-        let (a, _) = ham.add_node(ctx, true).unwrap();
+        let (a, t) = ham.add_node(ctx, true).unwrap();
+        ham.modify_node(ctx, a, t, b"source\n".to_vec(), &[])
+            .unwrap();
         let (b, _) = ham.add_node(ctx, true).unwrap();
-        let (c, _) = ham.add_node(ctx, true).unwrap();
-        let (l, _) = ham.add_link(ctx, LinkPt::current(a, 3), LinkPt::current(b, 0)).unwrap();
+        let (c, t) = ham.add_node(ctx, true).unwrap();
+        ham.modify_node(ctx, c, t, b"third\n".to_vec(), &[])
+            .unwrap();
+        let (l, _) = ham
+            .add_link(ctx, LinkPt::current(a, 3), LinkPt::current(b, 0))
+            .unwrap();
         // Keep the source, point to c.
         let (l2, _) = ham
             .copy_link(ctx, l, Time::CURRENT, true, LinkPt::current(c, 0))
@@ -1529,9 +1806,11 @@ mod tests {
         let (n, _) = ham.add_node(ctx, true).unwrap();
         let doc = ham.get_attribute_index(ctx, "document").unwrap();
         assert_eq!(ham.get_attribute_index(ctx, "document").unwrap(), doc);
-        ham.set_node_attribute_value(ctx, n, doc, Value::str("requirements")).unwrap();
+        ham.set_node_attribute_value(ctx, n, doc, Value::str("requirements"))
+            .unwrap();
         assert_eq!(
-            ham.get_node_attribute_value(ctx, n, doc, Time::CURRENT).unwrap(),
+            ham.get_node_attribute_value(ctx, n, doc, Time::CURRENT)
+                .unwrap(),
             Value::str("requirements")
         );
         let all = ham.get_node_attributes(ctx, n, Time::CURRENT).unwrap();
@@ -1540,7 +1819,9 @@ mod tests {
         let vals = ham.get_attribute_values(ctx, doc, Time::CURRENT).unwrap();
         assert_eq!(vals, vec![Value::str("requirements")]);
         ham.delete_node_attribute(ctx, n, doc).unwrap();
-        assert!(ham.get_node_attribute_value(ctx, n, doc, Time::CURRENT).is_err());
+        assert!(ham
+            .get_node_attribute_value(ctx, n, doc, Time::CURRENT)
+            .is_err());
         let names = ham.get_attributes(ctx, Time::CURRENT).unwrap();
         assert_eq!(names.len(), 1);
     }
@@ -1549,30 +1830,39 @@ mod tests {
     fn explicit_transaction_commit_and_abort() {
         let (mut ham, ctx) = fresh("txn");
         let (keep, tk) = ham.add_node(ctx, true).unwrap();
-        ham.modify_node(ctx, keep, tk, b"kept\n".to_vec(), &[]).unwrap();
+        ham.modify_node(ctx, keep, tk, b"kept\n".to_vec(), &[])
+            .unwrap();
 
         // Abort: everything inside vanishes.
         ham.begin_transaction().unwrap();
         let (doomed, _) = ham.add_node(ctx, true).unwrap();
         let t = ham.get_node_time_stamp(ctx, keep).unwrap();
-        ham.modify_node(ctx, keep, t, b"should vanish\n".to_vec(), &[]).unwrap();
+        ham.modify_node(ctx, keep, t, b"should vanish\n".to_vec(), &[])
+            .unwrap();
         ham.abort_transaction().unwrap();
         assert!(ham.open_node(ctx, doomed, Time::CURRENT, &[]).is_err());
         assert_eq!(
-            ham.open_node(ctx, keep, Time::CURRENT, &[]).unwrap().contents,
+            ham.open_node(ctx, keep, Time::CURRENT, &[])
+                .unwrap()
+                .contents,
             b"kept\n".to_vec()
         );
 
         // Commit: annotate-style bundle survives.
         ham.begin_transaction().unwrap();
         let (note, tn) = ham.add_node(ctx, true).unwrap();
-        ham.modify_node(ctx, note, tn, b"an annotation\n".to_vec(), &[]).unwrap();
-        let (l, _) = ham.add_link(ctx, LinkPt::current(keep, 2), LinkPt::current(note, 0)).unwrap();
+        ham.modify_node(ctx, note, tn, b"an annotation\n".to_vec(), &[])
+            .unwrap();
+        let (l, _) = ham
+            .add_link(ctx, LinkPt::current(keep, 2), LinkPt::current(note, 0))
+            .unwrap();
         let rel = ham.get_attribute_index(ctx, "relation").unwrap();
-        ham.set_link_attribute_value(ctx, l, rel, Value::str("annotates")).unwrap();
+        ham.set_link_attribute_value(ctx, l, rel, Value::str("annotates"))
+            .unwrap();
         ham.commit_transaction().unwrap();
         assert_eq!(
-            ham.get_link_attribute_value(ctx, l, rel, Time::CURRENT).unwrap(),
+            ham.get_link_attribute_value(ctx, l, rel, Time::CURRENT)
+                .unwrap(),
             Value::str("annotates")
         );
     }
@@ -1587,9 +1877,11 @@ mod tests {
             pid = p;
             let (n, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
             node = n;
-            ham.modify_node(MAIN_CONTEXT, n, t0, b"durable contents\n".to_vec(), &[]).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t0, b"durable contents\n".to_vec(), &[])
+                .unwrap();
             let doc = ham.get_attribute_index(MAIN_CONTEXT, "document").unwrap();
-            ham.set_node_attribute_value(MAIN_CONTEXT, n, doc, Value::str("spec")).unwrap();
+            ham.set_node_attribute_value(MAIN_CONTEXT, n, doc, Value::str("spec"))
+                .unwrap();
             // Drop without checkpoint: simulates a crash after commits.
         }
         let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
@@ -1597,7 +1889,8 @@ mod tests {
         assert_eq!(opened.contents, b"durable contents\n".to_vec());
         let doc = ham.get_attribute_index(ctx, "document").unwrap();
         assert_eq!(
-            ham.get_node_attribute_value(ctx, node, doc, Time::CURRENT).unwrap(),
+            ham.get_node_attribute_value(ctx, node, doc, Time::CURRENT)
+                .unwrap(),
             Value::str("spec")
         );
         // History survives recovery too.
@@ -1615,14 +1908,18 @@ mod tests {
             pid = p;
             let (n, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
             node = n;
-            ham.modify_node(MAIN_CONTEXT, n, t0, b"before checkpoint\n".to_vec(), &[]).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t0, b"before checkpoint\n".to_vec(), &[])
+                .unwrap();
             ham.checkpoint().unwrap();
             let t = ham.get_node_time_stamp(MAIN_CONTEXT, n).unwrap();
-            ham.modify_node(MAIN_CONTEXT, n, t, b"after checkpoint\n".to_vec(), &[]).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t, b"after checkpoint\n".to_vec(), &[])
+                .unwrap();
         }
         let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
         assert_eq!(
-            ham.open_node(ctx, node, Time::CURRENT, &[]).unwrap().contents,
+            ham.open_node(ctx, node, Time::CURRENT, &[])
+                .unwrap()
+                .contents,
             b"after checkpoint\n".to_vec()
         );
         // And the pre-checkpoint version is still reachable.
@@ -1640,10 +1937,16 @@ mod tests {
             Some(DemonSpec::notify("watcher", "node changed")),
         )
         .unwrap();
-        ham.set_node_demon(ctx, n, Event::NodeModified, Some(DemonSpec::mark_node("dirtier", "dirty", true)))
-            .unwrap();
+        ham.set_node_demon(
+            ctx,
+            n,
+            Event::NodeModified,
+            Some(DemonSpec::mark_node("dirtier", "dirty", true)),
+        )
+        .unwrap();
         let t = ham.get_node_time_stamp(ctx, n).unwrap();
-        ham.modify_node(ctx, n, t, b"edited\n".to_vec(), &[]).unwrap();
+        ham.modify_node(ctx, n, t, b"edited\n".to_vec(), &[])
+            .unwrap();
 
         let journal = ham.demon_journal();
         assert_eq!(journal.len(), 2);
@@ -1654,7 +1957,8 @@ mod tests {
         // The MarkNode demon actually set the attribute.
         let dirty = ham.get_attribute_index(ctx, "dirty").unwrap();
         assert_eq!(
-            ham.get_node_attribute_value(ctx, n, dirty, Time::CURRENT).unwrap(),
+            ham.get_node_attribute_value(ctx, n, dirty, Time::CURRENT)
+                .unwrap(),
             Value::Bool(true)
         );
     }
@@ -1670,14 +1974,22 @@ mod tests {
             assert_eq!(info.event, Event::NodeAdded);
             count2.fetch_add(1, Ordering::SeqCst);
         });
-        ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::call("adder", "counter")))
-            .unwrap();
+        ham.set_graph_demon_value(
+            ctx,
+            Event::NodeAdded,
+            Some(DemonSpec::call("adder", "counter")),
+        )
+        .unwrap();
         ham.add_node(ctx, true).unwrap();
         ham.add_node(ctx, true).unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 2);
         // Unregistered callback: journaled, not fatal.
-        ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::call("ghost", "missing")))
-            .unwrap();
+        ham.set_graph_demon_value(
+            ctx,
+            Event::NodeAdded,
+            Some(DemonSpec::call("ghost", "missing")),
+        )
+        .unwrap();
         ham.add_node(ctx, true).unwrap();
         assert!(ham
             .demon_journal()
@@ -1697,7 +2009,8 @@ mod tests {
         let t1 = ham.graph(ctx).unwrap().now();
         ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::notify("v2", "b")))
             .unwrap();
-        ham.set_graph_demon_value(ctx, Event::NodeAdded, None).unwrap();
+        ham.set_graph_demon_value(ctx, Event::NodeAdded, None)
+            .unwrap();
         assert_eq!(ham.get_graph_demons(ctx, t1).unwrap()[0].1.name, "v1");
         assert!(ham.get_graph_demons(ctx, Time::CURRENT).unwrap().is_empty());
     }
@@ -1706,13 +2019,16 @@ mod tests {
     fn contexts_fork_and_merge() {
         let (mut ham, main) = fresh("contexts");
         let (n, t0) = ham.add_node(main, true).unwrap();
-        ham.modify_node(main, n, t0, b"main line\n".to_vec(), &[]).unwrap();
+        ham.modify_node(main, n, t0, b"main line\n".to_vec(), &[])
+            .unwrap();
 
         let private = ham.create_context(main).unwrap();
         let t = ham.get_node_time_stamp(private, n).unwrap();
-        ham.modify_node(private, n, t, b"tentative design\n".to_vec(), &[]).unwrap();
+        ham.modify_node(private, n, t, b"tentative design\n".to_vec(), &[])
+            .unwrap();
         let (extra, te) = ham.add_node(private, true).unwrap();
-        ham.modify_node(private, extra, te, b"extra node\n".to_vec(), &[]).unwrap();
+        ham.modify_node(private, extra, te, b"extra node\n".to_vec(), &[])
+            .unwrap();
 
         // Main is untouched until the merge.
         assert_eq!(
@@ -1743,25 +2059,33 @@ mod tests {
             pid = p;
             let (n, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
             node = n;
-            ham.modify_node(MAIN_CONTEXT, n, t0, b"base\n".to_vec(), &[]).unwrap();
+            ham.modify_node(MAIN_CONTEXT, n, t0, b"base\n".to_vec(), &[])
+                .unwrap();
             private = ham.create_context(MAIN_CONTEXT).unwrap();
             let t = ham.get_node_time_stamp(private, n).unwrap();
-            ham.modify_node(private, n, t, b"private edit\n".to_vec(), &[]).unwrap();
+            ham.modify_node(private, n, t, b"private edit\n".to_vec(), &[])
+                .unwrap();
         }
         let (mut ham, main) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
         assert_eq!(ham.contexts(), vec![main, private]);
         assert_eq!(
-            ham.open_node(private, node, Time::CURRENT, &[]).unwrap().contents,
+            ham.open_node(private, node, Time::CURRENT, &[])
+                .unwrap()
+                .contents,
             b"private edit\n".to_vec()
         );
         assert_eq!(
-            ham.open_node(main, node, Time::CURRENT, &[]).unwrap().contents,
+            ham.open_node(main, node, Time::CURRENT, &[])
+                .unwrap()
+                .contents,
             b"base\n".to_vec()
         );
         // The recovered fork metadata still supports merging.
         ham.merge_context(private, ConflictPolicy::Fail).unwrap();
         assert_eq!(
-            ham.open_node(main, node, Time::CURRENT, &[]).unwrap().contents,
+            ham.open_node(main, node, Time::CURRENT, &[])
+                .unwrap()
+                .contents,
             b"private edit\n".to_vec()
         );
     }
@@ -1789,9 +2113,12 @@ mod tests {
         let doc = ham.get_attribute_index(ctx, "document").unwrap();
         let (root, _) = ham.add_node(ctx, true).unwrap();
         let (child, _) = ham.add_node(ctx, true).unwrap();
-        ham.set_node_attribute_value(ctx, root, doc, Value::str("spec")).unwrap();
-        ham.set_node_attribute_value(ctx, child, doc, Value::str("spec")).unwrap();
-        ham.add_link(ctx, LinkPt::current(root, 0), LinkPt::current(child, 0)).unwrap();
+        ham.set_node_attribute_value(ctx, root, doc, Value::str("spec"))
+            .unwrap();
+        ham.set_node_attribute_value(ctx, child, doc, Value::str("spec"))
+            .unwrap();
+        ham.add_link(ctx, LinkPt::current(root, 0), LinkPt::current(child, 0))
+            .unwrap();
 
         let pred = Predicate::parse("document = spec").unwrap();
         let q = ham
@@ -1802,7 +2129,15 @@ mod tests {
         assert_eq!(q.nodes[0].1[0], Some(Value::str("spec")));
 
         let lin = ham
-            .linearize_graph(ctx, root, Time::CURRENT, &Predicate::True, &Predicate::True, &[], &[])
+            .linearize_graph(
+                ctx,
+                root,
+                Time::CURRENT,
+                &Predicate::True,
+                &Predicate::True,
+                &[],
+                &[],
+            )
             .unwrap();
         assert_eq!(lin.node_ids(), vec![root, child]);
     }
@@ -1811,29 +2146,41 @@ mod tests {
     fn protections_apply_at_checkpoint() {
         let (mut ham, ctx) = fresh("protections");
         let (n, t0) = ham.add_node(ctx, true).unwrap();
-        ham.modify_node(ctx, n, t0, b"guarded\n".to_vec(), &[]).unwrap();
-        ham.change_node_protection(ctx, n, Protections::READ_ONLY).unwrap();
+        ham.modify_node(ctx, n, t0, b"guarded\n".to_vec(), &[])
+            .unwrap();
+        ham.change_node_protection(ctx, n, Protections::READ_ONLY)
+            .unwrap();
         ham.checkpoint().unwrap();
         #[cfg(unix)]
         {
             use std::os::unix::fs::PermissionsExt;
-            let blob = ham.directory().join(NODES_DIR).join(format!("{:016x}.blob", n.0));
+            let blob = ham
+                .directory()
+                .join(NODES_DIR)
+                .join(format!("{:016x}.blob", n.0));
             let mode = std::fs::metadata(blob).unwrap().permissions().mode() & 0o777;
             assert_eq!(mode, 0o444);
         }
-        assert_eq!(ham.graph(ctx).unwrap().node(n).unwrap().protections, Protections::READ_ONLY);
+        assert_eq!(
+            ham.graph(ctx).unwrap().node(n).unwrap().protections,
+            Protections::READ_ONLY
+        );
     }
 
     #[test]
     fn read_only_ops_write_nothing_to_wal() {
         let (mut ham, ctx) = fresh("readonly");
         let (n, _) = ham.add_node(ctx, true).unwrap();
-        let wal_len_before = std::fs::metadata(ham.directory().join(WAL_FILE)).unwrap().len();
+        let wal_len_before = std::fs::metadata(ham.directory().join(WAL_FILE))
+            .unwrap()
+            .len();
         for _ in 0..10 {
             ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap();
             ham.get_node_time_stamp(ctx, n).unwrap();
         }
-        let wal_len_after = std::fs::metadata(ham.directory().join(WAL_FILE)).unwrap().len();
+        let wal_len_after = std::fs::metadata(ham.directory().join(WAL_FILE))
+            .unwrap()
+            .len();
         assert_eq!(wal_len_before, wal_len_after);
     }
 }

@@ -23,7 +23,9 @@ pub struct Versioned<T> {
 
 impl<T> Default for Versioned<T> {
     fn default() -> Self {
-        Versioned { entries: Vec::new() }
+        Versioned {
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -35,7 +37,9 @@ impl<T> Versioned<T> {
 
     /// A history with a single initial entry.
     pub fn with_initial(time: Time, value: T) -> Self {
-        Versioned { entries: vec![(time, Some(value))] }
+        Versioned {
+            entries: vec![(time, Some(value))],
+        }
     }
 
     /// Record `value` as of `time`.

@@ -24,6 +24,7 @@ pub mod error;
 pub mod graph;
 pub mod ham;
 pub mod history;
+pub mod invariants;
 pub mod link;
 pub mod node;
 pub mod predicate;

@@ -36,7 +36,11 @@ impl Endpoint {
         Endpoint {
             node: pt.node,
             positions: Versioned::with_initial(now, pt.position),
-            pinned_time: if pt.track_current { Time::CURRENT } else { pt.time },
+            pinned_time: if pt.track_current {
+                Time::CURRENT
+            } else {
+                pt.time
+            },
             track_current: pt.track_current,
         }
     }
@@ -52,7 +56,11 @@ impl Endpoint {
         Some(LinkPt {
             node: self.node,
             position,
-            time: if self.track_current { Time::CURRENT } else { self.pinned_time },
+            time: if self.track_current {
+                Time::CURRENT
+            } else {
+                self.pinned_time
+            },
             track_current: self.track_current,
         })
     }
@@ -242,7 +250,11 @@ mod tests {
     fn codec_roundtrip() {
         let mut l = sample();
         l.from.move_to(9, Time(6));
-        l.attrs.set(crate::types::AttributeIndex(2), crate::value::Value::str("annotates"), Time(6));
+        l.attrs.set(
+            crate::types::AttributeIndex(2),
+            crate::value::Value::str("annotates"),
+            Time(6),
+        );
         l.record_version(Time(6), "moved");
         assert_eq!(Link::from_bytes(&l.to_bytes()).unwrap(), l);
     }

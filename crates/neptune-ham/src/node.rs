@@ -65,7 +65,10 @@ impl Node {
         let contents = if keep_history {
             NodeContents::Archive(Archive::new(Vec::new(), now.0))
         } else {
-            NodeContents::File { data: Vec::new(), time: now }
+            NodeContents::File {
+                data: Vec::new(),
+                time: now,
+            }
         };
         Node {
             id,
@@ -84,6 +87,15 @@ impl Node {
     /// Whether this node keeps a complete version history.
     pub fn is_archive(&self) -> bool {
         matches!(self.contents, NodeContents::Archive(_))
+    }
+
+    /// The backing archive, if this node keeps full version history; `None`
+    /// for file nodes. Used by integrity checkers to walk the delta chain.
+    pub fn archive(&self) -> Option<&neptune_storage::Archive> {
+        match &self.contents {
+            NodeContents::Archive(a) => Some(a),
+            NodeContents::File { .. } => None,
+        }
     }
 
     /// Whether the node exists (is not deleted) at `time`.
@@ -181,7 +193,8 @@ impl Node {
         self.attrs.truncate_after(time);
         self.demons.truncate_after(time);
         if let NodeContents::Archive(a) = &mut self.contents {
-            a.truncate_after(time.0).expect("created <= time implies a version survives");
+            a.truncate_after(time.0)
+                .expect("created <= time implies a version survives");
         }
         // File nodes keep only the current version; a rolled-back file node
         // retains whatever contents it had (single-writer transactions mean
@@ -225,7 +238,10 @@ impl Decode for Node {
         let alive = Versioned::<bool>::decode(r)?;
         let contents = match r.get_u8()? {
             0 => NodeContents::Archive(Archive::decode(r)?),
-            1 => NodeContents::File { data: r.get_bytes()?.to_vec(), time: Time::decode(r)? },
+            1 => NodeContents::File {
+                data: r.get_bytes()?.to_vec(),
+                time: Time::decode(r)?,
+            },
             tag => {
                 return Err(neptune_storage::StorageError::InvalidTag {
                     context: "NodeContents",
@@ -261,7 +277,10 @@ mod tests {
         assert_eq!(n.contents_at(Time(1)).unwrap(), Vec::<u8>::new());
         assert_eq!(n.contents_at(Time(5)).unwrap(), b"v2 contents".to_vec());
         assert_eq!(n.contents_at(Time(7)).unwrap(), b"v2 contents".to_vec());
-        assert_eq!(n.contents_at(Time::CURRENT).unwrap(), b"v3 contents".to_vec());
+        assert_eq!(
+            n.contents_at(Time::CURRENT).unwrap(),
+            b"v3 contents".to_vec()
+        );
         assert_eq!(n.current_time(), Time(9));
     }
 
@@ -270,8 +289,14 @@ mod tests {
         let mut n = Node::new(NodeIndex(2), Time(1), false);
         assert!(!n.is_archive());
         n.modify(b"only current".to_vec(), Time(5), "edit").unwrap();
-        assert_eq!(n.contents_at(Time::CURRENT).unwrap(), b"only current".to_vec());
-        assert!(matches!(n.contents_at(Time(1)), Err(HamError::NoHistory(_))));
+        assert_eq!(
+            n.contents_at(Time::CURRENT).unwrap(),
+            b"only current".to_vec()
+        );
+        assert!(matches!(
+            n.contents_at(Time(1)),
+            Err(HamError::NoHistory(_))
+        ));
         assert_eq!(n.current_time(), Time(5));
     }
 
@@ -325,8 +350,13 @@ mod tests {
     #[test]
     fn codec_roundtrip() {
         let mut n = Node::new(NodeIndex(8), Time(1), true);
-        n.modify(b"hello\nworld\n".to_vec(), Time(2), "edit").unwrap();
-        n.attrs.set(crate::types::AttributeIndex(0), crate::value::Value::str("x"), Time(3));
+        n.modify(b"hello\nworld\n".to_vec(), Time(2), "edit")
+            .unwrap();
+        n.attrs.set(
+            crate::types::AttributeIndex(0),
+            crate::value::Value::str("x"),
+            Time(3),
+        );
         n.attach_link(LinkIndex(4));
         n.record_minor(Time(3), "attr");
         let decoded = Node::from_bytes(&n.to_bytes()).unwrap();

@@ -188,15 +188,18 @@ mod tests {
 
     #[test]
     fn lexes_operators() {
-        assert_eq!(lex("= == != < <= > >=").unwrap(), vec![
-            Token::Eq,
-            Token::Eq,
-            Token::Ne,
-            Token::Lt,
-            Token::Le,
-            Token::Gt,
-            Token::Ge
-        ]);
+        assert_eq!(
+            lex("= == != < <= > >=").unwrap(),
+            vec![
+                Token::Eq,
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
     }
 
     #[test]
@@ -209,11 +212,14 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(lex("42 -7 2.5").unwrap(), vec![
-            Token::Number("42".into()),
-            Token::Number("-7".into()),
-            Token::Number("2.5".into())
-        ]);
+        assert_eq!(
+            lex("42 -7 2.5").unwrap(),
+            vec![
+                Token::Number("42".into()),
+                Token::Number("-7".into()),
+                Token::Number("2.5".into())
+            ]
+        );
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl Predicate {
     /// instead of scanning every node (experiment E3's ablation).
     pub fn index_hint(&self) -> Option<(&str, &Value)> {
         match self {
-            Predicate::Cmp { attr, op: CmpOp::Eq, value } => Some((attr.as_str(), value)),
+            Predicate::Cmp {
+                attr,
+                op: CmpOp::Eq,
+                value,
+            } => Some((attr.as_str(), value)),
             Predicate::And(a, b) => a.index_hint().or_else(|| b.index_hint()),
             _ => None,
         }
@@ -252,8 +256,12 @@ mod tests {
     #[test]
     fn precedence_or_lower_than_and() {
         // a or b and c  ==  a or (b and c)
-        assert!(eval("document = requirements or document = design and version = 99"));
-        assert!(!eval("(document = requirements or document = design) and version = 99"));
+        assert!(eval(
+            "document = requirements or document = design and version = 99"
+        ));
+        assert!(!eval(
+            "(document = requirements or document = design) and version = 99"
+        ));
     }
 
     #[test]
@@ -280,7 +288,11 @@ mod tests {
         ] {
             let p = Predicate::parse(text).unwrap();
             let p2 = Predicate::parse(&p.to_string()).unwrap();
-            assert_eq!(p.matches(&lookup_fixture), p2.matches(&lookup_fixture), "{text}");
+            assert_eq!(
+                p.matches(&lookup_fixture),
+                p2.matches(&lookup_fixture),
+                "{text}"
+            );
         }
     }
 
@@ -290,8 +302,14 @@ mod tests {
         let (attr, value) = p.index_hint().unwrap();
         assert_eq!(attr, "document");
         assert_eq!(value, &Value::str("requirements"));
-        assert!(Predicate::parse("version > 3").unwrap().index_hint().is_none());
-        assert!(Predicate::parse("a = 1 or b = 2").unwrap().index_hint().is_none());
+        assert!(Predicate::parse("version > 3")
+            .unwrap()
+            .index_hint()
+            .is_none());
+        assert!(Predicate::parse("a = 1 or b = 2")
+            .unwrap()
+            .index_hint()
+            .is_none());
     }
 
     #[test]

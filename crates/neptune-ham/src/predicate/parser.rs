@@ -165,7 +165,10 @@ mod tests {
                 value: Value::str("sourceCode")
             }
         );
-        assert!(matches!(parse("n >= 10").unwrap(), Predicate::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(
+            parse("n >= 10").unwrap(),
+            Predicate::Cmp { op: CmpOp::Ge, .. }
+        ));
     }
 
     #[test]

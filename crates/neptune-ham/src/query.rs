@@ -69,7 +69,10 @@ fn node_values(
     attrs: &[AttributeIndex],
 ) -> Vec<Option<Value>> {
     let node = graph.node(id).expect("node existence checked by caller");
-    attrs.iter().map(|a| node.attrs.get(*a, time).cloned()).collect()
+    attrs
+        .iter()
+        .map(|a| node.attrs.get(*a, time).cloned())
+        .collect()
 }
 
 fn link_values(
@@ -79,7 +82,10 @@ fn link_values(
     attrs: &[AttributeIndex],
 ) -> Vec<Option<Value>> {
     let link = graph.link(id).expect("link existence checked by caller");
-    attrs.iter().map(|a| link.attrs.get(*a, time).cloned()).collect()
+    attrs
+        .iter()
+        .map(|a| link.attrs.get(*a, time).cloned())
+        .collect()
 }
 
 /// `linearizeGraph`: depth-first traversal from `start` at `time`.
@@ -113,7 +119,9 @@ pub fn linearize_graph(
         if !visited.insert(current) {
             continue;
         }
-        result.nodes.push((current, node_values(graph, current, time, node_attrs)));
+        result
+            .nodes
+            .push((current, node_values(graph, current, time, node_attrs)));
 
         // Out-links of `current` alive at `time`, passing the link
         // predicate, ordered by attachment offset within the node.
@@ -127,7 +135,9 @@ pub fn linearize_graph(
             if !link_matches(graph, link_id, time, link_pred) {
                 continue;
             }
-            let Some(offset) = link.from.position_at(time) else { continue };
+            let Some(offset) = link.from.position_at(time) else {
+                continue;
+            };
             outgoing.push((offset, link_id, link.to.node));
         }
         outgoing.sort_by_key(|(offset, id, _)| (*offset, *id));
@@ -137,7 +147,9 @@ pub fn linearize_graph(
             if !node_matches(graph, *target, time, node_pred) {
                 continue;
             }
-            result.links.push((*link_id, link_values(graph, *link_id, time, link_attrs)));
+            result
+                .links
+                .push((*link_id, link_values(graph, *link_id, time, link_attrs)));
             if !visited.contains(target) {
                 stack.push(*target);
             }
@@ -195,7 +207,9 @@ pub fn get_graph_query(
         }
         _ => graph.nodes().map(|n| n.id).collect(),
     };
-    query_from_candidates(graph, candidates, time, node_pred, link_pred, node_attrs, link_attrs)
+    query_from_candidates(
+        graph, candidates, time, node_pred, link_pred, node_attrs, link_attrs,
+    )
 }
 
 /// `getGraphQuery` forced to scan every node — the E3 ablation baseline.
@@ -208,7 +222,9 @@ pub fn get_graph_query_scan(
     link_attrs: &[AttributeIndex],
 ) -> Result<SubGraph> {
     let candidates: Vec<NodeIndex> = graph.nodes().map(|n| n.id).collect();
-    query_from_candidates(graph, candidates, time, node_pred, link_pred, node_attrs, link_attrs)
+    query_from_candidates(
+        graph, candidates, time, node_pred, link_pred, node_attrs, link_attrs,
+    )
 }
 
 fn query_from_candidates(
@@ -227,7 +243,9 @@ fn query_from_candidates(
     for id in candidates {
         if node_matches(graph, id, time, node_pred) {
             in_result.insert(id);
-            result.nodes.push((id, node_values(graph, id, time, node_attrs)));
+            result
+                .nodes
+                .push((id, node_values(graph, id, time, node_attrs)));
         }
     }
     for link in graph.links() {
@@ -238,7 +256,9 @@ fn query_from_candidates(
             continue;
         }
         if link_matches(graph, link.id, time, link_pred) {
-            result.links.push((link.id, link_values(graph, link.id, time, link_attrs)));
+            result
+                .links
+                .push((link.id, link_values(graph, link.id, time, link_attrs)));
         }
     }
     Ok(result)
@@ -273,7 +293,10 @@ mod tests {
         let edges = [(0usize, 1usize, 10u64), (0, 2, 20), (1, 3, 5), (2, 4, 7)];
         for (from, to, offset) in edges {
             let (l, _) = g
-                .add_link(LinkPt::current(ids[from], offset), LinkPt::current(ids[to], 0))
+                .add_link(
+                    LinkPt::current(ids[from], offset),
+                    LinkPt::current(ids[to], 0),
+                )
                 .unwrap();
             g.set_link_attr(l, rel, Value::str("isPartOf")).unwrap();
         }
@@ -293,7 +316,10 @@ mod tests {
             &[],
         )
         .unwrap();
-        assert_eq!(result.node_ids(), vec![ids[0], ids[1], ids[3], ids[2], ids[4]]);
+        assert_eq!(
+            result.node_ids(),
+            vec![ids[0], ids[1], ids[3], ids[2], ids[4]]
+        );
         assert_eq!(result.links.len(), 4);
     }
 
@@ -305,7 +331,8 @@ mod tests {
         let (xref, _) = g
             .add_link(LinkPt::current(ids[0], 1), LinkPt::current(ids[4], 0))
             .unwrap();
-        g.set_link_attr(xref, rel, Value::str("references")).unwrap();
+        g.set_link_attr(xref, rel, Value::str("references"))
+            .unwrap();
 
         let only_structure = Predicate::parse("relation = isPartOf").unwrap();
         let result = linearize_graph(
@@ -318,7 +345,10 @@ mod tests {
             &[],
         )
         .unwrap();
-        assert_eq!(result.node_ids(), vec![ids[0], ids[1], ids[3], ids[2], ids[4]]);
+        assert_eq!(
+            result.node_ids(),
+            vec![ids[0], ids[1], ids[3], ids[2], ids[4]]
+        );
         assert!(!result.link_ids().contains(&xref));
     }
 
@@ -329,8 +359,7 @@ mod tests {
         g.set_node_attr(ids[2], skip, Value::Bool(true)).unwrap();
         let pred = Predicate::parse("not exists(skip)").unwrap();
         let result =
-            linearize_graph(&g, ids[0], Time::CURRENT, &pred, &Predicate::True, &[], &[])
-                .unwrap();
+            linearize_graph(&g, ids[0], Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
         // sec2 and everything below it disappears.
         assert_eq!(result.node_ids(), vec![ids[0], ids[1], ids[3]]);
     }
@@ -339,7 +368,8 @@ mod tests {
     fn linearize_handles_cycles() {
         let (mut g, ids) = document_graph();
         // sub1 -> root creates a cycle.
-        g.add_link(LinkPt::current(ids[3], 0), LinkPt::current(ids[0], 0)).unwrap();
+        g.add_link(LinkPt::current(ids[3], 0), LinkPt::current(ids[0], 0))
+            .unwrap();
         let result = linearize_graph(
             &g,
             ids[0],
@@ -396,8 +426,7 @@ mod tests {
         g.set_node_attr(ids[1], kind, Value::str("sec")).unwrap();
         g.set_node_attr(ids[2], kind, Value::str("sec")).unwrap();
         let pred = Predicate::parse("kind = sec").unwrap();
-        let result =
-            get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+        let result = get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
         assert_eq!(result.node_ids(), vec![ids[0], ids[1], ids[2]]);
         // Only root->sec1 and root->sec2 connect two result nodes.
         assert_eq!(result.links.len(), 2);
@@ -411,8 +440,7 @@ mod tests {
             g.set_node_attr(id, kind, Value::str("sec")).unwrap();
         }
         let pred = Predicate::parse("kind = sec and exists(icon)").unwrap();
-        let fast =
-            get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+        let fast = get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
         let slow =
             get_graph_query_scan(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
         assert_eq!(fast, slow);
@@ -424,10 +452,10 @@ mod tests {
         let (mut g, ids) = document_graph();
         let t_before = g.now();
         let status = g.attribute_index("status");
-        g.set_node_attr(ids[0], status, Value::str("final")).unwrap();
+        g.set_node_attr(ids[0], status, Value::str("final"))
+            .unwrap();
         let pred = Predicate::parse("status = final").unwrap();
-        let now =
-            get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+        let now = get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
         assert_eq!(now.nodes.len(), 1);
         let before = get_graph_query(&g, t_before, &pred, &Predicate::True, &[], &[]).unwrap();
         assert!(before.nodes.is_empty());
@@ -438,9 +466,15 @@ mod tests {
         let (mut g, ids) = document_graph();
         let t_before = g.now();
         g.delete_node(ids[1]).unwrap();
-        let all =
-            get_graph_query(&g, Time::CURRENT, &Predicate::True, &Predicate::True, &[], &[])
-                .unwrap();
+        let all = get_graph_query(
+            &g,
+            Time::CURRENT,
+            &Predicate::True,
+            &Predicate::True,
+            &[],
+            &[],
+        )
+        .unwrap();
         assert_eq!(all.nodes.len(), 4);
         // Links into the deleted node are gone too.
         assert_eq!(all.links.len(), 2);
@@ -455,8 +489,7 @@ mod tests {
     fn query_unknown_attribute_in_hint_yields_empty() {
         let (g, _) = document_graph();
         let pred = Predicate::parse("nonexistent = whatever").unwrap();
-        let result =
-            get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+        let result = get_graph_query(&g, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
         assert!(result.nodes.is_empty());
     }
 }

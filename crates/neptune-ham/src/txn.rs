@@ -26,8 +26,7 @@ use neptune_storage::error::{Result as StorageResult, StorageError};
 
 use crate::demons::{DemonSpec, Event};
 use crate::types::{
-    decode_protections, ContextId, LinkIndex, LinkPt, NodeIndex, Protections,
-    Time,
+    decode_protections, ContextId, LinkIndex, LinkPt, NodeIndex, Protections, Time,
 };
 use crate::value::Value;
 
@@ -232,7 +231,10 @@ impl RedoOp {
 
 fn encode_event(e: Event, w: &mut Writer) {
     // Reuse DemonTable's tag scheme indirectly: Event::ALL index.
-    let tag = Event::ALL.iter().position(|x| *x == e).expect("event in ALL") as u8;
+    let tag = Event::ALL
+        .iter()
+        .position(|x| *x == e)
+        .expect("event in ALL") as u8;
     w.put_u8(tag);
 }
 
@@ -241,14 +243,22 @@ fn decode_event(r: &mut Reader<'_>) -> StorageResult<Event> {
     Event::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(StorageError::InvalidTag { context: "Event", tag: tag as u64 })
+        .ok_or(StorageError::InvalidTag {
+            context: "Event",
+            tag: tag as u64,
+        })
 }
 
 impl Encode for RedoOp {
     fn encode(&self, w: &mut Writer) {
         w.put_u8(self.tag());
         match self {
-            RedoOp::AddNode { context, id, time, keep_history } => {
+            RedoOp::AddNode {
+                context,
+                id,
+                time,
+                keep_history,
+            } => {
                 context.encode(w);
                 id.encode(w);
                 time.encode(w);
@@ -259,7 +269,13 @@ impl Encode for RedoOp {
                 id.encode(w);
                 time.encode(w);
             }
-            RedoOp::AddLink { context, id, from, to, time } => {
+            RedoOp::AddLink {
+                context,
+                id,
+                from,
+                to,
+                time,
+            } => {
                 context.encode(w);
                 id.encode(w);
                 from.encode(w);
@@ -271,58 +287,105 @@ impl Encode for RedoOp {
                 id.encode(w);
                 time.encode(w);
             }
-            RedoOp::ModifyNode { context, id, contents, link_pts, time } => {
+            RedoOp::ModifyNode {
+                context,
+                id,
+                contents,
+                link_pts,
+                time,
+            } => {
                 context.encode(w);
                 id.encode(w);
                 w.put_bytes(contents);
                 encode_seq(link_pts, w);
                 time.encode(w);
             }
-            RedoOp::SetNodeAttr { context, node, attr, value, time } => {
+            RedoOp::SetNodeAttr {
+                context,
+                node,
+                attr,
+                value,
+                time,
+            } => {
                 context.encode(w);
                 node.encode(w);
                 w.put_str(attr);
                 value.encode(w);
                 time.encode(w);
             }
-            RedoOp::DeleteNodeAttr { context, node, attr, time } => {
+            RedoOp::DeleteNodeAttr {
+                context,
+                node,
+                attr,
+                time,
+            } => {
                 context.encode(w);
                 node.encode(w);
                 w.put_str(attr);
                 time.encode(w);
             }
-            RedoOp::SetLinkAttr { context, link, attr, value, time } => {
+            RedoOp::SetLinkAttr {
+                context,
+                link,
+                attr,
+                value,
+                time,
+            } => {
                 context.encode(w);
                 link.encode(w);
                 w.put_str(attr);
                 value.encode(w);
                 time.encode(w);
             }
-            RedoOp::DeleteLinkAttr { context, link, attr, time } => {
+            RedoOp::DeleteLinkAttr {
+                context,
+                link,
+                attr,
+                time,
+            } => {
                 context.encode(w);
                 link.encode(w);
                 w.put_str(attr);
                 time.encode(w);
             }
-            RedoOp::InternAttr { context, name, time } => {
+            RedoOp::InternAttr {
+                context,
+                name,
+                time,
+            } => {
                 context.encode(w);
                 w.put_str(name);
                 time.encode(w);
             }
-            RedoOp::SetGraphDemon { context, event, demon, time } => {
+            RedoOp::SetGraphDemon {
+                context,
+                event,
+                demon,
+                time,
+            } => {
                 context.encode(w);
                 encode_event(*event, w);
                 demon.encode(w);
                 time.encode(w);
             }
-            RedoOp::SetNodeDemon { context, node, event, demon, time } => {
+            RedoOp::SetNodeDemon {
+                context,
+                node,
+                event,
+                demon,
+                time,
+            } => {
                 context.encode(w);
                 node.encode(w);
                 encode_event(*event, w);
                 demon.encode(w);
                 time.encode(w);
             }
-            RedoOp::ChangeProtection { context, node, protections } => {
+            RedoOp::ChangeProtection {
+                context,
+                node,
+                protections,
+            } => {
                 context.encode(w);
                 node.encode(w);
                 protections.encode(w);
@@ -332,7 +395,11 @@ impl Encode for RedoOp {
                 from.encode(w);
                 time.encode(w);
             }
-            RedoOp::MergeContext { child, into, policy } => {
+            RedoOp::MergeContext {
+                child,
+                into,
+                policy,
+            } => {
                 child.encode(w);
                 into.encode(w);
                 w.put_u8(*policy);
@@ -436,8 +503,15 @@ impl Decode for RedoOp {
                 into: ContextId::decode(r)?,
                 policy: r.get_u8()?,
             },
-            15 => RedoOp::DestroyContext { id: ContextId::decode(r)? },
-            tag => return Err(StorageError::InvalidTag { context: "RedoOp", tag: tag as u64 }),
+            15 => RedoOp::DestroyContext {
+                id: ContextId::decode(r)?,
+            },
+            tag => {
+                return Err(StorageError::InvalidTag {
+                    context: "RedoOp",
+                    tag: tag as u64,
+                })
+            }
         })
     }
 }
@@ -490,7 +564,11 @@ mod tests {
                 time: Time(7),
                 keep_history: true,
             },
-            RedoOp::DeleteNode { context: ContextId(0), id: NodeIndex(3), time: Time(9) },
+            RedoOp::DeleteNode {
+                context: ContextId(0),
+                id: NodeIndex(3),
+                time: Time(9),
+            },
             RedoOp::AddLink {
                 context: ContextId(1),
                 id: LinkIndex(2),
@@ -498,7 +576,11 @@ mod tests {
                 to: LinkPt::pinned(NodeIndex(2), 0, Time(3)),
                 time: Time(8),
             },
-            RedoOp::DeleteLink { context: ContextId(0), id: LinkIndex(2), time: Time(10) },
+            RedoOp::DeleteLink {
+                context: ContextId(0),
+                id: LinkIndex(2),
+                time: Time(10),
+            },
             RedoOp::ModifyNode {
                 context: ContextId(0),
                 id: NodeIndex(1),
@@ -532,7 +614,11 @@ mod tests {
                 attr: "relation".into(),
                 time: Time(15),
             },
-            RedoOp::InternAttr { context: ContextId(0), name: "icon".into(), time: Time(16) },
+            RedoOp::InternAttr {
+                context: ContextId(0),
+                name: "icon".into(),
+                time: Time(16),
+            },
             RedoOp::SetGraphDemon {
                 context: ContextId(0),
                 event: Event::NodeModified,
@@ -551,8 +637,16 @@ mod tests {
                 node: NodeIndex(1),
                 protections: Protections::PRIVATE,
             },
-            RedoOp::CreateContext { id: ContextId(2), from: ContextId(0), time: Time(19) },
-            RedoOp::MergeContext { child: ContextId(2), into: ContextId(0), policy: 1 },
+            RedoOp::CreateContext {
+                id: ContextId(2),
+                from: ContextId(0),
+                time: Time(19),
+            },
+            RedoOp::MergeContext {
+                child: ContextId(2),
+                into: ContextId(0),
+                policy: 1,
+            },
             RedoOp::DestroyContext { id: ContextId(2) },
         ];
         for op in ops {

@@ -89,13 +89,23 @@ pub struct LinkPt {
 impl LinkPt {
     /// An attachment that always refers to the node's current version.
     pub fn current(node: NodeIndex, position: Position) -> LinkPt {
-        LinkPt { node, position, time: Time::CURRENT, track_current: true }
+        LinkPt {
+            node,
+            position,
+            time: Time::CURRENT,
+            track_current: true,
+        }
     }
 
     /// An attachment pinned to the version of `node` in effect at `time` —
     /// the configuration-management primitive.
     pub fn pinned(node: NodeIndex, position: Position, time: Time) -> LinkPt {
-        LinkPt { node, position, time, track_current: false }
+        LinkPt {
+            node,
+            position,
+            time,
+            track_current: false,
+        }
     }
 }
 
@@ -111,7 +121,10 @@ pub struct Version {
 impl Version {
     /// Construct a version record.
     pub fn new(time: Time, explanation: impl Into<String>) -> Version {
-        Version { time, explanation: explanation.into() }
+        Version {
+            time,
+            explanation: explanation.into(),
+        }
     }
 }
 
@@ -183,7 +196,10 @@ impl Encode for Version {
 
 impl Decode for Version {
     fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
-        Ok(Version { time: Time::decode(r)?, explanation: r.get_str()?.to_owned() })
+        Ok(Version {
+            time: Time::decode(r)?,
+            explanation: r.get_str()?.to_owned(),
+        })
     }
 }
 
@@ -224,7 +240,10 @@ mod tests {
 
     #[test]
     fn linkpt_codec_roundtrip() {
-        for pt in [LinkPt::current(NodeIndex(3), 0), LinkPt::pinned(NodeIndex(9), 123, Time(4))] {
+        for pt in [
+            LinkPt::current(NodeIndex(3), 0),
+            LinkPt::pinned(NodeIndex(9), 123, Time(4)),
+        ] {
             assert_eq!(LinkPt::from_bytes(&pt.to_bytes()).unwrap(), pt);
         }
     }

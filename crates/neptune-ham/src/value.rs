@@ -142,7 +142,12 @@ impl Decode for Value {
             1 => Value::Int(r.get_i64()?),
             2 => Value::Bool(r.get_bool()?),
             3 => Value::Float(r.get_f64()?),
-            tag => return Err(StorageError::InvalidTag { context: "Value", tag: tag as u64 }),
+            tag => {
+                return Err(StorageError::InvalidTag {
+                    context: "Value",
+                    tag: tag as u64,
+                })
+            }
         })
     }
 }
@@ -190,7 +195,10 @@ mod tests {
             Value::str("a").partial_cmp_same_type(&Value::str("b")),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Int(3).partial_cmp_same_type(&Value::Int(3)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(3).partial_cmp_same_type(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(
             Value::Float(1.0).partial_cmp_same_type(&Value::Float(2.0)),
             Some(Ordering::Less)
@@ -200,13 +208,19 @@ mod tests {
     #[test]
     fn cross_type_comparisons_are_none() {
         assert_eq!(Value::Int(3).partial_cmp_same_type(&Value::str("3")), None);
-        assert_eq!(Value::Bool(true).partial_cmp_same_type(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Bool(true).partial_cmp_same_type(&Value::Int(1)),
+            None
+        );
     }
 
     #[test]
     fn literal_parsing() {
         assert_eq!(Value::parse_literal("\"quoted\""), Value::str("quoted"));
-        assert_eq!(Value::parse_literal("requirements"), Value::str("requirements"));
+        assert_eq!(
+            Value::parse_literal("requirements"),
+            Value::str("requirements")
+        );
         assert_eq!(Value::parse_literal("42"), Value::Int(42));
         assert_eq!(Value::parse_literal("-7"), Value::Int(-7));
         assert_eq!(Value::parse_literal("2.5"), Value::Float(2.5));
@@ -216,7 +230,12 @@ mod tests {
 
     #[test]
     fn codec_roundtrips() {
-        for v in [Value::str("x"), Value::Int(-9), Value::Bool(true), Value::Float(1.5)] {
+        for v in [
+            Value::str("x"),
+            Value::Int(-9),
+            Value::Bool(true),
+            Value::Float(1.5),
+        ] {
             assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
         }
     }
@@ -238,7 +257,10 @@ mod tests {
                 assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
             }
         }
-        assert_eq!(value_index_key(&Value::Int(5)), value_index_key(&Value::Int(5)));
+        assert_eq!(
+            value_index_key(&Value::Int(5)),
+            value_index_key(&Value::Int(5))
+        );
     }
 
     #[test]

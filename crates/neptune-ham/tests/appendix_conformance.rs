@@ -17,8 +17,7 @@ fn every_appendix_operation() {
     // =====================================================================
 
     // createGraph: Directory × Protections → ProjectId × Time
-    let (ham, project_id, t_created) =
-        Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let (ham, project_id, t_created) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
     assert_eq!(t_created, Time(1));
 
     // openGraph: ProjectId × Machine × Directory → Context
@@ -38,18 +37,30 @@ fn every_appendix_operation() {
     // A second archive node to pin a link end against (pinning needs
     // history, which file nodes by definition lack).
     let (pin_target, t_p) = ham.add_node(ctx, true).unwrap();
-    let t_p = ham.modify_node(ctx, pin_target, t_p, b"pinned contents v1\n".to_vec(), &[]).unwrap();
+    let t_p = ham
+        .modify_node(ctx, pin_target, t_p, b"pinned contents v1\n".to_vec(), &[])
+        .unwrap();
 
     // addLink: Context × LinkPt1 × LinkPt2 → LinkIndex × Time
     // One end pinned to a specific version (the configuration-manager
     // primitive), the other tracking the current version.
     let (link, _) = ham
-        .add_link(ctx, LinkPt::current(archive_node, 4), LinkPt::pinned(pin_target, 0, t_p))
+        .add_link(
+            ctx,
+            LinkPt::current(archive_node, 4),
+            LinkPt::pinned(pin_target, 0, t_p),
+        )
         .unwrap();
 
     // copyLink: Context × LinkIndex × Time × Boolean × LinkPt → LinkIndex × Time
     let (copied, _) = ham
-        .copy_link(ctx, link, Time::CURRENT, true, LinkPt::current(archive_node, 9))
+        .copy_link(
+            ctx,
+            link,
+            Time::CURRENT,
+            true,
+            LinkPt::current(archive_node, 9),
+        )
         .unwrap();
 
     // deleteLink: Context × LinkIndex →
@@ -58,7 +69,11 @@ fn every_appendix_operation() {
     // A node to delete, to exercise deleteNode's cascade.
     let (doomed, _) = ham.add_node(ctx, true).unwrap();
     let (doomed_link, _) = ham
-        .add_link(ctx, LinkPt::current(doomed, 0), LinkPt::current(archive_node, 0))
+        .add_link(
+            ctx,
+            LinkPt::current(doomed, 0),
+            LinkPt::current(archive_node, 0),
+        )
         .unwrap();
     // deleteNode: Context × NodeIndex →  ("All links into or out of the
     // node are deleted")
@@ -76,17 +91,36 @@ fn every_appendix_operation() {
     //   AttributeIndexᵐ × AttributeIndexⁿ → (NodeIndex × Valueᵐ)* × (LinkIndex × Valueⁿ)*
     let pred = Predicate::parse("document = requirements").unwrap();
     let lin = ham
-        .linearize_graph(ctx, archive_node, Time::CURRENT, &pred, &Predicate::True, &[doc_attr], &[])
+        .linearize_graph(
+            ctx,
+            archive_node,
+            Time::CURRENT,
+            &pred,
+            &Predicate::True,
+            &[doc_attr],
+            &[],
+        )
         .unwrap();
     assert_eq!(lin.nodes.len(), 2, "DFS reaches both requirement nodes");
     assert_eq!(lin.nodes[0].1, vec![Some(Value::str("requirements"))]);
 
     // getGraphQuery: the associative query (paper §3's example predicate).
     let q = ham
-        .get_graph_query(ctx, Time::CURRENT, &pred, &Predicate::True, &[doc_attr], &[])
+        .get_graph_query(
+            ctx,
+            Time::CURRENT,
+            &pred,
+            &Predicate::True,
+            &[doc_attr],
+            &[],
+        )
         .unwrap();
     assert_eq!(q.nodes.len(), 2);
-    assert_eq!(q.links.len(), 1, "only the surviving link connects result nodes");
+    assert_eq!(
+        q.links.len(),
+        1,
+        "only the surviving link connects result nodes"
+    );
 
     // =====================================================================
     // A.2 Node Operations
@@ -94,7 +128,9 @@ fn every_appendix_operation() {
 
     // openNode: NodeIndex × Time × AttributeIndexᵐ →
     //   Contents × LinkPt* × Valueᵐ × Time₂
-    let opened = ham.open_node(ctx, archive_node, Time::CURRENT, &[doc_attr]).unwrap();
+    let opened = ham
+        .open_node(ctx, archive_node, Time::CURRENT, &[doc_attr])
+        .unwrap();
     assert_eq!(opened.contents, b"0123456789abcdef\n".to_vec());
     assert!(!opened.link_pts.is_empty());
     assert_eq!(opened.values, vec![Some(Value::str("requirements"))]);
@@ -117,26 +153,39 @@ fn every_appendix_operation() {
     assert_eq!(ham.get_node_time_stamp(ctx, archive_node).unwrap(), t2);
 
     // changeNodeProtection: NodeIndex × Protections →
-    ham.change_node_protection(ctx, archive_node, Protections::PRIVATE).unwrap();
+    ham.change_node_protection(ctx, archive_node, Protections::PRIVATE)
+        .unwrap();
 
     // getNodeVersions: NodeIndex → Version₁⁺ × Version₂*
     let (major, minor) = ham.get_node_versions(ctx, archive_node).unwrap();
     assert!(major.len() >= 3, "created + two checkins");
-    assert!(!minor.is_empty(), "link/attribute changes recorded as minor versions");
+    assert!(
+        !minor.is_empty(),
+        "link/attribute changes recorded as minor versions"
+    );
 
     // getNodeDifferences: NodeIndex × Time₁ × Time₂ → Difference*
-    let diffs = ham.get_node_differences(ctx, archive_node, t_a, t2).unwrap();
+    let diffs = ham
+        .get_node_differences(ctx, archive_node, t_a, t2)
+        .unwrap();
     assert_eq!(diffs.len(), 1);
 
     // Archives vs files: "only the current version is available for files".
     let tf = ham.get_node_time_stamp(ctx, file_node).unwrap();
-    ham.modify_node(ctx, file_node, tf, b"file v2\n".to_vec(), &[]).unwrap();
+    ham.modify_node(ctx, file_node, tf, b"file v2\n".to_vec(), &[])
+        .unwrap();
     assert!(ham.open_node(ctx, file_node, tf, &[]).is_err());
 
     // Evolve the pinned target so the pin visibly refers to the past.
     let opened_p = ham.open_node(ctx, pin_target, Time::CURRENT, &[]).unwrap();
-    ham.modify_node(ctx, pin_target, opened_p.current_time, b"pinned contents v2\n".to_vec(), &opened_p.link_pts)
-        .unwrap();
+    ham.modify_node(
+        ctx,
+        pin_target,
+        opened_p.current_time,
+        b"pinned contents v2\n".to_vec(),
+        &opened_p.link_pts,
+    )
+    .unwrap();
 
     // =====================================================================
     // A.3 Link Operations
@@ -148,7 +197,9 @@ fn every_appendix_operation() {
     assert_eq!(to_node, pin_target);
     assert_eq!(to_version, t_p, "pinned to the pre-modification version");
     assert_eq!(
-        ham.open_node(ctx, pin_target, to_version, &[]).unwrap().contents,
+        ham.open_node(ctx, pin_target, to_version, &[])
+            .unwrap()
+            .contents,
         b"pinned contents v1\n".to_vec()
     );
 
@@ -168,26 +219,33 @@ fn every_appendix_operation() {
     assert_eq!(ham.get_attribute_index(ctx, "status").unwrap(), status_attr);
 
     // setNodeAttributeValue / getNodeAttributeValue (versioned).
-    ham.set_node_attribute_value(ctx, archive_node, status_attr, Value::str("draft")).unwrap();
+    ham.set_node_attribute_value(ctx, archive_node, status_attr, Value::str("draft"))
+        .unwrap();
     let t_draft = ham.graph(ctx).unwrap().now();
-    ham.set_node_attribute_value(ctx, archive_node, status_attr, Value::str("final")).unwrap();
+    ham.set_node_attribute_value(ctx, archive_node, status_attr, Value::str("final"))
+        .unwrap();
     assert_eq!(
-        ham.get_node_attribute_value(ctx, archive_node, status_attr, t_draft).unwrap(),
+        ham.get_node_attribute_value(ctx, archive_node, status_attr, t_draft)
+            .unwrap(),
         Value::str("draft")
     );
     assert_eq!(
-        ham.get_node_attribute_value(ctx, archive_node, status_attr, Time::CURRENT).unwrap(),
+        ham.get_node_attribute_value(ctx, archive_node, status_attr, Time::CURRENT)
+            .unwrap(),
         Value::str("final")
     );
 
     // getNodeAttributes: NodeIndex × Time → (Attribute × AttributeIndex × Value)*
-    let triples = ham.get_node_attributes(ctx, archive_node, Time::CURRENT).unwrap();
-    assert!(triples.iter().any(|(n, i, v)| n == "status"
-        && *i == status_attr
-        && *v == Value::str("final")));
+    let triples = ham
+        .get_node_attributes(ctx, archive_node, Time::CURRENT)
+        .unwrap();
+    assert!(triples
+        .iter()
+        .any(|(n, i, v)| n == "status" && *i == status_attr && *v == Value::str("final")));
 
     // deleteNodeAttribute: history remains at earlier times.
-    ham.delete_node_attribute(ctx, archive_node, status_attr).unwrap();
+    ham.delete_node_attribute(ctx, archive_node, status_attr)
+        .unwrap();
     assert!(ham
         .get_node_attribute_value(ctx, archive_node, status_attr, Time::CURRENT)
         .is_err());
@@ -198,15 +256,19 @@ fn every_appendix_operation() {
     // setLinkAttributeValue / getLinkAttributeValue / getLinkAttributes /
     // deleteLinkAttribute.
     let rel_attr = ham.get_attribute_index(ctx, "relation").unwrap();
-    ham.set_link_attribute_value(ctx, link, rel_attr, Value::str("references")).unwrap();
+    ham.set_link_attribute_value(ctx, link, rel_attr, Value::str("references"))
+        .unwrap();
     assert_eq!(
-        ham.get_link_attribute_value(ctx, link, rel_attr, Time::CURRENT).unwrap(),
+        ham.get_link_attribute_value(ctx, link, rel_attr, Time::CURRENT)
+            .unwrap(),
         Value::str("references")
     );
     let link_triples = ham.get_link_attributes(ctx, link, Time::CURRENT).unwrap();
     assert_eq!(link_triples.len(), 1);
     ham.delete_link_attribute(ctx, link, rel_attr).unwrap();
-    assert!(ham.get_link_attribute_value(ctx, link, rel_attr, Time::CURRENT).is_err());
+    assert!(ham
+        .get_link_attribute_value(ctx, link, rel_attr, Time::CURRENT)
+        .is_err());
 
     // getAttributes: Context × Time → (Attribute × AttributeIndex)*
     let attrs_now = ham.get_attributes(ctx, Time::CURRENT).unwrap();
@@ -214,7 +276,9 @@ fn every_appendix_operation() {
     assert!(ham.get_attributes(ctx, Time(1)).unwrap().is_empty());
 
     // getAttributeValues: Context × AttributeIndex × Time → Value*
-    let values = ham.get_attribute_values(ctx, doc_attr, Time::CURRENT).unwrap();
+    let values = ham
+        .get_attribute_values(ctx, doc_attr, Time::CURRENT)
+        .unwrap();
     assert_eq!(values, vec![Value::str("requirements")]);
 
     // =====================================================================
@@ -223,16 +287,28 @@ fn every_appendix_operation() {
 
     // setGraphDemonValue: Context × Event × Demon → (versioned; null
     // disables)
-    ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::notify("g1", "added")))
-        .unwrap();
+    ham.set_graph_demon_value(
+        ctx,
+        Event::NodeAdded,
+        Some(DemonSpec::notify("g1", "added")),
+    )
+    .unwrap();
     let t_demon1 = ham.graph(ctx).unwrap().now();
-    ham.set_graph_demon_value(ctx, Event::NodeAdded, Some(DemonSpec::notify("g2", "added!")))
-        .unwrap();
+    ham.set_graph_demon_value(
+        ctx,
+        Event::NodeAdded,
+        Some(DemonSpec::notify("g2", "added!")),
+    )
+    .unwrap();
 
     // getGraphDemons: Context × Time → (Event × Demon)*
     assert_eq!(ham.get_graph_demons(ctx, t_demon1).unwrap()[0].1.name, "g1");
-    assert_eq!(ham.get_graph_demons(ctx, Time::CURRENT).unwrap()[0].1.name, "g2");
-    ham.set_graph_demon_value(ctx, Event::NodeAdded, None).unwrap();
+    assert_eq!(
+        ham.get_graph_demons(ctx, Time::CURRENT).unwrap()[0].1.name,
+        "g2"
+    );
+    ham.set_graph_demon_value(ctx, Event::NodeAdded, None)
+        .unwrap();
     assert!(ham.get_graph_demons(ctx, Time::CURRENT).unwrap().is_empty());
 
     // setNodeDemon / getNodeDemons.
@@ -243,14 +319,24 @@ fn every_appendix_operation() {
         Some(DemonSpec::notify("n1", "node changed")),
     )
     .unwrap();
-    let node_demons = ham.get_node_demons(ctx, archive_node, Time::CURRENT).unwrap();
+    let node_demons = ham
+        .get_node_demons(ctx, archive_node, Time::CURRENT)
+        .unwrap();
     assert_eq!(node_demons.len(), 1);
     assert_eq!(node_demons[0].0, Event::NodeModified);
 
     // Demons actually fire with §5's parameters.
-    let opened = ham.open_node(ctx, archive_node, Time::CURRENT, &[]).unwrap();
-    ham.modify_node(ctx, archive_node, opened.current_time, b"fire!\n".to_vec(), &opened.link_pts)
+    let opened = ham
+        .open_node(ctx, archive_node, Time::CURRENT, &[])
         .unwrap();
+    ham.modify_node(
+        ctx,
+        archive_node,
+        opened.current_time,
+        b"fire!\n".to_vec(),
+        &opened.link_pts,
+    )
+    .unwrap();
     let record = ham.demon_journal().last().unwrap();
     assert_eq!(record.demon, "n1");
     assert_eq!(record.info.event, Event::NodeModified);

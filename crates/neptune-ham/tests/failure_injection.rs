@@ -16,7 +16,11 @@ fn tmpdir(name: &str) -> PathBuf {
 }
 
 fn flip_byte(path: &PathBuf, from_end: u64) {
-    let mut f = OpenOptions::new().read(true).write(true).open(path).unwrap();
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
     let len = f.metadata().unwrap().len();
     let pos = len.saturating_sub(from_end + 1);
     f.seek(SeekFrom::Start(pos)).unwrap();
@@ -57,16 +61,22 @@ fn torn_wal_tail_recovers_committed_prefix() {
         pid = p;
         let (n, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
         node = n;
-        ham.modify_node(MAIN_CONTEXT, n, t, b"survives\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, n, t, b"survives\n".to_vec(), &[])
+            .unwrap();
     }
     // Simulate a torn write at the end of the log.
     {
-        let mut f = OpenOptions::new().append(true).open(dir.join("wal.log")).unwrap();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.log"))
+            .unwrap();
         f.write_all(&[0xAB, 0xCD]).unwrap();
     }
     let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
     assert_eq!(
-        ham.open_node(ctx, node, Time::CURRENT, &[]).unwrap().contents,
+        ham.open_node(ctx, node, Time::CURRENT, &[])
+            .unwrap()
+            .contents,
         b"survives\n".to_vec()
     );
     // The machine keeps working after recovery.
@@ -84,16 +94,20 @@ fn corrupted_wal_record_truncates_replay_to_prefix() {
         pid = p;
         let (a, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
         first = a;
-        ham.modify_node(MAIN_CONTEXT, a, t, b"first txn\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, a, t, b"first txn\n".to_vec(), &[])
+            .unwrap();
         let (b, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.modify_node(MAIN_CONTEXT, b, t, b"second txn\n".to_vec(), &[]).unwrap();
+        ham.modify_node(MAIN_CONTEXT, b, t, b"second txn\n".to_vec(), &[])
+            .unwrap();
     }
     // Corrupt a byte near the end: the last transaction's records die, the
     // earlier prefix must still replay.
     flip_byte(&dir.join("wal.log"), 4);
     let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
     assert_eq!(
-        ham.open_node(ctx, first, Time::CURRENT, &[]).unwrap().contents,
+        ham.open_node(ctx, first, Time::CURRENT, &[])
+            .unwrap()
+            .contents,
         b"first txn\n".to_vec()
     );
 }
@@ -113,7 +127,10 @@ fn double_begin_and_stray_commit_are_errors() {
     assert!(ham.abort_transaction().is_err());
     ham.begin_transaction().unwrap();
     assert!(ham.begin_transaction().is_err());
-    assert!(ham.checkpoint().is_err(), "no checkpoint inside a transaction");
+    assert!(
+        ham.checkpoint().is_err(),
+        "no checkpoint inside a transaction"
+    );
     ham.abort_transaction().unwrap();
     ham.checkpoint().unwrap();
 }
@@ -123,17 +140,23 @@ fn failing_op_inside_explicit_txn_leaves_txn_usable() {
     let dir = tmpdir("failing-op");
     let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
     let (node, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-    ham.modify_node(MAIN_CONTEXT, node, t, b"base\n".to_vec(), &[]).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"base\n".to_vec(), &[])
+        .unwrap();
 
     ham.begin_transaction().unwrap();
     let t = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
-    ham.modify_node(MAIN_CONTEXT, node, t, b"inside txn\n".to_vec(), &[]).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"inside txn\n".to_vec(), &[])
+        .unwrap();
     // A failing operation (stale time) does not poison the transaction...
-    assert!(ham.modify_node(MAIN_CONTEXT, node, Time(1), b"stale\n".to_vec(), &[]).is_err());
+    assert!(ham
+        .modify_node(MAIN_CONTEXT, node, Time(1), b"stale\n".to_vec(), &[])
+        .is_err());
     // ...and the earlier work still commits.
     ham.commit_transaction().unwrap();
     assert_eq!(
-        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[]).unwrap().contents,
+        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+            .unwrap()
+            .contents,
         b"inside txn\n".to_vec()
     );
 }
@@ -157,10 +180,16 @@ fn deleted_objects_reject_all_mutation() {
     assert!(ham
         .modify_node(MAIN_CONTEXT, a, Time::CURRENT, b"zombie".to_vec(), &[])
         .is_err());
-    assert!(ham.set_node_attribute_value(MAIN_CONTEXT, a, attr, Value::Int(1)).is_err());
-    assert!(ham.set_link_attribute_value(MAIN_CONTEXT, l, attr, Value::Int(1)).is_err());
+    assert!(ham
+        .set_node_attribute_value(MAIN_CONTEXT, a, attr, Value::Int(1))
+        .is_err());
+    assert!(ham
+        .set_link_attribute_value(MAIN_CONTEXT, l, attr, Value::Int(1))
+        .is_err());
     assert!(ham.delete_link(MAIN_CONTEXT, l).is_err());
-    assert!(ham.set_node_demon(MAIN_CONTEXT, a, neptune_ham::Event::NodeOpened, None).is_err());
+    assert!(ham
+        .set_node_demon(MAIN_CONTEXT, a, neptune_ham::Event::NodeOpened, None)
+        .is_err());
     // But history stays readable.
     assert!(ham.get_node_versions(MAIN_CONTEXT, a).is_ok());
 }
@@ -172,12 +201,16 @@ fn wal_grows_then_checkpoint_shrinks_it() {
     let (node, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
     let attr = ham.get_attribute_index(MAIN_CONTEXT, "v").unwrap();
     for i in 0..50 {
-        ham.set_node_attribute_value(MAIN_CONTEXT, node, attr, Value::Int(i)).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, node, attr, Value::Int(i))
+            .unwrap();
     }
     let before = fs::metadata(dir.join("wal.log")).unwrap().len();
     ham.checkpoint().unwrap();
     let after = fs::metadata(dir.join("wal.log")).unwrap().len();
-    assert!(after < before / 2, "checkpoint truncates the log ({before} -> {after})");
+    assert!(
+        after < before / 2,
+        "checkpoint truncates the log ({before} -> {after})"
+    );
     // And node blobs were mirrored with contents.
     assert!(dir.join("nodes").exists());
 }
@@ -189,14 +222,19 @@ fn read_only_node_blob_still_checkpoints() {
     let dir = tmpdir("ro-blob");
     let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
     let (node, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-    ham.modify_node(MAIN_CONTEXT, node, t, b"v1\n".to_vec(), &[]).unwrap();
-    ham.change_node_protection(MAIN_CONTEXT, node, Protections::READ_ONLY).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"v1\n".to_vec(), &[])
+        .unwrap();
+    ham.change_node_protection(MAIN_CONTEXT, node, Protections::READ_ONLY)
+        .unwrap();
     ham.checkpoint().unwrap();
     let t = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
-    ham.modify_node(MAIN_CONTEXT, node, t, b"v2\n".to_vec(), &[]).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"v2\n".to_vec(), &[])
+        .unwrap();
     ham.checkpoint().unwrap();
     assert_eq!(
-        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[]).unwrap().contents,
+        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+            .unwrap()
+            .contents,
         b"v2\n".to_vec()
     );
 }

@@ -1,112 +1,181 @@
-//! Property tests for the predicate language: display/parse roundtrips,
-//! evaluation laws, and decoder robustness.
-
-use proptest::prelude::*;
+//! Randomized (seeded, deterministic) tests for the predicate language:
+//! display/parse roundtrips, evaluation laws, and decoder robustness.
 
 use neptune_ham::predicate::{CmpOp, Predicate};
 use neptune_ham::value::Value;
+use neptune_storage::testutil::XorShift;
 
-fn attr_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        !matches!(s.as_str(), "and" | "or" | "not" | "exists" | "true" | "false")
-    })
+fn gen_attr_name(rng: &mut XorShift) -> String {
+    loop {
+        let len = rng.below(9) as usize;
+        let mut s = String::new();
+        s.push(char::from(if rng.chance(1, 2) {
+            b'a' + rng.below(26) as u8
+        } else {
+            b'A' + rng.below(26) as u8
+        }));
+        for _ in 0..len {
+            s.push(match rng.below(4) {
+                0 => char::from(b'A' + rng.below(26) as u8),
+                1 => char::from(b'0' + rng.below(10) as u8),
+                2 => '_',
+                _ => char::from(b'a' + rng.below(26) as u8),
+            });
+        }
+        if !matches!(
+            s.as_str(),
+            "and" | "or" | "not" | "exists" | "true" | "false"
+        ) {
+            return s;
+        }
+    }
 }
 
-fn literal() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        "[a-zA-Z0-9 _.-]{0,12}".prop_map(Value::Str),
-        any::<i32>().prop_map(|i| Value::Int(i as i64)),
-        any::<bool>().prop_map(Value::Bool),
-    ]
+fn gen_literal(rng: &mut XorShift) -> Value {
+    match rng.below(3) {
+        0 => {
+            let len = rng.below(13) as usize;
+            let s: String = (0..len)
+                .map(|_| match rng.below(6) {
+                    0 => char::from(b'A' + rng.below(26) as u8),
+                    1 => char::from(b'0' + rng.below(10) as u8),
+                    2 => [' ', '_', '.', '-'][rng.index(4)],
+                    _ => char::from(b'a' + rng.below(26) as u8),
+                })
+                .collect();
+            Value::Str(s)
+        }
+        1 => Value::Int(rng.next_u64() as i32 as i64),
+        _ => Value::Bool(rng.chance(1, 2)),
+    }
 }
 
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn gen_cmp_op(rng: &mut XorShift) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.index(6)]
 }
 
-fn predicate() -> impl Strategy<Value = Predicate> {
-    let leaf = prop_oneof![
-        Just(Predicate::True),
-        Just(Predicate::False),
-        (attr_name(), cmp_op(), literal())
-            .prop_map(|(attr, op, value)| Predicate::Cmp { attr, op, value }),
-        attr_name().prop_map(Predicate::Exists),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|p| Predicate::Not(Box::new(p))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_predicate(rng: &mut XorShift, depth: usize) -> Predicate {
+    if depth == 0 || rng.chance(1, 3) {
+        match rng.below(4) {
+            0 => Predicate::True,
+            1 => Predicate::False,
+            2 => Predicate::Cmp {
+                attr: gen_attr_name(rng),
+                op: gen_cmp_op(rng),
+                value: gen_literal(rng),
+            },
+            _ => Predicate::Exists(gen_attr_name(rng)),
+        }
+    } else {
+        match rng.below(3) {
+            0 => Predicate::Not(Box::new(gen_predicate(rng, depth - 1))),
+            1 => Predicate::And(
+                Box::new(gen_predicate(rng, depth - 1)),
+                Box::new(gen_predicate(rng, depth - 1)),
+            ),
+            _ => Predicate::Or(
+                Box::new(gen_predicate(rng, depth - 1)),
+                Box::new(gen_predicate(rng, depth - 1)),
+            ),
+        }
+    }
 }
 
 /// A small environment of attribute values to evaluate against.
-fn environment() -> impl Strategy<Value = Vec<(String, Value)>> {
-    proptest::collection::vec((attr_name(), literal()), 0..6)
+fn gen_environment(rng: &mut XorShift) -> Vec<(String, Value)> {
+    (0..rng.below(6))
+        .map(|_| (gen_attr_name(rng), gen_literal(rng)))
+        .collect()
 }
 
 fn lookup<'a>(env: &'a [(String, Value)]) -> impl Fn(&str) -> Option<Value> + 'a {
     move |name: &str| env.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
 }
 
-proptest! {
-    /// display → parse preserves evaluation on every environment tested.
-    #[test]
-    fn display_parse_preserves_semantics(p in predicate(), env in environment()) {
+/// display → parse preserves evaluation on every environment tested.
+#[test]
+fn display_parse_preserves_semantics() {
+    let mut rng = XorShift::new(0xBEEF01);
+    for _ in 0..256 {
+        let p = gen_predicate(&mut rng, 3);
+        let env = gen_environment(&mut rng);
         let text = p.to_string();
         let reparsed = Predicate::parse(&text)
             .unwrap_or_else(|e| panic!("display output must reparse: '{text}': {e}"));
-        prop_assert_eq!(
+        assert_eq!(
             p.matches(&lookup(&env)),
             reparsed.matches(&lookup(&env)),
-            "text: {}", text
+            "text: {text}"
         );
     }
+}
 
-    /// Boolean laws hold under evaluation.
-    #[test]
-    fn evaluation_laws(p in predicate(), q in predicate(), env in environment()) {
+/// Boolean laws hold under evaluation.
+#[test]
+fn evaluation_laws() {
+    let mut rng = XorShift::new(0xBEEF02);
+    for _ in 0..256 {
+        let p = gen_predicate(&mut rng, 3);
+        let q = gen_predicate(&mut rng, 3);
+        let env = gen_environment(&mut rng);
         let l = lookup(&env);
         let not_p = Predicate::Not(Box::new(p.clone()));
-        prop_assert_eq!(not_p.matches(&l), !p.matches(&l));
+        assert_eq!(not_p.matches(&l), !p.matches(&l));
         let and = Predicate::And(Box::new(p.clone()), Box::new(q.clone()));
-        prop_assert_eq!(and.matches(&l), p.matches(&l) && q.matches(&l));
+        assert_eq!(and.matches(&l), p.matches(&l) && q.matches(&l));
         let or = Predicate::Or(Box::new(p.clone()), Box::new(q.clone()));
-        prop_assert_eq!(or.matches(&l), p.matches(&l) || q.matches(&l));
+        assert_eq!(or.matches(&l), p.matches(&l) || q.matches(&l));
         // and(True) is identity.
-        prop_assert_eq!(p.clone().and(Predicate::True).matches(&l), p.matches(&l));
+        assert_eq!(p.clone().and(Predicate::True).matches(&l), p.matches(&l));
     }
+}
 
-    /// The index hint never changes results: a predicate with an equality
-    /// hint matches an object iff the object carries that value.
-    #[test]
-    fn index_hint_is_sound(p in predicate(), env in environment()) {
+/// The index hint never changes results: a predicate with an equality
+/// hint matches an object iff the object carries that value.
+#[test]
+fn index_hint_is_sound() {
+    let mut rng = XorShift::new(0xBEEF03);
+    for _ in 0..256 {
+        let p = gen_predicate(&mut rng, 3);
+        let env = gen_environment(&mut rng);
         if let Some((attr, value)) = p.index_hint() {
             if p.matches(&lookup(&env)) {
                 // Everything the predicate accepts must satisfy the hint.
                 let actual = lookup(&env)(attr);
-                prop_assert_eq!(
+                assert_eq!(
                     actual.as_ref(),
                     Some(value),
-                    "hint ({} = {}) must hold on accepted env", attr, value
+                    "hint ({attr} = {value}) must hold on accepted env"
                 );
             }
         }
     }
+}
 
-    /// Arbitrary garbage never panics the parser.
-    #[test]
-    fn parser_never_panics(text in "\\PC{0,60}") {
+/// Arbitrary garbage never panics the parser.
+#[test]
+fn parser_never_panics() {
+    let mut rng = XorShift::new(0xBEEF04);
+    for _ in 0..512 {
+        let len = rng.below(60) as usize;
+        let text: String = (0..len)
+            .map(|_| {
+                let printable = 0x20u8 + rng.below(95) as u8;
+                match rng.below(8) {
+                    0 => '(',
+                    1 => ')',
+                    2 => '=',
+                    _ => char::from(printable),
+                }
+            })
+            .collect();
         let _ = Predicate::parse(&text);
     }
 }

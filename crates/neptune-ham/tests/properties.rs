@@ -1,13 +1,11 @@
-//! Property-based tests for HAM invariants.
+//! Randomized (seeded, deterministic) tests for HAM invariants.
 //!
 //! The central invariants under test:
 //! * any random sequence of HAM operations leaves every historical query
 //!   answerable (complete version history);
-//! * aborting a transaction restores the exact pre-transaction state;
+//! * rolling back to a checkpoint restores the exact observed state;
 //! * persistence (snapshot + WAL replay) reproduces the exact state;
 //! * `Versioned<T>` behaves like an append-only map from time to value.
-
-use proptest::prelude::*;
 
 use neptune_ham::graph::HamGraph;
 use neptune_ham::history::Versioned;
@@ -17,6 +15,7 @@ use neptune_ham::types::{LinkPt, NodeIndex, ProjectId, Time};
 use neptune_ham::value::Value;
 
 use neptune_storage::codec::{Decode, Encode};
+use neptune_storage::testutil::XorShift;
 
 /// A randomized mutation against a graph.
 #[derive(Debug, Clone)]
@@ -30,17 +29,33 @@ enum GraphOp {
     DeleteAttr(usize, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = GraphOp> {
-    prop_oneof![
-        any::<bool>().prop_map(GraphOp::AddNode),
-        (any::<usize>()).prop_map(GraphOp::DeleteNode),
-        (any::<usize>(), any::<usize>(), 0u64..100).prop_map(|(a, b, o)| GraphOp::AddLink(a, b, o)),
-        (any::<usize>()).prop_map(GraphOp::DeleteLink),
-        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..40))
-            .prop_map(|(n, c)| GraphOp::ModifyNode(n, c)),
-        (any::<usize>(), any::<u8>(), any::<u8>()).prop_map(|(n, a, v)| GraphOp::SetAttr(n, a % 4, v)),
-        (any::<usize>(), any::<u8>()).prop_map(|(n, a)| GraphOp::DeleteAttr(n, a % 4)),
-    ]
+fn gen_op(rng: &mut XorShift) -> GraphOp {
+    match rng.below(7) {
+        0 => GraphOp::AddNode(rng.chance(1, 2)),
+        1 => GraphOp::DeleteNode(rng.next_u64() as usize),
+        2 => GraphOp::AddLink(
+            rng.next_u64() as usize,
+            rng.next_u64() as usize,
+            rng.below(100),
+        ),
+        3 => GraphOp::DeleteLink(rng.next_u64() as usize),
+        4 => {
+            let target = rng.next_u64() as usize;
+            let len = rng.below(40) as usize;
+            GraphOp::ModifyNode(target, rng.bytes(len))
+        }
+        5 => GraphOp::SetAttr(
+            rng.next_u64() as usize,
+            rng.below(4) as u8,
+            rng.below(256) as u8,
+        ),
+        _ => GraphOp::DeleteAttr(rng.next_u64() as usize, rng.below(4) as u8),
+    }
+}
+
+fn gen_ops(rng: &mut XorShift, min: usize, max: usize) -> Vec<GraphOp> {
+    let count = min + rng.below((max - min) as u64) as usize;
+    (0..count).map(|_| gen_op(rng)).collect()
 }
 
 const ATTR_NAMES: [&str; 4] = ["document", "contentType", "status", "owner"];
@@ -89,7 +104,11 @@ fn apply(graph: &mut HamGraph, op: &GraphOp) {
                 // Only archive nodes accept historical modification here.
                 if graph.node(id).unwrap().is_archive() {
                     let now = graph.tick();
-                    graph.node_mut(id).unwrap().modify(contents.clone(), now, "prop").unwrap();
+                    graph
+                        .node_mut(id)
+                        .unwrap()
+                        .modify(contents.clone(), now, "prop")
+                        .unwrap();
                 }
             }
         }
@@ -97,7 +116,9 @@ fn apply(graph: &mut HamGraph, op: &GraphOp) {
             if !live_nodes.is_empty() {
                 let id = live_nodes[i % live_nodes.len()];
                 let attr = graph.attribute_index(ATTR_NAMES[*a as usize]);
-                graph.set_node_attr(id, attr, Value::Int(*v as i64)).unwrap();
+                graph
+                    .set_node_attr(id, attr, Value::Int(*v as i64))
+                    .unwrap();
             }
         }
         GraphOp::DeleteAttr(i, a) => {
@@ -143,12 +164,12 @@ fn observe(graph: &HamGraph, time: Time) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Mutating the graph never disturbs what historical times observe.
-    #[test]
-    fn history_is_immutable(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+/// Mutating the graph never disturbs what historical times observe.
+#[test]
+fn history_is_immutable() {
+    let mut rng = XorShift::new(0xA001);
+    for _ in 0..64 {
+        let ops = gen_ops(&mut rng, 1, 40);
         let mut graph = HamGraph::new(ProjectId(1));
         let mut checkpoints: Vec<(Time, String)> = Vec::new();
         for op in &ops {
@@ -158,17 +179,19 @@ proptest! {
         }
         // Every past observation must still hold.
         for (time, expected) in &checkpoints {
-            prop_assert_eq!(&observe(&graph, *time), expected);
+            assert_eq!(&observe(&graph, *time), expected);
         }
     }
+}
 
-    /// truncate_after(t) restores exactly the state observed at t, and the
-    /// full current state matches what it was then.
-    #[test]
-    fn rollback_restores_observed_state(
-        ops_before in proptest::collection::vec(op_strategy(), 1..20),
-        ops_after in proptest::collection::vec(op_strategy(), 1..20),
-    ) {
+/// truncate_after(t) restores exactly the state observed at t, and the
+/// full current state matches what it was then.
+#[test]
+fn rollback_restores_observed_state() {
+    let mut rng = XorShift::new(0xA002);
+    for _ in 0..64 {
+        let ops_before = gen_ops(&mut rng, 1, 20);
+        let ops_after = gen_ops(&mut rng, 1, 20);
         let mut graph = HamGraph::new(ProjectId(1));
         for op in &ops_before {
             apply(&mut graph, op);
@@ -179,47 +202,75 @@ proptest! {
             apply(&mut graph, op);
         }
         graph.truncate_after(checkpoint);
-        prop_assert_eq!(observe(&graph, Time::CURRENT), expected);
-        prop_assert_eq!(graph.now(), checkpoint);
+        assert_eq!(observe(&graph, Time::CURRENT), expected);
+        assert_eq!(graph.now(), checkpoint);
     }
+}
 
-    /// Encoding and decoding a graph preserves every observable time.
-    #[test]
-    fn graph_codec_is_faithful(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+/// Encoding and decoding a graph preserves every observable time.
+#[test]
+fn graph_codec_is_faithful() {
+    let mut rng = XorShift::new(0xA003);
+    for _ in 0..64 {
+        let ops = gen_ops(&mut rng, 1, 30);
         let mut graph = HamGraph::new(ProjectId(7));
         for op in &ops {
             apply(&mut graph, op);
         }
         let decoded = HamGraph::from_bytes(&graph.to_bytes()).unwrap();
-        prop_assert_eq!(&decoded, &graph);
+        assert_eq!(&decoded, &graph);
         for t in 1..=graph.now().0 {
-            prop_assert_eq!(observe(&decoded, Time(t)), observe(&graph, Time(t)));
+            assert_eq!(observe(&decoded, Time(t)), observe(&graph, Time(t)));
         }
     }
+}
 
-    /// The indexed query path always agrees with the scan path.
-    #[test]
-    fn indexed_query_equals_scan(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+/// The indexed query path always agrees with the scan path.
+#[test]
+fn indexed_query_equals_scan() {
+    let mut rng = XorShift::new(0xA004);
+    for _ in 0..64 {
+        let ops = gen_ops(&mut rng, 1, 40);
         let mut graph = HamGraph::new(ProjectId(3));
         for op in &ops {
             apply(&mut graph, op);
         }
         for v in 0..4u8 {
             let pred = Predicate::parse(&format!("document = {v}")).unwrap();
-            let fast = get_graph_query(&graph, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
+            let fast =
+                get_graph_query(&graph, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
             let slow = neptune_ham::query::get_graph_query_scan(
-                &graph, Time::CURRENT, &pred, &Predicate::True, &[], &[]).unwrap();
-            prop_assert_eq!(fast, slow);
+                &graph,
+                Time::CURRENT,
+                &pred,
+                &Predicate::True,
+                &[],
+                &[],
+            )
+            .unwrap();
+            assert_eq!(fast, slow);
         }
     }
+}
 
-    /// Versioned cells answer get_at consistently with a naive model.
-    #[test]
-    fn versioned_cell_matches_model(
-        writes in proptest::collection::vec((1u64..100, proptest::option::of(any::<u32>())), 1..30)
-    ) {
-        // Sort and dedup times to satisfy the monotonic-write contract.
-        let mut writes = writes;
+/// Versioned cells answer get_at consistently with a naive model.
+#[test]
+fn versioned_cell_matches_model() {
+    let mut rng = XorShift::new(0xA005);
+    for _ in 0..64 {
+        let count = 1 + rng.below(29) as usize;
+        let mut writes: Vec<(u64, Option<u32>)> = (0..count)
+            .map(|_| {
+                let t = 1 + rng.below(99);
+                let v = if rng.chance(3, 4) {
+                    Some(rng.next_u64() as u32)
+                } else {
+                    None
+                };
+                (t, v)
+            })
+            .collect();
+        // Sort times to satisfy the monotonic-write contract.
         writes.sort_by_key(|(t, _)| *t);
         let mut cell: Versioned<u32> = Versioned::new();
         let mut model: Vec<(u64, Option<u32>)> = Vec::new();
@@ -246,7 +297,7 @@ proptest! {
             } else {
                 expected
             };
-            prop_assert_eq!(cell.get_at(Time(q)), expected, "query at {}", q);
+            assert_eq!(cell.get_at(Time(q)), expected, "query at {q}");
         }
     }
 }

@@ -1,11 +1,11 @@
-//! Recovery fuzzing: any committed sequence of HAM operations must survive
-//! a crash (drop without checkpoint) byte-for-byte — WAL replay has to
-//! reproduce the exact observable state, including all history.
-
-use proptest::prelude::*;
+//! Recovery fuzzing (seeded, deterministic): any committed sequence of HAM
+//! operations must survive a crash (drop without checkpoint) byte-for-byte
+//! — WAL replay has to reproduce the exact observable state, including all
+//! history.
 
 use neptune_ham::types::{LinkPt, Machine, NodeIndex, Protections, Time, MAIN_CONTEXT};
 use neptune_ham::{Ham, Value};
+use neptune_storage::testutil::XorShift;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -29,30 +29,48 @@ enum OpInner {
 
 const ATTRS: [&str; 3] = ["document", "status", "owner"];
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => any::<bool>().prop_map(Op::AddNode),
-        4 => (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..24))
-            .prop_map(|(n, c)| Op::Modify(n, c)),
-        1 => any::<usize>().prop_map(Op::DeleteNode),
-        3 => (any::<usize>(), any::<usize>(), any::<u8>()).prop_map(|(a, b, o)| Op::AddLink(a, b, o)),
-        4 => (any::<usize>(), any::<u8>(), any::<i64>()).prop_map(|(n, a, v)| Op::SetAttr(n, a % 3, v)),
-        1 => (any::<usize>(), any::<u8>()).prop_map(|(n, a)| Op::DeleteAttr(n, a % 3)),
-        1 => any::<u8>().prop_map(Op::SetDemon),
-        2 => (
-            proptest::collection::vec(
-                prop_oneof![
-                    Just(OpInner::AddNode),
-                    (any::<usize>(), any::<u8>(), any::<i64>())
-                        .prop_map(|(n, a, v)| OpInner::SetAttr(n, a % 3, v)),
-                ],
-                1..5
-            ),
-            any::<bool>()
-        ).prop_map(|(ops, commit)| Op::Txn(ops, commit)),
-        1 => Just(Op::Checkpoint),
-        1 => Just(Op::Fork),
-    ]
+/// Weighted op choice mirroring the original generation frequencies.
+fn gen_op(rng: &mut XorShift) -> Op {
+    match rng.below(22) {
+        0..=3 => Op::AddNode(rng.chance(1, 2)),
+        4..=7 => {
+            let target = rng.next_u64() as usize;
+            let len = rng.below(24) as usize;
+            Op::Modify(target, rng.bytes(len))
+        }
+        8 => Op::DeleteNode(rng.next_u64() as usize),
+        9..=11 => Op::AddLink(
+            rng.next_u64() as usize,
+            rng.next_u64() as usize,
+            rng.below(256) as u8,
+        ),
+        12..=15 => Op::SetAttr(
+            rng.next_u64() as usize,
+            rng.below(3) as u8,
+            rng.next_u64() as i64,
+        ),
+        16 => Op::DeleteAttr(rng.next_u64() as usize, rng.below(3) as u8),
+        17 => Op::SetDemon(rng.below(256) as u8),
+        18..=19 => {
+            let count = 1 + rng.below(4) as usize;
+            let inner = (0..count)
+                .map(|_| {
+                    if rng.chance(1, 2) {
+                        OpInner::AddNode
+                    } else {
+                        OpInner::SetAttr(
+                            rng.next_u64() as usize,
+                            rng.below(3) as u8,
+                            rng.next_u64() as i64,
+                        )
+                    }
+                })
+                .collect();
+            Op::Txn(inner, rng.chance(1, 2))
+        }
+        20 => Op::Checkpoint,
+        _ => Op::Fork,
+    }
 }
 
 fn live_nodes(ham: &Ham) -> Vec<NodeIndex> {
@@ -75,7 +93,9 @@ fn apply(ham: &mut Ham, op: &Op) {
                 return;
             }
             let node = nodes[i % nodes.len()];
-            let opened = ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[]).unwrap();
+            let opened = ham
+                .open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+                .unwrap();
             ham.modify_node(
                 MAIN_CONTEXT,
                 node,
@@ -87,7 +107,8 @@ fn apply(ham: &mut Ham, op: &Op) {
         }
         Op::DeleteNode(i) => {
             if !nodes.is_empty() {
-                ham.delete_node(MAIN_CONTEXT, nodes[i % nodes.len()]).unwrap();
+                ham.delete_node(MAIN_CONTEXT, nodes[i % nodes.len()])
+                    .unwrap();
             }
         }
         Op::AddLink(a, b, offset) => {
@@ -104,7 +125,9 @@ fn apply(ham: &mut Ham, op: &Op) {
         }
         Op::SetAttr(i, a, v) => {
             if !nodes.is_empty() {
-                let attr = ham.get_attribute_index(MAIN_CONTEXT, ATTRS[*a as usize]).unwrap();
+                let attr = ham
+                    .get_attribute_index(MAIN_CONTEXT, ATTRS[*a as usize])
+                    .unwrap();
                 ham.set_node_attribute_value(
                     MAIN_CONTEXT,
                     nodes[i % nodes.len()],
@@ -116,7 +139,9 @@ fn apply(ham: &mut Ham, op: &Op) {
         }
         Op::DeleteAttr(i, a) => {
             if !nodes.is_empty() {
-                let attr = ham.get_attribute_index(MAIN_CONTEXT, ATTRS[*a as usize]).unwrap();
+                let attr = ham
+                    .get_attribute_index(MAIN_CONTEXT, ATTRS[*a as usize])
+                    .unwrap();
                 let _ = ham.delete_node_attribute(MAIN_CONTEXT, nodes[i % nodes.len()], attr);
             }
         }
@@ -129,7 +154,8 @@ fn apply(ham: &mut Ham, op: &Op) {
                 Some(neptune_ham::DemonSpec::notify("fuzz", "fired"))
             };
             let event = neptune_ham::Event::ALL[(*tag as usize) % neptune_ham::Event::ALL.len()];
-            ham.set_graph_demon_value(MAIN_CONTEXT, event, demon).unwrap();
+            ham.set_graph_demon_value(MAIN_CONTEXT, event, demon)
+                .unwrap();
         }
         Op::Txn(inner, commit) => {
             ham.begin_transaction().unwrap();
@@ -209,16 +235,13 @@ fn fingerprint(ham: &Ham) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn committed_state_survives_crash(ops in proptest::collection::vec(op_strategy(), 1..25)) {
-        let dir = std::env::temp_dir().join(format!(
-            "neptune-fuzz-{}-{}",
-            std::process::id(),
-            COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
-        ));
+#[test]
+fn committed_state_survives_crash() {
+    let mut rng = XorShift::new(0xF002);
+    for case in 0..24 {
+        let count = 1 + rng.below(24) as usize;
+        let ops: Vec<Op> = (0..count).map(|_| gen_op(&mut rng)).collect();
+        let dir = std::env::temp_dir().join(format!("neptune-fuzz-{}-{case}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let (mut ham, pid, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
         for op in &ops {
@@ -229,9 +252,7 @@ proptest! {
 
         let (ham, _) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
         let after = fingerprint(&ham);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
-
-static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);

@@ -121,15 +121,15 @@ pub fn attributes_relation(ham: &Ham, context: ContextId, time: Time) -> Result<
         }
         for (idx, value) in node.attrs.all_at(time) {
             if let Some(name) = graph.attr_table.name(idx) {
-                tuples.push(vec![
-                    Value::Int(node.id.0 as i64),
-                    Value::str(name),
-                    value,
-                ]);
+                tuples.push(vec![Value::Int(node.id.0 as i64), Value::str(name), value]);
             }
         }
     }
-    Ok(Relation::new("attributes", vec!["node", "attribute", "value"], tuples)?)
+    Ok(Relation::new(
+        "attributes",
+        vec!["node", "attribute", "value"],
+        tuples,
+    )?)
 }
 
 #[cfg(test)]
@@ -146,12 +146,17 @@ mod tests {
         let (a, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
         let (b, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
         let (c, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, a, doc, Value::str("spec")).unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, b, doc, Value::str("spec")).unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, c, doc, Value::str("design")).unwrap();
-        let (l, _) =
-            ham.add_link(MAIN_CONTEXT, LinkPt::current(a, 0), LinkPt::current(b, 0)).unwrap();
-        ham.set_link_attribute_value(MAIN_CONTEXT, l, rel, Value::str("isPartOf")).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, a, doc, Value::str("spec"))
+            .unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, b, doc, Value::str("spec"))
+            .unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, c, doc, Value::str("design"))
+            .unwrap();
+        let (l, _) = ham
+            .add_link(MAIN_CONTEXT, LinkPt::current(a, 0), LinkPt::current(b, 0))
+            .unwrap();
+        ham.set_link_attribute_value(MAIN_CONTEXT, l, rel, Value::str("isPartOf"))
+            .unwrap();
         ham
     }
 
@@ -203,7 +208,8 @@ mod tests {
         let t_then = ham.graph(MAIN_CONTEXT).unwrap().now();
         let (extra, _) = ham.add_node(MAIN_CONTEXT, true).unwrap();
         let doc = ham.get_attribute_index(MAIN_CONTEXT, "document").unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, extra, doc, Value::str("late")).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, extra, doc, Value::str("late"))
+            .unwrap();
         let now = nodes_relation(&ham, MAIN_CONTEXT, Time::CURRENT, &["document"]).unwrap();
         let then = nodes_relation(&ham, MAIN_CONTEXT, t_then, &["document"]).unwrap();
         assert_eq!(now.len(), 4);

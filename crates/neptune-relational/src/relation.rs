@@ -59,7 +59,10 @@ impl fmt::Display for RelError {
                 write!(f, "no column '{column}' in relation '{relation}'")
             }
             RelError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             RelError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch: {left:?} vs {right:?}")
@@ -86,7 +89,10 @@ pub struct Row<'a> {
 impl<'a> Row<'a> {
     /// The value of the named column, if it exists.
     pub fn get(&self, name: &str) -> Option<&'a Value> {
-        self.schema.iter().position(|c| c == name).map(|i| &self.tuple[i])
+        self.schema
+            .iter()
+            .position(|c| c == name)
+            .map(|i| &self.tuple[i])
     }
 }
 
@@ -129,10 +135,17 @@ impl Relation {
         }
         for t in &tuples {
             if t.len() != schema.len() {
-                return Err(RelError::ArityMismatch { expected: schema.len(), got: t.len() });
+                return Err(RelError::ArityMismatch {
+                    expected: schema.len(),
+                    got: t.len(),
+                });
             }
         }
-        let mut rel = Relation { name: name.into(), schema, tuples };
+        let mut rel = Relation {
+            name: name.into(),
+            schema,
+            tuples,
+        };
         rel.normalize();
         Ok(rel)
     }
@@ -174,16 +187,22 @@ impl Relation {
 
     /// Index of a column.
     pub fn column(&self, name: &str) -> Result<usize> {
-        self.schema.iter().position(|c| c == name).ok_or_else(|| RelError::NoSuchColumn {
-            column: name.to_string(),
-            relation: self.name.clone(),
-        })
+        self.schema
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| RelError::NoSuchColumn {
+                column: name.to_string(),
+                relation: self.name.clone(),
+            })
     }
 
     /// Insert a tuple (idempotent).
     pub fn insert(&mut self, tuple: Vec<Value>) -> Result<()> {
         if tuple.len() != self.schema.len() {
-            return Err(RelError::ArityMismatch { expected: self.schema.len(), got: tuple.len() });
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.len(),
+                got: tuple.len(),
+            });
         }
         self.tuples.push(tuple);
         self.normalize();
@@ -214,16 +233,27 @@ impl Relation {
         let tuples = self
             .tuples
             .iter()
-            .filter(|t| pred(Row { schema: &self.schema, tuple: t }))
+            .filter(|t| {
+                pred(Row {
+                    schema: &self.schema,
+                    tuple: t,
+                })
+            })
             .cloned()
             .collect();
-        Relation { name: format!("σ({})", self.name), schema: self.schema.clone(), tuples }
+        Relation {
+            name: format!("σ({})", self.name),
+            schema: self.schema.clone(),
+            tuples,
+        }
     }
 
     /// π — keep only the named columns, in the given order.
     pub fn project(&self, columns: &[&str]) -> Result<Relation> {
-        let indices: Vec<usize> =
-            columns.iter().map(|c| self.column(c)).collect::<Result<_>>()?;
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|c| self.column(c))
+            .collect::<Result<_>>()?;
         let tuples = self
             .tuples
             .iter()
@@ -246,7 +276,11 @@ impl Relation {
         }
         let mut schema = self.schema.clone();
         schema[idx] = to.to_string();
-        Ok(Relation { name: self.name.clone(), schema, tuples: self.tuples.clone() })
+        Ok(Relation {
+            name: self.name.clone(),
+            schema,
+            tuples: self.tuples.clone(),
+        })
     }
 
     /// ⋈ — natural join on all shared column names.
@@ -260,10 +294,14 @@ impl Relation {
         if shared.is_empty() {
             return Err(RelError::NoCommonColumns);
         }
-        let my_shared: Vec<usize> =
-            shared.iter().map(|c| self.column(c)).collect::<Result<_>>()?;
-        let their_shared: Vec<usize> =
-            shared.iter().map(|c| other.column(c)).collect::<Result<_>>()?;
+        let my_shared: Vec<usize> = shared
+            .iter()
+            .map(|c| self.column(c))
+            .collect::<Result<_>>()?;
+        let their_shared: Vec<usize> = shared
+            .iter()
+            .map(|c| other.column(c))
+            .collect::<Result<_>>()?;
         let their_extra: Vec<usize> = (0..other.schema.len())
             .filter(|i| !shared.contains(&other.schema[*i]))
             .collect();
@@ -272,7 +310,12 @@ impl Relation {
         let mut index: std::collections::HashMap<Vec<u8>, Vec<&Vec<Value>>> =
             std::collections::HashMap::new();
         for t in &other.tuples {
-            let key = tuple_key(&their_shared.iter().map(|&i| t[i].clone()).collect::<Vec<_>>());
+            let key = tuple_key(
+                &their_shared
+                    .iter()
+                    .map(|&i| t[i].clone())
+                    .collect::<Vec<_>>(),
+            );
             index.entry(key).or_default().push(t);
         }
         let mut schema = self.schema.clone();
@@ -362,7 +405,11 @@ impl Relation {
         out.push_str(&format!("| {} |\n", header.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
         ));
         for row in rendered {
             let cells: Vec<String> = row
@@ -422,12 +469,20 @@ mod tests {
         let r = Relation::new(
             "r",
             vec!["x"],
-            vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         assert_eq!(r.len(), 2);
-        let r2 = Relation::new("r", vec!["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]])
-            .unwrap();
+        let r2 = Relation::new(
+            "r",
+            vec!["x"],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
         assert_eq!(r.tuples(), r2.tuples());
     }
 
@@ -443,9 +498,8 @@ mod tests {
 
     #[test]
     fn select_with_closure() {
-        let r = employees().select(|row| {
-            matches!(row.get("name"), Some(Value::Str(s)) if s.starts_with('m'))
-        });
+        let r = employees()
+            .select(|row| matches!(row.get("name"), Some(Value::Str(s)) if s.starts_with('m')));
         assert_eq!(r.len(), 1);
     }
 
@@ -458,15 +512,26 @@ mod tests {
         assert_eq!(norm.tuples()[0][2], Value::str("beaverton"));
         // No shared columns → error.
         let other = Relation::new("o", vec!["z"], vec![]).unwrap();
-        assert!(matches!(employees().join(&other), Err(RelError::NoCommonColumns)));
+        assert!(matches!(
+            employees().join(&other),
+            Err(RelError::NoCommonColumns)
+        ));
     }
 
     #[test]
     fn union_and_difference() {
-        let a = Relation::new("a", vec!["x"], vec![vec![Value::Int(1)], vec![Value::Int(2)]])
-            .unwrap();
-        let b = Relation::new("b", vec!["x"], vec![vec![Value::Int(2)], vec![Value::Int(3)]])
-            .unwrap();
+        let a = Relation::new(
+            "a",
+            vec!["x"],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let b = Relation::new(
+            "b",
+            vec!["x"],
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        )
+        .unwrap();
         assert_eq!(a.union(&b).unwrap().len(), 3);
         let diff = a.difference(&b).unwrap();
         assert_eq!(diff.len(), 1);

@@ -66,7 +66,11 @@ pub fn build_xref(ham: &mut Ham, context: ContextId, time: Time) -> Result<Xref>
                     .and_then(|attr| n.attrs.get(attr, time))
                     .map(|v| *v == Value::str("modula2Source"))
                     .unwrap_or(false);
-                Some((n.id.0, is_source, String::from_utf8_lossy(&contents).into_owned()))
+                Some((
+                    n.id.0,
+                    is_source,
+                    String::from_utf8_lossy(&contents).into_owned(),
+                ))
             })
             .collect()
     };
@@ -155,10 +159,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let (mut ham, _, _) = Ham::create_graph(dir, Protections::DEFAULT).unwrap();
         let project = CaseProject::new(MAIN_CONTEXT);
-        let lists = parse_module(
-            "DEFINITION MODULE Lists;\nPROCEDURE Insert;\nEND Insert;\nEND Lists.\n",
-        )
-        .unwrap();
+        let lists =
+            parse_module("DEFINITION MODULE Lists;\nPROCEDURE Insert;\nEND Insert;\nEND Lists.\n")
+                .unwrap();
         let main = parse_module(
             "MODULE Main;\nIMPORT Lists;\nPROCEDURE Run;\n  Lists.Insert;\nEND Run;\nEND Main.\n",
         )
@@ -176,7 +179,8 @@ mod tests {
         )
         .unwrap();
         let doc = ham.get_attribute_index(MAIN_CONTEXT, "document").unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, docnode, doc, Value::str("design")).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, docnode, doc, Value::str("design"))
+            .unwrap();
         ham
     }
 
@@ -210,7 +214,11 @@ mod tests {
             .map(|t| t[0].to_string())
             .collect();
         assert!(kinds.contains(&"code".to_string()), "{}", hits.render());
-        assert!(kinds.contains(&"documentation".to_string()), "{}", hits.render());
+        assert!(
+            kinds.contains(&"documentation".to_string()),
+            "{}",
+            hits.render()
+        );
     }
 
     #[test]
@@ -246,7 +254,10 @@ mod tests {
 
     #[test]
     fn identifier_tokenizer() {
-        assert_eq!(identifiers("Lists.Insert(x_1, 2)"), vec!["Lists", "Insert", "x_1", "2"]);
+        assert_eq!(
+            identifiers("Lists.Insert(x_1, 2)"),
+            vec!["Lists", "Insert", "x_1", "2"]
+        );
         assert_eq!(identifiers(""), Vec::<&str>::new());
         assert_eq!(identifiers("::"), Vec::<&str>::new());
     }

@@ -1,101 +1,129 @@
-//! Property tests: the classical relational algebra laws hold for the
-//! mini-engine, over arbitrary generated relations.
-
-use proptest::prelude::*;
+//! Randomized (seeded, deterministic) tests: the classical relational
+//! algebra laws hold for the mini-engine, over generated relations.
 
 use neptune_ham::value::Value;
 use neptune_relational::Relation;
+use neptune_storage::testutil::XorShift;
 
 /// Relations over a fixed two-column schema, so binary operators apply.
-fn relation_ab() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0i64..6, 0i64..6), 0..12).prop_map(|pairs| {
-        let tuples = pairs
-            .into_iter()
-            .map(|(a, b)| vec![Value::Int(a), Value::Int(b)])
-            .collect();
-        Relation::new("r", vec!["a", "b"], tuples).unwrap()
-    })
+fn gen_relation_ab(rng: &mut XorShift) -> Relation {
+    let tuples = (0..rng.below(12))
+        .map(|_| {
+            vec![
+                Value::Int(rng.below(6) as i64),
+                Value::Int(rng.below(6) as i64),
+            ]
+        })
+        .collect();
+    Relation::new("r", vec!["a", "b"], tuples).unwrap()
 }
 
 /// Relations over (b, c): shares column `b` with relation_ab for joins.
-fn relation_bc() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0i64..6, 0i64..6), 0..12).prop_map(|pairs| {
-        let tuples = pairs
-            .into_iter()
-            .map(|(b, c)| vec![Value::Int(b), Value::Int(c)])
-            .collect();
-        Relation::new("s", vec!["b", "c"], tuples).unwrap()
-    })
+fn gen_relation_bc(rng: &mut XorShift) -> Relation {
+    let tuples = (0..rng.below(12))
+        .map(|_| {
+            vec![
+                Value::Int(rng.below(6) as i64),
+                Value::Int(rng.below(6) as i64),
+            ]
+        })
+        .collect();
+    Relation::new("s", vec!["b", "c"], tuples).unwrap()
 }
 
 fn tuples_sorted(r: &Relation) -> Vec<Vec<Value>> {
     r.tuples().to_vec()
 }
 
-proptest! {
-    #[test]
-    fn union_is_commutative_associative_idempotent(
-        x in relation_ab(), y in relation_ab(), z in relation_ab()
-    ) {
-        prop_assert_eq!(
+#[test]
+fn union_is_commutative_associative_idempotent() {
+    let mut rng = XorShift::new(0xE101);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
+        let y = gen_relation_ab(&mut rng);
+        let z = gen_relation_ab(&mut rng);
+        assert_eq!(
             tuples_sorted(&x.union(&y).unwrap()),
             tuples_sorted(&y.union(&x).unwrap())
         );
-        prop_assert_eq!(
+        assert_eq!(
             tuples_sorted(&x.union(&y).unwrap().union(&z).unwrap()),
             tuples_sorted(&x.union(&y.union(&z).unwrap()).unwrap())
         );
-        prop_assert_eq!(tuples_sorted(&x.union(&x).unwrap()), tuples_sorted(&x));
+        assert_eq!(tuples_sorted(&x.union(&x).unwrap()), tuples_sorted(&x));
     }
+}
 
-    #[test]
-    fn difference_laws(x in relation_ab(), y in relation_ab()) {
+#[test]
+fn difference_laws() {
+    let mut rng = XorShift::new(0xE102);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
+        let y = gen_relation_ab(&mut rng);
         // x − x = ∅
-        prop_assert!(x.difference(&x).unwrap().is_empty());
+        assert!(x.difference(&x).unwrap().is_empty());
         // (x − y) ⊆ x
         let d = x.difference(&y).unwrap();
-        prop_assert!(d.union(&x).unwrap().len() == x.len());
+        assert!(d.union(&x).unwrap().len() == x.len());
         // (x − y) ∪ (x ∩ y) = x, where x ∩ y = x − (x − y)
         let intersection = x.difference(&d).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             tuples_sorted(&d.union(&intersection).unwrap()),
             tuples_sorted(&x)
         );
     }
+}
 
-    #[test]
-    fn select_distributes_over_union(x in relation_ab(), y in relation_ab(), v in 0i64..6) {
-        let value = Value::Int(v);
+#[test]
+fn select_distributes_over_union() {
+    let mut rng = XorShift::new(0xE103);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
+        let y = gen_relation_ab(&mut rng);
+        let value = Value::Int(rng.below(6) as i64);
         let left = x.union(&y).unwrap().select_eq("a", &value).unwrap();
         let right = x
             .select_eq("a", &value)
             .unwrap()
             .union(&y.select_eq("a", &value).unwrap())
             .unwrap();
-        prop_assert_eq!(tuples_sorted(&left), tuples_sorted(&right));
+        assert_eq!(tuples_sorted(&left), tuples_sorted(&right));
     }
+}
 
-    #[test]
-    fn select_is_idempotent_and_narrowing(x in relation_ab(), v in 0i64..6) {
-        let value = Value::Int(v);
+#[test]
+fn select_is_idempotent_and_narrowing() {
+    let mut rng = XorShift::new(0xE104);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
+        let value = Value::Int(rng.below(6) as i64);
         let once = x.select_eq("a", &value).unwrap();
         let twice = once.select_eq("a", &value).unwrap();
-        prop_assert_eq!(tuples_sorted(&once), tuples_sorted(&twice));
-        prop_assert!(once.len() <= x.len());
+        assert_eq!(tuples_sorted(&once), tuples_sorted(&twice));
+        assert!(once.len() <= x.len());
     }
+}
 
-    #[test]
-    fn project_is_idempotent(x in relation_ab()) {
+#[test]
+fn project_is_idempotent() {
+    let mut rng = XorShift::new(0xE105);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
         let p1 = x.project(&["a"]).unwrap();
         let p2 = p1.project(&["a"]).unwrap();
-        prop_assert_eq!(tuples_sorted(&p1), tuples_sorted(&p2));
+        assert_eq!(tuples_sorted(&p1), tuples_sorted(&p2));
         // Projection never increases cardinality.
-        prop_assert!(p1.len() <= x.len());
+        assert!(p1.len() <= x.len());
     }
+}
 
-    /// Natural join agrees with the nested-loop definition.
-    #[test]
-    fn join_matches_nested_loop_semantics(x in relation_ab(), y in relation_bc()) {
+/// Natural join agrees with the nested-loop definition.
+#[test]
+fn join_matches_nested_loop_semantics() {
+    let mut rng = XorShift::new(0xE106);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
+        let y = gen_relation_bc(&mut rng);
         let joined = x.join(&y).unwrap();
         let mut expected: Vec<Vec<Value>> = Vec::new();
         for tx in x.tuples() {
@@ -106,20 +134,30 @@ proptest! {
             }
         }
         expected.sort_by_key(|t| {
-            t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+            t.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
         });
         expected.dedup();
         let mut actual = tuples_sorted(&joined);
         actual.sort_by_key(|t| {
-            t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+            t.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
         });
-        prop_assert_eq!(actual, expected);
+        assert_eq!(actual, expected);
     }
+}
 
-    /// Joining with a renamed copy of itself on all columns is identity.
-    #[test]
-    fn self_join_is_identity(x in relation_ab()) {
+/// Joining with a renamed copy of itself on all columns is identity.
+#[test]
+fn self_join_is_identity() {
+    let mut rng = XorShift::new(0xE107);
+    for _ in 0..256 {
+        let x = gen_relation_ab(&mut rng);
         let joined = x.join(&x).unwrap();
-        prop_assert_eq!(tuples_sorted(&joined), tuples_sorted(&x));
+        assert_eq!(tuples_sorted(&joined), tuples_sorted(&x));
     }
 }

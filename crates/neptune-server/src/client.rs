@@ -93,7 +93,11 @@ impl Client {
     }
 
     /// `addNode`.
-    pub fn add_node(&mut self, context: ContextId, keep_history: bool) -> Result<(NodeIndex, Time)> {
+    pub fn add_node(
+        &mut self,
+        context: ContextId,
+        keep_history: bool,
+    ) -> Result<(NodeIndex, Time)> {
         expect!(self, Request::AddNode { context, keep_history },
             Response::NodeCreated(id, t) => (id, t), "NodeCreated")
     }
@@ -470,5 +474,11 @@ impl Client {
     /// Force a checkpoint on the server.
     pub fn checkpoint(&mut self) -> Result<()> {
         expect!(self, Request::Checkpoint, Response::Ok => (), "Ok")
+    }
+
+    /// Run the integrity verifier over the server's store. An empty vector
+    /// means the store is clean.
+    pub fn verify(&mut self) -> Result<Vec<neptune_check::Finding>> {
+        expect!(self, Request::Verify, Response::Findings(fs) => fs, "Findings")
     }
 }

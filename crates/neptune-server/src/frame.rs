@@ -6,8 +6,6 @@
 
 use std::io::{Read, Write};
 
-use bytes::{BufMut, BytesMut};
-
 use neptune_storage::checksum::crc32;
 use neptune_storage::codec::{Decode, Encode};
 use neptune_storage::error::{Result, StorageError};
@@ -19,10 +17,10 @@ pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 /// Write one encodable message as a frame.
 pub fn write_frame<W: Write, T: Encode>(writer: &mut W, message: &T) -> Result<()> {
     let payload = message.to_bytes();
-    let mut frame = BytesMut::with_capacity(payload.len() + 8);
-    frame.put_u32_le(payload.len() as u32);
-    frame.put_u32_le(crc32(&payload));
-    frame.put_slice(&payload);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
     writer.write_all(&frame)?;
     writer.flush()?;
     Ok(())
@@ -38,13 +36,19 @@ pub fn read_frame<R: Read, T: Decode>(reader: &mut R) -> Result<T> {
     let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     if len > MAX_FRAME {
-        return Err(StorageError::InvalidTag { context: "frame length", tag: len as u64 });
+        return Err(StorageError::InvalidTag {
+            context: "frame length",
+            tag: len as u64,
+        });
     }
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload)?;
     let actual = crc32(&payload);
     if actual != expected_crc {
-        return Err(StorageError::ChecksumMismatch { expected: expected_crc, actual });
+        return Err(StorageError::ChecksumMismatch {
+            expected: expected_crc,
+            actual,
+        });
     }
     T::from_bytes(&payload)
 }

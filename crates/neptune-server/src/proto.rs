@@ -7,6 +7,7 @@
 //! Messages are encoded with the storage codec and framed by
 //! [`crate::frame`].
 
+use neptune_check::Finding;
 use neptune_ham::context::{ConflictPolicy, MergeReport};
 use neptune_ham::demons::{DemonSpec, Event};
 use neptune_ham::query::SubGraph;
@@ -19,7 +20,10 @@ use neptune_storage::diff::Difference;
 use neptune_storage::error::{Result as StorageResult, StorageError};
 
 fn encode_event(e: Event, w: &mut Writer) {
-    let tag = Event::ALL.iter().position(|x| *x == e).expect("event in ALL") as u8;
+    let tag = Event::ALL
+        .iter()
+        .position(|x| *x == e)
+        .expect("event in ALL") as u8;
     w.put_u8(tag);
 }
 
@@ -28,7 +32,10 @@ fn decode_event(r: &mut Reader<'_>) -> StorageResult<Event> {
     Event::ALL
         .get(tag as usize)
         .copied()
-        .ok_or(StorageError::InvalidTag { context: "Event", tag: tag as u64 })
+        .ok_or(StorageError::InvalidTag {
+            context: "Event",
+            tag: tag as u64,
+        })
 }
 
 fn encode_policy(p: ConflictPolicy, w: &mut Writer) {
@@ -44,7 +51,12 @@ fn decode_policy(r: &mut Reader<'_>) -> StorageResult<ConflictPolicy> {
         0 => ConflictPolicy::Fail,
         1 => ConflictPolicy::PreferChild,
         2 => ConflictPolicy::PreferParent,
-        tag => return Err(StorageError::InvalidTag { context: "ConflictPolicy", tag: tag as u64 }),
+        tag => {
+            return Err(StorageError::InvalidTag {
+                context: "ConflictPolicy",
+                tag: tag as u64,
+            })
+        }
     })
 }
 
@@ -370,6 +382,9 @@ pub enum Request {
     Checkpoint,
     /// Liveness probe.
     Ping,
+    /// Run the integrity verifier (`neptune-check`) over the server's
+    /// store: file scan plus every in-memory invariant.
+    Verify,
 }
 
 /// The server's answer to a [`Request`].
@@ -424,13 +439,18 @@ pub enum Response {
     Contexts(Vec<ContextId>),
     /// The operation failed; human-readable reason.
     Error(String),
+    /// Integrity-verifier results (empty = clean store).
+    Findings(Vec<Finding>),
 }
 
 impl Encode for Request {
     fn encode(&self, w: &mut Writer) {
         use Request::*;
         match self {
-            AddNode { context, keep_history } => {
+            AddNode {
+                context,
+                keep_history,
+            } => {
                 w.put_u8(0);
                 context.encode(w);
                 w.put_bool(*keep_history);
@@ -446,7 +466,13 @@ impl Encode for Request {
                 from.encode(w);
                 to.encode(w);
             }
-            CopyLink { context, link, time, keep_source, pt } => {
+            CopyLink {
+                context,
+                link,
+                time,
+                keep_source,
+                pt,
+            } => {
                 w.put_u8(3);
                 context.encode(w);
                 link.encode(w);
@@ -459,7 +485,15 @@ impl Encode for Request {
                 context.encode(w);
                 link.encode(w);
             }
-            LinearizeGraph { context, start, time, node_pred, link_pred, node_attrs, link_attrs } => {
+            LinearizeGraph {
+                context,
+                start,
+                time,
+                node_pred,
+                link_pred,
+                node_attrs,
+                link_attrs,
+            } => {
                 w.put_u8(5);
                 context.encode(w);
                 start.encode(w);
@@ -469,7 +503,14 @@ impl Encode for Request {
                 encode_seq(node_attrs, w);
                 encode_seq(link_attrs, w);
             }
-            GetGraphQuery { context, time, node_pred, link_pred, node_attrs, link_attrs } => {
+            GetGraphQuery {
+                context,
+                time,
+                node_pred,
+                link_pred,
+                node_attrs,
+                link_attrs,
+            } => {
                 w.put_u8(6);
                 context.encode(w);
                 time.encode(w);
@@ -478,14 +519,25 @@ impl Encode for Request {
                 encode_seq(node_attrs, w);
                 encode_seq(link_attrs, w);
             }
-            OpenNode { context, node, time, attrs } => {
+            OpenNode {
+                context,
+                node,
+                time,
+                attrs,
+            } => {
                 w.put_u8(7);
                 context.encode(w);
                 node.encode(w);
                 time.encode(w);
                 encode_seq(attrs, w);
             }
-            ModifyNode { context, node, time, contents, link_pts } => {
+            ModifyNode {
+                context,
+                node,
+                time,
+                contents,
+                link_pts,
+            } => {
                 w.put_u8(8);
                 context.encode(w);
                 node.encode(w);
@@ -498,7 +550,11 @@ impl Encode for Request {
                 context.encode(w);
                 node.encode(w);
             }
-            ChangeNodeProtection { context, node, protections } => {
+            ChangeNodeProtection {
+                context,
+                node,
+                protections,
+            } => {
                 w.put_u8(10);
                 context.encode(w);
                 node.encode(w);
@@ -509,20 +565,33 @@ impl Encode for Request {
                 context.encode(w);
                 node.encode(w);
             }
-            GetNodeDifferences { context, node, time1, time2 } => {
+            GetNodeDifferences {
+                context,
+                node,
+                time1,
+                time2,
+            } => {
                 w.put_u8(12);
                 context.encode(w);
                 node.encode(w);
                 time1.encode(w);
                 time2.encode(w);
             }
-            GetToNode { context, link, time } => {
+            GetToNode {
+                context,
+                link,
+                time,
+            } => {
                 w.put_u8(13);
                 context.encode(w);
                 link.encode(w);
                 time.encode(w);
             }
-            GetFromNode { context, link, time } => {
+            GetFromNode {
+                context,
+                link,
+                time,
+            } => {
                 w.put_u8(14);
                 context.encode(w);
                 link.encode(w);
@@ -533,7 +602,11 @@ impl Encode for Request {
                 context.encode(w);
                 time.encode(w);
             }
-            GetAttributeValues { context, attr, time } => {
+            GetAttributeValues {
+                context,
+                attr,
+                time,
+            } => {
                 w.put_u8(16);
                 context.encode(w);
                 attr.encode(w);
@@ -544,59 +617,99 @@ impl Encode for Request {
                 context.encode(w);
                 w.put_str(name);
             }
-            SetNodeAttributeValue { context, node, attr, value } => {
+            SetNodeAttributeValue {
+                context,
+                node,
+                attr,
+                value,
+            } => {
                 w.put_u8(18);
                 context.encode(w);
                 node.encode(w);
                 attr.encode(w);
                 value.encode(w);
             }
-            DeleteNodeAttribute { context, node, attr } => {
+            DeleteNodeAttribute {
+                context,
+                node,
+                attr,
+            } => {
                 w.put_u8(19);
                 context.encode(w);
                 node.encode(w);
                 attr.encode(w);
             }
-            GetNodeAttributeValue { context, node, attr, time } => {
+            GetNodeAttributeValue {
+                context,
+                node,
+                attr,
+                time,
+            } => {
                 w.put_u8(20);
                 context.encode(w);
                 node.encode(w);
                 attr.encode(w);
                 time.encode(w);
             }
-            GetNodeAttributes { context, node, time } => {
+            GetNodeAttributes {
+                context,
+                node,
+                time,
+            } => {
                 w.put_u8(21);
                 context.encode(w);
                 node.encode(w);
                 time.encode(w);
             }
-            SetLinkAttributeValue { context, link, attr, value } => {
+            SetLinkAttributeValue {
+                context,
+                link,
+                attr,
+                value,
+            } => {
                 w.put_u8(22);
                 context.encode(w);
                 link.encode(w);
                 attr.encode(w);
                 value.encode(w);
             }
-            DeleteLinkAttribute { context, link, attr } => {
+            DeleteLinkAttribute {
+                context,
+                link,
+                attr,
+            } => {
                 w.put_u8(23);
                 context.encode(w);
                 link.encode(w);
                 attr.encode(w);
             }
-            GetLinkAttributeValue { context, link, attr, time } => {
+            GetLinkAttributeValue {
+                context,
+                link,
+                attr,
+                time,
+            } => {
                 w.put_u8(24);
                 context.encode(w);
                 link.encode(w);
                 attr.encode(w);
                 time.encode(w);
             }
-            GetLinkAttributes { context, link, time } => {
+            GetLinkAttributes {
+                context,
+                link,
+                time,
+            } => {
                 w.put_u8(25);
                 context.encode(w);
                 link.encode(w);
                 time.encode(w);
             }
-            SetGraphDemonValue { context, event, demon } => {
+            SetGraphDemonValue {
+                context,
+                event,
+                demon,
+            } => {
                 w.put_u8(26);
                 context.encode(w);
                 encode_event(*event, w);
@@ -607,14 +720,23 @@ impl Encode for Request {
                 context.encode(w);
                 time.encode(w);
             }
-            SetNodeDemon { context, node, event, demon } => {
+            SetNodeDemon {
+                context,
+                node,
+                event,
+                demon,
+            } => {
                 w.put_u8(28);
                 context.encode(w);
                 node.encode(w);
                 encode_event(*event, w);
                 demon.encode(w);
             }
-            GetNodeDemons { context, node, time } => {
+            GetNodeDemons {
+                context,
+                node,
+                time,
+            } => {
                 w.put_u8(29);
                 context.encode(w);
                 node.encode(w);
@@ -639,6 +761,7 @@ impl Encode for Request {
             ListContexts => w.put_u8(36),
             Checkpoint => w.put_u8(37),
             Ping => w.put_u8(38),
+            Verify => w.put_u8(39),
         }
     }
 }
@@ -647,8 +770,14 @@ impl Decode for Request {
     fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
         use Request::*;
         Ok(match r.get_u8()? {
-            0 => AddNode { context: ContextId::decode(r)?, keep_history: r.get_bool()? },
-            1 => DeleteNode { context: ContextId::decode(r)?, node: NodeIndex::decode(r)? },
+            0 => AddNode {
+                context: ContextId::decode(r)?,
+                keep_history: r.get_bool()?,
+            },
+            1 => DeleteNode {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+            },
             2 => AddLink {
                 context: ContextId::decode(r)?,
                 from: LinkPt::decode(r)?,
@@ -661,7 +790,10 @@ impl Decode for Request {
                 keep_source: r.get_bool()?,
                 pt: LinkPt::decode(r)?,
             },
-            4 => DeleteLink { context: ContextId::decode(r)?, link: LinkIndex::decode(r)? },
+            4 => DeleteLink {
+                context: ContextId::decode(r)?,
+                link: LinkIndex::decode(r)?,
+            },
             5 => LinearizeGraph {
                 context: ContextId::decode(r)?,
                 start: NodeIndex::decode(r)?,
@@ -692,13 +824,19 @@ impl Decode for Request {
                 contents: r.get_bytes()?.to_vec(),
                 link_pts: decode_seq(r)?,
             },
-            9 => GetNodeTimeStamp { context: ContextId::decode(r)?, node: NodeIndex::decode(r)? },
+            9 => GetNodeTimeStamp {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+            },
             10 => ChangeNodeProtection {
                 context: ContextId::decode(r)?,
                 node: NodeIndex::decode(r)?,
                 protections: Protections::decode(r)?,
             },
-            11 => GetNodeVersions { context: ContextId::decode(r)?, node: NodeIndex::decode(r)? },
+            11 => GetNodeVersions {
+                context: ContextId::decode(r)?,
+                node: NodeIndex::decode(r)?,
+            },
             12 => GetNodeDifferences {
                 context: ContextId::decode(r)?,
                 node: NodeIndex::decode(r)?,
@@ -715,7 +853,10 @@ impl Decode for Request {
                 link: LinkIndex::decode(r)?,
                 time: Time::decode(r)?,
             },
-            15 => GetAttributes { context: ContextId::decode(r)?, time: Time::decode(r)? },
+            15 => GetAttributes {
+                context: ContextId::decode(r)?,
+                time: Time::decode(r)?,
+            },
             16 => GetAttributeValues {
                 context: ContextId::decode(r)?,
                 attr: AttributeIndex::decode(r)?,
@@ -774,7 +915,10 @@ impl Decode for Request {
                 event: decode_event(r)?,
                 demon: Option::<DemonSpec>::decode(r)?,
             },
-            27 => GetGraphDemons { context: ContextId::decode(r)?, time: Time::decode(r)? },
+            27 => GetGraphDemons {
+                context: ContextId::decode(r)?,
+                time: Time::decode(r)?,
+            },
             28 => SetNodeDemon {
                 context: ContextId::decode(r)?,
                 node: NodeIndex::decode(r)?,
@@ -789,13 +933,26 @@ impl Decode for Request {
             30 => BeginTransaction,
             31 => CommitTransaction,
             32 => AbortTransaction,
-            33 => CreateContext { from: ContextId::decode(r)? },
-            34 => MergeContext { child: ContextId::decode(r)?, policy: decode_policy(r)? },
-            35 => DestroyContext { id: ContextId::decode(r)? },
+            33 => CreateContext {
+                from: ContextId::decode(r)?,
+            },
+            34 => MergeContext {
+                child: ContextId::decode(r)?,
+                policy: decode_policy(r)?,
+            },
+            35 => DestroyContext {
+                id: ContextId::decode(r)?,
+            },
             36 => ListContexts,
             37 => Checkpoint,
             38 => Ping,
-            tag => return Err(StorageError::InvalidTag { context: "Request", tag: tag as u64 }),
+            39 => Verify,
+            tag => {
+                return Err(StorageError::InvalidTag {
+                    context: "Request",
+                    tag: tag as u64,
+                })
+            }
         })
     }
 }
@@ -872,7 +1029,12 @@ impl Encode for Response {
                 w.put_u8(3);
                 encode_subgraph(sg, w);
             }
-            Opened { contents, link_pts, values, current_time } => {
+            Opened {
+                contents,
+                link_pts,
+                values,
+                current_time,
+            } => {
                 w.put_u8(4);
                 w.put_bytes(contents);
                 encode_seq(link_pts, w);
@@ -945,6 +1107,10 @@ impl Encode for Response {
                 w.put_u8(19);
                 w.put_str(msg);
             }
+            Findings(fs) => {
+                w.put_u8(20);
+                encode_seq(fs, w);
+            }
         }
     }
 }
@@ -987,7 +1153,13 @@ impl Decode for Response {
             17 => A::Merged(decode_merge_report(r)?),
             18 => A::Contexts(decode_seq(r)?),
             19 => A::Error(r.get_str()?.to_owned()),
-            tag => return Err(StorageError::InvalidTag { context: "Response", tag: tag as u64 }),
+            20 => A::Findings(decode_seq(r)?),
+            tag => {
+                return Err(StorageError::InvalidTag {
+                    context: "Response",
+                    tag: tag as u64,
+                })
+            }
         })
     }
 }
@@ -999,8 +1171,14 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         let requests = vec![
-            Request::AddNode { context: ContextId(0), keep_history: true },
-            Request::DeleteNode { context: ContextId(0), node: NodeIndex(3) },
+            Request::AddNode {
+                context: ContextId(0),
+                keep_history: true,
+            },
+            Request::DeleteNode {
+                context: ContextId(0),
+                node: NodeIndex(3),
+            },
             Request::AddLink {
                 context: ContextId(1),
                 from: LinkPt::current(NodeIndex(1), 5),
@@ -1040,8 +1218,12 @@ mod tests {
                 demon: Some(DemonSpec::notify("d", "m")),
             },
             Request::BeginTransaction,
-            Request::MergeContext { child: ContextId(2), policy: ConflictPolicy::PreferChild },
+            Request::MergeContext {
+                child: ContextId(2),
+                policy: ConflictPolicy::PreferChild,
+            },
             Request::Ping,
+            Request::Verify,
         ];
         for req in requests {
             let decoded = Request::from_bytes(&req.to_bytes()).unwrap();
@@ -1083,6 +1265,12 @@ mod tests {
             }),
             Response::Contexts(vec![ContextId(0), ContextId(3)]),
             Response::Error("boom".into()),
+            Response::Findings(vec![Finding::new(
+                neptune_check::Severity::Error,
+                neptune_check::RULE_DELTA_CHAIN,
+                "context 0 node 3",
+                "delta at time 4 replays to 65 bytes, head holds 64",
+            )]),
         ];
         for resp in responses {
             let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();

@@ -12,11 +12,9 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 use neptune_ham::predicate::Predicate;
 use neptune_ham::types::Time;
@@ -34,6 +32,14 @@ struct Shared {
     txn_released: Condvar,
     shutdown: AtomicBool,
     next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Lock the server state, recovering from a poisoned mutex (a panicking
+    /// connection thread must not take the whole server down).
+    fn lock_state(&self) -> MutexGuard<'_, ServerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 struct ServerState {
@@ -67,7 +73,7 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let mut state = self.shared.state.lock();
+        let mut state = self.shared.lock_state();
         if state.ham.in_transaction() {
             let _ = state.ham.abort_transaction();
         }
@@ -89,7 +95,10 @@ pub fn serve(ham: Ham, addr: impl Into<String>) -> std::io::Result<ServerHandle>
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        state: Mutex::new(ServerState { ham, txn_owner: None }),
+        state: Mutex::new(ServerState {
+            ham,
+            txn_owner: None,
+        }),
         txn_released: Condvar::new(),
         shutdown: AtomicBool::new(false),
         next_conn: AtomicU64::new(1),
@@ -118,7 +127,11 @@ pub fn serve(ham: Ham, addr: impl Into<String>) -> std::io::Result<ServerHandle>
         }
     });
 
-    Ok(ServerHandle { addr: local, shared, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
 }
 
 fn handle_connection(
@@ -128,7 +141,9 @@ fn handle_connection(
 ) -> neptune_storage::error::Result<()> {
     stream.set_nodelay(true).ok();
     // Reads poll with a timeout so connection threads notice shutdown.
-    stream.set_read_timeout(Some(Duration::from_millis(100))).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
     let result = loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break Ok(());
@@ -146,7 +161,7 @@ fn handle_connection(
             Err(neptune_storage::StorageError::Io(e))
                 if e.kind() == std::io::ErrorKind::UnexpectedEof =>
             {
-                break Ok(()) // clean disconnect
+                break Ok(()); // clean disconnect
             }
             Err(e) => break Err(e),
         };
@@ -154,7 +169,7 @@ fn handle_connection(
         write_frame(&mut stream, &response)?;
     };
     // Abort an abandoned transaction.
-    let mut state = shared.state.lock();
+    let mut state = shared.lock_state();
     if state.txn_owner == Some(conn_id) {
         let _ = state.ham.abort_transaction();
         state.txn_owner = None;
@@ -165,14 +180,15 @@ fn handle_connection(
 
 /// Run one request under the transaction-ownership discipline.
 fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
-    let mut state = shared.state.lock();
+    let mut state = shared.lock_state();
     // Wait while another connection holds a transaction.
     while state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
-        let timed_out = shared
+        let (guard, timeout) = shared
             .txn_released
-            .wait_for(&mut state, LOCK_TIMEOUT)
-            .timed_out();
-        if timed_out && state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
+            .wait_timeout(state, LOCK_TIMEOUT)
+            .unwrap_or_else(PoisonError::into_inner);
+        state = guard;
+        if timeout.timed_out() && state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
             return Response::Error("timed out waiting for another client's transaction".into());
         }
     }
@@ -219,7 +235,10 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
     use Response as A;
     let result: neptune_ham::Result<Response> = (|| {
         Ok(match request {
-            Q::AddNode { context, keep_history } => {
+            Q::AddNode {
+                context,
+                keep_history,
+            } => {
                 let (id, t) = ham.add_node(context, keep_history)?;
                 A::NodeCreated(id, t)
             }
@@ -231,7 +250,13 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                 let (id, t) = ham.add_link(context, from, to)?;
                 A::LinkCreated(id, t)
             }
-            Q::CopyLink { context, link, time, keep_source, pt } => {
+            Q::CopyLink {
+                context,
+                link,
+                time,
+                keep_source,
+                pt,
+            } => {
                 let (id, t) = ham.copy_link(context, link, time, keep_source, pt)?;
                 A::LinkCreated(id, t)
             }
@@ -260,7 +285,14 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                     &link_attrs,
                 )?)
             }
-            Q::GetGraphQuery { context, time, node_pred, link_pred, node_attrs, link_attrs } => {
+            Q::GetGraphQuery {
+                context,
+                time,
+                node_pred,
+                link_pred,
+                node_attrs,
+                link_attrs,
+            } => {
                 let np = parse_pred(&node_pred)?;
                 let lp = parse_pred(&link_pred)?;
                 A::SubGraph(ham.get_graph_query(
@@ -272,7 +304,12 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                     &link_attrs,
                 )?)
             }
-            Q::OpenNode { context, node, time, attrs } => {
+            Q::OpenNode {
+                context,
+                node,
+                time,
+                attrs,
+            } => {
                 let opened = ham.open_node(context, node, time, &attrs)?;
                 A::Opened {
                     contents: opened.contents,
@@ -281,13 +318,21 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                     current_time: opened.current_time,
                 }
             }
-            Q::ModifyNode { context, node, time, contents, link_pts } => {
-                A::Time(ham.modify_node(context, node, time, contents, &link_pts)?)
-            }
+            Q::ModifyNode {
+                context,
+                node,
+                time,
+                contents,
+                link_pts,
+            } => A::Time(ham.modify_node(context, node, time, contents, &link_pts)?),
             Q::GetNodeTimeStamp { context, node } => {
                 A::Time(ham.get_node_time_stamp(context, node)?)
             }
-            Q::ChangeNodeProtection { context, node, protections } => {
+            Q::ChangeNodeProtection {
+                context,
+                node,
+                protections,
+            } => {
                 ham.change_node_protection(context, node, protections)?;
                 A::Ok
             }
@@ -295,64 +340,116 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                 let (major, minor) = ham.get_node_versions(context, node)?;
                 A::Versions(major, minor)
             }
-            Q::GetNodeDifferences { context, node, time1, time2 } => {
-                A::Differences(ham.get_node_differences(context, node, time1, time2)?)
-            }
-            Q::GetToNode { context, link, time } => {
+            Q::GetNodeDifferences {
+                context,
+                node,
+                time1,
+                time2,
+            } => A::Differences(ham.get_node_differences(context, node, time1, time2)?),
+            Q::GetToNode {
+                context,
+                link,
+                time,
+            } => {
                 let (n, t) = ham.get_to_node(context, link, time)?;
                 A::NodeAt(n, t)
             }
-            Q::GetFromNode { context, link, time } => {
+            Q::GetFromNode {
+                context,
+                link,
+                time,
+            } => {
                 let (n, t) = ham.get_from_node(context, link, time)?;
                 A::NodeAt(n, t)
             }
             Q::GetAttributes { context, time } => A::Attributes(ham.get_attributes(context, time)?),
-            Q::GetAttributeValues { context, attr, time } => {
-                A::Values(ham.get_attribute_values(context, attr, time)?)
-            }
+            Q::GetAttributeValues {
+                context,
+                attr,
+                time,
+            } => A::Values(ham.get_attribute_values(context, attr, time)?),
             Q::GetAttributeIndex { context, name } => {
                 A::AttrIndex(ham.get_attribute_index(context, &name)?)
             }
-            Q::SetNodeAttributeValue { context, node, attr, value } => {
+            Q::SetNodeAttributeValue {
+                context,
+                node,
+                attr,
+                value,
+            } => {
                 ham.set_node_attribute_value(context, node, attr, value)?;
                 A::Ok
             }
-            Q::DeleteNodeAttribute { context, node, attr } => {
+            Q::DeleteNodeAttribute {
+                context,
+                node,
+                attr,
+            } => {
                 ham.delete_node_attribute(context, node, attr)?;
                 A::Ok
             }
-            Q::GetNodeAttributeValue { context, node, attr, time } => {
-                A::Value(ham.get_node_attribute_value(context, node, attr, time)?)
-            }
-            Q::GetNodeAttributes { context, node, time } => {
-                A::AttrTriples(ham.get_node_attributes(context, node, time)?)
-            }
-            Q::SetLinkAttributeValue { context, link, attr, value } => {
+            Q::GetNodeAttributeValue {
+                context,
+                node,
+                attr,
+                time,
+            } => A::Value(ham.get_node_attribute_value(context, node, attr, time)?),
+            Q::GetNodeAttributes {
+                context,
+                node,
+                time,
+            } => A::AttrTriples(ham.get_node_attributes(context, node, time)?),
+            Q::SetLinkAttributeValue {
+                context,
+                link,
+                attr,
+                value,
+            } => {
                 ham.set_link_attribute_value(context, link, attr, value)?;
                 A::Ok
             }
-            Q::DeleteLinkAttribute { context, link, attr } => {
+            Q::DeleteLinkAttribute {
+                context,
+                link,
+                attr,
+            } => {
                 ham.delete_link_attribute(context, link, attr)?;
                 A::Ok
             }
-            Q::GetLinkAttributeValue { context, link, attr, time } => {
-                A::Value(ham.get_link_attribute_value(context, link, attr, time)?)
-            }
-            Q::GetLinkAttributes { context, link, time } => {
-                A::AttrTriples(ham.get_link_attributes(context, link, time)?)
-            }
-            Q::SetGraphDemonValue { context, event, demon } => {
+            Q::GetLinkAttributeValue {
+                context,
+                link,
+                attr,
+                time,
+            } => A::Value(ham.get_link_attribute_value(context, link, attr, time)?),
+            Q::GetLinkAttributes {
+                context,
+                link,
+                time,
+            } => A::AttrTriples(ham.get_link_attributes(context, link, time)?),
+            Q::SetGraphDemonValue {
+                context,
+                event,
+                demon,
+            } => {
                 ham.set_graph_demon_value(context, event, demon)?;
                 A::Ok
             }
             Q::GetGraphDemons { context, time } => A::Demons(ham.get_graph_demons(context, time)?),
-            Q::SetNodeDemon { context, node, event, demon } => {
+            Q::SetNodeDemon {
+                context,
+                node,
+                event,
+                demon,
+            } => {
                 ham.set_node_demon(context, node, event, demon)?;
                 A::Ok
             }
-            Q::GetNodeDemons { context, node, time } => {
-                A::Demons(ham.get_node_demons(context, node, time)?)
-            }
+            Q::GetNodeDemons {
+                context,
+                node,
+                time,
+            } => A::Demons(ham.get_node_demons(context, node, time)?),
             Q::CreateContext { from } => A::Context(ham.create_context(from)?),
             Q::MergeContext { child, policy } => A::Merged(ham.merge_context(child, policy)?),
             Q::DestroyContext { id } => {
@@ -365,6 +462,7 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                 A::Ok
             }
             Q::Ping => A::Ok,
+            Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 unreachable!("transaction control handled by execute()")
             }

@@ -1,8 +1,7 @@
-//! Property tests for the wire protocol: every generatable message must
-//! survive an encode/decode roundtrip, and arbitrary bytes must never
-//! panic the decoder (a hostile or corrupt peer can send anything).
-
-use proptest::prelude::*;
+//! Randomized (seeded, deterministic) tests for the wire protocol: every
+//! generatable message must survive an encode/decode roundtrip, and
+//! arbitrary bytes must never panic the decoder (a hostile or corrupt
+//! peer can send anything).
 
 use neptune_ham::context::ConflictPolicy;
 use neptune_ham::demons::{DemonSpec, Event};
@@ -10,169 +9,205 @@ use neptune_ham::types::{AttributeIndex, ContextId, LinkIndex, LinkPt, NodeIndex
 use neptune_ham::value::Value;
 use neptune_server::{Request, Response};
 use neptune_storage::codec::{Decode, Encode};
+use neptune_storage::testutil::XorShift;
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        "\\PC{0,24}".prop_map(Value::Str),
-        any::<i64>().prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
+fn gen_string(rng: &mut XorShift, max: usize) -> String {
+    let len = rng.below(max as u64 + 1) as usize;
+    (0..len)
+        .map(|_| match rng.below(5) {
+            0 => char::from(b'A' + rng.below(26) as u8),
+            1 => char::from(b'a' + rng.below(26) as u8),
+            2 => char::from(b'0' + rng.below(10) as u8),
+            3 => ['é', '→', '日'][rng.index(3)],
+            _ => ' ',
+        })
+        .collect()
+}
+
+fn gen_word(rng: &mut XorShift, max: usize) -> String {
+    let len = 1 + rng.below(max as u64) as usize;
+    (0..len)
+        .map(|_| char::from(b'a' + rng.below(26) as u8))
+        .collect()
+}
+
+fn gen_value(rng: &mut XorShift) -> Value {
+    match rng.below(4) {
+        0 => Value::Str(gen_string(rng, 24)),
+        1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Bool(rng.chance(1, 2)),
         // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
-        (-1e12f64..1e12).prop_map(Value::Float),
-    ]
+        _ => Value::Float((rng.next_u64() % 2_000_000) as f64 - 1_000_000.0),
+    }
 }
 
-fn linkpt_strategy() -> impl Strategy<Value = LinkPt> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(n, p, t, track)| LinkPt {
-        node: NodeIndex(n),
-        position: p,
-        time: Time(t),
-        track_current: track,
-    })
+fn gen_linkpt(rng: &mut XorShift) -> LinkPt {
+    LinkPt {
+        node: NodeIndex(rng.next_u64()),
+        position: rng.next_u64(),
+        time: Time(rng.next_u64()),
+        track_current: rng.chance(1, 2),
+    }
 }
 
-fn event_strategy() -> impl Strategy<Value = Event> {
-    (0usize..Event::ALL.len()).prop_map(|i| Event::ALL[i])
+fn gen_demon(rng: &mut XorShift) -> DemonSpec {
+    match rng.below(3) {
+        0 => DemonSpec::notify(gen_word(rng, 8), gen_string(rng, 20)),
+        1 => DemonSpec::mark_node(gen_word(rng, 8), gen_word(rng, 8), gen_value(rng)),
+        _ => DemonSpec::call(gen_word(rng, 8), gen_word(rng, 8)),
+    }
 }
 
-fn demon_strategy() -> impl Strategy<Value = DemonSpec> {
-    prop_oneof![
-        ("\\w{1,8}", "\\PC{0,20}").prop_map(|(n, m)| DemonSpec::notify(n, m)),
-        ("\\w{1,8}", "\\w{1,8}", value_strategy())
-            .prop_map(|(n, a, v)| DemonSpec::mark_node(n, a, v)),
-        ("\\w{1,8}", "\\w{1,8}").prop_map(|(n, c)| DemonSpec::call(n, c)),
-    ]
-}
-
-fn request_strategy() -> impl Strategy<Value = Request> {
-    let ctx = any::<u64>().prop_map(ContextId);
-    let node = any::<u64>().prop_map(NodeIndex);
-    let link = any::<u64>().prop_map(LinkIndex);
-    let time = any::<u64>().prop_map(Time);
-    let attr = any::<u64>().prop_map(AttributeIndex);
-    prop_oneof![
-        (ctx.clone(), any::<bool>())
-            .prop_map(|(context, keep_history)| Request::AddNode { context, keep_history }),
-        (ctx.clone(), node.clone())
-            .prop_map(|(context, node)| Request::DeleteNode { context, node }),
-        (ctx.clone(), linkpt_strategy(), linkpt_strategy())
-            .prop_map(|(context, from, to)| Request::AddLink { context, from, to }),
-        (ctx.clone(), link.clone(), time.clone(), any::<bool>(), linkpt_strategy()).prop_map(
-            |(context, link, time, keep_source, pt)| Request::CopyLink {
-                context,
-                link,
-                time,
-                keep_source,
-                pt
+fn gen_request(rng: &mut XorShift) -> Request {
+    match rng.below(13) {
+        0 => Request::AddNode {
+            context: ContextId(rng.next_u64()),
+            keep_history: rng.chance(1, 2),
+        },
+        1 => Request::DeleteNode {
+            context: ContextId(rng.next_u64()),
+            node: NodeIndex(rng.next_u64()),
+        },
+        2 => Request::AddLink {
+            context: ContextId(rng.next_u64()),
+            from: gen_linkpt(rng),
+            to: gen_linkpt(rng),
+        },
+        3 => Request::CopyLink {
+            context: ContextId(rng.next_u64()),
+            link: LinkIndex(rng.next_u64()),
+            time: Time(rng.next_u64()),
+            keep_source: rng.chance(1, 2),
+            pt: gen_linkpt(rng),
+        },
+        4 => Request::LinearizeGraph {
+            context: ContextId(rng.next_u64()),
+            start: NodeIndex(rng.next_u64()),
+            time: Time(rng.next_u64()),
+            node_pred: gen_string(rng, 30),
+            link_pred: gen_string(rng, 30),
+            node_attrs: (0..rng.below(4))
+                .map(|_| AttributeIndex(rng.next_u64()))
+                .collect(),
+            link_attrs: vec![],
+        },
+        5 => {
+            let len = rng.below(64) as usize;
+            Request::ModifyNode {
+                context: ContextId(rng.next_u64()),
+                node: NodeIndex(rng.next_u64()),
+                time: Time(rng.next_u64()),
+                contents: rng.bytes(len),
+                link_pts: (0..rng.below(4)).map(|_| gen_linkpt(rng)).collect(),
             }
-        ),
-        (
-            ctx.clone(),
-            node.clone(),
-            time.clone(),
-            "\\PC{0,30}",
-            "\\PC{0,30}",
-            proptest::collection::vec(any::<u64>().prop_map(AttributeIndex), 0..4),
-        )
-            .prop_map(|(context, start, time, node_pred, link_pred, node_attrs)| {
-                Request::LinearizeGraph {
-                    context,
-                    start,
-                    time,
-                    node_pred,
-                    link_pred,
-                    node_attrs,
-                    link_attrs: vec![],
-                }
-            }),
-        (
-            ctx.clone(),
-            node.clone(),
-            time.clone(),
-            proptest::collection::vec(any::<u8>(), 0..64),
-            proptest::collection::vec(linkpt_strategy(), 0..4),
-        )
-            .prop_map(|(context, node, time, contents, link_pts)| Request::ModifyNode {
-                context,
-                node,
-                time,
-                contents,
-                link_pts
-            }),
-        (ctx.clone(), node.clone(), attr.clone(), value_strategy()).prop_map(
-            |(context, node, attr, value)| Request::SetNodeAttributeValue {
-                context,
-                node,
-                attr,
-                value
+        }
+        6 => Request::SetNodeAttributeValue {
+            context: ContextId(rng.next_u64()),
+            node: NodeIndex(rng.next_u64()),
+            attr: AttributeIndex(rng.next_u64()),
+            value: gen_value(rng),
+        },
+        7 => Request::SetGraphDemonValue {
+            context: ContextId(rng.next_u64()),
+            event: Event::ALL[rng.index(Event::ALL.len())],
+            demon: if rng.chance(1, 2) {
+                Some(gen_demon(rng))
+            } else {
+                None
+            },
+        },
+        8 => Request::BeginTransaction,
+        9 => Request::CommitTransaction,
+        10 => Request::AbortTransaction,
+        11 => Request::CreateContext {
+            from: ContextId(rng.next_u64()),
+        },
+        _ => match rng.below(4) {
+            0 => Request::MergeContext {
+                child: ContextId(rng.next_u64()),
+                policy: [
+                    ConflictPolicy::Fail,
+                    ConflictPolicy::PreferChild,
+                    ConflictPolicy::PreferParent,
+                ][rng.index(3)],
+            },
+            _ => Request::Ping,
+        },
+    }
+}
+
+fn gen_response(rng: &mut XorShift) -> Response {
+    match rng.below(7) {
+        0 => Response::Ok,
+        1 => Response::NodeCreated(NodeIndex(rng.next_u64()), Time(rng.next_u64())),
+        2 => {
+            let len = rng.below(64) as usize;
+            Response::Opened {
+                contents: rng.bytes(len),
+                link_pts: (0..rng.below(4)).map(|_| gen_linkpt(rng)).collect(),
+                values: (0..rng.below(4))
+                    .map(|_| {
+                        if rng.chance(1, 2) {
+                            Some(gen_value(rng))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+                current_time: Time(rng.next_u64()),
             }
+        }
+        3 => Response::Values((0..rng.below(6)).map(|_| gen_value(rng)).collect()),
+        4 => Response::Error(gen_string(rng, 40)),
+        5 => Response::TxnStarted(rng.next_u64()),
+        _ => Response::Contexts(
+            (0..rng.below(4))
+                .map(|_| ContextId(rng.next_u64()))
+                .collect(),
         ),
-        (ctx.clone(), event_strategy(), proptest::option::of(demon_strategy())).prop_map(
-            |(context, event, demon)| Request::SetGraphDemonValue { context, event, demon }
-        ),
-        Just(Request::BeginTransaction),
-        Just(Request::CommitTransaction),
-        Just(Request::AbortTransaction),
-        (ctx.clone()).prop_map(|from| Request::CreateContext { from }),
-        (ctx.clone(), prop_oneof![
-            Just(ConflictPolicy::Fail),
-            Just(ConflictPolicy::PreferChild),
-            Just(ConflictPolicy::PreferParent)
-        ])
-            .prop_map(|(child, policy)| Request::MergeContext { child, policy }),
-        Just(Request::Ping),
-    ]
+    }
 }
 
-fn response_strategy() -> impl Strategy<Value = Response> {
-    prop_oneof![
-        Just(Response::Ok),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(n, t)| Response::NodeCreated(NodeIndex(n), Time(t))),
-        (
-            proptest::collection::vec(any::<u8>(), 0..64),
-            proptest::collection::vec(linkpt_strategy(), 0..4),
-            proptest::collection::vec(proptest::option::of(value_strategy()), 0..4),
-            any::<u64>(),
-        )
-            .prop_map(|(contents, link_pts, values, t)| Response::Opened {
-                contents,
-                link_pts,
-                values,
-                current_time: Time(t)
-            }),
-        proptest::collection::vec(value_strategy(), 0..6).prop_map(Response::Values),
-        "\\PC{0,40}".prop_map(Response::Error),
-        (any::<u64>()).prop_map(Response::TxnStarted),
-        proptest::collection::vec(any::<u64>().prop_map(ContextId), 0..4)
-            .prop_map(Response::Contexts),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn requests_roundtrip(req in request_strategy()) {
+#[test]
+fn requests_roundtrip() {
+    let mut rng = XorShift::new(0x7001);
+    for _ in 0..1000 {
+        let req = gen_request(&mut rng);
         let bytes = req.to_bytes();
         let decoded = Request::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(decoded, req);
+        assert_eq!(decoded, req);
     }
+}
 
-    #[test]
-    fn responses_roundtrip(resp in response_strategy()) {
+#[test]
+fn responses_roundtrip() {
+    let mut rng = XorShift::new(0x7002);
+    for _ in 0..1000 {
+        let resp = gen_response(&mut rng);
         let bytes = resp.to_bytes();
         let decoded = Response::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(decoded, resp);
+        assert_eq!(decoded, resp);
     }
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn arbitrary_bytes_never_panic_decoders() {
+    let mut rng = XorShift::new(0x7003);
+    for _ in 0..1000 {
+        let len = rng.below(200) as usize;
+        let bytes = rng.bytes(len);
         let _ = Request::from_bytes(&bytes);
         let _ = Response::from_bytes(&bytes);
     }
+}
 
-    #[test]
-    fn truncation_never_panics(req in request_strategy(), cut in 0usize..64) {
+#[test]
+fn truncation_never_panics() {
+    let mut rng = XorShift::new(0x7004);
+    for _ in 0..500 {
+        let req = gen_request(&mut rng);
         let bytes = req.to_bytes();
-        let cut = cut.min(bytes.len());
+        let cut = rng.index(bytes.len() + 1);
         let _ = Request::from_bytes(&bytes[..cut]);
     }
 }

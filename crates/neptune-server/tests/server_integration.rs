@@ -31,32 +31,63 @@ fn full_document_workflow_over_the_wire() {
 
     // Build a small document.
     let (root, t_root) = c.add_node(MAIN_CONTEXT, true).unwrap();
-    c.modify_node(MAIN_CONTEXT, root, t_root, b"Neptune paper\n".to_vec(), vec![]).unwrap();
+    c.modify_node(
+        MAIN_CONTEXT,
+        root,
+        t_root,
+        b"Neptune paper\n".to_vec(),
+        vec![],
+    )
+    .unwrap();
     let (sec, t_sec) = c.add_node(MAIN_CONTEXT, true).unwrap();
-    c.modify_node(MAIN_CONTEXT, sec, t_sec, b"Section 1\n".to_vec(), vec![]).unwrap();
+    c.modify_node(MAIN_CONTEXT, sec, t_sec, b"Section 1\n".to_vec(), vec![])
+        .unwrap();
     let (link, _) = c
-        .add_link(MAIN_CONTEXT, LinkPt::current(root, 8), LinkPt::current(sec, 0))
+        .add_link(
+            MAIN_CONTEXT,
+            LinkPt::current(root, 8),
+            LinkPt::current(sec, 0),
+        )
         .unwrap();
 
     let rel = c.get_attribute_index(MAIN_CONTEXT, "relation").unwrap();
-    c.set_link_attribute_value(MAIN_CONTEXT, link, rel, Value::str("isPartOf")).unwrap();
+    c.set_link_attribute_value(MAIN_CONTEXT, link, rel, Value::str("isPartOf"))
+        .unwrap();
     let icon = c.get_attribute_index(MAIN_CONTEXT, "icon").unwrap();
-    c.set_node_attribute_value(MAIN_CONTEXT, root, icon, Value::str("root")).unwrap();
+    c.set_node_attribute_value(MAIN_CONTEXT, root, icon, Value::str("root"))
+        .unwrap();
 
     // Query it back.
     let sg = c
-        .get_graph_query(MAIN_CONTEXT, Time::CURRENT, "true", "relation = isPartOf", vec![icon], vec![rel])
+        .get_graph_query(
+            MAIN_CONTEXT,
+            Time::CURRENT,
+            "true",
+            "relation = isPartOf",
+            vec![icon],
+            vec![rel],
+        )
         .unwrap();
     assert_eq!(sg.nodes.len(), 2);
     assert_eq!(sg.links.len(), 1);
 
     let lin = c
-        .linearize_graph(MAIN_CONTEXT, root, Time::CURRENT, "true", "true", vec![], vec![])
+        .linearize_graph(
+            MAIN_CONTEXT,
+            root,
+            Time::CURRENT,
+            "true",
+            "true",
+            vec![],
+            vec![],
+        )
         .unwrap();
     assert_eq!(lin.node_ids(), vec![root, sec]);
 
     // Node operations.
-    let opened = c.open_node(MAIN_CONTEXT, root, Time::CURRENT, vec![icon]).unwrap();
+    let opened = c
+        .open_node(MAIN_CONTEXT, root, Time::CURRENT, vec![icon])
+        .unwrap();
     assert_eq!(opened.contents, b"Neptune paper\n".to_vec());
     assert_eq!(opened.values, vec![Some(Value::str("root"))]);
     assert_eq!(opened.link_pts.len(), 1);
@@ -69,11 +100,18 @@ fn full_document_workflow_over_the_wire() {
     assert!(!minor.is_empty());
 
     let t1 = major[0].time;
-    let diffs = c.get_node_differences(MAIN_CONTEXT, root, t1, Time::CURRENT).unwrap();
+    let diffs = c
+        .get_node_differences(MAIN_CONTEXT, root, t1, Time::CURRENT)
+        .unwrap();
     assert_eq!(diffs.len(), 1);
 
     // Error paths come back as server errors, not protocol failures.
-    let err = c.open_node(MAIN_CONTEXT, neptune_ham::NodeIndex(999), Time::CURRENT, vec![]);
+    let err = c.open_node(
+        MAIN_CONTEXT,
+        neptune_ham::NodeIndex(999),
+        Time::CURRENT,
+        vec![],
+    );
     assert!(matches!(err, Err(neptune_server::ClientError::Server(_))));
 
     server.stop();
@@ -86,13 +124,27 @@ fn transactions_isolate_concurrent_clients() {
     let mut other = Client::connect(server.addr()).unwrap();
 
     let (node, t0) = writer.add_node(MAIN_CONTEXT, true).unwrap();
-    writer.modify_node(MAIN_CONTEXT, node, t0, b"committed state\n".to_vec(), vec![]).unwrap();
+    writer
+        .modify_node(
+            MAIN_CONTEXT,
+            node,
+            t0,
+            b"committed state\n".to_vec(),
+            vec![],
+        )
+        .unwrap();
 
     // Writer opens a transaction and mutates.
     writer.begin_transaction().unwrap();
     let t = writer.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
     writer
-        .modify_node(MAIN_CONTEXT, node, t, b"uncommitted edit\n".to_vec(), vec![])
+        .modify_node(
+            MAIN_CONTEXT,
+            node,
+            t,
+            b"uncommitted edit\n".to_vec(),
+            vec![],
+        )
         .unwrap();
 
     // The other client's request waits for the transaction; run it in a
@@ -100,7 +152,8 @@ fn transactions_isolate_concurrent_clients() {
     let addr = server.addr();
     let handle = std::thread::spawn(move || {
         let mut c = Client::connect(addr).unwrap();
-        c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![]).unwrap()
+        c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+            .unwrap()
     });
     std::thread::sleep(std::time::Duration::from_millis(100));
     writer.abort_transaction().unwrap();
@@ -108,7 +161,9 @@ fn transactions_isolate_concurrent_clients() {
     assert_eq!(seen.contents, b"committed state\n".to_vec());
 
     // After the abort, everyone sees the pre-transaction state.
-    let opened = other.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![]).unwrap();
+    let opened = other
+        .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+        .unwrap();
     assert_eq!(opened.contents, b"committed state\n".to_vec());
 
     // Commit/abort without ownership is an error.
@@ -124,20 +179,29 @@ fn disconnect_aborts_open_transaction() {
     let (server, _dir) = start("disconnect");
     let mut a = Client::connect(server.addr()).unwrap();
     let (node, t0) = a.add_node(MAIN_CONTEXT, true).unwrap();
-    a.modify_node(MAIN_CONTEXT, node, t0, b"safe\n".to_vec(), vec![]).unwrap();
+    a.modify_node(MAIN_CONTEXT, node, t0, b"safe\n".to_vec(), vec![])
+        .unwrap();
 
     {
         let mut doomed = Client::connect(server.addr()).unwrap();
         doomed.begin_transaction().unwrap();
         let t = doomed.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
         doomed
-            .modify_node(MAIN_CONTEXT, node, t, b"lost on disconnect\n".to_vec(), vec![])
+            .modify_node(
+                MAIN_CONTEXT,
+                node,
+                t,
+                b"lost on disconnect\n".to_vec(),
+                vec![],
+            )
             .unwrap();
         // Dropped here without commit: the server must abort for us.
     }
     // Give the server a moment to notice the disconnect.
     std::thread::sleep(std::time::Duration::from_millis(300));
-    let opened = a.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![]).unwrap();
+    let opened = a
+        .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+        .unwrap();
     assert_eq!(opened.contents, b"safe\n".to_vec());
     server.stop();
 }
@@ -154,13 +218,16 @@ fn state_survives_server_restart() {
         let mut c = Client::connect(server.addr()).unwrap();
         let (n, t0) = c.add_node(MAIN_CONTEXT, true).unwrap();
         node = n;
-        c.modify_node(MAIN_CONTEXT, n, t0, b"persistent\n".to_vec(), vec![]).unwrap();
+        c.modify_node(MAIN_CONTEXT, n, t0, b"persistent\n".to_vec(), vec![])
+            .unwrap();
         server.stop(); // checkpoints
     }
     let (ham, _) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
     let server = serve(ham, "127.0.0.1:0").unwrap();
     let mut c = Client::connect(server.addr()).unwrap();
-    let opened = c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![]).unwrap();
+    let opened = c
+        .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+        .unwrap();
     assert_eq!(opened.contents, b"persistent\n".to_vec());
     server.stop();
 }
@@ -171,7 +238,8 @@ fn contexts_and_demons_over_the_wire() {
     let mut c = Client::connect(server.addr()).unwrap();
 
     let (node, t0) = c.add_node(MAIN_CONTEXT, true).unwrap();
-    c.modify_node(MAIN_CONTEXT, node, t0, b"main\n".to_vec(), vec![]).unwrap();
+    c.modify_node(MAIN_CONTEXT, node, t0, b"main\n".to_vec(), vec![])
+        .unwrap();
 
     // Demons.
     c.set_graph_demon_value(
@@ -186,15 +254,20 @@ fn contexts_and_demons_over_the_wire() {
     // Contexts.
     let private = c.create_context(MAIN_CONTEXT).unwrap();
     let t = c.get_node_time_stamp(private, node).unwrap();
-    c.modify_node(private, node, t, b"private\n".to_vec(), vec![]).unwrap();
+    c.modify_node(private, node, t, b"private\n".to_vec(), vec![])
+        .unwrap();
     assert_eq!(
-        c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![]).unwrap().contents,
+        c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+            .unwrap()
+            .contents,
         b"main\n".to_vec()
     );
     let report = c.merge_context(private, ConflictPolicy::Fail).unwrap();
     assert_eq!(report.nodes_modified, vec![node]);
     assert_eq!(
-        c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![]).unwrap().contents,
+        c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+            .unwrap()
+            .contents,
         b"private\n".to_vec()
     );
     // The merge fired the demon on the main context's node.
@@ -218,7 +291,14 @@ fn contexts_and_demons_over_the_wire() {
 fn bad_predicate_comes_back_as_server_error() {
     let (server, _dir) = start("bad-pred");
     let mut c = Client::connect(server.addr()).unwrap();
-    let err = c.get_graph_query(MAIN_CONTEXT, Time::CURRENT, "document =", "true", vec![], vec![]);
+    let err = c.get_graph_query(
+        MAIN_CONTEXT,
+        Time::CURRENT,
+        "document =",
+        "true",
+        vec![],
+        vec![],
+    );
     match err {
         Err(neptune_server::ClientError::Server(msg)) => {
             assert!(msg.contains("predicate"), "{msg}");
@@ -299,13 +379,25 @@ fn many_clients_interleave_without_corruption() {
     }
     // Every node holds exactly what its writer wrote.
     for (n, i, j) in all {
-        let opened = c0.open_node(MAIN_CONTEXT, n, Time::CURRENT, vec![doc]).unwrap();
-        assert_eq!(opened.contents, format!("client {i} node {j}\n").into_bytes());
+        let opened = c0
+            .open_node(MAIN_CONTEXT, n, Time::CURRENT, vec![doc])
+            .unwrap();
+        assert_eq!(
+            opened.contents,
+            format!("client {i} node {j}\n").into_bytes()
+        );
         assert_eq!(opened.values[0], Some(Value::str(format!("client-{i}"))));
     }
     // And the query sees all 40.
     let sg = c0
-        .get_graph_query(MAIN_CONTEXT, Time::CURRENT, "exists(document)", "true", vec![], vec![])
+        .get_graph_query(
+            MAIN_CONTEXT,
+            Time::CURRENT,
+            "exists(document)",
+            "true",
+            vec![],
+            vec![],
+        )
         .unwrap();
     assert_eq!(sg.nodes.len(), 40);
     server.stop();

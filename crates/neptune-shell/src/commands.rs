@@ -38,6 +38,7 @@ Neptune shell — commands:
   refs <symbol>                        cross-references in code & docs
   begin / commit / abort               explicit transaction control
   checkpoint                           fold the log into a snapshot
+  check                                verify store integrity (fsck + lints)
   help                                 this text
   quit                                 leave
 ";
@@ -70,16 +71,32 @@ pub(crate) fn dispatch(shell: &mut Shell, command: &str, rest: &str) -> Result<S
         "demons" => {
             let ctx = shell.context;
             let node = shell.current;
-            Ok(inspect::demon_browser(&shell.ham, ctx, node, Time::CURRENT)?)
+            Ok(inspect::demon_browser(
+                &shell.ham,
+                ctx,
+                node,
+                Time::CURRENT,
+            )?)
         }
         "contexts" => {
-            let list: Vec<String> =
-                shell.ham.contexts().iter().map(|c| format!("ctx{}", c.0)).collect();
-            Ok(format!("contexts: {} (in ctx{})\n", list.join(", "), shell.context.0))
+            let list: Vec<String> = shell
+                .ham
+                .contexts()
+                .iter()
+                .map(|c| format!("ctx{}", c.0))
+                .collect();
+            Ok(format!(
+                "contexts: {} (in ctx{})\n",
+                list.join(", "),
+                shell.context.0
+            ))
         }
         "fork" => {
             let child = shell.ham.create_context(shell.context)?;
-            Ok(format!("forked ctx{} from ctx{}\n", child.0, shell.context.0))
+            Ok(format!(
+                "forked ctx{} from ctx{}\n",
+                child.0, shell.context.0
+            ))
         }
         "switch" => cmd_switch(shell, rest),
         "merge" => cmd_merge(shell, rest),
@@ -101,14 +118,25 @@ pub(crate) fn dispatch(shell: &mut Shell, command: &str, rest: &str) -> Result<S
             shell.ham.checkpoint()?;
             Ok("checkpointed\n".to_string())
         }
-        other => Err(ShellError::Usage(format!("unknown command '{other}' — try 'help'"))),
+        "check" => cmd_check(shell),
+        other => Err(ShellError::Usage(format!(
+            "unknown command '{other}' — try 'help'"
+        ))),
     }
 }
 
 fn cmd_graph(shell: &mut Shell, rest: &str) -> Result<String> {
     let mut parts = rest.splitn(2, "::");
-    let node_pred = parts.next().map(str::trim).filter(|s| !s.is_empty()).unwrap_or("true");
-    let link_pred = parts.next().map(str::trim).filter(|s| !s.is_empty()).unwrap_or("true");
+    let node_pred = parts
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .unwrap_or("true");
+    let link_pred = parts
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .unwrap_or("true");
     let browser = GraphBrowser::with_predicates(node_pred, link_pred);
     Ok(browser.render(&shell.ham, shell.context, Time::CURRENT)?)
 }
@@ -128,17 +156,29 @@ fn cmd_info(shell: &mut Shell) -> Result<String> {
 
 fn cmd_goto(shell: &mut Shell, rest: &str) -> Result<String> {
     let node = shell.parse_node(rest)?;
-    shell.ham.graph(shell.context)?.live_node(node, Time::CURRENT)?;
+    shell
+        .ham
+        .graph(shell.context)?
+        .live_node(node, Time::CURRENT)?;
     shell.current = Some(node);
     if shell.trail.is_none() {
-        shell.trail = Some(Trail::start(&mut shell.ham, shell.context, "session", node)?);
+        shell.trail = Some(Trail::start(
+            &mut shell.ham,
+            shell.context,
+            "session",
+            node,
+        )?);
     }
     cmd_view(shell)
 }
 
 fn cmd_cat(shell: &mut Shell, rest: &str) -> Result<String> {
     let node = shell.current_node()?;
-    let time = if rest.is_empty() { Time::CURRENT } else { shell.parse_time(rest)? };
+    let time = if rest.is_empty() {
+        Time::CURRENT
+    } else {
+        shell.parse_time(rest)?
+    };
     let opened = shell.ham.open_node(shell.context, node, time, &[])?;
     let mut out = String::from_utf8_lossy(&opened.contents).into_owned();
     if !out.ends_with('\n') {
@@ -162,7 +202,10 @@ fn cmd_view(shell: &mut Shell) -> Result<String> {
     if !view.links.is_empty() {
         out.push_str("links:\n");
         for (i, l) in view.links.iter().enumerate() {
-            out.push_str(&format!("  [{i}] @{} -> node {} ({})\n", l.offset, l.target.0, l.icon));
+            out.push_str(&format!(
+                "  [{i}] @{} -> node {} ({})\n",
+                l.offset, l.target.0, l.icon
+            ));
         }
     }
     Ok(out)
@@ -207,10 +250,16 @@ fn cmd_trail(shell: &mut Shell) -> Result<String> {
     match &shell.trail {
         None => Ok("no trail yet — 'goto' a node to start one\n".to_string()),
         Some(trail) => {
-            let mut out = format!("trail '{}' (stored in node {}):\n", trail.name, trail.node.0);
+            let mut out = format!(
+                "trail '{}' (stored in node {}):\n",
+                trail.name, trail.node.0
+            );
             for (i, step) in trail.steps().iter().enumerate() {
                 match step.link {
-                    Some(l) => out.push_str(&format!("  {i}: via link {} -> node {}\n", l.0, step.node.0)),
+                    Some(l) => out.push_str(&format!(
+                        "  {i}: via link {} -> node {}\n",
+                        l.0, step.node.0
+                    )),
                     None => out.push_str(&format!("  {i}: at node {}\n", step.node.0)),
                 }
             }
@@ -233,7 +282,9 @@ fn cmd_new(shell: &mut Shell, rest: &str) -> Result<String> {
 
 fn cmd_edit(shell: &mut Shell, rest: &str) -> Result<String> {
     let node = shell.current_node()?;
-    let opened = shell.ham.open_node(shell.context, node, Time::CURRENT, &[])?;
+    let opened = shell
+        .ham
+        .open_node(shell.context, node, Time::CURRENT, &[])?;
     let mut contents = opened.contents.clone();
     contents.extend_from_slice(rest.as_bytes());
     contents.push(b'\n');
@@ -257,7 +308,10 @@ fn cmd_link(shell: &mut Shell, rest: &str) -> Result<String> {
         LinkPt::current(node, offset),
         LinkPt::current(to, 0),
     )?;
-    Ok(format!("link {} : node {} @{} -> node {}\n", link.0, node.0, offset, to.0))
+    Ok(format!(
+        "link {} : node {} @{} -> node {}\n",
+        link.0, node.0, offset, to.0
+    ))
 }
 
 fn cmd_annotate(shell: &mut Shell, rest: &str) -> Result<String> {
@@ -267,7 +321,10 @@ fn cmd_annotate(shell: &mut Shell, rest: &str) -> Result<String> {
     }
     let ctx = shell.context;
     let a = annotate(&mut shell.ham, ctx, node, 0, &format!("{rest}\n"))?;
-    Ok(format!("annotation node {} linked via link {}\n", a.node.0, a.link.0))
+    Ok(format!(
+        "annotation node {} linked via link {}\n",
+        a.node.0, a.link.0
+    ))
 }
 
 fn cmd_history(shell: &mut Shell) -> Result<String> {
@@ -280,7 +337,13 @@ fn cmd_diff(shell: &mut Shell, rest: &str) -> Result<String> {
     let mut parts = rest.split_whitespace();
     let t1 = shell.parse_time(parts.next().unwrap_or(""))?;
     let t2 = shell.parse_time(parts.next().unwrap_or("now"))?;
-    Ok(neptune_document::diffview::render(&shell.ham, shell.context, node, t1, t2)?)
+    Ok(neptune_document::diffview::render(
+        &shell.ham,
+        shell.context,
+        node,
+        t1,
+        t2,
+    )?)
 }
 
 fn cmd_set(shell: &mut Shell, rest: &str) -> Result<String> {
@@ -290,7 +353,9 @@ fn cmd_set(shell: &mut Shell, rest: &str) -> Result<String> {
         .ok_or_else(|| ShellError::Usage("set <attr> <value>".to_string()))?;
     let idx = shell.ham.get_attribute_index(shell.context, attr)?;
     let value = Value::parse_literal(value.trim());
-    shell.ham.set_node_attribute_value(shell.context, node, idx, value.clone())?;
+    shell
+        .ham
+        .set_node_attribute_value(shell.context, node, idx, value.clone())?;
     Ok(format!("node {}: {attr} = {value}\n", node.0))
 }
 
@@ -300,7 +365,10 @@ fn cmd_get(shell: &mut Shell, rest: &str) -> Result<String> {
     let Some(idx) = graph.attr_table.lookup(rest.trim()) else {
         return Ok(format!("{} is not set\n", rest.trim()));
     };
-    match shell.ham.get_node_attribute_value(shell.context, node, idx, Time::CURRENT) {
+    match shell
+        .ham
+        .get_node_attribute_value(shell.context, node, idx, Time::CURRENT)
+    {
         Ok(v) => Ok(format!("{} = {v}\n", rest.trim())),
         Err(_) => Ok(format!("{} is not set\n", rest.trim())),
     }
@@ -371,13 +439,33 @@ fn cmd_merge(shell: &mut Shell, rest: &str) -> Result<String> {
 }
 
 fn cmd_sql(shell: &mut Shell, rest: &str) -> Result<String> {
-    let attrs: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let attrs: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     if attrs.is_empty() {
         return Err(ShellError::Usage("sql <attr[,attr...]>".to_string()));
     }
     let rel = nodes_relation(&shell.ham, shell.context, Time::CURRENT, &attrs)
         .map_err(|e| ShellError::Usage(e.to_string()))?;
     Ok(rel.render())
+}
+
+fn cmd_check(shell: &mut Shell) -> Result<String> {
+    let mut findings = neptune_check::verify_open_ham(&shell.ham);
+    let project = neptune_case::CaseProject::new(shell.context);
+    findings.extend(neptune_check::lint_project(&shell.ham, &project));
+    if findings.is_empty() {
+        return Ok("store is clean: 0 findings\n".to_string());
+    }
+    let mut out = String::new();
+    for f in &findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!("{} finding(s)\n", findings.len()));
+    Ok(out)
 }
 
 fn cmd_refs(shell: &mut Shell, rest: &str) -> Result<String> {
@@ -387,7 +475,8 @@ fn cmd_refs(shell: &mut Shell, rest: &str) -> Result<String> {
     let ctx = shell.context;
     let xref = build_xref(&mut shell.ham, ctx, Time::CURRENT)
         .map_err(|e| ShellError::Usage(e.to_string()))?;
-    let hits =
-        xref.references_to(rest.trim()).map_err(|e| ShellError::Usage(e.to_string()))?;
+    let hits = xref
+        .references_to(rest.trim())
+        .map_err(|e| ShellError::Usage(e.to_string()))?;
     Ok(hits.render())
 }

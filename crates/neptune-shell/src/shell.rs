@@ -59,12 +59,22 @@ impl Shell {
         } else {
             Ham::create_graph(directory, Protections::DEFAULT)?.0
         };
-        Ok(Shell { ham, context: MAIN_CONTEXT, current: None, trail: None })
+        Ok(Shell {
+            ham,
+            context: MAIN_CONTEXT,
+            current: None,
+            trail: None,
+        })
     }
 
     /// Start a session over an already-open HAM (used by tests).
     pub fn with_ham(ham: Ham) -> Shell {
-        Shell { ham, context: MAIN_CONTEXT, current: None, trail: None }
+        Shell {
+            ham,
+            context: MAIN_CONTEXT,
+            current: None,
+            trail: None,
+        }
     }
 
     /// The underlying machine (for embedding).

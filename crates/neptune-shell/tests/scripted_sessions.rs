@@ -13,7 +13,11 @@ fn fresh(name: &str) -> Shell {
 fn run(shell: &mut Shell, commands: &[&str]) -> Vec<String> {
     commands
         .iter()
-        .map(|c| shell.execute(c).unwrap_or_else(|e| panic!("command '{c}' failed: {e}")))
+        .map(|c| {
+            shell
+                .execute(c)
+                .unwrap_or_else(|e| panic!("command '{c}' failed: {e}"))
+        })
         .collect()
 }
 
@@ -88,7 +92,10 @@ fn queries_and_attribute_browser() {
 fn transactions_roll_back_from_the_shell() {
     let mut shell = fresh("txn");
     run(&mut shell, &["new", "edit keep me"]);
-    let out = run(&mut shell, &["begin", "new", "edit lose me", "abort", "info"]);
+    let out = run(
+        &mut shell,
+        &["begin", "new", "edit lose me", "abort", "info"],
+    );
     assert!(out[4].contains("1 live nodes"), "{}", out[4]);
 }
 
@@ -100,7 +107,14 @@ fn contexts_from_the_shell() {
     assert!(forked[0].contains("forked ctx1"));
     let out = run(
         &mut shell,
-        &["switch ctx1", "goto 1", "edit private world edit", "switch ctx0", "goto 1", "cat"],
+        &[
+            "switch ctx1",
+            "goto 1",
+            "edit private world edit",
+            "switch ctx0",
+            "goto 1",
+            "cat",
+        ],
     );
     assert!(!out[5].contains("private world edit"));
     let merged = run(&mut shell, &["merge 1"]);
@@ -133,7 +147,10 @@ fn diff_between_versions() {
 #[test]
 fn relational_views_from_the_shell() {
     let mut shell = fresh("sql");
-    run(&mut shell, &["new", "set document spec", "new", "set document design"]);
+    run(
+        &mut shell,
+        &["new", "set document spec", "new", "set document design"],
+    );
     let out = run(&mut shell, &["sql document"]);
     assert!(out[0].contains("| node"), "{}", out[0]);
     assert!(out[0].contains("spec"));
@@ -144,7 +161,10 @@ fn relational_views_from_the_shell() {
 fn errors_are_messages_not_crashes() {
     let mut shell = fresh("errors");
     assert!(matches!(shell.execute("bogus"), Err(ShellError::Usage(_))));
-    assert!(matches!(shell.execute("cat"), Err(ShellError::NoCurrentNode)));
+    assert!(matches!(
+        shell.execute("cat"),
+        Err(ShellError::NoCurrentNode)
+    ));
     assert!(matches!(shell.execute("goto 999"), Err(ShellError::Ham(_))));
     assert!(matches!(shell.execute("quit"), Err(ShellError::Quit)));
     // Comments and blank lines are no-ops.
@@ -154,8 +174,7 @@ fn errors_are_messages_not_crashes() {
 
 #[test]
 fn reopen_preserves_session_work() {
-    let dir =
-        std::env::temp_dir().join(format!("neptune-shell-reopen-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("neptune-shell-reopen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     {
         let mut shell = Shell::open(&dir).unwrap();

@@ -46,7 +46,11 @@ impl Archive {
     /// assert_eq!(a.checkout(0).unwrap(), b"v2"); // 0 = current
     /// ```
     pub fn new(contents: Vec<u8>, time: u64) -> Self {
-        Archive { head: contents, head_time: time, entries: Vec::new() }
+        Archive {
+            head: contents,
+            head_time: time,
+            entries: Vec::new(),
+        }
     }
 
     /// Check in a new current version at `time`.
@@ -60,7 +64,10 @@ impl Archive {
         let back_delta = Delta::compute(&contents, &self.head);
         let old_head = std::mem::replace(&mut self.head, contents);
         debug_assert_eq!(back_delta.target_len() as usize, old_head.len());
-        self.entries.push(BackEntry { time: self.head_time, back_delta });
+        self.entries.push(BackEntry {
+            time: self.head_time,
+            back_delta,
+        });
         self.head_time = time;
         Ok(())
     }
@@ -145,12 +152,51 @@ impl Archive {
         Ok(())
     }
 
+    /// Walk the entire backward-delta chain verifying structural integrity:
+    /// version times must be strictly increasing, every delta must apply
+    /// cleanly to its successor's contents, and the bytes each delta
+    /// produces must have the length the delta itself claims. `checkout`
+    /// does none of these length checks, so a corrupted `target_len` is
+    /// silent without this. Returns a description of the first problem.
+    pub fn verify_chain(&self) -> std::result::Result<(), String> {
+        let times = self.version_times();
+        if let Some(w) = times.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!(
+                "version times out of order: {} then {}",
+                w[0], w[1]
+            ));
+        }
+        let mut current = self.head.clone();
+        for entry in self.entries.iter().rev() {
+            let rebuilt = entry.back_delta.apply(&current).map_err(|e| {
+                format!(
+                    "delta for version at time {} fails to apply: {e}",
+                    entry.time
+                )
+            })?;
+            if rebuilt.len() as u64 != entry.back_delta.target_len() {
+                return Err(format!(
+                    "delta for version at time {} produced {} bytes but claims {}",
+                    entry.time,
+                    rebuilt.len(),
+                    entry.back_delta.target_len()
+                ));
+            }
+            current = rebuilt;
+        }
+        Ok(())
+    }
+
     /// Total bytes of stored state: head plus all encoded deltas. This is
     /// the quantity the paper's backward-delta design minimizes relative to
     /// keeping every version in full.
     pub fn storage_bytes(&self) -> u64 {
         self.head.len() as u64
-            + self.entries.iter().map(|e| e.back_delta.storage_size()).sum::<u64>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.back_delta.storage_size())
+                .sum::<u64>()
     }
 
     /// Sum of the lengths of every version in full — what naive full-copy
@@ -189,7 +235,11 @@ impl Decode for Archive {
             let back_delta = Delta::decode(r)?;
             entries.push(BackEntry { time, back_delta });
         }
-        Ok(Archive { head, head_time, entries })
+        Ok(Archive {
+            head,
+            head_time,
+            entries,
+        })
     }
 }
 
@@ -223,7 +273,11 @@ mod tests {
         let a = build(25);
         assert_eq!(a.version_count(), 25);
         for i in 0..25 {
-            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i), "version {i}");
+            assert_eq!(
+                a.checkout((i + 1) as u64).unwrap(),
+                version(i),
+                "version {i}"
+            );
         }
     }
 
@@ -249,7 +303,10 @@ mod tests {
     fn time_before_creation_is_an_error() {
         let mut a = Archive::new(b"v1".to_vec(), 5);
         a.checkin(b"v2".to_vec(), 10).unwrap();
-        assert!(matches!(a.checkout(3), Err(StorageError::NoSuchVersion { time: 3 })));
+        assert!(matches!(
+            a.checkout(3),
+            Err(StorageError::NoSuchVersion { time: 3 })
+        ));
     }
 
     #[test]
@@ -316,7 +373,11 @@ mod tests {
         assert_eq!(a.checkout(0).unwrap(), b"new branch tip".to_vec());
         assert_eq!(a.checkout(1).unwrap(), version(0));
         assert_eq!(a.checkout(2).unwrap(), version(1));
-        assert_eq!(a.checkout(5).unwrap(), version(1), "times 3..8 resolve to v2");
+        assert_eq!(
+            a.checkout(5).unwrap(),
+            version(1),
+            "times 3..8 resolve to v2"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ impl crate::codec::Encode for Protections {
 
 impl crate::codec::Decode for Protections {
     fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self> {
-        Ok(Protections { mode: r.get_u64()? as u32 })
+        Ok(Protections {
+            mode: r.get_u64()? as u32,
+        })
     }
 }
 

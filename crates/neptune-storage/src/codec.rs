@@ -26,7 +26,9 @@ impl Writer {
 
     /// Create a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Append an unsigned varint.
@@ -153,7 +155,10 @@ impl<'a> Reader<'a> {
         match self.get_u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(StorageError::InvalidTag { context: "bool", tag: tag as u64 }),
+            tag => Err(StorageError::InvalidTag {
+                context: "bool",
+                tag: tag as u64,
+            }),
         }
     }
 
@@ -215,7 +220,10 @@ pub trait Decode: Sized {
         let mut r = Reader::new(bytes);
         let v = Self::decode(&mut r)?;
         if !r.is_at_end() {
-            return Err(StorageError::InvalidTag { context: "trailing bytes", tag: r.remaining() as u64 });
+            return Err(StorageError::InvalidTag {
+                context: "trailing bytes",
+                tag: r.remaining() as u64,
+            });
         }
         Ok(v)
     }
@@ -240,7 +248,10 @@ impl Encode for u32 {
 impl Decode for u32 {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let v = r.get_u64()?;
-        u32::try_from(v).map_err(|_| StorageError::InvalidTag { context: "u32", tag: v })
+        u32::try_from(v).map_err(|_| StorageError::InvalidTag {
+            context: "u32",
+            tag: v,
+        })
     }
 }
 
@@ -321,7 +332,10 @@ impl<T: Decode> Decode for Option<T> {
         match r.get_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(StorageError::InvalidTag { context: "Option", tag: tag as u64 }),
+            tag => Err(StorageError::InvalidTag {
+                context: "Option",
+                tag: tag as u64,
+            }),
         }
     }
 }

@@ -66,7 +66,10 @@ impl Delta {
                                 continue;
                             }
                         }
-                        ops.push(DeltaOp::Copy { offset: start, len: end - start });
+                        ops.push(DeltaOp::Copy {
+                            offset: start,
+                            len: end - start,
+                        });
                     }
                 }
                 HunkKind::Insert => {
@@ -85,7 +88,10 @@ impl Delta {
                 HunkKind::Delete => {}
             }
         }
-        Delta { ops, target_len: target.len() as u64 }
+        Delta {
+            ops,
+            target_len: target.len() as u64,
+        }
     }
 
     /// Rebuild the target buffer from `base`.
@@ -95,9 +101,13 @@ impl Delta {
             match op {
                 DeltaOp::Copy { offset, len } => {
                     let start = *offset as usize;
-                    let end = start
-                        .checked_add(*len as usize)
-                        .ok_or(StorageError::DeltaOutOfRange { offset: *offset, base_len: base.len() as u64 })?;
+                    let end =
+                        start
+                            .checked_add(*len as usize)
+                            .ok_or(StorageError::DeltaOutOfRange {
+                                offset: *offset,
+                                base_len: base.len() as u64,
+                            })?;
                     let slice = base.get(start..end).ok_or(StorageError::DeltaOutOfRange {
                         offset: *offset,
                         base_len: base.len() as u64,
@@ -170,9 +180,17 @@ impl Decode for Delta {
         let mut ops = Vec::with_capacity(count.min(r.remaining()));
         for _ in 0..count {
             ops.push(match r.get_u8()? {
-                0 => DeltaOp::Copy { offset: r.get_u64()?, len: r.get_u64()? },
+                0 => DeltaOp::Copy {
+                    offset: r.get_u64()?,
+                    len: r.get_u64()?,
+                },
                 1 => DeltaOp::Add(r.get_bytes()?.to_vec()),
-                tag => return Err(StorageError::InvalidTag { context: "DeltaOp", tag: tag as u64 }),
+                tag => {
+                    return Err(StorageError::InvalidTag {
+                        context: "DeltaOp",
+                        tag: tag as u64,
+                    })
+                }
             });
         }
         Ok(Delta { ops, target_len })
@@ -203,7 +221,10 @@ mod tests {
     #[test]
     fn small_edit_produces_small_delta() {
         // 1000 lines, one changed: delta literal payload should be ~1 line.
-        let base: Vec<u8> = (0..1000).map(|i| format!("line number {i}\n")).collect::<String>().into_bytes();
+        let base: Vec<u8> = (0..1000)
+            .map(|i| format!("line number {i}\n"))
+            .collect::<String>()
+            .into_bytes();
         let mut target_str = String::new();
         for i in 0..1000 {
             if i == 500 {
@@ -240,13 +261,25 @@ mod tests {
 
     #[test]
     fn apply_rejects_out_of_range_copy() {
-        let d = Delta { ops: vec![DeltaOp::Copy { offset: 10, len: 5 }], target_len: 5 };
-        assert!(matches!(d.apply(b"short"), Err(StorageError::DeltaOutOfRange { .. })));
+        let d = Delta {
+            ops: vec![DeltaOp::Copy { offset: 10, len: 5 }],
+            target_len: 5,
+        };
+        assert!(matches!(
+            d.apply(b"short"),
+            Err(StorageError::DeltaOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn apply_rejects_overflowing_copy() {
-        let d = Delta { ops: vec![DeltaOp::Copy { offset: u64::MAX, len: u64::MAX }], target_len: 1 };
+        let d = Delta {
+            ops: vec![DeltaOp::Copy {
+                offset: u64::MAX,
+                len: u64::MAX,
+            }],
+            target_len: 1,
+        };
         assert!(d.apply(b"x").is_err());
     }
 
@@ -255,7 +288,10 @@ mod tests {
         let d = Delta::compute(b"one\ntwo\nthree\n", b"one\n2\nthree\nfour\n");
         let decoded = Delta::from_bytes(&d.to_bytes()).unwrap();
         assert_eq!(decoded, d);
-        assert_eq!(decoded.apply(b"one\ntwo\nthree\n").unwrap(), b"one\n2\nthree\nfour\n".to_vec());
+        assert_eq!(
+            decoded.apply(b"one\ntwo\nthree\n").unwrap(),
+            b"one\n2\nthree\nfour\n".to_vec()
+        );
     }
 
     #[test]

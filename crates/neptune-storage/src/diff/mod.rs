@@ -88,7 +88,12 @@ mod tests {
         ];
         for (a, b) in cases {
             let hs = diff_lines(a, b);
-            assert_eq!(reconstruct_b(a, b, &hs), b.to_vec(), "case {:?}", String::from_utf8_lossy(a));
+            assert_eq!(
+                reconstruct_b(a, b, &hs),
+                b.to_vec(),
+                "case {:?}",
+                String::from_utf8_lossy(a)
+            );
         }
     }
 

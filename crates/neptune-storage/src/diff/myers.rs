@@ -45,7 +45,8 @@ pub fn diff_tokens(a: &[u32], b: &[u32]) -> Vec<DiffOp> {
         prefix += 1;
     }
     let mut suffix = 0;
-    while suffix < a.len() - prefix && suffix < b.len() - prefix
+    while suffix < a.len() - prefix
+        && suffix < b.len() - prefix
         && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
     {
         suffix += 1;
@@ -61,7 +62,10 @@ pub fn diff_tokens(a: &[u32], b: &[u32]) -> Vec<DiffOp> {
     let core_ops = myers_core(core_a, core_b);
     for op in core_ops {
         ops.push(match op {
-            DiffOp::Equal { a: i, b: j } => DiffOp::Equal { a: i + prefix, b: j + prefix },
+            DiffOp::Equal { a: i, b: j } => DiffOp::Equal {
+                a: i + prefix,
+                b: j + prefix,
+            },
             DiffOp::Delete { a: i } => DiffOp::Delete { a: i + prefix },
             DiffOp::Insert { b: j } => DiffOp::Insert { b: j + prefix },
         });
@@ -140,13 +144,29 @@ fn myers_core(a: &[u32], b: &[u32]) -> Vec<DiffOp> {
         } else {
             (k - 1, false)
         };
-        let prev_x = if d == 0 { 0 } else { v[(prev_k + offset) as usize] };
+        let prev_x = if d == 0 {
+            0
+        } else {
+            v[(prev_k + offset) as usize]
+        };
         let prev_y = (prev_x as isize - prev_k) as usize;
 
         // Snake: trailing matches on this diagonal. At d == 0 the whole path
         // from (0,0) is one snake with no preceding edit.
-        let snake_end_x = if d == 0 { 0 } else if down { prev_x } else { prev_x + 1 };
-        let snake_end_y = if d == 0 { 0 } else if down { prev_y + 1 } else { prev_y };
+        let snake_end_x = if d == 0 {
+            0
+        } else if down {
+            prev_x
+        } else {
+            prev_x + 1
+        };
+        let snake_end_y = if d == 0 {
+            0
+        } else if down {
+            prev_y + 1
+        } else {
+            prev_y
+        };
         while x > snake_end_x && y > snake_end_y {
             x -= 1;
             y -= 1;
@@ -206,7 +226,9 @@ mod tests {
     }
 
     fn edit_count(ops: &[DiffOp]) -> usize {
-        ops.iter().filter(|o| !matches!(o, DiffOp::Equal { .. })).count()
+        ops.iter()
+            .filter(|o| !matches!(o, DiffOp::Equal { .. }))
+            .count()
     }
 
     #[test]

@@ -162,7 +162,11 @@ impl Encode for Difference {
                 w.put_u64(*at as u64);
                 crate::codec::encode_seq(new_lines, w);
             }
-            Difference::Replacement { at, old_lines, new_lines } => {
+            Difference::Replacement {
+                at,
+                old_lines,
+                new_lines,
+            } => {
                 w.put_u8(2);
                 w.put_u64(*at as u64);
                 crate::codec::encode_seq(old_lines, w);
@@ -188,7 +192,10 @@ impl Decode for Difference {
                 old_lines: crate::codec::decode_seq(r)?,
                 new_lines: crate::codec::decode_seq(r)?,
             }),
-            tag => Err(StorageError::InvalidTag { context: "Difference", tag: tag as u64 }),
+            tag => Err(StorageError::InvalidTag {
+                context: "Difference",
+                tag: tag as u64,
+            }),
         }
     }
 }
@@ -228,7 +235,11 @@ mod tests {
         let d = differences(b"a\nOLD\nc\n", b"a\nNEW\nc\n");
         assert_eq!(d.len(), 1);
         match &d[0] {
-            Difference::Replacement { at, old_lines, new_lines } => {
+            Difference::Replacement {
+                at,
+                old_lines,
+                new_lines,
+            } => {
                 assert_eq!(*at, 1);
                 assert_eq!(old_lines, &vec![b"OLD\n".to_vec()]);
                 assert_eq!(new_lines, &vec![b"NEW\n".to_vec()]);
@@ -256,8 +267,14 @@ mod tests {
     #[test]
     fn difference_codec_roundtrip() {
         let ds = vec![
-            Difference::Deletion { at: 3, old_lines: vec![b"x\n".to_vec()] },
-            Difference::Insertion { at: 0, new_lines: vec![b"y\n".to_vec(), b"z".to_vec()] },
+            Difference::Deletion {
+                at: 3,
+                old_lines: vec![b"x\n".to_vec()],
+            },
+            Difference::Insertion {
+                at: 0,
+                new_lines: vec![b"y\n".to_vec(), b"z".to_vec()],
+            },
             Difference::Replacement {
                 at: 7,
                 old_lines: vec![b"a\n".to_vec()],

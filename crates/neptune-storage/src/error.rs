@@ -67,7 +67,10 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
             StorageError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             StorageError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of input while decoding {context}")
@@ -78,7 +81,10 @@ impl fmt::Display for StorageError {
             StorageError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             StorageError::InvalidUtf8 => write!(f, "invalid utf-8 in decoded string"),
             StorageError::DeltaOutOfRange { offset, base_len } => {
-                write!(f, "delta copy at offset {offset} exceeds base length {base_len}")
+                write!(
+                    f,
+                    "delta copy at offset {offset} exceeds base length {base_len}"
+                )
             }
             StorageError::NoSuchVersion { time } => write!(f, "no version at time {time}"),
             StorageError::NotFound { id } => write!(f, "object {id} not found"),
@@ -116,13 +122,21 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = StorageError::ChecksumMismatch { expected: 1, actual: 2 };
+        let e = StorageError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("checksum mismatch"));
-        let e = StorageError::UnexpectedEof { context: "node header" };
+        let e = StorageError::UnexpectedEof {
+            context: "node header",
+        };
         assert!(e.to_string().contains("node header"));
         let e = StorageError::NoSuchVersion { time: 42 };
         assert!(e.to_string().contains("42"));
-        let e = StorageError::CorruptLog { offset: 10, reason: "short read" };
+        let e = StorageError::CorruptLog {
+            offset: 10,
+            reason: "short read",
+        };
         assert!(e.to_string().contains("short read"));
     }
 

@@ -36,6 +36,7 @@ pub mod delta;
 pub mod diff;
 pub mod error;
 pub mod snapshot;
+pub mod testutil;
 pub mod varint;
 pub mod wal;
 

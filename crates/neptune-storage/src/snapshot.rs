@@ -42,13 +42,17 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Vec<u8>> {
     let bytes = fs::read(path.as_ref())?;
     let header_len = SNAPSHOT_MAGIC.len() + 8 + 4;
     if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-        return Err(StorageError::BadFileHeader { context: "snapshot" });
+        return Err(StorageError::BadFileHeader {
+            context: "snapshot",
+        });
     }
     let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
     let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
     let payload = bytes
         .get(header_len..header_len + len)
-        .ok_or(StorageError::UnexpectedEof { context: "snapshot payload" })?;
+        .ok_or(StorageError::UnexpectedEof {
+            context: "snapshot payload",
+        })?;
     let actual = crc32(payload);
     if actual != expected {
         return Err(StorageError::ChecksumMismatch { expected, actual });
@@ -89,7 +93,10 @@ mod tests {
         let path = dir.join("graph.snap");
         write_snapshot(&path, b"first").unwrap();
         write_snapshot(&path, b"second, longer payload").unwrap();
-        assert_eq!(read_snapshot(&path).unwrap(), b"second, longer payload".to_vec());
+        assert_eq!(
+            read_snapshot(&path).unwrap(),
+            b"second, longer payload".to_vec()
+        );
     }
 
     #[test]
@@ -101,7 +108,10 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         fs::write(&path, bytes).unwrap();
-        assert!(matches!(read_snapshot(&path), Err(StorageError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -119,7 +129,10 @@ mod tests {
         let dir = tmpdir("magic");
         let path = dir.join("graph.snap");
         fs::write(&path, b"WRONGMAGxxxxxxxxxxxx").unwrap();
-        assert!(matches!(read_snapshot(&path), Err(StorageError::BadFileHeader { .. })));
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::BadFileHeader { .. })
+        ));
     }
 
     #[test]

@@ -91,7 +91,17 @@ mod tests {
 
     #[test]
     fn unsigned_roundtrips() {
-        for v in [0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             roundtrip(v);
         }
     }

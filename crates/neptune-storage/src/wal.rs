@@ -60,7 +60,12 @@ impl RecordKind {
             2 => RecordKind::Commit,
             3 => RecordKind::Abort,
             4 => RecordKind::Checkpoint,
-            t => return Err(StorageError::InvalidTag { context: "RecordKind", tag: t as u64 }),
+            t => {
+                return Err(StorageError::InvalidTag {
+                    context: "RecordKind",
+                    tag: t as u64,
+                })
+            }
         })
     }
 }
@@ -113,12 +118,20 @@ impl Wal {
     /// append after the last intact one.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
         let len = file.metadata()?.len();
         if len == 0 {
             file.write_all(WAL_MAGIC)?;
             file.sync_all()?;
-            return Ok(Wal { file, path, next_lsn: 1 });
+            return Ok(Wal {
+                file,
+                path,
+                next_lsn: 1,
+            });
         }
 
         let (records, valid_end) = Self::scan(&mut file)?;
@@ -128,7 +141,11 @@ impl Wal {
             file.seek(SeekFrom::End(0))?;
         }
         let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
-        Ok(Wal { file, path, next_lsn })
+        Ok(Wal {
+            file,
+            path,
+            next_lsn,
+        })
     }
 
     /// Read all intact records, returning them and the byte offset of the
@@ -138,7 +155,9 @@ impl Wal {
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-            return Err(StorageError::BadFileHeader { context: "write-ahead log" });
+            return Err(StorageError::BadFileHeader {
+                context: "write-ahead log",
+            });
         }
         let mut records = Vec::new();
         let mut pos = WAL_MAGIC.len();
@@ -152,7 +171,8 @@ impl Wal {
             }
             let payload_len =
                 u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let expected_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let expected_crc =
+                u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
             let body_start = pos + 8;
             let body_end = match body_start.checked_add(payload_len) {
                 Some(e) if e <= bytes.len() => e,
@@ -184,7 +204,12 @@ impl Wal {
     pub fn append(&mut self, txn_id: u64, kind: RecordKind, payload: Vec<u8>) -> Result<u64> {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        let record = WalRecord { lsn, txn_id, kind, payload };
+        let record = WalRecord {
+            lsn,
+            txn_id,
+            kind,
+            payload,
+        };
         let body = record.to_bytes();
         let mut frame = Vec::with_capacity(body.len() + 8);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -311,7 +336,8 @@ mod tests {
             wal.append(1, RecordKind::Op, b"x".to_vec()).unwrap();
             wal.append_commit(1).unwrap();
             wal.append(2, RecordKind::Begin, vec![]).unwrap();
-            wal.append(2, RecordKind::Op, b"in flight at crash".to_vec()).unwrap();
+            wal.append(2, RecordKind::Op, b"in flight at crash".to_vec())
+                .unwrap();
             wal.sync().unwrap();
             // No commit: simulates crashing mid-transaction.
         }
@@ -361,7 +387,11 @@ mod tests {
         }
         // Flip a payload byte inside txn 1's commit record.
         {
-            let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
             f.seek(SeekFrom::Start(flip_offset)).unwrap();
             let mut b = [0u8; 1];
             f.read_exact(&mut b).unwrap();
@@ -410,7 +440,10 @@ mod tests {
         let dir = tmpdir("magic");
         let path = dir.join("wal");
         std::fs::write(&path, b"NOTAWAL!extra").unwrap();
-        assert!(matches!(Wal::open(&path), Err(StorageError::BadFileHeader { .. })));
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StorageError::BadFileHeader { .. })
+        ));
     }
 
     #[test]

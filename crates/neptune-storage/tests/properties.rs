@@ -1,147 +1,215 @@
-//! Property-based tests for the storage substrate's core invariants.
-
-use proptest::prelude::*;
+//! Randomized (seeded, deterministic) tests for the storage substrate's
+//! core invariants. Each test sweeps many generated inputs from an
+//! explicit `XorShift` seed, so failures reproduce exactly.
 
 use neptune_storage::archive::Archive;
 use neptune_storage::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use neptune_storage::delta::Delta;
-use neptune_storage::diff::{differences, diff_lines, split_lines, Difference, HunkKind};
+use neptune_storage::diff::{diff_lines, differences, split_lines, Difference, HunkKind};
+use neptune_storage::testutil::XorShift;
 use neptune_storage::varint;
 
-/// Arbitrary "texts": a mix of line-structured and binary-ish content.
-fn text_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
+/// Generated "texts": a mix of line-structured and binary-ish content.
+fn gen_text(rng: &mut XorShift) -> Vec<u8> {
+    if rng.chance(1, 2) {
         // Line-oriented text from a small alphabet so diffs find structure.
-        proptest::collection::vec(
-            prop_oneof![
-                Just(b"alpha\n".to_vec()),
-                Just(b"beta\n".to_vec()),
-                Just(b"gamma\n".to_vec()),
-                Just(b"delta line with more text\n".to_vec()),
-                Just(b"\n".to_vec()),
-            ],
-            0..40
-        )
-        .prop_map(|lines| lines.concat()),
+        const LINES: [&[u8]; 5] = [
+            b"alpha\n",
+            b"beta\n",
+            b"gamma\n",
+            b"delta line with more text\n",
+            b"\n",
+        ];
+        let count = rng.below(40) as usize;
+        let mut out = Vec::new();
+        for _ in 0..count {
+            out.extend_from_slice(LINES[rng.index(LINES.len())]);
+        }
+        out
+    } else {
         // Arbitrary bytes, possibly with no newlines at all.
-        proptest::collection::vec(any::<u8>(), 0..200),
-    ]
+        let len = rng.below(200) as usize;
+        rng.bytes(len)
+    }
 }
 
-proptest! {
-    #[test]
-    fn varint_u64_roundtrips(v in any::<u64>()) {
+/// Interesting u64 values plus random ones.
+fn gen_u64(rng: &mut XorShift) -> u64 {
+    match rng.below(4) {
+        0 => [0, 1, 2, u64::MAX, u64::MAX - 1, 1 << 32, (1 << 63) - 1][rng.index(7)],
+        _ => rng.next_u64(),
+    }
+}
+
+#[test]
+fn varint_u64_roundtrips() {
+    let mut rng = XorShift::new(0x5701);
+    for _ in 0..2000 {
+        let v = gen_u64(&mut rng);
         let mut buf = Vec::new();
         varint::write_u64(&mut buf, v);
         let (decoded, used) = varint::read_u64(&buf).unwrap();
-        prop_assert_eq!(decoded, v);
-        prop_assert_eq!(used, buf.len());
-        prop_assert_eq!(buf.len(), varint::encoded_len(v));
+        assert_eq!(decoded, v);
+        assert_eq!(used, buf.len());
+        assert_eq!(buf.len(), varint::encoded_len(v));
     }
+}
 
-    #[test]
-    fn varint_i64_roundtrips(v in any::<i64>()) {
+#[test]
+fn varint_i64_roundtrips() {
+    let mut rng = XorShift::new(0x5702);
+    for _ in 0..2000 {
+        let v = gen_u64(&mut rng) as i64;
         let mut buf = Vec::new();
         varint::write_i64(&mut buf, v);
         let (decoded, used) = varint::read_i64(&buf).unwrap();
-        prop_assert_eq!(decoded, v);
-        prop_assert_eq!(used, buf.len());
+        assert_eq!(decoded, v);
+        assert_eq!(used, buf.len());
     }
+}
 
-    #[test]
-    fn zigzag_is_a_bijection(v in any::<i64>()) {
-        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
+#[test]
+fn zigzag_is_a_bijection() {
+    let mut rng = XorShift::new(0x5703);
+    for _ in 0..2000 {
+        let v = gen_u64(&mut rng) as i64;
+        assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
     }
+}
 
-    #[test]
-    fn delta_apply_reconstructs_target(base in text_strategy(), target in text_strategy()) {
+#[test]
+fn delta_apply_reconstructs_target() {
+    let mut rng = XorShift::new(0x5704);
+    for _ in 0..200 {
+        let base = gen_text(&mut rng);
+        let target = gen_text(&mut rng);
         let d = Delta::compute(&base, &target);
-        prop_assert_eq!(d.apply(&base).unwrap(), target.clone());
-        prop_assert_eq!(d.target_len(), target.len() as u64);
+        assert_eq!(d.apply(&base).unwrap(), target);
+        assert_eq!(d.target_len(), target.len() as u64);
         // And the encoded form survives a roundtrip.
         let decoded = Delta::from_bytes(&d.to_bytes()).unwrap();
-        prop_assert_eq!(decoded.apply(&base).unwrap(), target);
+        assert_eq!(decoded.apply(&base).unwrap(), target);
     }
+}
 
-    #[test]
-    fn diff_hunks_partition_both_inputs(a in text_strategy(), b in text_strategy()) {
+#[test]
+fn diff_hunks_partition_both_inputs() {
+    let mut rng = XorShift::new(0x5705);
+    for _ in 0..200 {
+        let a = gen_text(&mut rng);
+        let b = gen_text(&mut rng);
         let hunks = diff_lines(&a, &b);
         let mut a_pos = 0usize;
         let mut b_pos = 0usize;
         for h in &hunks {
-            prop_assert_eq!(h.a_range.0, a_pos);
-            prop_assert_eq!(h.b_range.0, b_pos);
+            assert_eq!(h.a_range.0, a_pos);
+            assert_eq!(h.b_range.0, b_pos);
             match h.kind {
                 HunkKind::Equal => {
-                    prop_assert_eq!(h.a_range.1 - h.a_range.0, h.b_range.1 - h.b_range.0);
+                    assert_eq!(h.a_range.1 - h.a_range.0, h.b_range.1 - h.b_range.0);
                 }
-                HunkKind::Delete => prop_assert_eq!(h.b_range.0, h.b_range.1),
-                HunkKind::Insert => prop_assert_eq!(h.a_range.0, h.a_range.1),
+                HunkKind::Delete => assert_eq!(h.b_range.0, h.b_range.1),
+                HunkKind::Insert => assert_eq!(h.a_range.0, h.a_range.1),
             }
             a_pos = h.a_range.1;
             b_pos = h.b_range.1;
         }
-        prop_assert_eq!(a_pos, split_lines(&a).len());
-        prop_assert_eq!(b_pos, split_lines(&b).len());
+        assert_eq!(a_pos, split_lines(&a).len());
+        assert_eq!(b_pos, split_lines(&b).len());
     }
+}
 
-    #[test]
-    fn differences_roundtrip_codec(a in text_strategy(), b in text_strategy()) {
+#[test]
+fn differences_roundtrip_codec() {
+    let mut rng = XorShift::new(0x5706);
+    for _ in 0..200 {
+        let a = gen_text(&mut rng);
+        let b = gen_text(&mut rng);
         for d in differences(&a, &b) {
             let decoded = Difference::from_bytes(&d.to_bytes()).unwrap();
-            prop_assert_eq!(decoded, d);
+            assert_eq!(decoded, d);
         }
     }
+}
 
-    #[test]
-    fn identical_texts_have_no_differences(a in text_strategy()) {
-        prop_assert!(differences(&a, &a).is_empty());
+#[test]
+fn identical_texts_have_no_differences() {
+    let mut rng = XorShift::new(0x5707);
+    for _ in 0..200 {
+        let a = gen_text(&mut rng);
+        assert!(differences(&a, &a).is_empty());
     }
+}
 
-    #[test]
-    fn archive_checkout_returns_exact_versions(
-        versions in proptest::collection::vec(text_strategy(), 1..12)
-    ) {
+#[test]
+fn archive_checkout_returns_exact_versions() {
+    let mut rng = XorShift::new(0x5708);
+    for _ in 0..40 {
+        let count = 1 + rng.below(11) as usize;
+        let versions: Vec<Vec<u8>> = (0..count).map(|_| gen_text(&mut rng)).collect();
         let mut archive = Archive::new(versions[0].clone(), 1);
         for (i, v) in versions.iter().enumerate().skip(1) {
             archive.checkin(v.clone(), (i + 1) as u64).unwrap();
         }
         for (i, v) in versions.iter().enumerate() {
-            prop_assert_eq!(&archive.checkout((i + 1) as u64).unwrap(), v);
+            assert_eq!(&archive.checkout((i + 1) as u64).unwrap(), v);
         }
         // Time 0 is always the newest version.
-        prop_assert_eq!(&archive.checkout(0).unwrap(), versions.last().unwrap());
+        assert_eq!(&archive.checkout(0).unwrap(), versions.last().unwrap());
         // Encoded archives are faithful.
         let decoded = Archive::from_bytes(&archive.to_bytes()).unwrap();
         for (i, v) in versions.iter().enumerate() {
-            prop_assert_eq!(&decoded.checkout((i + 1) as u64).unwrap(), v);
+            assert_eq!(&decoded.checkout((i + 1) as u64).unwrap(), v);
         }
     }
+}
 
-    #[test]
-    fn codec_seq_roundtrips(items in proptest::collection::vec(any::<u64>(), 0..50)) {
+#[test]
+fn codec_seq_roundtrips() {
+    let mut rng = XorShift::new(0x5709);
+    for _ in 0..200 {
+        let items: Vec<u64> = (0..rng.below(50)).map(|_| gen_u64(&mut rng)).collect();
         let mut w = Writer::new();
         encode_seq(&items, &mut w);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let decoded: Vec<u64> = decode_seq(&mut r).unwrap();
-        prop_assert_eq!(decoded, items);
-        prop_assert!(r.is_at_end());
+        assert_eq!(decoded, items);
+        assert!(r.is_at_end());
     }
+}
 
-    #[test]
-    fn codec_string_roundtrips(s in "\\PC*") {
+#[test]
+fn codec_string_roundtrips() {
+    let mut rng = XorShift::new(0x570A);
+    for _ in 0..200 {
+        // Printable-ish strings including multi-byte characters.
+        let len = rng.below(40) as usize;
+        let s: String = (0..len)
+            .map(|_| match rng.below(4) {
+                0 => char::from(b'a' + rng.below(26) as u8),
+                1 => char::from(b'0' + rng.below(10) as u8),
+                2 => ['é', 'ß', '→', '日', '🜁'][rng.index(5)],
+                _ => ' ',
+            })
+            .collect();
         let bytes = s.to_bytes();
-        prop_assert_eq!(String::from_bytes(&bytes).unwrap(), s);
+        assert_eq!(String::from_bytes(&bytes).unwrap(), s);
     }
+}
 
-    #[test]
-    fn truncated_codec_input_never_panics(
-        payload in proptest::collection::vec(any::<u8>(), 0..100),
-        cut in 0usize..100
-    ) {
+#[test]
+fn truncated_codec_input_never_panics() {
+    let mut rng = XorShift::new(0x570B);
+    for _ in 0..500 {
         // Decoding arbitrary (possibly truncated) bytes must error, not panic.
-        let cut = cut.min(payload.len());
+        let len = rng.below(100) as usize;
+        let payload = rng.bytes(len);
+        let cut = if payload.is_empty() {
+            0
+        } else {
+            rng.index(payload.len() + 1)
+        };
         let _ = Delta::from_bytes(&payload[..cut]);
         let _ = Archive::from_bytes(&payload[..cut]);
         let _ = Difference::from_bytes(&payload[..cut]);

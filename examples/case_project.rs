@@ -72,20 +72,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Demon-driven compilation -------------------------------------------
     install_recompile_demon(&mut ham, MAIN_CONTEXT)?;
     let dirty_attr = ham.get_attribute_index(MAIN_CONTEXT, model::DIRTY)?;
-    for node in [lists_nodes.module, storage_nodes.module, editor_nodes.module] {
+    for node in [
+        lists_nodes.module,
+        storage_nodes.module,
+        editor_nodes.module,
+    ] {
         ham.set_node_attribute_value(MAIN_CONTEXT, node, dirty_attr, Value::Bool(true))?;
     }
     let build = compile_pass(&mut ham, &project)?;
-    println!("\ninitial build: compiled {} node(s) in {} round(s)", build.compiled.len(), build.rounds);
+    println!(
+        "\ninitial build: compiled {} node(s) in {} round(s)",
+        build.compiled.len(),
+        build.rounds
+    );
 
     // ---- Body edit: only Storage recompiles -----------------------------------
-    edit(&mut ham, storage_nodes.module, b"(* refactor internals *)\n")?;
-    println!("\nafter body edit, dirty queue: {:?}", dirty_sources(&ham, MAIN_CONTEXT)?);
+    edit(
+        &mut ham,
+        storage_nodes.module,
+        b"(* refactor internals *)\n",
+    )?;
+    println!(
+        "\nafter body edit, dirty queue: {:?}",
+        dirty_sources(&ham, MAIN_CONTEXT)?
+    );
     let pass = compile_pass(&mut ham, &project)?;
     println!("body edit recompiled: {:?}", pass.compiled);
 
     // ---- Interface edit: importers cascade --------------------------------------
-    edit(&mut ham, lists_nodes.module, b"PROCEDURE Reverse;\nEND Reverse;\n")?;
+    edit(
+        &mut ham,
+        lists_nodes.module,
+        b"PROCEDURE Reverse;\nEND Reverse;\n",
+    )?;
     let pass = compile_pass(&mut ham, &project)?;
     println!(
         "interface edit recompiled {} module(s) over {} round(s): {:?}",
@@ -99,10 +118,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut ham,
         MAIN_CONTEXT,
         "v1.0",
-        &[lists_nodes.module, storage_nodes.module, editor_nodes.module],
+        &[
+            lists_nodes.module,
+            storage_nodes.module,
+            editor_nodes.module,
+        ],
     )?;
     // The program keeps evolving after the release...
-    edit(&mut ham, editor_nodes.module, b"(* post-release change *)\n")?;
+    edit(
+        &mut ham,
+        editor_nodes.module,
+        b"(* post-release change *)\n",
+    )?;
     compile_pass(&mut ham, &project)?;
     // ...but the release still checks out the frozen versions.
     let members = checkout(&mut ham, MAIN_CONTEXT, release)?;
@@ -110,7 +137,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in &members {
         let first_line = String::from_utf8_lossy(&m.contents);
         let first_line = first_line.lines().next().unwrap_or("");
-        println!("  node {} @ version {} :: {first_line}", m.node.0, m.version.0);
+        println!(
+            "  node {} @ version {} :: {first_line}",
+            m.node.0, m.version.0
+        );
         assert!(!String::from_utf8_lossy(&m.contents).contains("post-release"));
     }
 
@@ -135,6 +165,12 @@ fn edit(
     let opened = ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])?;
     let mut text = opened.contents.clone();
     text.extend_from_slice(suffix);
-    ham.modify_node(MAIN_CONTEXT, node, opened.current_time, text, &opened.link_pts)?;
+    ham.modify_node(
+        MAIN_CONTEXT,
+        node,
+        opened.current_time,
+        text,
+        &opened.link_pts,
+    )?;
     Ok(())
 }

@@ -23,8 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|author| {
             std::thread::spawn(move || -> Result<usize, String> {
                 let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
-                let owner =
-                    c.get_attribute_index(MAIN_CONTEXT, "responsible").map_err(|e| e.to_string())?;
+                let owner = c
+                    .get_attribute_index(MAIN_CONTEXT, "responsible")
+                    .map_err(|e| e.to_string())?;
                 let mut created = 0;
                 for i in 0..5 {
                     let (node, t) = c.add_node(MAIN_CONTEXT, true).map_err(|e| e.to_string())?;
@@ -72,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     txn_client.begin_transaction()?;
     let t = txn_client.get_node_time_stamp(MAIN_CONTEXT, shared)?;
-    txn_client.modify_node(MAIN_CONTEXT, shared, t, b"half-finished rewrite\n".to_vec(), vec![])?;
+    txn_client.modify_node(
+        MAIN_CONTEXT,
+        shared,
+        t,
+        b"half-finished rewrite\n".to_vec(),
+        vec![],
+    )?;
     println!("\nclient A holds an open transaction with an uncommitted edit...");
     txn_client.abort_transaction()?;
     let seen = reader.open_node(MAIN_CONTEXT, shared, Time::CURRENT, vec![])?;
@@ -96,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![],
         vec![],
     )?;
-    println!("after restart, {} authored sections are still there", sg.nodes.len());
+    println!(
+        "after restart, {} authored sections are still there",
+        sg.nodes.len()
+    );
     assert_eq!(sg.nodes.len(), 20);
     server.stop();
     Ok(())

@@ -34,21 +34,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Hypertext",
         "Hypertext in its essence is non-linear text.\n",
     )?;
-    doc.add_section(&mut ham, hypertext, 1, "Existing Systems", "memex, NLS/Augment, Xanadu...\n")?;
-    doc.add_section(&mut ham, hypertext, 2, "Properties", "editing, traversal, multimedia...\n")?;
-    let overview =
-        doc.add_section(&mut ham, doc.root, 30, "Overview of Neptune", "A layered architecture.\n")?;
-    doc.add_section(&mut ham, doc.root, 40, "Hypertext-based CAD", "CASE over the HAM.\n")?;
-    doc.add_section(&mut ham, doc.root, 50, "Conclusions", "Contexts and demons ahead.\n")?;
+    doc.add_section(
+        &mut ham,
+        hypertext,
+        1,
+        "Existing Systems",
+        "memex, NLS/Augment, Xanadu...\n",
+    )?;
+    doc.add_section(
+        &mut ham,
+        hypertext,
+        2,
+        "Properties",
+        "editing, traversal, multimedia...\n",
+    )?;
+    let overview = doc.add_section(
+        &mut ham,
+        doc.root,
+        30,
+        "Overview of Neptune",
+        "A layered architecture.\n",
+    )?;
+    doc.add_section(
+        &mut ham,
+        doc.root,
+        40,
+        "Hypertext-based CAD",
+        "CASE over the HAM.\n",
+    )?;
+    doc.add_section(
+        &mut ham,
+        doc.root,
+        50,
+        "Conclusions",
+        "Contexts and demons ahead.\n",
+    )?;
     // A cross-reference from the introduction to the overview.
     doc.add_reference(&mut ham, intro, 20, overview)?;
     // An annotation, to give the node browser an inline icon to show.
-    neptune::document::annotate(&mut ham, MAIN_CONTEXT, intro, 12, "cite Katz & Lehman here\n")?;
+    neptune::document::annotate(
+        &mut ham,
+        MAIN_CONTEXT,
+        intro,
+        12,
+        "cite Katz & Lehman here\n",
+    )?;
 
     // ---- Figure 1: the graph browser ---------------------------------------
     println!("============ Figure 1: Graph Browser ============\n");
     let graph_browser = GraphBrowser::with_predicates("document = \"sigmod-paper\"", "true");
-    print!("{}", graph_browser.render(&ham, MAIN_CONTEXT, Time::CURRENT)?);
+    print!(
+        "{}",
+        graph_browser.render(&ham, MAIN_CONTEXT, Time::CURRENT)?
+    );
 
     // ---- Figure 2: the document browser -------------------------------------
     println!("\n============ Figure 2: Document Browser ============\n");
@@ -56,8 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Select the root in pane 1, then "Hypertext" in pane 2 (as the paper's
     // screenshot does).
     let view = outline.view(&mut ham, MAIN_CONTEXT, Time::CURRENT)?;
-    let root_idx = view
-        .panes[0]
+    let root_idx = view.panes[0]
         .iter()
         .position(|(n, _, _)| *n == doc.root)
         .expect("root in query pane");
@@ -95,6 +132,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Hardcopy via linearizeGraph ------------------------------------------
     println!("\n============ Hardcopy (linearizeGraph) ============\n");
-    print!("{}", neptune::document::hardcopy(&mut ham, &doc, Time::CURRENT)?);
+    print!(
+        "{}",
+        neptune::document::hardcopy(&mut ham, &doc, Time::CURRENT)?
+    );
     Ok(())
 }

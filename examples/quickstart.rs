@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- createGraph -----------------------------------------------------
     let (mut ham, project, created) = Ham::create_graph(&dir, Protections::DEFAULT)?;
-    println!("created graph {project:?} at {created:?} in {}", dir.display());
+    println!(
+        "created graph {project:?} at {created:?} in {}",
+        dir.display()
+    );
 
     // --- nodes and versions ----------------------------------------------
     let (spec, t0) = ham.add_node(MAIN_CONTEXT, true)?; // archive node
@@ -28,15 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MAIN_CONTEXT,
         spec,
         t1,
-        b"The system SHALL store versioned hypertext.\nIt SHALL recover from crashes.\n"
-            .to_vec(),
+        b"The system SHALL store versioned hypertext.\nIt SHALL recover from crashes.\n".to_vec(),
         &[],
     )?;
     println!("\nnode {spec:?} now has versions at {t1:?} and {t2:?}");
 
     // Any version remains readable — the paper's "complete version history".
     let v1 = ham.open_node(MAIN_CONTEXT, spec, t1, &[])?;
-    println!("version @ {t1:?}: {}", String::from_utf8_lossy(&v1.contents).trim_end());
+    println!(
+        "version @ {t1:?}: {}",
+        String::from_utf8_lossy(&v1.contents).trim_end()
+    );
     let diffs = ham.get_node_differences(MAIN_CONTEXT, spec, t1, Time::CURRENT)?;
     println!("differences v1 -> current: {} change(s)", diffs.len());
     for d in &diffs {
@@ -60,14 +65,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ham.set_node_attribute_value(MAIN_CONTEXT, spec, status, Value::str("draft"))?;
 
     let pred = Predicate::parse("document = requirements and status = draft")?;
-    let hits = ham.get_graph_query(MAIN_CONTEXT, Time::CURRENT, &pred, &Predicate::True, &[doc], &[])?;
+    let hits = ham.get_graph_query(
+        MAIN_CONTEXT,
+        Time::CURRENT,
+        &pred,
+        &Predicate::True,
+        &[doc],
+        &[],
+    )?;
     println!("\nquery '{pred}': {} node(s)", hits.nodes.len());
 
     // --- transactions -------------------------------------------------------
     ham.begin_transaction()?;
     let (doomed, _) = ham.add_node(MAIN_CONTEXT, true)?;
     ham.abort_transaction()?;
-    assert!(ham.open_node(MAIN_CONTEXT, doomed, Time::CURRENT, &[]).is_err());
+    assert!(ham
+        .open_node(MAIN_CONTEXT, doomed, Time::CURRENT, &[])
+        .is_err());
     println!("\naborted transaction rolled back node {doomed:?} completely");
 
     // --- durability ----------------------------------------------------------

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let lists_nodes = project.ingest_module(&mut ham, &lists)?;
     let editor_nodes = project.ingest_module(&mut ham, &editor)?;
-    project.link_imports(&mut ham, &[(&lists, lists_nodes.module), (&editor, editor_nodes.module)])?;
+    project.link_imports(
+        &mut ham,
+        &[(&lists, lists_nodes.module), (&editor, editor_nodes.module)],
+    )?;
 
     // ---- Documentation mentioning the same symbols ---------------------------
     let doc = Document::create(&mut ham, MAIN_CONTEXT, "design", "Design Notes")?;
@@ -40,7 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "List invariants",
         "Insert must keep the list sorted; Remove may not.\n",
     )?;
-    doc.add_section(&mut ham, doc.root, 20, "Editor", "Paste calls into Lists.\n")?;
+    doc.add_section(
+        &mut ham,
+        doc.root,
+        20,
+        "Editor",
+        "Paste calls into Lists.\n",
+    )?;
 
     // ---- Plain relational views over the hypertext ----------------------------
     println!("== nodes with their contentType ==\n");
@@ -49,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== structural links (relation attribute) ==\n");
     let links = links_relation(&ham, MAIN_CONTEXT, Time::CURRENT, &["relation"])?;
-    print!("{}", links.select_eq("relation", &Value::str("isPartOf"))?.render());
+    print!(
+        "{}",
+        links
+            .select_eq("relation", &Value::str("isPartOf"))?
+            .render()
+    );
 
     // ---- The paper's query ------------------------------------------------------
     println!("\n== all references to 'Insert' — code AND documentation ==\n");
@@ -57,13 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", xref.references_to("Insert")?.render());
 
     println!("\n== the same, joined with each referrer's document attribute ==\n");
-    let with_doc = xref.references_with_context(
-        &ham,
-        MAIN_CONTEXT,
-        Time::CURRENT,
-        "Insert",
-        &["document"],
-    )?;
+    let with_doc =
+        xref.references_with_context(&ham, MAIN_CONTEXT, Time::CURRENT, "Insert", &["document"])?;
     print!("{}", with_doc.render());
 
     // ---- Composition: which documents reference symbols defined in Lists? ------

@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &opened.link_pts,
         )?;
     }
-    doc.add_section(&mut ham, doc.root, 20, "Storage", "Backward deltas like RCS.\n")?;
+    doc.add_section(
+        &mut ham,
+        doc.root,
+        20,
+        "Storage",
+        "Backward deltas like RCS.\n",
+    )?;
 
     // ---- Time travel ---------------------------------------------------------
     println!("--- hardcopy as of the first draft (time {t_draft:?}) ---\n");
@@ -66,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b"Architecture\nTentative: move demons into a rules engine?\n".to_vec(),
         &opened.link_pts,
     )?;
-    let experiments = doc.add_section(&mut ham, doc.root, 30, "Experiments", "")
+    let experiments = doc
+        .add_section(&mut ham, doc.root, 30, "Experiments", "")
         .err()
         .map(|_| ());
     let _ = experiments; // documents stay on main; section API targets main ctx
@@ -85,12 +92,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.conflicts.len()
     );
     let merged = ham.open_node(MAIN_CONTEXT, arch, Time::CURRENT, &[])?;
-    println!("main now reads:\n{}", String::from_utf8_lossy(&merged.contents));
+    println!(
+        "main now reads:\n{}",
+        String::from_utf8_lossy(&merged.contents)
+    );
 
     // ---- Conflicting worlds ------------------------------------------------------
     let risky = ham.create_context(MAIN_CONTEXT)?;
     let opened = ham.open_node(risky, arch, Time::CURRENT, &[])?;
-    ham.modify_node(risky, arch, opened.current_time, b"risky edit\n".to_vec(), &opened.link_pts)?;
+    ham.modify_node(
+        risky,
+        arch,
+        opened.current_time,
+        b"risky edit\n".to_vec(),
+        &opened.link_pts,
+    )?;
     let opened = ham.open_node(MAIN_CONTEXT, arch, Time::CURRENT, &[])?;
     ham.modify_node(
         MAIN_CONTEXT,
@@ -104,12 +120,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(_) => unreachable!("both threads edited the same node"),
     }
     let report = ham.merge_context(risky, ConflictPolicy::PreferParent)?;
-    println!("retried with PreferParent: {} conflict(s) resolved", report.conflicts.len());
+    println!(
+        "retried with PreferParent: {} conflict(s) resolved",
+        report.conflicts.len()
+    );
     ham.destroy_context(risky)?;
 
     // The full history — including everything above — is still addressable.
     let (major, _) = ham.get_node_versions(MAIN_CONTEXT, arch)?;
-    println!("\narchitecture node now has {} major versions; the first is still:", major.len());
+    println!(
+        "\narchitecture node now has {} major versions; the first is still:",
+        major.len()
+    );
     let first = ham.open_node(MAIN_CONTEXT, arch, major[1].time, &[])?;
     println!("  {}", String::from_utf8_lossy(&first.contents).trim_end());
     Ok(())

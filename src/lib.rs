@@ -18,6 +18,8 @@
 //!   browsers (Figures 1–3).
 //! * [`case`] — the CASE application layer: Modula-2 ingestion, a
 //!   demon-driven incremental compiler, configuration management.
+//! * [`check`] — the audit layer: an fsck-style store verifier
+//!   ([`check::verify_store`]) and lints over a project's module graph.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 //! ```
 
 pub use neptune_case as case;
+pub use neptune_check as check;
 pub use neptune_document as document;
 pub use neptune_ham as ham;
 pub use neptune_relational as relational;
@@ -53,9 +56,8 @@ pub use neptune_storage as storage;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use neptune_case::{
-        compile_pass, install_recompile_demon, parse_module, CaseProject,
-    };
+    pub use neptune_case::{compile_pass, install_recompile_demon, parse_module, CaseProject};
+    pub use neptune_check::{verify_store, Finding, Severity};
     pub use neptune_document::{annotate, hardcopy, Document, DocumentBrowser, GraphBrowser};
     pub use neptune_ham::{
         AttributeIndex, ContextId, DemonSpec, Event, Ham, HamError, LinkIndex, LinkPt, Machine,

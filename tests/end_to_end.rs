@@ -21,18 +21,28 @@ fn documentation_and_code_share_one_hyperdocument() {
     // A design document...
     let doc = Document::create(&mut ham, MAIN_CONTEXT, "design", "Design").unwrap();
     let storage_sec = doc
-        .add_section(&mut ham, doc.root, 10, "Storage Design", "Use backward deltas.\n")
+        .add_section(
+            &mut ham,
+            doc.root,
+            10,
+            "Storage Design",
+            "Use backward deltas.\n",
+        )
         .unwrap();
 
     // ...and source code in the same graph.
     let project = CaseProject::new(MAIN_CONTEXT);
-    let module = parse_module("MODULE Storage;\nPROCEDURE Alloc;\nEND Alloc;\nEND Storage.\n")
-        .unwrap();
+    let module =
+        parse_module("MODULE Storage;\nPROCEDURE Alloc;\nEND Alloc;\nEND Storage.\n").unwrap();
     let nodes = project.ingest_module(&mut ham, &module).unwrap();
 
     // The paper's motivating link: documentation references code.
-    let reference = doc.add_reference(&mut ham, storage_sec, 4, nodes.module).unwrap();
-    let (target, _) = ham.get_to_node(MAIN_CONTEXT, reference, Time::CURRENT).unwrap();
+    let reference = doc
+        .add_reference(&mut ham, storage_sec, 4, nodes.module)
+        .unwrap();
+    let (target, _) = ham
+        .get_to_node(MAIN_CONTEXT, reference, Time::CURRENT)
+        .unwrap();
     assert_eq!(target, nodes.module);
 
     // One query spans both: everything in the graph with an icon.
@@ -50,7 +60,14 @@ fn documentation_and_code_share_one_hyperdocument() {
     assert_eq!(sg.nodes.len(), 4);
 
     // An annotation on the code node, from the document layer.
-    let note = annotate(&mut ham, MAIN_CONTEXT, nodes.module, 0, "reviewed 1986-05-28\n").unwrap();
+    let note = annotate(
+        &mut ham,
+        MAIN_CONTEXT,
+        nodes.module,
+        0,
+        "reviewed 1986-05-28\n",
+    )
+    .unwrap();
     let view = view_node(&mut ham, MAIN_CONTEXT, nodes.module, Time::CURRENT).unwrap();
     assert!(view.links.iter().any(|l| l.target == note.node));
 }
@@ -70,7 +87,8 @@ fn compile_document_release_and_recover() {
         module_node = nodes.module;
         install_recompile_demon(&mut ham, MAIN_CONTEXT).unwrap();
         let dirty = ham.get_attribute_index(MAIN_CONTEXT, model::DIRTY).unwrap();
-        ham.set_node_attribute_value(MAIN_CONTEXT, module_node, dirty, Value::Bool(true)).unwrap();
+        ham.set_node_attribute_value(MAIN_CONTEXT, module_node, dirty, Value::Bool(true))
+            .unwrap();
         let stats = compile_pass(&mut ham, &project).unwrap();
         assert!(stats.compiled.contains(&module_node));
         release = create_release(&mut ham, MAIN_CONTEXT, "gold", &[module_node]).unwrap();
@@ -80,7 +98,11 @@ fn compile_document_release_and_recover() {
     let project = CaseProject::new(MAIN_CONTEXT);
     // The compiled object survived.
     let objs = project
-        .linked_targets(&ham, module_node, neptune::case::model::relation::COMPILES_INTO)
+        .linked_targets(
+            &ham,
+            module_node,
+            neptune::case::model::relation::COMPILES_INTO,
+        )
         .unwrap();
     assert_eq!(objs.len(), 1);
     // The release still checks out.
@@ -88,7 +110,12 @@ fn compile_document_release_and_recover() {
     assert_eq!(members.len(), 1);
     assert!(String::from_utf8_lossy(&members[0].contents).contains("MODULE App"));
     // And the demon is still installed (it was versioned graph state).
-    assert_eq!(ham.get_graph_demons(MAIN_CONTEXT, Time::CURRENT).unwrap().len(), 1);
+    assert_eq!(
+        ham.get_graph_demons(MAIN_CONTEXT, Time::CURRENT)
+            .unwrap()
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -96,7 +123,8 @@ fn server_clients_see_document_layer_structures() {
     let dir = tmpdir("server-doc");
     let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
     let doc = Document::create(&mut ham, MAIN_CONTEXT, "spec", "Spec").unwrap();
-    doc.add_section(&mut ham, doc.root, 10, "Scope", "Everything.\n").unwrap();
+    doc.add_section(&mut ham, doc.root, 10, "Scope", "Everything.\n")
+        .unwrap();
     let server = serve(ham, "127.0.0.1:0").unwrap();
     let mut c = Client::connect(server.addr()).unwrap();
     // The client traverses the same structure with raw HAM calls.
@@ -120,23 +148,25 @@ fn private_world_workflow_with_documents() {
     let dir = tmpdir("private-doc");
     let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
     let doc = Document::create(&mut ham, MAIN_CONTEXT, "spec", "Spec").unwrap();
-    let sec = doc.add_section(&mut ham, doc.root, 10, "API", "v1 api\n").unwrap();
+    let sec = doc
+        .add_section(&mut ham, doc.root, 10, "API", "v1 api\n")
+        .unwrap();
 
     // Designer forks a world and rewrites the section.
     let world = ham.create_context(MAIN_CONTEXT).unwrap();
     let opened = ham.open_node(world, sec, Time::CURRENT, &[]).unwrap();
-    ham.modify_node(world, sec, opened.current_time, b"API\nv2 api, redesigned\n".to_vec(), &opened.link_pts)
-        .unwrap();
-
-    // Reviewer diffs the worlds via the diff browser on the private context.
-    let rows = diffview::side_by_side(
-        &ham,
+    ham.modify_node(
         world,
         sec,
         opened.current_time,
-        Time::CURRENT,
+        b"API\nv2 api, redesigned\n".to_vec(),
+        &opened.link_pts,
     )
     .unwrap();
+
+    // Reviewer diffs the worlds via the diff browser on the private context.
+    let rows =
+        diffview::side_by_side(&ham, world, sec, opened.current_time, Time::CURRENT).unwrap();
     assert!(rows.iter().any(|r| r.marker != ' '));
 
     // Merge back; the mainline document now reads v2.
@@ -145,7 +175,9 @@ fn private_world_workflow_with_documents() {
     assert!(text.contains("v2 api"));
     // History on main still shows v1 at the old time.
     let (major, _) = ham.get_node_versions(MAIN_CONTEXT, sec).unwrap();
-    let old = ham.open_node(MAIN_CONTEXT, sec, major[1].time, &[]).unwrap();
+    let old = ham
+        .open_node(MAIN_CONTEXT, sec, major[1].time, &[])
+        .unwrap();
     assert!(String::from_utf8_lossy(&old.contents).contains("v1 api"));
 }
 
