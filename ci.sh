@@ -14,4 +14,9 @@ cargo test --workspace
 # neptune-ham suite with them armed so a violated invariant fails CI.
 cargo test -p neptune-ham --features strict-invariants --lib
 
+# Smoke-run the read-scaling bench (cache + concurrent readers): proves the
+# bench paths work and leaves BENCH_read_scaling.json at the repo root.
+NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_OUT="$PWD/BENCH_read_scaling.json" \
+    cargo bench -p neptune-bench --bench read_scaling
+
 echo "ci: all green"

@@ -1,0 +1,150 @@
+//! Read scaling: the version-materialization cache and concurrent readers.
+//!
+//! Two claims from the concurrency work are measured here and emitted as
+//! machine-readable JSON (`BENCH_read_scaling.json`, or the path named by
+//! `NEPTUNE_BENCH_OUT`):
+//!
+//! 1. **Deep-history checkout.** Opening a version `k` steps back replays
+//!    `k` backward deltas; the materialization cache (plus archive
+//!    keyframes) turns repeated access into a cache hit. Measured with the
+//!    cache disabled (full replay) and enabled, at depth 100.
+//! 2. **Multi-reader throughput.** Read-only requests share the HAM under a
+//!    reader lock, so aggregate `openNode` throughput should rise as reader
+//!    clients are added instead of flat-lining behind a single mutex.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Duration;
+
+use neptune_bench::harness::{BenchResult, BenchmarkId, Criterion, Throughput};
+use neptune_bench::{fresh_ham, main_ctx, versioned_node};
+use neptune_ham::types::Time;
+use neptune_server::{serve, Client};
+
+const DEPTH: usize = 100;
+const OPS_PER_READER: usize = 100;
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_deep_checkout(c: &mut Criterion) {
+    let mut ham = fresh_ham("rs-depth");
+    let (node, times) = versioned_node(&mut ham, main_ctx(), 16 * 1024, DEPTH, 2);
+    let oldest = times[0];
+
+    let mut group = c.benchmark_group(format!("read_scaling_checkout_depth_{DEPTH}"));
+    ham.set_version_cache_enabled(false);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let opened = ham.open_node(main_ctx(), node, oldest, &[]).unwrap();
+            black_box(opened.contents.len())
+        });
+    });
+    ham.set_version_cache_enabled(true);
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let opened = ham.open_node(main_ctx(), node, oldest, &[]).unwrap();
+            black_box(opened.contents.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_reader_scaling(c: &mut Criterion) {
+    let mut ham = fresh_ham("rs-readers");
+    let (node, _) = versioned_node(&mut ham, main_ctx(), 16 * 1024, 20, 2);
+    let server = serve(ham, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("read_scaling_readers");
+    for &readers in &READER_COUNTS {
+        group.throughput(Throughput::Elements((readers * OPS_PER_READER) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("readers", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    let threads: Vec<_> = (0..readers)
+                        .map(|_| {
+                            std::thread::spawn(move || {
+                                let mut c = Client::connect(addr).unwrap();
+                                for _ in 0..OPS_PER_READER {
+                                    let opened = c
+                                        .open_node(main_ctx(), node, Time::CURRENT, vec![])
+                                        .unwrap();
+                                    black_box(opened.contents.len());
+                                }
+                            })
+                        })
+                        .collect();
+                    for t in threads {
+                        t.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+    server.stop();
+}
+
+fn find<'a>(results: &'a [BenchResult], needle: &str) -> Option<&'a BenchResult> {
+    results.iter().find(|r| r.label.contains(needle))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(c: &Criterion) {
+    let results = c.results();
+    let mut out = String::from("{\n  \"bench\": \"read_scaling\",\n");
+    out.push_str(&format!(
+        "  \"smoke\": {},\n",
+        neptune_bench::harness::smoke_mode()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
+            json_escape(&r.label),
+            r.ns_per_iter,
+            r.iterations,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"derived\": {\n");
+    let speedup = match (find(results, "uncached"), find(results, "/cached")) {
+        (Some(u), Some(ca)) if ca.ns_per_iter > 0.0 => u.ns_per_iter / ca.ns_per_iter,
+        _ => 0.0,
+    };
+    out.push_str(&format!(
+        "    \"checkout_cache_speedup_depth_{DEPTH}\": {speedup:.2},\n"
+    ));
+    out.push_str("    \"reads_per_sec_by_readers\": {\n");
+    for (i, &readers) in READER_COUNTS.iter().enumerate() {
+        let rate = find(results, &format!("readers/{readers}"))
+            .map(|r| (readers * OPS_PER_READER) as f64 / (r.ns_per_iter / 1e9))
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "      \"{readers}\": {rate:.0}{}\n",
+            if i + 1 < READER_COUNTS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    }\n  }\n}\n");
+
+    let path = std::env::var("NEPTUNE_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_read_scaling.json".to_string());
+    let mut file = std::fs::File::create(&path).expect("create bench report");
+    file.write_all(out.as_bytes()).expect("write bench report");
+    println!("wrote {path}");
+    println!("checkout cache speedup at depth {DEPTH}: {speedup:.1}x");
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    bench_deep_checkout(&mut criterion);
+    bench_reader_scaling(&mut criterion);
+    write_report(&criterion);
+}

@@ -91,6 +91,48 @@ fn bench_concurrent_clients(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_concurrent_readers(c: &mut Criterion) {
+    // Read-only requests take the shared side of the server's HAM lock, so
+    // aggregate read throughput should scale with reader count rather than
+    // serialize (contrast with the all-writer e6_concurrent above).
+    let mut group = c.benchmark_group("e6_concurrent_readers");
+    const OPS_PER_CLIENT: usize = 50;
+    let mut ham = fresh_ham("e6-read");
+    let nodes = attributed_graph(&mut ham, main_ctx(), 100, 10);
+    let target = nodes[0];
+    let server = serve(ham, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    for &clients in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((clients * OPS_PER_CLIENT) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("readers", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let threads: Vec<_> = (0..clients)
+                        .map(|_| {
+                            std::thread::spawn(move || {
+                                let mut c = Client::connect(addr).unwrap();
+                                for _ in 0..OPS_PER_CLIENT {
+                                    let opened = c
+                                        .open_node(main_ctx(), target, Time::CURRENT, vec![])
+                                        .unwrap();
+                                    black_box(opened.contents.len());
+                                }
+                            })
+                        })
+                        .collect();
+                    for t in threads {
+                        t.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+    server.stop();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .measurement_time(std::time::Duration::from_millis(2000))
@@ -101,6 +143,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_roundtrips, bench_concurrent_clients
+    targets = bench_roundtrips, bench_concurrent_clients, bench_concurrent_readers
 }
 criterion_main!(benches);

@@ -2,7 +2,9 @@
 //!
 //! Backward deltas make the current version O(size) to check out while a
 //! version k steps back applies k deltas. Measures `openNode` at the head,
-//! the midpoint, and the oldest version across history depths.
+//! the midpoint, and the oldest version across history depths — with the
+//! version-materialization cache on (repeat access is a hit) and off (every
+//! access replays the full delta chain).
 
 use neptune_bench::harness::{BenchmarkId, Criterion};
 use neptune_bench::{criterion_group, criterion_main};
@@ -29,6 +31,20 @@ fn bench_version_access(c: &mut Criterion) {
                 });
             });
         }
+        // The same deep access with the cache off: every iteration pays the
+        // full backward-delta replay, the pre-cache behaviour.
+        ham.set_version_cache_enabled(false);
+        group.bench_with_input(
+            BenchmarkId::from_parameter("oldest_uncached"),
+            &times[0],
+            |b, &t| {
+                b.iter(|| {
+                    let opened = ham.open_node(main_ctx(), node, t, &[]).unwrap();
+                    black_box(opened.contents.len())
+                });
+            },
+        );
+        ham.set_version_cache_enabled(true);
         group.finish();
     }
 }

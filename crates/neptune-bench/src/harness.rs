@@ -6,45 +6,95 @@
 //! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `BenchmarkId`, and the
 //! `criterion_group!`/`criterion_main!` macros — and reports the mean
 //! wall-clock time per iteration for each benchmark.
+//!
+//! Two additions over the criterion surface: every completed benchmark is
+//! recorded as a [`BenchResult`] (so a bench binary can dump machine-readable
+//! output, e.g. `BENCH_read_scaling.json`), and setting the
+//! `NEPTUNE_BENCH_SMOKE` environment variable clamps all timing knobs to a
+//! few milliseconds so CI can exercise every bench path without paying for
+//! real measurements.
 
 use std::fmt::Display;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// True when `NEPTUNE_BENCH_SMOKE` is set (to anything non-empty): benches
+/// should run just long enough to prove they work.
+pub fn smoke_mode() -> bool {
+    std::env::var("NEPTUNE_BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// The measured outcome of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full label, `group/benchmark`.
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of measured iterations.
+    pub iterations: u64,
+}
 
 /// Top-level harness state: timing configuration plus a result log.
 pub struct Criterion {
     measurement: Duration,
     warm_up: Duration,
     min_samples: u64,
+    smoke: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let smoke = smoke_mode();
         Criterion {
-            measurement: Duration::from_millis(1000),
-            warm_up: Duration::from_millis(200),
-            min_samples: 10,
+            measurement: if smoke {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(1000)
+            },
+            warm_up: if smoke {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(200)
+            },
+            min_samples: if smoke { 2 } else { 10 },
+            smoke,
+            results: Vec::new(),
         }
     }
 }
 
 impl Criterion {
-    /// Target duration of the measured phase of each benchmark.
+    /// Target duration of the measured phase of each benchmark. Ignored in
+    /// smoke mode, which keeps its clamped-down duration.
     pub fn measurement_time(mut self, d: Duration) -> Self {
-        self.measurement = d;
+        if !self.smoke {
+            self.measurement = d;
+        }
         self
     }
 
-    /// Duration of the unmeasured warm-up phase.
+    /// Duration of the unmeasured warm-up phase. Ignored in smoke mode.
     pub fn warm_up_time(mut self, d: Duration) -> Self {
-        self.warm_up = d;
+        if !self.smoke {
+            self.warm_up = d;
+        }
         self
     }
 
-    /// Minimum number of iterations regardless of elapsed time.
+    /// Minimum number of iterations regardless of elapsed time. Ignored in
+    /// smoke mode.
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.min_samples = n as u64;
+        if !self.smoke {
+            self.min_samples = n as u64;
+        }
         self
+    }
+
+    /// All results recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Start a named group of related benchmarks.
@@ -62,7 +112,7 @@ impl Criterion {
         group.finish();
     }
 
-    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
             warm_up: self.warm_up,
             measurement: self.measurement,
@@ -81,6 +131,11 @@ impl Criterion {
             format_nanos(per_iter),
             bencher.iterations
         );
+        self.results.push(BenchResult {
+            label: label.to_string(),
+            ns_per_iter: per_iter,
+            iterations: bencher.iterations,
+        });
     }
 }
 
@@ -103,9 +158,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Override the minimum number of iterations for this group.
+    /// Override the minimum number of iterations for this group. Ignored
+    /// in smoke mode.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.criterion.min_samples = n as u64;
+        if !self.criterion.smoke {
+            self.criterion.min_samples = n as u64;
+        }
         self
     }
 

@@ -130,6 +130,41 @@ fn flipped_wal_byte_is_a_frame_failure() {
         .expect("wal-checksum finding");
     assert_eq!(frame.severity, Severity::Error);
     assert!(frame.detail.contains("CRC mismatch"), "{frame}");
+    // Damage in the middle of the log (frames follow the bad one) is not a
+    // torn tail: recovery must refuse to open rather than silently drop
+    // committed transactions.
+    let unopenable = findings
+        .iter()
+        .find(|f| f.rule == RULE_STORE_UNOPENABLE)
+        .expect("mid-log corruption must also make the store unopenable");
+    assert!(unopenable.detail.contains("mid-log"), "{unopenable}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_reported_but_recoverable() {
+    let dir = tmpdir("wal-torn-tail");
+    let ham = build_store(&dir);
+    drop(ham); // no checkpoint: the WAL holds every frame
+
+    // Flip a byte inside the LAST frame's payload: a torn tail, the
+    // classic crash-mid-write shape. The scan reports it, but recovery
+    // truncates it away and the store still opens.
+    let path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let findings = verify_store(&dir);
+    assert!(
+        findings.iter().any(|f| f.rule == RULE_WAL_CHECKSUM),
+        "expected a wal-checksum finding, got {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == RULE_STORE_UNOPENABLE),
+        "a torn tail must not make the store unopenable, got {findings:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -32,10 +32,10 @@ pub fn side_by_side(
     time1: Time,
     time2: Time,
 ) -> Result<Vec<DiffRow>> {
-    let graph = ham.graph(context)?;
-    let n = graph.node(node)?;
-    let old = n.contents_at(time1)?;
-    let new = n.contents_at(time2)?;
+    // read_node goes through the HAM's version-materialization cache, so
+    // browsing deep history repeatedly stays cheap.
+    let old = ham.read_node(context, node, time1, &[])?.contents;
+    let new = ham.read_node(context, node, time2, &[])?.contents;
     let old_lines = split_lines(&old);
     let new_lines = split_lines(&new);
     let line = |l: &[u8]| {

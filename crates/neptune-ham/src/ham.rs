@@ -15,11 +15,13 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use neptune_storage::blobstore::BlobStore;
 use neptune_storage::codec::{Decode, Encode, Reader, Writer};
 use neptune_storage::diff::Difference;
 use neptune_storage::snapshot::{read_snapshot, write_snapshot};
+use neptune_storage::vcache::{CacheStats, MaterializationCache};
 use neptune_storage::wal::{RecordKind, Wal};
 
 use crate::context::{merge_context, ConflictPolicy, MergeReport};
@@ -85,6 +87,11 @@ pub struct Ham {
     journal: Vec<FireRecord>,
     in_demon: bool,
     replaying: bool,
+    /// Materialized historical node versions, keyed by
+    /// `(context, node, resolved time)`. Behind a mutex so read-only
+    /// operations (`&self`) can consult and warm it — which also keeps the
+    /// whole `Ham` `Sync` for the server's shared reader lock.
+    vcache: Mutex<MaterializationCache>,
 }
 
 impl std::fmt::Debug for Ham {
@@ -141,6 +148,7 @@ impl Ham {
             journal: Vec::new(),
             in_demon: false,
             replaying: false,
+            vcache: Mutex::new(MaterializationCache::default()),
         };
         ham.write_meta()?;
         ham.checkpoint()?;
@@ -202,6 +210,7 @@ impl Ham {
             journal: Vec::new(),
             in_demon: false,
             replaying: false,
+            vcache: Mutex::new(MaterializationCache::default()),
         };
         // Replay committed transactions that postdate the snapshot.
         ham.replaying = true;
@@ -406,31 +415,49 @@ impl Ham {
         time: Time,
         attrs: &[AttributeIndex],
     ) -> Result<OpenedNode> {
-        let opened = {
-            let graph = self.graph(context)?;
-            let n = graph.live_node(node, time)?;
-            let contents = n.contents_at(time)?;
-            let link_pts = canonical_attachments(graph, node, time)?
-                .into_iter()
-                .map(|(_, _, pt)| pt)
-                .collect();
-            let values = attrs
-                .iter()
-                .map(|a| n.attrs.get(*a, time).cloned())
-                .collect();
-            OpenedNode {
-                contents,
-                link_pts,
-                values,
-                current_time: n.current_time(),
-            }
-        };
+        let opened = self.read_node(context, node, time, attrs)?;
         // `openNode` can trigger a demon; only pay the dispatch cost if one
         // is actually registered for this event.
-        if self.demon_registered(context, Event::NodeOpened, Some(node)) {
+        if self.open_demon_registered(context, node) {
             self.auto_txn(|ham| ham.fire(context, Event::NodeOpened, Some(node), None))?;
         }
         Ok(opened)
+    }
+
+    /// The read-only core of [`Ham::open_node`]: everything except firing
+    /// the `nodeOpened` demon. The server dispatches here under its shared
+    /// reader lock when [`Ham::open_demon_registered`] says no demon would
+    /// fire; callers that must preserve demon semantics use `open_node`.
+    pub fn read_node(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+        time: Time,
+        attrs: &[AttributeIndex],
+    ) -> Result<OpenedNode> {
+        let graph = self.graph(context)?;
+        let n = graph.live_node(node, time)?;
+        let contents = self.cached_contents(context, n, time)?;
+        let link_pts = canonical_attachments(graph, node, time)?
+            .into_iter()
+            .map(|(_, _, pt)| pt)
+            .collect();
+        let values = attrs
+            .iter()
+            .map(|a| n.attrs.get(*a, time).cloned())
+            .collect();
+        Ok(OpenedNode {
+            contents,
+            link_pts,
+            values,
+            current_time: n.current_time(),
+        })
+    }
+
+    /// Whether opening `node` in `context` would fire a `nodeOpened` demon
+    /// (in which case `open_node`'s mutable path must be used).
+    pub fn open_demon_registered(&self, context: ContextId, node: NodeIndex) -> bool {
+        self.demon_registered(context, Event::NodeOpened, Some(node))
     }
 
     /// `modifyNode: NodeIndex × Time × Contents × LinkPt* →`
@@ -529,8 +556,8 @@ impl Ham {
     ) -> Result<Vec<Difference>> {
         let graph = self.graph(context)?;
         let n = graph.node(node)?;
-        let old = n.contents_at(time1)?;
-        let new = n.contents_at(time2)?;
+        let old = self.cached_contents(context, n, time1)?;
+        let new = self.cached_contents(context, n, time2)?;
         Ok(neptune_storage::diff::differences(&old, &new))
     }
 
@@ -974,6 +1001,11 @@ impl Ham {
                 thread.graph.truncate_after(start);
             }
         }
+        // Rollback rewinds version clocks, so future check-ins can reuse
+        // the exact (node, time) pairs just discarded with different
+        // contents. Drop every materialized version rather than risk a
+        // stale read; aborts are rare.
+        self.lock_vcache().clear();
         Ok(())
     }
 
@@ -1072,6 +1104,8 @@ impl Ham {
                 into: parent_id,
                 policy: policy_tag(policy),
             });
+            // The merge rewrote parent archives; drop its cached versions.
+            ham.lock_vcache().invalidate_context(parent_id.0);
             Ok(report)
         })
     }
@@ -1090,6 +1124,7 @@ impl Ham {
             }
             ham.threads.remove(&id);
             ham.push_redo(RedoOp::DestroyContext { id });
+            ham.lock_vcache().invalidate_context(id.0);
             Ok(())
         })
     }
@@ -1121,6 +1156,72 @@ impl Ham {
             .get(&context)
             .map(|t| &t.graph)
             .ok_or(HamError::NoSuchContext(context))
+    }
+
+    // =====================================================================
+    // Version-materialization cache
+    // =====================================================================
+
+    fn lock_vcache(&self) -> MutexGuard<'_, MaterializationCache> {
+        // The cache holds derived state only; recover from poison rather
+        // than failing every future read after one panicked thread.
+        self.vcache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Node contents at `time`, served from the materialization cache when
+    /// possible. Head reads bypass the cache (the head is stored whole);
+    /// historical reads are keyed by resolved version time, so every alias
+    /// of a version shares one entry. With the cache disabled this is a
+    /// full uncached delta replay — the baseline the read-scaling
+    /// benchmarks compare against.
+    fn cached_contents(
+        &self,
+        context: ContextId,
+        n: &crate::node::Node,
+        time: Time,
+    ) -> Result<Vec<u8>> {
+        let Some(archive) = n.archive() else {
+            return n.contents_at(time); // file node: current version only
+        };
+        let resolved = archive.resolve_time(time.0)?;
+        if resolved == archive.head_time() {
+            return Ok(archive.head().to_vec());
+        }
+        let key = (context.0, n.id.0, resolved);
+        {
+            let mut cache = self.lock_vcache();
+            if !cache.enabled() {
+                drop(cache);
+                return Ok(archive.checkout_uncached(resolved)?);
+            }
+            if let Some(data) = cache.get(&key) {
+                return Ok((*data).clone());
+            }
+        }
+        // Miss: materialize outside the lock (checkout may replay a chain
+        // suffix), then publish for the next reader.
+        let data = Arc::new(archive.checkout(resolved)?);
+        let contents = (*data).clone();
+        self.lock_vcache().insert(key, data);
+        Ok(contents)
+    }
+
+    /// Hit/miss counters and occupancy of the version-materialization cache.
+    pub fn version_cache_stats(&self) -> CacheStats {
+        self.lock_vcache().stats()
+    }
+
+    /// Enable or disable the version-materialization cache. Disabling also
+    /// makes historical reads bypass archive keyframes, giving the true
+    /// full-replay baseline; it drops all cached entries.
+    pub fn set_version_cache_enabled(&self, enabled: bool) {
+        self.lock_vcache().set_enabled(enabled);
+    }
+
+    /// Replace the cache bounds (entries, payload bytes), dropping current
+    /// contents but keeping hit/miss counters at zero for the new instance.
+    pub fn configure_version_cache(&self, max_entries: usize, max_bytes: u64) {
+        *self.lock_vcache() = MaterializationCache::new(max_entries, max_bytes);
     }
 
     /// Where `context` was forked from: `(parent, parent clock at fork)`,

@@ -481,4 +481,13 @@ impl Client {
     pub fn verify(&mut self) -> Result<Vec<neptune_check::Finding>> {
         expect!(self, Request::Verify, Response::Findings(fs) => fs, "Findings")
     }
+
+    /// Read the server's version-materialization cache counters as
+    /// `(hits, misses, entries, bytes)`.
+    pub fn cache_stats(&mut self) -> Result<(u64, u64, u64, u64)> {
+        expect!(self, Request::CacheStats,
+            Response::CacheStats { hits, misses, entries, bytes } =>
+                (hits, misses, entries, bytes),
+            "CacheStats")
+    }
 }

@@ -9,8 +9,8 @@
 //!
 //! * [`proto`] — one request/response pair per HAM operation;
 //! * [`frame`] — checksummed length-prefixed framing;
-//! * [`server`] — threaded TCP server serializing clients through the
-//!   single-writer HAM, with per-connection transaction ownership;
+//! * [`server`] — threaded TCP server over the single-writer HAM: shared
+//!   locking for read-only requests, per-connection transaction ownership;
 //! * [`client`] — a blocking RPC client mirroring the HAM API.
 
 #![warn(missing_docs)]
@@ -22,4 +22,4 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use proto::{Request, Response};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServeOptions, ServerHandle};

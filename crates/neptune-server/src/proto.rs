@@ -385,6 +385,67 @@ pub enum Request {
     /// Run the integrity verifier (`neptune-check`) over the server's
     /// store: file scan plus every in-memory invariant.
     Verify,
+    /// Read the version-materialization cache's counters.
+    CacheStats,
+}
+
+impl Request {
+    /// Whether this request only observes the HAM.
+    ///
+    /// The server runs read-only requests under a shared (reader) lock at a
+    /// pinned time, so any number of them proceed concurrently; mutating
+    /// requests take the exclusive lock. A variant belongs here only if the
+    /// HAM method it dispatches to takes `&self` (`GetAttributeIndex`
+    /// interns names and `Checkpoint` rewrites files, so neither
+    /// qualifies). `OpenNode` is read-only with one exception — a
+    /// registered `nodeOpened` demon — which the dispatcher detects and
+    /// routes back through the exclusive path.
+    pub fn is_read_only(&self) -> bool {
+        use Request::*;
+        match self {
+            LinearizeGraph { .. }
+            | GetGraphQuery { .. }
+            | OpenNode { .. }
+            | GetNodeTimeStamp { .. }
+            | GetNodeVersions { .. }
+            | GetNodeDifferences { .. }
+            | GetToNode { .. }
+            | GetFromNode { .. }
+            | GetAttributes { .. }
+            | GetAttributeValues { .. }
+            | GetNodeAttributeValue { .. }
+            | GetNodeAttributes { .. }
+            | GetLinkAttributeValue { .. }
+            | GetLinkAttributes { .. }
+            | GetGraphDemons { .. }
+            | GetNodeDemons { .. }
+            | ListContexts
+            | Ping
+            | Verify
+            | CacheStats => true,
+            AddNode { .. }
+            | DeleteNode { .. }
+            | AddLink { .. }
+            | CopyLink { .. }
+            | DeleteLink { .. }
+            | ModifyNode { .. }
+            | ChangeNodeProtection { .. }
+            | GetAttributeIndex { .. }
+            | SetNodeAttributeValue { .. }
+            | DeleteNodeAttribute { .. }
+            | SetLinkAttributeValue { .. }
+            | DeleteLinkAttribute { .. }
+            | SetGraphDemonValue { .. }
+            | SetNodeDemon { .. }
+            | BeginTransaction
+            | CommitTransaction
+            | AbortTransaction
+            | CreateContext { .. }
+            | MergeContext { .. }
+            | DestroyContext { .. }
+            | Checkpoint => false,
+        }
+    }
 }
 
 /// The server's answer to a [`Request`].
@@ -441,6 +502,17 @@ pub enum Response {
     Error(String),
     /// Integrity-verifier results (empty = clean store).
     Findings(Vec<Finding>),
+    /// Version-materialization cache counters.
+    CacheStats {
+        /// Lookups served from the cache.
+        hits: u64,
+        /// Lookups that had to materialize.
+        misses: u64,
+        /// Versions currently cached.
+        entries: u64,
+        /// Total payload bytes currently cached.
+        bytes: u64,
+    },
 }
 
 impl Encode for Request {
@@ -762,6 +834,7 @@ impl Encode for Request {
             Checkpoint => w.put_u8(37),
             Ping => w.put_u8(38),
             Verify => w.put_u8(39),
+            CacheStats => w.put_u8(40),
         }
     }
 }
@@ -947,6 +1020,7 @@ impl Decode for Request {
             37 => Checkpoint,
             38 => Ping,
             39 => Verify,
+            40 => CacheStats,
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Request",
@@ -1111,6 +1185,18 @@ impl Encode for Response {
                 w.put_u8(20);
                 encode_seq(fs, w);
             }
+            CacheStats {
+                hits,
+                misses,
+                entries,
+                bytes,
+            } => {
+                w.put_u8(21);
+                w.put_u64(*hits);
+                w.put_u64(*misses);
+                w.put_u64(*entries);
+                w.put_u64(*bytes);
+            }
         }
     }
 }
@@ -1154,6 +1240,12 @@ impl Decode for Response {
             18 => A::Contexts(decode_seq(r)?),
             19 => A::Error(r.get_str()?.to_owned()),
             20 => A::Findings(decode_seq(r)?),
+            21 => A::CacheStats {
+                hits: r.get_u64()?,
+                misses: r.get_u64()?,
+                entries: r.get_u64()?,
+                bytes: r.get_u64()?,
+            },
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Response",
@@ -1224,6 +1316,7 @@ mod tests {
             },
             Request::Ping,
             Request::Verify,
+            Request::CacheStats,
         ];
         for req in requests {
             let decoded = Request::from_bytes(&req.to_bytes()).unwrap();
@@ -1276,6 +1369,48 @@ mod tests {
             let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();
             assert_eq!(decoded, resp);
         }
+    }
+
+    #[test]
+    fn cache_stats_response_roundtrips() {
+        let resp = Response::CacheStats {
+            hits: 10,
+            misses: 3,
+            entries: 7,
+            bytes: 4096,
+        };
+        assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
+    }
+
+    #[test]
+    fn read_only_classification_spot_checks() {
+        assert!(Request::Ping.is_read_only());
+        assert!(Request::ListContexts.is_read_only());
+        assert!(Request::Verify.is_read_only());
+        assert!(Request::CacheStats.is_read_only());
+        assert!(Request::OpenNode {
+            context: ContextId(0),
+            node: NodeIndex(1),
+            time: Time(0),
+            attrs: vec![],
+        }
+        .is_read_only());
+        assert!(!Request::BeginTransaction.is_read_only());
+        assert!(!Request::Checkpoint.is_read_only());
+        // Interns the attribute name on first use: mutating.
+        assert!(!Request::GetAttributeIndex {
+            context: ContextId(0),
+            name: "document".into(),
+        }
+        .is_read_only());
+        assert!(!Request::ModifyNode {
+            context: ContextId(0),
+            node: NodeIndex(1),
+            time: Time(1),
+            contents: vec![],
+            link_pts: vec![],
+        }
+        .is_read_only());
     }
 
     #[test]

@@ -3,18 +3,36 @@
 //! Paper §2.2: *"Neptune has a central server which is accessible over a
 //! local area network from a variety of workstations; it is
 //! transaction-oriented and provides for complete recovery from any aborted
-//! transaction."* The server owns the (single-writer) [`Ham`] and
-//! serializes client operations through it. A client holding an explicit
-//! transaction has exclusive write access until it commits or aborts —
-//! other clients block (with a timeout) rather than interleave, which is
-//! the concurrency control a check-in/check-out CAD workflow expects.
-//! A client that disconnects mid-transaction is aborted automatically.
+//! transaction."* The server owns the (single-writer) [`Ham`]. A client
+//! holding an explicit transaction has exclusive access until it commits or
+//! aborts — other clients block (with a timeout) rather than interleave,
+//! which is the concurrency control a check-in/check-out CAD workflow
+//! expects. A client that disconnects or whose connection thread panics
+//! mid-transaction is aborted automatically.
+//!
+//! Outside explicit transactions, requests classified read-only by
+//! [`Request::is_read_only`] run concurrently under a shared reader lock:
+//! the HAM's complete version history makes every read at a pinned `Time`
+//! naturally snapshot-consistent, so nothing about the paper's
+//! single-writer semantics requires serializing readers. Writers take the
+//! exclusive side of the same lock.
+//!
+//! Lock hierarchy (always acquired in this order, never the reverse):
+//!
+//! 1. `gate` — a small mutex guarding transaction ownership; the
+//!    [`Condvar`] `txn_released` is associated with it.
+//! 2. `ham` — the `RwLock` over the HAM itself, acquired (shared or
+//!    exclusive) *while still holding the gate*, so no transaction can
+//!    begin between the ownership check and lock acquisition. The gate is
+//!    released as soon as the HAM lock is held.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use neptune_ham::predicate::Predicate;
 use neptune_ham::types::Time;
@@ -24,28 +42,86 @@ use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
 
 /// How long a client waits for another client's transaction before its
-/// request fails with a lock-timeout error.
+/// request fails with a lock-timeout error. This is a fixed deadline: the
+/// total wait is bounded by it no matter how many spurious or unhelpful
+/// condvar wakeups occur in between.
 pub const LOCK_TIMEOUT: Duration = Duration::from_secs(5);
 
-struct Shared {
-    state: Mutex<ServerState>,
-    txn_released: Condvar,
-    shutdown: AtomicBool,
-    next_conn: AtomicU64,
+/// Tuning knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Deadline for waiting on another connection's transaction; defaults
+    /// to [`LOCK_TIMEOUT`]. Tests shrink this to keep timeout paths fast.
+    pub lock_timeout: Duration,
 }
 
-impl Shared {
-    /// Lock the server state, recovering from a poisoned mutex (a panicking
-    /// connection thread must not take the whole server down).
-    fn lock_state(&self) -> MutexGuard<'_, ServerState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            lock_timeout: LOCK_TIMEOUT,
+        }
     }
 }
 
-struct ServerState {
-    ham: Ham,
+/// Transaction-ownership state, guarded by the gate mutex.
+struct Gate {
     /// Connection currently holding an explicit transaction, if any.
     txn_owner: Option<u64>,
+}
+
+struct Shared {
+    ham: RwLock<Ham>,
+    gate: Mutex<Gate>,
+    txn_released: Condvar,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    lock_timeout: Duration,
+}
+
+impl Shared {
+    /// Lock the transaction gate, recovering from a poisoned mutex (a
+    /// panicking connection thread must not take the whole server down).
+    fn lock_gate(&self) -> MutexGuard<'_, Gate> {
+        self.gate.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Shared (reader) access to the HAM, recovering from poison.
+    fn read_ham(&self) -> RwLockReadGuard<'_, Ham> {
+        self.ham.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive (writer) access to the HAM, recovering from poison.
+    fn write_ham(&self) -> RwLockWriteGuard<'_, Ham> {
+        self.ham.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Cleans up a connection's transaction no matter how its thread exits.
+///
+/// Constructed at the top of every connection thread; its `Drop` runs on
+/// clean disconnect, on protocol error, *and* during a panic unwind, so a
+/// dead owner can never strand the transaction lock and starve every other
+/// client into timeouts.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    conn_id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut gate = self.shared.lock_gate();
+        if gate.txn_owner == Some(self.conn_id) {
+            {
+                let mut ham = self.shared.write_ham();
+                if ham.in_transaction() {
+                    let _ = ham.abort_transaction();
+                }
+            }
+            gate.txn_owner = None;
+            drop(gate);
+            self.shared.txn_released.notify_all();
+        }
+    }
 }
 
 /// A running Neptune server; dropping it (or calling [`ServerHandle::stop`])
@@ -68,16 +144,25 @@ impl ServerHandle {
         self.stop_inner();
     }
 
+    /// Test hook: wake every thread blocked on the transaction condvar, as
+    /// a spurious wakeup would. The deadline-based wait must shrug these
+    /// off without extending a waiter's total timeout.
+    pub fn poke_txn_waiters(&self) {
+        self.shared.txn_released.notify_all();
+    }
+
     fn stop_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let mut state = self.shared.lock_state();
-        if state.ham.in_transaction() {
-            let _ = state.ham.abort_transaction();
+        let mut gate = self.shared.lock_gate();
+        let mut ham = self.shared.write_ham();
+        if ham.in_transaction() {
+            let _ = ham.abort_transaction();
         }
-        let _ = state.ham.checkpoint();
+        gate.txn_owner = None;
+        let _ = ham.checkpoint();
     }
 }
 
@@ -91,17 +176,25 @@ impl Drop for ServerHandle {
 
 /// Start serving `ham` on `addr` (use port 0 for an ephemeral port).
 pub fn serve(ham: Ham, addr: impl Into<String>) -> std::io::Result<ServerHandle> {
+    serve_with(ham, addr, ServeOptions::default())
+}
+
+/// Start serving `ham` on `addr` with explicit [`ServeOptions`].
+pub fn serve_with(
+    ham: Ham,
+    addr: impl Into<String>,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr.into())?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        state: Mutex::new(ServerState {
-            ham,
-            txn_owner: None,
-        }),
+        ham: RwLock::new(ham),
+        gate: Mutex::new(Gate { txn_owner: None }),
         txn_released: Condvar::new(),
         shutdown: AtomicBool::new(false),
         next_conn: AtomicU64::new(1),
+        lock_timeout: options.lock_timeout,
     });
 
     let accept_shared = shared.clone();
@@ -113,6 +206,12 @@ pub fn serve(ham: Ham, addr: impl Into<String>) -> std::io::Result<ServerHandle>
                     let conn_shared = accept_shared.clone();
                     let id = conn_shared.next_conn.fetch_add(1, Ordering::SeqCst);
                     conn_threads.push(std::thread::spawn(move || {
+                        // The guard must outlive everything the connection
+                        // does so its Drop also runs on panic unwind.
+                        let _guard = ConnGuard {
+                            shared: conn_shared.clone(),
+                            conn_id: id,
+                        };
                         let _ = handle_connection(stream, id, conn_shared);
                     }));
                 }
@@ -144,7 +243,7 @@ fn handle_connection(
     stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
-    let result = loop {
+    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break Ok(());
         }
@@ -161,64 +260,91 @@ fn handle_connection(
             Err(neptune_storage::StorageError::Io(e))
                 if e.kind() == std::io::ErrorKind::UnexpectedEof =>
             {
-                break Ok(()); // clean disconnect
+                break Ok(()); // clean disconnect; ConnGuard aborts any txn
             }
             Err(e) => break Err(e),
         };
         let response = execute(&shared, conn_id, request);
         write_frame(&mut stream, &response)?;
-    };
-    // Abort an abandoned transaction.
-    let mut state = shared.lock_state();
-    if state.txn_owner == Some(conn_id) {
-        let _ = state.ham.abort_transaction();
-        state.txn_owner = None;
-        shared.txn_released.notify_all();
     }
-    result
 }
 
 /// Run one request under the transaction-ownership discipline.
+///
+/// Non-owners (readers included) first wait at the gate for any foreign
+/// transaction to finish — explicit transactions get true isolation, since
+/// the HAM mutates in place and a concurrent read would see uncommitted
+/// state. The wait honors one fixed deadline across spurious wakeups. Once
+/// through the gate, read-only requests share the HAM under the reader
+/// lock; everything else takes the writer lock. The transaction owner
+/// always uses the exclusive path, which is what gives it read-your-writes.
 fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
-    let mut state = shared.lock_state();
-    // Wait while another connection holds a transaction.
-    while state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
-        let (guard, timeout) = shared
-            .txn_released
-            .wait_timeout(state, LOCK_TIMEOUT)
-            .unwrap_or_else(PoisonError::into_inner);
-        state = guard;
-        if timeout.timed_out() && state.txn_owner.is_some() && state.txn_owner != Some(conn_id) {
-            return Response::Error("timed out waiting for another client's transaction".into());
+    let mut request = request;
+    let mut force_write = !request.is_read_only();
+    let deadline = Instant::now() + shared.lock_timeout;
+    loop {
+        let mut gate = shared.lock_gate();
+        while gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Response::Error(
+                    "timed out waiting for another client's transaction".into(),
+                );
+            };
+            let (guard, _) = shared
+                .txn_released
+                .wait_timeout(gate, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            gate = guard;
         }
-    }
-    match request {
-        Request::BeginTransaction => match state.ham.begin_transaction() {
-            Ok(id) => {
-                state.txn_owner = Some(conn_id);
-                Response::TxnStarted(id)
+        match request {
+            Request::BeginTransaction => {
+                let mut ham = shared.write_ham();
+                return match ham.begin_transaction() {
+                    Ok(id) => {
+                        gate.txn_owner = Some(conn_id);
+                        Response::TxnStarted(id)
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                };
             }
-            Err(e) => Response::Error(e.to_string()),
-        },
-        Request::CommitTransaction => {
-            if state.txn_owner != Some(conn_id) {
-                return Response::Error("no transaction owned by this connection".into());
+            Request::CommitTransaction | Request::AbortTransaction => {
+                if gate.txn_owner != Some(conn_id) {
+                    return Response::Error("no transaction owned by this connection".into());
+                }
+                let commit = matches!(request, Request::CommitTransaction);
+                let r = {
+                    let mut ham = shared.write_ham();
+                    if commit {
+                        ham.commit_transaction()
+                    } else {
+                        ham.abort_transaction()
+                    }
+                };
+                gate.txn_owner = None;
+                drop(gate);
+                shared.txn_released.notify_all();
+                return result_to_response(r.map(|_| Response::Ok));
             }
-            let r = state.ham.commit_transaction();
-            state.txn_owner = None;
-            shared.txn_released.notify_all();
-            result_to_response(r.map(|_| Response::Ok))
+            _ => {}
         }
-        Request::AbortTransaction => {
-            if state.txn_owner != Some(conn_id) {
-                return Response::Error("no transaction owned by this connection".into());
-            }
-            let r = state.ham.abort_transaction();
-            state.txn_owner = None;
-            shared.txn_released.notify_all();
-            result_to_response(r.map(|_| Response::Ok))
+        if force_write || gate.txn_owner == Some(conn_id) {
+            // Acquired while holding the gate (lock order: gate → ham).
+            let mut ham = shared.write_ham();
+            drop(gate);
+            return dispatch(&mut ham, request);
         }
-        other => dispatch(&mut state.ham, other),
+        // Read-only path: shared lock, still acquired under the gate so no
+        // transaction can slip in between the check and the acquisition.
+        let ham = shared.read_ham();
+        drop(gate);
+        match dispatch_read(&ham, request) {
+            Ok(response) => return response,
+            Err(bounced) => {
+                // A nodeOpened demon must fire: retry on the write path.
+                request = bounced;
+                force_write = true;
+            }
+        }
     }
 }
 
@@ -229,7 +355,182 @@ fn result_to_response(r: neptune_ham::Result<Response>) -> Response {
     }
 }
 
-/// Translate a request into a HAM call.
+/// Serve a read-only request against a shared HAM reference.
+///
+/// Returns `Err(request)` when the request turns out to need the exclusive
+/// path after all (an `OpenNode` whose `nodeOpened` demon is registered).
+/// The match is exhaustive so adding a `Request` variant forces an explicit
+/// classification here as well as in [`Request::is_read_only`].
+fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, Request> {
+    use Request as Q;
+    use Response as A;
+    if let Q::OpenNode { context, node, .. } = &request {
+        if ham.open_demon_registered(*context, *node) {
+            return Err(request);
+        }
+    }
+    let result: neptune_ham::Result<Response> = (|| {
+        Ok(match request {
+            Q::LinearizeGraph {
+                context,
+                start,
+                time,
+                node_pred,
+                link_pred,
+                node_attrs,
+                link_attrs,
+            } => {
+                let np = parse_pred(&node_pred)?;
+                let lp = parse_pred(&link_pred)?;
+                A::SubGraph(ham.linearize_graph(
+                    context,
+                    start,
+                    time,
+                    &np,
+                    &lp,
+                    &node_attrs,
+                    &link_attrs,
+                )?)
+            }
+            Q::GetGraphQuery {
+                context,
+                time,
+                node_pred,
+                link_pred,
+                node_attrs,
+                link_attrs,
+            } => {
+                let np = parse_pred(&node_pred)?;
+                let lp = parse_pred(&link_pred)?;
+                A::SubGraph(ham.get_graph_query(
+                    context,
+                    time,
+                    &np,
+                    &lp,
+                    &node_attrs,
+                    &link_attrs,
+                )?)
+            }
+            Q::OpenNode {
+                context,
+                node,
+                time,
+                attrs,
+            } => {
+                let opened = ham.read_node(context, node, time, &attrs)?;
+                A::Opened {
+                    contents: opened.contents,
+                    link_pts: opened.link_pts,
+                    values: opened.values,
+                    current_time: opened.current_time,
+                }
+            }
+            Q::GetNodeTimeStamp { context, node } => {
+                A::Time(ham.get_node_time_stamp(context, node)?)
+            }
+            Q::GetNodeVersions { context, node } => {
+                let (major, minor) = ham.get_node_versions(context, node)?;
+                A::Versions(major, minor)
+            }
+            Q::GetNodeDifferences {
+                context,
+                node,
+                time1,
+                time2,
+            } => A::Differences(ham.get_node_differences(context, node, time1, time2)?),
+            Q::GetToNode {
+                context,
+                link,
+                time,
+            } => {
+                let (n, t) = ham.get_to_node(context, link, time)?;
+                A::NodeAt(n, t)
+            }
+            Q::GetFromNode {
+                context,
+                link,
+                time,
+            } => {
+                let (n, t) = ham.get_from_node(context, link, time)?;
+                A::NodeAt(n, t)
+            }
+            Q::GetAttributes { context, time } => A::Attributes(ham.get_attributes(context, time)?),
+            Q::GetAttributeValues {
+                context,
+                attr,
+                time,
+            } => A::Values(ham.get_attribute_values(context, attr, time)?),
+            Q::GetNodeAttributeValue {
+                context,
+                node,
+                attr,
+                time,
+            } => A::Value(ham.get_node_attribute_value(context, node, attr, time)?),
+            Q::GetNodeAttributes {
+                context,
+                node,
+                time,
+            } => A::AttrTriples(ham.get_node_attributes(context, node, time)?),
+            Q::GetLinkAttributeValue {
+                context,
+                link,
+                attr,
+                time,
+            } => A::Value(ham.get_link_attribute_value(context, link, attr, time)?),
+            Q::GetLinkAttributes {
+                context,
+                link,
+                time,
+            } => A::AttrTriples(ham.get_link_attributes(context, link, time)?),
+            Q::GetGraphDemons { context, time } => A::Demons(ham.get_graph_demons(context, time)?),
+            Q::GetNodeDemons {
+                context,
+                node,
+                time,
+            } => A::Demons(ham.get_node_demons(context, node, time)?),
+            Q::ListContexts => A::Contexts(ham.contexts()),
+            Q::Ping => A::Ok,
+            Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
+            Q::CacheStats => cache_stats_response(ham),
+            Q::AddNode { .. }
+            | Q::DeleteNode { .. }
+            | Q::AddLink { .. }
+            | Q::CopyLink { .. }
+            | Q::DeleteLink { .. }
+            | Q::ModifyNode { .. }
+            | Q::ChangeNodeProtection { .. }
+            | Q::GetAttributeIndex { .. }
+            | Q::SetNodeAttributeValue { .. }
+            | Q::DeleteNodeAttribute { .. }
+            | Q::SetLinkAttributeValue { .. }
+            | Q::DeleteLinkAttribute { .. }
+            | Q::SetGraphDemonValue { .. }
+            | Q::SetNodeDemon { .. }
+            | Q::BeginTransaction
+            | Q::CommitTransaction
+            | Q::AbortTransaction
+            | Q::CreateContext { .. }
+            | Q::MergeContext { .. }
+            | Q::DestroyContext { .. }
+            | Q::Checkpoint => {
+                unreachable!("mutating request routed to the read dispatcher")
+            }
+        })
+    })();
+    Ok(result_to_response(result))
+}
+
+fn cache_stats_response(ham: &Ham) -> Response {
+    let s = ham.version_cache_stats();
+    Response::CacheStats {
+        hits: s.hits,
+        misses: s.misses,
+        entries: s.entries,
+        bytes: s.bytes,
+    }
+}
+
+/// Translate a request into a HAM call (exclusive path).
 fn dispatch(ham: &mut Ham, request: Request) -> Response {
     use Request as Q;
     use Response as A;
@@ -463,6 +764,7 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
             }
             Q::Ping => A::Ok,
             Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
+            Q::CacheStats => cache_stats_response(ham),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 unreachable!("transaction control handled by execute()")
             }

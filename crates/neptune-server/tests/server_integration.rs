@@ -8,7 +8,7 @@ use neptune_ham::demons::{DemonSpec, Event};
 use neptune_ham::types::{LinkPt, Protections, Time, MAIN_CONTEXT};
 use neptune_ham::value::Value;
 use neptune_ham::{Ham, Machine};
-use neptune_server::{serve, Client};
+use neptune_server::{serve, serve_with, Client, ServeOptions};
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("neptune-server-{name}-{}", std::process::id()));
@@ -334,6 +334,158 @@ fn waiting_writer_times_out_on_a_hung_transaction() {
     // Once the holder finishes, the waiter succeeds.
     holder.commit_transaction().unwrap();
     waiter.add_node(MAIN_CONTEXT, true).unwrap();
+    server.stop();
+}
+
+#[test]
+fn dead_transaction_owner_releases_the_lock_for_the_next_client() {
+    let (server, _dir) = start("dead-owner");
+    let addr = server.addr();
+
+    // A client dies abruptly while holding the explicit transaction.
+    {
+        let mut doomed = Client::connect(addr).unwrap();
+        doomed.begin_transaction().unwrap();
+        doomed.add_node(MAIN_CONTEXT, true).unwrap();
+        // Dropped here: the socket closes with the transaction still open.
+    }
+
+    // The next client must be able to acquire the transaction lock well
+    // within the lock timeout — the server's connection cleanup has to
+    // abort the orphaned transaction and clear its ownership.
+    let mut next = Client::connect(addr).unwrap();
+    let started = std::time::Instant::now();
+    next.begin_transaction().unwrap();
+    assert!(
+        started.elapsed() < neptune_server::server::LOCK_TIMEOUT,
+        "begin_transaction should not have waited out the full lock timeout"
+    );
+    next.add_node(MAIN_CONTEXT, true).unwrap();
+    next.commit_transaction().unwrap();
+    server.stop();
+}
+
+#[test]
+fn lock_wait_deadline_is_fixed_across_spurious_wakeups() {
+    // A waiter's total wait must be bounded by ONE lock timeout even when
+    // the condvar fires repeatedly without the transaction ending; a wait
+    // that restarts its timeout on every wakeup would block ~forever here.
+    let dir = tmpdir("fixed-deadline");
+    let (ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let timeout = std::time::Duration::from_millis(600);
+    let server = serve_with(
+        ham,
+        "127.0.0.1:0",
+        ServeOptions {
+            lock_timeout: timeout,
+        },
+    )
+    .unwrap();
+
+    let mut holder = Client::connect(server.addr()).unwrap();
+    holder.begin_transaction().unwrap();
+
+    // Hammer the condvar with wakeups while a second client waits.
+    let addr = server.addr();
+    let waiter = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let started = std::time::Instant::now();
+        let result = c.add_node(MAIN_CONTEXT, true);
+        (result, started.elapsed())
+    });
+    let poke_until = std::time::Instant::now() + timeout * 4;
+    while std::time::Instant::now() < poke_until {
+        server.poke_txn_waiters();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    let (result, waited) = waiter.join().unwrap();
+    match result {
+        Err(neptune_server::ClientError::Server(msg)) => {
+            assert!(msg.contains("timed out"), "{msg}");
+        }
+        other => panic!("expected lock timeout, got {other:?}"),
+    }
+    assert!(waited >= timeout, "timed out early: {waited:?}");
+    assert!(
+        waited < timeout * 3,
+        "wakeups extended the deadline: waited {waited:?} against a {timeout:?} timeout"
+    );
+
+    holder.abort_transaction().unwrap();
+    server.stop();
+}
+
+#[test]
+fn concurrent_readers_never_see_torn_state() {
+    let (server, _dir) = start("read-stress");
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    let (node, t0) = setup.add_node(MAIN_CONTEXT, true).unwrap();
+    setup
+        .modify_node(MAIN_CONTEXT, node, t0, b"gen 0 | gen 0\n".to_vec(), vec![])
+        .unwrap();
+
+    // One writer rewrites the node with self-consistent payloads (the
+    // generation appears twice); readers hammer it concurrently and verify
+    // every snapshot they see is internally consistent — a torn read would
+    // surface as mismatched halves.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut generation = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                generation += 1;
+                let t = c.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+                let payload = format!("gen {generation} | gen {generation}\n");
+                c.modify_node(MAIN_CONTEXT, node, t, payload.into_bytes(), vec![])
+                    .unwrap();
+            }
+            generation
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let opened = c
+                        .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+                        .unwrap();
+                    let text = String::from_utf8(opened.contents).unwrap();
+                    let (left, right) = text
+                        .trim_end()
+                        .split_once(" | ")
+                        .unwrap_or_else(|| panic!("malformed payload: {text:?}"));
+                    assert_eq!(left, right, "torn read: {text:?}");
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let generations = writer.join().unwrap();
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(generations > 0, "writer made no progress");
+    assert!(total_reads > 0, "readers made no progress");
+
+    // Historical reads replayed through the cache agree with themselves.
+    let versions = setup.get_node_versions(MAIN_CONTEXT, node).unwrap().0;
+    for v in versions.iter().rev().take(50) {
+        let opened = setup.open_node(MAIN_CONTEXT, node, v.time, vec![]).unwrap();
+        let text = String::from_utf8(opened.contents).unwrap();
+        let (left, right) = text.trim_end().split_once(" | ").unwrap();
+        assert_eq!(left, right, "torn historical read at {:?}", v.time);
+    }
+    let (hits, misses, _, _) = setup.cache_stats().unwrap();
+    assert!(hits + misses > 0, "version cache was never consulted");
     server.stop();
 }
 

@@ -39,6 +39,7 @@ Neptune shell — commands:
   begin / commit / abort               explicit transaction control
   checkpoint                           fold the log into a snapshot
   check                                verify store integrity (fsck + lints)
+  cachestats                           version-materialization cache counters
   help                                 this text
   quit                                 leave
 ";
@@ -119,6 +120,13 @@ pub(crate) fn dispatch(shell: &mut Shell, command: &str, rest: &str) -> Result<S
             Ok("checkpointed\n".to_string())
         }
         "check" => cmd_check(shell),
+        "cachestats" => {
+            let s = shell.ham.version_cache_stats();
+            Ok(format!(
+                "version cache: {} hits, {} misses, {} entries, {} bytes\n",
+                s.hits, s.misses, s.entries, s.bytes
+            ))
+        }
         other => Err(ShellError::Usage(format!(
             "unknown command '{other}' — try 'help'"
         ))),

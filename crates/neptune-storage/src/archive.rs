@@ -7,10 +7,27 @@
 //! from the next-newer version — exactly RCS's reverse-delta scheme \[Tic82\],
 //! which the paper cites. Check-out of the head is O(size); check-out of a
 //! version `k` steps back applies `k` deltas.
+//!
+//! To keep deep-history reads cheap, an archive lazily remembers
+//! **keyframes**: full materializations of every [`KEYFRAME_INTERVAL`]-th
+//! version, captured as a side effect of replay. A warm [`Archive::checkout`]
+//! therefore applies at most `KEYFRAME_INTERVAL - 1` deltas no matter how
+//! long the chain is. Keyframes are derived, in-memory state only: they are
+//! excluded from the wire format, from equality, and are rebuilt on demand
+//! after a reload. [`Archive::checkout_uncached`] performs the original full
+//! replay for benchmarks and cross-checking.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::delta::Delta;
 use crate::error::{Result, StorageError};
+
+/// Every this-many versions along the backward chain, replay retains a full
+/// materialization so later checkouts start from a nearby keyframe instead
+/// of the head.
+pub const KEYFRAME_INTERVAL: usize = 16;
 
 /// One historical version's metadata plus the backward delta to reach it
 /// from its successor.
@@ -24,7 +41,7 @@ struct BackEntry {
 
 /// A versioned byte container storing the head in full and older versions as
 /// backward deltas.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Archive {
     /// Current contents, stored whole.
     head: Vec<u8>,
@@ -33,7 +50,37 @@ pub struct Archive {
     /// Older versions, most recent last; `entries[i].back_delta` applied to
     /// version `i+1` (or to the head for the last entry) yields version `i`.
     entries: Vec<BackEntry>,
+    /// Lazily captured full materializations: entry index → contents of that
+    /// version. Derived state — see the module docs. Interior mutability lets
+    /// `checkout(&self)` warm it; the mutex keeps `Archive: Sync` so whole
+    /// graphs can sit behind the server's reader lock.
+    keyframes: Mutex<HashMap<usize, Arc<Vec<u8>>>>,
 }
+
+impl Clone for Archive {
+    fn clone(&self) -> Self {
+        // Keyframes are Arc'd, so cloning the map is cheap and keeps
+        // context forks warm.
+        let frames = self.lock_keyframes().clone();
+        Archive {
+            head: self.head.clone(),
+            head_time: self.head_time,
+            entries: self.entries.clone(),
+            keyframes: Mutex::new(frames),
+        }
+    }
+}
+
+impl PartialEq for Archive {
+    fn eq(&self, other: &Self) -> bool {
+        // Canonical state only: keyframes are derived and never observable.
+        self.head == other.head
+            && self.head_time == other.head_time
+            && self.entries == other.entries
+    }
+}
+
+impl Eq for Archive {}
 
 impl Archive {
     /// Create an archive whose first version is `contents` at `time`.
@@ -50,7 +97,16 @@ impl Archive {
             head: contents,
             head_time: time,
             entries: Vec::new(),
+            keyframes: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn lock_keyframes(&self) -> MutexGuard<'_, HashMap<usize, Arc<Vec<u8>>>> {
+        // A panic while holding the lock leaves only derived state behind;
+        // recover it rather than poisoning every future checkout.
+        self.keyframes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Check in a new current version at `time`.
@@ -111,15 +167,53 @@ impl Archive {
 
     /// Contents as of logical time `t` (`0` = current).
     ///
-    /// Walks backward deltas from the head; cost is proportional to how far
-    /// back `t` lies, and zero-copy for the head itself.
+    /// Starts from the nearest keyframe at or above the target version (the
+    /// head if none is warm yet) and applies the delta suffix down to it,
+    /// capturing new keyframes along the way. Cold cost is proportional to
+    /// how far back `t` lies; warm cost is at most [`KEYFRAME_INTERVAL`]
+    /// delta applications.
     pub fn checkout(&self, t: u64) -> Result<Vec<u8>> {
         let resolved = self.resolve_time(t)?;
         if resolved == self.head_time {
             return Ok(self.head.clone());
         }
-        // Find the entry index for the resolved time, then apply deltas from
-        // the newest entry down to it.
+        let idx = self
+            .entries
+            .binary_search_by_key(&resolved, |e| e.time)
+            .map_err(|_| StorageError::NoSuchVersion { time: t })?;
+        let (mut current, from) = {
+            let frames = self.lock_keyframes();
+            if let Some(data) = frames.get(&idx) {
+                return Ok((**data).clone());
+            }
+            // Nearest warm keyframe newer than the target, else the head.
+            match frames
+                .iter()
+                .filter(|(&k, _)| k > idx && k <= self.entries.len())
+                .min_by_key(|(&k, _)| k)
+            {
+                Some((&k, data)) => ((**data).clone(), k),
+                None => (self.head.clone(), self.entries.len()),
+            }
+        };
+        for m in (idx..from).rev() {
+            current = self.entries[m].back_delta.apply(&current)?;
+            if m % KEYFRAME_INTERVAL == 0 {
+                self.lock_keyframes().insert(m, Arc::new(current.clone()));
+            }
+        }
+        Ok(current)
+    }
+
+    /// Contents as of logical time `t`, always replaying the full backward
+    /// chain from the head and never touching keyframes. This is the
+    /// reference implementation [`Archive::checkout`] must agree with, and
+    /// what "cache disabled" means in the read-scaling benchmarks.
+    pub fn checkout_uncached(&self, t: u64) -> Result<Vec<u8>> {
+        let resolved = self.resolve_time(t)?;
+        if resolved == self.head_time {
+            return Ok(self.head.clone());
+        }
         let idx = self
             .entries
             .binary_search_by_key(&resolved, |e| e.time)
@@ -149,6 +243,9 @@ impl Archive {
         self.entries.truncate(idx);
         self.head = new_head;
         self.head_time = resolved;
+        // Keyframes at or past the cut refer to discarded versions; a later
+        // checkin would reuse those entry indices with different contents.
+        self.lock_keyframes().retain(|&k, _| k < idx);
         Ok(())
     }
 
@@ -239,6 +336,7 @@ impl Decode for Archive {
             head,
             head_time,
             entries,
+            keyframes: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -378,6 +476,99 @@ mod tests {
             version(1),
             "times 3..8 resolve to v2"
         );
+    }
+
+    #[test]
+    fn keyframes_accelerate_without_changing_results() {
+        let a = build(100);
+        // Cold pass populates keyframes; warm pass must reread identically.
+        for i in (0..100).rev() {
+            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i));
+        }
+        assert!(
+            !a.lock_keyframes().is_empty(),
+            "deep replay should have captured keyframes"
+        );
+        for i in 0..100 {
+            let t = (i + 1) as u64;
+            assert_eq!(a.checkout(t).unwrap(), a.checkout_uncached(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn keyframes_are_dropped_by_truncate() {
+        let mut a = build(64);
+        a.checkout(1).unwrap(); // warm keyframes along the whole chain
+        a.truncate_after(40).unwrap();
+        assert!(a.lock_keyframes().keys().all(|&k| k < 39));
+        // Regrow the history past the cut; the reused entry indices must not
+        // resurrect pre-truncation contents.
+        for i in 40..64 {
+            a.checkin(version(i), (i + 10) as u64).unwrap();
+        }
+        for i in 0..40 {
+            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i));
+        }
+        for i in 40..64 {
+            assert_eq!(a.checkout((i + 10) as u64).unwrap(), version(i));
+        }
+    }
+
+    #[test]
+    fn clones_and_codec_ignore_keyframes() {
+        let a = build(40);
+        a.checkout(1).unwrap();
+        let b = a.clone();
+        assert_eq!(a, b, "equality must ignore derived keyframes");
+        let decoded = Archive::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(decoded, a);
+        assert!(
+            decoded.lock_keyframes().is_empty(),
+            "keyframes must not travel through the wire format"
+        );
+    }
+
+    #[test]
+    fn property_cached_checkout_matches_uncached_replay() {
+        use crate::testutil::XorShift;
+        for seed in 1..=8u64 {
+            let mut rng = XorShift::new(seed);
+            let initial_len = 64 + rng.index(256);
+            let mut contents = rng.bytes(initial_len);
+            let mut a = Archive::new(contents.clone(), 1);
+            let mut clock = 1u64;
+            let mut live: Vec<u64> = vec![1];
+            for _ in 0..rng.index(60) + 20 {
+                if rng.chance(1, 10) && live.len() > 1 {
+                    // Rewind to a random surviving version, like an abort.
+                    let cut = live[rng.index(live.len())];
+                    a.truncate_after(cut).unwrap();
+                    live.retain(|&t| t <= cut);
+                    contents = a.head().to_vec();
+                    clock = cut;
+                } else {
+                    // Random splice edit, then check in.
+                    let at = rng.index(contents.len().max(1));
+                    let del = rng.index(contents.len() - at + 1);
+                    let ins_len = rng.index(64);
+                    let ins = rng.bytes(ins_len);
+                    contents.splice(at..at + del, ins);
+                    clock += 1 + rng.below(3);
+                    a.checkin(contents.clone(), clock).unwrap();
+                    live.push(clock);
+                }
+                // Probe a few random historical times each step.
+                for _ in 0..3 {
+                    let t = live[rng.index(live.len())];
+                    assert_eq!(
+                        a.checkout(t).unwrap(),
+                        a.checkout_uncached(t).unwrap(),
+                        "seed {seed} time {t}"
+                    );
+                }
+            }
+            a.verify_chain().unwrap();
+        }
     }
 
     #[test]

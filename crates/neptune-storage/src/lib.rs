@@ -15,7 +15,9 @@
 //! * [`diff`] — a Myers O(ND) line diff producing the paper's `Difference`
 //!   domain (`getNodeDifferences`, the node-differences browser);
 //! * [`delta`] — copy/add deltas between byte buffers;
-//! * [`archive`] — backward-delta version archives (paper §A.2 "archives");
+//! * [`archive`] — backward-delta version archives (paper §A.2 "archives"),
+//!   with lazy keyframes bounding deep-history replay;
+//! * [`vcache`] — a bounded LRU cache of fully materialized node versions;
 //! * [`wal`] — a write-ahead log giving transaction durability and
 //!   crash recovery (paper §2.2);
 //! * [`snapshot`] — atomic checksummed state snapshots for checkpointing;
@@ -38,6 +40,7 @@ pub mod error;
 pub mod snapshot;
 pub mod testutil;
 pub mod varint;
+pub mod vcache;
 pub mod wal;
 
 pub use archive::Archive;
@@ -46,4 +49,5 @@ pub use codec::{Decode, Encode, Reader, Writer};
 pub use delta::{Delta, DeltaOp};
 pub use diff::{differences, Difference};
 pub use error::{Result, StorageError};
+pub use vcache::{CacheStats, MaterializationCache};
 pub use wal::{RecordKind, Wal, WalRecord};

@@ -1,0 +1,281 @@
+//! Bounded LRU cache of materialized node versions.
+//!
+//! `Archive::checkout` of an old version replays a backward-delta chain;
+//! keyframes (see [`crate::archive`]) bound that replay, and this cache
+//! removes it entirely for repeated reads: the HAM keys fully materialized
+//! contents by `(context, node, resolved time)` so the second checkout of
+//! any version is a hash lookup. Entries are `Arc`'d byte buffers; the cache
+//! is bounded both by entry count and by total payload bytes, evicting the
+//! least-recently-used entry first. "Efficient Snapshot Retrieval over
+//! Historical Graph Data" (see PAPERS.md) motivates exactly this
+//! materialization layer over delta chains.
+//!
+//! The cache is a plain struct with `&mut` methods; the HAM wraps it in a
+//! `Mutex` so concurrent readers behind the server's shared lock can all
+//! consult it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: `(context id, node id, resolved version time)`.
+///
+/// The time component is always a *resolved* version time (an actual
+/// check-in time), never the raw request time, so every alias of a version
+/// shares one entry.
+pub type VersionKey = (u64, u64, u64);
+
+/// Default maximum number of cached versions.
+pub const DEFAULT_MAX_ENTRIES: usize = 256;
+
+/// Default maximum total payload bytes (16 MiB).
+pub const DEFAULT_MAX_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Counters and occupancy for a [`MaterializationCache`], as reported over
+/// the wire by the server's `CacheStats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a materialized version.
+    pub hits: u64,
+    /// Lookups that missed (including lookups while disabled).
+    pub misses: u64,
+    /// Versions currently cached.
+    pub entries: u64,
+    /// Total payload bytes currently cached.
+    pub bytes: u64,
+}
+
+struct CacheEntry {
+    data: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+/// A bounded, LRU-evicting map from [`VersionKey`] to materialized contents.
+pub struct MaterializationCache {
+    map: HashMap<VersionKey, CacheEntry>,
+    max_entries: usize,
+    max_bytes: u64,
+    cur_bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    enabled: bool,
+}
+
+impl Default for MaterializationCache {
+    fn default() -> Self {
+        MaterializationCache::new(DEFAULT_MAX_ENTRIES, DEFAULT_MAX_BYTES)
+    }
+}
+
+impl std::fmt::Debug for MaterializationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaterializationCache")
+            .field("entries", &self.map.len())
+            .field("bytes", &self.cur_bytes)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl MaterializationCache {
+    /// Create a cache bounded by `max_entries` versions and `max_bytes`
+    /// total payload.
+    pub fn new(max_entries: usize, max_bytes: u64) -> Self {
+        MaterializationCache {
+            map: HashMap::new(),
+            max_entries,
+            max_bytes,
+            cur_bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            enabled: true,
+        }
+    }
+
+    /// Whether lookups and inserts are active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn the cache on or off; turning it off drops every entry so a
+    /// disabled cache holds no memory and serves no stale data when
+    /// re-enabled.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.clear();
+        }
+    }
+
+    /// Look up a materialized version, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &VersionKey) -> Option<Arc<Vec<u8>>> {
+        if !self.enabled {
+            self.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a materialized version, evicting least-recently-used entries
+    /// until the bounds hold. Payloads larger than the byte budget are
+    /// simply not cached.
+    pub fn insert(&mut self, key: VersionKey, data: Arc<Vec<u8>>) {
+        if !self.enabled || data.len() as u64 > self.max_bytes || self.max_entries == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.cur_bytes -= old.data.len() as u64;
+        }
+        self.cur_bytes += data.len() as u64;
+        self.map.insert(
+            key,
+            CacheEntry {
+                data,
+                last_used: self.tick,
+            },
+        );
+        while self.map.len() > self.max_entries || self.cur_bytes > self.max_bytes {
+            // O(n) min-scan; at the default 256 entries this is cheaper than
+            // maintaining an ordered index and needs no extra allocation.
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            if let Some(evicted) = self.map.remove(&victim) {
+                self.cur_bytes -= evicted.data.len() as u64;
+            }
+        }
+    }
+
+    /// Drop every cached version belonging to `context`. Called when a
+    /// context's history is rewound (transaction abort truncates archives,
+    /// so old `(node, time)` pairs may be re-bound to different contents) or
+    /// the context is destroyed.
+    pub fn invalidate_context(&mut self, context: u64) {
+        let mut freed = 0u64;
+        self.map.retain(|(ctx, _, _), entry| {
+            if *ctx == context {
+                freed += entry.data.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        self.cur_bytes -= freed;
+    }
+
+    /// Drop every entry, keeping the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.cur_bytes = 0;
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len() as u64,
+            bytes: self.cur_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(bytes: &[u8]) -> Arc<Vec<u8>> {
+        Arc::new(bytes.to_vec())
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let mut c = MaterializationCache::default();
+        assert!(c.get(&(1, 1, 1)).is_none());
+        c.insert((1, 1, 1), arc(b"v1"));
+        assert_eq!(c.get(&(1, 1, 1)).unwrap().as_slice(), b"v1");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 1, 1, 2));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_on_entry_bound() {
+        let mut c = MaterializationCache::new(2, 1 << 20);
+        c.insert((1, 1, 1), arc(b"a"));
+        c.insert((1, 1, 2), arc(b"b"));
+        // Touch the first so the second becomes the LRU victim.
+        assert!(c.get(&(1, 1, 1)).is_some());
+        c.insert((1, 1, 3), arc(b"c"));
+        assert!(c.get(&(1, 1, 1)).is_some());
+        assert!(c.get(&(1, 1, 2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&(1, 1, 3)).is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn evicts_on_byte_bound_and_skips_oversized() {
+        let mut c = MaterializationCache::new(100, 10);
+        c.insert((1, 1, 1), arc(&[0u8; 6]));
+        c.insert((1, 1, 2), arc(&[0u8; 6]));
+        assert_eq!(c.stats().entries, 1, "6+6 exceeds 10 bytes");
+        assert!(c.get(&(1, 1, 2)).is_some());
+        // An entry bigger than the whole budget is not cached at all.
+        c.insert((1, 1, 3), arc(&[0u8; 11]));
+        assert!(c.get(&(1, 1, 3)).is_none());
+        assert_eq!(c.stats().bytes, 6);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_without_leaking_bytes() {
+        let mut c = MaterializationCache::default();
+        c.insert((1, 2, 3), arc(&[0u8; 8]));
+        c.insert((1, 2, 3), arc(&[0u8; 4]));
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes), (1, 4));
+    }
+
+    #[test]
+    fn invalidate_context_is_selective() {
+        let mut c = MaterializationCache::default();
+        c.insert((1, 1, 1), arc(b"keep"));
+        c.insert((2, 1, 1), arc(b"drop"));
+        c.insert((2, 9, 4), arc(b"drop too"));
+        c.invalidate_context(2);
+        assert!(c.get(&(1, 1, 1)).is_some());
+        assert!(c.get(&(2, 1, 1)).is_none());
+        assert!(c.get(&(2, 9, 4)).is_none());
+        assert_eq!(c.stats().bytes, 4);
+    }
+
+    #[test]
+    fn disabled_cache_misses_and_holds_nothing() {
+        let mut c = MaterializationCache::default();
+        c.insert((1, 1, 1), arc(b"x"));
+        c.set_enabled(false);
+        assert!(c.get(&(1, 1, 1)).is_none());
+        c.insert((1, 1, 2), arc(b"y"));
+        assert_eq!(c.stats().entries, 0);
+        c.set_enabled(true);
+        assert!(c.get(&(1, 1, 2)).is_none(), "nothing survives a disable");
+    }
+}

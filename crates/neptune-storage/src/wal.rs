@@ -9,6 +9,14 @@
 //! committed transactions; a torn tail (partial final record) is detected by
 //! length/CRC checks and discarded.
 //!
+//! Damage classification matters here: a record that fails its length or CRC
+//! check **at end-of-file** is the expected signature of a crash mid-write
+//! and is silently truncated, but the same failure with intact records
+//! *after* it cannot be a torn write — it is mid-log corruption, and
+//! truncating there would silently discard committed transactions. Mid-log
+//! damage is therefore a hard [`StorageError::CorruptLog`] error, which
+//! `neptune-check` surfaces as an unopenable store.
+//!
 //! Record layout on disk, after an 8-byte file header:
 //!
 //! ```text
@@ -115,7 +123,9 @@ impl Wal {
     /// Open (creating if absent) the WAL at `path`.
     ///
     /// Any torn tail from a previous crash is truncated away so new records
-    /// append after the last intact one.
+    /// append after the last intact one. Corruption *before* the last record
+    /// is not a torn tail and fails the open with
+    /// [`StorageError::CorruptLog`] instead of silently dropping data.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
@@ -150,6 +160,13 @@ impl Wal {
 
     /// Read all intact records, returning them and the byte offset of the
     /// end of the last intact record.
+    ///
+    /// A damaged frame at the very end of the file is a torn tail: the scan
+    /// stops there and the caller may truncate. A damaged frame with bytes
+    /// after it is mid-log corruption and a hard error — the frame header's
+    /// own length field walks the scan from record to record, so nothing
+    /// past the damage can be trusted, and truncating would drop committed
+    /// transactions without telling anyone.
     fn scan(file: &mut File) -> Result<(Vec<WalRecord>, u64)> {
         file.seek(SeekFrom::Start(0))?;
         let mut bytes = Vec::new();
@@ -167,7 +184,7 @@ impl Wal {
                 break; // clean end
             }
             if pos + 8 > bytes.len() {
-                break; // torn length/crc header
+                break; // torn length/crc header: only possible at end-of-file
             }
             let payload_len =
                 u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
@@ -176,11 +193,17 @@ impl Wal {
             let body_start = pos + 8;
             let body_end = match body_start.checked_add(payload_len) {
                 Some(e) if e <= bytes.len() => e,
-                _ => break, // torn payload
+                _ => break, // payload runs past end-of-file: torn final write
             };
             let payload = &bytes[body_start..body_end];
             if crc32(payload) != expected_crc {
-                break; // corrupt or torn record: stop replay here
+                if body_end == bytes.len() {
+                    break; // damaged final record: torn tail, safe to truncate
+                }
+                return Err(StorageError::CorruptLog {
+                    offset: pos as u64,
+                    reason: "frame checksum mismatch mid-log",
+                });
             }
             let record = WalRecord::from_bytes(payload).map_err(|_| StorageError::CorruptLog {
                 offset: pos as u64,
@@ -372,9 +395,22 @@ mod tests {
         assert_eq!(committed.len(), 2);
     }
 
+    fn flip_byte(path: &Path, offset: u64) {
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .unwrap();
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        f.write_all(&[b[0] ^ 0xFF]).unwrap();
+    }
+
     #[test]
-    fn corrupt_middle_record_stops_replay_at_damage() {
-        let dir = tmpdir("corrupt");
+    fn mid_log_corruption_is_a_hard_error() {
+        let dir = tmpdir("corrupt-mid");
         let path = dir.join("wal");
         let flip_offset;
         {
@@ -385,23 +421,46 @@ mod tests {
             wal.append(2, RecordKind::Begin, vec![]).unwrap();
             wal.append_commit(2).unwrap();
         }
-        // Flip a payload byte inside txn 1's commit record.
-        {
-            let mut f = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(&path)
-                .unwrap();
-            f.seek(SeekFrom::Start(flip_offset)).unwrap();
-            let mut b = [0u8; 1];
-            f.read_exact(&mut b).unwrap();
-            f.seek(SeekFrom::Start(flip_offset)).unwrap();
-            f.write_all(&[b[0] ^ 0xFF]).unwrap();
+        // Flip a payload byte inside txn 1's commit record: intact records
+        // follow, so this cannot be a torn write and must not be truncated.
+        flip_byte(&path, flip_offset);
+        match Wal::open(&path) {
+            Err(StorageError::CorruptLog { reason, .. }) => {
+                assert!(reason.contains("mid-log"), "{reason}");
+            }
+            other => panic!("expected CorruptLog, got {other:?}"),
         }
+        // The damaged file was left untouched for forensics.
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert!(len > flip_offset);
+    }
+
+    #[test]
+    fn corrupt_final_record_is_a_torn_tail() {
+        let dir = tmpdir("corrupt-tail");
+        let path = dir.join("wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(1, RecordKind::Begin, vec![]).unwrap();
+            wal.append(1, RecordKind::Op, b"keep".to_vec()).unwrap();
+            wal.append_commit(1).unwrap();
+            wal.append(2, RecordKind::Begin, vec![]).unwrap();
+            wal.append(2, RecordKind::Op, b"torn".to_vec()).unwrap();
+            wal.sync().unwrap();
+        }
+        // Damage the *last* record's payload: indistinguishable from a crash
+        // mid-write, so recovery truncates it and keeps everything before.
+        let len = std::fs::metadata(&path).unwrap().len();
+        flip_byte(&path, len - 1);
         let mut wal = Wal::open(&path).unwrap();
-        // txn 1's commit is corrupt, so nothing after it survives either.
+        assert!(std::fs::metadata(&path).unwrap().len() < len);
         let committed = wal.recover().unwrap();
-        assert!(committed.is_empty());
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, 1);
+        // The log accepts fresh appends after the truncation.
+        wal.append(3, RecordKind::Begin, vec![]).unwrap();
+        wal.append_commit(3).unwrap();
+        assert_eq!(wal.recover().unwrap().len(), 2);
     }
 
     #[test]
