@@ -19,4 +19,10 @@ cargo test -p neptune-ham --features strict-invariants --lib
 NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_OUT="$PWD/BENCH_read_scaling.json" \
     cargo bench -p neptune-bench --bench read_scaling
 
+# Observability smoke: scripted workload over the wire, then a Metrics RPC.
+# Exits non-zero if the exposition is empty or a required family never
+# moved; leaves METRICS_snapshot.prom at the repo root.
+NEPTUNE_METRICS_OUT="$PWD/METRICS_snapshot.prom" \
+    cargo run --example metrics_smoke
+
 echo "ci: all green"

@@ -103,8 +103,14 @@ fn write_report(c: &Criterion) {
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let metrics = r
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v:.1}", json_escape(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}, \"metrics\": {{{metrics}}}}}{}\n",
             json_escape(&r.label),
             r.ns_per_iter,
             r.iterations,
@@ -112,6 +118,28 @@ fn write_report(c: &Criterion) {
         ));
     }
     out.push_str("  ],\n  \"derived\": {\n");
+    // Registry-wide derived numbers: vcache hit ratio over the whole run,
+    // mean transaction-gate wait (zero in this read-only workload unless a
+    // writer contends).
+    let snapshot = neptune_obs::registry().flat_snapshot();
+    let flat = |key: &str| snapshot.get(key).copied().unwrap_or(0.0);
+    let hits = flat("neptune_storage_vcache_hits_total");
+    let misses = flat("neptune_storage_vcache_misses_total");
+    let hit_ratio = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let gate_count = flat("neptune_server_gate_wait_ns_count");
+    let mean_gate_wait = if gate_count > 0.0 {
+        flat("neptune_server_gate_wait_ns_sum") / gate_count
+    } else {
+        0.0
+    };
+    out.push_str(&format!("    \"cache_hit_ratio\": {hit_ratio:.4},\n"));
+    out.push_str(&format!(
+        "    \"mean_gate_wait_ns\": {mean_gate_wait:.1},\n"
+    ));
     let speedup = match (find(results, "uncached"), find(results, "/cached")) {
         (Some(u), Some(ca)) if ca.ns_per_iter > 0.0 => u.ns_per_iter / ca.ns_per_iter,
         _ => 0.0,
@@ -140,6 +168,9 @@ fn write_report(c: &Criterion) {
 }
 
 fn main() {
+    // Start from zeroed counters so the emitted snapshot reflects this run
+    // only (the registry is process-global).
+    neptune_obs::registry().reset();
     let mut criterion = Criterion::default()
         .measurement_time(Duration::from_millis(1500))
         .warm_up_time(Duration::from_millis(300))

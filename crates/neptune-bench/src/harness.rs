@@ -14,6 +14,7 @@
 //! few milliseconds so CI can exercise every bench path without paying for
 //! real measurements.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -33,6 +34,11 @@ pub struct BenchResult {
     pub ns_per_iter: f64,
     /// Number of measured iterations.
     pub iterations: u64,
+    /// Observability counters that moved while this benchmark ran: the
+    /// delta of each changed [`neptune_obs`] registry value (counters,
+    /// gauges, histogram `_count`/`_sum`) over the benchmark, warm-up
+    /// included. Empty when the registry is disabled.
+    pub metrics: BTreeMap<String, f64>,
 }
 
 /// Top-level harness state: timing configuration plus a result log.
@@ -120,11 +126,23 @@ impl Criterion {
             elapsed: Duration::ZERO,
             iterations: 0,
         };
+        let before = neptune_obs::enabled().then(|| neptune_obs::registry().flat_snapshot());
         f(&mut bencher);
         if bencher.iterations == 0 {
             println!("{label:<52} (no iterations)");
             return;
         }
+        let metrics = match before {
+            Some(before) => neptune_obs::registry()
+                .flat_snapshot()
+                .into_iter()
+                .filter_map(|(key, after)| {
+                    let delta = after - before.get(&key).copied().unwrap_or(0.0);
+                    (delta != 0.0).then_some((key, delta))
+                })
+                .collect(),
+            None => BTreeMap::new(),
+        };
         let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
         println!(
             "{label:<52} {:>12} /iter  ({} iters)",
@@ -135,6 +153,7 @@ impl Criterion {
             label: label.to_string(),
             ns_per_iter: per_iter,
             iterations: bencher.iterations,
+            metrics,
         });
     }
 }

@@ -242,6 +242,7 @@ impl Ham {
         context: ContextId,
         keep_history: bool,
     ) -> Result<(NodeIndex, Time)> {
+        let _span = neptune_obs::span!("ham.add_node", "context {}", context.0);
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let (id, time) = ham.graph_mut(context)?.add_node(keep_history);
@@ -262,6 +263,7 @@ impl Ham {
     /// is preserved: earlier versions of the graph still see it. Triggers
     /// the `nodeDeleted` demon.
     pub fn delete_node(&mut self, context: ContextId, node: NodeIndex) -> Result<()> {
+        let _span = neptune_obs::span!("ham.delete_node", "context {} node {}", context.0, node.0);
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let time = ham.graph_mut(context)?.delete_node(node)?;
@@ -286,6 +288,7 @@ impl Ham {
         from: LinkPt,
         to: LinkPt,
     ) -> Result<(LinkIndex, Time)> {
+        let _span = neptune_obs::span!("ham.add_link", "context {}", context.0);
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let (id, time) = ham.graph_mut(context)?.add_link(from, to)?;
@@ -333,6 +336,7 @@ impl Ham {
     ///
     /// Removes the link (history preserved). Triggers `linkDeleted`.
     pub fn delete_link(&mut self, context: ContextId, link: LinkIndex) -> Result<()> {
+        let _span = neptune_obs::span!("ham.delete_link", "context {} link {}", context.0, link.0);
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let time = ham.graph_mut(context)?.delete_link(link)?;
@@ -360,6 +364,7 @@ impl Ham {
         node_attrs: &[AttributeIndex],
         link_attrs: &[AttributeIndex],
     ) -> Result<SubGraph> {
+        let _span = neptune_obs::span!("ham.linearize_graph", "context {}", context.0);
         let graph = self.graph(context)?;
         linearize_graph(
             graph, start, time, node_pred, link_pred, node_attrs, link_attrs,
@@ -379,6 +384,7 @@ impl Ham {
         node_attrs: &[AttributeIndex],
         link_attrs: &[AttributeIndex],
     ) -> Result<SubGraph> {
+        let _span = neptune_obs::span!("ham.get_graph_query", "context {}", context.0);
         let graph = self.graph(context)?;
         get_graph_query(graph, time, node_pred, link_pred, node_attrs, link_attrs)
     }
@@ -415,7 +421,8 @@ impl Ham {
         time: Time,
         attrs: &[AttributeIndex],
     ) -> Result<OpenedNode> {
-        let opened = self.read_node(context, node, time, attrs)?;
+        let _span = neptune_obs::span!("ham.open_node", "context {} node {}", context.0, node.0);
+        let opened = self.read_node_inner(context, node, time, attrs)?;
         // `openNode` can trigger a demon; only pay the dispatch cost if one
         // is actually registered for this event.
         if self.open_demon_registered(context, node) {
@@ -429,6 +436,19 @@ impl Ham {
     /// reader lock when [`Ham::open_demon_registered`] says no demon would
     /// fire; callers that must preserve demon semantics use `open_node`.
     pub fn read_node(
+        &self,
+        context: ContextId,
+        node: NodeIndex,
+        time: Time,
+        attrs: &[AttributeIndex],
+    ) -> Result<OpenedNode> {
+        let _span = neptune_obs::span!("ham.read_node", "context {} node {}", context.0, node.0);
+        self.read_node_inner(context, node, time, attrs)
+    }
+
+    /// Shared body of [`Ham::open_node`] and [`Ham::read_node`], unspanned
+    /// so each public entry point records exactly one span.
+    fn read_node_inner(
         &self,
         context: ContextId,
         node: NodeIndex,
@@ -476,6 +496,7 @@ impl Ham {
         contents: Vec<u8>,
         link_pts: &[LinkPt],
     ) -> Result<Time> {
+        let _span = neptune_obs::span!("ham.modify_node", "context {} node {}", context.0, node.0);
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let now = apply_modify_node(
@@ -660,6 +681,12 @@ impl Ham {
         attr: AttributeIndex,
         value: Value,
     ) -> Result<()> {
+        let _span = neptune_obs::span!(
+            "ham.set_node_attribute_value",
+            "context {} node {}",
+            context.0,
+            node.0
+        );
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let time = ham
@@ -949,10 +976,12 @@ impl Ham {
     /// Commit the active transaction: its operations become durable (the
     /// WAL is forced) before this returns.
     pub fn commit_transaction(&mut self) -> Result<()> {
+        let _span = neptune_obs::span!("ham.commit_transaction");
         let txn = self.txn.take().ok_or(HamError::TransactionState {
             reason: "no active transaction",
         })?;
         if txn.redo.is_empty() {
+            self.count_txn_outcome("neptune_ham_txn_commits_total");
             return Ok(()); // read-only transaction: nothing to make durable
         }
         self.wal.append(txn.id, RecordKind::Begin, Vec::new())?;
@@ -962,7 +991,15 @@ impl Ham {
         self.wal.append_commit(txn.id)?;
         #[cfg(feature = "strict-invariants")]
         self.assert_strict_invariants("commit_transaction");
+        self.count_txn_outcome("neptune_ham_txn_commits_total");
         Ok(())
+    }
+
+    /// Bump one of the `neptune_ham_txn_*_total` outcome counters.
+    fn count_txn_outcome(&self, key: &str) {
+        if neptune_obs::enabled() {
+            neptune_obs::registry().counter(key).inc();
+        }
     }
 
     /// With the `strict-invariants` feature, every commit and checkpoint
@@ -985,9 +1022,11 @@ impl Ham {
     /// back to its state at transaction start ("complete recovery from any
     /// aborted transaction").
     pub fn abort_transaction(&mut self) -> Result<()> {
+        let _span = neptune_obs::span!("ham.abort_transaction");
         let txn = self.txn.take().ok_or(HamError::TransactionState {
             reason: "no active transaction",
         })?;
+        self.count_txn_outcome("neptune_ham_txn_aborts_total");
         // Contexts destroyed/overwritten during the txn come back first.
         for (id, graph) in txn.saved_contexts.into_iter().rev() {
             let forked_from = self.threads.get(&id).and_then(|t| t.forked_from);
@@ -1019,6 +1058,7 @@ impl Ham {
     /// main-context node's current contents into its per-node file with the
     /// node's protections (the paper's file-per-node storage model).
     pub fn checkpoint(&mut self) -> Result<()> {
+        let _span = neptune_obs::span!("ham.checkpoint");
         if self.txn.is_some() {
             return Err(HamError::TransactionState {
                 reason: "cannot checkpoint inside a transaction",
@@ -1051,6 +1091,7 @@ impl Ham {
     /// Fork a new context ("private world") from `from`, sharing all its
     /// history up to now.
     pub fn create_context(&mut self, from: ContextId) -> Result<ContextId> {
+        let _span = neptune_obs::span!("ham.create_context", "from {}", from.0);
         self.auto_txn(|ham| {
             let parent = ham.thread(from)?;
             let fork_time = parent.graph.now();
@@ -1084,6 +1125,7 @@ impl Ham {
         child: ContextId,
         policy: ConflictPolicy,
     ) -> Result<MergeReport> {
+        let _span = neptune_obs::span!("ham.merge_context", "child {}", child.0);
         let (parent_id, fork_time) =
             self.thread(child)?
                 .forked_from
@@ -1095,6 +1137,11 @@ impl Ham {
             let child_graph = ham.thread(child)?.graph.clone();
             let parent = ham.graph_mut(parent_id)?;
             let report = merge_context(parent, &child_graph, fork_time, policy)?;
+            if neptune_obs::enabled() && !report.conflicts.is_empty() {
+                neptune_obs::registry()
+                    .counter("neptune_ham_merge_conflicts_total")
+                    .add(report.conflicts.len() as u64);
+            }
             let new_fork = ham.graph(parent_id)?.now();
             if let Some(thread) = ham.threads.get_mut(&child) {
                 thread.forked_from = Some((parent_id, new_fork));
@@ -1112,6 +1159,7 @@ impl Ham {
 
     /// Discard a context and its private history.
     pub fn destroy_context(&mut self, id: ContextId) -> Result<()> {
+        let _span = neptune_obs::span!("ham.destroy_context", "context {}", id.0);
         if id == MAIN_CONTEXT {
             return Err(HamError::TransactionState {
                 reason: "cannot destroy the main context",
@@ -1329,6 +1377,17 @@ impl Ham {
         }
         if demons.is_empty() {
             return Ok(());
+        }
+        if neptune_obs::enabled() {
+            // Demon firings are rare enough that the per-event key lookup
+            // is fine here.
+            neptune_obs::registry()
+                .counter(&neptune_obs::labeled(
+                    "neptune_ham_demon_firings_total",
+                    "event",
+                    &event.to_string(),
+                ))
+                .add(demons.len() as u64);
         }
         let info = DemonFireInfo {
             event,

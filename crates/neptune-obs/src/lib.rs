@@ -1,0 +1,38 @@
+//! # neptune-obs
+//!
+//! Observability for the Neptune hypertext system, with zero external
+//! dependencies: every primitive is built from `std` atomics and locks.
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — a process-global [`metrics::Registry`] of counters,
+//!   gauges, and fixed log2-bucket histograms, exposable in Prometheus text
+//!   format. Metric identities are `family{label="value"}` strings; all
+//!   mutation is lock-free atomic operations, so instrumented hot paths pay
+//!   a handful of relaxed atomic ops per event.
+//! * [`trace`] — lightweight structured spans. `span!("ham.open_node",
+//!   "ctx{} node{}", c, n)` times a scope, records its duration into the
+//!   histogram family derived from the span name (`layer.operation` →
+//!   `neptune_<layer>_op_ns{op="operation"}`), notifies the pluggable
+//!   [`trace::Subscriber`] (a human-readable event log, or a no-op), and
+//!   feeds the slow-op log gated by the `NEPTUNE_SLOW_OP_MS` environment
+//!   variable.
+//! * [`render`] — a human-readable rendering of the registry (the shell's
+//!   `stats` command), with histogram buckets drawn as bars rather than raw
+//!   text exposition.
+//!
+//! Disabling: setting `NEPTUNE_OBS_DISABLED=1` (or calling
+//! [`metrics::Registry::set_enabled`]) turns every instrumentation site
+//! into a single relaxed atomic load, which is how the overhead budget
+//! (see DESIGN.md §10) is measured against.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod render;
+pub mod trace;
+
+pub use metrics::{enabled, labeled, registry, Counter, Gauge, GaugeGuard, Histogram, Registry};
+pub use trace::{
+    set_slow_op_threshold, set_subscriber, LogSubscriber, Span, SpanEvent, Subscriber,
+};

@@ -1,0 +1,563 @@
+//! The metrics registry: counters, gauges, and log2-bucket histograms.
+//!
+//! A metric is identified by a *key*: a family name optionally followed by
+//! one `{label="value"}` pair, e.g. `neptune_server_rpc_ns{op="openNode"}`.
+//! Keys sharing a family are one Prometheus metric family in the text
+//! exposition. Handles are `Arc`s; callers on hot paths cache them in
+//! `OnceLock` statics (the `span!` macro does this automatically) so the
+//! steady-state cost of an observation is a few relaxed atomic ops.
+//!
+//! The registry is process-global ([`registry`]). [`Registry::reset`]
+//! zeroes every metric *in place* — it never removes entries, so cached
+//! handles stay live across resets (benches and tests rely on this).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i < BUCKETS-1` counts values
+/// `v ≤ 2^i − 1`; the final bucket is `+Inf`. With nanosecond durations the
+/// last bounded bucket (`2^38 − 1` ns) is ≈ 4.6 minutes.
+pub const BUCKETS: usize = 40;
+
+/// Bucket index for a value: `0` holds only zero, then one bucket per
+/// power of two.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the `+Inf` bucket.
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i >= BUCKETS - 1 {
+        None
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value. For mirroring a count maintained elsewhere
+    /// (e.g. a cache's internal hit counter) into the registry; the caller
+    /// is responsible for monotonicity.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Increment now and decrement when the returned guard drops — scoped
+    /// occupancy tracking (in-flight requests, open connections).
+    pub fn scoped(this: &Arc<Gauge>) -> GaugeGuard {
+        this.inc();
+        GaugeGuard(this.clone())
+    }
+}
+
+/// Decrements its gauge on drop; see [`Gauge::scoped`].
+#[derive(Debug)]
+pub struct GaugeGuard(Arc<Gauge>);
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+/// A fixed log2-bucket histogram (see [`BUCKETS`]). Suited to latency in
+/// nanoseconds and other long-tailed non-negative integer distributions
+/// (e.g. delta-chain replay depth).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Build a `family{key="value"}` metric key.
+pub fn labeled(family: &str, key: &str, value: &str) -> String {
+    format!("{family}{{{key}=\"{value}\"}}")
+}
+
+/// The family part of a key (everything before the label set).
+pub fn family_of(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Insert a suffix between a key's family and its label set:
+/// `f{op="x"}` + `_count` → `f_count{op="x"}`.
+fn with_suffix(key: &str, suffix: &str) -> String {
+    match key.find('{') {
+        Some(i) => format!("{}{suffix}{}", &key[..i], &key[i..]),
+        None => format!("{key}{suffix}"),
+    }
+}
+
+/// Append an extra label to a key's label set (creating one if absent).
+fn with_extra_label(key: &str, label: &str, value: &str) -> String {
+    match key.strip_suffix('}') {
+        Some(stripped) => format!("{stripped},{label}=\"{value}\"}}"),
+        None => format!("{key}{{{label}=\"{value}\"}}"),
+    }
+}
+
+type MetricMap<T> = RwLock<BTreeMap<String, Arc<T>>>;
+
+/// A set of named counters, gauges, and histograms.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: MetricMap<Counter>,
+    gauges: MetricMap<Gauge>,
+    histograms: MetricMap<Histogram>,
+}
+
+fn get_or_create<T: Default>(map: &MetricMap<T>, key: &str) -> Arc<T> {
+    if let Some(m) = map.read().unwrap_or_else(PoisonError::into_inner).get(key) {
+        return m.clone();
+    }
+    map.write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .entry(key.to_string())
+        .or_default()
+        .clone()
+}
+
+impl Registry {
+    /// A fresh registry (normally you want the global [`registry`]).
+    pub fn new(enabled: bool) -> Registry {
+        Registry {
+            enabled: AtomicBool::new(enabled),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether instrumentation sites should record. Checking this is the
+    /// *only* cost a disabled registry imposes.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Get or create the counter for `key`.
+    pub fn counter(&self, key: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, key)
+    }
+
+    /// Get or create the gauge for `key`.
+    pub fn gauge(&self, key: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, key)
+    }
+
+    /// Get or create the histogram for `key`.
+    pub fn histogram(&self, key: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, key)
+    }
+
+    /// Zero every metric in place. Entries are never removed, so handles
+    /// cached at instrumentation sites remain registered; this is a bench
+    /// and test hook, not something a server does while serving.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            c.store(0);
+        }
+        for g in self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            g.set(0);
+        }
+        for h in self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Prometheus text exposition of every metric. Families are announced
+    /// with `# TYPE` lines; histogram buckets are cumulative with the
+    /// standard `le` label and are elided past the last non-empty bucket.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (key, c) in self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            let fam = family_of(key);
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} counter\n"));
+                last_family = fam.to_string();
+            }
+            out.push_str(&format!("{key} {}\n", c.get()));
+        }
+        last_family.clear();
+        for (key, g) in self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            let fam = family_of(key);
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} gauge\n"));
+                last_family = fam.to_string();
+            }
+            out.push_str(&format!("{key} {}\n", g.get()));
+        }
+        last_family.clear();
+        for (key, h) in self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            let fam = family_of(key);
+            if fam != last_family {
+                out.push_str(&format!("# TYPE {fam} histogram\n"));
+                last_family = fam.to_string();
+            }
+            let counts = h.bucket_counts();
+            let last_nonzero = counts.iter().rposition(|&c| c > 0);
+            let mut cumulative = 0u64;
+            if let Some(last) = last_nonzero {
+                for (i, &c) in counts.iter().enumerate().take(last + 1) {
+                    cumulative += c;
+                    let le = match bucket_upper_bound(i) {
+                        Some(b) => b.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    out.push_str(&format!(
+                        "{} {cumulative}\n",
+                        with_extra_label(&with_suffix(key, "_bucket"), "le", &le)
+                    ));
+                }
+            }
+            if last_nonzero.is_none_or(|l| l < BUCKETS - 1) {
+                out.push_str(&format!(
+                    "{} {cumulative}\n",
+                    with_extra_label(&with_suffix(key, "_bucket"), "le", "+Inf")
+                ));
+            }
+            out.push_str(&format!("{} {}\n", with_suffix(key, "_sum"), h.sum()));
+            out.push_str(&format!("{} {}\n", with_suffix(key, "_count"), h.count()));
+        }
+        out
+    }
+
+    /// A flat numeric snapshot: counters and gauges by key, histograms as
+    /// `<key>_count` and `<key>_sum` pairs. This is what the bench harness
+    /// diffs around each benchmark run.
+    pub fn flat_snapshot(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (key, c) in self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            out.insert(key.clone(), c.get() as f64);
+        }
+        for (key, g) in self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            out.insert(key.clone(), g.get() as f64);
+        }
+        for (key, h) in self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            out.insert(with_suffix(key, "_count"), h.count() as f64);
+            out.insert(with_suffix(key, "_sum"), h.sum() as f64);
+        }
+        out
+    }
+
+    /// Visit every histogram (for rendering).
+    pub(crate) fn histograms_snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Visit every counter (for rendering).
+    pub(crate) fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Visit every gauge (for rendering).
+    pub(crate) fn gauges_snapshot(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry. Starts enabled unless the
+/// `NEPTUNE_OBS_DISABLED` environment variable is set (to anything
+/// non-empty) at first use.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let disabled = std::env::var("NEPTUNE_OBS_DISABLED").is_ok_and(|v| !v.is_empty());
+        Registry::new(!disabled)
+    })
+}
+
+/// Whether the global registry is recording. Instrumentation sites guard
+/// on this so a disabled registry costs one relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    registry().enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 38) - 1), 38);
+        assert_eq!(bucket_index(1 << 38), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+        assert_eq!(bucket_upper_bound(3), Some(7));
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let r = Registry::new(true);
+        r.counter("c_total").add(3);
+        r.counter("c_total").inc();
+        assert_eq!(r.counter("c_total").get(), 4);
+        r.gauge("g").set(7);
+        r.gauge("g").dec();
+        assert_eq!(r.gauge("g").get(), 6);
+        let h = r.histogram("h_ns");
+        h.observe(5);
+        h.observe(100);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 105);
+        assert!((h.mean() - 52.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_guard_tracks_scope() {
+        let r = Registry::new(true);
+        let g = r.gauge("inflight");
+        {
+            let _a = Gauge::scoped(&g);
+            let _b = Gauge::scoped(&g);
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn exposition_contains_families_and_cumulative_buckets() {
+        let r = Registry::new(true);
+        r.counter(&labeled("req_total", "op", "ping")).add(2);
+        r.gauge("conns").set(1);
+        let h = r.histogram(&labeled("lat_ns", "op", "ping"));
+        h.observe(1); // bucket 1 (le 1)
+        h.observe(3); // bucket 2 (le 3)
+        let text = r.expose();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{op=\"ping\"} 2"));
+        assert!(text.contains("# TYPE conns gauge"));
+        assert!(text.contains("conns 1"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{op=\"ping\",le=\"1\"} 1"));
+        assert!(text.contains("lat_ns_bucket{op=\"ping\",le=\"3\"} 2"));
+        assert!(text.contains("lat_ns_bucket{op=\"ping\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_ns_sum{op=\"ping\"} 4"));
+        assert!(text.contains("lat_ns_count{op=\"ping\"} 2"));
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_keeping_handles_live() {
+        let r = Registry::new(true);
+        let c = r.counter("kept_total");
+        c.add(9);
+        let h = r.histogram("kept_ns");
+        h.observe(10);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        // The pre-reset handle still feeds the registered metric.
+        c.inc();
+        assert_eq!(r.counter("kept_total").get(), 1);
+    }
+
+    #[test]
+    fn flat_snapshot_has_histogram_count_and_sum() {
+        let r = Registry::new(true);
+        r.histogram(&labeled("x_ns", "op", "a")).observe(4);
+        let snap = r.flat_snapshot();
+        assert_eq!(snap.get("x_ns_count{op=\"a\"}"), Some(&1.0));
+        assert_eq!(snap.get("x_ns_sum{op=\"a\"}"), Some(&4.0));
+    }
+
+    #[test]
+    fn disabled_flag_is_runtime_togglable() {
+        let r = Registry::new(false);
+        assert!(!r.enabled());
+        r.set_enabled(true);
+        assert!(r.enabled());
+    }
+}

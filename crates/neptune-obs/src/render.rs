@@ -1,0 +1,123 @@
+//! Human-readable rendering of a [`Registry`](crate::Registry) — what the
+//! shell's `stats` command prints. Histograms are drawn as per-bucket bar
+//! charts instead of raw Prometheus text.
+
+use crate::metrics::{bucket_upper_bound, Registry};
+
+const BAR_WIDTH: usize = 30;
+
+fn fmt_bound(b: Option<u64>) -> String {
+    match b {
+        None => "+Inf".to_string(),
+        Some(b) if b >= 1_000_000_000 => format!("{:.1}s", b as f64 / 1e9),
+        Some(b) if b >= 1_000_000 => format!("{:.1}ms", b as f64 / 1e6),
+        Some(b) if b >= 1_000 => format!("{:.1}us", b as f64 / 1e3),
+        Some(b) => format!("{b}"),
+    }
+}
+
+fn fmt_mean(key: &str, mean: f64) -> String {
+    // Duration-valued families are suffixed `_ns` by convention.
+    if crate::metrics::family_of(key).ends_with("_ns") {
+        if mean >= 1e9 {
+            format!("{:.2}s", mean / 1e9)
+        } else if mean >= 1e6 {
+            format!("{:.2}ms", mean / 1e6)
+        } else if mean >= 1e3 {
+            format!("{:.2}us", mean / 1e3)
+        } else {
+            format!("{mean:.0}ns")
+        }
+    } else {
+        format!("{mean:.1}")
+    }
+}
+
+/// Render every metric in `registry` as indented, sectioned, human-readable
+/// text. Histogram buckets with zero counts are skipped; each non-empty
+/// bucket gets a proportional ASCII bar.
+pub fn render_human(registry: &Registry) -> String {
+    let mut out = String::new();
+
+    let counters = registry.counters_snapshot();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (key, v) in counters {
+            out.push_str(&format!("  {key:<56} {v}\n"));
+        }
+    }
+
+    let gauges = registry.gauges_snapshot();
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (key, v) in gauges {
+            out.push_str(&format!("  {key:<56} {v}\n"));
+        }
+    }
+
+    let histograms = registry.histograms_snapshot();
+    if !histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (key, h) in histograms {
+            let count = h.count();
+            out.push_str(&format!(
+                "  {key}  count={count} mean={}\n",
+                fmt_mean(&key, h.mean())
+            ));
+            if count == 0 {
+                continue;
+            }
+            let buckets = h.bucket_counts();
+            let max = buckets.iter().copied().max().unwrap_or(1).max(1);
+            for (i, &bucket) in buckets.iter().enumerate() {
+                if bucket == 0 {
+                    continue;
+                }
+                let bar_len = ((bucket as f64 / max as f64) * BAR_WIDTH as f64).ceil() as usize;
+                out.push_str(&format!(
+                    "    <= {:>8} {:>8} |{}\n",
+                    fmt_bound(bucket_upper_bound(i)),
+                    bucket,
+                    "#".repeat(bar_len.min(BAR_WIDTH))
+                ));
+            }
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::labeled;
+
+    #[test]
+    fn renders_sections_and_bars() {
+        let r = Registry::new(true);
+        r.counter("hits_total").add(5);
+        r.gauge("conns").set(2);
+        let h = r.histogram(&labeled("lat_ns", "op", "ping"));
+        h.observe(100);
+        h.observe(100);
+        h.observe(5_000_000);
+        let text = render_human(&r);
+        assert!(text.contains("counters:"));
+        assert!(text.contains("hits_total"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("count=3"));
+        assert!(text.contains('#'));
+        // 5ms bucket bound renders with a unit, not raw ns.
+        assert!(text.contains("ms"));
+    }
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        let r = Registry::new(true);
+        assert_eq!(render_human(&r), "(no metrics recorded)\n");
+    }
+}

@@ -482,6 +482,13 @@ impl Client {
         expect!(self, Request::Verify, Response::Findings(fs) => fs, "Findings")
     }
 
+    /// Fetch the server's full metrics registry in Prometheus text
+    /// exposition format. [`Client::cache_stats`] remains as a narrower
+    /// compatibility call.
+    pub fn metrics(&mut self) -> Result<String> {
+        expect!(self, Request::Metrics, Response::Metrics(text) => text, "Metrics")
+    }
+
     /// Read the server's version-materialization cache counters as
     /// `(hits, misses, entries, bytes)`.
     pub fn cache_stats(&mut self) -> Result<(u64, u64, u64, u64)> {

@@ -386,7 +386,14 @@ pub enum Request {
     /// store: file scan plus every in-memory invariant.
     Verify,
     /// Read the version-materialization cache's counters.
+    ///
+    /// Compatibility alias: everything it reports (and much more) is in
+    /// [`Request::Metrics`].
     CacheStats,
+    /// Read the full metrics registry as Prometheus-style text exposition:
+    /// per-RPC latency histograms, HAM operation timings and transaction
+    /// counters, WAL/replay/cache instrumentation.
+    Metrics,
 }
 
 impl Request {
@@ -422,7 +429,8 @@ impl Request {
             | ListContexts
             | Ping
             | Verify
-            | CacheStats => true,
+            | CacheStats
+            | Metrics => true,
             AddNode { .. }
             | DeleteNode { .. }
             | AddLink { .. }
@@ -444,6 +452,56 @@ impl Request {
             | MergeContext { .. }
             | DestroyContext { .. }
             | Checkpoint => false,
+        }
+    }
+
+    /// The variant's name, used as the `op` label of the server's
+    /// per-request latency histograms (`neptune_server_rpc_ns{op=...}`).
+    pub fn name(&self) -> &'static str {
+        use Request::*;
+        match self {
+            AddNode { .. } => "AddNode",
+            DeleteNode { .. } => "DeleteNode",
+            AddLink { .. } => "AddLink",
+            CopyLink { .. } => "CopyLink",
+            DeleteLink { .. } => "DeleteLink",
+            LinearizeGraph { .. } => "LinearizeGraph",
+            GetGraphQuery { .. } => "GetGraphQuery",
+            OpenNode { .. } => "OpenNode",
+            ModifyNode { .. } => "ModifyNode",
+            GetNodeTimeStamp { .. } => "GetNodeTimeStamp",
+            ChangeNodeProtection { .. } => "ChangeNodeProtection",
+            GetNodeVersions { .. } => "GetNodeVersions",
+            GetNodeDifferences { .. } => "GetNodeDifferences",
+            GetToNode { .. } => "GetToNode",
+            GetFromNode { .. } => "GetFromNode",
+            GetAttributes { .. } => "GetAttributes",
+            GetAttributeValues { .. } => "GetAttributeValues",
+            GetAttributeIndex { .. } => "GetAttributeIndex",
+            SetNodeAttributeValue { .. } => "SetNodeAttributeValue",
+            DeleteNodeAttribute { .. } => "DeleteNodeAttribute",
+            GetNodeAttributeValue { .. } => "GetNodeAttributeValue",
+            GetNodeAttributes { .. } => "GetNodeAttributes",
+            SetLinkAttributeValue { .. } => "SetLinkAttributeValue",
+            DeleteLinkAttribute { .. } => "DeleteLinkAttribute",
+            GetLinkAttributeValue { .. } => "GetLinkAttributeValue",
+            GetLinkAttributes { .. } => "GetLinkAttributes",
+            SetGraphDemonValue { .. } => "SetGraphDemonValue",
+            GetGraphDemons { .. } => "GetGraphDemons",
+            SetNodeDemon { .. } => "SetNodeDemon",
+            GetNodeDemons { .. } => "GetNodeDemons",
+            BeginTransaction => "BeginTransaction",
+            CommitTransaction => "CommitTransaction",
+            AbortTransaction => "AbortTransaction",
+            CreateContext { .. } => "CreateContext",
+            MergeContext { .. } => "MergeContext",
+            DestroyContext { .. } => "DestroyContext",
+            ListContexts => "ListContexts",
+            Checkpoint => "Checkpoint",
+            Ping => "Ping",
+            Verify => "Verify",
+            CacheStats => "CacheStats",
+            Metrics => "Metrics",
         }
     }
 }
@@ -513,6 +571,8 @@ pub enum Response {
         /// Total payload bytes currently cached.
         bytes: u64,
     },
+    /// The metrics registry in Prometheus text exposition format.
+    Metrics(String),
 }
 
 impl Encode for Request {
@@ -835,6 +895,7 @@ impl Encode for Request {
             Ping => w.put_u8(38),
             Verify => w.put_u8(39),
             CacheStats => w.put_u8(40),
+            Metrics => w.put_u8(41),
         }
     }
 }
@@ -1021,6 +1082,7 @@ impl Decode for Request {
             38 => Ping,
             39 => Verify,
             40 => CacheStats,
+            41 => Metrics,
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Request",
@@ -1197,6 +1259,10 @@ impl Encode for Response {
                 w.put_u64(*entries);
                 w.put_u64(*bytes);
             }
+            Metrics(text) => {
+                w.put_u8(22);
+                w.put_str(text);
+            }
         }
     }
 }
@@ -1246,6 +1312,7 @@ impl Decode for Response {
                 entries: r.get_u64()?,
                 bytes: r.get_u64()?,
             },
+            22 => A::Metrics(r.get_str()?.to_owned()),
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Response",
@@ -1317,6 +1384,7 @@ mod tests {
             Request::Ping,
             Request::Verify,
             Request::CacheStats,
+            Request::Metrics,
         ];
         for req in requests {
             let decoded = Request::from_bytes(&req.to_bytes()).unwrap();
@@ -1364,6 +1432,7 @@ mod tests {
                 "context 0 node 3",
                 "delta at time 4 replays to 65 bytes, head holds 64",
             )]),
+            Response::Metrics("# TYPE neptune_server_rpc_ns histogram\n".into()),
         ];
         for resp in responses {
             let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();
@@ -1388,6 +1457,7 @@ mod tests {
         assert!(Request::ListContexts.is_read_only());
         assert!(Request::Verify.is_read_only());
         assert!(Request::CacheStats.is_read_only());
+        assert!(Request::Metrics.is_read_only());
         assert!(Request::OpenNode {
             context: ContextId(0),
             node: NodeIndex(1),
@@ -1411,6 +1481,23 @@ mod tests {
             link_pts: vec![],
         }
         .is_read_only());
+    }
+
+    #[test]
+    fn request_names_are_unique() {
+        let requests = [
+            Request::Ping,
+            Request::Metrics,
+            Request::CacheStats,
+            Request::BeginTransaction,
+            Request::AddNode {
+                context: ContextId(0),
+                keep_history: true,
+            },
+        ];
+        let names: std::collections::BTreeSet<&str> = requests.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), requests.len());
+        assert_eq!(Request::Metrics.name(), "Metrics");
     }
 
     #[test]

@@ -212,6 +212,7 @@ pub fn serve_with(
                             shared: conn_shared.clone(),
                             conn_id: id,
                         };
+                        let _conns = scoped_gauge("neptune_server_active_connections");
                         let _ = handle_connection(stream, id, conn_shared);
                     }));
                 }
@@ -269,6 +270,57 @@ fn handle_connection(
     }
 }
 
+/// Hold a named registry gauge up by one for the returned guard's lifetime
+/// (no-op when instrumentation is disabled).
+fn scoped_gauge(key: &'static str) -> Option<neptune_obs::GaugeGuard> {
+    if neptune_obs::enabled() {
+        Some(neptune_obs::Gauge::scoped(
+            &neptune_obs::registry().gauge(key),
+        ))
+    } else {
+        None
+    }
+}
+
+fn count(key: &'static str) {
+    if neptune_obs::enabled() {
+        neptune_obs::registry().counter(key).inc();
+    }
+}
+
+/// Record time a request spent blocked at the transaction gate. Only called
+/// when a wait actually happened, so the histogram's count is the number of
+/// contended requests, not the number of requests.
+fn observe_gate_wait(waited: Duration) {
+    if neptune_obs::enabled() {
+        neptune_obs::registry()
+            .histogram("neptune_server_gate_wait_ns")
+            .observe_duration(waited);
+    }
+}
+
+/// [`execute_inner`] plus instrumentation: one
+/// `neptune_server_rpc_ns{op=<variant>}` observation per request, an error
+/// counter, and slow-op visibility via the trace layer.
+fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
+    if !neptune_obs::enabled() {
+        return execute_inner(shared, conn_id, request);
+    }
+    let op = request.name();
+    let start = Instant::now();
+    let response = execute_inner(shared, conn_id, request);
+    let elapsed = start.elapsed();
+    let registry = neptune_obs::registry();
+    registry
+        .histogram(&neptune_obs::labeled("neptune_server_rpc_ns", "op", op))
+        .observe_duration(elapsed);
+    if matches!(response, Response::Error(_)) {
+        registry.counter("neptune_server_rpc_errors_total").inc();
+    }
+    neptune_obs::trace::emit("server.rpc", op, elapsed);
+    response
+}
+
 /// Run one request under the transaction-ownership discipline.
 ///
 /// Non-owners (readers included) first wait at the gate for any foreign
@@ -278,23 +330,29 @@ fn handle_connection(
 /// through the gate, read-only requests share the HAM under the reader
 /// lock; everything else takes the writer lock. The transaction owner
 /// always uses the exclusive path, which is what gives it read-your-writes.
-fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
+fn execute_inner(shared: &Shared, conn_id: u64, request: Request) -> Response {
     let mut request = request;
     let mut force_write = !request.is_read_only();
     let deadline = Instant::now() + shared.lock_timeout;
     loop {
         let mut gate = shared.lock_gate();
-        while gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                return Response::Error(
-                    "timed out waiting for another client's transaction".into(),
-                );
-            };
-            let (guard, _) = shared
-                .txn_released
-                .wait_timeout(gate, remaining)
-                .unwrap_or_else(PoisonError::into_inner);
-            gate = guard;
+        if gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
+            let wait_start = Instant::now();
+            while gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    observe_gate_wait(wait_start.elapsed());
+                    count("neptune_server_lock_timeouts_total");
+                    return Response::Error(
+                        "timed out waiting for another client's transaction".into(),
+                    );
+                };
+                let (guard, _) = shared
+                    .txn_released
+                    .wait_timeout(gate, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                gate = guard;
+            }
+            observe_gate_wait(wait_start.elapsed());
         }
         match request {
             Request::BeginTransaction => {
@@ -331,16 +389,20 @@ fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
             // Acquired while holding the gate (lock order: gate → ham).
             let mut ham = shared.write_ham();
             drop(gate);
+            let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
             return dispatch(&mut ham, request);
         }
         // Read-only path: shared lock, still acquired under the gate so no
         // transaction can slip in between the check and the acquisition.
         let ham = shared.read_ham();
         drop(gate);
+        let inflight = scoped_gauge("neptune_server_read_ops_inflight");
         match dispatch_read(&ham, request) {
             Ok(response) => return response,
             Err(bounced) => {
                 // A nodeOpened demon must fire: retry on the write path.
+                drop(inflight);
+                count("neptune_server_read_bounces_total");
                 request = bounced;
                 force_write = true;
             }
@@ -492,6 +554,7 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
             Q::Ping => A::Ok,
             Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
             Q::CacheStats => cache_stats_response(ham),
+            Q::Metrics => metrics_response(ham),
             Q::AddNode { .. }
             | Q::DeleteNode { .. }
             | Q::AddLink { .. }
@@ -528,6 +591,21 @@ fn cache_stats_response(ham: &Ham) -> Response {
         entries: s.entries,
         bytes: s.bytes,
     }
+}
+
+/// Snapshot the metrics registry as Prometheus text. Cache occupancy is
+/// derived state the cache maintains itself, so its gauges are refreshed
+/// here at scrape time rather than on every insert/evict.
+fn metrics_response(ham: &Ham) -> Response {
+    let registry = neptune_obs::registry();
+    let s = ham.version_cache_stats();
+    registry
+        .gauge("neptune_storage_vcache_entries")
+        .set(s.entries as i64);
+    registry
+        .gauge("neptune_storage_vcache_bytes")
+        .set(s.bytes.min(i64::MAX as u64) as i64);
+    Response::Metrics(registry.expose())
 }
 
 /// Translate a request into a HAM call (exclusive path).
@@ -765,6 +843,7 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
             Q::Ping => A::Ok,
             Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
             Q::CacheStats => cache_stats_response(ham),
+            Q::Metrics => metrics_response(ham),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 unreachable!("transaction control handled by execute()")
             }

@@ -39,7 +39,7 @@ Neptune shell — commands:
   begin / commit / abort               explicit transaction control
   checkpoint                           fold the log into a snapshot
   check                                verify store integrity (fsck + lints)
-  cachestats                           version-materialization cache counters
+  stats                                metrics registry (cachestats is an alias)
   help                                 this text
   quit                                 leave
 ";
@@ -120,13 +120,7 @@ pub(crate) fn dispatch(shell: &mut Shell, command: &str, rest: &str) -> Result<S
             Ok("checkpointed\n".to_string())
         }
         "check" => cmd_check(shell),
-        "cachestats" => {
-            let s = shell.ham.version_cache_stats();
-            Ok(format!(
-                "version cache: {} hits, {} misses, {} entries, {} bytes\n",
-                s.hits, s.misses, s.entries, s.bytes
-            ))
-        }
+        "stats" | "cachestats" => cmd_stats(shell),
         other => Err(ShellError::Usage(format!(
             "unknown command '{other}' — try 'help'"
         ))),
@@ -473,6 +467,28 @@ fn cmd_check(shell: &mut Shell) -> Result<String> {
         out.push('\n');
     }
     out.push_str(&format!("{} finding(s)\n", findings.len()));
+    Ok(out)
+}
+
+fn cmd_stats(shell: &mut Shell) -> Result<String> {
+    let s = shell.ham.version_cache_stats();
+    let mut out = format!(
+        "version cache: {} hits, {} misses, {} entries, {} bytes\n",
+        s.hits, s.misses, s.entries, s.bytes
+    );
+    if neptune_obs::enabled() {
+        let registry = neptune_obs::registry();
+        registry
+            .gauge("neptune_storage_vcache_entries")
+            .set(s.entries as i64);
+        registry
+            .gauge("neptune_storage_vcache_bytes")
+            .set(s.bytes.min(i64::MAX as u64) as i64);
+        out.push('\n');
+        out.push_str(&neptune_obs::render::render_human(registry));
+    } else {
+        out.push_str("(metrics registry disabled via NEPTUNE_OBS_DISABLED)\n");
+    }
     Ok(out)
 }
 

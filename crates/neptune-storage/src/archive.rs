@@ -29,6 +29,19 @@ use crate::error::{Result, StorageError};
 /// of the head.
 pub const KEYFRAME_INTERVAL: usize = 16;
 
+/// Record how many backward deltas one checkout had to apply into the
+/// `neptune_storage_delta_replay_depth` histogram — the first-class signal
+/// for whether keyframes/caching are doing their job.
+fn observe_replay_depth(depth: usize) {
+    static HIST: std::sync::OnceLock<Arc<neptune_obs::Histogram>> = std::sync::OnceLock::new();
+    if neptune_obs::enabled() {
+        HIST.get_or_init(|| {
+            neptune_obs::registry().histogram("neptune_storage_delta_replay_depth")
+        })
+        .observe(depth as u64);
+    }
+}
+
 /// One historical version's metadata plus the backward delta to reach it
 /// from its successor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,6 +197,7 @@ impl Archive {
         let (mut current, from) = {
             let frames = self.lock_keyframes();
             if let Some(data) = frames.get(&idx) {
+                observe_replay_depth(0);
                 return Ok((**data).clone());
             }
             // Nearest warm keyframe newer than the target, else the head.
@@ -196,6 +210,7 @@ impl Archive {
                 None => (self.head.clone(), self.entries.len()),
             }
         };
+        observe_replay_depth(from - idx);
         for m in (idx..from).rev() {
             current = self.entries[m].back_delta.apply(&current)?;
             if m % KEYFRAME_INTERVAL == 0 {
@@ -218,6 +233,7 @@ impl Archive {
             .entries
             .binary_search_by_key(&resolved, |e| e.time)
             .map_err(|_| StorageError::NoSuchVersion { time: t })?;
+        observe_replay_depth(self.entries.len() - idx);
         let mut current = self.head.clone();
         for entry in self.entries[idx..].iter().rev() {
             current = entry.back_delta.apply(&current)?;

@@ -49,6 +49,27 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// Mirror one lookup into the global registry's
+/// `neptune_storage_vcache_{hits,misses}_total` counters. Occupancy
+/// (`entries`/`bytes`) is instead gauged at scrape time by whoever renders
+/// the registry, from [`MaterializationCache::stats`].
+fn observe_lookup(hit: bool) {
+    use std::sync::OnceLock;
+    static HITS: OnceLock<Arc<neptune_obs::Counter>> = OnceLock::new();
+    static MISSES: OnceLock<Arc<neptune_obs::Counter>> = OnceLock::new();
+    if !neptune_obs::enabled() {
+        return;
+    }
+    if hit {
+        HITS.get_or_init(|| neptune_obs::registry().counter("neptune_storage_vcache_hits_total"))
+            .inc();
+    } else {
+        MISSES
+            .get_or_init(|| neptune_obs::registry().counter("neptune_storage_vcache_misses_total"))
+            .inc();
+    }
+}
+
 /// A bounded, LRU-evicting map from [`VersionKey`] to materialized contents.
 pub struct MaterializationCache {
     map: HashMap<VersionKey, CacheEntry>,
@@ -114,6 +135,7 @@ impl MaterializationCache {
     pub fn get(&mut self, key: &VersionKey) -> Option<Arc<Vec<u8>>> {
         if !self.enabled {
             self.misses += 1;
+            observe_lookup(false);
             return None;
         }
         self.tick += 1;
@@ -121,10 +143,12 @@ impl MaterializationCache {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.hits += 1;
+                observe_lookup(true);
                 Some(entry.data.clone())
             }
             None => {
                 self.misses += 1;
+                observe_lookup(false);
                 None
             }
         }

@@ -149,6 +149,11 @@ impl Wal {
             // Torn tail: discard it.
             file.set_len(valid_end)?;
             file.seek(SeekFrom::End(0))?;
+            if neptune_obs::enabled() {
+                neptune_obs::registry()
+                    .counter("neptune_storage_wal_torn_tail_truncations_total")
+                    .inc();
+            }
         }
         let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
         Ok(Wal {
@@ -225,6 +230,7 @@ impl Wal {
     /// Append a record, assigning it the next LSN. Not yet durable — call
     /// [`Wal::sync`] (done automatically by [`Wal::append_commit`]).
     pub fn append(&mut self, txn_id: u64, kind: RecordKind, payload: Vec<u8>) -> Result<u64> {
+        let _span = neptune_obs::span!("storage.wal_append");
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let record = WalRecord {
@@ -251,6 +257,7 @@ impl Wal {
 
     /// Force buffered records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        let _span = neptune_obs::span!("storage.wal_fsync");
         self.file.sync_data()?;
         Ok(())
     }
@@ -265,6 +272,7 @@ impl Wal {
     /// Replay the log: returns, in commit order, each committed transaction's
     /// id and its `Op` payloads. Records after the last `Checkpoint` only.
     pub fn recover(&mut self) -> Result<Vec<(u64, Vec<Vec<u8>>)>> {
+        let _span = neptune_obs::span!("storage.wal_recover");
         let records = self.records()?;
         // Start from the last checkpoint, if any.
         let start = records
@@ -292,6 +300,11 @@ impl Wal {
                 }
                 RecordKind::Checkpoint => {}
             }
+        }
+        if neptune_obs::enabled() {
+            neptune_obs::registry()
+                .counter("neptune_storage_wal_recovered_txns_total")
+                .add(committed.len() as u64);
         }
         Ok(committed)
     }

@@ -20,6 +20,8 @@
 //!   demon-driven incremental compiler, configuration management.
 //! * [`check`] — the audit layer: an fsck-style store verifier
 //!   ([`check::verify_store`]) and lints over a project's module graph.
+//! * [`obs`] — observability: a zero-dependency metrics registry and
+//!   tracing spans wired through all of the above (DESIGN.md §10).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use neptune_case as case;
 pub use neptune_check as check;
 pub use neptune_document as document;
 pub use neptune_ham as ham;
+pub use neptune_obs as obs;
 pub use neptune_relational as relational;
 pub use neptune_server as server;
 pub use neptune_storage as storage;
