@@ -14,9 +14,13 @@ cargo test --workspace
 # neptune-ham suite with them armed so a violated invariant fails CI.
 cargo test -p neptune-ham --features strict-invariants --lib
 
-# Smoke-run the read-scaling bench (cache + concurrent readers): proves the
-# bench paths work and leaves BENCH_read_scaling.json at the repo root.
-NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_OUT="$PWD/BENCH_read_scaling.json" \
+# Smoke-run the read-scaling bench (cache + zero-copy reads + concurrent
+# readers): proves the bench paths work and leaves BENCH_read_scaling.json
+# at the repo root. NEPTUNE_BENCH_GUARD arms the regression floors (cache
+# speedup >= 10x; 8-vs-1 reader scaling >= 2x on multi-core runners, batch
+# amortization >= 1.1x on single-core ones).
+NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
+    NEPTUNE_BENCH_OUT="$PWD/BENCH_read_scaling.json" \
     cargo bench -p neptune-bench --bench read_scaling
 
 # Observability smoke: scripted workload over the wire, then a Metrics RPC.

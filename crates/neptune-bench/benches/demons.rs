@@ -95,7 +95,7 @@ fn bench_compile_cascade(c: &mut Criterion) {
                     let opened = ham
                         .open_node(main_ctx(), nodes[0], Time::CURRENT, &[])
                         .unwrap();
-                    let mut text = opened.contents.clone();
+                    let mut text = opened.contents.to_vec();
                     text.extend_from_slice(
                         format!("PROCEDURE Extra{round};\nEND Extra{round};\n").as_bytes(),
                     );

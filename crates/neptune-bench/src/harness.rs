@@ -4,8 +4,8 @@
 //! benches run on this small wall-clock harness instead of criterion. It
 //! reproduces exactly the API surface the benches use — `Criterion`,
 //! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `BenchmarkId`, and the
-//! `criterion_group!`/`criterion_main!` macros — and reports the mean
-//! wall-clock time per iteration for each benchmark.
+//! `criterion_group!`/`criterion_main!` macros — and reports the median
+//! batch rate (wall-clock time per iteration) for each benchmark.
 //!
 //! Two additions over the criterion surface: every completed benchmark is
 //! recorded as a [`BenchResult`] (so a bench binary can dump machine-readable
@@ -30,7 +30,10 @@ pub fn smoke_mode() -> bool {
 pub struct BenchResult {
     /// Full label, `group/benchmark`.
     pub label: String,
-    /// Mean wall-clock nanoseconds per iteration.
+    /// Wall-clock nanoseconds per iteration: the median over measurement
+    /// sub-batches, so a rare multi-hundred-millisecond scheduler stall
+    /// (shared hardware, noisy neighbors) shifts one batch instead of
+    /// skewing the whole figure.
     pub ns_per_iter: f64,
     /// Number of measured iterations.
     pub iterations: u64,
@@ -237,20 +240,58 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// How many sub-batches the measurement window is split into for the
+    /// median-rate estimate.
+    const SUB_BATCHES: u32 = 8;
+
+    /// Record the median per-iteration rate across `batches` into the
+    /// `elapsed`/`iterations` pair the reporting layer divides back out.
+    fn record(&mut self, mut batches: Vec<(Duration, u64)>, total: u64) {
+        batches.sort_by(|a, b| {
+            let ra = a.0.as_nanos() as f64 / a.1 as f64;
+            let rb = b.0.as_nanos() as f64 / b.1 as f64;
+            ra.total_cmp(&rb)
+        });
+        // Lower-middle on even counts: timing noise is strictly additive
+        // (a stall only ever slows a batch), so ties break toward the
+        // uncontended measurement.
+        let (dur, n) = batches[(batches.len() - 1) / 2];
+        let per_iter = dur.as_nanos() as f64 / n as f64;
+        self.iterations = total;
+        self.elapsed = Duration::from_nanos((per_iter * total as f64) as u64);
+    }
+
     /// Time `f`, running it repeatedly for the configured duration.
+    ///
+    /// The measurement window is split into sub-batches and the reported
+    /// rate is the *median* batch rate: a single scheduler stall or
+    /// noisy-neighbor spike (hundreds of milliseconds on shared hardware)
+    /// then lands in one batch instead of dominating a mean taken over a
+    /// handful of iterations, while nanosecond-scale benchmarks still pay
+    /// no per-iteration timing overhead.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         let warm_start = Instant::now();
         while warm_start.elapsed() < self.warm_up {
             black_box(f());
         }
+        let window = self.measurement / Self::SUB_BATCHES;
         let start = Instant::now();
-        let mut iterations = 0u64;
-        while iterations < self.min_samples || start.elapsed() < self.measurement {
-            black_box(f());
-            iterations += 1;
+        let mut batches: Vec<(Duration, u64)> = Vec::new();
+        let mut total = 0u64;
+        while total < self.min_samples || start.elapsed() < self.measurement {
+            let batch_start = Instant::now();
+            let mut n = 0u64;
+            loop {
+                black_box(f());
+                n += 1;
+                if batch_start.elapsed() >= window {
+                    break;
+                }
+            }
+            batches.push((batch_start.elapsed(), n));
+            total += n;
         }
-        self.elapsed = start.elapsed();
-        self.iterations = iterations;
+        self.record(batches, total);
     }
 
     /// Time `routine` over values produced by `setup`; setup time is
@@ -266,17 +307,20 @@ impl Bencher {
             let input = setup();
             black_box(routine(input));
         }
+        // Each routine call is already timed individually (to exclude
+        // setup), so the median is taken straight over the samples.
         let mut measured = Duration::ZERO;
-        let mut iterations = 0u64;
-        while iterations < self.min_samples || measured < self.measurement {
+        let mut batches: Vec<(Duration, u64)> = Vec::new();
+        while (batches.len() as u64) < self.min_samples || measured < self.measurement {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            measured += start.elapsed();
-            iterations += 1;
+            let took = start.elapsed();
+            measured += took;
+            batches.push((took, 1));
         }
-        self.elapsed = measured;
-        self.iterations = iterations;
+        let total = batches.len() as u64;
+        self.record(batches, total);
     }
 }
 

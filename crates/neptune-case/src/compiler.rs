@@ -116,7 +116,7 @@ fn compile_one(ham: &mut Ham, project: &CaseProject, source: NodeIndex) -> Resul
     let contents = ham.open_node(ctx, source, Time::CURRENT, &[])?.contents;
 
     // The toy "compilation": digest of source + imported interfaces.
-    let mut input = contents.clone();
+    let mut input = contents.to_vec();
     for import in project.imports_of(ham, source)? {
         if let Some(symbols) = project
             .linked_targets(ham, import, relation::EXPORTS_SYMBOLS)?
@@ -168,7 +168,7 @@ fn write_product(
     match existing {
         Some(product) => {
             let opened = ham.open_node(ctx, product, Time::CURRENT, &[])?;
-            if opened.contents == contents {
+            if opened.contents[..] == contents[..] {
                 return Ok(false);
             }
             ham.modify_node(
@@ -290,7 +290,7 @@ mod tests {
             .ham
             .open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[])
             .unwrap();
-        let mut text = opened.contents.clone();
+        let mut text = opened.contents.to_vec();
         text.extend_from_slice(b"(* edited *)\n");
         f.ham
             .modify_node(
@@ -315,7 +315,7 @@ mod tests {
             .ham
             .open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[])
             .unwrap();
-        let mut text = opened.contents.clone();
+        let mut text = opened.contents.to_vec();
         text.extend_from_slice(b"(* body tweak *)\n");
         f.ham
             .modify_node(
@@ -339,7 +339,7 @@ mod tests {
             .ham
             .open_node(MAIN_CONTEXT, f.lists, Time::CURRENT, &[])
             .unwrap();
-        let mut text = opened.contents.clone();
+        let mut text = opened.contents.to_vec();
         text.extend_from_slice(b"PROCEDURE Extra;\nEND Extra;\n");
         f.ham
             .modify_node(
@@ -384,7 +384,7 @@ mod tests {
             .ham
             .open_node(MAIN_CONTEXT, f.main, Time::CURRENT, &[])
             .unwrap();
-        let mut text = opened.contents.clone();
+        let mut text = opened.contents.to_vec();
         text.extend_from_slice(b"(* v2 *)\n");
         f.ham
             .modify_node(

@@ -116,7 +116,7 @@ pub fn checkout(ham: &mut Ham, context: ContextId, release: Release) -> Result<V
         members.push(ReleaseMember {
             node,
             version,
-            contents,
+            contents: contents.to_vec(),
         });
     }
     Ok(members)

@@ -133,7 +133,7 @@ mod tests {
         let opened = ham
             .open_node(MAIN_CONTEXT, a.node, Time::CURRENT, &[])
             .unwrap();
-        assert_eq!(opened.contents, b"really? citation needed\n".to_vec());
+        assert_eq!(&opened.contents[..], b"really? citation needed\n");
         // The link is tagged as an annotation at the cursor.
         let found = annotations_of(&ham, MAIN_CONTEXT, target, Time::CURRENT).unwrap();
         assert_eq!(found, vec![(4, a)]);

@@ -83,7 +83,7 @@ pub fn view_node(
     links.sort_by_key(|l| (l.offset, l.link));
 
     // Splice markers in descending offset order so offsets stay valid.
-    let mut text_bytes = contents.clone();
+    let mut text_bytes = contents.to_vec();
     for l in links.iter().rev() {
         let at = (l.offset as usize).min(text_bytes.len());
         let marker = format!("⟦{}⟧", l.icon);

@@ -399,8 +399,8 @@ mod tests {
                 .node(new_id)
                 .unwrap()
                 .contents_at(Time::CURRENT)
-                .unwrap(),
-            b"child node\n".to_vec()
+                .unwrap()[..],
+            b"child node\n"[..]
         );
         let picon = parent.attr_table.lookup("icon").unwrap();
         assert_eq!(
@@ -424,8 +424,8 @@ mod tests {
         let report = merge_context(&mut parent, &child, fork, ConflictPolicy::Fail).unwrap();
         assert_eq!(report.nodes_modified, vec![a]);
         assert_eq!(
-            parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap(),
-            b"child edit\n".to_vec()
+            parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap()[..],
+            b"child edit\n"[..]
         );
     }
 
@@ -462,15 +462,15 @@ mod tests {
         let report = merge_context(&mut parent, &child, fork, ConflictPolicy::PreferChild).unwrap();
         assert_eq!(report.conflicts.len(), 1);
         assert_eq!(
-            parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap(),
-            b"child edit\n".to_vec()
+            parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap()[..],
+            b"child edit\n"[..]
         );
 
         let (mut parent, child) = make_diverged();
         merge_context(&mut parent, &child, fork, ConflictPolicy::PreferParent).unwrap();
         assert_eq!(
-            parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap(),
-            b"parent edit\n".to_vec()
+            parent.node(a).unwrap().contents_at(Time::CURRENT).unwrap()[..],
+            b"parent edit\n"[..]
         );
     }
 

@@ -48,8 +48,10 @@ struct GraphThread {
 /// Result of `openNode`: `Contents × LinkPt* × Value^m × Time₂`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpenedNode {
-    /// The node's contents at the requested time.
-    pub contents: Vec<u8>,
+    /// The node's contents at the requested time. Shared and immutable:
+    /// the same allocation may back the version cache and other concurrent
+    /// readers, so callers needing a private mutable copy must `to_vec()`.
+    pub contents: Arc<[u8]>,
     /// Link attachments visible on that version, in canonical order
     /// (ascending link index, "from" end before "to" end). `modifyNode`
     /// expects its `LinkPt*` operand in this same order.
@@ -493,10 +495,13 @@ impl Ham {
         context: ContextId,
         node: NodeIndex,
         time: Time,
-        contents: Vec<u8>,
+        contents: impl Into<Arc<[u8]>>,
         link_pts: &[LinkPt],
     ) -> Result<Time> {
         let _span = neptune_obs::span!("ham.modify_node", "context {} node {}", context.0, node.0);
+        // One shared allocation backs the version store, the redo log, and
+        // the warm cache entry below — check-in never copies the contents.
+        let contents: Arc<[u8]> = contents.into();
         self.auto_txn(|ham| {
             ham.note_context(context)?;
             let now = apply_modify_node(
@@ -509,10 +514,15 @@ impl Ham {
             ham.push_redo(RedoOp::ModifyNode {
                 context,
                 id: node,
-                contents,
+                contents: contents.clone(),
                 link_pts: link_pts.to_vec(),
                 time: now,
             });
+            // Warm the version cache: once a newer check-in displaces this
+            // version from the head, readers of time `now` hit this entry
+            // instead of replaying deltas.
+            ham.lock_vcache()
+                .insert((context.0, node.0, now.0), contents.clone());
             ham.fire(context, Event::NodeModified, Some(node), None)?;
             Ok(now)
         })
@@ -1227,13 +1237,13 @@ impl Ham {
         context: ContextId,
         n: &crate::node::Node,
         time: Time,
-    ) -> Result<Vec<u8>> {
+    ) -> Result<Arc<[u8]>> {
         let Some(archive) = n.archive() else {
             return n.contents_at(time); // file node: current version only
         };
         let resolved = archive.resolve_time(time.0)?;
         if resolved == archive.head_time() {
-            return Ok(archive.head().to_vec());
+            return Ok(archive.head_shared());
         }
         let key = (context.0, n.id.0, resolved);
         {
@@ -1243,15 +1253,14 @@ impl Ham {
                 return Ok(archive.checkout_uncached(resolved)?);
             }
             if let Some(data) = cache.get(&key) {
-                return Ok((*data).clone());
+                return Ok(data); // hit: refcount bump, no copy
             }
         }
         // Miss: materialize outside the lock (checkout may replay a chain
-        // suffix), then publish for the next reader.
-        let data = Arc::new(archive.checkout(resolved)?);
-        let contents = (*data).clone();
-        self.lock_vcache().insert(key, data);
-        Ok(contents)
+        // suffix), then publish the same allocation for the next reader.
+        let data = archive.checkout(resolved)?;
+        self.lock_vcache().insert(key, data.clone());
+        Ok(data)
     }
 
     /// Hit/miss counters and occupancy of the version-materialization cache.
@@ -1770,7 +1779,7 @@ fn apply_modify_node(
     graph: &mut HamGraph,
     node: NodeIndex,
     expected_time: Option<Time>,
-    contents: Vec<u8>,
+    contents: Arc<[u8]>,
     link_pts: &[LinkPt],
 ) -> Result<Time> {
     graph.live_node(node, Time::CURRENT)?;
@@ -1871,12 +1880,12 @@ mod tests {
             .unwrap();
 
         assert_eq!(
-            ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap().contents,
-            b"second version\n".to_vec()
+            ham.open_node(ctx, n, Time::CURRENT, &[]).unwrap().contents[..],
+            b"second version\n"[..]
         );
         assert_eq!(
-            ham.open_node(ctx, n, t1, &[]).unwrap().contents,
-            b"first version\n".to_vec()
+            ham.open_node(ctx, n, t1, &[]).unwrap().contents[..],
+            b"first version\n"[..]
         );
 
         // Stale modify is rejected.
@@ -2004,8 +2013,8 @@ mod tests {
         assert_eq!(
             ham.open_node(ctx, keep, Time::CURRENT, &[])
                 .unwrap()
-                .contents,
-            b"kept\n".to_vec()
+                .contents[..],
+            b"kept\n"[..]
         );
 
         // Commit: annotate-style bundle survives.
@@ -2046,7 +2055,7 @@ mod tests {
         }
         let (mut ham, ctx) = Ham::open_graph(pid, &Machine::local(), &dir).unwrap();
         let opened = ham.open_node(ctx, node, Time::CURRENT, &[]).unwrap();
-        assert_eq!(opened.contents, b"durable contents\n".to_vec());
+        assert_eq!(&opened.contents[..], b"durable contents\n");
         let doc = ham.get_attribute_index(ctx, "document").unwrap();
         assert_eq!(
             ham.get_node_attribute_value(ctx, node, doc, Time::CURRENT)
@@ -2079,8 +2088,8 @@ mod tests {
         assert_eq!(
             ham.open_node(ctx, node, Time::CURRENT, &[])
                 .unwrap()
-                .contents,
-            b"after checkpoint\n".to_vec()
+                .contents[..],
+            b"after checkpoint\n"[..]
         );
         // And the pre-checkpoint version is still reachable.
         let (major, _) = ham.get_node_versions(ctx, node).unwrap();
@@ -2192,15 +2201,15 @@ mod tests {
 
         // Main is untouched until the merge.
         assert_eq!(
-            ham.open_node(main, n, Time::CURRENT, &[]).unwrap().contents,
-            b"main line\n".to_vec()
+            ham.open_node(main, n, Time::CURRENT, &[]).unwrap().contents[..],
+            b"main line\n"[..]
         );
         let report = ham.merge_context(private, ConflictPolicy::Fail).unwrap();
         assert_eq!(report.nodes_modified, vec![n]);
         assert_eq!(report.nodes_added.len(), 1);
         assert_eq!(
-            ham.open_node(main, n, Time::CURRENT, &[]).unwrap().contents,
-            b"tentative design\n".to_vec()
+            ham.open_node(main, n, Time::CURRENT, &[]).unwrap().contents[..],
+            b"tentative design\n"[..]
         );
 
         ham.destroy_context(private).unwrap();
@@ -2231,22 +2240,22 @@ mod tests {
         assert_eq!(
             ham.open_node(private, node, Time::CURRENT, &[])
                 .unwrap()
-                .contents,
-            b"private edit\n".to_vec()
+                .contents[..],
+            b"private edit\n"[..]
         );
         assert_eq!(
             ham.open_node(main, node, Time::CURRENT, &[])
                 .unwrap()
-                .contents,
-            b"base\n".to_vec()
+                .contents[..],
+            b"base\n"[..]
         );
         // The recovered fork metadata still supports merging.
         ham.merge_context(private, ConflictPolicy::Fail).unwrap();
         assert_eq!(
             ham.open_node(main, node, Time::CURRENT, &[])
                 .unwrap()
-                .contents,
-            b"private edit\n".to_vec()
+                .contents[..],
+            b"private edit\n"[..]
         );
     }
 

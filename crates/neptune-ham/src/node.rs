@@ -27,8 +27,9 @@ pub enum NodeContents {
     Archive(Archive),
     /// Current version only.
     File {
-        /// The current contents.
-        data: Vec<u8>,
+        /// The current contents, shared: readers get a refcount bump and
+        /// modification replaces the `Arc` rather than mutating through it.
+        data: std::sync::Arc<[u8]>,
         /// Time of the last modification.
         time: Time,
     },
@@ -66,7 +67,7 @@ impl Node {
             NodeContents::Archive(Archive::new(Vec::new(), now.0))
         } else {
             NodeContents::File {
-                data: Vec::new(),
+                data: std::sync::Arc::from(&[][..]),
                 time: now,
             }
         };
@@ -105,7 +106,7 @@ impl Node {
 
     /// Contents at `time` (`CURRENT` = newest). File nodes only answer for
     /// the current version.
-    pub fn contents_at(&self, time: Time) -> Result<Vec<u8>> {
+    pub fn contents_at(&self, time: Time) -> Result<std::sync::Arc<[u8]>> {
         match &self.contents {
             NodeContents::Archive(a) => a.checkout(time.0).map_err(HamError::from),
             NodeContents::File { data, .. } => {
@@ -142,11 +143,16 @@ impl Node {
 
     /// Check in new contents at `now` — the content half of `modifyNode`.
     /// Archives grow a new version; files overwrite.
-    pub fn modify(&mut self, contents: Vec<u8>, now: Time, explanation: &str) -> Result<()> {
+    pub fn modify(
+        &mut self,
+        contents: impl Into<std::sync::Arc<[u8]>>,
+        now: Time,
+        explanation: &str,
+    ) -> Result<()> {
         match &mut self.contents {
             NodeContents::Archive(a) => a.checkin(contents, now.0)?,
             NodeContents::File { data, time } => {
-                *data = contents;
+                *data = contents.into();
                 *time = now;
             }
         }
@@ -239,7 +245,7 @@ impl Decode for Node {
         let contents = match r.get_u8()? {
             0 => NodeContents::Archive(Archive::decode(r)?),
             1 => NodeContents::File {
-                data: r.get_bytes()?.to_vec(),
+                data: r.get_bytes()?.into(),
                 time: Time::decode(r)?,
             },
             tag => {
@@ -274,13 +280,10 @@ mod tests {
         assert!(n.is_archive());
         n.modify(b"v2 contents".to_vec(), Time(5), "edit").unwrap();
         n.modify(b"v3 contents".to_vec(), Time(9), "edit").unwrap();
-        assert_eq!(n.contents_at(Time(1)).unwrap(), Vec::<u8>::new());
-        assert_eq!(n.contents_at(Time(5)).unwrap(), b"v2 contents".to_vec());
-        assert_eq!(n.contents_at(Time(7)).unwrap(), b"v2 contents".to_vec());
-        assert_eq!(
-            n.contents_at(Time::CURRENT).unwrap(),
-            b"v3 contents".to_vec()
-        );
+        assert_eq!(&n.contents_at(Time(1)).unwrap()[..], b"");
+        assert_eq!(&n.contents_at(Time(5)).unwrap()[..], b"v2 contents");
+        assert_eq!(&n.contents_at(Time(7)).unwrap()[..], b"v2 contents");
+        assert_eq!(&n.contents_at(Time::CURRENT).unwrap()[..], b"v3 contents");
         assert_eq!(n.current_time(), Time(9));
     }
 
@@ -289,10 +292,7 @@ mod tests {
         let mut n = Node::new(NodeIndex(2), Time(1), false);
         assert!(!n.is_archive());
         n.modify(b"only current".to_vec(), Time(5), "edit").unwrap();
-        assert_eq!(
-            n.contents_at(Time::CURRENT).unwrap(),
-            b"only current".to_vec()
-        );
+        assert_eq!(&n.contents_at(Time::CURRENT).unwrap()[..], b"only current");
         assert!(matches!(
             n.contents_at(Time(1)),
             Err(HamError::NoHistory(_))
@@ -330,7 +330,7 @@ mod tests {
         n.modify(b"keep".to_vec(), Time(3), "keep").unwrap();
         n.modify(b"drop".to_vec(), Time(8), "drop").unwrap();
         assert!(n.truncate_after(Time(5)));
-        assert_eq!(n.contents_at(Time::CURRENT).unwrap(), b"keep".to_vec());
+        assert_eq!(&n.contents_at(Time::CURRENT).unwrap()[..], b"keep");
         let (major, _) = n.versions();
         assert_eq!(major.len(), 2);
         // A node created after the truncation point reports false.

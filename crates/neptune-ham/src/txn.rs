@@ -82,8 +82,8 @@ pub enum RedoOp {
         context: ContextId,
         /// The modified node.
         id: NodeIndex,
-        /// New contents.
-        contents: Vec<u8>,
+        /// New contents, shared with the live graph's version store.
+        contents: std::sync::Arc<[u8]>,
         /// New attachment points, in canonical attachment order.
         link_pts: Vec<LinkPt>,
         /// Assigned check-in time.
@@ -440,7 +440,7 @@ impl Decode for RedoOp {
             4 => RedoOp::ModifyNode {
                 context: ContextId::decode(r)?,
                 id: NodeIndex::decode(r)?,
-                contents: r.get_bytes()?.to_vec(),
+                contents: r.get_bytes()?.into(),
                 link_pts: decode_seq(r)?,
                 time: Time::decode(r)?,
             },
@@ -584,7 +584,7 @@ mod tests {
             RedoOp::ModifyNode {
                 context: ContextId(0),
                 id: NodeIndex(1),
-                contents: b"hello".to_vec(),
+                contents: b"hello".to_vec().into(),
                 link_pts: vec![LinkPt::current(NodeIndex(1), 2)],
                 time: Time(11),
             },

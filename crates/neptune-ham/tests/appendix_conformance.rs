@@ -131,7 +131,7 @@ fn every_appendix_operation() {
     let opened = ham
         .open_node(ctx, archive_node, Time::CURRENT, &[doc_attr])
         .unwrap();
-    assert_eq!(opened.contents, b"0123456789abcdef\n".to_vec());
+    assert_eq!(&opened.contents[..], b"0123456789abcdef\n");
     assert!(!opened.link_pts.is_empty());
     assert_eq!(opened.values, vec![Some(Value::str("requirements"))]);
 
@@ -199,8 +199,8 @@ fn every_appendix_operation() {
     assert_eq!(
         ham.open_node(ctx, pin_target, to_version, &[])
             .unwrap()
-            .contents,
-        b"pinned contents v1\n".to_vec()
+            .contents[..],
+        b"pinned contents v1\n"[..]
     );
 
     // getFromNode: LinkIndex × Time₁ → NodeIndex × Time₂ — the tracking

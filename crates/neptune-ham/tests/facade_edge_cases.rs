@@ -266,22 +266,22 @@ fn nested_context_forks() {
     assert_eq!(
         ham.open_node(child, n, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"grandchild edit\n".to_vec()
+            .contents[..],
+        b"grandchild edit\n"[..]
     );
     assert_eq!(
         ham.open_node(MAIN_CONTEXT, n, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"base\n".to_vec()
+            .contents[..],
+        b"base\n"[..]
     );
     ham.merge_context(child, neptune_ham::context::ConflictPolicy::Fail)
         .unwrap();
     assert_eq!(
         ham.open_node(MAIN_CONTEXT, n, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"grandchild edit\n".to_vec()
+            .contents[..],
+        b"grandchild edit\n"[..]
     );
 }
 
@@ -327,7 +327,7 @@ fn huge_contents_roundtrip() {
     assert_eq!(
         ham.open_node(MAIN_CONTEXT, n, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        big
+            .contents[..],
+        big[..]
     );
 }

@@ -76,8 +76,8 @@ fn torn_wal_tail_recovers_committed_prefix() {
     assert_eq!(
         ham.open_node(ctx, node, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"survives\n".to_vec()
+            .contents[..],
+        b"survives\n"[..]
     );
     // The machine keeps working after recovery.
     ham.add_node(ctx, true).unwrap();
@@ -107,8 +107,8 @@ fn corrupted_wal_record_truncates_replay_to_prefix() {
     assert_eq!(
         ham.open_node(ctx, first, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"first txn\n".to_vec()
+            .contents[..],
+        b"first txn\n"[..]
     );
 }
 
@@ -156,8 +156,8 @@ fn failing_op_inside_explicit_txn_leaves_txn_usable() {
     assert_eq!(
         ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"inside txn\n".to_vec()
+            .contents[..],
+        b"inside txn\n"[..]
     );
 }
 
@@ -234,7 +234,7 @@ fn read_only_node_blob_still_checkpoints() {
     assert_eq!(
         ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
             .unwrap()
-            .contents,
-        b"v2\n".to_vec()
+            .contents[..],
+        b"v2\n"[..]
     );
 }

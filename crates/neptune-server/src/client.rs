@@ -18,7 +18,7 @@ use neptune_ham::types::{
 use neptune_ham::value::Value;
 use neptune_storage::diff::Difference;
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::FrameBuf;
 use crate::proto::{Request, Response};
 
 /// Client-side errors.
@@ -59,8 +59,17 @@ impl From<neptune_storage::StorageError> for ClientError {
 pub type Result<T> = std::result::Result<T, ClientError>;
 
 /// A connection to a Neptune server.
+///
+/// The socket is split into a read half and a buffered write half so
+/// requests can be pipelined: [`Client::pipeline`] queues N frames, flushes
+/// once, then drains N responses — amortizing syscall and round-trip cost.
+/// [`Client::batch`] goes further and ships the N requests as one
+/// `Request::Batch` frame the server executes under a single lock
+/// acquisition.
 pub struct Client {
-    stream: TcpStream,
+    reader: TcpStream,
+    writer: std::io::BufWriter<TcpStream>,
+    frames: FrameBuf,
 }
 
 macro_rules! expect {
@@ -78,13 +87,51 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        let writer = std::io::BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: stream,
+            writer,
+            frames: FrameBuf::new(),
+        })
     }
 
     /// Send a raw request and wait for the response.
     pub fn call(&mut self, request: Request) -> Result<Response> {
-        write_frame(&mut self.stream, &request)?;
-        Ok(read_frame(&mut self.stream)?)
+        self.frames.write_frame(&mut self.writer, &request)?;
+        Ok(self.frames.read_frame(&mut self.reader)?)
+    }
+
+    /// Send several requests as one `Request::Batch` frame.
+    ///
+    /// The server executes the whole batch under a single gate check and
+    /// one HAM lock acquisition, returning per-element results in order
+    /// (a failing element yields `Response::Error` in its slot; the rest
+    /// still run). The batch takes the shared read path iff every element
+    /// is read-only.
+    pub fn batch(&mut self, requests: Vec<Request>) -> Result<Vec<Response>> {
+        match self.call(Request::Batch(requests))? {
+            Response::Batch(responses) => Ok(responses),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Protocol { expected: "Batch" }),
+        }
+    }
+
+    /// Pipelined mode: queue every request's frame into the buffered
+    /// writer, flush once, then drain the responses in order.
+    ///
+    /// Unlike [`Client::batch`], each request is still a separate server
+    /// round of gate/lock work — pipelining only removes the
+    /// write→wait→read lockstep, keeping N requests in flight on the wire.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>> {
+        for request in requests {
+            self.frames.queue_frame(&mut self.writer, request)?;
+        }
+        std::io::Write::flush(&mut self.writer).map_err(neptune_storage::StorageError::from)?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            responses.push(self.frames.read_frame(&mut self.reader)?);
+        }
+        Ok(responses)
     }
 
     /// Liveness probe.

@@ -18,6 +18,7 @@ use neptune_ham::value::Value;
 use neptune_storage::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use neptune_storage::diff::Difference;
 use neptune_storage::error::{Result as StorageResult, StorageError};
+use std::sync::Arc;
 
 fn encode_event(e: Event, w: &mut Writer) {
     let tag = Event::ALL
@@ -394,6 +395,11 @@ pub enum Request {
     /// per-RPC latency histograms, HAM operation timings and transaction
     /// counters, WAL/replay/cache instrumentation.
     Metrics,
+    /// Several requests executed back-to-back under one gate check and one
+    /// HAM lock acquisition; answered by [`Response::Batch`] with one
+    /// element per request, in order (per-element errors do not abort the
+    /// rest). Transaction control and nested batches are rejected.
+    Batch(Vec<Request>),
 }
 
 impl Request {
@@ -410,6 +416,9 @@ impl Request {
     pub fn is_read_only(&self) -> bool {
         use Request::*;
         match self {
+            // A batch is read-only iff every element is; one write demotes
+            // the whole batch to the exclusive path.
+            Batch(elements) => elements.iter().all(Request::is_read_only),
             LinearizeGraph { .. }
             | GetGraphQuery { .. }
             | OpenNode { .. }
@@ -502,6 +511,7 @@ impl Request {
             Verify => "Verify",
             CacheStats => "CacheStats",
             Metrics => "Metrics",
+            Batch(..) => "Batch",
         }
     }
 }
@@ -519,8 +529,9 @@ pub enum Response {
     SubGraph(SubGraph),
     /// openNode's result.
     Opened {
-        /// Contents at the requested time.
-        contents: Vec<u8>,
+        /// Contents at the requested time, shared with the HAM's version
+        /// store/cache — encoding splices this buffer by reference.
+        contents: Arc<[u8]>,
         /// Link attachments of that version.
         link_pts: Vec<LinkPt>,
         /// Requested attribute values.
@@ -573,6 +584,8 @@ pub enum Response {
     },
     /// The metrics registry in Prometheus text exposition format.
     Metrics(String),
+    /// Answers [`Request::Batch`]: one response per element, in order.
+    Batch(Vec<Response>),
 }
 
 impl Encode for Request {
@@ -896,12 +909,26 @@ impl Encode for Request {
             Verify => w.put_u8(39),
             CacheStats => w.put_u8(40),
             Metrics => w.put_u8(41),
+            Batch(elements) => {
+                w.put_u8(42);
+                encode_seq(elements, w);
+            }
         }
     }
 }
 
 impl Decode for Request {
     fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        decode_request(r, true)
+    }
+}
+
+/// [`Request::decode`] body. `allow_batch` is true only at the top level:
+/// batch elements may not themselves be batches, and rejecting the tag
+/// *during* decode bounds recursion depth against hostile deeply-nested
+/// payloads.
+fn decode_request(r: &mut Reader<'_>, allow_batch: bool) -> StorageResult<Request> {
+    {
         use Request::*;
         Ok(match r.get_u8()? {
             0 => AddNode {
@@ -1083,6 +1110,14 @@ impl Decode for Request {
             39 => Verify,
             40 => CacheStats,
             41 => Metrics,
+            42 if allow_batch => {
+                let count = r.get_u64()? as usize;
+                let mut elements = Vec::with_capacity(count.min(r.remaining()));
+                for _ in 0..count {
+                    elements.push(decode_request(r, false)?);
+                }
+                Batch(elements)
+            }
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Request",
@@ -1172,7 +1207,9 @@ impl Encode for Response {
                 current_time,
             } => {
                 w.put_u8(4);
-                w.put_bytes(contents);
+                // Refcount bump, not a memcpy: the frame writer streams the
+                // shared buffer straight to the socket.
+                w.put_bytes_shared(contents.clone());
                 encode_seq(link_pts, w);
                 encode_seq(values, w);
                 current_time.encode(w);
@@ -1263,12 +1300,24 @@ impl Encode for Response {
                 w.put_u8(22);
                 w.put_str(text);
             }
+            Batch(elements) => {
+                w.put_u8(23);
+                encode_seq(elements, w);
+            }
         }
     }
 }
 
 impl Decode for Response {
     fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        decode_response(r, true)
+    }
+}
+
+/// [`Response::decode`] body; see [`decode_request`] for the `allow_batch`
+/// recursion guard.
+fn decode_response(r: &mut Reader<'_>, allow_batch: bool) -> StorageResult<Response> {
+    {
         use Response as A;
         Ok(match r.get_u8()? {
             0 => A::Ok,
@@ -1276,7 +1325,7 @@ impl Decode for Response {
             2 => A::LinkCreated(LinkIndex::decode(r)?, Time::decode(r)?),
             3 => A::SubGraph(decode_subgraph(r)?),
             4 => A::Opened {
-                contents: r.get_bytes()?.to_vec(),
+                contents: r.get_bytes()?.into(),
                 link_pts: decode_seq(r)?,
                 values: decode_seq(r)?,
                 current_time: Time::decode(r)?,
@@ -1313,6 +1362,14 @@ impl Decode for Response {
                 bytes: r.get_u64()?,
             },
             22 => A::Metrics(r.get_str()?.to_owned()),
+            23 if allow_batch => {
+                let count = r.get_u64()? as usize;
+                let mut elements = Vec::with_capacity(count.min(r.remaining()));
+                for _ in 0..count {
+                    elements.push(decode_response(r, false)?);
+                }
+                A::Batch(elements)
+            }
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Response",
@@ -1402,7 +1459,7 @@ mod tests {
                 links: vec![(LinkIndex(2), vec![])],
             }),
             Response::Opened {
-                contents: b"text".to_vec(),
+                contents: b"text"[..].into(),
                 link_pts: vec![LinkPt::current(NodeIndex(1), 0)],
                 values: vec![None, Some(Value::Int(3))],
                 current_time: Time(12),
@@ -1481,6 +1538,68 @@ mod tests {
             link_pts: vec![],
         }
         .is_read_only());
+    }
+
+    #[test]
+    fn batch_roundtrips_and_classifies() {
+        let read_batch = Request::Batch(vec![
+            Request::Ping,
+            Request::OpenNode {
+                context: ContextId(0),
+                node: NodeIndex(1),
+                time: Time(0),
+                attrs: vec![AttributeIndex(2)],
+            },
+            Request::CacheStats,
+        ]);
+        assert_eq!(
+            Request::from_bytes(&read_batch.to_bytes()).unwrap(),
+            read_batch
+        );
+        // A batch is read-only iff every element is.
+        assert!(read_batch.is_read_only());
+        let write_batch = Request::Batch(vec![
+            Request::Ping,
+            Request::ModifyNode {
+                context: ContextId(0),
+                node: NodeIndex(1),
+                time: Time(1),
+                contents: b"x".to_vec(),
+                link_pts: vec![],
+            },
+        ]);
+        assert!(!write_batch.is_read_only());
+        assert_eq!(
+            Request::from_bytes(&write_batch.to_bytes()).unwrap(),
+            write_batch
+        );
+        assert!(Request::Batch(vec![]).is_read_only());
+
+        let response = Response::Batch(vec![
+            Response::Ok,
+            Response::Error("nope".into()),
+            Response::Time(Time(9)),
+        ]);
+        assert_eq!(
+            Response::from_bytes(&response.to_bytes()).unwrap(),
+            response
+        );
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_at_decode() {
+        // A nested batch would let a hostile frame drive unbounded decode
+        // recursion, so the inner tag is refused while decoding.
+        let nested = Request::Batch(vec![Request::Batch(vec![Request::Ping])]);
+        assert!(matches!(
+            Request::from_bytes(&nested.to_bytes()),
+            Err(neptune_storage::StorageError::InvalidTag { .. })
+        ));
+        let nested = Response::Batch(vec![Response::Batch(vec![Response::Ok])]);
+        assert!(matches!(
+            Response::from_bytes(&nested.to_bytes()),
+            Err(neptune_storage::StorageError::InvalidTag { .. })
+        ));
     }
 
     #[test]

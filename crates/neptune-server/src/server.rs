@@ -38,7 +38,7 @@ use neptune_ham::predicate::Predicate;
 use neptune_ham::types::Time;
 use neptune_ham::Ham;
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::FrameBuf;
 use crate::proto::{Request, Response};
 
 /// How long a client waits for another client's transaction before its
@@ -235,7 +235,7 @@ pub fn serve_with(
 }
 
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     conn_id: u64,
     shared: Arc<Shared>,
 ) -> neptune_storage::error::Result<()> {
@@ -244,11 +244,27 @@ fn handle_connection(
     stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
+    // Per-connection reusable framing buffers: steady state is
+    // allocation-free, and every frame's wire size feeds the
+    // `neptune_server_bytes_{in,out}_total` counters. Responses go through
+    // a buffered writer so header + payload chunks coalesce into one
+    // syscall.
+    let mut frames = if neptune_obs::enabled() {
+        let registry = neptune_obs::registry();
+        FrameBuf::with_counters(
+            registry.counter("neptune_server_bytes_in_total"),
+            registry.counter("neptune_server_bytes_out_total"),
+        )
+    } else {
+        FrameBuf::new()
+    };
+    let mut writer = std::io::BufWriter::new(stream.try_clone()?);
+    let mut reader = stream;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break Ok(());
         }
-        let request: Request = match read_frame(&mut stream) {
+        let request: Request = match frames.read_frame(&mut reader) {
             Ok(r) => r,
             Err(neptune_storage::StorageError::Io(e))
                 if matches!(
@@ -266,7 +282,7 @@ fn handle_connection(
             Err(e) => break Err(e),
         };
         let response = execute(&shared, conn_id, request);
-        write_frame(&mut stream, &response)?;
+        frames.write_frame(&mut writer, &response)?;
     }
 }
 
@@ -299,17 +315,13 @@ fn observe_gate_wait(waited: Duration) {
     }
 }
 
-/// [`execute_inner`] plus instrumentation: one
-/// `neptune_server_rpc_ns{op=<variant>}` observation per request, an error
-/// counter, and slow-op visibility via the trace layer.
-fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
+/// Record one `neptune_server_rpc_ns{op=<variant>}` observation, bump the
+/// error counter on failure responses, and emit slow-op traces. No-op when
+/// instrumentation is disabled.
+fn observe_rpc(op: &'static str, elapsed: Duration, response: &Response) {
     if !neptune_obs::enabled() {
-        return execute_inner(shared, conn_id, request);
+        return;
     }
-    let op = request.name();
-    let start = Instant::now();
-    let response = execute_inner(shared, conn_id, request);
-    let elapsed = start.elapsed();
     let registry = neptune_obs::registry();
     registry
         .histogram(&neptune_obs::labeled("neptune_server_rpc_ns", "op", op))
@@ -318,7 +330,138 @@ fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
         registry.counter("neptune_server_rpc_errors_total").inc();
     }
     neptune_obs::trace::emit("server.rpc", op, elapsed);
+}
+
+/// [`execute_inner`]/[`execute_batch`] plus instrumentation: one
+/// `neptune_server_rpc_ns{op=<variant>}` observation per request (batches
+/// additionally record each element), an error counter, and slow-op
+/// visibility via the trace layer.
+fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
+    let op = request.name();
+    let start = Instant::now();
+    let response = match request {
+        Request::Batch(elements) => execute_batch(shared, conn_id, elements),
+        request => execute_inner(shared, conn_id, request),
+    };
+    observe_rpc(op, start.elapsed(), &response);
     response
+}
+
+/// Wait at the transaction gate until no *foreign* transaction is active,
+/// honoring one fixed deadline across spurious wakeups. Returns the held
+/// gate on success, or the timeout error response. The gate-wait histogram
+/// is observed only when a wait actually happened, so its count is the
+/// number of contended acquisitions.
+fn wait_for_gate<'a>(
+    shared: &'a Shared,
+    conn_id: u64,
+    deadline: Instant,
+) -> std::result::Result<MutexGuard<'a, Gate>, Box<Response>> {
+    let mut gate = shared.lock_gate();
+    if gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
+        let wait_start = Instant::now();
+        while gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                observe_gate_wait(wait_start.elapsed());
+                count("neptune_server_lock_timeouts_total");
+                return Err(Box::new(Response::Error(
+                    "timed out waiting for another client's transaction".into(),
+                )));
+            };
+            let (guard, _) = shared
+                .txn_released
+                .wait_timeout(gate, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            gate = guard;
+        }
+        observe_gate_wait(wait_start.elapsed());
+    }
+    Ok(gate)
+}
+
+/// Execute a batch under a *single* gate check and one HAM lock
+/// acquisition: the whole point of `Request::Batch` is amortizing that
+/// cost over N operations. A batch is read-only iff every element is; one
+/// mutating element routes the entire batch through the exclusive lock (in
+/// order, preserving element semantics). Per-element results: a failing
+/// element yields `Response::Error` in its slot and the rest still run.
+/// Transaction control is per-connection state that a half-executed batch
+/// could corrupt, so it is rejected per-element, as are nested batches.
+fn execute_batch(shared: &Shared, conn_id: u64, elements: Vec<Request>) -> Response {
+    fn element_error(element: &Request) -> Option<Response> {
+        match element {
+            Request::BeginTransaction | Request::CommitTransaction | Request::AbortTransaction => {
+                Some(Response::Error(
+                    "transaction control is not allowed inside a batch".into(),
+                ))
+            }
+            Request::Batch(_) => Some(Response::Error("nested batches are not allowed".into())),
+            _ => None,
+        }
+    }
+    let mut force_write = !elements.iter().all(Request::is_read_only);
+    let deadline = Instant::now() + shared.lock_timeout;
+    loop {
+        let gate = match wait_for_gate(shared, conn_id, deadline) {
+            Ok(gate) => gate,
+            Err(response) => return *response,
+        };
+        if force_write || gate.txn_owner == Some(conn_id) {
+            // Acquired while holding the gate (lock order: gate → ham).
+            let mut ham = shared.write_ham();
+            drop(gate);
+            let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
+            let responses = elements
+                .into_iter()
+                .map(|element| {
+                    if let Some(err) = element_error(&element) {
+                        return err;
+                    }
+                    let op = element.name();
+                    let start = Instant::now();
+                    let response = dispatch(&mut ham, element);
+                    observe_rpc(op, start.elapsed(), &response);
+                    response
+                })
+                .collect();
+            return Response::Batch(responses);
+        }
+        // Read-only batch: every element shares one reader-lock
+        // acquisition and one in-flight gauge.
+        let ham = shared.read_ham();
+        drop(gate);
+        let inflight = scoped_gauge("neptune_server_read_ops_inflight");
+        let mut responses = Vec::with_capacity(elements.len());
+        let mut bounced = false;
+        for element in &elements {
+            if let Some(err) = element_error(element) {
+                responses.push(err);
+                continue;
+            }
+            let op = element.name();
+            let start = Instant::now();
+            match dispatch_read(&ham, element.clone()) {
+                Ok(response) => {
+                    observe_rpc(op, start.elapsed(), &response);
+                    responses.push(response);
+                }
+                Err(_) => {
+                    // A nodeOpened demon must fire: rerun the whole batch
+                    // on the write path. The reads already served are
+                    // side-effect-free, so discarding them is safe.
+                    bounced = true;
+                    break;
+                }
+            }
+        }
+        if !bounced {
+            return Response::Batch(responses);
+        }
+        drop(inflight);
+        drop(ham);
+        count("neptune_server_read_bounces_total");
+        force_write = true;
+    }
 }
 
 /// Run one request under the transaction-ownership discipline.
@@ -335,25 +478,10 @@ fn execute_inner(shared: &Shared, conn_id: u64, request: Request) -> Response {
     let mut force_write = !request.is_read_only();
     let deadline = Instant::now() + shared.lock_timeout;
     loop {
-        let mut gate = shared.lock_gate();
-        if gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
-            let wait_start = Instant::now();
-            while gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                    observe_gate_wait(wait_start.elapsed());
-                    count("neptune_server_lock_timeouts_total");
-                    return Response::Error(
-                        "timed out waiting for another client's transaction".into(),
-                    );
-                };
-                let (guard, _) = shared
-                    .txn_released
-                    .wait_timeout(gate, remaining)
-                    .unwrap_or_else(PoisonError::into_inner);
-                gate = guard;
-            }
-            observe_gate_wait(wait_start.elapsed());
-        }
+        let mut gate = match wait_for_gate(shared, conn_id, deadline) {
+            Ok(gate) => gate,
+            Err(response) => return *response,
+        };
         match request {
             Request::BeginTransaction => {
                 let mut ham = shared.write_ham();
@@ -577,6 +705,9 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
             | Q::DestroyContext { .. }
             | Q::Checkpoint => {
                 unreachable!("mutating request routed to the read dispatcher")
+            }
+            Q::Batch(..) => {
+                unreachable!("batches are executed by execute_batch, element by element")
             }
         })
     })();
@@ -846,6 +977,9 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
             Q::Metrics => metrics_response(ham),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 unreachable!("transaction control handled by execute()")
+            }
+            Q::Batch(..) => {
+                unreachable!("batches are executed by execute_batch, element by element")
             }
         })
     })();

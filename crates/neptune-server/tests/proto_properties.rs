@@ -143,7 +143,7 @@ fn gen_response(rng: &mut XorShift) -> Response {
         2 => {
             let len = rng.below(64) as usize;
             Response::Opened {
-                contents: rng.bytes(len),
+                contents: rng.bytes(len).into(),
                 link_pts: (0..rng.below(4)).map(|_| gen_linkpt(rng)).collect(),
                 values: (0..rng.below(4))
                     .map(|_| {

@@ -88,7 +88,7 @@ fn full_document_workflow_over_the_wire() {
     let opened = c
         .open_node(MAIN_CONTEXT, root, Time::CURRENT, vec![icon])
         .unwrap();
-    assert_eq!(opened.contents, b"Neptune paper\n".to_vec());
+    assert_eq!(&opened.contents[..], b"Neptune paper\n");
     assert_eq!(opened.values, vec![Some(Value::str("root"))]);
     assert_eq!(opened.link_pts.len(), 1);
 
@@ -158,13 +158,13 @@ fn transactions_isolate_concurrent_clients() {
     std::thread::sleep(std::time::Duration::from_millis(100));
     writer.abort_transaction().unwrap();
     let seen = handle.join().unwrap();
-    assert_eq!(seen.contents, b"committed state\n".to_vec());
+    assert_eq!(&seen.contents[..], b"committed state\n");
 
     // After the abort, everyone sees the pre-transaction state.
     let opened = other
         .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
         .unwrap();
-    assert_eq!(opened.contents, b"committed state\n".to_vec());
+    assert_eq!(&opened.contents[..], b"committed state\n");
 
     // Commit/abort without ownership is an error.
     assert!(matches!(
@@ -202,7 +202,7 @@ fn disconnect_aborts_open_transaction() {
     let opened = a
         .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
         .unwrap();
-    assert_eq!(opened.contents, b"safe\n".to_vec());
+    assert_eq!(&opened.contents[..], b"safe\n");
     server.stop();
 }
 
@@ -228,7 +228,7 @@ fn state_survives_server_restart() {
     let opened = c
         .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
         .unwrap();
-    assert_eq!(opened.contents, b"persistent\n".to_vec());
+    assert_eq!(&opened.contents[..], b"persistent\n");
     server.stop();
 }
 
@@ -259,16 +259,16 @@ fn contexts_and_demons_over_the_wire() {
     assert_eq!(
         c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
             .unwrap()
-            .contents,
-        b"main\n".to_vec()
+            .contents[..],
+        b"main\n"[..]
     );
     let report = c.merge_context(private, ConflictPolicy::Fail).unwrap();
     assert_eq!(report.nodes_modified, vec![node]);
     assert_eq!(
         c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
             .unwrap()
-            .contents,
-        b"private\n".to_vec()
+            .contents[..],
+        b"private\n"[..]
     );
     // The merge fired the demon on the main context's node.
     let dirty = c.get_attribute_index(MAIN_CONTEXT, "dirty").unwrap();
@@ -456,7 +456,7 @@ fn concurrent_readers_never_see_torn_state() {
                     let opened = c
                         .open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
                         .unwrap();
-                    let text = String::from_utf8(opened.contents).unwrap();
+                    let text = String::from_utf8(opened.contents.to_vec()).unwrap();
                     let (left, right) = text
                         .trim_end()
                         .split_once(" | ")
@@ -480,7 +480,7 @@ fn concurrent_readers_never_see_torn_state() {
     let versions = setup.get_node_versions(MAIN_CONTEXT, node).unwrap().0;
     for v in versions.iter().rev().take(50) {
         let opened = setup.open_node(MAIN_CONTEXT, node, v.time, vec![]).unwrap();
-        let text = String::from_utf8(opened.contents).unwrap();
+        let text = String::from_utf8(opened.contents.to_vec()).unwrap();
         let (left, right) = text.trim_end().split_once(" | ").unwrap();
         assert_eq!(left, right, "torn historical read at {:?}", v.time);
     }
@@ -535,8 +535,8 @@ fn many_clients_interleave_without_corruption() {
             .open_node(MAIN_CONTEXT, n, Time::CURRENT, vec![doc])
             .unwrap();
         assert_eq!(
-            opened.contents,
-            format!("client {i} node {j}\n").into_bytes()
+            opened.contents[..],
+            format!("client {i} node {j}\n").into_bytes()[..]
         );
         assert_eq!(opened.values[0], Some(Value::str(format!("client-{i}"))));
     }

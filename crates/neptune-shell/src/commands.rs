@@ -15,6 +15,7 @@ Neptune shell — commands:
   info                                 graph statistics
   goto <id>                            select a node (starts/extends the trail)
   cat [time]                           current node's contents (at a version)
+  read [time] [--batch N]              time N reads of the current node
   view                                 node browser (contents with link icons)
   follow <k>                           follow the k-th inline link
   back                                 return from a diversion
@@ -52,6 +53,7 @@ pub(crate) fn dispatch(shell: &mut Shell, command: &str, rest: &str) -> Result<S
         "info" => cmd_info(shell),
         "goto" => cmd_goto(shell, rest),
         "cat" => cmd_cat(shell, rest),
+        "read" => cmd_read(shell, rest),
         "view" => cmd_view(shell),
         "follow" => cmd_follow(shell, rest),
         "back" => cmd_back(shell),
@@ -189,6 +191,54 @@ fn cmd_cat(shell: &mut Shell, rest: &str) -> Result<String> {
     Ok(out)
 }
 
+/// Bench-adjacent: drive the same read path the server's `openNode` RPC
+/// uses, `N` times, and report throughput — on a cache-hit workload every
+/// read after the first is a refcount bump on the shared contents buffer,
+/// which this makes visible interactively.
+fn cmd_read(shell: &mut Shell, rest: &str) -> Result<String> {
+    let node = shell.current_node()?;
+    let mut time = Time::CURRENT;
+    let mut batch = 1usize;
+    let mut words = rest.split_whitespace();
+    while let Some(word) = words.next() {
+        if word == "--batch" {
+            batch = words
+                .next()
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| ShellError::Usage("read [time] [--batch N]".to_string()))?;
+        } else {
+            time = shell.parse_time(word)?;
+        }
+    }
+    let before = shell.ham.version_cache_stats();
+    let start = std::time::Instant::now();
+    let mut bytes = 0u64;
+    for _ in 0..batch {
+        let opened = shell.ham.open_node(shell.context, node, time, &[])?;
+        bytes += opened.contents.len() as u64;
+    }
+    let elapsed = start.elapsed();
+    let after = shell.ham.version_cache_stats();
+    let per_read = elapsed.as_nanos() as u64 / batch.max(1) as u64;
+    let rate = if elapsed.as_secs_f64() > 0.0 {
+        batch as f64 / elapsed.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    Ok(format!(
+        "read node {} x{}: {} bytes total, {} ns/read, {:.0} reads/sec\n\
+         version cache: +{} hits, +{} misses\n",
+        node.0,
+        batch,
+        bytes,
+        per_read,
+        rate,
+        after.hits - before.hits,
+        after.misses - before.misses,
+    ))
+}
+
 fn cmd_view(shell: &mut Shell) -> Result<String> {
     let node = shell.current_node()?;
     let ctx = shell.context;
@@ -287,7 +337,7 @@ fn cmd_edit(shell: &mut Shell, rest: &str) -> Result<String> {
     let opened = shell
         .ham
         .open_node(shell.context, node, Time::CURRENT, &[])?;
-    let mut contents = opened.contents.clone();
+    let mut contents = opened.contents.to_vec();
     contents.extend_from_slice(rest.as_bytes());
     contents.push(b'\n');
     let t = shell.ham.modify_node(
@@ -484,6 +534,11 @@ fn cmd_stats(shell: &mut Shell) -> Result<String> {
         registry
             .gauge("neptune_storage_vcache_bytes")
             .set(s.bytes.min(i64::MAX as u64) as i64);
+        out.push_str(&format!(
+            "server wire traffic: {} bytes in, {} bytes out\n",
+            registry.counter("neptune_server_bytes_in_total").get(),
+            registry.counter("neptune_server_bytes_out_total").get(),
+        ));
         out.push('\n');
         out.push_str(&neptune_obs::render::render_human(registry));
     } else {

@@ -184,3 +184,25 @@ fn reopen_preserves_session_work() {
     let out = run(&mut shell, &["goto 1", "cat"]);
     assert!(out[1].contains("persistent line"));
 }
+
+#[test]
+fn read_command_times_batched_reads() {
+    let mut shell = fresh("read");
+    let out = run(
+        &mut shell,
+        &["new", "edit some contents worth reading", "read --batch 8"],
+    );
+    assert!(out[2].contains("x8:"), "{}", out[2]);
+    assert!(out[2].contains("reads/sec"), "{}", out[2]);
+    assert!(out[2].contains("version cache:"), "{}", out[2]);
+    // Bad flag values are usage errors, not panics.
+    assert!(matches!(
+        shell.execute("read --batch zero"),
+        Err(ShellError::Usage(_))
+    ));
+    // stats surfaces the wire-traffic counters (zero in-process).
+    let stats = shell.execute("stats").unwrap();
+    if neptune_obs::enabled() {
+        assert!(stats.contains("bytes in"), "{stats}");
+    }
+}

@@ -56,8 +56,10 @@ struct BackEntry {
 /// backward deltas.
 #[derive(Debug)]
 pub struct Archive {
-    /// Current contents, stored whole.
-    head: Vec<u8>,
+    /// Current contents, stored whole and shared: readers get a refcount
+    /// bump, never a copy. Immutable once published — check-in replaces the
+    /// `Arc`, it never mutates through it.
+    head: Arc<[u8]>,
     /// Check-in time of the head.
     head_time: u64,
     /// Older versions, most recent last; `entries[i].back_delta` applied to
@@ -67,7 +69,7 @@ pub struct Archive {
     /// version. Derived state — see the module docs. Interior mutability lets
     /// `checkout(&self)` warm it; the mutex keeps `Archive: Sync` so whole
     /// graphs can sit behind the server's reader lock.
-    keyframes: Mutex<HashMap<usize, Arc<Vec<u8>>>>,
+    keyframes: Mutex<HashMap<usize, Arc<[u8]>>>,
 }
 
 impl Clone for Archive {
@@ -102,19 +104,19 @@ impl Archive {
     /// use neptune_storage::Archive;
     /// let mut a = Archive::new(b"v1".to_vec(), 1);
     /// a.checkin(b"v2".to_vec(), 2).unwrap();
-    /// assert_eq!(a.checkout(1).unwrap(), b"v1");
-    /// assert_eq!(a.checkout(0).unwrap(), b"v2"); // 0 = current
+    /// assert_eq!(&a.checkout(1).unwrap()[..], b"v1");
+    /// assert_eq!(&a.checkout(0).unwrap()[..], b"v2"); // 0 = current
     /// ```
-    pub fn new(contents: Vec<u8>, time: u64) -> Self {
+    pub fn new(contents: impl Into<Arc<[u8]>>, time: u64) -> Self {
         Archive {
-            head: contents,
+            head: contents.into(),
             head_time: time,
             entries: Vec::new(),
             keyframes: Mutex::new(HashMap::new()),
         }
     }
 
-    fn lock_keyframes(&self) -> MutexGuard<'_, HashMap<usize, Arc<Vec<u8>>>> {
+    fn lock_keyframes(&self) -> MutexGuard<'_, HashMap<usize, Arc<[u8]>>> {
         // A panic while holding the lock leaves only derived state behind;
         // recover it rather than poisoning every future checkout.
         self.keyframes
@@ -126,10 +128,11 @@ impl Archive {
     ///
     /// `time` must exceed the head's time: version history is append-only and
     /// totally ordered, as the HAM's version clock guarantees.
-    pub fn checkin(&mut self, contents: Vec<u8>, time: u64) -> Result<()> {
+    pub fn checkin(&mut self, contents: impl Into<Arc<[u8]>>, time: u64) -> Result<()> {
         if time <= self.head_time {
             return Err(StorageError::NoSuchVersion { time });
         }
+        let contents = contents.into();
         let back_delta = Delta::compute(&contents, &self.head);
         let old_head = std::mem::replace(&mut self.head, contents);
         debug_assert_eq!(back_delta.target_len() as usize, old_head.len());
@@ -144,6 +147,12 @@ impl Archive {
     /// Contents of the current version.
     pub fn head(&self) -> &[u8] {
         &self.head
+    }
+
+    /// Shared handle to the current version's contents — a refcount bump,
+    /// never a copy.
+    pub fn head_shared(&self) -> Arc<[u8]> {
+        self.head.clone()
     }
 
     /// Check-in time of the current version.
@@ -185,7 +194,7 @@ impl Archive {
     /// capturing new keyframes along the way. Cold cost is proportional to
     /// how far back `t` lies; warm cost is at most [`KEYFRAME_INTERVAL`]
     /// delta applications.
-    pub fn checkout(&self, t: u64) -> Result<Vec<u8>> {
+    pub fn checkout(&self, t: u64) -> Result<Arc<[u8]>> {
         let resolved = self.resolve_time(t)?;
         if resolved == self.head_time {
             return Ok(self.head.clone());
@@ -198,7 +207,7 @@ impl Archive {
             let frames = self.lock_keyframes();
             if let Some(data) = frames.get(&idx) {
                 observe_replay_depth(0);
-                return Ok((**data).clone());
+                return Ok(data.clone());
             }
             // Nearest warm keyframe newer than the target, else the head.
             match frames
@@ -206,25 +215,25 @@ impl Archive {
                 .filter(|(&k, _)| k > idx && k <= self.entries.len())
                 .min_by_key(|(&k, _)| k)
             {
-                Some((&k, data)) => ((**data).clone(), k),
-                None => (self.head.clone(), self.entries.len()),
+                Some((&k, data)) => (data.to_vec(), k),
+                None => (self.head.to_vec(), self.entries.len()),
             }
         };
         observe_replay_depth(from - idx);
         for m in (idx..from).rev() {
             current = self.entries[m].back_delta.apply(&current)?;
             if m % KEYFRAME_INTERVAL == 0 {
-                self.lock_keyframes().insert(m, Arc::new(current.clone()));
+                self.lock_keyframes().insert(m, Arc::from(&current[..]));
             }
         }
-        Ok(current)
+        Ok(current.into())
     }
 
     /// Contents as of logical time `t`, always replaying the full backward
     /// chain from the head and never touching keyframes. This is the
     /// reference implementation [`Archive::checkout`] must agree with, and
     /// what "cache disabled" means in the read-scaling benchmarks.
-    pub fn checkout_uncached(&self, t: u64) -> Result<Vec<u8>> {
+    pub fn checkout_uncached(&self, t: u64) -> Result<Arc<[u8]>> {
         let resolved = self.resolve_time(t)?;
         if resolved == self.head_time {
             return Ok(self.head.clone());
@@ -234,11 +243,11 @@ impl Archive {
             .binary_search_by_key(&resolved, |e| e.time)
             .map_err(|_| StorageError::NoSuchVersion { time: t })?;
         observe_replay_depth(self.entries.len() - idx);
-        let mut current = self.head.clone();
+        let mut current = self.head.to_vec();
         for entry in self.entries[idx..].iter().rev() {
             current = entry.back_delta.apply(&current)?;
         }
-        Ok(current)
+        Ok(current.into())
     }
 
     /// Discard every version checked in after logical time `t`, restoring
@@ -279,7 +288,7 @@ impl Archive {
                 w[0], w[1]
             ));
         }
-        let mut current = self.head.clone();
+        let mut current = self.head.to_vec();
         for entry in self.entries.iter().rev() {
             let rebuilt = entry.back_delta.apply(&current).map_err(|e| {
                 format!(
@@ -316,7 +325,7 @@ impl Archive {
     /// storage would cost. Used by the E1 storage-efficiency experiment.
     pub fn full_copy_bytes(&self) -> Result<u64> {
         let mut total = self.head.len() as u64;
-        let mut current = self.head.clone();
+        let mut current = self.head.to_vec();
         for entry in self.entries.iter().rev() {
             current = entry.back_delta.apply(&current)?;
             total += current.len() as u64;
@@ -339,7 +348,7 @@ impl Encode for Archive {
 
 impl Decode for Archive {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
-        let head = r.get_bytes()?.to_vec();
+        let head: Arc<[u8]> = r.get_bytes()?.into();
         let head_time = r.get_u64()?;
         let count = r.get_u64()? as usize;
         let mut entries = Vec::with_capacity(count.min(r.remaining()));
@@ -388,7 +397,7 @@ mod tests {
         assert_eq!(a.version_count(), 25);
         for i in 0..25 {
             assert_eq!(
-                a.checkout((i + 1) as u64).unwrap(),
+                &a.checkout((i + 1) as u64).unwrap()[..],
                 version(i),
                 "version {i}"
             );
@@ -398,7 +407,7 @@ mod tests {
     #[test]
     fn time_zero_means_current() {
         let a = build(5);
-        assert_eq!(a.checkout(0).unwrap(), version(4));
+        assert_eq!(&a.checkout(0).unwrap()[..], version(4));
         assert_eq!(a.resolve_time(0).unwrap(), 5);
     }
 
@@ -407,9 +416,9 @@ mod tests {
         // Versions at times 1 and 10; time 5 sees version-at-1.
         let mut a = Archive::new(b"v1".to_vec(), 1);
         a.checkin(b"v2".to_vec(), 10).unwrap();
-        assert_eq!(a.checkout(5).unwrap(), b"v1".to_vec());
-        assert_eq!(a.checkout(10).unwrap(), b"v2".to_vec());
-        assert_eq!(a.checkout(99).unwrap(), b"v2".to_vec());
+        assert_eq!(&a.checkout(5).unwrap()[..], b"v1");
+        assert_eq!(&a.checkout(10).unwrap()[..], b"v2");
+        assert_eq!(&a.checkout(99).unwrap()[..], b"v2");
         assert_eq!(a.resolve_time(5).unwrap(), 1);
     }
 
@@ -456,7 +465,7 @@ mod tests {
         let decoded = Archive::from_bytes(&a.to_bytes()).unwrap();
         assert_eq!(decoded, a);
         for i in 0..12 {
-            assert_eq!(decoded.checkout((i + 1) as u64).unwrap(), version(i));
+            assert_eq!(&decoded.checkout((i + 1) as u64).unwrap()[..], version(i));
         }
     }
 
@@ -468,7 +477,7 @@ mod tests {
         assert_eq!(a.head(), version(3).as_slice());
         assert_eq!(a.head_time(), 4);
         for i in 0..4 {
-            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i));
+            assert_eq!(&a.checkout((i + 1) as u64).unwrap()[..], version(i));
         }
         // Truncating at or past the head is a no-op.
         a.truncate_after(4).unwrap();
@@ -484,11 +493,11 @@ mod tests {
         let mut a = build(5);
         a.truncate_after(2).unwrap();
         a.checkin(b"new branch tip".to_vec(), 9).unwrap();
-        assert_eq!(a.checkout(0).unwrap(), b"new branch tip".to_vec());
-        assert_eq!(a.checkout(1).unwrap(), version(0));
-        assert_eq!(a.checkout(2).unwrap(), version(1));
+        assert_eq!(&a.checkout(0).unwrap()[..], b"new branch tip");
+        assert_eq!(&a.checkout(1).unwrap()[..], version(0));
+        assert_eq!(&a.checkout(2).unwrap()[..], version(1));
         assert_eq!(
-            a.checkout(5).unwrap(),
+            &a.checkout(5).unwrap()[..],
             version(1),
             "times 3..8 resolve to v2"
         );
@@ -499,7 +508,7 @@ mod tests {
         let a = build(100);
         // Cold pass populates keyframes; warm pass must reread identically.
         for i in (0..100).rev() {
-            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i));
+            assert_eq!(&a.checkout((i + 1) as u64).unwrap()[..], version(i));
         }
         assert!(
             !a.lock_keyframes().is_empty(),
@@ -523,10 +532,10 @@ mod tests {
             a.checkin(version(i), (i + 10) as u64).unwrap();
         }
         for i in 0..40 {
-            assert_eq!(a.checkout((i + 1) as u64).unwrap(), version(i));
+            assert_eq!(&a.checkout((i + 1) as u64).unwrap()[..], version(i));
         }
         for i in 40..64 {
-            assert_eq!(a.checkout((i + 10) as u64).unwrap(), version(i));
+            assert_eq!(&a.checkout((i + 10) as u64).unwrap()[..], version(i));
         }
     }
 
@@ -592,8 +601,8 @@ mod tests {
         let mut a = Archive::new(Vec::new(), 1);
         a.checkin(b"now nonempty\n".to_vec(), 2).unwrap();
         a.checkin(Vec::new(), 3).unwrap();
-        assert_eq!(a.checkout(1).unwrap(), Vec::<u8>::new());
-        assert_eq!(a.checkout(2).unwrap(), b"now nonempty\n".to_vec());
-        assert_eq!(a.checkout(3).unwrap(), Vec::<u8>::new());
+        assert_eq!(&a.checkout(1).unwrap()[..], b"");
+        assert_eq!(&a.checkout(2).unwrap()[..], b"now nonempty\n");
+        assert_eq!(&a.checkout(3).unwrap()[..], b"");
     }
 }

@@ -11,23 +11,38 @@
 
 use crate::error::{Result, StorageError};
 use crate::varint;
+use std::sync::Arc;
 
 /// Incremental writer that appends encoded values to a byte buffer.
+///
+/// Large shared payloads can be spliced in by reference with
+/// [`Writer::put_bytes_shared`]: the `Arc` is recorded alongside the offset
+/// it belongs at instead of being copied into the buffer, and consumers that
+/// stream the encoding ([`Writer::for_each_chunk`]) never materialize a
+/// contiguous copy.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    /// Shared segments spliced into the output, as `(offset_in_buf, bytes)`:
+    /// the segment's bytes belong between `buf[..offset]` and `buf[offset..]`.
+    /// Offsets are non-decreasing (append-only writer).
+    segments: Vec<(usize, Arc<[u8]>)>,
 }
 
 impl Writer {
     /// Create an empty writer.
     pub fn new() -> Self {
-        Writer { buf: Vec::new() }
+        Writer {
+            buf: Vec::new(),
+            segments: Vec::new(),
+        }
     }
 
     /// Create a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
         Writer {
             buf: Vec::with_capacity(cap),
+            segments: Vec::new(),
         }
     }
 
@@ -67,6 +82,17 @@ impl Writer {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Append a length-prefixed byte string *by reference*: only the varint
+    /// length lands in the buffer; the payload `Arc` is recorded for splicing
+    /// at stream-out time. Encoding a cached node version this way is a
+    /// refcount bump, not a memcpy.
+    pub fn put_bytes_shared(&mut self, bytes: Arc<[u8]>) {
+        self.put_u64(bytes.len() as u64);
+        if !bytes.is_empty() {
+            self.segments.push((self.buf.len(), bytes));
+        }
+    }
+
     /// Append a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, s: &str) {
         self.put_bytes(s.as_bytes());
@@ -77,23 +103,58 @@ impl Writer {
         value.encode(self);
     }
 
-    /// Number of bytes written so far.
+    /// Number of bytes written so far, shared segments included.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() + self.segments.iter().map(|(_, s)| s.len()).sum::<usize>()
     }
 
     /// Whether nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.buf.is_empty() && self.segments.is_empty()
     }
 
-    /// Consume the writer, returning the encoded bytes.
+    /// Reset the writer for reuse, keeping the buffer's capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.segments.clear();
+    }
+
+    /// Visit the encoded bytes in order as a sequence of contiguous chunks,
+    /// without materializing shared segments into one buffer.
+    pub fn for_each_chunk(&self, mut f: impl FnMut(&[u8])) {
+        let mut pos = 0;
+        for (offset, segment) in &self.segments {
+            if *offset > pos {
+                f(&self.buf[pos..*offset]);
+                pos = *offset;
+            }
+            f(segment);
+        }
+        if pos < self.buf.len() {
+            f(&self.buf[pos..]);
+        }
+    }
+
+    /// Consume the writer, returning the encoded bytes. Shared segments are
+    /// copied into place here (the one deliberate materialization point).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        if self.segments.is_empty() {
+            return self.buf;
+        }
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_chunk(|chunk| out.extend_from_slice(chunk));
+        out
     }
 
     /// Borrow the bytes written so far.
+    ///
+    /// Only valid while no shared segments are pending; use
+    /// [`Writer::for_each_chunk`] or [`Writer::into_bytes`] otherwise.
     pub fn as_slice(&self) -> &[u8] {
+        debug_assert!(
+            self.segments.is_empty(),
+            "as_slice() cannot represent pending shared segments"
+        );
         &self.buf
     }
 }
@@ -316,6 +377,19 @@ impl Decode for Vec<u8> {
     }
 }
 
+/// Shared byte buffers encode exactly like `Vec<u8>` on the wire but are
+/// spliced by reference instead of copied.
+impl Encode for Arc<[u8]> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes_shared(self.clone());
+    }
+}
+impl Decode for Arc<[u8]> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(r.get_bytes()?.into())
+    }
+}
+
 impl<T: Encode> Encode for Option<T> {
     fn encode(&self, w: &mut Writer) {
         match self {
@@ -460,6 +534,70 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(decode_seq::<u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn shared_bytes_splice_identically_to_owned() {
+        // The wire form must be byte-for-byte identical whether the payload
+        // was copied (put_bytes) or spliced by reference (put_bytes_shared).
+        let payload = vec![7u8; 300];
+        let mut owned = Writer::new();
+        owned.put_u64(1);
+        owned.put_bytes(&payload);
+        owned.put_str("tail");
+
+        let mut shared = Writer::new();
+        shared.put_u64(1);
+        shared.put_bytes_shared(Arc::<[u8]>::from(payload.clone()));
+        shared.put_str("tail");
+
+        assert_eq!(shared.len(), owned.len());
+        let mut streamed = Vec::new();
+        shared.for_each_chunk(|chunk| streamed.extend_from_slice(chunk));
+        assert_eq!(streamed, owned.as_slice());
+        assert_eq!(shared.into_bytes(), owned.into_bytes());
+    }
+
+    #[test]
+    fn shared_bytes_are_not_copied_into_the_buffer() {
+        let payload: Arc<[u8]> = Arc::from(vec![9u8; 1024]);
+        let mut w = Writer::new();
+        w.put_bytes_shared(payload.clone());
+        // Only the varint length prefix lands in the internal buffer; the
+        // payload itself rides as a refcount on the original allocation.
+        assert_eq!(Arc::strong_count(&payload), 2);
+        assert_eq!(w.len(), 1024 + 2);
+        w.clear();
+        assert_eq!(Arc::strong_count(&payload), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn arc_bytes_roundtrip_through_codec() {
+        let v: Arc<[u8]> = Arc::from(&b"shared contents"[..]);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes, b"shared contents".to_vec().to_bytes());
+        let back = Arc::<[u8]>::from_bytes(&bytes).unwrap();
+        assert_eq!(&back[..], &v[..]);
+        // Empty payloads take the no-segment fast path.
+        let empty: Arc<[u8]> = Arc::from(&b""[..]);
+        let back = Arc::<[u8]>::from_bytes(&empty.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn interleaved_shared_segments_stream_in_order() {
+        let a: Arc<[u8]> = Arc::from(&b"AAAA"[..]);
+        let b: Arc<[u8]> = Arc::from(&b"BB"[..]);
+        let mut w = Writer::new();
+        w.put_bytes_shared(a);
+        w.put_u8(b'-');
+        w.put_bytes_shared(b);
+        w.put_u8(b'!');
+        let mut flat = Vec::new();
+        w.for_each_chunk(|chunk| flat.extend_from_slice(chunk));
+        assert_eq!(flat, b"\x04AAAA-\x02BB!");
+        assert_eq!(w.into_bytes(), b"\x04AAAA-\x02BB!");
     }
 
     #[test]

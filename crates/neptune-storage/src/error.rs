@@ -60,6 +60,16 @@ pub enum StorageError {
         /// Which file kind was being opened.
         context: &'static str,
     },
+    /// A frame header declared a payload larger than the protocol allows.
+    ///
+    /// Raised *before* any payload buffer is allocated, so a corrupt or
+    /// hostile length field can never drive an OOM-sized allocation.
+    FrameTooLarge {
+        /// Length the header claimed.
+        len: u64,
+        /// Maximum the protocol accepts.
+        max: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -93,6 +103,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::BadFileHeader { context } => {
                 write!(f, "unrecognized file header for {context}")
+            }
+            StorageError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
             }
         }
     }
@@ -138,6 +151,11 @@ mod tests {
             reason: "short read",
         };
         assert!(e.to_string().contains("short read"));
+        let e = StorageError::FrameTooLarge {
+            len: 1 << 30,
+            max: 1 << 26,
+        };
+        assert!(e.to_string().contains("exceeds maximum"));
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub struct CacheStats {
 }
 
 struct CacheEntry {
-    data: Arc<Vec<u8>>,
+    /// Immutable shared contents: handed out by refcount bump, shared with
+    /// the archive/check-in path that produced them.
+    data: Arc<[u8]>,
     last_used: u64,
 }
 
@@ -132,7 +134,7 @@ impl MaterializationCache {
     }
 
     /// Look up a materialized version, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &VersionKey) -> Option<Arc<Vec<u8>>> {
+    pub fn get(&mut self, key: &VersionKey) -> Option<Arc<[u8]>> {
         if !self.enabled {
             self.misses += 1;
             observe_lookup(false);
@@ -157,7 +159,7 @@ impl MaterializationCache {
     /// Insert a materialized version, evicting least-recently-used entries
     /// until the bounds hold. Payloads larger than the byte budget are
     /// simply not cached.
-    pub fn insert(&mut self, key: VersionKey, data: Arc<Vec<u8>>) {
+    pub fn insert(&mut self, key: VersionKey, data: Arc<[u8]>) {
         if !self.enabled || data.len() as u64 > self.max_bytes || self.max_entries == 0 {
             return;
         }
@@ -228,8 +230,8 @@ impl MaterializationCache {
 mod tests {
     use super::*;
 
-    fn arc(bytes: &[u8]) -> Arc<Vec<u8>> {
-        Arc::new(bytes.to_vec())
+    fn arc(bytes: &[u8]) -> Arc<[u8]> {
+        Arc::from(bytes)
     }
 
     #[test]
@@ -237,7 +239,7 @@ mod tests {
         let mut c = MaterializationCache::default();
         assert!(c.get(&(1, 1, 1)).is_none());
         c.insert((1, 1, 1), arc(b"v1"));
-        assert_eq!(c.get(&(1, 1, 1)).unwrap().as_slice(), b"v1");
+        assert_eq!(&c.get(&(1, 1, 1)).unwrap()[..], b"v1");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 1, 1, 2));
     }

@@ -152,14 +152,17 @@ fn archive_checkout_returns_exact_versions() {
             archive.checkin(v.clone(), (i + 1) as u64).unwrap();
         }
         for (i, v) in versions.iter().enumerate() {
-            assert_eq!(&archive.checkout((i + 1) as u64).unwrap(), v);
+            assert_eq!(&archive.checkout((i + 1) as u64).unwrap()[..], &v[..]);
         }
         // Time 0 is always the newest version.
-        assert_eq!(&archive.checkout(0).unwrap(), versions.last().unwrap());
+        assert_eq!(
+            &archive.checkout(0).unwrap()[..],
+            &versions.last().unwrap()[..]
+        );
         // Encoded archives are faithful.
         let decoded = Archive::from_bytes(&archive.to_bytes()).unwrap();
         for (i, v) in versions.iter().enumerate() {
-            assert_eq!(&decoded.checkout((i + 1) as u64).unwrap(), v);
+            assert_eq!(&decoded.checkout((i + 1) as u64).unwrap()[..], &v[..]);
         }
     }
 }

@@ -163,7 +163,7 @@ fn edit(
     suffix: &[u8],
 ) -> Result<(), Box<dyn std::error::Error>> {
     let opened = ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])?;
-    let mut text = opened.contents.clone();
+    let mut text = opened.contents.to_vec();
     text.extend_from_slice(suffix);
     ham.modify_node(
         MAIN_CONTEXT,

@@ -52,7 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..3 {
         c.open_node(MAIN_CONTEXT, a, Time::CURRENT, vec![])?;
     }
-    c.open_node(MAIN_CONTEXT, a, t1, vec![])?; // historical: consults the cache
+    c.open_node(MAIN_CONTEXT, a, t1, vec![])?; // historical: hits (writes warm the cache)
+    c.open_node(MAIN_CONTEXT, a, t0, vec![])?; // the initial version is never warm-inserted: a miss
     c.get_graph_query(MAIN_CONTEXT, Time::CURRENT, "true", "true", vec![], vec![])?;
     c.begin_transaction()?;
     c.add_node(MAIN_CONTEXT, true)?;
