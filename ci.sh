@@ -14,6 +14,16 @@ cargo test --workspace
 # neptune-ham suite with them armed so a violated invariant fails CI.
 cargo test -p neptune-ham --features strict-invariants --lib
 
+# Fault-injection sweep, second seed. The workspace run above already
+# sweeps every fault kind across every I/O step of a 220-op workload at
+# the default seed; this pass rotates the seed with a bounded op count so
+# CI covers two workloads per run without doubling the cost. Every
+# failure message prints the seed — reproduce any cell locally with:
+#   NEPTUNE_FAULT_SEED=<seed> NEPTUNE_FAULT_OPS=<n> \
+#       cargo test -p neptune-check --test crash_consistency <test_name>
+NEPTUNE_FAULT_SEED=0x5EED5 NEPTUNE_FAULT_OPS=120 \
+    cargo test -p neptune-check --test crash_consistency
+
 # Smoke-run the read-scaling bench (cache + zero-copy reads + concurrent
 # readers): proves the bench paths work and leaves BENCH_read_scaling.json
 # at the repo root. NEPTUNE_BENCH_GUARD arms the regression floors (cache

@@ -20,8 +20,9 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use neptune_storage::blobstore::BlobStore;
 use neptune_storage::codec::{Decode, Encode, Reader, Writer};
 use neptune_storage::diff::Difference;
-use neptune_storage::snapshot::{read_snapshot, write_snapshot};
+use neptune_storage::snapshot::{read_snapshot_with, write_snapshot_with};
 use neptune_storage::vcache::{CacheStats, MaterializationCache};
+use neptune_storage::vfs::{StdVfs, Vfs};
 use neptune_storage::wal::{RecordKind, Wal};
 
 use crate::context::{merge_context, ConflictPolicy, MergeReport};
@@ -77,6 +78,9 @@ pub const NODES_DIR: &str = "nodes";
 /// in front of it (the paper's central-server architecture, §2.2).
 pub struct Ham {
     directory: PathBuf,
+    /// Filesystem the durable write path runs on: the real one in
+    /// production, a fault-injecting shadow in crash-consistency tests.
+    vfs: Arc<dyn Vfs>,
     project_id: ProjectId,
     protections: Protections,
     wal: Wal,
@@ -121,8 +125,18 @@ impl Ham {
         directory: impl AsRef<Path>,
         protections: Protections,
     ) -> Result<(Ham, ProjectId, Time)> {
+        Self::create_graph_with(StdVfs::arc(), directory, protections)
+    }
+
+    /// [`Ham::create_graph`] on an explicit [`Vfs`] (fault injection).
+    pub fn create_graph_with(
+        vfs: Arc<dyn Vfs>,
+        directory: impl AsRef<Path>,
+        protections: Protections,
+    ) -> Result<(Ham, ProjectId, Time)> {
         let directory = directory.as_ref().to_path_buf();
-        std::fs::create_dir_all(&directory).map_err(neptune_storage::StorageError::from)?;
+        vfs.create_dir_all(&directory)
+            .map_err(neptune_storage::StorageError::from)?;
         let project_id = ProjectId(fresh_project_id(&directory));
         let graph = HamGraph::new(project_id);
         let created = graph.created;
@@ -134,10 +148,11 @@ impl Ham {
                 forked_from: None,
             },
         );
-        let wal = Wal::open(directory.join(WAL_FILE))?;
-        let blobs = BlobStore::open(directory.join(NODES_DIR), protections)?;
+        let wal = Wal::open_with(vfs.as_ref(), directory.join(WAL_FILE))?;
+        let blobs = BlobStore::open_with(Arc::clone(&vfs), directory.join(NODES_DIR), protections)?;
         let mut ham = Ham {
             directory,
+            vfs,
             project_id,
             protections,
             wal,
@@ -163,7 +178,7 @@ impl Ham {
     /// returned by the `createGraph` that created it.
     pub fn destroy_graph(project_id: ProjectId, directory: impl AsRef<Path>) -> Result<()> {
         let directory = directory.as_ref();
-        let meta = read_meta(directory)?;
+        let meta = read_meta(&StdVfs, directory)?;
         if meta.0 != project_id {
             return Err(HamError::ProjectMismatch {
                 given: project_id,
@@ -185,29 +200,44 @@ impl Ham {
         _machine: &Machine,
         directory: impl AsRef<Path>,
     ) -> Result<(Ham, ContextId)> {
+        Self::open_graph_with(StdVfs::arc(), project_id, directory)
+    }
+
+    /// [`Ham::open_graph`] on an explicit [`Vfs`] (fault injection).
+    pub fn open_graph_with(
+        vfs: Arc<dyn Vfs>,
+        project_id: ProjectId,
+        directory: impl AsRef<Path>,
+    ) -> Result<(Ham, ContextId)> {
         let directory = directory.as_ref().to_path_buf();
-        let (meta_pid, protections, next_context, next_txn) = read_meta(&directory)?;
+        let (meta_pid, protections, meta_next_context, meta_next_txn) =
+            read_meta(vfs.as_ref(), &directory)?;
         if meta_pid != project_id {
             return Err(HamError::ProjectMismatch {
                 given: project_id,
                 actual: meta_pid,
             });
         }
-        let snapshot_bytes = read_snapshot(directory.join(SNAPSHOT_FILE))?;
-        let threads = decode_threads(&snapshot_bytes)?;
-        let mut wal = Wal::open(directory.join(WAL_FILE))?;
-        let committed = wal.recover()?;
-        let blobs = BlobStore::open(directory.join(NODES_DIR), protections)?;
+        let snapshot_bytes = read_snapshot_with(vfs.as_ref(), directory.join(SNAPSHOT_FILE))?;
+        let state = decode_store_state(&snapshot_bytes)?;
+        let mut wal = Wal::open_with(vfs.as_ref(), directory.join(WAL_FILE))?;
+        // Skip WAL records already folded into the snapshot: if a crash hit
+        // after the snapshot rename became durable but before the log
+        // truncation did, replaying the whole log would apply every folded
+        // transaction a second time.
+        let committed = wal.recover_after(state.boundary_lsn)?;
+        let blobs = BlobStore::open_with(Arc::clone(&vfs), directory.join(NODES_DIR), protections)?;
         let mut ham = Ham {
             directory,
+            vfs,
             project_id,
             protections,
             wal,
             blobs,
-            threads,
-            next_context,
+            threads: state.threads,
+            next_context: meta_next_context.max(state.next_context),
             txn: None,
-            next_txn,
+            next_txn: meta_next_txn.max(state.next_txn),
             registry: DemonRegistry::new(),
             journal: Vec::new(),
             in_demon: false,
@@ -230,8 +260,16 @@ impl Ham {
 
     /// Open a graph without knowing its `ProjectId` (directory inspection).
     pub fn open_existing(directory: impl AsRef<Path>) -> Result<(Ham, ContextId, ProjectId)> {
-        let (pid, ..) = read_meta(directory.as_ref())?;
-        let (ham, ctx) = Ham::open_graph(pid, &Machine::local(), directory)?;
+        Self::open_existing_with(StdVfs::arc(), directory)
+    }
+
+    /// [`Ham::open_existing`] on an explicit [`Vfs`] (fault injection).
+    pub fn open_existing_with(
+        vfs: Arc<dyn Vfs>,
+        directory: impl AsRef<Path>,
+    ) -> Result<(Ham, ContextId, ProjectId)> {
+        let (pid, ..) = read_meta(vfs.as_ref(), directory.as_ref())?;
+        let (ham, ctx) = Ham::open_graph_with(vfs, pid, directory)?;
         Ok((ham, ctx, pid))
     }
 
@@ -994,14 +1032,29 @@ impl Ham {
             self.count_txn_outcome("neptune_ham_txn_commits_total");
             return Ok(()); // read-only transaction: nothing to make durable
         }
+        if let Err(e) = self.log_txn(&txn) {
+            // The commit never became durable (or its durability is
+            // unknown and the WAL has poisoned itself). Roll the in-memory
+            // state back so what readers see matches what recovery will
+            // reconstruct — returning the error while keeping the changes
+            // would leave the machine serving state that a crash loses.
+            self.rollback(txn);
+            self.count_txn_outcome("neptune_ham_txn_commit_failures_total");
+            return Err(e.into());
+        }
+        #[cfg(feature = "strict-invariants")]
+        self.assert_strict_invariants("commit_transaction");
+        self.count_txn_outcome("neptune_ham_txn_commits_total");
+        Ok(())
+    }
+
+    /// Append a transaction's records and force the commit to disk.
+    fn log_txn(&mut self, txn: &ActiveTxn) -> neptune_storage::Result<()> {
         self.wal.append(txn.id, RecordKind::Begin, Vec::new())?;
         for op in &txn.redo {
             self.wal.append(txn.id, RecordKind::Op, op.to_bytes())?;
         }
         self.wal.append_commit(txn.id)?;
-        #[cfg(feature = "strict-invariants")]
-        self.assert_strict_invariants("commit_transaction");
-        self.count_txn_outcome("neptune_ham_txn_commits_total");
         Ok(())
     }
 
@@ -1037,6 +1090,13 @@ impl Ham {
             reason: "no active transaction",
         })?;
         self.count_txn_outcome("neptune_ham_txn_aborts_total");
+        self.rollback(txn);
+        Ok(())
+    }
+
+    /// Undo everything a transaction did in memory (shared by explicit
+    /// aborts and failed commits).
+    fn rollback(&mut self, txn: ActiveTxn) {
         // Contexts destroyed/overwritten during the txn come back first.
         for (id, graph) in txn.saved_contexts.into_iter().rev() {
             let forked_from = self.threads.get(&id).and_then(|t| t.forked_from);
@@ -1055,7 +1115,6 @@ impl Ham {
         // contents. Drop every materialized version rather than risk a
         // stale read; aborts are rare.
         self.lock_vcache().clear();
-        Ok(())
     }
 
     /// Whether a transaction is currently active.
@@ -1067,6 +1126,15 @@ impl Ham {
     /// from the snapshot instead of replaying history. Also mirrors each
     /// main-context node's current contents into its per-node file with the
     /// node's protections (the paper's file-per-node storage model).
+    ///
+    /// Ordering is the durability contract (DESIGN.md §12): every side
+    /// effect — the snapshot, the blob mirror, and their fsyncs — completes
+    /// *before* [`Wal::checkpoint`] truncates the log. An error before the
+    /// truncation is recoverable (the old snapshot + full log still
+    /// describe the complete state); the truncation itself is the point of
+    /// no return. The snapshot embeds the LSN boundary it folded, so a
+    /// crash after the snapshot rename but before the truncation cannot
+    /// double-apply replayed transactions.
     pub fn checkpoint(&mut self) -> Result<()> {
         let _span = neptune_obs::span!("ham.checkpoint");
         if self.txn.is_some() {
@@ -1074,10 +1142,42 @@ impl Ham {
                 reason: "cannot checkpoint inside a transaction",
             });
         }
-        let bytes = encode_threads(&self.threads);
-        write_snapshot(self.directory.join(SNAPSHOT_FILE), &bytes)?;
-        self.write_meta()?;
-        self.wal.checkpoint()?;
+        if let Err(e) = self.checkpoint_side_effects() {
+            // Recoverable: the WAL is untouched, so reopening replays the
+            // full log over whichever snapshot generation survived.
+            self.count_checkpoint_failure();
+            return Err(e);
+        }
+        if let Err(e) = self.wal.checkpoint() {
+            // The WAL poisons itself; the durable state stays consistent
+            // either way because the new snapshot's boundary LSN already
+            // covers everything the old log contains.
+            self.count_checkpoint_failure();
+            return Err(e.into());
+        }
+        #[cfg(feature = "strict-invariants")]
+        self.assert_strict_invariants("checkpoint");
+        Ok(())
+    }
+
+    /// Everything a checkpoint must make durable before the WAL truncates:
+    /// the snapshot (which carries the fold boundary) and the per-node blob
+    /// mirror, ending with one directory fsync over the blobs.
+    fn checkpoint_side_effects(&self) -> Result<()> {
+        // Highest LSN currently in the log: all of it is folded into this
+        // snapshot, so recovery must skip records at or below it.
+        let boundary_lsn = self.wal.next_lsn() - 1;
+        let bytes = encode_store_state(
+            boundary_lsn,
+            self.next_context,
+            self.next_txn,
+            &self.threads,
+        );
+        write_snapshot_with(
+            self.vfs.as_ref(),
+            self.directory.join(SNAPSHOT_FILE),
+            &bytes,
+        )?;
         // Mirror current node contents to per-node files.
         let main = &self.threads[&MAIN_CONTEXT].graph;
         for node in main.nodes() {
@@ -1089,9 +1189,17 @@ impl Ham {
                 self.blobs.delete(node.id.0)?;
             }
         }
-        #[cfg(feature = "strict-invariants")]
-        self.assert_strict_invariants("checkpoint");
+        self.blobs.sync_root()?;
         Ok(())
+    }
+
+    /// Bump the failed-checkpoint counter.
+    fn count_checkpoint_failure(&self) {
+        if neptune_obs::enabled() {
+            neptune_obs::registry()
+                .counter("neptune_ham_checkpoint_failures_total")
+                .inc();
+        }
     }
 
     // =====================================================================
@@ -1580,6 +1688,7 @@ impl Ham {
                 let g = self.graph_mut(context)?;
                 g.set_clock(time);
                 g.node_mut(node)?.demons.set(event, demon, time);
+                g.node_mut(node)?.record_minor(time, "demon set");
             }
             RedoOp::ChangeProtection {
                 context,
@@ -1631,7 +1740,11 @@ impl Ham {
         self.protections.encode(&mut w);
         w.put_u64(self.next_context);
         w.put_u64(self.next_txn);
-        write_snapshot(self.directory.join(META_FILE), w.as_slice())?;
+        write_snapshot_with(
+            self.vfs.as_ref(),
+            self.directory.join(META_FILE),
+            w.as_slice(),
+        )?;
         Ok(())
     }
 }
@@ -1652,8 +1765,8 @@ fn policy_from_tag(tag: u8) -> ConflictPolicy {
     }
 }
 
-fn read_meta(directory: &Path) -> Result<(ProjectId, Protections, u64, u64)> {
-    let bytes = read_snapshot(directory.join(META_FILE))?;
+fn read_meta(vfs: &dyn Vfs, directory: &Path) -> Result<(ProjectId, Protections, u64, u64)> {
+    let bytes = read_snapshot_with(vfs, directory.join(META_FILE))?;
     let mut r = Reader::new(&bytes);
     let pid = ProjectId::decode(&mut r)?;
     let protections = decode_protections(&mut r)?;
@@ -1662,10 +1775,30 @@ fn read_meta(directory: &Path) -> Result<(ProjectId, Protections, u64, u64)> {
     Ok((pid, protections, next_context, next_txn))
 }
 
-fn encode_threads(threads: &HashMap<ContextId, GraphThread>) -> Vec<u8> {
+/// State decoded from a snapshot: the WAL fold boundary, allocator
+/// counters, and every context thread.
+struct StoreState {
+    /// Highest LSN folded into this snapshot; recovery skips WAL records
+    /// at or below it (closes the snapshot-renamed-but-WAL-not-yet-
+    /// truncated double-apply window).
+    boundary_lsn: u64,
+    next_context: u64,
+    next_txn: u64,
+    threads: HashMap<ContextId, GraphThread>,
+}
+
+fn encode_store_state(
+    boundary_lsn: u64,
+    next_context: u64,
+    next_txn: u64,
+    threads: &HashMap<ContextId, GraphThread>,
+) -> Vec<u8> {
     let mut ids: Vec<ContextId> = threads.keys().copied().collect();
     ids.sort_unstable();
     let mut w = Writer::new();
+    w.put_u64(boundary_lsn);
+    w.put_u64(next_context);
+    w.put_u64(next_txn);
     w.put_u64(ids.len() as u64);
     for id in ids {
         let t = &threads[&id];
@@ -1676,8 +1809,11 @@ fn encode_threads(threads: &HashMap<ContextId, GraphThread>) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_threads(bytes: &[u8]) -> Result<HashMap<ContextId, GraphThread>> {
+fn decode_store_state(bytes: &[u8]) -> Result<StoreState> {
     let mut r = Reader::new(bytes);
+    let boundary_lsn = r.get_u64()?;
+    let next_context = r.get_u64()?;
+    let next_txn = r.get_u64()?;
     let count = r.get_u64()? as usize;
     let mut threads = HashMap::with_capacity(count.min(r.remaining()));
     for _ in 0..count {
@@ -1686,7 +1822,12 @@ fn decode_threads(bytes: &[u8]) -> Result<HashMap<ContextId, GraphThread>> {
         let graph = HamGraph::decode(&mut r)?;
         threads.insert(id, GraphThread { graph, forked_from });
     }
-    Ok(threads)
+    Ok(StoreState {
+        boundary_lsn,
+        next_context,
+        next_txn,
+        threads,
+    })
 }
 
 /// Generate a fresh project id: unique per creation, stable thereafter

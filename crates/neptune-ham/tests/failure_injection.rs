@@ -5,9 +5,11 @@
 use std::fs::{self, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use neptune_ham::types::{Machine, Protections, Time, MAIN_CONTEXT};
-use neptune_ham::{Ham, Value};
+use neptune_ham::{Ham, HamError, Value};
+use neptune_storage::{FaultKind, FaultVfs, StorageError};
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("neptune-fail-{name}-{}", std::process::id()));
@@ -213,6 +215,93 @@ fn wal_grows_then_checkpoint_shrinks_it() {
     );
     // And node blobs were mirrored with contents.
     assert!(dir.join("nodes").exists());
+}
+
+#[test]
+fn failed_commit_sync_rolls_back_and_poisons_the_wal() {
+    let dir = tmpdir("commit-sync");
+    let vfs = FaultVfs::new();
+    let (mut ham, _, _) =
+        Ham::create_graph_with(Arc::new(vfs.clone()), &dir, Protections::DEFAULT).unwrap();
+    let (node, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"durable\n".to_vec(), &[])
+        .unwrap();
+
+    // The next fsync is the commit's group sync: the transaction's records
+    // reach the WAL file but their durability is unknown.
+    ham.begin_transaction().unwrap();
+    let t = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"lost\n".to_vec(), &[])
+        .unwrap();
+    vfs.arm(FaultKind::FailSync, 0);
+    assert!(ham.commit_transaction().is_err());
+    assert_eq!(vfs.injected(), 1, "fault must have hit the commit sync");
+    vfs.disarm();
+
+    // The failed commit rolled back: readers see the last durable state,
+    // not changes a crash would lose.
+    assert_eq!(
+        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+            .unwrap()
+            .contents[..],
+        b"durable\n"[..]
+    );
+    // The WAL is fail-stop after an unknown-durability sync: every further
+    // mutation refuses until the log is reopened.
+    assert!(matches!(
+        ham.add_node(MAIN_CONTEXT, true),
+        Err(HamError::Storage(StorageError::LogPoisoned))
+    ));
+    assert!(matches!(
+        ham.checkpoint(),
+        Err(HamError::Storage(StorageError::LogPoisoned))
+    ));
+    drop(ham);
+
+    // Reopen clears the poisoning and recovers exactly the committed state.
+    let (mut ham, _, _) = Ham::open_existing_with(Arc::new(vfs.clone()), &dir).unwrap();
+    assert_eq!(
+        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+            .unwrap()
+            .contents[..],
+        b"durable\n"[..]
+    );
+    ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.checkpoint().unwrap();
+}
+
+#[test]
+fn failed_checkpoint_side_effect_is_recoverable() {
+    // A fault during the snapshot/blob-mirror phase surfaces as an error,
+    // but the WAL is untouched: the store keeps accepting commits and a
+    // retried checkpoint succeeds.
+    let dir = tmpdir("ckpt-retry");
+    let vfs = FaultVfs::new();
+    let (mut ham, _, _) =
+        Ham::create_graph_with(Arc::new(vfs.clone()), &dir, Protections::DEFAULT).unwrap();
+    let (node, t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"kept\n".to_vec(), &[])
+        .unwrap();
+
+    // The first create during checkpoint is the snapshot temp file.
+    vfs.arm(FaultKind::FailWrite, 0);
+    assert!(ham.checkpoint().is_err());
+    assert_eq!(vfs.injected(), 1);
+    vfs.disarm();
+
+    let t = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t, b"kept v2\n".to_vec(), &[])
+        .unwrap();
+    ham.checkpoint().unwrap();
+    drop(ham);
+
+    let (mut ham, _, _) = Ham::open_existing_with(Arc::new(vfs), &dir).unwrap();
+    assert_eq!(
+        ham.open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+            .unwrap()
+            .contents[..],
+        b"kept v2\n"[..]
+    );
 }
 
 #[test]

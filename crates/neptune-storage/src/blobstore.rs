@@ -7,11 +7,11 @@
 //! `Protections` domain through to the filesystem where the platform
 //! supports it.
 
-use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
+use crate::vfs::{StdVfs, Vfs};
 
 /// The paper's `Protections` domain: "one of the possible file protection
 /// modes". Modeled as the classic owner/group/other read-write triplet.
@@ -58,16 +58,32 @@ impl crate::codec::Decode for Protections {
 /// A store of uninterpreted blobs, one file per object id.
 #[derive(Debug)]
 pub struct BlobStore {
+    vfs: Arc<dyn Vfs>,
     root: PathBuf,
     protections: Protections,
 }
 
 impl BlobStore {
-    /// Open (creating if needed) a blob store rooted at `root`.
+    /// Open (creating if needed) a blob store rooted at `root` on the
+    /// standard filesystem.
     pub fn open(root: impl AsRef<Path>, protections: Protections) -> Result<BlobStore> {
+        Self::open_with(StdVfs::arc(), root, protections)
+    }
+
+    /// Open (creating if needed) a blob store rooted at `root` through
+    /// `vfs`.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        root: impl AsRef<Path>,
+        protections: Protections,
+    ) -> Result<BlobStore> {
         let root = root.as_ref().to_path_buf();
-        fs::create_dir_all(&root)?;
-        Ok(BlobStore { root, protections })
+        vfs.create_dir_all(&root)?;
+        Ok(BlobStore {
+            vfs,
+            root,
+            protections,
+        })
     }
 
     fn path_for(&self, id: u64) -> PathBuf {
@@ -75,22 +91,35 @@ impl BlobStore {
     }
 
     /// Write (or overwrite) the blob for `id`.
+    ///
+    /// The blob's contents are synced and the file renamed into place, but
+    /// the *directory entry* is not synced here: blobs are a mirror of
+    /// state the snapshot + WAL already own, and callers batching many puts
+    /// (checkpointing) make them all durable with one [`BlobStore::sync_root`].
     pub fn put(&self, id: u64, contents: &[u8]) -> Result<()> {
         let path = self.path_for(id);
         let tmp = path.with_extension("blob.tmp");
         {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(contents)?;
-            f.sync_all()?;
+            let mut f = self.vfs.create(&tmp)?;
+            f.append(contents)?;
+            f.sync()?;
         }
-        fs::rename(&tmp, &path)?;
-        self.apply_protections(&path, self.protections)?;
+        self.vfs.rename(&tmp, &path)?;
+        self.vfs.set_permissions(&path, self.protections.mode)?;
+        Ok(())
+    }
+
+    /// Fsync the store's directory, making every completed put/delete
+    /// durable. Errors propagate — a swallowed failure here would let a
+    /// checkpoint truncate the WAL with the mirror not actually on disk.
+    pub fn sync_root(&self) -> Result<()> {
+        self.vfs.sync_dir(&self.root)?;
         Ok(())
     }
 
     /// Read the blob for `id`.
     pub fn get(&self, id: u64) -> Result<Vec<u8>> {
-        match fs::read(self.path_for(id)) {
+        match self.vfs.read(&self.path_for(id)) {
             Ok(bytes) => Ok(bytes),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StorageError::NotFound { id })
@@ -101,12 +130,12 @@ impl BlobStore {
 
     /// Whether a blob exists for `id`.
     pub fn contains(&self, id: u64) -> bool {
-        self.path_for(id).exists()
+        self.vfs.exists(&self.path_for(id))
     }
 
     /// Delete the blob for `id` (idempotent).
     pub fn delete(&self, id: u64) -> Result<()> {
-        match fs::remove_file(self.path_for(id)) {
+        match self.vfs.remove_file(&self.path_for(id)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
@@ -117,31 +146,17 @@ impl BlobStore {
     /// `changeNodeProtection`.
     pub fn set_protections(&self, id: u64, protections: Protections) -> Result<()> {
         let path = self.path_for(id);
-        if !path.exists() {
+        if !self.vfs.exists(&path) {
             return Err(StorageError::NotFound { id });
         }
-        self.apply_protections(&path, protections)
-    }
-
-    #[cfg(unix)]
-    fn apply_protections(&self, path: &Path, protections: Protections) -> Result<()> {
-        use std::os::unix::fs::PermissionsExt;
-        let perms = fs::Permissions::from_mode(protections.mode);
-        fs::set_permissions(path, perms)?;
-        Ok(())
-    }
-
-    #[cfg(not(unix))]
-    fn apply_protections(&self, _path: &Path, _protections: Protections) -> Result<()> {
+        self.vfs.set_permissions(&path, protections.mode)?;
         Ok(())
     }
 
     /// All object ids currently stored, unsorted.
     pub fn ids(&self) -> Result<Vec<u64>> {
         let mut ids = Vec::new();
-        for entry in fs::read_dir(&self.root)? {
-            let entry = entry?;
-            let name = entry.file_name();
+        for name in self.vfs.read_dir(&self.root)? {
             let name = name.to_string_lossy();
             if let Some(hex) = name.strip_suffix(".blob") {
                 if let Ok(id) = u64::from_str_radix(hex, 16) {
@@ -161,6 +176,7 @@ impl BlobStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn store(name: &str) -> BlobStore {
         let dir = std::env::temp_dir().join(format!("neptune-blob-{name}-{}", std::process::id()));

@@ -60,6 +60,16 @@ pub enum StorageError {
         /// Which file kind was being opened.
         context: &'static str,
     },
+    /// The write-ahead log hit an I/O failure mid-append or mid-sync and
+    /// refuses further writes until reopened.
+    ///
+    /// After a failed append the file may hold a torn frame, and after a
+    /// failed fsync the kernel may have *dropped* the dirty pages
+    /// (the fsyncgate lesson): retrying as if nothing happened could
+    /// persist a commit the caller was told failed, or append intact
+    /// frames after a torn one — turning a recoverable torn tail into
+    /// hard mid-log corruption. Reopening re-scans and truncates.
+    LogPoisoned,
     /// A frame header declared a payload larger than the protocol allows.
     ///
     /// Raised *before* any payload buffer is allocated, so a corrupt or
@@ -103,6 +113,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::BadFileHeader { context } => {
                 write!(f, "unrecognized file header for {context}")
+            }
+            StorageError::LogPoisoned => {
+                write!(
+                    f,
+                    "write-ahead log poisoned by an earlier I/O failure; reopen to recover"
+                )
             }
             StorageError::FrameTooLarge { len, max } => {
                 write!(f, "frame length {len} exceeds maximum {max}")

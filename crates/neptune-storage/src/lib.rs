@@ -22,7 +22,10 @@
 //!   crash recovery (paper §2.2);
 //! * [`snapshot`] — atomic checksummed state snapshots for checkpointing;
 //! * [`blobstore`] — directory-backed blobs carrying the paper's
-//!   `Protections` domain.
+//!   `Protections` domain;
+//! * [`vfs`] — the pluggable filesystem the durable write path runs on;
+//! * [`fault`] — a fault-injecting [`vfs::Vfs`] simulating power loss for
+//!   crash-consistency tests.
 //!
 //! Everything here treats content as uninterpreted bytes, matching the
 //! paper's stance that *"there is no interpretation at the HAM level — it is
@@ -37,10 +40,12 @@ pub mod codec;
 pub mod delta;
 pub mod diff;
 pub mod error;
+pub mod fault;
 pub mod snapshot;
 pub mod testutil;
 pub mod varint;
 pub mod vcache;
+pub mod vfs;
 pub mod wal;
 
 pub use archive::Archive;
@@ -49,5 +54,7 @@ pub use codec::{Decode, Encode, Reader, Writer};
 pub use delta::{Delta, DeltaOp};
 pub use diff::{differences, Difference};
 pub use error::{Result, StorageError};
+pub use fault::{FaultKind, FaultVfs};
 pub use vcache::{CacheStats, MaterializationCache};
+pub use vfs::{StdVfs, Vfs, VfsFile};
 pub use wal::{RecordKind, Wal, WalRecord};

@@ -5,41 +5,55 @@
 //! temporary file and atomically renamed into place so a crash during
 //! checkpointing never leaves a half-written snapshot where a good one was.
 
-use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 use crate::checksum::crc32;
 use crate::error::{Result, StorageError};
+use crate::vfs::{parent_dir, StdVfs, Vfs};
 
 /// Magic bytes identifying a Neptune snapshot file, version 1.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"NEPTSNP1";
 
-/// Atomically write `payload` as a snapshot at `path`.
+/// Atomically write `payload` as a snapshot at `path` on the standard
+/// filesystem.
 pub fn write_snapshot(path: impl AsRef<Path>, payload: &[u8]) -> Result<()> {
+    write_snapshot_with(&StdVfs, path, payload)
+}
+
+/// Atomically write `payload` as a snapshot at `path` through `vfs`.
+///
+/// Ordering: the temporary file's contents are fsync'd before the rename,
+/// and the directory is fsync'd after it. Every error — including the
+/// directory fsync's — propagates: a swallowed dir-fsync error would let a
+/// checkpoint truncate the WAL on the strength of a rename that may not
+/// survive a crash.
+pub fn write_snapshot_with(vfs: &dyn Vfs, path: impl AsRef<Path>, payload: &[u8]) -> Result<()> {
     let path = path.as_ref();
     let tmp = path.with_extension("tmp");
     {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(SNAPSHOT_MAGIC)?;
-        f.write_all(&(payload.len() as u64).to_le_bytes())?;
-        f.write_all(&crc32(payload).to_le_bytes())?;
-        f.write_all(payload)?;
-        f.sync_all()?;
+        let mut f = vfs.create(&tmp)?;
+        let mut header = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 12);
+        header.extend_from_slice(SNAPSHOT_MAGIC);
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(payload).to_le_bytes());
+        f.append(&header)?;
+        f.append(payload)?;
+        f.sync()?;
     }
-    fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     // Durability of the rename itself requires syncing the directory.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
+    vfs.sync_dir(&parent_dir(path))?;
     Ok(())
 }
 
 /// Read and verify a snapshot written by [`write_snapshot`].
 pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Vec<u8>> {
-    let bytes = fs::read(path.as_ref())?;
+    read_snapshot_with(&StdVfs, path)
+}
+
+/// Read and verify a snapshot through `vfs`.
+pub fn read_snapshot_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Vec<u8>> {
+    let bytes = vfs.read(path.as_ref())?;
     let header_len = SNAPSHOT_MAGIC.len() + 8 + 4;
     if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(StorageError::BadFileHeader {
@@ -63,6 +77,7 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("neptune-snap-{name}-{}", std::process::id()));
@@ -141,5 +156,56 @@ mod tests {
         let path = dir.join("graph.snap");
         write_snapshot(&path, b"payload").unwrap();
         assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn dir_fsync_failure_propagates() {
+        use crate::fault::{FaultKind, FaultVfs};
+        let dir = tmpdir("dirsync");
+        let path = dir.join("graph.snap");
+        let vfs = FaultVfs::new();
+        // First sync in write_snapshot is the tmp file; the second sync
+        // class op is the directory fsync after the rename.
+        vfs.arm(FaultKind::FailSync, 1);
+        assert!(
+            write_snapshot_with(&vfs, &path, b"payload").is_err(),
+            "a failed directory fsync must not be swallowed"
+        );
+        // Without the dir fsync the rename is not durable.
+        vfs.power_off();
+        vfs.materialize_durable(&dir).unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn faulted_writes_leave_old_snapshot_durable() {
+        use crate::fault::{FaultKind, FaultVfs};
+        for kind in FaultKind::ALL {
+            let mut at = 0;
+            loop {
+                let dir = tmpdir(&format!("old-{kind}"));
+                let path = dir.join("graph.snap");
+                let vfs = FaultVfs::new();
+                write_snapshot_with(&vfs, &path, b"old").unwrap();
+                vfs.arm(kind, at);
+                let r = write_snapshot_with(&vfs, &path, b"new");
+                if vfs.injected() == 0 {
+                    // The plan outlasted the write's fault points: done.
+                    r.unwrap();
+                    break;
+                }
+                if !vfs.is_powered_off() {
+                    assert!(r.is_err(), "{kind} at {at} must surface");
+                }
+                vfs.power_off();
+                vfs.materialize_durable(&dir).unwrap();
+                let payload = read_snapshot(&path).expect("snapshot must survive any fault");
+                assert!(
+                    payload == b"old" || payload == b"new",
+                    "{kind} at {at}: snapshot must be exactly one of the two versions"
+                );
+                at += 1;
+            }
+        }
     }
 }

@@ -17,6 +17,18 @@
 //! damage is therefore a hard [`StorageError::CorruptLog`] error, which
 //! `neptune-check` surfaces as an unopenable store.
 //!
+//! The log is *fail-stop on write errors*: once any append, truncate, or
+//! fsync fails, the `Wal` poisons itself and every further write returns
+//! [`StorageError::LogPoisoned`] until the log is reopened. A failed append
+//! may have left a torn frame, and a failed fsync may have *dropped* dirty
+//! pages rather than merely delayed them — appending more intact frames
+//! after either would turn a recoverable torn tail into unrecoverable
+//! mid-log corruption, and re-syncing could make durable a commit whose
+//! failure the caller already observed and rolled back.
+//!
+//! All file I/O goes through a [`Vfs`](crate::vfs::Vfs) so crash-consistency
+//! tests can inject failures at every step ([`crate::fault::FaultVfs`]).
+//!
 //! Record layout on disk, after an 8-byte file header:
 //!
 //! ```text
@@ -24,13 +36,12 @@
 //! ```
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::checksum::crc32;
 use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::error::{Result, StorageError};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 /// Magic bytes identifying a Neptune WAL file, version 1.
 pub const WAL_MAGIC: &[u8; 8] = b"NEPTWAL1";
@@ -114,41 +125,44 @@ impl Decode for WalRecord {
 /// An append-only, checksummed write-ahead log file.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     next_lsn: u64,
+    poisoned: bool,
 }
 
 impl Wal {
-    /// Open (creating if absent) the WAL at `path`.
+    /// Open (creating if absent) the WAL at `path` on the standard
+    /// filesystem.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+        Self::open_with(&StdVfs, path)
+    }
+
+    /// Open (creating if absent) the WAL at `path` through `vfs`.
     ///
     /// Any torn tail from a previous crash is truncated away so new records
     /// append after the last intact one. Corruption *before* the last record
     /// is not a torn tail and fails the open with
     /// [`StorageError::CorruptLog`] instead of silently dropping data.
-    pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
+    pub fn open_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
-        let len = file.metadata()?.len();
-        if len == 0 {
-            file.write_all(WAL_MAGIC)?;
-            file.sync_all()?;
+        let mut file = vfs.open_append(&path)?;
+        let bytes = file.read_all()?;
+        if bytes.is_empty() {
+            file.append(WAL_MAGIC)?;
+            file.sync()?;
             return Ok(Wal {
                 file,
                 path,
                 next_lsn: 1,
+                poisoned: false,
             });
         }
 
-        let (records, valid_end) = Self::scan(&mut file)?;
-        if valid_end < len {
+        let (records, valid_end) = Self::scan(&bytes)?;
+        if valid_end < bytes.len() as u64 {
             // Torn tail: discard it.
             file.set_len(valid_end)?;
-            file.seek(SeekFrom::End(0))?;
             if neptune_obs::enabled() {
                 neptune_obs::registry()
                     .counter("neptune_storage_wal_torn_tail_truncations_total")
@@ -160,6 +174,7 @@ impl Wal {
             file,
             path,
             next_lsn,
+            poisoned: false,
         })
     }
 
@@ -172,10 +187,7 @@ impl Wal {
     /// own length field walks the scan from record to record, so nothing
     /// past the damage can be trusted, and truncating would drop committed
     /// transactions without telling anyone.
-    fn scan(file: &mut File) -> Result<(Vec<WalRecord>, u64)> {
-        file.seek(SeekFrom::Start(0))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+    fn scan(bytes: &[u8]) -> Result<(Vec<WalRecord>, u64)> {
         if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
             return Err(StorageError::BadFileHeader {
                 context: "write-ahead log",
@@ -227,10 +239,36 @@ impl Wal {
         Ok((records, pos as u64))
     }
 
+    /// Mark the log unusable after a failed write or sync.
+    fn poison(&mut self) {
+        if !self.poisoned {
+            self.poisoned = true;
+            if neptune_obs::enabled() {
+                neptune_obs::registry()
+                    .counter("neptune_storage_wal_poisoned_total")
+                    .inc();
+            }
+        }
+    }
+
+    /// Refuse writes after a poisoning failure.
+    fn guard(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(StorageError::LogPoisoned);
+        }
+        Ok(())
+    }
+
+    /// Whether an earlier write/sync failure has poisoned the log.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Append a record, assigning it the next LSN. Not yet durable — call
     /// [`Wal::sync`] (done automatically by [`Wal::append_commit`]).
     pub fn append(&mut self, txn_id: u64, kind: RecordKind, payload: Vec<u8>) -> Result<u64> {
         let _span = neptune_obs::span!("storage.wal_append");
+        self.guard()?;
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let record = WalRecord {
@@ -244,7 +282,12 @@ impl Wal {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.file.append(&frame) {
+            // The frame may be torn on disk; no further appends until a
+            // reopen rescans and truncates.
+            self.poison();
+            return Err(e.into());
+        }
         Ok(lsn)
     }
 
@@ -258,20 +301,39 @@ impl Wal {
     /// Force buffered records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
         let _span = neptune_obs::span!("storage.wal_fsync");
-        self.file.sync_data()?;
+        self.guard()?;
+        if let Err(e) = self.file.sync() {
+            // After a failed fsync the kernel may have dropped the dirty
+            // pages; a later "successful" sync would silently persist
+            // records whose durability we already reported as failed.
+            self.poison();
+            return Err(e.into());
+        }
         Ok(())
     }
 
     /// Read every intact record currently in the log.
     pub fn records(&mut self) -> Result<Vec<WalRecord>> {
-        let (records, _) = Self::scan(&mut self.file)?;
-        self.file.seek(SeekFrom::End(0))?;
+        let bytes = self.file.read_all()?;
+        let (records, _) = Self::scan(&bytes)?;
         Ok(records)
     }
 
     /// Replay the log: returns, in commit order, each committed transaction's
     /// id and its `Op` payloads. Records after the last `Checkpoint` only.
     pub fn recover(&mut self) -> Result<Vec<(u64, Vec<Vec<u8>>)>> {
+        self.recover_after(0)
+    }
+
+    /// Replay the log, ignoring every record with `lsn <= boundary` — they
+    /// are already folded into the snapshot the boundary was read from.
+    ///
+    /// The boundary guards the crash window between a snapshot rename
+    /// becoming durable and the log truncation becoming durable: replaying
+    /// the full log onto the *new* snapshot would apply every transaction a
+    /// second time. Storing the boundary LSN inside the snapshot makes the
+    /// skip atomic with the state it protects.
+    pub fn recover_after(&mut self, boundary: u64) -> Result<Vec<(u64, Vec<Vec<u8>>)>> {
         let _span = neptune_obs::span!("storage.wal_recover");
         let records = self.records()?;
         // Start from the last checkpoint, if any.
@@ -282,7 +344,7 @@ impl Wal {
             .unwrap_or(0);
         let mut pending: HashMap<u64, Vec<Vec<u8>>> = HashMap::new();
         let mut committed: Vec<(u64, Vec<Vec<u8>>)> = Vec::new();
-        for r in &records[start..] {
+        for r in records[start..].iter().filter(|r| r.lsn > boundary) {
             match r.kind {
                 RecordKind::Begin => {
                     pending.insert(r.txn_id, Vec::new());
@@ -311,10 +373,22 @@ impl Wal {
 
     /// Write a checkpoint record and truncate the log so replay starts fresh.
     ///
-    /// Callers must have made the checkpointed state durable first.
+    /// Callers must have made the checkpointed state durable first: this is
+    /// the point of no return for a checkpoint, and any failure inside it
+    /// poisons the log. The truncation is fsync'd *before* the checkpoint
+    /// record is appended — a crash between the two must never leave a
+    /// checkpoint record claiming a truncation the file doesn't durably
+    /// have, with stale pre-checkpoint frames resurfacing after it.
     pub fn checkpoint(&mut self) -> Result<()> {
-        self.file.set_len(WAL_MAGIC.len() as u64)?;
-        self.file.seek(SeekFrom::End(0))?;
+        self.guard()?;
+        if let Err(e) = self.file.set_len(WAL_MAGIC.len() as u64) {
+            self.poison();
+            return Err(e.into());
+        }
+        if let Err(e) = self.file.sync() {
+            self.poison();
+            return Err(e.into());
+        }
         self.append(0, RecordKind::Checkpoint, Vec::new())?;
         self.sync()
     }
@@ -333,6 +407,8 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::{Read, Seek, SeekFrom, Write};
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("neptune-wal-{name}-{}", std::process::id()));
@@ -524,5 +600,83 @@ mod tests {
         let mut wal = Wal::open(dir.join("wal")).unwrap();
         assert!(wal.recover().unwrap().is_empty());
         assert_eq!(wal.next_lsn(), 1);
+    }
+
+    #[test]
+    fn recover_after_skips_checkpointed_lsns() {
+        let dir = tmpdir("boundary");
+        let path = dir.join("wal");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(1, RecordKind::Begin, vec![]).unwrap();
+        wal.append(1, RecordKind::Op, b"folded".to_vec()).unwrap();
+        let boundary = wal.append_commit(1).unwrap();
+        wal.append(2, RecordKind::Begin, vec![]).unwrap();
+        wal.append(2, RecordKind::Op, b"fresh".to_vec()).unwrap();
+        wal.append_commit(2).unwrap();
+        // As if a snapshot holding everything up to `boundary` became
+        // durable but the log truncation never did.
+        let committed = wal.recover_after(boundary).unwrap();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, 2);
+        assert!(wal.recover_after(u64::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn failed_append_poisons_the_log() {
+        use crate::fault::{FaultKind, FaultVfs};
+        let dir = tmpdir("poison-append");
+        let vfs = FaultVfs::new();
+        let mut wal = Wal::open_with(&vfs, dir.join("wal")).unwrap();
+        wal.append(1, RecordKind::Begin, vec![]).unwrap();
+        vfs.arm(FaultKind::ShortWrite, 0);
+        assert!(wal.append(1, RecordKind::Op, b"torn".to_vec()).is_err());
+        assert!(wal.is_poisoned());
+        // Everything write-shaped now refuses with LogPoisoned...
+        assert!(matches!(
+            wal.append(1, RecordKind::Op, b"more".to_vec()),
+            Err(StorageError::LogPoisoned)
+        ));
+        assert!(matches!(wal.sync(), Err(StorageError::LogPoisoned)));
+        assert!(matches!(wal.checkpoint(), Err(StorageError::LogPoisoned)));
+        drop(wal);
+        // ...and a reopen truncates the torn frame and works again.
+        let mut wal = Wal::open(dir.join("wal")).unwrap();
+        assert!(!wal.is_poisoned());
+        wal.append_commit(1).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_poisons_the_log() {
+        use crate::fault::{FaultKind, FaultVfs};
+        let dir = tmpdir("poison-sync");
+        let vfs = FaultVfs::new();
+        let mut wal = Wal::open_with(&vfs, dir.join("wal")).unwrap();
+        wal.append(1, RecordKind::Begin, vec![]).unwrap();
+        vfs.arm(FaultKind::FailSync, 0);
+        assert!(wal.sync().is_err());
+        assert!(wal.is_poisoned());
+        assert!(matches!(wal.sync(), Err(StorageError::LogPoisoned)));
+    }
+
+    #[test]
+    fn checkpoint_syncs_truncation_before_checkpoint_record() {
+        use crate::fault::FaultVfs;
+        let dir = tmpdir("ckpt-order");
+        let vfs = FaultVfs::new();
+        let mut wal = Wal::open_with(&vfs, dir.join("wal")).unwrap();
+        wal.append(1, RecordKind::Begin, vec![]).unwrap();
+        wal.append_commit(1).unwrap();
+        vfs.clear_op_log();
+        wal.checkpoint().unwrap();
+        let ops: Vec<String> = vfs
+            .op_log()
+            .iter()
+            .map(|s| s.split(' ').next().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            ops,
+            vec!["set_len", "sync", "append", "sync"],
+            "truncation must be durable before the checkpoint record exists"
+        );
     }
 }
