@@ -6,6 +6,12 @@ set -eux
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Architecture lint: the named invariant rules (vfs-bypass, lock-order,
+# panic-path, metric hygiene — DESIGN.md §13) over every crate's source.
+# Runs before the test gate so violations fail fast; suppress intentional
+# exceptions with `// neptune-lint: allow(rule): reason`.
+cargo run -q -p neptune-lint
+
 # Tier-1 gate: release build plus the whole workspace test suite.
 cargo build --release
 cargo test --workspace
@@ -38,5 +44,24 @@ NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
 # moved; leaves METRICS_snapshot.prom at the repo root.
 NEPTUNE_METRICS_OUT="$PWD/METRICS_snapshot.prom" \
     cargo run --example metrics_smoke
+
+# Sanitizer passes — nightly-only, so they run as dedicated jobs in
+# .github/workflows/ci.yml and are opt-in here (the default toolchain on
+# dev machines is stable). NEPTUNE_CI_NIGHTLY=1 requires a nightly with
+# the rust-src and miri components installed.
+if [ "${NEPTUNE_CI_NIGHTLY:-0}" = "1" ]; then
+    # ThreadSanitizer over the server's concurrency-heavy integration
+    # tests (gate contention, batch pipelining, metrics under load).
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+        -p neptune-server --test server_integration --test batch_pipeline \
+        --test metrics_rpc
+    # Miri over the pure in-memory codec and framing paths (the rest of
+    # the suite does real file and socket I/O, which Miri cannot run).
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p neptune-storage --lib -- codec:: varint::
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p neptune-server --lib -- frame:: proto::
+fi
 
 echo "ci: all green"

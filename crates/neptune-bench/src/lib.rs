@@ -3,6 +3,7 @@
 //! Every experiment in EXPERIMENTS.md (E1–E10) builds its input through
 //! these generators so benches are deterministic (seeded) and comparable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

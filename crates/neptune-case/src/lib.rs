@@ -7,6 +7,7 @@
 //! incremental compiler, and a configuration manager built on
 //! version-pinned link attachments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compiler;

@@ -29,6 +29,7 @@
 //! [`verify_store`] composes the first two; `neptune-shell check` and the
 //! server's `Verify` operation expose it to users.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod lint;

@@ -7,6 +7,7 @@
 //! the document browser (Figure 2), the node browser (Figure 3), and the
 //! node-differences browser.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod annotate;

@@ -177,15 +177,26 @@ impl Ham {
     /// Destroys the graph in `directory`. `project_id` must match the value
     /// returned by the `createGraph` that created it.
     pub fn destroy_graph(project_id: ProjectId, directory: impl AsRef<Path>) -> Result<()> {
+        Self::destroy_graph_with(&StdVfs, project_id, directory)
+    }
+
+    /// [`Ham::destroy_graph`] against an explicit [`Vfs`], so fault sweeps
+    /// can cover the teardown path too.
+    pub fn destroy_graph_with(
+        vfs: &dyn Vfs,
+        project_id: ProjectId,
+        directory: impl AsRef<Path>,
+    ) -> Result<()> {
         let directory = directory.as_ref();
-        let meta = read_meta(&StdVfs, directory)?;
+        let meta = read_meta(vfs, directory)?;
         if meta.0 != project_id {
             return Err(HamError::ProjectMismatch {
                 given: project_id,
                 actual: meta.0,
             });
         }
-        std::fs::remove_dir_all(directory).map_err(neptune_storage::StorageError::from)?;
+        vfs.remove_dir_all(directory)
+            .map_err(neptune_storage::StorageError::from)?;
         Ok(())
     }
 

@@ -15,6 +15,7 @@
 //! (`neptune-server`). Storage mechanics (backward deltas, WAL, snapshots)
 //! come from `neptune-storage`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attributes;

@@ -1,0 +1,429 @@
+//! A small Rust tokenizer, sufficient for syntactic invariant lints.
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! a full `syn` AST is off the table; the lint rules are instead written
+//! against a flat token stream with source positions. The lexer understands
+//! everything that would otherwise corrupt a naive scan — nested block
+//! comments, raw strings with arbitrary `#` fences, byte/char literals vs.
+//! lifetimes — and hands comments to the engine separately so suppression
+//! directives can be matched to the lines they govern.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`fn`, `gate`, `unwrap`, ...).
+    Ident,
+    /// A string or byte-string literal; `text` holds the *contents*
+    /// (fences and quotes stripped) so rules can inspect the value.
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal (integer or float, any base).
+    Num,
+    /// A lifetime (`'a`), including the leading quote in `text`.
+    Lifetime,
+    /// Punctuation. Multi-character operators that rules care about
+    /// (`::`, `=>`, `..`) are fused into one token; everything else is a
+    /// single character.
+    Punct,
+}
+
+/// One token with its source position (1-based line, 1-based column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A comment with the line it starts on; the engine scans these for
+/// `neptune-lint: allow(...)` suppression directives.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lex `source` into tokens and comments. Unterminated constructs are
+/// tolerated (the remainder is swallowed) — the linter must never panic on
+/// the code it judges, and rustc will reject such a file anyway.
+pub fn lex(source: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                '"' => self.string(line, col),
+                '\'' => self.quote(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment { text, line });
+    }
+
+    /// An identifier — or, when it turns out to be `r"`/`r#"`/`b"`/`br#"`/
+    /// `b'`, the prefix of a literal, which is then lexed as such.
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (text.as_str(), self.peek(0)) {
+            // Raw strings have no escapes, so they get the fence-aware
+            // lexer even with zero `#`s; b"..." keeps escape handling.
+            ("r" | "br", Some('"')) => self.raw_string(line, col),
+            ("b", Some('"')) => self.string(line, col),
+            // r#"..."# — but only when the fence really opens a string, so
+            // raw identifiers like r#fn stay identifiers.
+            ("r" | "br", Some('#')) if self.fence_opens_string() => self.raw_string(line, col),
+            ("b", Some('\'')) => {
+                // Byte literal b'x'.
+                self.bump();
+                self.char_literal(line, col);
+            }
+            _ => self.push(Kind::Ident, text, line, col),
+        }
+    }
+
+    /// Whether the `#`s at the cursor are a raw-string fence (i.e. followed
+    /// by a `"`), as opposed to a raw identifier like `r#fn`.
+    fn fence_opens_string(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Integer part, including radix prefixes and `_` separators; also
+        // consumes type suffixes (`0u8`, `0xFFu64`) since those are
+        // alphanumeric.
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A fractional part only if `.` is followed by a digit — this is
+        // what keeps `0..4` lexing as `0`, `..`, `4`.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(Kind::Num, text, line, col);
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        // Positioned at the opening quote (any r/b prefix already consumed).
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(Kind::Str, text, line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        // Positioned at the first `#` of r#"..."# (prefix consumed).
+        let mut fences = 0usize;
+        while self.peek(0) == Some('#') {
+            fences += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A quote closes the literal only when followed by the
+                // full fence.
+                for i in 0..fences {
+                    if self.peek(1 + i) != Some('#') {
+                        text.push(c);
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                self.bump();
+                for _ in 0..fences {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Kind::Str, text, line, col);
+    }
+
+    /// A `'` is either a char literal or a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump();
+        match self.peek(0) {
+            // '\n' etc.: escapes are always char literals.
+            Some('\\') => self.char_literal(line, col),
+            // 'x' (closing quote right after one char) is a literal;
+            // 'abc / 'static (no closing quote) is a lifetime.
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(1) == Some('\'') {
+                    self.char_literal(line, col);
+                } else {
+                    let mut text = String::from("'");
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Kind::Lifetime, text, line, col);
+                }
+            }
+            // ')' and friends: a one-char literal like '(' .
+            Some(_) => self.char_literal(line, col),
+            None => {}
+        }
+    }
+
+    /// Positioned just after the opening quote of a char/byte literal.
+    fn char_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(Kind::Char, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let c = self.bump().unwrap_or(' ');
+        // Fuse the few multi-char operators rules match on; `..=`/`...`
+        // collapse to `..` which is all the rules distinguish.
+        let fused = match (c, self.peek(0)) {
+            (':', Some(':')) => {
+                self.bump();
+                "::".to_string()
+            }
+            ('=', Some('>')) => {
+                self.bump();
+                "=>".to_string()
+            }
+            ('.', Some('.')) => {
+                self.bump();
+                if matches!(self.peek(0), Some('=' | '.')) {
+                    self.bump();
+                }
+                "..".to_string()
+            }
+            _ => c.to_string(),
+        };
+        self.push(Kind::Punct, fused, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_ranges() {
+        let toks = kinds("std::fs::read(x[0..4])");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["std", "::", "fs", "::", "read", "(", "x", "[", "0", "..", "4", "]", ")"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(c: char) { let x = 'y'; let z = '\\n'; }");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Char && t == "y"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Char && t == "\\n"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r####"let a = r#"has "quotes" inside"#; let b = b"bytes";"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t == r#"has "quotes" inside"#));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Str && t == "bytes"));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let (toks, comments) =
+            lex("let a = 1; // neptune-lint: allow(x)\n/* block\n span */ let b = 2;");
+        assert!(toks.iter().all(|t| t.kind != Kind::Str));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("neptune-lint"));
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(toks[0].text, "fn");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let (toks, _) = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let toks = kinds(r#"let s = "a \" b";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t == r#"a \" b"#));
+    }
+}

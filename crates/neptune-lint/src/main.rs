@@ -1,0 +1,106 @@
+//! `cargo run -p neptune-lint` — lint the workspace, exit nonzero on
+//! findings.
+//!
+//! ```text
+//! neptune-lint [--root <dir>] [--json] [--list]
+//! ```
+//!
+//! `--root` defaults to the nearest ancestor of the current directory that
+//! contains a `crates/` directory (so the tool works from any subdirectory
+//! of the workspace). `--json` emits a machine-readable findings array on
+//! stdout; the human format is `path:line:col: [rule] message`, one per
+//! line, clickable in most terminals.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Print to stdout, tolerating a closed pipe (`neptune-lint | head`): the
+/// findings already printed are the answer, not a reason to panic.
+fn out(line: std::fmt::Arguments<'_>) {
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => {
+                for (id, description) in neptune_lint::rules::ALL_RULES {
+                    out(format_args!("{id}: {description}"));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (expected --root <dir>, --json, --list)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("no workspace root found (no ancestor contains crates/); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match neptune_lint::lint_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("neptune-lint: I/O error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        out(format_args!("{}", neptune_lint::to_json(&findings)));
+    } else {
+        for f in &findings {
+            out(format_args!("{f}"));
+        }
+        if findings.is_empty() {
+            eprintln!(
+                "neptune-lint: workspace clean ({} rules)",
+                neptune_lint::rules::ALL_RULES.len()
+            );
+        } else {
+            eprintln!(
+                "neptune-lint: {} finding{} — suppress a deliberate exception with \
+                 `// neptune-lint: allow(<rule>): <reason>` (DESIGN.md \u{a7}13)",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The nearest ancestor of the current directory containing `crates/`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

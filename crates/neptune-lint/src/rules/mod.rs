@@ -1,0 +1,45 @@
+//! The rule registry. Each rule is a pure function over one prepared
+//! [`SourceFile`](crate::SourceFile); scoping (which crates and files a rule
+//! applies to) lives with the rule, so the engine stays rule-agnostic.
+
+mod lock_order;
+mod metrics;
+mod panic_path;
+mod vfs_bypass;
+
+use crate::{Finding, SourceFile};
+
+/// Rule identifiers, in the order rules run. `--list` prints these.
+pub const ALL_RULES: &[(&str, &str)] = &[
+    (
+        "vfs-bypass",
+        "no direct std::fs/File/OpenOptions in neptune-storage or neptune-ham outside the Vfs layer (DESIGN.md \u{a7}12: FaultVfs sweeps must cover all durable I/O)",
+    ),
+    (
+        "lock-order",
+        "gate mutex before HAM RwLock, never the reverse; no blocking calls while a HAM guard is held (DESIGN.md \u{a7}9)",
+    ),
+    (
+        "panic-path",
+        "no unwrap/expect/panic!/indexing in neptune-server request-handling code; errors must become Response::Error",
+    ),
+    (
+        "metric-name",
+        "metric name literals match neptune_<crate>_<noun>_<unit> (DESIGN.md \u{a7}10)",
+    ),
+    (
+        "rpc-histogram",
+        "every Request variant is keyed to its exact name in Request::name() (the rpc latency histogram key) and classified in is_read_only()",
+    ),
+];
+
+/// Run every rule applicable to `file`.
+pub fn run_all(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(vfs_bypass::run(file));
+    findings.extend(lock_order::run(file));
+    findings.extend(panic_path::run(file));
+    findings.extend(metrics::run_metric_name(file));
+    findings.extend(metrics::run_rpc_histogram(file));
+    findings
+}

@@ -1,0 +1,100 @@
+//! `panic-path`: server request-handling code must not be able to panic.
+//!
+//! A panic in a connection thread aborts that client's transaction (the
+//! `ConnGuard` unwinds correctly), but it also poisons shared locks, costs
+//! an unwind per malformed request, and converts a protocol-level problem
+//! into a silent disconnect instead of a `Response::Error` the client can
+//! read. Everything reachable from request handling — `server.rs`
+//! dispatch, `proto.rs` wire decoding (which faces untrusted bytes), and
+//! `frame.rs` framing — must surface failures as values. `client.rs` runs
+//! on the client's side of the socket and is exempt.
+//!
+//! Flagged: `.unwrap()`, `.expect(...)`, the panic macro family
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert*!`), and
+//! index expressions (`buf[i]`, `&bytes[a..b]`), which panic on
+//! out-of-range input — exactly what untrusted frames provide. Use
+//! `get(..)`, array-pattern destructuring, or checked decoding instead.
+
+use crate::tokutil::text;
+use crate::{Finding, Kind, SourceFile};
+
+const EXEMPT_FILES: &[&str] = &["client.rs"];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = ...`, `match x { [..] => ... }`).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "if", "else", "match", "as", "move", "break", "continue",
+    "where", "dyn", "impl", "fn", "pub", "use", "crate", "self", "Self", "super", "type", "const",
+    "static", "enum", "struct", "trait", "mod", "loop", "while", "for", "unsafe", "box", "async",
+    "await", "yield",
+];
+
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    if file.crate_name != "neptune-server" || EXEMPT_FILES.contains(&file.file_name.as_str()) {
+        return Vec::new();
+    }
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let message = match (t.kind, t.text.as_str()) {
+            (Kind::Ident, "unwrap")
+                if i > 0
+                    && text(toks, i - 1) == "."
+                    && text(toks, i + 1) == "("
+                    && text(toks, i + 2) == ")" =>
+            {
+                Some("`.unwrap()` can panic on a request path; surface the error as `Response::Error`".to_string())
+            }
+            (Kind::Ident, "expect") if i > 0 && text(toks, i - 1) == "." && text(toks, i + 1) == "(" => {
+                Some("`.expect(..)` can panic on a request path; surface the error as `Response::Error`".to_string())
+            }
+            (Kind::Ident, m) if PANIC_MACROS.contains(&m) && text(toks, i + 1) == "!" => {
+                Some(format!(
+                    "`{m}!` can panic on a request path; return an error value instead"
+                ))
+            }
+            (Kind::Punct, "[") if i > 0 && is_index_base(toks, i - 1) => Some(
+                "index expression can panic on out-of-range input; use `get(..)` or \
+                 array-pattern destructuring"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = message {
+            findings.push(Finding {
+                rule: "panic-path",
+                path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message,
+            });
+        }
+    }
+    findings
+}
+
+/// Whether the token before a `[` makes it an index expression: an
+/// identifier (that is not a keyword), a closing bracket, or a closing
+/// paren. `#[attr]`, `vec![..]`, `&[u8]`, `<[u8]>`, and `= [0; 8]` all
+/// have other preceders.
+fn is_index_base(toks: &[crate::lexer::Token], prev: usize) -> bool {
+    let Some(p) = toks.get(prev) else {
+        return false;
+    };
+    match p.kind {
+        Kind::Ident => !NON_INDEX_PRECEDERS.contains(&p.text.as_str()),
+        Kind::Punct => p.text == "]" || p.text == ")",
+        _ => false,
+    }
+}

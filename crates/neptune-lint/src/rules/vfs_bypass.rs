@@ -1,0 +1,53 @@
+//! `vfs-bypass`: all durable I/O in the storage and HAM crates must flow
+//! through the `Vfs` trait.
+//!
+//! PR 5's durability contract (DESIGN.md §12) is proven by `FaultVfs`
+//! sweeping a fault across *every* I/O step; a single call site that talks
+//! to `std::fs` directly is invisible to the sweep and voids the proof.
+//! Only `vfs.rs` (the production passthrough) and `fault.rs` (the fault
+//! model itself, which must touch the real filesystem to build its shadow
+//! durable image) may name the standard library's file API.
+
+use crate::tokutil::text;
+use crate::{Finding, Kind, SourceFile};
+
+const SCOPED_CRATES: &[&str] = &["neptune-storage", "neptune-ham"];
+const EXEMPT_FILES: &[&str] = &["vfs.rs", "fault.rs"];
+
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    if !SCOPED_CRATES.contains(&file.crate_name.as_str())
+        || EXEMPT_FILES.contains(&file.file_name.as_str())
+    {
+        return Vec::new();
+    }
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let offense = match t.text.as_str() {
+            // `fs::...` — catches `std::fs::read`, `use std::fs`, and the
+            // module used through any alias path ending in `fs`.
+            "fs" if text(toks, i + 1) == "::" => Some("`fs::` path"),
+            // `File::open(...)` and friends.
+            "File" if text(toks, i + 1) == "::" => Some("`File::`"),
+            "OpenOptions" => Some("`OpenOptions`"),
+            _ => None,
+        };
+        if let Some(what) = offense {
+            findings.push(Finding {
+                rule: "vfs-bypass",
+                path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{what} bypasses the Vfs layer; route this I/O through `Vfs` \
+                     so FaultVfs crash sweeps cover it (DESIGN.md \u{a7}12)"
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,4 @@
+//! Fixture: conforming metric names and runtime templates.
+
+pub const RPC: &str = "neptune_server_rpc_ns";
+pub const TEMPLATE: &str = "neptune_{layer}_op_ns";

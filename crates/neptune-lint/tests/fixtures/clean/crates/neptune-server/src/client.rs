@@ -1,0 +1,5 @@
+//! Fixture: client-side code is exempt from panic-path.
+
+pub fn connect(addr: &str) -> std::net::TcpStream {
+    std::net::TcpStream::connect(addr).unwrap()
+}

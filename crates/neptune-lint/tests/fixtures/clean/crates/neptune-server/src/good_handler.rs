@@ -1,0 +1,8 @@
+//! Fixture: request-path error handling without panics.
+
+pub fn decode(buf: &[u8]) -> Result<u8, String> {
+    match buf.first() {
+        Some(b) => Ok(*b),
+        None => Err("empty frame".to_string()),
+    }
+}

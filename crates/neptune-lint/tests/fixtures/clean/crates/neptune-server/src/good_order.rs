@@ -1,0 +1,9 @@
+//! Fixture: the canonical gate → HAM sequence.
+
+pub fn ordered(shared: &Shared) {
+    let gate = shared.lock_gate();
+    let ham = shared.write_ham();
+    drop(gate);
+    process(&ham);
+    drop(ham);
+}

@@ -1,0 +1,19 @@
+//! Fixture: correctly keyed Request enum.
+
+pub enum Request {
+    Ping,
+    GetNode(u64),
+}
+
+impl Request {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::GetNode(_) => "GetNode",
+        }
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Request::Ping | Request::GetNode(_))
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a justified, suppressed direct-I/O call.
+
+pub fn probe(path: &std::path::Path) -> bool {
+    // neptune-lint: allow(vfs-bypass): existence probe for diagnostics only
+    std::fs::metadata(path).is_ok()
+}

@@ -1,0 +1,15 @@
+//! Fixture: test-only code may use std::fs freely.
+
+pub fn production_metric() -> &'static str {
+    "neptune_storage_wal_bytes"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::fs;
+
+    #[test]
+    fn scratch() {
+        fs::write("scratch", b"x").unwrap();
+    }
+}

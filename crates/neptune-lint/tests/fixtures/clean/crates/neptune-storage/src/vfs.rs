@@ -1,0 +1,7 @@
+//! Fixture: vfs.rs is the sanctioned std::fs passthrough.
+
+use std::fs::{File, OpenOptions};
+
+pub fn open(path: &std::path::Path) -> std::io::Result<File> {
+    OpenOptions::new().read(true).open(path)
+}

@@ -1,0 +1,8 @@
+//! Fixture: metric-name convention violations.
+
+pub const SPAN: &str = "neptune_span_ns";
+pub const FLUSH: &str = "neptune_storage_wal_flushcount";
+pub const BOGUS: &str = "neptune_bogus_thing_total";
+
+// neptune-lint: allow(metric-name): nothing on the next line violates
+pub const OK: &str = "neptune_obs_span_ns";

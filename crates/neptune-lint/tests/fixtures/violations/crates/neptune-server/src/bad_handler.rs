@@ -1,0 +1,22 @@
+//! Fixture: panicking constructs on the request path.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    first
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+pub fn classify(kind: u8) -> &'static str {
+    match kind {
+        0 => "read",
+        1 => "write",
+        _ => unreachable!(),
+    }
+}
+
+pub fn header(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"))
+}

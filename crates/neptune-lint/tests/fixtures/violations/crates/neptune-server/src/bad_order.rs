@@ -1,0 +1,21 @@
+//! Fixture: lock-hierarchy violations (DESIGN.md §9).
+
+pub fn inverted(shared: &Shared) {
+    let ham = shared.write_ham();
+    let gate = shared.lock_gate();
+    drop(gate);
+    drop(ham);
+}
+
+pub fn blocking_under_ham(shared: &Shared) {
+    let ham = shared.read_ham();
+    std::thread::sleep(core::time::Duration::from_millis(1));
+    drop(ham);
+}
+
+pub fn reentrant(shared: &Shared) {
+    let first = shared.read_ham();
+    let second = shared.read_ham();
+    drop(second);
+    drop(first);
+}

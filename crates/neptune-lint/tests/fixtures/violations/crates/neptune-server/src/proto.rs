@@ -1,0 +1,20 @@
+//! Fixture: Request variants with broken histogram keying.
+
+pub enum Request {
+    Ping,
+    GetNode(u64),
+    Shutdown,
+}
+
+impl Request {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::GetNode(_) => "get_node",
+        }
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Request::Ping | Request::GetNode(_))
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: direct std::fs access outside vfs.rs.
+
+use std::fs;
+
+pub fn side_channel(path: &std::path::Path, bytes: &[u8]) {
+    let _ = fs::write(path, bytes);
+}
+
+pub fn reopen(path: &std::path::Path) {
+    let _ = std::fs::File::open(path);
+}

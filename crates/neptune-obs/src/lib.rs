@@ -20,14 +20,21 @@
 //! * [`render`] — a human-readable rendering of the registry (the shell's
 //!   `stats` command), with histogram buckets drawn as bars rather than raw
 //!   text exposition.
+//! * [`lockcheck`] — a debug-build-only ranked lock-acquisition tracker:
+//!   guards carry a [`lockcheck::Held`] token and acquiring against the
+//!   declared hierarchy panics at the call site instead of deadlocking. In
+//!   release builds the tokens are zero-sized and the tracker compiles
+//!   away.
 //!
 //! Disabling: setting `NEPTUNE_OBS_DISABLED=1` (or calling
 //! [`metrics::Registry::set_enabled`]) turns every instrumentation site
 //! into a single relaxed atomic load, which is how the overhead budget
 //! (see DESIGN.md §10) is measured against.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lockcheck;
 pub mod metrics;
 pub mod render;
 pub mod trace;

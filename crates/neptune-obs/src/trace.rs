@@ -148,11 +148,11 @@ pub fn emit(name: &'static str, detail: &str, duration: Duration) {
 
 /// The histogram key for a span name: `layer.operation` →
 /// `neptune_<layer>_op_ns{op="operation"}`. Names without a dot fall back
-/// to `neptune_span_ns{op="<name>"}`.
+/// to `neptune_obs_span_ns{op="<name>"}`.
 pub fn histogram_key(name: &str) -> String {
     match name.split_once('.') {
         Some((layer, op)) => labeled(&format!("neptune_{layer}_op_ns"), "op", op),
-        None => labeled("neptune_span_ns", "op", name),
+        None => labeled("neptune_obs_span_ns", "op", name),
     }
 }
 
@@ -258,7 +258,10 @@ mod tests {
             histogram_key("storage.wal_fsync"),
             "neptune_storage_op_ns{op=\"wal_fsync\"}"
         );
-        assert_eq!(histogram_key("oddball"), "neptune_span_ns{op=\"oddball\"}");
+        assert_eq!(
+            histogram_key("oddball"),
+            "neptune_obs_span_ns{op=\"oddball\"}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! references to a variable, not only in the code, but in all the
 //! documentation as well."*
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bridge;

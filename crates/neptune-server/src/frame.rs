@@ -64,8 +64,9 @@ impl FrameBuf {
     pub fn read_frame<R: Read, T: Decode>(&mut self, reader: &mut R) -> Result<T> {
         let mut header = [0u8; 8];
         reader.read_exact(&mut header)?;
-        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let [l0, l1, l2, l3, c0, c1, c2, c3] = header;
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
+        let expected_crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if len > MAX_FRAME {
             // Reject before resizing the scratch buffer: a corrupt length
             // field must not drive a giant allocation.
@@ -117,9 +118,9 @@ impl FrameBuf {
         let mut hasher = Crc32::new();
         self.write_scratch
             .for_each_chunk(|chunk| hasher.update(chunk));
-        let mut header = [0u8; 8];
-        header[0..4].copy_from_slice(&(len as u32).to_le_bytes());
-        header[4..8].copy_from_slice(&hasher.finish().to_le_bytes());
+        let [l0, l1, l2, l3] = (len as u32).to_le_bytes();
+        let [c0, c1, c2, c3] = hasher.finish().to_le_bytes();
+        let header = [l0, l1, l2, l3, c0, c1, c2, c3];
         writer.write_all(&header)?;
         let mut io_err: Option<std::io::Error> = None;
         self.write_scratch.for_each_chunk(|chunk| {

@@ -13,6 +13,7 @@
 //!   locking for read-only requests, per-connection transaction ownership;
 //! * [`client`] — a blocking RPC client mirroring the HAM API.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

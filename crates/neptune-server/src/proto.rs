@@ -21,10 +21,19 @@ use neptune_storage::error::{Result as StorageResult, StorageError};
 use std::sync::Arc;
 
 fn encode_event(e: Event, w: &mut Writer) {
-    let tag = Event::ALL
-        .iter()
-        .position(|x| *x == e)
-        .expect("event in ALL") as u8;
+    // Tags are positions in Event::ALL (decode_event indexes into it); an
+    // explicit match keeps the encoder panic-free and forces this list to
+    // grow with the enum.
+    let tag: u8 = match e {
+        Event::GraphOpened => 0,
+        Event::NodeAdded => 1,
+        Event::NodeDeleted => 2,
+        Event::NodeOpened => 3,
+        Event::NodeModified => 4,
+        Event::LinkAdded => 5,
+        Event::LinkDeleted => 6,
+        Event::AttributeChanged => 7,
+    };
     w.put_u8(tag);
 }
 

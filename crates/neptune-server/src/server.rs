@@ -27,6 +27,7 @@
 //!    released as soon as the HAM lock is held.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{
     Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
@@ -37,6 +38,7 @@ use std::time::{Duration, Instant};
 use neptune_ham::predicate::Predicate;
 use neptune_ham::types::Time;
 use neptune_ham::Ham;
+use neptune_obs::lockcheck;
 
 use crate::frame::FrameBuf;
 use crate::proto::{Request, Response};
@@ -81,18 +83,85 @@ struct Shared {
 impl Shared {
     /// Lock the transaction gate, recovering from a poisoned mutex (a
     /// panicking connection thread must not take the whole server down).
-    fn lock_gate(&self) -> MutexGuard<'_, Gate> {
-        self.gate.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_gate(&self) -> GateGuard<'_> {
+        // Rank-check before blocking: an inversion should panic at this
+        // call site, not deadlock inside `lock()`.
+        let held = lockcheck::acquire(lockcheck::GATE, "server.gate");
+        GateGuard {
+            guard: self.gate.lock().unwrap_or_else(PoisonError::into_inner),
+            held,
+        }
     }
 
     /// Shared (reader) access to the HAM, recovering from poison.
-    fn read_ham(&self) -> RwLockReadGuard<'_, Ham> {
-        self.ham.read().unwrap_or_else(PoisonError::into_inner)
+    fn read_ham(&self) -> HamReadGuard<'_> {
+        let held = lockcheck::acquire(lockcheck::HAM, "server.ham(read)");
+        HamReadGuard {
+            guard: self.ham.read().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
     }
 
     /// Exclusive (writer) access to the HAM, recovering from poison.
-    fn write_ham(&self) -> RwLockWriteGuard<'_, Ham> {
-        self.ham.write().unwrap_or_else(PoisonError::into_inner)
+    fn write_ham(&self) -> HamWriteGuard<'_> {
+        let held = lockcheck::acquire(lockcheck::HAM, "server.ham(write)");
+        HamWriteGuard {
+            guard: self.ham.write().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
+    }
+}
+
+/// Gate-mutex guard carrying its [`lockcheck`] rank token, so the dynamic
+/// lock-order checker sees exactly the scopes the real guard covers. The
+/// guard is declared first: the mutex is released before the rank.
+struct GateGuard<'a> {
+    guard: MutexGuard<'a, Gate>,
+    held: lockcheck::Held,
+}
+
+impl Deref for GateGuard<'_> {
+    type Target = Gate;
+    fn deref(&self) -> &Gate {
+        &self.guard
+    }
+}
+
+impl DerefMut for GateGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Gate {
+        &mut self.guard
+    }
+}
+
+/// HAM reader-lock guard carrying its [`lockcheck`] rank token.
+struct HamReadGuard<'a> {
+    guard: RwLockReadGuard<'a, Ham>,
+    _held: lockcheck::Held,
+}
+
+impl Deref for HamReadGuard<'_> {
+    type Target = Ham;
+    fn deref(&self) -> &Ham {
+        &self.guard
+    }
+}
+
+/// HAM writer-lock guard carrying its [`lockcheck`] rank token.
+struct HamWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, Ham>,
+    _held: lockcheck::Held,
+}
+
+impl Deref for HamWriteGuard<'_> {
+    type Target = Ham;
+    fn deref(&self) -> &Ham {
+        &self.guard
+    }
+}
+
+impl DerefMut for HamWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Ham {
+        &mut self.guard
     }
 }
 
@@ -356,7 +425,7 @@ fn wait_for_gate<'a>(
     shared: &'a Shared,
     conn_id: u64,
     deadline: Instant,
-) -> std::result::Result<MutexGuard<'a, Gate>, Box<Response>> {
+) -> std::result::Result<GateGuard<'a>, Box<Response>> {
     let mut gate = shared.lock_gate();
     if gate.txn_owner.is_some() && gate.txn_owner != Some(conn_id) {
         let wait_start = Instant::now();
@@ -368,11 +437,16 @@ fn wait_for_gate<'a>(
                     "timed out waiting for another client's transaction".into(),
                 )));
             };
+            // Condvar::wait_timeout needs the bare MutexGuard; the rank
+            // token stays live across the wait (the thread holds nothing
+            // else while blocked here), and the guard is rewrapped with it
+            // on wakeup.
+            let GateGuard { guard, held } = gate;
             let (guard, _) = shared
                 .txn_released
-                .wait_timeout(gate, remaining)
+                .wait_timeout(guard, remaining)
                 .unwrap_or_else(PoisonError::into_inner);
-            gate = guard;
+            gate = GateGuard { guard, held };
         }
         observe_gate_wait(wait_start.elapsed());
     }
@@ -704,11 +778,12 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
             | Q::MergeContext { .. }
             | Q::DestroyContext { .. }
             | Q::Checkpoint => {
-                unreachable!("mutating request routed to the read dispatcher")
+                // Unreachable by Request::is_read_only's classification,
+                // but a misrouted request must degrade to an error the
+                // client can read, not a panic (DESIGN.md §13).
+                A::Error("internal: mutating request routed to the read dispatcher".into())
             }
-            Q::Batch(..) => {
-                unreachable!("batches are executed by execute_batch, element by element")
-            }
+            Q::Batch(..) => A::Error("internal: batch routed to the read dispatcher".into()),
         })
     })();
     Ok(result_to_response(result))
@@ -976,11 +1051,11 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
             Q::CacheStats => cache_stats_response(ham),
             Q::Metrics => metrics_response(ham),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
-                unreachable!("transaction control handled by execute()")
+                // execute_inner consumes these before dispatch; degrade to
+                // an error rather than panicking if that routing changes.
+                A::Error("internal: transaction control reached dispatch".into())
             }
-            Q::Batch(..) => {
-                unreachable!("batches are executed by execute_batch, element by element")
-            }
+            Q::Batch(..) => A::Error("internal: batch reached element dispatch".into()),
         })
     })();
     result_to_response(result)
@@ -994,4 +1069,53 @@ fn parse_pred(text: &str) -> neptune_ham::Result<Predicate> {
 /// for a context's clock.
 pub fn graph_now(ham: &Ham, context: neptune_ham::types::ContextId) -> neptune_ham::Result<Time> {
     Ok(ham.graph(context)?.now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_ham::types::Protections;
+
+    fn test_shared(name: &str) -> Shared {
+        let dir =
+            std::env::temp_dir().join(format!("neptune-lockcheck-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+        Shared {
+            ham: RwLock::new(ham),
+            gate: Mutex::new(Gate { txn_owner: None }),
+            txn_released: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+            lock_timeout: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn guards_follow_declared_order() {
+        let shared = test_shared("ordered");
+        // The server's canonical sequence: gate, then HAM, gate released
+        // first. Must not trip the dynamic checker.
+        let gate = shared.lock_gate();
+        let ham = shared.write_ham();
+        drop(gate);
+        drop(ham);
+        let gate = shared.lock_gate();
+        let ham = shared.read_ham();
+        drop(gate);
+        drop(ham);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+    fn inverted_guard_acquisition_panics() {
+        let shared = test_shared("inverted");
+        // Deliberate hierarchy inversion: HAM before gate. In debug builds
+        // the lockcheck token panics before `gate.lock()` can deadlock.
+        let _ham = shared.read_ham();
+        let _gate = shared.lock_gate();
+        #[cfg(not(debug_assertions))]
+        panic!("lock-order violation (tracker compiled out)");
+    }
 }

@@ -9,6 +9,7 @@
 //! The interpreter is a library ([`Shell`]) so sessions are scriptable and
 //! testable; `src/main.rs` wraps it in a stdin REPL.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod commands;

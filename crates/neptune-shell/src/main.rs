@@ -4,6 +4,7 @@
 //! neptune-shell /path/to/graph-dir
 //! ```
 
+#![forbid(unsafe_code)]
 use std::io::{BufRead, Write};
 
 use neptune_shell::{Shell, ShellError};

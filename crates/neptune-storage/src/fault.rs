@@ -540,6 +540,26 @@ impl Vfs for FaultVfs {
         fs::create_dir_all(dir)
     }
 
+    fn remove_dir_all(&self, dir: &Path) -> io::Result<()> {
+        // Whole-store teardown (destroyGraph): not a crash-sweep fault
+        // point, but the shadow durable image must forget the subtree too
+        // or a later materialize_durable would resurrect destroyed files.
+        let mut st = self.lock();
+        if st.powered_off {
+            return Err(FaultState::power_err());
+        }
+        st.durable.retain(|p, _| !p.starts_with(dir));
+        st.pending.retain(|op| {
+            let touched = match op {
+                DirOp::Rename { from, to } => from.starts_with(dir) || to.starts_with(dir),
+                DirOp::Remove(p) => p.starts_with(dir),
+            };
+            !touched
+        });
+        drop(st);
+        fs::remove_dir_all(dir)
+    }
+
     fn read_dir(&self, dir: &Path) -> io::Result<Vec<OsString>> {
         if self.lock().powered_off {
             return Err(FaultState::power_err());

@@ -31,6 +31,7 @@
 //! paper's stance that *"there is no interpretation at the HAM level — it is
 //! just binary data."*
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;

@@ -59,6 +59,10 @@ pub trait Vfs: Send + Sync + Debug {
     fn sync_dir(&self, dir: &Path) -> io::Result<()>;
     /// Create `dir` and any missing parents.
     fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Remove `dir` and everything under it (`destroyGraph`'s teardown).
+    /// Like `rename`/`remove_file`, durable only after [`Vfs::sync_dir`]
+    /// on the parent.
+    fn remove_dir_all(&self, dir: &Path) -> io::Result<()>;
     /// File names (not full paths) of the entries in `dir`.
     fn read_dir(&self, dir: &Path) -> io::Result<Vec<std::ffi::OsString>>;
     /// Whether anything exists at `path`.
@@ -158,6 +162,10 @@ impl Vfs for StdVfs {
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)
+    }
+
+    fn remove_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::remove_dir_all(dir)
     }
 
     fn read_dir(&self, dir: &Path) -> io::Result<Vec<std::ffi::OsString>> {

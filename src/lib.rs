@@ -48,6 +48,7 @@
 //! assert_eq!(hits.nodes.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 pub use neptune_case as case;
 pub use neptune_check as check;
 pub use neptune_document as document;
