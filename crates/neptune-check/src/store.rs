@@ -52,8 +52,19 @@ fn scan_snapshot(directory: &Path, findings: &mut Vec<Finding>) {
         ));
         return;
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let (Some(len), Some(expected)) = (
+        neptune_storage::codec::read_u64_at(&bytes, SNAPSHOT_MAGIC.len()),
+        neptune_storage::codec::read_u32_at(&bytes, SNAPSHOT_MAGIC.len() + 8),
+    ) else {
+        findings.push(Finding::new(
+            Severity::Critical,
+            RULE_SNAPSHOT_CHECKSUM,
+            entity,
+            "bad snapshot header (wrong magic or truncated)",
+        ));
+        return;
+    };
+    let len = len as usize;
     let Some(payload) = bytes.get(header_len..header_len + len) else {
         findings.push(Finding::new(
             Severity::Critical,
@@ -117,9 +128,15 @@ fn scan_wal(directory: &Path, findings: &mut Vec<Finding>) {
             ));
             return;
         }
-        let payload_len =
-            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let expected = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let (Some(payload_len), Some(expected)) = (
+            neptune_storage::codec::read_u32_at(&bytes, pos),
+            neptune_storage::codec::read_u32_at(&bytes, pos + 4),
+        ) else {
+            // Unreachable given the torn-header check above, but the decode
+            // path stays structurally panic-free (DESIGN.md §12).
+            return;
+        };
+        let payload_len = payload_len as usize;
         let body_start = pos + 8;
         let Some(body_end) = body_start
             .checked_add(payload_len)
@@ -168,6 +185,26 @@ pub fn verify_ham(ham: &Ham) -> Vec<Finding> {
 pub fn verify_open_ham(ham: &Ham) -> Vec<Finding> {
     let mut findings = scan_files(ham.directory());
     findings.extend(verify_ham(ham));
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    findings
+}
+
+/// File scan plus in-memory verification of a published committed
+/// snapshot — the server's lock-free `Verify` path, which must not touch
+/// the live machine. The file scan reads the directory as it is *now*, so
+/// a checkpoint racing this call is visible in file findings while the
+/// in-memory rules check the immutable view.
+pub fn verify_view(view: &neptune_ham::CommittedView) -> Vec<Finding> {
+    let mut findings = scan_files(view.directory());
+    findings.extend(
+        invariants::view_violations(view)
+            .into_iter()
+            .map(Finding::from),
+    );
     findings.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)

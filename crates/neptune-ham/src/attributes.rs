@@ -9,12 +9,13 @@
 //! time Time".
 
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use neptune_storage::codec::{Decode, Encode, Reader, Writer};
 use neptune_storage::error::Result as StorageResult;
 
 use crate::history::Versioned;
+use crate::pmap::Pam;
 use crate::types::{AttributeIndex, Time};
 use crate::value::{value_index_key, Value};
 
@@ -235,15 +236,16 @@ pub enum ObjKind {
     Link,
 }
 
-/// An inverted index from `(attribute, value)` to the objects currently
-/// carrying that pair.
-///
-/// This accelerates `getGraphQuery` for the common `attr = literal`
-/// predicate (the paper's own example) and `getAttributeValues`. It tracks
-/// **current** values only; historical queries fall back to scanning, which
-/// experiment E3 quantifies.
 /// An object reference in the index: what kind it is plus its raw id.
 pub type ObjRef = (ObjKind, u64);
+
+/// One collision-chain entry in [`ValueIndex::by_pair`]: the exact
+/// `(attr, value key)` pair and the members currently carrying it.
+type PairChain = Vec<((AttributeIndex, Vec<u8>), BTreeSet<ObjRef>)>;
+
+/// One collision-chain entry in [`ValueIndex::values_by_attr`]:
+/// `(value key, value, carrier count)`.
+type ValueChain = Vec<(Vec<u8>, Value, usize)>;
 
 /// An inverted index from `(attribute, value)` to the objects currently
 /// carrying that pair.
@@ -252,10 +254,32 @@ pub type ObjRef = (ObjKind, u64);
 /// predicate (the paper's own example) and `getAttributeValues`. It tracks
 /// **current** values only; historical queries fall back to scanning, which
 /// experiment E3 quantifies.
+///
+/// Internals are persistent ([`Pam`] tries keyed by FNV-1a hashes with
+/// in-bucket collision chains) so a graph clone — taken on every snapshot
+/// publish and context fork — shares the whole index and a later mutation
+/// copies only the touched bucket's path, keeping publication
+/// O(changes) rather than O(index).
 #[derive(Debug, Clone, Default)]
 pub struct ValueIndex {
-    by_pair: HashMap<(AttributeIndex, Vec<u8>), HashSet<ObjRef>>,
-    values_by_attr: HashMap<AttributeIndex, HashMap<Vec<u8>, (Value, usize)>>,
+    /// FNV-1a of `(attr, value key)` → collision chain of
+    /// `((attr, value key), members carrying that pair)`.
+    by_pair: Pam<PairChain>,
+    /// `attr.0` → (FNV-1a of value key → collision chain of
+    /// `(value key, value, carrier count)`).
+    values_by_attr: Pam<Pam<ValueChain>>,
+}
+
+/// FNV-1a over an attribute index and a value key — the bucket addresses
+/// for [`ValueIndex`]'s tries. Deterministic by design (no per-process
+/// hasher seed), so equal indexes have equal internal shapes.
+fn index_hash(attr: u64, key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in attr.to_le_bytes().iter().chain(key) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl ValueIndex {
@@ -277,47 +301,96 @@ impl ValueIndex {
             self.remove(obj, attr, old);
         }
         let key = value_index_key(value);
-        self.by_pair
-            .entry((attr, key.clone()))
-            .or_default()
-            .insert(obj);
-        let entry = self
-            .values_by_attr
-            .entry(attr)
-            .or_default()
-            .entry(key)
-            .or_insert_with(|| (value.clone(), 0));
-        entry.1 += 1;
-    }
-
-    /// Record that `obj` no longer carries `attr = value`.
-    pub fn remove(&mut self, obj: (ObjKind, u64), attr: AttributeIndex, value: &Value) {
-        let key = value_index_key(value);
-        if let Some(set) = self.by_pair.get_mut(&(attr, key.clone())) {
-            set.remove(&obj);
-            if set.is_empty() {
-                self.by_pair.remove(&(attr, key.clone()));
+        let slot = index_hash(attr.0, &key);
+        if self.by_pair.get(slot).is_none() {
+            self.by_pair.insert(slot, Vec::new());
+        }
+        if let Some(bucket) = self.by_pair.get_mut(slot) {
+            match bucket
+                .iter_mut()
+                .find(|(pair, _)| pair == &(attr, key.clone()))
+            {
+                Some((_, members)) => {
+                    members.insert(obj);
+                }
+                None => bucket.push(((attr, key.clone()), BTreeSet::from([obj]))),
             }
         }
-        if let Some(values) = self.values_by_attr.get_mut(&attr) {
-            if let Some(entry) = values.get_mut(&key) {
-                entry.1 -= 1;
-                if entry.1 == 0 {
-                    values.remove(&key);
+        if self.values_by_attr.get(attr.0).is_none() {
+            self.values_by_attr.insert(attr.0, Pam::new());
+        }
+        if let Some(values) = self.values_by_attr.get_mut(attr.0) {
+            let vslot = index_hash(0, &key);
+            if values.get(vslot).is_none() {
+                values.insert(vslot, Vec::new());
+            }
+            if let Some(bucket) = values.get_mut(vslot) {
+                match bucket.iter_mut().find(|(k, _, _)| k == &key) {
+                    Some((_, _, count)) => *count += 1,
+                    None => bucket.push((key, value.clone(), 1)),
                 }
             }
         }
     }
 
+    /// Record that `obj` no longer carries `attr = value`.
+    pub fn remove(&mut self, obj: (ObjKind, u64), attr: AttributeIndex, value: &Value) {
+        let key = value_index_key(value);
+        let slot = index_hash(attr.0, &key);
+        let mut drop_bucket = false;
+        if let Some(bucket) = self.by_pair.get_mut(slot) {
+            if let Some(pos) = bucket
+                .iter()
+                .position(|(pair, _)| pair == &(attr, key.clone()))
+            {
+                if let Some((_, members)) = bucket.get_mut(pos) {
+                    members.remove(&obj);
+                    if members.is_empty() {
+                        bucket.remove(pos);
+                    }
+                }
+            }
+            drop_bucket = bucket.is_empty();
+        }
+        if drop_bucket {
+            self.by_pair.remove(slot);
+        }
+        let mut drop_attr = false;
+        if let Some(values) = self.values_by_attr.get_mut(attr.0) {
+            let vslot = index_hash(0, &key);
+            let mut drop_values = false;
+            if let Some(bucket) = values.get_mut(vslot) {
+                if let Some(pos) = bucket.iter().position(|(k, _, _)| k == &key) {
+                    if let Some((_, _, count)) = bucket.get_mut(pos) {
+                        *count -= 1;
+                        if *count == 0 {
+                            bucket.remove(pos);
+                        }
+                    }
+                }
+                drop_values = bucket.is_empty();
+            }
+            if drop_values {
+                values.remove(vslot);
+            }
+            drop_attr = values.is_empty();
+        }
+        if drop_attr {
+            self.values_by_attr.remove(attr.0);
+        }
+    }
+
     /// Objects currently carrying `attr = value`.
     pub fn lookup(&self, attr: AttributeIndex, value: &Value) -> Vec<(ObjKind, u64)> {
+        let key = value_index_key(value);
         self.by_pair
-            .get(&(attr, value_index_key(value)))
-            .map(|set| {
-                let mut v: Vec<_> = set.iter().copied().collect();
-                v.sort_unstable();
-                v
+            .get(index_hash(attr.0, &key))
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(pair, _)| pair.0 == attr && pair.1 == key)
             })
+            .map(|(_, members)| members.iter().copied().collect())
             .unwrap_or_default()
     }
 
@@ -326,8 +399,13 @@ impl ValueIndex {
     pub fn current_values(&self, attr: AttributeIndex) -> Vec<Value> {
         let mut vals: Vec<(Vec<u8>, Value)> = self
             .values_by_attr
-            .get(&attr)
-            .map(|m| m.iter().map(|(k, (v, _))| (k.clone(), v.clone())).collect())
+            .get(attr.0)
+            .map(|values| {
+                values
+                    .values()
+                    .flat_map(|bucket| bucket.iter().map(|(k, v, _)| (k.clone(), v.clone())))
+                    .collect()
+            })
             .unwrap_or_default();
         vals.sort_by(|a, b| a.0.cmp(&b.0));
         vals.into_iter().map(|(_, v)| v).collect()

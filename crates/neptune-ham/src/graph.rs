@@ -6,8 +6,6 @@
 //! facade layers transactions, durability, demon firing, and the appendix
 //! operation signatures on top.
 
-use std::collections::HashMap;
-
 use neptune_storage::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use neptune_storage::error::Result as StorageResult;
 
@@ -17,6 +15,7 @@ use crate::error::{HamError, Result};
 use crate::history::Versioned;
 use crate::link::Link;
 use crate::node::Node;
+use crate::pmap::Pam;
 use crate::types::{AttributeIndex, LinkIndex, LinkPt, NodeIndex, ProjectId, Time, Version};
 use crate::value::Value;
 
@@ -30,8 +29,13 @@ pub struct HamGraph {
     clock: u64,
     next_node: u64,
     next_link: u64,
-    nodes: HashMap<NodeIndex, Node>,
-    links: HashMap<LinkIndex, Link>,
+    /// All nodes ever created, keyed by `NodeIndex.0`. Persistent/COW so
+    /// graph clones (snapshot publication, context forks, transaction
+    /// save-state) are O(1) and mutation copies only the touched path.
+    nodes: Pam<Node>,
+    /// All links ever created, keyed by `LinkIndex.0`; persistent like
+    /// `nodes`.
+    links: Pam<Link>,
     /// Graph-wide attribute name registry.
     pub attr_table: AttributeTable,
     /// Graph-level demons.
@@ -65,8 +69,8 @@ impl HamGraph {
             clock: 1,
             next_node: 1,
             next_link: 1,
-            nodes: HashMap::new(),
-            links: HashMap::new(),
+            nodes: Pam::new(),
+            links: Pam::new(),
             attr_table: AttributeTable::new(),
             graph_demons: DemonTable::new(),
             graph_versions: vec![Version::new(Time(1), "graph created")],
@@ -97,12 +101,12 @@ impl HamGraph {
 
     /// The node with index `id`, regardless of liveness.
     pub fn node(&self, id: NodeIndex) -> Result<&Node> {
-        self.nodes.get(&id).ok_or(HamError::NoSuchNode(id))
+        self.nodes.get(id.0).ok_or(HamError::NoSuchNode(id))
     }
 
     /// Mutable access to a node.
     pub fn node_mut(&mut self, id: NodeIndex) -> Result<&mut Node> {
-        self.nodes.get_mut(&id).ok_or(HamError::NoSuchNode(id))
+        self.nodes.get_mut(id.0).ok_or(HamError::NoSuchNode(id))
     }
 
     /// The node, checked to exist (not deleted) at `time`.
@@ -117,12 +121,12 @@ impl HamGraph {
 
     /// The link with index `id`, regardless of liveness.
     pub fn link(&self, id: LinkIndex) -> Result<&Link> {
-        self.links.get(&id).ok_or(HamError::NoSuchLink(id))
+        self.links.get(id.0).ok_or(HamError::NoSuchLink(id))
     }
 
     /// Mutable access to a link.
     pub fn link_mut(&mut self, id: LinkIndex) -> Result<&mut Link> {
-        self.links.get_mut(&id).ok_or(HamError::NoSuchLink(id))
+        self.links.get_mut(id.0).ok_or(HamError::NoSuchLink(id))
     }
 
     /// The link, checked to exist (not deleted) at `time`.
@@ -172,7 +176,7 @@ impl HamGraph {
         let now = self.tick();
         let id = NodeIndex(self.next_node);
         self.next_node += 1;
-        self.nodes.insert(id, Node::new(id, now, keep_history));
+        self.nodes.insert(id.0, Node::new(id, now, keep_history));
         (id, now)
     }
 
@@ -180,7 +184,7 @@ impl HamGraph {
     pub fn add_node_forced(&mut self, id: NodeIndex, now: Time, keep_history: bool) {
         self.set_clock(now);
         self.next_node = self.next_node.max(id.0 + 1);
-        self.nodes.insert(id, Node::new(id, now, keep_history));
+        self.nodes.insert(id.0, Node::new(id, now, keep_history));
     }
 
     /// Delete a node: records its death and that of every incident link
@@ -193,7 +197,7 @@ impl HamGraph {
         let incident = self.node(id)?.incident_links.clone();
         for link_id in incident {
             let remove_pairs = {
-                let link = self.links.get_mut(&link_id).expect("incident link exists");
+                let link = self.links.get_mut(link_id.0).expect("incident link exists");
                 if link.exists_at(Time::CURRENT) {
                     link.alive.delete(now);
                     link.attrs.all_at(Time::CURRENT)
@@ -207,7 +211,7 @@ impl HamGraph {
             }
         }
         let remove_pairs = {
-            let node = self.nodes.get_mut(&id).expect("checked above");
+            let node = self.nodes.get_mut(id.0).expect("checked above");
             node.alive.delete(now);
             node.attrs.all_at(Time::CURRENT)
         };
@@ -242,13 +246,13 @@ impl HamGraph {
         let id = link.id;
         let from_node = link.from.node;
         let to_node = link.to.node;
-        self.links.insert(id, link);
-        if let Some(n) = self.nodes.get_mut(&from_node) {
+        self.links.insert(id.0, link);
+        if let Some(n) = self.nodes.get_mut(from_node.0) {
             n.attach_link(id);
             n.record_minor(now, "link added");
         }
         if to_node != from_node {
-            if let Some(n) = self.nodes.get_mut(&to_node) {
+            if let Some(n) = self.nodes.get_mut(to_node.0) {
                 n.attach_link(id);
                 n.record_minor(now, "link added");
             }
@@ -281,7 +285,7 @@ impl HamGraph {
         }
         let now = self.tick();
         let remove_pairs = {
-            let link = self.links.get_mut(&id).expect("checked above");
+            let link = self.links.get_mut(id.0).expect("checked above");
             link.alive.delete(now);
             link.attrs.all_at(Time::CURRENT)
         };
@@ -292,11 +296,11 @@ impl HamGraph {
             let link = self.link(id)?;
             (link.from.node, link.to.node)
         };
-        if let Some(n) = self.nodes.get_mut(&from_node) {
+        if let Some(n) = self.nodes.get_mut(from_node.0) {
             n.record_minor(now, "link deleted");
         }
         if to_node != from_node {
-            if let Some(n) = self.nodes.get_mut(&to_node) {
+            if let Some(n) = self.nodes.get_mut(to_node.0) {
                 n.record_minor(now, "link deleted");
             }
         }
@@ -326,7 +330,7 @@ impl HamGraph {
             return Err(HamError::NoSuchNode(id));
         }
         let now = self.tick();
-        let node = self.nodes.get_mut(&id).expect("checked above");
+        let node = self.nodes.get_mut(id.0).expect("checked above");
         let old = node.attrs.get(attr, Time::CURRENT).cloned();
         node.attrs.set(attr, value.clone(), now);
         node.record_minor(now, "attribute set");
@@ -342,7 +346,7 @@ impl HamGraph {
             return Err(HamError::NoSuchNode(id));
         }
         let now = self.tick();
-        let node = self.nodes.get_mut(&id).expect("checked above");
+        let node = self.nodes.get_mut(id.0).expect("checked above");
         let old = node.attrs.get(attr, Time::CURRENT).cloned();
         match old {
             Some(old_value) => {
@@ -371,7 +375,7 @@ impl HamGraph {
             return Err(HamError::NoSuchLink(id));
         }
         let now = self.tick();
-        let link = self.links.get_mut(&id).expect("checked above");
+        let link = self.links.get_mut(id.0).expect("checked above");
         let old = link.attrs.get(attr, Time::CURRENT).cloned();
         link.attrs.set(attr, value.clone(), now);
         link.record_version(now, "attribute set");
@@ -387,7 +391,7 @@ impl HamGraph {
             return Err(HamError::NoSuchLink(id));
         }
         let now = self.tick();
-        let link = self.links.get_mut(&id).expect("checked above");
+        let link = self.links.get_mut(id.0).expect("checked above");
         let old = link.attrs.get(attr, Time::CURRENT).cloned();
         match old {
             Some(old_value) => {
@@ -477,16 +481,17 @@ impl HamGraph {
         self.nodes.retain(|_, n| n.truncate_after(time));
         self.links.retain(|_, l| l.truncate_after(time));
         // Remove dangling incidence entries for links dropped above.
-        let live_links: std::collections::HashSet<LinkIndex> = self.links.keys().copied().collect();
-        for n in self.nodes.values_mut() {
+        let live_links: std::collections::HashSet<LinkIndex> =
+            self.links.keys().map(LinkIndex).collect();
+        self.nodes.for_each_mut(|_, n| {
             n.incident_links.retain(|l| live_links.contains(l));
-        }
+        });
         self.attr_table.truncate_after(time);
         self.graph_demons.truncate_after(time);
         self.graph_versions.retain(|v| v.time <= time);
         self.clock = time.0;
-        self.next_node = self.nodes.keys().map(|n| n.0 + 1).max().unwrap_or(1);
-        self.next_link = self.links.keys().map(|l| l.0 + 1).max().unwrap_or(1);
+        self.next_node = self.nodes.keys().map(|n| n + 1).max().unwrap_or(1);
+        self.next_link = self.links.keys().map(|l| l + 1).max().unwrap_or(1);
         self.rebuild_value_index();
     }
 
@@ -544,16 +549,16 @@ impl Decode for HamGraph {
         let next_node = r.get_u64()?;
         let next_link = r.get_u64()?;
         let node_count = r.get_u64()? as usize;
-        let mut nodes = HashMap::with_capacity(node_count.min(r.remaining()));
+        let mut nodes = Pam::new();
         for _ in 0..node_count {
             let n = Node::decode(r)?;
-            nodes.insert(n.id, n);
+            nodes.insert(n.id.0, n);
         }
         let link_count = r.get_u64()? as usize;
-        let mut links = HashMap::with_capacity(link_count.min(r.remaining()));
+        let mut links = Pam::new();
         for _ in 0..link_count {
             let l = Link::decode(r)?;
-            links.insert(l.id, l);
+            links.insert(l.id.0, l);
         }
         let mut graph = HamGraph {
             project_id,

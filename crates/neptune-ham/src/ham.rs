@@ -30,20 +30,22 @@ use crate::demons::{DemonAction, DemonFireInfo, DemonRegistry, DemonSpec, Event,
 use crate::error::{HamError, Result};
 use crate::graph::HamGraph;
 use crate::predicate::Predicate;
-use crate::query::{get_graph_query, get_graph_query_scan, linearize_graph, SubGraph};
+use crate::query::SubGraph;
 use crate::txn::{ActiveTxn, RedoOp};
 use crate::types::{
     decode_protections, AttributeIndex, ContextId, LinkIndex, LinkPt, Machine, NodeIndex,
     ProjectId, Protections, Time, Version, MAIN_CONTEXT,
 };
 use crate::value::Value;
+use crate::view::{CommittedView, ReadCore};
+use crate::Published;
 
 /// One version thread and where it forked from.
 #[derive(Debug, Clone)]
-struct GraphThread {
-    graph: HamGraph,
+pub(crate) struct GraphThread {
+    pub(crate) graph: HamGraph,
     /// `(parent context, parent clock at fork)`; `None` for the main thread.
-    forked_from: Option<(ContextId, Time)>,
+    pub(crate) forked_from: Option<(ContextId, Time)>,
 }
 
 /// Result of `openNode`: `Contents × LinkPt* × Value^m × Time₂`.
@@ -95,9 +97,14 @@ pub struct Ham {
     replaying: bool,
     /// Materialized historical node versions, keyed by
     /// `(context, node, resolved time)`. Behind a mutex so read-only
-    /// operations (`&self`) can consult and warm it — which also keeps the
-    /// whole `Ham` `Sync` for the server's shared reader lock.
-    vcache: Mutex<MaterializationCache>,
+    /// operations (`&self`) can consult and warm it; inside an `Arc` so
+    /// every published [`CommittedView`] shares the same cache.
+    vcache: Arc<Mutex<MaterializationCache>>,
+    /// Publication point for committed snapshots: refreshed at every
+    /// commit and rollback, loaded lock-free by snapshot readers.
+    published: Arc<Published<CommittedView>>,
+    /// Epoch stamped into the next published view (monotonic from 1).
+    view_epoch: u64,
 }
 
 impl std::fmt::Debug for Ham {
@@ -150,6 +157,8 @@ impl Ham {
         );
         let wal = Wal::open_with(vfs.as_ref(), directory.join(WAL_FILE))?;
         let blobs = BlobStore::open_with(Arc::clone(&vfs), directory.join(NODES_DIR), protections)?;
+        let vcache = Arc::new(Mutex::new(MaterializationCache::default()));
+        let view = CommittedView::new(1, &threads, Arc::clone(&vcache), directory.clone());
         let mut ham = Ham {
             directory,
             vfs,
@@ -165,7 +174,9 @@ impl Ham {
             journal: Vec::new(),
             in_demon: false,
             replaying: false,
-            vcache: Mutex::new(MaterializationCache::default()),
+            vcache,
+            published: Arc::new(Published::new(view)),
+            view_epoch: 1,
         };
         ham.write_meta()?;
         ham.checkpoint()?;
@@ -238,6 +249,8 @@ impl Ham {
         // transaction a second time.
         let committed = wal.recover_after(state.boundary_lsn)?;
         let blobs = BlobStore::open_with(Arc::clone(&vfs), directory.join(NODES_DIR), protections)?;
+        let vcache = Arc::new(Mutex::new(MaterializationCache::default()));
+        let view = CommittedView::new(1, &state.threads, Arc::clone(&vcache), directory.clone());
         let mut ham = Ham {
             directory,
             vfs,
@@ -253,7 +266,9 @@ impl Ham {
             journal: Vec::new(),
             in_demon: false,
             replaying: false,
-            vcache: Mutex::new(MaterializationCache::default()),
+            vcache,
+            published: Arc::new(Published::new(view)),
+            view_epoch: 1,
         };
         // Replay committed transactions that postdate the snapshot.
         ham.replaying = true;
@@ -265,6 +280,9 @@ impl Ham {
             }
         }
         ham.replaying = false;
+        // The placeholder epoch-1 view predates replay; republish so
+        // lock-free readers see the recovered state.
+        ham.publish_view();
         ham.fire(MAIN_CONTEXT, Event::GraphOpened, None, None)?;
         Ok((ham, MAIN_CONTEXT))
     }
@@ -416,9 +434,8 @@ impl Ham {
         link_attrs: &[AttributeIndex],
     ) -> Result<SubGraph> {
         let _span = neptune_obs::span!("ham.linearize_graph", "context {}", context.0);
-        let graph = self.graph(context)?;
-        linearize_graph(
-            graph, start, time, node_pred, link_pred, node_attrs, link_attrs,
+        self.read_core().linearize_graph(
+            context, start, time, node_pred, link_pred, node_attrs, link_attrs,
         )
     }
 
@@ -436,8 +453,8 @@ impl Ham {
         link_attrs: &[AttributeIndex],
     ) -> Result<SubGraph> {
         let _span = neptune_obs::span!("ham.get_graph_query", "context {}", context.0);
-        let graph = self.graph(context)?;
-        get_graph_query(graph, time, node_pred, link_pred, node_attrs, link_attrs)
+        self.read_core()
+            .get_graph_query(context, time, node_pred, link_pred, node_attrs, link_attrs)
     }
 
     /// [`Ham::get_graph_query`] with the value-index accelerator disabled —
@@ -452,8 +469,8 @@ impl Ham {
         node_attrs: &[AttributeIndex],
         link_attrs: &[AttributeIndex],
     ) -> Result<SubGraph> {
-        let graph = self.graph(context)?;
-        get_graph_query_scan(graph, time, node_pred, link_pred, node_attrs, link_attrs)
+        self.read_core()
+            .get_graph_query_scan(context, time, node_pred, link_pred, node_attrs, link_attrs)
     }
 
     // =====================================================================
@@ -506,23 +523,7 @@ impl Ham {
         time: Time,
         attrs: &[AttributeIndex],
     ) -> Result<OpenedNode> {
-        let graph = self.graph(context)?;
-        let n = graph.live_node(node, time)?;
-        let contents = self.cached_contents(context, n, time)?;
-        let link_pts = canonical_attachments(graph, node, time)?
-            .into_iter()
-            .map(|(_, _, pt)| pt)
-            .collect();
-        let values = attrs
-            .iter()
-            .map(|a| n.attrs.get(*a, time).cloned())
-            .collect();
-        Ok(OpenedNode {
-            contents,
-            link_pts,
-            values,
-            current_time: n.current_time(),
-        })
+        self.read_core().read_node(context, node, time, attrs)
     }
 
     /// Whether opening `node` in `context` would fire a `nodeOpened` demon
@@ -581,10 +582,7 @@ impl Ham {
     ///
     /// The version time of the node's current version.
     pub fn get_node_time_stamp(&self, context: ContextId, node: NodeIndex) -> Result<Time> {
-        Ok(self
-            .graph(context)?
-            .live_node(node, Time::CURRENT)?
-            .current_time())
+        self.read_core().get_node_time_stamp(context, node)
     }
 
     /// `changeNodeProtection: NodeIndex × Protections →`
@@ -621,7 +619,7 @@ impl Ham {
         context: ContextId,
         node: NodeIndex,
     ) -> Result<(Vec<Version>, Vec<Version>)> {
-        Ok(self.graph(context)?.node(node)?.versions())
+        self.read_core().get_node_versions(context, node)
     }
 
     /// `getNodeDifferences: NodeIndex × Time₁ × Time₂ → Difference*`
@@ -634,11 +632,8 @@ impl Ham {
         time1: Time,
         time2: Time,
     ) -> Result<Vec<Difference>> {
-        let graph = self.graph(context)?;
-        let n = graph.node(node)?;
-        let old = self.cached_contents(context, n, time1)?;
-        let new = self.cached_contents(context, n, time2)?;
-        Ok(neptune_storage::diff::differences(&old, &new))
+        self.read_core()
+            .get_node_differences(context, node, time1, time2)
     }
 
     // =====================================================================
@@ -656,9 +651,7 @@ impl Ham {
         link: LinkIndex,
         time1: Time,
     ) -> Result<(NodeIndex, Time)> {
-        let graph = self.graph(context)?;
-        let l = graph.live_link(link, time1)?;
-        endpoint_version(graph, &l.to, time1)
+        self.read_core().get_to_node(context, link, time1)
     }
 
     /// `getFromNode: LinkIndex × Time₁ → NodeIndex × Time₂`
@@ -670,9 +663,7 @@ impl Ham {
         link: LinkIndex,
         time1: Time,
     ) -> Result<(NodeIndex, Time)> {
-        let graph = self.graph(context)?;
-        let l = graph.live_link(link, time1)?;
-        endpoint_version(graph, &l.from, time1)
+        self.read_core().get_from_node(context, link, time1)
     }
 
     // =====================================================================
@@ -687,7 +678,7 @@ impl Ham {
         context: ContextId,
         time: Time,
     ) -> Result<Vec<(String, AttributeIndex)>> {
-        Ok(self.graph(context)?.attr_table.attributes_at(time))
+        self.read_core().get_attributes(context, time)
     }
 
     /// `getAttributeValues: Context × AttributeIndex × Time → Value*`
@@ -700,7 +691,7 @@ impl Ham {
         attr: AttributeIndex,
         time: Time,
     ) -> Result<Vec<Value>> {
-        self.graph(context)?.attribute_values(attr, time)
+        self.read_core().get_attribute_values(context, attr, time)
     }
 
     /// `getAttributeIndex: Context × Attribute → AttributeIndex`
@@ -797,17 +788,8 @@ impl Ham {
         attr: AttributeIndex,
         time: Time,
     ) -> Result<Value> {
-        let graph = self.graph(context)?;
-        graph.attr_name(attr)?;
-        graph
-            .node(node)?
-            .attrs
-            .get(attr, time)
-            .cloned()
-            .ok_or(HamError::AttributeNotSet {
-                attribute: attr,
-                time,
-            })
+        self.read_core()
+            .get_node_attribute_value(context, node, attr, time)
     }
 
     /// `getNodeAttributes: NodeIndex × Time → (Attribute × AttributeIndex × Value)*`
@@ -817,9 +799,7 @@ impl Ham {
         node: NodeIndex,
         time: Time,
     ) -> Result<Vec<(String, AttributeIndex, Value)>> {
-        let graph = self.graph(context)?;
-        let n = graph.node(node)?;
-        Ok(resolve_attr_names(graph, n.attrs.all_at(time)))
+        self.read_core().get_node_attributes(context, node, time)
     }
 
     /// `setLinkAttributeValue: LinkIndex × AttributeIndex × Value →`
@@ -878,17 +858,8 @@ impl Ham {
         attr: AttributeIndex,
         time: Time,
     ) -> Result<Value> {
-        let graph = self.graph(context)?;
-        graph.attr_name(attr)?;
-        graph
-            .link(link)?
-            .attrs
-            .get(attr, time)
-            .cloned()
-            .ok_or(HamError::AttributeNotSet {
-                attribute: attr,
-                time,
-            })
+        self.read_core()
+            .get_link_attribute_value(context, link, attr, time)
     }
 
     /// `getLinkAttributes: LinkIndex × Time → (Attribute × AttributeIndex × Value)*`
@@ -898,9 +869,7 @@ impl Ham {
         link: LinkIndex,
         time: Time,
     ) -> Result<Vec<(String, AttributeIndex, Value)>> {
-        let graph = self.graph(context)?;
-        let l = graph.link(link)?;
-        Ok(resolve_attr_names(graph, l.attrs.all_at(time)))
+        self.read_core().get_link_attributes(context, link, time)
     }
 
     // =====================================================================
@@ -949,7 +918,7 @@ impl Ham {
         context: ContextId,
         time: Time,
     ) -> Result<Vec<(Event, DemonSpec)>> {
-        Ok(self.graph(context)?.graph_demons.all_at(time))
+        self.read_core().get_graph_demons(context, time)
     }
 
     /// `setNodeDemon: NodeIndex × Event × Demon →`
@@ -993,7 +962,7 @@ impl Ham {
         node: NodeIndex,
         time: Time,
     ) -> Result<Vec<(Event, DemonSpec)>> {
-        Ok(self.graph(context)?.node(node)?.demons.all_at(time))
+        self.read_core().get_node_demons(context, node, time)
     }
 
     /// Register a named Rust callback for `DemonAction::Call` demons — the
@@ -1041,7 +1010,7 @@ impl Ham {
         })?;
         if txn.redo.is_empty() {
             self.count_txn_outcome("neptune_ham_txn_commits_total");
-            return Ok(()); // read-only transaction: nothing to make durable
+            return Ok(()); // read-only transaction: nothing new to publish
         }
         if let Err(e) = self.log_txn(&txn) {
             // The commit never became durable (or its durability is
@@ -1056,6 +1025,8 @@ impl Ham {
         #[cfg(feature = "strict-invariants")]
         self.assert_strict_invariants("commit_transaction");
         self.count_txn_outcome("neptune_ham_txn_commits_total");
+        // The commit is durable; hand the new state to lock-free readers.
+        self.publish_view();
         Ok(())
     }
 
@@ -1123,9 +1094,16 @@ impl Ham {
         }
         // Rollback rewinds version clocks, so future check-ins can reuse
         // the exact (node, time) pairs just discarded with different
-        // contents. Drop every materialized version rather than risk a
-        // stale read; aborts are rare.
+        // contents. Drop every materialized version (which also starts a
+        // new cache generation, fencing off readers still pinned to views
+        // published before the rollback); aborts are rare.
         self.lock_vcache().clear();
+        // Republish: the rolled-back state equals the last committed one,
+        // but the new view repins the post-clear cache generation so
+        // future lock-free reads can warm the cache again.
+        if !self.replaying {
+            self.publish_view();
+        }
     }
 
     /// Whether a transaction is currently active.
@@ -1336,6 +1314,63 @@ impl Ham {
     }
 
     // =====================================================================
+    // Committed-snapshot publication (lock-free read path)
+    // =====================================================================
+
+    /// The live-state read core: every inherent read method funnels
+    /// through this, sharing its implementation with [`CommittedView`].
+    fn read_core(&self) -> ReadCore<'_> {
+        ReadCore {
+            threads: &self.threads,
+            vcache: &self.vcache,
+            generation: None,
+        }
+    }
+
+    /// Invariant checkers (same crate) walk the raw threads.
+    pub(crate) fn threads(&self) -> &HashMap<ContextId, GraphThread> {
+        &self.threads
+    }
+
+    /// The publication handle lock-free readers load snapshots from.
+    /// Servers clone this once and call [`Published::load`] per read.
+    pub fn published_handle(&self) -> Arc<Published<CommittedView>> {
+        Arc::clone(&self.published)
+    }
+
+    /// The currently published committed snapshot (what a lock-free reader
+    /// loading right now would see).
+    pub fn committed_view(&self) -> Arc<CommittedView> {
+        self.published.load()
+    }
+
+    /// Build a snapshot of the current committed state and install it as
+    /// the published view. Called after every durable commit, after
+    /// rollback (to repin the cache generation), and at the end of
+    /// recovery. O(changes): the graph's internal maps are persistent, so
+    /// the clone is Arc bumps plus per-graph scalar state.
+    fn publish_view(&mut self) {
+        let start = std::time::Instant::now();
+        self.view_epoch += 1;
+        let view = CommittedView::new(
+            self.view_epoch,
+            &self.threads,
+            Arc::clone(&self.vcache),
+            self.directory.clone(),
+        );
+        self.published.publish(view);
+        if neptune_obs::enabled() {
+            let registry = neptune_obs::registry();
+            registry
+                .histogram("neptune_ham_snapshot_publish_ns")
+                .observe_duration(start.elapsed());
+            registry
+                .gauge("neptune_ham_snapshot_epoch")
+                .set(self.view_epoch.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    // =====================================================================
     // Version-materialization cache
     // =====================================================================
 
@@ -1343,43 +1378,6 @@ impl Ham {
         // The cache holds derived state only; recover from poison rather
         // than failing every future read after one panicked thread.
         self.vcache.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Node contents at `time`, served from the materialization cache when
-    /// possible. Head reads bypass the cache (the head is stored whole);
-    /// historical reads are keyed by resolved version time, so every alias
-    /// of a version shares one entry. With the cache disabled this is a
-    /// full uncached delta replay — the baseline the read-scaling
-    /// benchmarks compare against.
-    fn cached_contents(
-        &self,
-        context: ContextId,
-        n: &crate::node::Node,
-        time: Time,
-    ) -> Result<Arc<[u8]>> {
-        let Some(archive) = n.archive() else {
-            return n.contents_at(time); // file node: current version only
-        };
-        let resolved = archive.resolve_time(time.0)?;
-        if resolved == archive.head_time() {
-            return Ok(archive.head_shared());
-        }
-        let key = (context.0, n.id.0, resolved);
-        {
-            let mut cache = self.lock_vcache();
-            if !cache.enabled() {
-                drop(cache);
-                return Ok(archive.checkout_uncached(resolved)?);
-            }
-            if let Some(data) = cache.get(&key) {
-                return Ok(data); // hit: refcount bump, no copy
-            }
-        }
-        // Miss: materialize outside the lock (checkout may replay a chain
-        // suffix), then publish the same allocation for the next reader.
-        let data = archive.checkout(resolved)?;
-        self.lock_vcache().insert(key, data.clone());
-        Ok(data)
     }
 
     /// Hit/miss counters and occupancy of the version-materialization cache.
@@ -1396,8 +1394,13 @@ impl Ham {
 
     /// Replace the cache bounds (entries, payload bytes), dropping current
     /// contents but keeping hit/miss counters at zero for the new instance.
+    /// The generation advances past the old cache's so views pinned to the
+    /// replaced instance can never alias entries of the new one.
     pub fn configure_version_cache(&self, max_entries: usize, max_bytes: u64) {
-        *self.lock_vcache() = MaterializationCache::new(max_entries, max_bytes);
+        let mut cache = self.lock_vcache();
+        let old_gen = cache.generation();
+        *cache = MaterializationCache::new(max_entries, max_bytes);
+        cache.advance_generation_past(old_gen);
     }
 
     /// Where `context` was forked from: `(parent, parent clock at fork)`,
@@ -1859,7 +1862,7 @@ fn fresh_project_id(directory: &Path) -> u64 {
 /// Canonical attachment list for a node at a version: every live incident
 /// endpoint visible on that version, ordered by (link index, from-end
 /// first). Returns `(link, is_to_end, LinkPt)`.
-fn canonical_attachments(
+pub(crate) fn canonical_attachments(
     graph: &HamGraph,
     node: NodeIndex,
     time: Time,
@@ -1896,7 +1899,7 @@ fn canonical_attachments(
     Ok(out)
 }
 
-fn endpoint_version(
+pub(crate) fn endpoint_version(
     graph: &HamGraph,
     end: &crate::link::Endpoint,
     time1: Time,
@@ -1910,7 +1913,7 @@ fn endpoint_version(
     Ok((end.node, version))
 }
 
-fn resolve_attr_names(
+pub(crate) fn resolve_attr_names(
     graph: &HamGraph,
     pairs: Vec<(AttributeIndex, Value)>,
 ) -> Vec<(String, AttributeIndex, Value)> {

@@ -239,31 +239,45 @@ pub fn graph_violations(ctx: ContextId, graph: &HamGraph) -> Vec<Violation> {
 /// All integrity violations in an open machine: every context's graph plus
 /// the context-partition (fork) topology.
 pub fn ham_violations(ham: &Ham) -> Vec<Violation> {
+    thread_violations(ham.threads())
+}
+
+/// [`ham_violations`] against a published committed snapshot — the
+/// lock-free `Verify` path checks the view it serves reads from, not the
+/// live machine.
+pub fn view_violations(view: &crate::view::CommittedView) -> Vec<Violation> {
+    thread_violations(view.threads())
+}
+
+fn thread_violations(
+    threads: &std::collections::HashMap<ContextId, crate::ham::GraphThread>,
+) -> Vec<Violation> {
+    let mut ids: Vec<ContextId> = threads.keys().copied().collect();
+    ids.sort_unstable();
     let mut out = Vec::new();
-    for ctx in ham.contexts() {
-        if let Ok(Some((parent, fork_time))) = ham.context_forked_from(ctx) {
-            match ham.graph(parent) {
-                Err(_) => out.push(Violation {
+    for ctx in ids {
+        let thread = &threads[&ctx];
+        if let Some((parent, fork_time)) = thread.forked_from {
+            match threads.get(&parent) {
+                None => out.push(Violation {
                     rule: RULE_CONTEXT_PARTITION,
                     entity: format!("context {}", ctx.0),
                     detail: format!("forked from context {}, which no longer exists", parent.0),
                 }),
-                Ok(pg) if fork_time > pg.now() => out.push(Violation {
+                Some(pt) if fork_time > pt.graph.now() => out.push(Violation {
                     rule: RULE_CONTEXT_PARTITION,
                     entity: format!("context {}", ctx.0),
                     detail: format!(
                         "forked at time {}, beyond parent context {}'s clock {}",
                         fork_time.0,
                         parent.0,
-                        pg.now().0
+                        pt.graph.now().0
                     ),
                 }),
-                Ok(_) => {}
+                Some(_) => {}
             }
         }
-        if let Ok(graph) = ham.graph(ctx) {
-            out.extend(graph_violations(ctx, graph));
-        }
+        out.extend(graph_violations(ctx, &thread.graph));
     }
     out
 }

@@ -21,6 +21,7 @@
 pub mod attributes;
 pub mod context;
 pub mod demons;
+pub mod epoch;
 pub mod error;
 pub mod graph;
 pub mod ham;
@@ -28,13 +29,16 @@ pub mod history;
 pub mod invariants;
 pub mod link;
 pub mod node;
+pub mod pmap;
 pub mod predicate;
 pub mod query;
 pub mod txn;
 pub mod types;
 pub mod value;
+pub mod view;
 
 pub use demons::{DemonAction, DemonFireInfo, DemonRegistry, DemonSpec, Event};
+pub use epoch::Published;
 pub use error::{HamError, Result};
 pub use graph::HamGraph;
 pub use ham::Ham;
@@ -44,3 +48,4 @@ pub use types::{
     Protections, Time, Version, MAIN_CONTEXT,
 };
 pub use value::Value;
+pub use view::CommittedView;

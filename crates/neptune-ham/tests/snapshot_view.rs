@@ -1,0 +1,214 @@
+//! Lock-free committed views under concurrent mutation.
+//!
+//! A published [`CommittedView`] is an immutable snapshot: a reader that
+//! holds one across commits, checkpoints, and rollbacks must keep seeing
+//! exactly the state it captured — stale, but internally consistent. The
+//! property test drives context forks, merges, and destroys from the
+//! writer while lock-free readers continuously load and read views,
+//! checking that every observed value is one the writer actually
+//! committed (the version-materialization cache must never serve bytes
+//! from a different world).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use neptune_ham::context::ConflictPolicy;
+use neptune_ham::types::{NodeIndex, Protections, Time, MAIN_CONTEXT};
+use neptune_ham::Ham;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neptune-view-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn contents_of(ham: &Ham, node: NodeIndex) -> Vec<u8> {
+    ham.read_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+        .unwrap()
+        .contents
+        .to_vec()
+}
+
+fn view_contents(view: &neptune_ham::CommittedView, node: NodeIndex) -> Vec<u8> {
+    view.read_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+        .unwrap()
+        .contents
+        .to_vec()
+}
+
+/// A reader holding an old view across commit + checkpoint + rollback must
+/// read consistent stale-but-valid state; each publication step must bump
+/// the epoch.
+#[test]
+fn old_view_is_stable_across_commit_checkpoint_and_rollback() {
+    let (mut ham, _, _) = Ham::create_graph(tmpdir("stable"), Protections::DEFAULT).unwrap();
+    let (node, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t0, &b"v1"[..], &[])
+        .unwrap();
+
+    let old = ham.committed_view();
+    assert_eq!(view_contents(&old, node), b"v1");
+
+    // Commit a new version: the old view must not move.
+    let t1 = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t1, &b"v2"[..], &[])
+        .unwrap();
+    let newer = ham.committed_view();
+    assert!(
+        newer.epoch() > old.epoch(),
+        "commit must publish a new view"
+    );
+    assert_eq!(view_contents(&old, node), b"v1");
+    assert_eq!(view_contents(&newer, node), b"v2");
+
+    // Checkpoint folds the WAL into a snapshot; no state changes, and the
+    // old view keeps reading the same bytes.
+    ham.checkpoint().unwrap();
+    assert_eq!(view_contents(&old, node), b"v1");
+    assert_eq!(view_contents(&newer, node), b"v2");
+
+    // A rolled-back transaction truncates in-txn history and republishes;
+    // both retained views are unaffected, and the fresh view shows the
+    // last committed state.
+    ham.begin_transaction().unwrap();
+    let t2 = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t2, &b"doomed"[..], &[])
+        .unwrap();
+    assert_eq!(contents_of(&ham, node), b"doomed"); // owner read-your-writes
+    ham.abort_transaction().unwrap();
+
+    let after_abort = ham.committed_view();
+    assert!(after_abort.epoch() > newer.epoch());
+    assert_eq!(view_contents(&old, node), b"v1");
+    assert_eq!(view_contents(&newer, node), b"v2");
+    assert_eq!(view_contents(&after_abort, node), b"v2");
+
+    // Historical reads through the old view replay from its own archive
+    // clone and stay correct too.
+    let (major, _) = old.get_node_versions(MAIN_CONTEXT, node).unwrap();
+    let (major_new, _) = after_abort.get_node_versions(MAIN_CONTEXT, node).unwrap();
+    // The newer view has exactly one more committed version (v2) than the
+    // old one; the aborted "doomed" version appears in neither.
+    assert_eq!(major_new.len(), major.len() + 1);
+
+    assert!(neptune_ham::invariants::view_violations(&old).is_empty());
+    assert!(neptune_ham::invariants::view_violations(&after_abort).is_empty());
+}
+
+/// Property test: fork/merge/destroy contexts and roll back transactions
+/// while lock-free readers hammer the published views. Every contents a
+/// reader observes must be a value the writer committed, current *or*
+/// historical — never an uncommitted, torn, or cross-context value served
+/// from a stale cache entry.
+#[test]
+fn forked_and_merged_contexts_under_concurrent_lockfree_readers() {
+    const ROUNDS: u64 = 40;
+    const READERS: usize = 4;
+
+    let (mut ham, _, _) = Ham::create_graph(tmpdir("fork-merge"), Protections::DEFAULT).unwrap();
+    let (node, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t0, &b"round-0"[..], &[])
+        .unwrap();
+
+    let handle = ham.published_handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_round = Arc::new(AtomicU64::new(0));
+
+    let is_legal = |contents: &[u8], bound: u64| -> bool {
+        let Ok(text) = std::str::from_utf8(contents) else {
+            return false;
+        };
+        let Some(n) = text
+            .strip_prefix("round-")
+            .and_then(|r| r.parse::<u64>().ok())
+        else {
+            return false;
+        };
+        n <= bound
+    };
+
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let handle = Arc::clone(&handle);
+        let stop = Arc::clone(&stop);
+        let max_round = Arc::clone(&max_round);
+        readers.push(std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let view = handle.load();
+                // The bound is read *after* the view: the writer is
+                // sequential and stores `max_round = r` before starting
+                // round r+1, so the view just loaded can show at most
+                // round `max_round + 1` — and `max_round` only grows, so
+                // a later read stays a sound (merely looser) bound. The
+                // view itself is immutable, so nothing below races.
+                let bound = max_round.load(Ordering::SeqCst) + 1;
+                for ctx in view.contexts() {
+                    // Current contents in any context the snapshot holds.
+                    let opened = view.read_node(ctx, node, Time::CURRENT, &[]).unwrap();
+                    assert!(
+                        is_legal(&opened.contents, bound),
+                        "illegal contents {:?} (bound {bound}, epoch {})",
+                        String::from_utf8_lossy(&opened.contents),
+                        view.epoch(),
+                    );
+                    // A historical read of the current version must agree
+                    // byte-for-byte with the head read — this is the path
+                    // that exercises the materialization cache, so a stale
+                    // generation would surface here.
+                    let again = view.read_node(ctx, node, opened.current_time, &[]).unwrap();
+                    assert_eq!(again.contents, opened.contents);
+                    reads += 2;
+                }
+                assert!(neptune_ham::invariants::view_violations(&view).is_empty());
+            }
+            reads
+        }));
+    }
+
+    for round in 1..=ROUNDS {
+        let body = format!("round-{round}").into_bytes();
+        match round % 4 {
+            // Fork, modify in the private world, merge back, destroy.
+            0..=2 => {
+                let fork = ham.create_context(MAIN_CONTEXT).unwrap();
+                let t = ham.get_node_time_stamp(fork, node).unwrap();
+                ham.modify_node(fork, node, t, &body[..], &[]).unwrap();
+                ham.merge_context(fork, ConflictPolicy::PreferChild)
+                    .unwrap();
+                ham.destroy_context(fork).unwrap();
+            }
+            // Direct modify in main, then an aborted transaction whose
+            // rollback must be invisible to every reader.
+            _ => {
+                let t = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+                ham.modify_node(MAIN_CONTEXT, node, t, &body[..], &[])
+                    .unwrap();
+                ham.begin_transaction().unwrap();
+                let t = ham.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+                ham.modify_node(MAIN_CONTEXT, node, t, &b"uncommitted"[..], &[])
+                    .unwrap();
+                ham.abort_transaction().unwrap();
+            }
+        }
+        max_round.store(round, Ordering::SeqCst);
+        if round % 8 == 0 {
+            ham.checkpoint().unwrap();
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0;
+    for r in readers {
+        total += r.join().unwrap();
+    }
+    assert!(total > 0, "readers made no progress");
+
+    // The store itself is intact after the run.
+    assert_eq!(
+        contents_of(&ham, node),
+        format!("round-{ROUNDS}").into_bytes()
+    );
+    assert!(neptune_ham::invariants::ham_violations(&ham).is_empty());
+}

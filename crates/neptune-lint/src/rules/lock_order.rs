@@ -1,14 +1,19 @@
-//! `lock-order`: the server's two-level lock hierarchy (DESIGN.md §9) is
-//! gate mutex first, HAM `RwLock` second — never the reverse — and nothing
-//! that can block indefinitely may run while a HAM guard is held.
+//! `lock-order`: the server's lock hierarchy (DESIGN.md §9) is committed
+//! view first, then the gate mutex, then the HAM `RwLock` — never the
+//! reverse — and nothing that can block indefinitely may run while a HAM
+//! guard is held. A view load sits *below* every lock because the lock-free
+//! read path must never develop a blocking dependency: loading a snapshot
+//! while holding the gate or the HAM lock smuggles the publication slot
+//! into a critical section.
 //!
 //! The pass is a linear scan over the token stream that tracks *live
-//! guards*: every syntactic acquisition site (`lock_gate()`,
-//! `wait_for_gate(...)`, `gate.lock()`, `read_ham()`/`write_ham()`,
-//! `ham.read()`/`ham.write()`) records a ranked guard bound to its `let`
-//! binding (or to the enclosing statement for temporaries). A guard dies at
-//! `drop(name)`, at the end of its statement (temporaries), or when its
-//! scope's brace closes. Two violations:
+//! guards*: every syntactic acquisition site (`load_view()`,
+//! `view.load()`, `lock_gate()`, `wait_for_gate(...)`, `gate.lock()`,
+//! `read_ham()`/`write_ham()`, `ham.read()`/`ham.write()`) records a
+//! ranked guard bound to its `let` binding (or to the enclosing statement
+//! for temporaries). A guard dies at `drop(name)`, at the end of its
+//! statement (temporaries), or when its scope's brace closes. Two
+//! violations:
 //!
 //! * acquiring a rank while a guard of equal or higher rank is live
 //!   (e.g. taking the gate while holding the HAM — the inversion that
@@ -22,6 +27,7 @@
 use crate::tokutil::text;
 use crate::{lexer::Token, Finding, Kind, SourceFile};
 
+const RANK_VIEW: u8 = 0;
 const RANK_GATE: u8 = 1;
 const RANK_HAM: u8 = 2;
 
@@ -95,9 +101,12 @@ pub fn run(file: &SourceFile) -> Vec<Finding> {
 
         let acquired = acquisition(toks, i);
         if let Some((rank, what)) = acquired {
+            // A held view is an `Arc` clone, not a lock: two live views
+            // never conflict, so same-rank re-entry is flagged only for
+            // the real locks.
             if let Some(held) = guards
                 .iter()
-                .filter(|g| g.rank >= rank)
+                .filter(|g| g.rank > rank || (g.rank == rank && rank != RANK_VIEW))
                 .max_by_key(|g| g.rank)
             {
                 findings.push(Finding {
@@ -107,8 +116,8 @@ pub fn run(file: &SourceFile) -> Vec<Finding> {
                     col: t.col,
                     message: format!(
                         "{what} acquired while {} (acquired line {}) is still held; \
-                         the hierarchy is gate \u{2192} HAM, and no rank may be \
-                         re-entered (DESIGN.md \u{a7}9)",
+                         the hierarchy is view \u{2192} gate \u{2192} HAM, and no \
+                         lock rank may be re-entered (DESIGN.md \u{a7}9)",
                         held.what, held.line
                     ),
                 });
@@ -160,6 +169,10 @@ fn acquisition(toks: &[Token], i: usize) -> Option<(u8, &'static str)> {
         ""
     };
     match t.text.as_str() {
+        "load_view" => Some((RANK_VIEW, "the committed view")),
+        "load" if receiver.contains("view") || receiver.contains("published") => {
+            Some((RANK_VIEW, "the committed view"))
+        }
         "lock_gate" | "wait_for_gate" => Some((RANK_GATE, "the gate mutex")),
         "lock" if receiver.contains("gate") => Some((RANK_GATE, "the gate mutex")),
         "read_ham" => Some((RANK_HAM, "the HAM read guard")),

@@ -34,7 +34,8 @@ const CRATE_SEGMENTS: &[&str] = &[
 ];
 
 /// Unit suffixes with defined semantics (counters end `_total`, durations
-/// `_ns`/`_ms`, sizes `_bytes`, gauges name their unit).
+/// `_ns`/`_ms`, sizes `_bytes`, gauges name their unit; `epoch` is a
+/// monotonic publication sequence number, e.g. the committed-view epoch).
 const UNIT_SEGMENTS: &[&str] = &[
     "total",
     "ns",
@@ -46,6 +47,7 @@ const UNIT_SEGMENTS: &[&str] = &[
     "ratio",
     "connections",
     "inflight",
+    "epoch",
 ];
 
 pub fn run_metric_name(file: &SourceFile) -> Vec<Finding> {

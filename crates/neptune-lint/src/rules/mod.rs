@@ -5,6 +5,7 @@
 mod lock_order;
 mod metrics;
 mod panic_path;
+mod parse_path;
 mod vfs_bypass;
 
 use crate::{Finding, SourceFile};
@@ -17,11 +18,15 @@ pub const ALL_RULES: &[(&str, &str)] = &[
     ),
     (
         "lock-order",
-        "gate mutex before HAM RwLock, never the reverse; no blocking calls while a HAM guard is held (DESIGN.md \u{a7}9)",
+        "committed view before gate mutex before HAM RwLock, never the reverse; no blocking calls while a HAM guard is held (DESIGN.md \u{a7}9)",
     ),
     (
         "panic-path",
         "no unwrap/expect/panic!/indexing in neptune-server request-handling code; errors must become Response::Error",
+    ),
+    (
+        "parse-path",
+        "no unwrap/expect/panic!/indexing inside the decode functions of neptune-storage wal.rs and snapshot.rs; truncated input must become a StorageError, never a panic (DESIGN.md \u{a7}12)",
     ),
     (
         "metric-name",
@@ -39,6 +44,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     findings.extend(vfs_bypass::run(file));
     findings.extend(lock_order::run(file));
     findings.extend(panic_path::run(file));
+    findings.extend(parse_path::run(file));
     findings.extend(metrics::run_metric_name(file));
     findings.extend(metrics::run_rpc_histogram(file));
     findings

@@ -1,0 +1,159 @@
+//! `parse-path`: file-decode code in neptune-storage must not be able to
+//! panic on truncated or corrupt input.
+//!
+//! The WAL and snapshot readers face bytes that crashed mid-write or were
+//! damaged at rest; DESIGN.md §12 requires such damage to surface as
+//! `CorruptLog`/`BadFileHeader`-style errors that recovery and
+//! `neptune-check` can classify — a panic instead turns a recoverable torn
+//! tail into a crash loop at open. This rule scans the *decode functions*
+//! of `wal.rs` and `snapshot.rs` (`scan`, `decode`, `from_tag`, and every
+//! `read_*`) for the panic-capable constructs: `.unwrap()`, `.expect(..)`,
+//! the panic macro family, and index expressions. Encode paths and the
+//! rest of the crate are out of scope — they operate on data the process
+//! itself produced.
+
+use crate::tokutil::text;
+use crate::{lexer::Token, Finding, Kind, SourceFile};
+
+const SCOPED_FILES: &[&str] = &["wal.rs", "snapshot.rs"];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = ...`, `match x { [..] => ... }`).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "if", "else", "match", "as", "move", "break", "continue",
+    "where", "dyn", "impl", "fn", "pub", "use", "crate", "self", "Self", "super", "type", "const",
+    "static", "enum", "struct", "trait", "mod", "loop", "while", "for", "unsafe", "box", "async",
+    "await", "yield",
+];
+
+/// Whether `name` names a decode-path function.
+fn is_decode_fn(name: &str) -> bool {
+    name == "scan" || name == "decode" || name == "from_tag" || name.starts_with("read_")
+}
+
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    if file.crate_name != "neptune-storage" || !SCOPED_FILES.contains(&file.file_name.as_str()) {
+        return Vec::new();
+    }
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == Kind::Ident && toks[i].text == "fn" {
+            let name = text(toks, i + 1).to_string();
+            // Scan to the body's opening brace.
+            let mut j = i + 2;
+            while j < toks.len() && text(toks, j) != "{" {
+                j += 1;
+            }
+            let close = skip_balanced(toks, j);
+            if is_decode_fn(&name) {
+                check_body(file, toks, j + 1, close.saturating_sub(1), &mut findings);
+            }
+            i = close;
+            continue;
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Flag panic-capable constructs in the token range `[start, end)`.
+fn check_body(
+    file: &SourceFile,
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    findings: &mut Vec<Finding>,
+) {
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        let message = match (t.kind, t.text.as_str()) {
+            (Kind::Ident, "unwrap")
+                if i > start
+                    && text(toks, i - 1) == "."
+                    && text(toks, i + 1) == "("
+                    && text(toks, i + 2) == ")" =>
+            {
+                Some(
+                    "`.unwrap()` can panic on truncated input in a decode path; \
+                     return a StorageError (DESIGN.md \u{a7}12)"
+                        .to_string(),
+                )
+            }
+            (Kind::Ident, "expect")
+                if i > start && text(toks, i - 1) == "." && text(toks, i + 1) == "(" =>
+            {
+                Some(
+                    "`.expect(..)` can panic on truncated input in a decode path; \
+                     return a StorageError (DESIGN.md \u{a7}12)"
+                        .to_string(),
+                )
+            }
+            (Kind::Ident, m) if PANIC_MACROS.contains(&m) && text(toks, i + 1) == "!" => {
+                Some(format!(
+                    "`{m}!` can panic in a decode path; corrupt input must become \
+                     a StorageError (DESIGN.md \u{a7}12)"
+                ))
+            }
+            (Kind::Punct, "[") if i > start && is_index_base(toks, i - 1) => Some(
+                "index expression can panic on truncated input in a decode path; \
+                 use `get(..)` or the checked codec readers"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = message {
+            findings.push(Finding {
+                rule: "parse-path",
+                path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message,
+            });
+        }
+    }
+}
+
+/// Whether the token before a `[` makes it an index expression (an
+/// identifier that is not a keyword, `]`, or `)`).
+fn is_index_base(toks: &[Token], prev: usize) -> bool {
+    let Some(p) = toks.get(prev) else {
+        return false;
+    };
+    match p.kind {
+        Kind::Ident => !NON_INDEX_PRECEDERS.contains(&p.text.as_str()),
+        Kind::Punct => p.text == "]" || p.text == ")",
+        _ => false,
+    }
+}
+
+/// Index just past the brace group opened at `open_idx`.
+fn skip_balanced(toks: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open_idx;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}

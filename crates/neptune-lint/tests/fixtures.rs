@@ -46,10 +46,13 @@ fn violating_fixture_fires_every_rule_family() {
         ("panic-path", "crates/neptune-server/src/bad_handler.rs", 21),
         ("panic-path", "crates/neptune-server/src/bad_handler.rs", 21),
         // bad_order.rs: gate-after-HAM inversion, blocking sleep under a
-        // read guard, same-rank re-entry.
+        // read guard, same-rank re-entry, and a view loaded under the gate
+        // and under the HAM lock (views rank below both).
         ("lock-order", "crates/neptune-server/src/bad_order.rs", 5),
         ("lock-order", "crates/neptune-server/src/bad_order.rs", 12),
         ("lock-order", "crates/neptune-server/src/bad_order.rs", 18),
+        ("lock-order", "crates/neptune-server/src/bad_order.rs", 25),
+        ("lock-order", "crates/neptune-server/src/bad_order.rs", 32),
         // proto.rs: Shutdown has no name() arm and no read/write
         // classification (both reported at the variant, line 6); GetNode is
         // keyed "get_node" (reported at the arm's string, line 13).
@@ -61,6 +64,13 @@ fn violating_fixture_fires_every_rule_family() {
         ("vfs-bypass", "crates/neptune-storage/src/bad_io.rs", 6),
         ("vfs-bypass", "crates/neptune-storage/src/bad_io.rs", 10),
         ("vfs-bypass", "crates/neptune-storage/src/bad_io.rs", 10),
+        // wal.rs: decode fns with indexing + expect (both on line 4),
+        // unreachable! in from_tag, unwrap in read_magic; the assert! in
+        // encode() is deliberately out of the rule's scope.
+        ("parse-path", "crates/neptune-storage/src/wal.rs", 4),
+        ("parse-path", "crates/neptune-storage/src/wal.rs", 4),
+        ("parse-path", "crates/neptune-storage/src/wal.rs", 11),
+        ("parse-path", "crates/neptune-storage/src/wal.rs", 16),
     ]
     .iter()
     .map(|(r, p, l)| (r.to_string(), p.to_string(), *l))

@@ -1,4 +1,4 @@
-//! Fixture: the canonical gate → HAM sequence.
+//! Fixture: the canonical view → gate → HAM sequence.
 
 pub fn ordered(shared: &Shared) {
     let gate = shared.lock_gate();
@@ -6,4 +6,17 @@ pub fn ordered(shared: &Shared) {
     drop(gate);
     process(&ham);
     drop(ham);
+}
+
+pub fn lock_free_read_then_exclusive(shared: &Shared) {
+    // Views sit below every lock: loading one first (or several — a view
+    // is an Arc clone, not a lock) never conflicts with taking the gate.
+    let view = shared.load_view();
+    let again = shared.load_view();
+    let gate = shared.lock_gate();
+    let ham = shared.write_ham();
+    drop(ham);
+    drop(gate);
+    process(&view);
+    drop(again);
 }

@@ -1,0 +1,13 @@
+//! parse-path clean fixture: checked decoding — `get(..)`, `?`, and array
+//! patterns instead of indexing and unwraps.
+
+pub fn read_header(bytes: &[u8]) -> Option<(u64, u32)> {
+    let len = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+    let crc = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?);
+    Some((len, crc))
+}
+
+pub fn decode(bytes: &[u8]) -> Option<u8> {
+    let [tag, ..] = bytes else { return None };
+    Some(*tag)
+}

@@ -19,3 +19,17 @@ pub fn reentrant(shared: &Shared) {
     drop(second);
     drop(first);
 }
+
+pub fn view_under_gate(shared: &Shared) {
+    let gate = shared.lock_gate();
+    let view = shared.load_view();
+    drop(view);
+    drop(gate);
+}
+
+pub fn view_under_ham(shared: &Shared) {
+    let ham = shared.write_ham();
+    let view = shared.published_view.load();
+    drop(view);
+    drop(ham);
+}

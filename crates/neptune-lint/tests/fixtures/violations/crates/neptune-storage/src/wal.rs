@@ -1,0 +1,24 @@
+//! parse-path violations: panic-capable constructs inside decode functions.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let len = bytes[0..4].try_into().expect("length prefix");
+    u32::from_le_bytes(len)
+}
+
+pub fn from_tag(tag: u8) -> u8 {
+    match tag {
+        0 => 0,
+        _ => unreachable!("bad tag"),
+    }
+}
+
+pub fn read_magic(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap()
+}
+
+// Encode paths are out of scope: assertions on self-produced data are fine.
+pub fn encode(value: u32) -> Vec<u8> {
+    let out = value.to_le_bytes().to_vec();
+    assert!(out.len() == 4);
+    out
+}

@@ -23,6 +23,13 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Rank(pub u32);
 
+/// The committed-view publication slot (`Published<CommittedView>`): the
+/// brief internal mutex behind `Published::load`/`publish`. Ranked below
+/// the gate so a view load is legal only while holding *no* server lock —
+/// the lock-free read path's whole contract — while writers publish after
+/// releasing their guards.
+pub const VIEW: Rank = Rank(5);
+
 /// The transaction gate mutex (`Shared::gate` in neptune-server).
 pub const GATE: Rank = Rank(10);
 
@@ -81,8 +88,8 @@ mod debug_impl {
             if let Some(conflict) = held.iter().find(|e| e.rank >= rank) {
                 panic!(
                     "lock-order violation: acquiring `{name}` (rank {}) while holding \
-                     `{}` (rank {}); the hierarchy is gate \u{2192} HAM, lower ranks \
-                     first (DESIGN.md \u{a7}9)",
+                     `{}` (rank {}); the hierarchy is view \u{2192} gate \u{2192} HAM, \
+                     lower ranks first (DESIGN.md \u{a7}9)",
                     rank.0, conflict.name, conflict.rank.0
                 );
             }
@@ -141,6 +148,17 @@ mod tests {
     fn same_rank_reentry_panics() {
         let _a = acquire(HAM, "ham");
         let _b = acquire(HAM, "ham");
+        #[cfg(not(debug_assertions))]
+        panic!("lock-order violation (tracker compiled out)");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+    fn view_load_under_gate_panics() {
+        // The lock-free contract: a view load may not happen while any
+        // server lock is held.
+        let _gate = acquire(GATE, "gate");
+        let _view = acquire(VIEW, "view");
         #[cfg(not(debug_assertions))]
         panic!("lock-order violation (tracker compiled out)");
     }

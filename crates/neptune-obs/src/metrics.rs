@@ -95,6 +95,14 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raise the value to `v` if it is currently lower — high-water-mark
+    /// tracking (e.g. peak concurrent connections), so scrapes see the
+    /// maximum reached since the last reset rather than whatever the
+    /// instantaneous occupancy happens to be at scrape time.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

@@ -10,34 +10,37 @@
 //! expects. A client that disconnects or whose connection thread panics
 //! mid-transaction is aborted automatically.
 //!
-//! Outside explicit transactions, requests classified read-only by
-//! [`Request::is_read_only`] run concurrently under a shared reader lock:
-//! the HAM's complete version history makes every read at a pinned `Time`
-//! naturally snapshot-consistent, so nothing about the paper's
-//! single-writer semantics requires serializing readers. Writers take the
-//! exclusive side of the same lock.
+//! Requests classified read-only by [`Request::is_read_only`] are served
+//! **lock-free** from the committed snapshot the HAM publishes at every
+//! commit ([`neptune_ham::CommittedView`]): one atomic load yields an
+//! immutable `Arc<CommittedView>`, with no gate check and no HAM lock —
+//! readers never wait on writers, and an open foreign transaction is
+//! invisible to them (they see the last committed state). The one
+//! exception is the transaction owner itself, whose reads route through
+//! the exclusive path so it observes its own uncommitted writes
+//! (read-your-writes).
 //!
 //! Lock hierarchy (always acquired in this order, never the reverse):
 //!
-//! 1. `gate` — a small mutex guarding transaction ownership; the
+//! 1. `view` — the publication slot behind `Published::load`, ranked
+//!    lowest: a view may only be loaded while holding *nothing*.
+//! 2. `gate` — a small mutex guarding transaction ownership; the
 //!    [`Condvar`] `txn_released` is associated with it.
-//! 2. `ham` — the `RwLock` over the HAM itself, acquired (shared or
-//!    exclusive) *while still holding the gate*, so no transaction can
-//!    begin between the ownership check and lock acquisition. The gate is
-//!    released as soon as the HAM lock is held.
+//! 3. `ham` — the `RwLock` over the HAM itself, acquired exclusively
+//!    *while still holding the gate*, so no transaction can begin between
+//!    the ownership check and lock acquisition. The gate is released as
+//!    soon as the HAM lock is held.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{
-    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use neptune_ham::predicate::Predicate;
 use neptune_ham::types::Time;
-use neptune_ham::Ham;
+use neptune_ham::{CommittedView, Ham, Published};
 use neptune_obs::lockcheck;
 
 use crate::frame::FrameBuf;
@@ -73,6 +76,10 @@ struct Gate {
 
 struct Shared {
     ham: RwLock<Ham>,
+    /// Publication handle for committed snapshots, cloned from the HAM at
+    /// startup; the lock-free read path loads from here and never touches
+    /// `ham` or `gate`.
+    view: Arc<Published<CommittedView>>,
     gate: Mutex<Gate>,
     txn_released: Condvar,
     shutdown: AtomicBool,
@@ -87,24 +94,26 @@ impl Shared {
         // Rank-check before blocking: an inversion should panic at this
         // call site, not deadlock inside `lock()`.
         let held = lockcheck::acquire(lockcheck::GATE, "server.gate");
+        count("neptune_server_gate_acquisitions_total");
         GateGuard {
             guard: self.gate.lock().unwrap_or_else(PoisonError::into_inner),
             held,
         }
     }
 
-    /// Shared (reader) access to the HAM, recovering from poison.
-    fn read_ham(&self) -> HamReadGuard<'_> {
-        let held = lockcheck::acquire(lockcheck::HAM, "server.ham(read)");
-        HamReadGuard {
-            guard: self.ham.read().unwrap_or_else(PoisonError::into_inner),
-            _held: held,
-        }
+    /// Load the current committed snapshot — the lock-free read path. The
+    /// rank token covers only the load itself (one atomic load, or a brief
+    /// slot-mutex clone on the first load after a publish); holding the
+    /// returned view is not a lock.
+    fn load_view(&self) -> Arc<CommittedView> {
+        let _held = lockcheck::acquire(lockcheck::VIEW, "server.view");
+        self.view.load()
     }
 
     /// Exclusive (writer) access to the HAM, recovering from poison.
     fn write_ham(&self) -> HamWriteGuard<'_> {
         let held = lockcheck::acquire(lockcheck::HAM, "server.ham(write)");
+        count("neptune_server_ham_lock_acquisitions_total");
         HamWriteGuard {
             guard: self.ham.write().unwrap_or_else(PoisonError::into_inner),
             _held: held,
@@ -130,19 +139,6 @@ impl Deref for GateGuard<'_> {
 impl DerefMut for GateGuard<'_> {
     fn deref_mut(&mut self) -> &mut Gate {
         &mut self.guard
-    }
-}
-
-/// HAM reader-lock guard carrying its [`lockcheck`] rank token.
-struct HamReadGuard<'a> {
-    guard: RwLockReadGuard<'a, Ham>,
-    _held: lockcheck::Held,
-}
-
-impl Deref for HamReadGuard<'_> {
-    type Target = Ham;
-    fn deref(&self) -> &Ham {
-        &self.guard
     }
 }
 
@@ -257,8 +253,10 @@ pub fn serve_with(
     let listener = TcpListener::bind(addr.into())?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
+    let view = ham.published_handle();
     let shared = Arc::new(Shared {
         ham: RwLock::new(ham),
+        view,
         gate: Mutex::new(Gate { txn_owner: None }),
         txn_released: Condvar::new(),
         shutdown: AtomicBool::new(false),
@@ -282,6 +280,7 @@ pub fn serve_with(
                             conn_id: id,
                         };
                         let _conns = scoped_gauge("neptune_server_active_connections");
+                        record_peak_connections();
                         let _ = handle_connection(stream, id, conn_shared);
                     }));
                 }
@@ -329,6 +328,7 @@ fn handle_connection(
     };
     let mut writer = std::io::BufWriter::new(stream.try_clone()?);
     let mut reader = stream;
+    let mut conn = ConnState { owns_txn: false };
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break Ok(());
@@ -350,7 +350,7 @@ fn handle_connection(
             }
             Err(e) => break Err(e),
         };
-        let response = execute(&shared, conn_id, request);
+        let response = execute(&shared, conn_id, &mut conn, request);
         frames.write_frame(&mut writer, &response)?;
     }
 }
@@ -371,6 +371,31 @@ fn count(key: &'static str) {
     if neptune_obs::enabled() {
         neptune_obs::registry().counter(key).inc();
     }
+}
+
+/// Record the high-water mark of concurrent connections. The bench-metrics
+/// deltas read this peak gauge, not the instantaneous active gauge, which
+/// at capture time may already have drained back toward zero.
+fn record_peak_connections() {
+    if neptune_obs::enabled() {
+        let registry = neptune_obs::registry();
+        let active = registry.gauge("neptune_server_active_connections").get();
+        registry
+            .gauge("neptune_server_peak_connections")
+            .set_max(active);
+    }
+}
+
+/// Per-connection routing state, owned exclusively by the connection's
+/// thread — consulting it takes no lock. `owns_txn` tracks whether this
+/// connection holds the explicit transaction: owners route *every* request
+/// (reads included) through the exclusive path so they observe their own
+/// uncommitted writes; everyone else's reads are served lock-free from the
+/// published snapshot. It is set only when the server grants the
+/// transaction, so a stale `true` (e.g. after shutdown aborted the
+/// transaction) merely routes conservatively through the exclusive path.
+struct ConnState {
+    owns_txn: bool,
 }
 
 /// Record time a request spent blocked at the transaction gate. Only called
@@ -405,12 +430,12 @@ fn observe_rpc(op: &'static str, elapsed: Duration, response: &Response) {
 /// `neptune_server_rpc_ns{op=<variant>}` observation per request (batches
 /// additionally record each element), an error counter, and slow-op
 /// visibility via the trace layer.
-fn execute(shared: &Shared, conn_id: u64, request: Request) -> Response {
+fn execute(shared: &Shared, conn_id: u64, conn: &mut ConnState, request: Request) -> Response {
     let op = request.name();
     let start = Instant::now();
     let response = match request {
-        Request::Batch(elements) => execute_batch(shared, conn_id, elements),
-        request => execute_inner(shared, conn_id, request),
+        Request::Batch(elements) => execute_batch(shared, conn_id, conn, elements),
+        request => execute_inner(shared, conn_id, conn, request),
     };
     observe_rpc(op, start.elapsed(), &response);
     response
@@ -461,7 +486,12 @@ fn wait_for_gate<'a>(
 /// element yields `Response::Error` in its slot and the rest still run.
 /// Transaction control is per-connection state that a half-executed batch
 /// could corrupt, so it is rejected per-element, as are nested batches.
-fn execute_batch(shared: &Shared, conn_id: u64, elements: Vec<Request>) -> Response {
+fn execute_batch(
+    shared: &Shared,
+    conn_id: u64,
+    conn: &mut ConnState,
+    elements: Vec<Request>,
+) -> Response {
     fn element_error(element: &Request) -> Option<Response> {
         match element {
             Request::BeginTransaction | Request::CommitTransaction | Request::AbortTransaction => {
@@ -473,37 +503,11 @@ fn execute_batch(shared: &Shared, conn_id: u64, elements: Vec<Request>) -> Respo
             _ => None,
         }
     }
-    let mut force_write = !elements.iter().all(Request::is_read_only);
-    let deadline = Instant::now() + shared.lock_timeout;
-    loop {
-        let gate = match wait_for_gate(shared, conn_id, deadline) {
-            Ok(gate) => gate,
-            Err(response) => return *response,
-        };
-        if force_write || gate.txn_owner == Some(conn_id) {
-            // Acquired while holding the gate (lock order: gate → ham).
-            let mut ham = shared.write_ham();
-            drop(gate);
-            let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
-            let responses = elements
-                .into_iter()
-                .map(|element| {
-                    if let Some(err) = element_error(&element) {
-                        return err;
-                    }
-                    let op = element.name();
-                    let start = Instant::now();
-                    let response = dispatch(&mut ham, element);
-                    observe_rpc(op, start.elapsed(), &response);
-                    response
-                })
-                .collect();
-            return Response::Batch(responses);
-        }
-        // Read-only batch: every element shares one reader-lock
-        // acquisition and one in-flight gauge.
-        let ham = shared.read_ham();
-        drop(gate);
+    if elements.iter().all(Request::is_read_only) && !conn.owns_txn {
+        // Lock-free read batch: every element is served from one snapshot
+        // load, so the batch is internally consistent by construction —
+        // no gate, no HAM lock, no waiting on a foreign transaction.
+        let view = shared.load_view();
         let inflight = scoped_gauge("neptune_server_read_ops_inflight");
         let mut responses = Vec::with_capacity(elements.len());
         let mut bounced = false;
@@ -514,8 +518,9 @@ fn execute_batch(shared: &Shared, conn_id: u64, elements: Vec<Request>) -> Respo
             }
             let op = element.name();
             let start = Instant::now();
-            match dispatch_read(&ham, element.clone()) {
+            match dispatch_read(&view, element.clone()) {
                 Ok(response) => {
+                    count("neptune_server_reads_lockfree_total");
                     observe_rpc(op, start.elapsed(), &response);
                     responses.push(response);
                 }
@@ -532,84 +537,114 @@ fn execute_batch(shared: &Shared, conn_id: u64, elements: Vec<Request>) -> Respo
             return Response::Batch(responses);
         }
         drop(inflight);
-        drop(ham);
         count("neptune_server_read_bounces_total");
-        force_write = true;
     }
+    // Exclusive path: one gate wait and one write-lock acquisition
+    // amortized over the whole batch.
+    let deadline = Instant::now() + shared.lock_timeout;
+    let gate = match wait_for_gate(shared, conn_id, deadline) {
+        Ok(gate) => gate,
+        Err(response) => return *response,
+    };
+    // Acquired while holding the gate (lock order: gate → ham).
+    let mut ham = shared.write_ham();
+    drop(gate);
+    let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
+    let responses = elements
+        .into_iter()
+        .map(|element| {
+            if let Some(err) = element_error(&element) {
+                return err;
+            }
+            let op = element.name();
+            let start = Instant::now();
+            let response = dispatch(&mut ham, element);
+            observe_rpc(op, start.elapsed(), &response);
+            response
+        })
+        .collect();
+    Response::Batch(responses)
 }
 
 /// Run one request under the transaction-ownership discipline.
 ///
-/// Non-owners (readers included) first wait at the gate for any foreign
-/// transaction to finish — explicit transactions get true isolation, since
-/// the HAM mutates in place and a concurrent read would see uncommitted
-/// state. The wait honors one fixed deadline across spurious wakeups. Once
-/// through the gate, read-only requests share the HAM under the reader
-/// lock; everything else takes the writer lock. The transaction owner
-/// always uses the exclusive path, which is what gives it read-your-writes.
-fn execute_inner(shared: &Shared, conn_id: u64, request: Request) -> Response {
+/// Read-only requests from non-owners are served lock-free from the
+/// published committed snapshot — no gate, no HAM lock, no waiting: an
+/// open foreign transaction is simply invisible (readers see the last
+/// committed state). Everything else — writes, transaction control, the
+/// owner's own reads (read-your-writes), and reads that must fire a
+/// `nodeOpened` demon — waits at the gate for any foreign transaction to
+/// finish (one fixed deadline across spurious wakeups) and then takes the
+/// exclusive lock.
+fn execute_inner(
+    shared: &Shared,
+    conn_id: u64,
+    conn: &mut ConnState,
+    request: Request,
+) -> Response {
     let mut request = request;
-    let mut force_write = !request.is_read_only();
-    let deadline = Instant::now() + shared.lock_timeout;
-    loop {
-        let mut gate = match wait_for_gate(shared, conn_id, deadline) {
-            Ok(gate) => gate,
-            Err(response) => return *response,
-        };
-        match request {
-            Request::BeginTransaction => {
-                let mut ham = shared.write_ham();
-                return match ham.begin_transaction() {
-                    Ok(id) => {
-                        gate.txn_owner = Some(conn_id);
-                        Response::TxnStarted(id)
-                    }
-                    Err(e) => Response::Error(e.to_string()),
-                };
-            }
-            Request::CommitTransaction | Request::AbortTransaction => {
-                if gate.txn_owner != Some(conn_id) {
-                    return Response::Error("no transaction owned by this connection".into());
-                }
-                let commit = matches!(request, Request::CommitTransaction);
-                let r = {
-                    let mut ham = shared.write_ham();
-                    if commit {
-                        ham.commit_transaction()
-                    } else {
-                        ham.abort_transaction()
-                    }
-                };
-                gate.txn_owner = None;
-                drop(gate);
-                shared.txn_released.notify_all();
-                return result_to_response(r.map(|_| Response::Ok));
-            }
-            _ => {}
-        }
-        if force_write || gate.txn_owner == Some(conn_id) {
-            // Acquired while holding the gate (lock order: gate → ham).
-            let mut ham = shared.write_ham();
-            drop(gate);
-            let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
-            return dispatch(&mut ham, request);
-        }
-        // Read-only path: shared lock, still acquired under the gate so no
-        // transaction can slip in between the check and the acquisition.
-        let ham = shared.read_ham();
-        drop(gate);
+    if request.is_read_only() && !conn.owns_txn {
+        let view = shared.load_view();
         let inflight = scoped_gauge("neptune_server_read_ops_inflight");
-        match dispatch_read(&ham, request) {
-            Ok(response) => return response,
+        match dispatch_read(&view, request) {
+            Ok(response) => {
+                count("neptune_server_reads_lockfree_total");
+                return response;
+            }
             Err(bounced) => {
                 // A nodeOpened demon must fire: retry on the write path.
                 drop(inflight);
                 count("neptune_server_read_bounces_total");
                 request = bounced;
-                force_write = true;
             }
         }
     }
+    let deadline = Instant::now() + shared.lock_timeout;
+    let mut gate = match wait_for_gate(shared, conn_id, deadline) {
+        Ok(gate) => gate,
+        Err(response) => return *response,
+    };
+    match request {
+        Request::BeginTransaction => {
+            let mut ham = shared.write_ham();
+            return match ham.begin_transaction() {
+                Ok(id) => {
+                    gate.txn_owner = Some(conn_id);
+                    conn.owns_txn = true;
+                    Response::TxnStarted(id)
+                }
+                Err(e) => Response::Error(e.to_string()),
+            };
+        }
+        Request::CommitTransaction | Request::AbortTransaction => {
+            // Resync local state with the gate either way: if the server
+            // force-aborted this connection's transaction, the gate is the
+            // truth and `owns_txn` was stale.
+            conn.owns_txn = false;
+            if gate.txn_owner != Some(conn_id) {
+                return Response::Error("no transaction owned by this connection".into());
+            }
+            let commit = matches!(request, Request::CommitTransaction);
+            let r = {
+                let mut ham = shared.write_ham();
+                if commit {
+                    ham.commit_transaction()
+                } else {
+                    ham.abort_transaction()
+                }
+            };
+            gate.txn_owner = None;
+            drop(gate);
+            shared.txn_released.notify_all();
+            return result_to_response(r.map(|_| Response::Ok));
+        }
+        _ => {}
+    }
+    // Acquired while holding the gate (lock order: gate → ham).
+    let mut ham = shared.write_ham();
+    drop(gate);
+    let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
+    dispatch(&mut ham, request)
 }
 
 fn result_to_response(r: neptune_ham::Result<Response>) -> Response {
@@ -619,17 +654,18 @@ fn result_to_response(r: neptune_ham::Result<Response>) -> Response {
     }
 }
 
-/// Serve a read-only request against a shared HAM reference.
+/// Serve a read-only request against a published committed snapshot.
 ///
 /// Returns `Err(request)` when the request turns out to need the exclusive
-/// path after all (an `OpenNode` whose `nodeOpened` demon is registered).
-/// The match is exhaustive so adding a `Request` variant forces an explicit
-/// classification here as well as in [`Request::is_read_only`].
-fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, Request> {
+/// path after all (an `OpenNode` whose `nodeOpened` demon is registered —
+/// firing a demon mutates state, so it cannot run against an immutable
+/// view). The match is exhaustive so adding a `Request` variant forces an
+/// explicit classification here as well as in [`Request::is_read_only`].
+fn dispatch_read(view: &CommittedView, request: Request) -> std::result::Result<Response, Request> {
     use Request as Q;
     use Response as A;
     if let Q::OpenNode { context, node, .. } = &request {
-        if ham.open_demon_registered(*context, *node) {
+        if view.open_demon_registered(*context, *node) {
             return Err(request);
         }
     }
@@ -646,7 +682,7 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
             } => {
                 let np = parse_pred(&node_pred)?;
                 let lp = parse_pred(&link_pred)?;
-                A::SubGraph(ham.linearize_graph(
+                A::SubGraph(view.linearize_graph(
                     context,
                     start,
                     time,
@@ -666,7 +702,7 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
             } => {
                 let np = parse_pred(&node_pred)?;
                 let lp = parse_pred(&link_pred)?;
-                A::SubGraph(ham.get_graph_query(
+                A::SubGraph(view.get_graph_query(
                     context,
                     time,
                     &np,
@@ -681,7 +717,7 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
                 time,
                 attrs,
             } => {
-                let opened = ham.read_node(context, node, time, &attrs)?;
+                let opened = view.read_node(context, node, time, &attrs)?;
                 A::Opened {
                     contents: opened.contents,
                     link_pts: opened.link_pts,
@@ -690,10 +726,10 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
                 }
             }
             Q::GetNodeTimeStamp { context, node } => {
-                A::Time(ham.get_node_time_stamp(context, node)?)
+                A::Time(view.get_node_time_stamp(context, node)?)
             }
             Q::GetNodeVersions { context, node } => {
-                let (major, minor) = ham.get_node_versions(context, node)?;
+                let (major, minor) = view.get_node_versions(context, node)?;
                 A::Versions(major, minor)
             }
             Q::GetNodeDifferences {
@@ -701,13 +737,13 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
                 node,
                 time1,
                 time2,
-            } => A::Differences(ham.get_node_differences(context, node, time1, time2)?),
+            } => A::Differences(view.get_node_differences(context, node, time1, time2)?),
             Q::GetToNode {
                 context,
                 link,
                 time,
             } => {
-                let (n, t) = ham.get_to_node(context, link, time)?;
+                let (n, t) = view.get_to_node(context, link, time)?;
                 A::NodeAt(n, t)
             }
             Q::GetFromNode {
@@ -715,48 +751,50 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
                 link,
                 time,
             } => {
-                let (n, t) = ham.get_from_node(context, link, time)?;
+                let (n, t) = view.get_from_node(context, link, time)?;
                 A::NodeAt(n, t)
             }
-            Q::GetAttributes { context, time } => A::Attributes(ham.get_attributes(context, time)?),
+            Q::GetAttributes { context, time } => {
+                A::Attributes(view.get_attributes(context, time)?)
+            }
             Q::GetAttributeValues {
                 context,
                 attr,
                 time,
-            } => A::Values(ham.get_attribute_values(context, attr, time)?),
+            } => A::Values(view.get_attribute_values(context, attr, time)?),
             Q::GetNodeAttributeValue {
                 context,
                 node,
                 attr,
                 time,
-            } => A::Value(ham.get_node_attribute_value(context, node, attr, time)?),
+            } => A::Value(view.get_node_attribute_value(context, node, attr, time)?),
             Q::GetNodeAttributes {
                 context,
                 node,
                 time,
-            } => A::AttrTriples(ham.get_node_attributes(context, node, time)?),
+            } => A::AttrTriples(view.get_node_attributes(context, node, time)?),
             Q::GetLinkAttributeValue {
                 context,
                 link,
                 attr,
                 time,
-            } => A::Value(ham.get_link_attribute_value(context, link, attr, time)?),
+            } => A::Value(view.get_link_attribute_value(context, link, attr, time)?),
             Q::GetLinkAttributes {
                 context,
                 link,
                 time,
-            } => A::AttrTriples(ham.get_link_attributes(context, link, time)?),
-            Q::GetGraphDemons { context, time } => A::Demons(ham.get_graph_demons(context, time)?),
+            } => A::AttrTriples(view.get_link_attributes(context, link, time)?),
+            Q::GetGraphDemons { context, time } => A::Demons(view.get_graph_demons(context, time)?),
             Q::GetNodeDemons {
                 context,
                 node,
                 time,
-            } => A::Demons(ham.get_node_demons(context, node, time)?),
-            Q::ListContexts => A::Contexts(ham.contexts()),
+            } => A::Demons(view.get_node_demons(context, node, time)?),
+            Q::ListContexts => A::Contexts(view.contexts()),
             Q::Ping => A::Ok,
-            Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
-            Q::CacheStats => cache_stats_response(ham),
-            Q::Metrics => metrics_response(ham),
+            Q::Verify => A::Findings(neptune_check::verify_view(view)),
+            Q::CacheStats => cache_stats_response(view.version_cache_stats()),
+            Q::Metrics => metrics_response(view.version_cache_stats(), view.age()),
             Q::AddNode { .. }
             | Q::DeleteNode { .. }
             | Q::AddLink { .. }
@@ -789,8 +827,7 @@ fn dispatch_read(ham: &Ham, request: Request) -> std::result::Result<Response, R
     Ok(result_to_response(result))
 }
 
-fn cache_stats_response(ham: &Ham) -> Response {
-    let s = ham.version_cache_stats();
+fn cache_stats_response(s: neptune_storage::vcache::CacheStats) -> Response {
     Response::CacheStats {
         hits: s.hits,
         misses: s.misses,
@@ -799,18 +836,20 @@ fn cache_stats_response(ham: &Ham) -> Response {
     }
 }
 
-/// Snapshot the metrics registry as Prometheus text. Cache occupancy is
-/// derived state the cache maintains itself, so its gauges are refreshed
-/// here at scrape time rather than on every insert/evict.
-fn metrics_response(ham: &Ham) -> Response {
+/// Snapshot the metrics registry as Prometheus text. Cache occupancy and
+/// snapshot age are derived state, so their gauges are refreshed here at
+/// scrape time rather than on every insert/evict/publish.
+fn metrics_response(s: neptune_storage::vcache::CacheStats, snapshot_age: Duration) -> Response {
     let registry = neptune_obs::registry();
-    let s = ham.version_cache_stats();
     registry
         .gauge("neptune_storage_vcache_entries")
         .set(s.entries as i64);
     registry
         .gauge("neptune_storage_vcache_bytes")
         .set(s.bytes.min(i64::MAX as u64) as i64);
+    registry
+        .gauge("neptune_ham_snapshot_age_ns")
+        .set(snapshot_age.as_nanos().min(i64::MAX as u128) as i64);
     Response::Metrics(registry.expose())
 }
 
@@ -1048,8 +1087,8 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
             }
             Q::Ping => A::Ok,
             Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
-            Q::CacheStats => cache_stats_response(ham),
-            Q::Metrics => metrics_response(ham),
+            Q::CacheStats => cache_stats_response(ham.version_cache_stats()),
+            Q::Metrics => metrics_response(ham.version_cache_stats(), ham.committed_view().age()),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 // execute_inner consumes these before dispatch; degrade to
                 // an error rather than panicking if that routing changes.
@@ -1082,8 +1121,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let (ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+        let view = ham.published_handle();
         Shared {
             ham: RwLock::new(ham),
+            view,
             gate: Mutex::new(Gate { txn_owner: None }),
             txn_released: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -1101,10 +1142,11 @@ mod tests {
         let ham = shared.write_ham();
         drop(gate);
         drop(ham);
+        // A view load while holding nothing is always legal.
+        let view = shared.load_view();
         let gate = shared.lock_gate();
-        let ham = shared.read_ham();
         drop(gate);
-        drop(ham);
+        drop(view);
     }
 
     #[test]
@@ -1113,8 +1155,21 @@ mod tests {
         let shared = test_shared("inverted");
         // Deliberate hierarchy inversion: HAM before gate. In debug builds
         // the lockcheck token panics before `gate.lock()` can deadlock.
-        let _ham = shared.read_ham();
+        let _ham = shared.write_ham();
         let _gate = shared.lock_gate();
+        #[cfg(not(debug_assertions))]
+        panic!("lock-order violation (tracker compiled out)");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+    fn view_load_under_gate_panics() {
+        let shared = test_shared("view-under-gate");
+        // A snapshot load must happen before any server lock: loading
+        // while holding the gate would hide a blocking dependency inside
+        // the "lock-free" path.
+        let _gate = shared.lock_gate();
+        let _view = shared.load_view();
         #[cfg(not(debug_assertions))]
         panic!("lock-order violation (tracker compiled out)");
     }

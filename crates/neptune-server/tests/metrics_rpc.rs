@@ -84,11 +84,19 @@ fn per_rpc_histogram_counts_match_scripted_workload() {
     // created the series — reset() zeroes entries in place.
     assert_eq!(rpc("Metrics").unwrap_or(0.0), 0.0, "{text}");
 
-    // HAM layer: op spans line up one-to-one with the dispatched calls
-    // (the server's read path serves `OpenNode` via `Ham::read_node`).
+    // HAM layer: op spans line up one-to-one with the dispatched calls.
+    // The server serves `OpenNode` lock-free from the published snapshot,
+    // so reads land in the view's op family, not the live machine's.
     let ham_op = |op: &str| sample(&text, &format!("neptune_ham_op_ns_count{{op=\"{op}\"}}"));
     assert_eq!(ham_op("add_node"), Some(3.0), "{text}");
-    assert_eq!(ham_op("read_node"), Some(5.0), "{text}");
+    let view_op = |op: &str| sample(&text, &format!("neptune_view_op_ns_count{{op=\"{op}\"}}"));
+    assert_eq!(view_op("read_node"), Some(5.0), "{text}");
+    // 2 pings + 5 opens, all served without the gate or the HAM lock.
+    assert_eq!(
+        sample(&text, "neptune_server_reads_lockfree_total"),
+        Some(7.0),
+        "{text}"
+    );
     let commits = sample(&text, "neptune_ham_txn_commits_total").unwrap_or(0.0);
     assert!(
         commits >= 4.0,

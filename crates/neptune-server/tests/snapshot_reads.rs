@@ -1,0 +1,218 @@
+//! The zero-lock proof for the snapshot read path, over real sockets.
+//!
+//! Read-only requests from non-transaction-owners must complete without
+//! acquiring the transaction gate or the HAM lock — the server counts
+//! every acquisition of both, so the proof is a metrics delta: a pure-read
+//! workload moves `neptune_server_reads_lockfree_total` and *neither*
+//! acquisition counter. The other tests pin the two semantic consequences:
+//! a reader never waits on a foreign transaction (it reads the last
+//! committed snapshot), while the transaction owner still reads its own
+//! uncommitted writes through the exclusive path.
+//!
+//! The metrics registry is process-global, so these tests serialize on one
+//! mutex and reset the registry first.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use neptune_ham::types::{Protections, Time, MAIN_CONTEXT};
+use neptune_ham::Ham;
+use neptune_server::{serve, Client, Request, Response};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neptune-snapread-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str) -> neptune_server::ServerHandle {
+    let (ham, _, _) = Ham::create_graph(tmpdir(name), Protections::DEFAULT).unwrap();
+    serve(ham, "127.0.0.1:0").unwrap()
+}
+
+fn sample(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+fn open_contents(c: &mut Client, node: neptune_ham::types::NodeIndex) -> Vec<u8> {
+    c.open_node(MAIN_CONTEXT, node, Time::CURRENT, vec![])
+        .unwrap()
+        .contents
+        .to_vec()
+}
+
+/// Pure reads acquire neither the gate nor the HAM lock: both acquisition
+/// counters stand still while the lock-free counter advances.
+#[test]
+fn read_only_requests_acquire_no_locks() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if !neptune_obs::enabled() {
+        return; // NEPTUNE_OBS_DISABLED set in this environment
+    }
+    neptune_obs::registry().reset();
+
+    let server = start("no-locks");
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (node, t0) = c.add_node(MAIN_CONTEXT, true).unwrap();
+    c.modify_node(MAIN_CONTEXT, node, t0, b"snapshot\n".to_vec(), vec![])
+        .unwrap();
+
+    // Baseline after the setup writes.
+    let before = c.metrics().unwrap();
+    let gate0 = sample(&before, "neptune_server_gate_acquisitions_total").unwrap_or(0.0);
+    let ham0 = sample(&before, "neptune_server_ham_lock_acquisitions_total").unwrap_or(0.0);
+    let free0 = sample(&before, "neptune_server_reads_lockfree_total").unwrap_or(0.0);
+
+    // A read-only workload: single reads, a pipeline, and a batch.
+    const SINGLES: usize = 8;
+    for _ in 0..SINGLES {
+        assert_eq!(open_contents(&mut c, node), b"snapshot\n");
+    }
+    let reads = vec![
+        Request::OpenNode {
+            context: MAIN_CONTEXT,
+            node,
+            time: Time::CURRENT,
+            attrs: vec![],
+        };
+        8
+    ];
+    for r in c.pipeline(&reads).unwrap() {
+        assert!(matches!(r, Response::Opened { .. }));
+    }
+    for r in c.batch(reads.clone()).unwrap() {
+        assert!(matches!(r, Response::Opened { .. }));
+    }
+    c.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    c.get_node_versions(MAIN_CONTEXT, node).unwrap();
+
+    let after = c.metrics().unwrap();
+    let gate1 = sample(&after, "neptune_server_gate_acquisitions_total").unwrap_or(0.0);
+    let ham1 = sample(&after, "neptune_server_ham_lock_acquisitions_total").unwrap_or(0.0);
+    let free1 = sample(&after, "neptune_server_reads_lockfree_total").unwrap_or(0.0);
+
+    assert_eq!(
+        gate1 - gate0,
+        0.0,
+        "read-only requests must not touch the gate:\n{after}"
+    );
+    assert_eq!(
+        ham1 - ham0,
+        0.0,
+        "read-only requests must not take the HAM lock:\n{after}"
+    );
+    // 8 singles + 8 pipelined + 8 batched + 2 metadata reads + the first
+    // Metrics scrape itself (the second is counted after its response).
+    assert!(
+        free1 - free0 >= (SINGLES + 8 + 8 + 2) as f64,
+        "expected >= {} lock-free reads, got {}:\n{after}",
+        SINGLES + 8 + 8 + 2,
+        free1 - free0
+    );
+    server.stop();
+}
+
+/// A reader racing a foreign transaction is served the last committed
+/// snapshot immediately — no gate wait, no lock timeout, and the answer
+/// predates the uncommitted writes.
+#[test]
+fn reads_during_foreign_txn_see_committed_state_without_waiting() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if !neptune_obs::enabled() {
+        return;
+    }
+    neptune_obs::registry().reset();
+
+    let server = start("no-wait");
+    let addr = server.addr();
+    let mut holder = Client::connect(addr).unwrap();
+    let (node, t0) = holder.add_node(MAIN_CONTEXT, true).unwrap();
+    holder
+        .modify_node(MAIN_CONTEXT, node, t0, b"committed\n".to_vec(), vec![])
+        .unwrap();
+
+    holder.begin_transaction().unwrap();
+    let t1 = holder.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    holder
+        .modify_node(MAIN_CONTEXT, node, t1, b"uncommitted\n".to_vec(), vec![])
+        .unwrap();
+
+    let mut reader = Client::connect(addr).unwrap();
+    let started = Instant::now();
+    for _ in 0..4 {
+        assert_eq!(open_contents(&mut reader, node), b"committed\n");
+    }
+    // Well under the server's lock timeout: the reads never parked on the
+    // gate (the timeout path answers with an error, not stale contents,
+    // so the assertions above already rule it out; the clock bound guards
+    // against a future regression that waits-then-succeeds).
+    assert!(started.elapsed() < Duration::from_secs(5));
+
+    holder.commit_transaction().unwrap();
+    assert_eq!(open_contents(&mut reader, node), b"uncommitted\n");
+
+    let text = reader.metrics().unwrap();
+    assert_eq!(
+        sample(&text, "neptune_server_lock_timeouts_total").unwrap_or(0.0),
+        0.0,
+        "{text}"
+    );
+    assert_eq!(
+        sample(&text, "neptune_server_gate_wait_ns_count").unwrap_or(0.0),
+        0.0,
+        "readers must not wait at the gate:\n{text}"
+    );
+    server.stop();
+}
+
+/// The transaction owner's reads route through the exclusive path and see
+/// its own uncommitted writes, while a concurrent lock-free reader still
+/// sees the pre-transaction snapshot.
+#[test]
+fn txn_owner_reads_its_own_writes() {
+    let server = start("ryw");
+    let addr = server.addr();
+    let mut owner = Client::connect(addr).unwrap();
+    let (node, t0) = owner.add_node(MAIN_CONTEXT, true).unwrap();
+    owner
+        .modify_node(MAIN_CONTEXT, node, t0, b"before\n".to_vec(), vec![])
+        .unwrap();
+
+    owner.begin_transaction().unwrap();
+    let t1 = owner.get_node_time_stamp(MAIN_CONTEXT, node).unwrap();
+    owner
+        .modify_node(MAIN_CONTEXT, node, t1, b"mine\n".to_vec(), vec![])
+        .unwrap();
+
+    // Owner: single read, batch read, and metadata — all must show the
+    // uncommitted version.
+    assert_eq!(open_contents(&mut owner, node), b"mine\n");
+    let batched = owner
+        .batch(vec![Request::OpenNode {
+            context: MAIN_CONTEXT,
+            node,
+            time: Time::CURRENT,
+            attrs: vec![],
+        }])
+        .unwrap();
+    match &batched[0] {
+        Response::Opened { contents, .. } => assert_eq!(&contents[..], b"mine\n"),
+        other => panic!("expected Opened, got {other:?}"),
+    }
+
+    // A foreign reader sees the snapshot from before the transaction.
+    let mut other = Client::connect(addr).unwrap();
+    assert_eq!(open_contents(&mut other, node), b"before\n");
+
+    owner.commit_transaction().unwrap();
+    assert_eq!(open_contents(&mut other, node), b"mine\n");
+    // After commit the owner is a plain reader again and still agrees.
+    assert_eq!(open_contents(&mut owner, node), b"mine\n");
+    server.stop();
+}

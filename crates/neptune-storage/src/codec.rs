@@ -159,6 +159,22 @@ impl Writer {
     }
 }
 
+/// Read a little-endian `u32` at `offset`, or `None` when the input ends
+/// first. File-decode paths must degrade truncated input to errors, never
+/// panic (DESIGN.md §12), so they use these checked reads instead of
+/// indexing.
+pub fn read_u32_at(bytes: &[u8], offset: usize) -> Option<u32> {
+    let chunk = bytes.get(offset..offset.checked_add(4)?)?;
+    Some(u32::from_le_bytes(chunk.try_into().ok()?))
+}
+
+/// Read a little-endian `u64` at `offset`, or `None` when the input ends
+/// first. See [`read_u32_at`].
+pub fn read_u64_at(bytes: &[u8], offset: usize) -> Option<u64> {
+    let chunk = bytes.get(offset..offset.checked_add(8)?)?;
+    Some(u64::from_le_bytes(chunk.try_into().ok()?))
+}
+
 /// Cursor that decodes values from the front of a byte slice.
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {

@@ -8,6 +8,7 @@
 use std::path::Path;
 
 use crate::checksum::crc32;
+use crate::codec::{read_u32_at, read_u64_at};
 use crate::error::{Result, StorageError};
 use crate::vfs::{parent_dir, StdVfs, Vfs};
 
@@ -55,13 +56,18 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Vec<u8>> {
 pub fn read_snapshot_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Vec<u8>> {
     let bytes = vfs.read(path.as_ref())?;
     let header_len = SNAPSHOT_MAGIC.len() + 8 + 4;
-    if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+    if bytes.len() < header_len || !bytes.starts_with(SNAPSHOT_MAGIC) {
         return Err(StorageError::BadFileHeader {
             context: "snapshot",
         });
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let len = read_u64_at(&bytes, SNAPSHOT_MAGIC.len()).ok_or(StorageError::UnexpectedEof {
+        context: "snapshot length header",
+    })? as usize;
+    let expected =
+        read_u32_at(&bytes, SNAPSHOT_MAGIC.len() + 8).ok_or(StorageError::UnexpectedEof {
+            context: "snapshot checksum header",
+        })?;
     let payload = bytes
         .get(header_len..header_len + len)
         .ok_or(StorageError::UnexpectedEof {
@@ -137,6 +143,25 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
         assert!(read_snapshot(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_header_is_an_error_not_a_panic() {
+        // Regression: the length and checksum fields used to be sliced with
+        // `expect`-backed indexing; a file that ends inside the fixed header
+        // must fail with a decode error, not panic.
+        let dir = tmpdir("trunc-header");
+        let path = dir.join("graph.snap");
+        write_snapshot(&path, b"payload").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Cut inside the u64 length field, then inside the u32 crc field.
+        for cut in [SNAPSHOT_MAGIC.len() + 4, SNAPSHOT_MAGIC.len() + 10] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(matches!(
+                read_snapshot(&path),
+                Err(StorageError::BadFileHeader { .. })
+            ));
+        }
     }
 
     #[test]

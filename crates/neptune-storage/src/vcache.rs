@@ -10,9 +10,24 @@
 //! Historical Graph Data" (see PAPERS.md) motivates exactly this
 //! materialization layer over delta chains.
 //!
-//! The cache is a plain struct with `&mut` methods; the HAM wraps it in a
-//! `Mutex` so concurrent readers behind the server's shared lock can all
-//! consult it.
+//! The cache is a plain struct with `&mut` methods; the HAM wraps it in an
+//! `Arc<Mutex<_>>` shared between the live store and every published
+//! committed view, so lock-free snapshot readers warm the same cache.
+//!
+//! ## Generations
+//!
+//! Version keys are only stable while history is append-only. A rollback
+//! rewinds the version clock, so an old `(context, node, time)` key may be
+//! re-bound to different contents afterwards — and with epoch-published
+//! snapshot views, a reader holding a *pre-rollback* view may still be
+//! materializing old contents concurrently. To keep one reader's stale
+//! bytes from outliving the view that produced them, the cache carries a
+//! **generation** counter: every entry is tagged with the generation it
+//! was inserted under, [`MaterializationCache::clear`] (the rollback/abort
+//! invalidation) bumps the generation, lookups pinned to an old generation
+//! miss, and inserts pinned to an old generation are dropped. A published
+//! view pins the generation current at publish time; the exclusive write
+//! path always uses the live generation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,6 +64,8 @@ struct CacheEntry {
     /// the archive/check-in path that produced them.
     data: Arc<[u8]>,
     last_used: u64,
+    /// Generation this entry was inserted under; see the module docs.
+    generation: u64,
 }
 
 /// Mirror one lookup into the global registry's
@@ -82,6 +99,7 @@ pub struct MaterializationCache {
     hits: u64,
     misses: u64,
     enabled: bool,
+    generation: u64,
 }
 
 impl Default for MaterializationCache {
@@ -98,6 +116,7 @@ impl std::fmt::Debug for MaterializationCache {
             .field("hits", &self.hits)
             .field("misses", &self.misses)
             .field("enabled", &self.enabled)
+            .field("generation", &self.generation)
             .finish()
     }
 }
@@ -115,6 +134,24 @@ impl MaterializationCache {
             hits: 0,
             misses: 0,
             enabled: true,
+            generation: 1,
+        }
+    }
+
+    /// The live generation. Entries inserted now carry this tag; a
+    /// committed view captures it at publish time and passes it back to
+    /// [`MaterializationCache::get_pinned`] /
+    /// [`MaterializationCache::insert_pinned`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Force the generation strictly past `floor`. Used when a cache is
+    /// reconfigured (replaced wholesale): the successor must not reuse
+    /// generation numbers that outstanding views may still be pinned to.
+    pub fn advance_generation_past(&mut self, floor: u64) {
+        if self.generation <= floor {
+            self.generation = floor + 1;
         }
     }
 
@@ -133,8 +170,18 @@ impl MaterializationCache {
         }
     }
 
-    /// Look up a materialized version, refreshing its recency on a hit.
+    /// Look up a materialized version at the live generation, refreshing
+    /// its recency on a hit.
     pub fn get(&mut self, key: &VersionKey) -> Option<Arc<[u8]>> {
+        let generation = self.generation;
+        self.get_pinned(generation, key)
+    }
+
+    /// Look up a materialized version on behalf of a reader pinned to
+    /// `generation`. Entries from any other generation miss: an older
+    /// reader must not see bytes cached after its history was rewound,
+    /// and a current reader must not see bytes a stale view produced.
+    pub fn get_pinned(&mut self, generation: u64, key: &VersionKey) -> Option<Arc<[u8]>> {
         if !self.enabled {
             self.misses += 1;
             observe_lookup(false);
@@ -142,13 +189,13 @@ impl MaterializationCache {
         }
         self.tick += 1;
         match self.map.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if entry.generation == generation => {
                 entry.last_used = self.tick;
                 self.hits += 1;
                 observe_lookup(true);
                 Some(entry.data.clone())
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 observe_lookup(false);
                 None
@@ -156,11 +203,24 @@ impl MaterializationCache {
         }
     }
 
-    /// Insert a materialized version, evicting least-recently-used entries
-    /// until the bounds hold. Payloads larger than the byte budget are
-    /// simply not cached.
+    /// Insert a materialized version at the live generation, evicting
+    /// least-recently-used entries until the bounds hold. Payloads larger
+    /// than the byte budget are simply not cached.
     pub fn insert(&mut self, key: VersionKey, data: Arc<[u8]>) {
-        if !self.enabled || data.len() as u64 > self.max_bytes || self.max_entries == 0 {
+        let generation = self.generation;
+        self.insert_pinned(generation, key, data);
+    }
+
+    /// Insert on behalf of a reader pinned to `generation`. Dropped
+    /// silently when `generation` is no longer live: a reader holding a
+    /// pre-rollback view must not publish its stale materialization into
+    /// the cache the post-rollback world reads from.
+    pub fn insert_pinned(&mut self, generation: u64, key: VersionKey, data: Arc<[u8]>) {
+        if generation != self.generation
+            || !self.enabled
+            || data.len() as u64 > self.max_bytes
+            || self.max_entries == 0
+        {
             return;
         }
         self.tick += 1;
@@ -173,6 +233,7 @@ impl MaterializationCache {
             CacheEntry {
                 data,
                 last_used: self.tick,
+                generation,
             },
         );
         while self.map.len() > self.max_entries || self.cur_bytes > self.max_bytes {
@@ -209,10 +270,14 @@ impl MaterializationCache {
         self.cur_bytes -= freed;
     }
 
-    /// Drop every entry, keeping the hit/miss counters.
+    /// Drop every entry, keeping the hit/miss counters, and start a new
+    /// generation: clear is the invalidation for history rewinds, after
+    /// which readers pinned to older generations must never hit or insert
+    /// again (see the module docs).
     pub fn clear(&mut self) {
         self.map.clear();
         self.cur_bytes = 0;
+        self.generation += 1;
     }
 
     /// Current counters and occupancy.

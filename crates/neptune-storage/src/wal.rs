@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 use crate::checksum::crc32;
-use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::codec::{read_u32_at, Decode, Encode, Reader, Writer};
 use crate::error::{Result, StorageError};
 use crate::vfs::{StdVfs, Vfs, VfsFile};
 
@@ -188,7 +188,7 @@ impl Wal {
     /// past the damage can be trusted, and truncating would drop committed
     /// transactions without telling anyone.
     fn scan(bytes: &[u8]) -> Result<(Vec<WalRecord>, u64)> {
-        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        if !bytes.starts_with(WAL_MAGIC) {
             return Err(StorageError::BadFileHeader {
                 context: "write-ahead log",
             });
@@ -200,19 +200,23 @@ impl Wal {
             if pos == bytes.len() {
                 break; // clean end
             }
-            if pos + 8 > bytes.len() {
-                break; // torn length/crc header: only possible at end-of-file
-            }
-            let payload_len =
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let expected_crc =
-                u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            // A torn length/crc header is only possible at end-of-file;
+            // the checked reads stop the scan there instead of panicking
+            // on truncated input (DESIGN.md §12).
+            let (Some(payload_len), Some(expected_crc)) =
+                (read_u32_at(bytes, pos), read_u32_at(bytes, pos + 4))
+            else {
+                break;
+            };
+            let payload_len = payload_len as usize;
             let body_start = pos + 8;
             let body_end = match body_start.checked_add(payload_len) {
                 Some(e) if e <= bytes.len() => e,
                 _ => break, // payload runs past end-of-file: torn final write
             };
-            let payload = &bytes[body_start..body_end];
+            let Some(payload) = bytes.get(body_start..body_end) else {
+                break; // unreachable given the bound check; stays panic-free
+            };
             if crc32(payload) != expected_crc {
                 if body_end == bytes.len() {
                     break; // damaged final record: torn tail, safe to truncate
@@ -482,6 +486,30 @@ mod tests {
         wal.append_commit(2).unwrap();
         let committed = wal.recover().unwrap();
         assert_eq!(committed.len(), 2);
+    }
+
+    #[test]
+    fn truncated_frame_header_is_a_torn_tail_not_a_panic() {
+        // Regression: the scan used to slice the 8-byte length/crc header
+        // with `expect`-backed indexing; a file ending partway through a
+        // frame header must recover cleanly, not panic.
+        let dir = tmpdir("torn-header");
+        let path = dir.join("wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(1, RecordKind::Begin, vec![]).unwrap();
+            wal.append(1, RecordKind::Op, b"keep me".to_vec()).unwrap();
+            wal.append_commit(1).unwrap();
+        }
+        // Half a frame header: 4 of the 8 length/crc bytes.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x10, 0x00, 0x00, 0x00]).unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        let committed = wal.recover().unwrap();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].1[0], b"keep me".to_vec());
     }
 
     fn flip_byte(path: &Path, offset: u64) {
