@@ -12,7 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # exceptions with `// neptune-lint: allow(rule): reason`.
 cargo run -q -p neptune-lint
 
-# Tier-1 gate: release build plus the whole workspace test suite.
+# Tier-1 gate: release build plus the whole workspace test suite. The
+# flight-recorder dump path is exported for the whole gate: any test that
+# installs the panic hook (the fault sweep does) writes the last traces to
+# TRACE_dump.json on failure, which CI uploads as an artifact.
+NEPTUNE_TRACE_DUMP="$PWD/TRACE_dump.json"
+export NEPTUNE_TRACE_DUMP
 cargo build --release
 cargo test --workspace
 
@@ -36,9 +41,13 @@ NEPTUNE_FAULT_SEED=0x5EED5 NEPTUNE_FAULT_OPS=120 \
 # NEPTUNE_BENCH_GUARD arms the regression floors (cache speedup >= 10x;
 # 8-vs-1 reader scaling >= min(cores,8)/2 x on multi-core runners — 4x on
 # 8 cores now that snapshot reads removed the single-RwLock ceiling —
-# batch amortization >= 1.1x on single-core ones; and pipelined reads
-# under an open foreign transaction at least match lockstep reads at
-# every reader count).
+# batch amortization >= 1.1x on single-core ones; pipelined reads under
+# an open foreign transaction >= 0.90x lockstep reads at every reader
+# count — the PR 7 floor of 1.0 minus the 5% causal-tracing allowance
+# from DESIGN.md §10 and smoke-run jitter, since the bench now runs with
+# the tracer on; and traced-vs-untraced cost on the lock-free read path
+# <= 1.15x). The measured overhead lands in the JSON under
+# "tracing_overhead", alongside two exemplar traces.
 NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
     NEPTUNE_BENCH_OUT="$PWD/BENCH_read_scaling.json" \
     cargo bench -p neptune-bench --bench read_scaling

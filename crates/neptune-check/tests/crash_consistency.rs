@@ -32,6 +32,17 @@ use neptune_ham::{Ham, Value};
 use neptune_storage::fault::{FaultKind, FaultVfs};
 use neptune_storage::testutil::XorShift;
 
+/// Arm the flight recorder for the sweep: every fault cell runs under a
+/// `check.cell` trace root (so the HAM/storage spans of the ops leading up
+/// to a failure are in the recorder), and a panicking assertion dumps the
+/// recorder to `NEPTUNE_TRACE_DUMP` (set by ci.sh / ci.yml) before the
+/// test harness unwinds.
+fn obs_cell(kind: FaultKind, at: u64) -> neptune_obs::LocalTrace {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(neptune_obs::install_panic_hook);
+    neptune_obs::local_root("check.cell", &format!("{kind} at {at}"))
+}
+
 fn seed() -> u64 {
     match std::env::var("NEPTUNE_FAULT_SEED") {
         Ok(s) => {
@@ -369,6 +380,7 @@ fn assert_clean(dir: &Path, what: &str) {
 /// Returns `None` once `at` is past every fault point (the run completed
 /// without injecting anything).
 fn fault_run(kind: FaultKind, at: u64) -> Option<()> {
+    let _trace = obs_cell(kind, at);
     let (ops, fps) = oracle();
     let s = seed();
     let dir = tmpdir(&format!("run-{kind}-{at}"));
@@ -535,6 +547,7 @@ fn checkpoint_crash_point_matrix() {
     for kind in FaultKind::ALL {
         let mut at = 0;
         loop {
+            let _trace = obs_cell(kind, at);
             let dir = tmpdir(&format!("ckpt-{kind}-{at}"));
             let vfs = FaultVfs::new();
             let mut ham = build_checkpoint_store(&dir, &vfs);

@@ -6,6 +6,7 @@ mod lock_order;
 mod metrics;
 mod panic_path;
 mod parse_path;
+mod span_parent;
 mod vfs_bypass;
 
 use crate::{Finding, SourceFile};
@@ -36,6 +37,10 @@ pub const ALL_RULES: &[(&str, &str)] = &[
         "rpc-histogram",
         "every Request variant is keyed to its exact name in Request::name() (the rpc latency histogram key) and classified in is_read_only()",
     ),
+    (
+        "span-parent",
+        "neptune-server/server.rs opens the request-scoped trace root (request_root) exactly once per request dispatch (DESIGN.md \u{a7}10)",
+    ),
 ];
 
 /// Run every rule applicable to `file`.
@@ -47,5 +52,6 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     findings.extend(parse_path::run(file));
     findings.extend(metrics::run_metric_name(file));
     findings.extend(metrics::run_rpc_histogram(file));
+    findings.extend(span_parent::run(file));
     findings
 }

@@ -1,0 +1,111 @@
+//! `span-parent`: the server creates the request-scoped root span exactly
+//! once per request.
+//!
+//! The causal trace tree (DESIGN.md §10) hangs every server-side span off
+//! one `request_root` guard created at the top of `execute` — it adopts the
+//! client's wire context (or originates a trace when there is none) and its
+//! drop order against the response write is what guarantees an in-process
+//! client sees the server's spans. A second call site would open a second
+//! root for the same request (splitting the tree and double-counting the
+//! RPC); zero call sites would silently detach every `span!` below the
+//! dispatch layer into per-thread orphan traces. Both regress silently —
+//! tests that look at *a* trace still pass — so the invariant is pinned
+//! here: `neptune-server/src/server.rs` mentions `request_root` exactly
+//! once outside of tests and comments.
+
+use crate::{Finding, Kind, SourceFile};
+
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    if file.crate_name != "neptune-server" || file.file_name != "server.rs" {
+        return Vec::new();
+    }
+    let sites: Vec<_> = file
+        .tokens
+        .iter()
+        .filter(|t| t.kind == Kind::Ident && t.text == "request_root")
+        .collect();
+    match sites.as_slice() {
+        [] => vec![Finding {
+            rule: "span-parent",
+            path: file.rel_path.clone(),
+            line: 1,
+            col: 1,
+            message: "server.rs never calls `request_root`: RPC dispatch must open the \
+                      request-scoped trace root exactly once, before executing the request \
+                      (DESIGN.md \u{a7}10)"
+                .to_string(),
+        }],
+        [_one] => Vec::new(),
+        [_first, extras @ ..] => extras
+            .iter()
+            .map(|t| Finding {
+                rule: "span-parent",
+                path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: "second `request_root` call site: a request must have exactly one \
+                          server-side trace root or its span tree splits (DESIGN.md \u{a7}10)"
+                    .to_string(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SourceFile;
+
+    #[test]
+    fn missing_root_is_reported_at_file_top() {
+        let file = SourceFile::parse(
+            "neptune-server",
+            "crates/neptune-server/src/server.rs",
+            "pub fn execute() {}\n",
+        );
+        let findings = super::run(&file);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("never calls"));
+    }
+
+    #[test]
+    fn a_root_only_in_tests_still_counts_as_missing() {
+        let file = SourceFile::parse(
+            "neptune-server",
+            "crates/neptune-server/src/server.rs",
+            "pub fn execute() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { let _r = request_root(None, \"x\"); }\n\
+             }\n",
+        );
+        assert_eq!(super::run(&file).len(), 1);
+    }
+
+    #[test]
+    fn comments_naming_the_function_do_not_count() {
+        let file = SourceFile::parse(
+            "neptune-server",
+            "crates/neptune-server/src/server.rs",
+            "// request_root is discussed here but the real call is below\n\
+             pub fn execute() { let _r = request_root(None, \"x\"); }\n",
+        );
+        assert!(super::run(&file).is_empty());
+    }
+
+    #[test]
+    fn other_files_and_crates_are_out_of_scope() {
+        let client = SourceFile::parse(
+            "neptune-server",
+            "crates/neptune-server/src/client.rs",
+            "pub fn call() {}\n",
+        );
+        assert!(super::run(&client).is_empty());
+        let elsewhere = SourceFile::parse(
+            "neptune-obs",
+            "crates/neptune-obs/src/server.rs",
+            "pub fn serve() {}\n",
+        );
+        assert!(super::run(&elsewhere).is_empty());
+    }
+}

@@ -59,6 +59,9 @@ fn violating_fixture_fires_every_rule_family() {
         ("rpc-histogram", "crates/neptune-server/src/proto.rs", 6),
         ("rpc-histogram", "crates/neptune-server/src/proto.rs", 6),
         ("rpc-histogram", "crates/neptune-server/src/proto.rs", 13),
+        // server.rs: a duplicate request_root call site (the extra one is
+        // reported; the first is the legitimate root).
+        ("span-parent", "crates/neptune-server/src/server.rs", 5),
         // bad_io.rs: `fs::write`, then `std::fs::File::open` (both the
         // `fs::` path and `File::` are reported).
         ("vfs-bypass", "crates/neptune-storage/src/bad_io.rs", 6),

@@ -1,0 +1,19 @@
+//! span-parent: exactly one request-scoped root per dispatch lints clean,
+//! including when tests open extra roots (stripped before the count).
+
+pub fn execute(context: Option<u64>, op: &str) {
+    let root = neptune_obs::trace_tree::request_root(context, op);
+    respond(op);
+    drop(root);
+}
+
+fn respond(_op: &str) {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_open_their_own_roots() {
+        let extra = request_root(None, "TestOnly");
+        drop(extra);
+    }
+}

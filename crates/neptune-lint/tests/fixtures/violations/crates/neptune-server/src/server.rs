@@ -1,0 +1,8 @@
+//! span-parent: a second server-side trace root for the same request.
+
+pub fn execute(context: Option<u64>) {
+    let root = request_root(context, "Ping");
+    let duplicate = request_root(context, "Ping");
+    drop(duplicate);
+    drop(root);
+}

@@ -17,6 +17,11 @@
 //!   [`trace::Subscriber`] (a human-readable event log, or a no-op), and
 //!   feeds the slow-op log gated by the `NEPTUNE_SLOW_OP_MS` environment
 //!   variable.
+//! * [`trace_tree`] + [`recorder`] — request-scoped *causal trace trees*
+//!   and the always-on flight recorder. A [`trace_tree::TraceContext`]
+//!   rides a thread-local; `span!` callsites automatically parent under
+//!   the active span; completed traces land in tail-sampled ring buffers
+//!   retaining the recent tail plus every slow/error trace.
 //! * [`render`] — a human-readable rendering of the registry (the shell's
 //!   `stats` command), with histogram buckets drawn as bars rather than raw
 //!   text exposition.
@@ -36,10 +41,18 @@
 
 pub mod lockcheck;
 pub mod metrics;
+pub mod recorder;
 pub mod render;
 pub mod trace;
+pub mod trace_tree;
 
 pub use metrics::{enabled, labeled, registry, Counter, Gauge, GaugeGuard, Histogram, Registry};
+pub use recorder::{dump_json, install_panic_hook, recorder, FlightRecorder};
 pub use trace::{
     set_slow_op_threshold, set_subscriber, LogSubscriber, Span, SpanEvent, Subscriber,
+};
+pub use trace_tree::{
+    annotate, current_context, current_trace_id, local_root, render_trace, render_trace_json,
+    request_root, tag_error, wire_scope, LocalTrace, SpanRecord, TraceContext, TraceRecord,
+    WireScope,
 };

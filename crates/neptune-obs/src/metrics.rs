@@ -186,6 +186,45 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) by locating the
+    /// log2 bucket holding the target rank and interpolating linearly
+    /// between its bounds. `None` when the histogram is empty. Values in
+    /// the `+Inf` bucket clamp to the last finite bound — the estimate is
+    /// a floor there, which the renderer marks.
+    pub fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += c;
+            if cumulative >= target {
+                let upper = match bucket_upper_bound(i) {
+                    Some(b) => b,
+                    // +Inf bucket: clamp to the last finite bound.
+                    None => return bucket_upper_bound(BUCKETS - 2),
+                };
+                let lower = if i == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(i - 1).unwrap_or(0).saturating_add(1)
+                };
+                // Linear interpolation by rank position within the bucket.
+                let into = (target - before) as f64 / c as f64;
+                let width = upper.saturating_sub(lower) as f64;
+                return Some(lower + (width * into) as u64);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 2)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -195,9 +234,29 @@ impl Histogram {
     }
 }
 
-/// Build a `family{key="value"}` metric key.
+/// Build a `family{key="value"}` metric key. The value is escaped per the
+/// Prometheus text exposition rules (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`), so the key is exactly the line a scraper will see.
 pub fn labeled(family: &str, key: &str, value: &str) -> String {
-    format!("{family}{{{key}=\"{value}\"}}")
+    if value.contains(['\\', '"', '\n']) {
+        format!("{family}{{{key}=\"{}\"}}", escape_label_value(value))
+    } else {
+        format!("{family}{{{key}=\"{value}\"}}")
+    }
+}
+
+/// Escape a label value for the Prometheus text exposition format.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The family part of a key (everything before the label set).

@@ -67,6 +67,18 @@ pub fn render_human(registry: &Registry) -> String {
             if count == 0 {
                 continue;
             }
+            // Estimated percentiles via log2-bucket interpolation; `~`
+            // marks them as estimates (exact only up to bucket granularity).
+            let quantiles: Vec<String> = [(50u32, 0.50f64), (95, 0.95), (99, 0.99)]
+                .iter()
+                .filter_map(|&(pct, q)| {
+                    h.quantile_estimate(q)
+                        .map(|v| format!("p{pct}~{}", fmt_mean(&key, v as f64)))
+                })
+                .collect();
+            if !quantiles.is_empty() {
+                out.push_str(&format!("    {}\n", quantiles.join("  ")));
+            }
             let buckets = h.bucket_counts();
             let max = buckets.iter().copied().max().unwrap_or(1).max(1);
             for (i, &bucket) in buckets.iter().enumerate() {
@@ -113,6 +125,32 @@ mod tests {
         assert!(text.contains('#'));
         // 5ms bucket bound renders with a unit, not raw ns.
         assert!(text.contains("ms"));
+        // Estimated percentiles are printed for non-empty histograms.
+        assert!(text.contains("p50~"), "{text}");
+        assert!(text.contains("p95~"), "{text}");
+        assert!(text.contains("p99~"), "{text}");
+    }
+
+    #[test]
+    fn percentile_line_tracks_distribution() {
+        let r = Registry::new(true);
+        let h = r.histogram("skew_ns");
+        for _ in 0..99 {
+            h.observe(100); // bucket le=127
+        }
+        h.observe(1_000_000); // one outlier ~1ms
+        let p50 = h.quantile_estimate(0.50).unwrap_or(0);
+        let p99 = h.quantile_estimate(0.99).unwrap_or(0);
+        assert!(
+            p50 <= 127,
+            "p50 estimate {p50} should sit in the low bucket"
+        );
+        assert!(p99 <= 127, "p99 rank 99 is still a 100ns sample, got {p99}");
+        let p100 = h.quantile_estimate(1.0).unwrap_or(0);
+        assert!(
+            (524_288..=1_048_575).contains(&p100),
+            "max falls in the outlier's bucket, got {p100}"
+        );
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct SpanEvent<'a> {
     pub detail: &'a str,
     /// How long the span was open.
     pub duration: Duration,
+    /// The trace this span belonged to, when one was active on the
+    /// emitting thread (see [`crate::trace_tree`]).
+    pub trace_id: Option<u64>,
 }
 
 /// Receives closed-span events. Implementations must be cheap or buffer
@@ -77,12 +80,16 @@ impl LogSubscriber {
 impl Subscriber for LogSubscriber {
     fn on_span(&self, event: &SpanEvent<'_>) {
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let trace = match event.trace_id {
+            Some(id) => format!(" t{id:016x}"),
+            None => String::new(),
+        };
         if event.detail.is_empty() {
-            let _ = writeln!(out, "[span] {} {:?}", event.name, event.duration);
+            let _ = writeln!(out, "[span]{trace} {} {:?}", event.name, event.duration);
         } else {
             let _ = writeln!(
                 out,
-                "[span] {} {:?} {}",
+                "[span]{trace} {} {:?} {}",
                 event.name, event.duration, event.detail
             );
         }
@@ -113,6 +120,12 @@ pub fn set_slow_op_threshold(threshold: Option<Duration>) {
     SLOW_NS.store(ns, Ordering::Relaxed);
 }
 
+/// The current slow-op threshold in nanoseconds (`u64::MAX` when off);
+/// shared with the flight recorder's tail-sampling retention decision.
+pub(crate) fn slow_threshold_ns() -> u64 {
+    slow_ns()
+}
+
 /// Whether span detail strings would be consumed by anyone right now.
 #[inline]
 pub fn detail_wanted() -> bool {
@@ -133,6 +146,7 @@ pub fn emit(name: &'static str, detail: &str, duration: Duration) {
                 name,
                 detail,
                 duration,
+                trace_id: crate::trace_tree::current_trace_id(),
             });
         }
     }
@@ -172,6 +186,9 @@ struct SpanInner {
     hist: &'static Histogram,
     detail: Option<String>,
     start: Instant,
+    // Present when a trace is active on this thread: the span's slot in
+    // the causal tree (see `trace_tree`).
+    trace: Option<crate::trace_tree::SpanHandle>,
 }
 
 impl Span {
@@ -188,7 +205,10 @@ impl Span {
         }
         let hist: &'static Histogram =
             cell.get_or_init(|| registry().histogram(&histogram_key(name)));
-        let detail = if detail_wanted() {
+        let trace = crate::trace_tree::enter_traced_span();
+        // Trace records keep the detail too, so an active trace forces the
+        // formatting that a subscriber or the slow-op log otherwise would.
+        let detail = if trace.is_some() || detail_wanted() {
             Some(detail.to_string())
         } else {
             None
@@ -199,6 +219,7 @@ impl Span {
                 hist,
                 detail,
                 start: Instant::now(),
+                trace,
             }),
         }
     }
@@ -209,8 +230,18 @@ impl Drop for Span {
         if let Some(inner) = self.inner.take() {
             let dur = inner.start.elapsed();
             inner.hist.observe_duration(dur);
-            if inner.detail.is_some() || detail_wanted() {
+            if detail_wanted() {
                 emit(inner.name, inner.detail.as_deref().unwrap_or(""), dur);
+            }
+            if let Some(handle) = inner.trace {
+                // Moves the formatted detail into the trace record rather
+                // than re-allocating it — this is the per-span hot path.
+                crate::trace_tree::exit_traced_span(
+                    handle,
+                    inner.name,
+                    inner.detail.unwrap_or_default(),
+                    dur,
+                );
             }
         }
     }

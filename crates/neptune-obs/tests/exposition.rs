@@ -1,0 +1,329 @@
+//! Prometheus text-exposition conformance: what `Registry::expose` emits
+//! must parse under the rules a real scraper applies — name charset, label
+//! escaping, one `# TYPE` per family preceding its contiguous samples,
+//! cumulative monotone buckets ending at `+Inf`, and `_count` agreement.
+//!
+//! The checks run against a registry built here (so the suite needs no
+//! fixtures) and, when the CI snapshot artifact exists, against the real
+//! server's exposition too.
+
+use std::collections::BTreeMap;
+
+use neptune_obs::metrics::{escape_label_value, labeled, Registry};
+
+/// One histogram series: family name plus its labels minus `le`.
+type SeriesKey = (String, Vec<(String, String)>);
+
+#[derive(Debug, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parse one exposition document the way a scraper would; panics with a
+/// descriptive message on any conformance violation.
+fn parse_and_check(text: &str) -> (BTreeMap<String, String>, Vec<Sample>) {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // Family name in first-sample order, to check contiguity.
+    let mut family_order: Vec<String> = Vec::new();
+    let mut samples = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut words = comment.split_whitespace();
+            assert_eq!(
+                words.next(),
+                Some("TYPE"),
+                "line {n}: unknown comment {line:?}"
+            );
+            let fam = words
+                .next()
+                .unwrap_or_else(|| panic!("line {n}: TYPE without family"));
+            let kind = words
+                .next()
+                .unwrap_or_else(|| panic!("line {n}: TYPE without kind"));
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "line {n}: bad metric kind {kind:?}"
+            );
+            assert!(
+                types.insert(fam.to_string(), kind.to_string()).is_none(),
+                "line {n}: duplicate TYPE for {fam}"
+            );
+            continue;
+        }
+        let sample = parse_sample(line).unwrap_or_else(|e| panic!("line {n}: {e}: {line:?}"));
+        // Bucket/sum/count samples belong to their base histogram family.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                sample
+                    .name
+                    .strip_suffix(s)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(&sample.name)
+            .to_string();
+        assert!(
+            types.contains_key(&family),
+            "line {n}: sample {} has no preceding # TYPE",
+            sample.name
+        );
+        match family_order.last() {
+            Some(last) if *last == family => {}
+            _ => {
+                assert!(
+                    !family_order.contains(&family),
+                    "line {n}: family {family} is not contiguous"
+                );
+                family_order.push(family);
+            }
+        }
+        samples.push(sample);
+    }
+
+    // Histogram invariants per series (family + labels minus `le`).
+    let mut buckets: BTreeMap<SeriesKey, Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, f64> = BTreeMap::new();
+    for s in &samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .unwrap_or_else(|| panic!("{} sample without le label", s.name))
+                    .1
+                    .clone();
+                let rest: Vec<_> = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                buckets
+                    .entry((base.to_string(), rest))
+                    .or_default()
+                    .push((le, s.value));
+            }
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                counts.insert((base.to_string(), s.labels.clone()), s.value);
+            }
+        }
+    }
+    for ((family, series), bs) in &buckets {
+        let mut prev = -1.0;
+        for (le, v) in bs {
+            assert!(
+                *v >= prev,
+                "{family}{series:?}: bucket le={le} count {v} < previous {prev}"
+            );
+            prev = *v;
+        }
+        let (last_le, last_v) = bs.last().unwrap();
+        assert_eq!(
+            last_le, "+Inf",
+            "{family}{series:?}: buckets must end at +Inf"
+        );
+        let count = counts
+            .get(&(family.clone(), series.clone()))
+            .unwrap_or_else(|| panic!("{family}{series:?}: no _count sample"));
+        assert_eq!(
+            last_v, count,
+            "{family}{series:?}: +Inf bucket disagrees with _count"
+        );
+    }
+    (types, samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line.find(['{', ' ']).ok_or("no name terminator")?;
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let rest = if line.as_bytes()[name_end] == b'{' {
+        let mut chars = line[name_end + 1..].char_indices().peekable();
+        let body_start = name_end + 1;
+        // Every loop exit either assigns the closing-brace offset or
+        // returns a parse error, so `close` is definitely initialized.
+        let close;
+        // Scan label pairs: key="value with \\ \" \n escapes",...
+        'pairs: loop {
+            let key_start = match chars.peek() {
+                Some(&(i, '}')) => {
+                    chars.next();
+                    close = body_start + i;
+                    break 'pairs;
+                }
+                Some(&(i, _)) => i,
+                None => return Err("unterminated label set".to_string()),
+            };
+            let mut key_end = key_start;
+            for (i, c) in chars.by_ref() {
+                if c == '=' {
+                    key_end = i;
+                    break;
+                }
+            }
+            let key = &line[body_start + key_start..body_start + key_end];
+            match chars.next() {
+                Some((_, '"')) => {}
+                other => return Err(format!("label {key:?} value not quoted: {other:?}")),
+            }
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        Some((_, 'n')) => value.push('\n'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    Some((_, '"')) => break,
+                    Some((_, c)) => value.push(c),
+                    None => return Err("unterminated label value".to_string()),
+                }
+            }
+            labels.push((key.to_string(), value));
+            match chars.next() {
+                Some((_, ',')) => {}
+                Some((i, '}')) => {
+                    close = body_start + i;
+                    break 'pairs;
+                }
+                other => return Err(format!("bad label separator {other:?}")),
+            }
+        }
+        &line[close + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let value: f64 = rest
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad value {rest:?}"))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+#[test]
+fn label_escaping_round_trips_through_the_parser() {
+    let raw = "quote \" backslash \\ newline \n done";
+    // `labeled` escapes internally via escape_label_value; the escaped form
+    // must be single-line or the whole document corrupts.
+    assert!(!escape_label_value(raw).contains('\n'));
+
+    let r = Registry::new(true);
+    r.counter(&labeled("esc_total", "op", raw)).inc();
+    let text = r.expose();
+    assert_eq!(text.lines().count(), 2, "{text}");
+    let (_, samples) = parse_and_check(&text);
+    assert_eq!(samples.len(), 1);
+    assert_eq!(samples[0].labels, vec![("op".to_string(), raw.to_string())]);
+    assert_eq!(samples[0].value, 1.0);
+}
+
+#[test]
+fn families_are_announced_once_ordered_and_contiguous() {
+    let r = Registry::new(true);
+    // Interleaved registration order; exposition must still group and sort.
+    r.counter(&labeled("zeta_total", "op", "b")).inc();
+    r.counter(&labeled("alpha_total", "op", "a")).add(2);
+    r.counter(&labeled("zeta_total", "op", "a")).inc();
+    r.gauge("midline").set(-3);
+    r.histogram(&labeled("lat_ns", "op", "x")).observe(100);
+    r.histogram(&labeled("lat_ns", "op", "y")).observe(5_000);
+
+    let text = r.expose();
+    let (types, samples) = parse_and_check(&text);
+    assert_eq!(
+        types.get("alpha_total").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(types.get("zeta_total").map(String::as_str), Some("counter"));
+    assert_eq!(types.get("midline").map(String::as_str), Some("gauge"));
+    assert_eq!(types.get("lat_ns").map(String::as_str), Some("histogram"));
+    // Counter families come out in sorted order (BTreeMap-backed).
+    let counter_names: Vec<&str> = samples
+        .iter()
+        .map(|s| s.name.as_str())
+        .filter(|n| n.ends_with("_total"))
+        .collect();
+    let mut sorted = counter_names.clone();
+    sorted.sort();
+    assert_eq!(counter_names, sorted);
+    // A negative gauge survives the round trip.
+    let mid = samples.iter().find(|s| s.name == "midline").unwrap();
+    assert_eq!(mid.value, -3.0);
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_monotone_and_agree_with_count() {
+    let r = Registry::new(true);
+    let h = r.histogram(&labeled("spread_ns", "op", "mix"));
+    for v in [1u64, 2, 3, 100, 100, 5_000_000, u64::MAX] {
+        h.observe(v);
+    }
+    // An empty histogram still exposes a well-formed +Inf/sum/count triple.
+    r.histogram(&labeled("spread_ns", "op", "idle"));
+    let (_, samples) = parse_and_check(&r.expose());
+    let count = samples
+        .iter()
+        .find(|s| s.name == "spread_ns_count" && s.labels == vec![("op".into(), "mix".into())])
+        .unwrap();
+    assert_eq!(count.value, 7.0);
+    let idle_inf = samples
+        .iter()
+        .find(|s| s.name == "spread_ns_bucket" && s.labels.contains(&("op".into(), "idle".into())))
+        .unwrap();
+    assert_eq!(
+        idle_inf.labels.iter().find(|(k, _)| k == "le").unwrap().1,
+        "+Inf"
+    );
+    assert_eq!(idle_inf.value, 0.0);
+}
+
+#[test]
+fn live_process_exposition_conforms() {
+    // Whatever this test process has recorded so far (other tests in the
+    // binary, background spans) must itself be conformant output.
+    neptune_obs::registry()
+        .counter("neptune_obs_exposition_selfcheck_total")
+        .inc();
+    let text = neptune_obs::registry().expose();
+    let (types, samples) = parse_and_check(&text);
+    assert!(!types.is_empty());
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "neptune_obs_exposition_selfcheck_total"));
+}
+
+#[test]
+fn ci_snapshot_artifact_conforms_when_present() {
+    // ci.sh saves the real server's exposition as METRICS_snapshot.prom;
+    // validate it when running after a CI pass, skip quietly otherwise.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("METRICS_snapshot.prom");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let (types, samples) = parse_and_check(&text);
+    assert!(types.contains_key("neptune_server_rpc_ns"), "{path:?}");
+    assert!(!samples.is_empty());
+}

@@ -19,7 +19,7 @@ use neptune_ham::value::Value;
 use neptune_storage::diff::Difference;
 
 use crate::frame::FrameBuf;
-use crate::proto::{Request, Response};
+use crate::proto::{ObsSetting, Request, Response, TracedRequest};
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -72,6 +72,13 @@ pub struct Client {
     frames: FrameBuf,
 }
 
+/// Maximum requests in flight during [`Client::pipeline`]: enough depth
+/// that round-trip latency is fully amortized, small enough that the
+/// worst-case response backlog (window × max node contents) stays well
+/// inside a default TCP receive buffer — see `pipeline` for the stall
+/// this bounds.
+pub const PIPELINE_WINDOW: usize = 4;
+
 macro_rules! expect {
     ($self:expr, $req:expr, $pat:pat => $out:expr, $name:literal) => {{
         match $self.call($req)? {
@@ -96,9 +103,24 @@ impl Client {
     }
 
     /// Send a raw request and wait for the response.
+    ///
+    /// Every call opens a `client.call` trace scope: if a trace is active
+    /// on this thread (a shell command, a test root) the request joins it,
+    /// otherwise the call originates its own. The scope's context rides
+    /// the wire as the [`TracedRequest`] extension so the server's spans
+    /// parent under this client span.
     pub fn call(&mut self, request: Request) -> Result<Response> {
-        self.frames.write_frame(&mut self.writer, &request)?;
-        Ok(self.frames.read_frame(&mut self.reader)?)
+        let mut scope = neptune_obs::wire_scope("client.call", request.name());
+        let traced = TracedRequest {
+            context: scope.context(),
+            request,
+        };
+        self.frames.write_frame(&mut self.writer, &traced)?;
+        let response: Response = self.frames.read_frame(&mut self.reader)?;
+        if matches!(response, Response::Error(_)) {
+            scope.tag_error();
+        }
+        Ok(response)
     }
 
     /// Send several requests as one `Request::Batch` frame.
@@ -116,20 +138,62 @@ impl Client {
         }
     }
 
-    /// Pipelined mode: queue every request's frame into the buffered
-    /// writer, flush once, then drain the responses in order.
+    /// Pipelined mode: keep up to [`PIPELINE_WINDOW`] requests in flight,
+    /// draining responses in order and topping the window back up in
+    /// half-window chunks (so request writes stay batched).
     ///
     /// Unlike [`Client::batch`], each request is still a separate server
     /// round of gate/lock work — pipelining only removes the
-    /// write→wait→read lockstep, keeping N requests in flight on the wire.
+    /// write→wait→read lockstep, keeping requests in flight on the wire.
+    ///
+    /// The window is bounded because writing *every* request before
+    /// reading any response lets the response backlog grow as N × response
+    /// size. Once that overruns the client's receive buffer, TCP closes
+    /// the window, and reopening it occasionally loses a kernel race and
+    /// waits out the ~200ms zero-window persist probe — observed as
+    /// intermittent 10x stalls of whole `pipelined/N` bench flights
+    /// (EXPERIMENTS.md E11, diagnosed with a causal trace: the server's
+    /// `server.rpc` span completes in microseconds mid-flight while
+    /// `client.call` waits 200ms+ for the response bytes). Four requests
+    /// in flight is empirically stall-free with 16KiB responses (windows
+    /// of 8 and 16 were not) and already amortizes the loopback round
+    /// trip completely — the bandwidth-delay product here is tiny.
     pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>> {
-        for request in requests {
-            self.frames.queue_frame(&mut self.writer, request)?;
-        }
-        std::io::Write::flush(&mut self.writer).map_err(neptune_storage::StorageError::from)?;
+        // One trace scope per in-flight request (scopes never occupy the
+        // thread-local span stack, so several may be open at once); scope
+        // i closes — recording the client span and finalizing its trace —
+        // as soon as response i is read.
+        let mut scopes = std::collections::VecDeque::with_capacity(PIPELINE_WINDOW);
         let mut responses = Vec::with_capacity(requests.len());
-        for _ in requests {
-            responses.push(self.frames.read_frame(&mut self.reader)?);
+        let mut pending = requests.iter();
+        loop {
+            if scopes.len() <= PIPELINE_WINDOW / 2 {
+                let mut queued = false;
+                while scopes.len() < PIPELINE_WINDOW {
+                    let Some(request) = pending.next() else { break };
+                    let scope = neptune_obs::wire_scope("client.call", request.name());
+                    let traced = TracedRequest {
+                        context: scope.context(),
+                        request: request.clone(),
+                    };
+                    self.frames.queue_frame(&mut self.writer, &traced)?;
+                    scopes.push_back(scope);
+                    queued = true;
+                }
+                if queued {
+                    std::io::Write::flush(&mut self.writer)
+                        .map_err(neptune_storage::StorageError::from)?;
+                }
+            }
+            let Some(mut scope) = scopes.pop_front() else {
+                break;
+            };
+            let response: Response = self.frames.read_frame(&mut self.reader)?;
+            if matches!(response, Response::Error(_)) {
+                scope.tag_error();
+            }
+            drop(scope);
+            responses.push(response);
         }
         Ok(responses)
     }
@@ -543,5 +607,24 @@ impl Client {
             Response::CacheStats { hits, misses, entries, bytes } =>
                 (hits, misses, entries, bytes),
             "CacheStats")
+    }
+
+    /// Snapshot the server's flight recorder: every retained trace
+    /// (recent tail plus slow/error traces), oldest first.
+    pub fn trace_dump(&mut self) -> Result<Vec<neptune_obs::TraceRecord>> {
+        expect!(self, Request::FlightDump, Response::Traces(ts) => ts, "Traces")
+    }
+
+    /// Fetch one retained trace from the server by id; `None` once it has
+    /// aged out of both recorder rings.
+    pub fn trace(&mut self, trace_id: u64) -> Result<Option<neptune_obs::TraceRecord>> {
+        expect!(self, Request::Trace { trace_id },
+            Response::Traces(ts) => ts.into_iter().next(), "Traces")
+    }
+
+    /// Adjust a server observability setting at runtime (slow-op
+    /// threshold, instrumentation kill-switch).
+    pub fn obs_control(&mut self, setting: ObsSetting) -> Result<()> {
+        expect!(self, Request::ObsControl { setting }, Response::Ok => (), "Ok")
     }
 }

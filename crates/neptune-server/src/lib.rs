@@ -22,5 +22,5 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use proto::{Request, Response};
+pub use proto::{ObsSetting, Request, Response, TracedRequest, TRACE_EXT_TAG};
 pub use server::{serve, serve_with, ServeOptions, ServerHandle};

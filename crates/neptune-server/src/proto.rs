@@ -15,6 +15,7 @@ use neptune_ham::types::{
     AttributeIndex, ContextId, LinkIndex, LinkPt, NodeIndex, Protections, Time, Version,
 };
 use neptune_ham::value::Value;
+use neptune_obs::{SpanRecord, TraceContext, TraceRecord};
 use neptune_storage::codec::{decode_seq, encode_seq, Decode, Encode, Reader, Writer};
 use neptune_storage::diff::Difference;
 use neptune_storage::error::{Result as StorageResult, StorageError};
@@ -64,6 +65,60 @@ fn decode_policy(r: &mut Reader<'_>) -> StorageResult<ConflictPolicy> {
         tag => {
             return Err(StorageError::InvalidTag {
                 context: "ConflictPolicy",
+                tag: tag as u64,
+            })
+        }
+    })
+}
+
+/// Tag prefixing a request frame that carries the trace-context extension
+/// (see [`TracedRequest`]). Deliberately *outside* the [`Request`] tag
+/// space: an old client never sends it (its frames start with a plain
+/// request tag and decode with no context), and an old server rejects it
+/// as an unknown tag rather than misparsing the payload.
+pub const TRACE_EXT_TAG: u8 = 43;
+
+/// A runtime-adjustable observability setting ([`Request::ObsControl`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsSetting {
+    /// Set the slow-op threshold in milliseconds; `None` disables both the
+    /// slow-op log and latency-based flight-recorder retention.
+    SlowOpMs(Option<u64>),
+    /// The instrumentation kill-switch: `false` turns every metric,
+    /// span, and trace site into a single relaxed atomic load.
+    Enabled(bool),
+}
+
+fn encode_obs_setting(s: ObsSetting, w: &mut Writer) {
+    match s {
+        ObsSetting::SlowOpMs(ms) => {
+            w.put_u8(0);
+            match ms {
+                Some(ms) => {
+                    w.put_bool(true);
+                    w.put_u64(ms);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        ObsSetting::Enabled(on) => {
+            w.put_u8(1);
+            w.put_bool(on);
+        }
+    }
+}
+
+fn decode_obs_setting(r: &mut Reader<'_>) -> StorageResult<ObsSetting> {
+    Ok(match r.get_u8()? {
+        0 => ObsSetting::SlowOpMs(if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        }),
+        1 => ObsSetting::Enabled(r.get_bool()?),
+        tag => {
+            return Err(StorageError::InvalidTag {
+                context: "ObsSetting",
                 tag: tag as u64,
             })
         }
@@ -409,6 +464,21 @@ pub enum Request {
     /// element per request, in order (per-element errors do not abort the
     /// rest). Transaction control and nested batches are rejected.
     Batch(Vec<Request>),
+    /// Snapshot the server's flight recorder: every retained trace
+    /// (recent tail plus slow/error traces), oldest first.
+    FlightDump,
+    /// Fetch one retained trace by id; answered with an empty
+    /// [`Response::Traces`] once the trace has aged out of both rings.
+    Trace {
+        /// The trace id to look up.
+        trace_id: u64,
+    },
+    /// Adjust an observability knob at runtime (slow-op threshold,
+    /// instrumentation kill-switch).
+    ObsControl {
+        /// The setting to change.
+        setting: ObsSetting,
+    },
 }
 
 impl Request {
@@ -448,7 +518,12 @@ impl Request {
             | Ping
             | Verify
             | CacheStats
-            | Metrics => true,
+            | Metrics
+            // The observability RPCs touch only process-global obs state,
+            // never the HAM: always safe on the shared path.
+            | FlightDump
+            | Trace { .. }
+            | ObsControl { .. } => true,
             AddNode { .. }
             | DeleteNode { .. }
             | AddLink { .. }
@@ -521,6 +596,9 @@ impl Request {
             CacheStats => "CacheStats",
             Metrics => "Metrics",
             Batch(..) => "Batch",
+            FlightDump => "FlightDump",
+            Trace { .. } => "Trace",
+            ObsControl { .. } => "ObsControl",
         }
     }
 }
@@ -595,6 +673,9 @@ pub enum Response {
     Metrics(String),
     /// Answers [`Request::Batch`]: one response per element, in order.
     Batch(Vec<Response>),
+    /// Retained traces from the flight recorder — the whole dump for
+    /// [`Request::FlightDump`], zero or one for [`Request::Trace`].
+    Traces(Vec<TraceRecord>),
 }
 
 impl Encode for Request {
@@ -922,6 +1003,16 @@ impl Encode for Request {
                 w.put_u8(42);
                 encode_seq(elements, w);
             }
+            // 43 is TRACE_EXT_TAG, reserved for the TracedRequest prefix.
+            FlightDump => w.put_u8(44),
+            Trace { trace_id } => {
+                w.put_u8(45);
+                w.put_u64(*trace_id);
+            }
+            ObsControl { setting } => {
+                w.put_u8(46);
+                encode_obs_setting(*setting, w);
+            }
         }
     }
 }
@@ -937,9 +1028,16 @@ impl Decode for Request {
 /// *during* decode bounds recursion depth against hostile deeply-nested
 /// payloads.
 fn decode_request(r: &mut Reader<'_>, allow_batch: bool) -> StorageResult<Request> {
+    let tag = r.get_u8()?;
+    decode_request_tag(r, tag, allow_batch)
+}
+
+/// Decode a request whose tag byte has already been consumed — the shape
+/// [`TracedRequest::decode`] needs after peeking for [`TRACE_EXT_TAG`].
+fn decode_request_tag(r: &mut Reader<'_>, tag: u8, allow_batch: bool) -> StorageResult<Request> {
     {
         use Request::*;
-        Ok(match r.get_u8()? {
+        Ok(match tag {
             0 => AddNode {
                 context: ContextId::decode(r)?,
                 keep_history: r.get_bool()?,
@@ -1127,6 +1225,13 @@ fn decode_request(r: &mut Reader<'_>, allow_batch: bool) -> StorageResult<Reques
                 }
                 Batch(elements)
             }
+            44 => FlightDump,
+            45 => Trace {
+                trace_id: r.get_u64()?,
+            },
+            46 => ObsControl {
+                setting: decode_obs_setting(r)?,
+            },
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "Request",
@@ -1134,6 +1239,66 @@ fn decode_request(r: &mut Reader<'_>, allow_batch: bool) -> StorageResult<Reques
                 })
             }
         })
+    }
+}
+
+/// A [`Request`] plus the optional trace-context extension the server's
+/// connection loop decodes.
+///
+/// Wire compatibility is by construction: an old client's frame starts
+/// directly with a `Request` tag and decodes here with `context: None` —
+/// the server then originates the trace itself. A new client prefixes the
+/// frame with [`TRACE_EXT_TAG`] followed by the context's `(trace_id,
+/// span_id)` pair, and the ordinary request after it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedRequest {
+    /// The caller's trace context, when the frame carried one.
+    pub context: Option<TraceContext>,
+    /// The request itself.
+    pub request: Request,
+}
+
+impl From<Request> for TracedRequest {
+    fn from(request: Request) -> TracedRequest {
+        TracedRequest {
+            context: None,
+            request,
+        }
+    }
+}
+
+impl Encode for TracedRequest {
+    fn encode(&self, w: &mut Writer) {
+        if let Some(ctx) = &self.context {
+            w.put_u8(TRACE_EXT_TAG);
+            w.put_u64(ctx.trace_id);
+            w.put_u64(ctx.span_id);
+        }
+        self.request.encode(w);
+    }
+}
+
+impl Decode for TracedRequest {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let tag = r.get_u8()?;
+        if tag == TRACE_EXT_TAG {
+            let trace_id = r.get_u64()?;
+            let span_id = r.get_u64()?;
+            let inner = r.get_u8()?;
+            Ok(TracedRequest {
+                context: Some(TraceContext {
+                    trace_id,
+                    span_id,
+                    parent: None,
+                }),
+                request: decode_request_tag(r, inner, true)?,
+            })
+        } else {
+            Ok(TracedRequest {
+                context: None,
+                request: decode_request_tag(r, tag, true)?,
+            })
+        }
     }
 }
 
@@ -1176,6 +1341,78 @@ fn encode_merge_report(m: &MergeReport, w: &mut Writer) {
     encode_seq(&m.nodes_deleted, w);
     encode_seq(&m.links_deleted, w);
     encode_seq(&m.conflicts, w);
+}
+
+// TraceRecord/SpanRecord live in neptune-obs, which knows nothing of the
+// storage codec (and the orphan rule bars implementing its traits here),
+// so the wire form is spelled out with helper functions.
+fn encode_span_record(s: &SpanRecord, w: &mut Writer) {
+    w.put_u64(s.span_id);
+    match s.parent {
+        Some(p) => {
+            w.put_bool(true);
+            w.put_u64(p);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_str(&s.name);
+    w.put_str(&s.detail);
+    w.put_u64(s.start_ns);
+    w.put_u64(s.duration_ns);
+}
+
+fn decode_span_record(r: &mut Reader<'_>) -> StorageResult<SpanRecord> {
+    Ok(SpanRecord {
+        span_id: r.get_u64()?,
+        parent: if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        },
+        name: r.get_str()?.to_owned(),
+        detail: r.get_str()?.to_owned(),
+        start_ns: r.get_u64()?,
+        duration_ns: r.get_u64()?,
+    })
+}
+
+fn encode_trace_record(t: &TraceRecord, w: &mut Writer) {
+    w.put_u64(t.trace_id);
+    w.put_str(&t.root_name);
+    w.put_str(&t.root_detail);
+    w.put_u64(t.total_ns);
+    w.put_bool(t.error);
+    w.put_u64(t.dropped_spans);
+    w.put_u64(t.seq);
+    w.put_u64(t.spans.len() as u64);
+    for s in &t.spans {
+        encode_span_record(s, w);
+    }
+}
+
+fn decode_trace_record(r: &mut Reader<'_>) -> StorageResult<TraceRecord> {
+    let trace_id = r.get_u64()?;
+    let root_name = r.get_str()?.to_owned();
+    let root_detail = r.get_str()?.to_owned();
+    let total_ns = r.get_u64()?;
+    let error = r.get_bool()?;
+    let dropped_spans = r.get_u64()?;
+    let seq = r.get_u64()?;
+    let count = r.get_u64()? as usize;
+    let mut spans = Vec::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        spans.push(decode_span_record(r)?);
+    }
+    Ok(TraceRecord {
+        trace_id,
+        root_name,
+        root_detail,
+        total_ns,
+        error,
+        dropped_spans,
+        seq,
+        spans,
+    })
 }
 
 fn decode_merge_report(r: &mut Reader<'_>) -> StorageResult<MergeReport> {
@@ -1313,6 +1550,13 @@ impl Encode for Response {
                 w.put_u8(23);
                 encode_seq(elements, w);
             }
+            Traces(ts) => {
+                w.put_u8(24);
+                w.put_u64(ts.len() as u64);
+                for t in ts {
+                    encode_trace_record(t, w);
+                }
+            }
         }
     }
 }
@@ -1378,6 +1622,14 @@ fn decode_response(r: &mut Reader<'_>, allow_batch: bool) -> StorageResult<Respo
                     elements.push(decode_response(r, false)?);
                 }
                 A::Batch(elements)
+            }
+            24 => {
+                let count = r.get_u64()? as usize;
+                let mut ts = Vec::with_capacity(count.min(r.remaining()));
+                for _ in 0..count {
+                    ts.push(decode_trace_record(r)?);
+                }
+                A::Traces(ts)
             }
             tag => {
                 return Err(StorageError::InvalidTag {
@@ -1632,5 +1884,123 @@ mod tests {
     fn bad_tags_rejected() {
         assert!(Request::from_bytes(&[99]).is_err());
         assert!(Response::from_bytes(&[99]).is_err());
+        // The trace-extension tag is not a Request tag: a plain decoder
+        // (an old server) rejects a prefixed frame rather than misparsing.
+        assert!(Request::from_bytes(&[TRACE_EXT_TAG]).is_err());
+    }
+
+    #[test]
+    fn obs_requests_roundtrip_and_classify() {
+        let requests = vec![
+            Request::FlightDump,
+            Request::Trace { trace_id: 0xdead },
+            Request::ObsControl {
+                setting: ObsSetting::SlowOpMs(Some(25)),
+            },
+            Request::ObsControl {
+                setting: ObsSetting::SlowOpMs(None),
+            },
+            Request::ObsControl {
+                setting: ObsSetting::Enabled(false),
+            },
+        ];
+        for req in requests {
+            let decoded = Request::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(decoded, req);
+            assert!(
+                req.is_read_only(),
+                "{} must take the shared path",
+                req.name()
+            );
+        }
+        assert_eq!(Request::FlightDump.name(), "FlightDump");
+        assert_eq!(Request::Trace { trace_id: 1 }.name(), "Trace");
+        assert_eq!(
+            Request::ObsControl {
+                setting: ObsSetting::Enabled(true)
+            }
+            .name(),
+            "ObsControl"
+        );
+    }
+
+    #[test]
+    fn traces_response_roundtrips() {
+        let resp = Response::Traces(vec![TraceRecord {
+            trace_id: 0xfeed,
+            root_name: "server.rpc".into(),
+            root_detail: "OpenNode".into(),
+            total_ns: 1_234_567,
+            error: true,
+            dropped_spans: 2,
+            seq: 9,
+            spans: vec![
+                SpanRecord {
+                    span_id: 11,
+                    parent: None,
+                    name: "server.rpc".into(),
+                    detail: "OpenNode".into(),
+                    start_ns: 0,
+                    duration_ns: 1_234_567,
+                },
+                SpanRecord {
+                    span_id: 12,
+                    parent: Some(11),
+                    name: "view.read_node".into(),
+                    detail: "ctx0 node3".into(),
+                    start_ns: 400,
+                    duration_ns: 1_000_000,
+                },
+            ],
+        }]);
+        assert_eq!(Response::from_bytes(&resp.to_bytes()).unwrap(), resp);
+        let empty = Response::Traces(vec![]);
+        assert_eq!(Response::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn traced_request_roundtrips_and_accepts_legacy_frames() {
+        // With a context: the extension prefix rides ahead of the request.
+        let traced = TracedRequest {
+            context: Some(TraceContext {
+                trace_id: 0xaaaa,
+                span_id: 0xbbbb,
+                parent: None,
+            }),
+            request: Request::Ping,
+        };
+        let decoded = TracedRequest::from_bytes(&traced.to_bytes()).unwrap();
+        assert_eq!(decoded, traced);
+
+        // Without a context the wire form IS the plain request encoding —
+        // byte-identical, so old servers keep accepting new no-context
+        // clients too.
+        let bare = TracedRequest::from(Request::Metrics);
+        assert_eq!(bare.to_bytes(), Request::Metrics.to_bytes());
+
+        // An old client's plain frame decodes with context: None.
+        let legacy = Request::OpenNode {
+            context: ContextId(0),
+            node: NodeIndex(1),
+            time: Time(0),
+            attrs: vec![],
+        };
+        let decoded = TracedRequest::from_bytes(&legacy.to_bytes()).unwrap();
+        assert_eq!(decoded.context, None);
+        assert_eq!(decoded.request, legacy);
+
+        // Batches decode through the traced path as well.
+        let traced_batch = TracedRequest {
+            context: Some(TraceContext {
+                trace_id: 7,
+                span_id: 8,
+                parent: None,
+            }),
+            request: Request::Batch(vec![Request::Ping, Request::CacheStats]),
+        };
+        assert_eq!(
+            TracedRequest::from_bytes(&traced_batch.to_bytes()).unwrap(),
+            traced_batch
+        );
     }
 }

@@ -44,7 +44,7 @@ use neptune_ham::{CommittedView, Ham, Published};
 use neptune_obs::lockcheck;
 
 use crate::frame::FrameBuf;
-use crate::proto::{Request, Response};
+use crate::proto::{ObsSetting, Request, Response, TracedRequest};
 
 /// How long a client waits for another client's transaction before its
 /// request fails with a lock-timeout error. This is a fixed deadline: the
@@ -250,6 +250,9 @@ pub fn serve_with(
     addr: impl Into<String>,
     options: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    // A panicking connection thread should leave its last traces behind
+    // (written to NEPTUNE_TRACE_DUMP when set) before the unwind proceeds.
+    neptune_obs::install_panic_hook();
     let listener = TcpListener::bind(addr.into())?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
@@ -333,7 +336,7 @@ fn handle_connection(
         if shared.shutdown.load(Ordering::SeqCst) {
             break Ok(());
         }
-        let request: Request = match frames.read_frame(&mut reader) {
+        let request: TracedRequest = match frames.read_frame(&mut reader) {
             Ok(r) => r,
             Err(neptune_storage::StorageError::Io(e))
                 if matches!(
@@ -350,6 +353,10 @@ fn handle_connection(
             }
             Err(e) => break Err(e),
         };
+        // `execute` drops the request's trace root before returning, so
+        // the server's segment is flushed before this response frame goes
+        // out — an in-process client that finalizes the trace after
+        // reading the response always sees the server's spans.
         let response = execute(&shared, conn_id, &mut conn, request);
         frames.write_frame(&mut writer, &response)?;
     }
@@ -428,16 +435,25 @@ fn observe_rpc(op: &'static str, elapsed: Duration, response: &Response) {
 
 /// [`execute_inner`]/[`execute_batch`] plus instrumentation: one
 /// `neptune_server_rpc_ns{op=<variant>}` observation per request (batches
-/// additionally record each element), an error counter, and slow-op
-/// visibility via the trace layer.
-fn execute(shared: &Shared, conn_id: u64, conn: &mut ConnState, request: Request) -> Response {
+/// additionally record each element), an error counter, slow-op visibility
+/// via the trace layer, and the request's causal-trace root span.
+fn execute(shared: &Shared, conn_id: u64, conn: &mut ConnState, traced: TracedRequest) -> Response {
+    let TracedRequest { context, request } = traced;
     let op = request.name();
+    // Exactly one root span per request (machine-checked by the
+    // `span-parent` lint): joins the client's trace when the frame carried
+    // a context, originates a server-side trace otherwise.
+    let root = neptune_obs::trace_tree::request_root(context, op);
     let start = Instant::now();
     let response = match request {
         Request::Batch(elements) => execute_batch(shared, conn_id, conn, elements),
         request => execute_inner(shared, conn_id, conn, request),
     };
     observe_rpc(op, start.elapsed(), &response);
+    if matches!(response, Response::Error(_)) {
+        neptune_obs::tag_error();
+    }
+    drop(root);
     response
 }
 
@@ -795,6 +811,9 @@ fn dispatch_read(view: &CommittedView, request: Request) -> std::result::Result<
             Q::Verify => A::Findings(neptune_check::verify_view(view)),
             Q::CacheStats => cache_stats_response(view.version_cache_stats()),
             Q::Metrics => metrics_response(view.version_cache_stats(), view.age()),
+            Q::FlightDump => flight_dump_response(),
+            Q::Trace { trace_id } => trace_response(trace_id),
+            Q::ObsControl { setting } => obs_control_response(setting),
             Q::AddNode { .. }
             | Q::DeleteNode { .. }
             | Q::AddLink { .. }
@@ -1089,6 +1108,9 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
             Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
             Q::CacheStats => cache_stats_response(ham.version_cache_stats()),
             Q::Metrics => metrics_response(ham.version_cache_stats(), ham.committed_view().age()),
+            Q::FlightDump => flight_dump_response(),
+            Q::Trace { trace_id } => trace_response(trace_id),
+            Q::ObsControl { setting } => obs_control_response(setting),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 // execute_inner consumes these before dispatch; degrade to
                 // an error rather than panicking if that routing changes.
@@ -1098,6 +1120,39 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
         })
     })();
     result_to_response(result)
+}
+
+/// Serve [`Request::FlightDump`]: snapshot every retained trace. Touches
+/// only process-global observability state (as do the two helpers below),
+/// so both dispatchers route here and neither needs the HAM.
+fn flight_dump_response() -> Response {
+    let traces = neptune_obs::recorder()
+        .dump()
+        .iter()
+        .map(|t| (**t).clone())
+        .collect();
+    Response::Traces(traces)
+}
+
+/// Serve [`Request::Trace`]: zero or one retained trace by id.
+fn trace_response(trace_id: u64) -> Response {
+    let traces = neptune_obs::recorder()
+        .find(trace_id)
+        .map(|t| (*t).clone())
+        .into_iter()
+        .collect();
+    Response::Traces(traces)
+}
+
+/// Serve [`Request::ObsControl`]: apply a runtime observability setting.
+fn obs_control_response(setting: ObsSetting) -> Response {
+    match setting {
+        ObsSetting::SlowOpMs(ms) => {
+            neptune_obs::set_slow_op_threshold(ms.map(Duration::from_millis));
+        }
+        ObsSetting::Enabled(on) => neptune_obs::registry().set_enabled(on),
+    }
+    Response::Ok
 }
 
 fn parse_pred(text: &str) -> neptune_ham::Result<Predicate> {

@@ -41,6 +41,9 @@ Neptune shell — commands:
   checkpoint                           fold the log into a snapshot
   check                                verify store integrity (fsck + lints)
   stats                                metrics registry (cachestats is an alias)
+  trace [--json] [id]                  flight recorder: recent & slow/error traces
+  obs set slow-op-ms <n|off>           adjust the slow-trace retention threshold
+  obs on|off                           observability kill-switch
   help                                 this text
   quit                                 leave
 ";
@@ -123,6 +126,8 @@ pub(crate) fn dispatch(shell: &mut Shell, command: &str, rest: &str) -> Result<S
         }
         "check" => cmd_check(shell),
         "stats" | "cachestats" => cmd_stats(shell),
+        "trace" => cmd_trace(rest),
+        "obs" => cmd_obs(rest),
         other => Err(ShellError::Usage(format!(
             "unknown command '{other}' — try 'help'"
         ))),
@@ -545,6 +550,95 @@ fn cmd_stats(shell: &mut Shell) -> Result<String> {
         out.push_str("(metrics registry disabled via NEPTUNE_OBS_DISABLED)\n");
     }
     Ok(out)
+}
+
+fn parse_trace_id(text: &str) -> Result<u64> {
+    let trimmed = text.trim();
+    let hex = trimmed.strip_prefix('t').unwrap_or(trimmed);
+    u64::from_str_radix(hex, 16)
+        .map_err(|_| ShellError::Usage(format!("'{text}' is not a trace id (t<hex>)")))
+}
+
+fn cmd_trace(rest: &str) -> Result<String> {
+    let mut json = false;
+    let mut id = None;
+    for word in rest.split_whitespace() {
+        if word == "--json" {
+            json = true;
+        } else {
+            id = Some(parse_trace_id(word)?);
+        }
+    }
+    if let Some(id) = id {
+        let Some(t) = neptune_obs::recorder().find(id) else {
+            return Ok(format!("trace t{id:016x} is not in the flight recorder\n"));
+        };
+        return Ok(if json {
+            let mut out = neptune_obs::render_trace_json(&t);
+            out.push('\n');
+            out
+        } else {
+            neptune_obs::render_trace(&t)
+        });
+    }
+    if json {
+        let mut out = neptune_obs::dump_json();
+        out.push('\n');
+        return Ok(out);
+    }
+    let traces = neptune_obs::recorder().dump();
+    if traces.is_empty() {
+        return Ok("flight recorder is empty\n".to_string());
+    }
+    let mut out = format!(
+        "flight recorder: {} trace(s) — 'trace <id>' for the span tree\n",
+        traces.len()
+    );
+    for t in &traces {
+        let flags = match (t.error, t.dropped_spans > 0) {
+            (true, true) => " [error, truncated]",
+            (true, false) => " [error]",
+            (false, true) => " [truncated]",
+            (false, false) => "",
+        };
+        out.push_str(&format!(
+            "  t{:016x}  {:>9.3}ms  {:>3} span(s)  {} {}{}\n",
+            t.trace_id,
+            t.total_ns as f64 / 1e6,
+            t.spans.len(),
+            t.root_name,
+            t.root_detail,
+            flags,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_obs(rest: &str) -> Result<String> {
+    const USAGE: &str = "obs set slow-op-ms <n|off> | obs on|off";
+    let mut words = rest.split_whitespace();
+    match (words.next(), words.next(), words.next()) {
+        (Some("on"), None, _) => {
+            neptune_obs::registry().set_enabled(true);
+            Ok("observability enabled\n".to_string())
+        }
+        (Some("off"), None, _) => {
+            neptune_obs::registry().set_enabled(false);
+            Ok("observability disabled (kill-switch)\n".to_string())
+        }
+        (Some("set"), Some("slow-op-ms"), Some("off")) => {
+            neptune_obs::set_slow_op_threshold(None);
+            Ok("slow-op retention disabled — only errors stay notable\n".to_string())
+        }
+        (Some("set"), Some("slow-op-ms"), Some(n)) => {
+            let ms: u64 = n
+                .parse()
+                .map_err(|_| ShellError::Usage(USAGE.to_string()))?;
+            neptune_obs::set_slow_op_threshold(Some(std::time::Duration::from_millis(ms)));
+            Ok(format!("slow-op threshold set to {ms}ms\n"))
+        }
+        _ => Err(ShellError::Usage(USAGE.to_string())),
+    }
 }
 
 fn cmd_refs(shell: &mut Shell, rest: &str) -> Result<String> {

@@ -94,7 +94,15 @@ impl Shell {
             Some((c, r)) => (c, r.trim()),
             None => (line, ""),
         };
-        crate::commands::dispatch(self, command, rest)
+        // Every command line is one trace: spans opened further down (HAM,
+        // storage, server calls from embedded clients) parent under this
+        // root, and the completed trace lands in the flight recorder.
+        let _root = neptune_obs::local_root("shell.command", command);
+        let result = crate::commands::dispatch(self, command, rest);
+        if !matches!(result, Ok(_) | Err(ShellError::Quit)) {
+            neptune_obs::tag_error();
+        }
+        result
     }
 
     pub(crate) fn current_node(&self) -> Result<NodeIndex> {

@@ -200,9 +200,56 @@ fn read_command_times_batched_reads() {
         shell.execute("read --batch zero"),
         Err(ShellError::Usage(_))
     ));
-    // stats surfaces the wire-traffic counters (zero in-process).
+    // stats surfaces the wire-traffic counters (zero in-process) — unless a
+    // parallel test flipped the global kill-switch, in which case it says so.
     let stats = shell.execute("stats").unwrap();
-    if neptune_obs::enabled() {
-        assert!(stats.contains("bytes in"), "{stats}");
-    }
+    assert!(
+        stats.contains("bytes in") || stats.contains("disabled"),
+        "{stats}"
+    );
+}
+
+#[test]
+fn trace_and_obs_commands_drive_the_flight_recorder() {
+    let mut shell = fresh("trace");
+    run(&mut shell, &["new", "edit traced line", "cat"]);
+    // Each completed command line above is one trace in the recorder.
+    let listing = shell.execute("trace").unwrap();
+    assert!(listing.contains("shell.command"), "{listing}");
+    // Pull an id back out of the listing and render its span tree.
+    let id = listing
+        .split_whitespace()
+        .find(|w| w.len() == 17 && w.starts_with('t'))
+        .expect("listing shows trace ids")
+        .to_string();
+    let tree = shell.execute(&format!("trace {id}")).unwrap();
+    assert!(tree.contains("shell.command"), "{tree}");
+    let json = shell.execute(&format!("trace --json {id}")).unwrap();
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    let all_json = shell.execute("trace --json").unwrap();
+    assert!(all_json.trim_start().starts_with('['), "{all_json}");
+    // Unknown ids are messages, malformed ids are usage errors.
+    assert!(shell
+        .execute("trace t00000000000000ff")
+        .unwrap()
+        .contains("not in the flight recorder"));
+    assert!(matches!(
+        shell.execute("trace nonsense"),
+        Err(ShellError::Usage(_))
+    ));
+    // Runtime obs controls: threshold and kill-switch round-trip.
+    assert!(shell
+        .execute("obs set slow-op-ms 250")
+        .unwrap()
+        .contains("250ms"));
+    assert!(shell
+        .execute("obs set slow-op-ms off")
+        .unwrap()
+        .contains("disabled"));
+    assert!(shell.execute("obs off").unwrap().contains("disabled"));
+    assert!(shell.execute("obs on").unwrap().contains("enabled"));
+    assert!(matches!(
+        shell.execute("obs bogus"),
+        Err(ShellError::Usage(_))
+    ));
 }

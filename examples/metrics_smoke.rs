@@ -72,13 +72,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(1);
     }
     // One required family per layer, plus the layer counters the workload
-    // must have moved.
+    // must have moved. The obs families prove the causal tracer ran: every
+    // RPC above finalized a trace into the flight recorder.
     let required = [
         "neptune_server_rpc_ns",
         "neptune_ham_op_ns",
         "neptune_storage_op_ns",
         "neptune_ham_txn_commits_total",
         "neptune_storage_vcache_misses_total",
+        "neptune_obs_traces_recorded_total",
+        "neptune_obs_trace_ns",
+        "neptune_obs_trace_spans_total",
     ];
     let mut failed = false;
     for family in required {
