@@ -52,6 +52,18 @@ NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
     NEPTUNE_BENCH_OUT="$PWD/BENCH_read_scaling.json" \
     cargo bench -p neptune-bench --bench read_scaling
 
+# Smoke-run the history-depth bench (hierarchical skip ladder over deep
+# version histories): leaves BENCH_history_depth.json at the repo root.
+# NEPTUNE_BENCH_GUARD arms the sublinear-checkout floors: cold checkout at
+# depth 10^5 within 4x of depth 10^3 in both wall time and mean replay
+# depth on the same run, absolute mean replay depth at 10^5 <= 150 deltas
+# (linear would be ~10^5), the uncached linear baseline >= 10x worse than
+# the ladder, and the anchor-cache byte gauge within its per-archive
+# budget under the adversarial access stride.
+NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
+    NEPTUNE_BENCH_OUT="$PWD/BENCH_history_depth.json" \
+    cargo bench -p neptune-bench --bench history_depth
+
 # Observability smoke: scripted workload over the wire, then a Metrics RPC.
 # Exits non-zero if the exposition is empty or a required family never
 # moved; leaves METRICS_snapshot.prom at the repo root.

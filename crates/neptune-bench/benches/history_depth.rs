@@ -1,0 +1,376 @@
+//! History depth: sublinear historical checkout over deep version
+//! histories.
+//!
+//! The flat every-16th keyframe scheme this PR replaced made cold
+//! checkout cost grow linearly with history depth: version `v` of an
+//! `n`-version archive cost `O(n - v)` backward-delta applications on a
+//! fresh process. The hierarchical skip ladder (log-spaced skip-deltas at
+//! 16/256/4096/65536-version strides, persisted with the archive) bounds
+//! any checkout to `O(log n)` applications instead. This bench proves the
+//! bound empirically and guards it against regression:
+//!
+//! 1. **Depth axis.** Archives of 10^3..10^5 versions (10^6 added outside
+//!    smoke mode) are checked out under four access patterns: `head_local`
+//!    (versions within 16 of head), `uniform_random` (any version, warm
+//!    anchor cache), `cold_oldest` (anchor cache cleared every iteration,
+//!    then the oldest version — the worst case a fresh process sees), and
+//!    `adversarial_alternating` (a golden-ratio stride that bounces
+//!    between distant regions to defeat anchor-cache locality).
+//! 2. **Logarithmic replay depth.** The per-bench delta of the
+//!    `neptune_storage_delta_replay_depth` histogram gives the mean number
+//!    of delta applications per checkout. With the ladder it is ~25 at
+//!    both 10^3 and 10^5 (the guard requires the ratio stay <= 4x and the
+//!    absolute depth stay far below linear).
+//! 3. **Linear baseline.** `uncached_linear` runs `checkout_uncached` on
+//!    the oldest version — the pre-ladder unit-delta walk — and must be
+//!    demonstrably worse at depth 10^5.
+//! 4. **Bounded anchor memory.** The `neptune_storage_index_anchor_bytes`
+//!    gauge must stay within the per-archive byte budget however
+//!    adversarial the access pattern.
+//!
+//! Results land in `BENCH_history_depth.json` (or `NEPTUNE_BENCH_OUT`);
+//! with `NEPTUNE_BENCH_GUARD` set the derived ratios become hard floors
+//! and the process exits nonzero on regression.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Duration;
+
+use neptune_bench::harness::{BenchResult, Criterion};
+use neptune_storage::archive::{Archive, DEFAULT_ANCHOR_BUDGET};
+use neptune_storage::testutil::XorShift;
+
+/// History depths exercised in smoke mode; `FULL_DEPTH` joins outside it.
+const DEPTHS: [usize; 3] = [1_000, 10_000, 100_000];
+const FULL_DEPTH: usize = 1_000_000;
+/// The guard compares this depth pair (the acceptance criterion: cost at
+/// 10^5 within 4x of 10^3 on the same run).
+const GUARD_LO: usize = 1_000;
+const GUARD_HI: usize = 100_000;
+/// `checkout_uncached` applies one delta per version walked, so the linear
+/// baseline is capped here to keep full (non-smoke) runs bounded.
+const UNCACHED_MAX_DEPTH: usize = 100_000;
+
+/// Contents for version `v`: three short lines of which exactly one
+/// varies, so every consecutive (and every skip-level) delta is a single
+/// line replacement and the bench measures ladder traversal, not diff
+/// size.
+fn version_text(v: u64) -> Vec<u8> {
+    format!(
+        "neptune history bench: stable preamble shared by every version\n\
+         version {v} distinct marker payload line\n\
+         stable trailing line shared by every version\n"
+    )
+    .into_bytes()
+}
+
+/// Build an archive with versions at times `1..=n` (eager skip rungs are
+/// laid down at every boundary during checkin, as real stores do).
+fn build_archive(n: usize) -> Archive {
+    let mut a = Archive::new(version_text(1), 1);
+    for v in 2..=n as u64 {
+        a.checkin(version_text(v), v).expect("checkin");
+    }
+    a
+}
+
+fn bench_depth(c: &mut Criterion, archive: &Archive, n: usize) {
+    let n64 = n as u64;
+    let mut group = c.benchmark_group(format!("history_depth_{n}"));
+    let mut rng = XorShift::new(0xD5EED ^ n64);
+
+    group.bench_function("head_local", |b| {
+        b.iter(|| {
+            let t = n64 - rng.below(16);
+            black_box(archive.checkout(t).expect("checkout").len())
+        });
+    });
+    group.bench_function("uniform_random", |b| {
+        b.iter(|| {
+            let t = 1 + rng.below(n64);
+            black_box(archive.checkout(t).expect("checkout").len())
+        });
+    });
+    // Worst case for a fresh process: no materialized anchors at all, then
+    // the version farthest from the stored head.
+    group.bench_function("cold_oldest", |b| {
+        b.iter(|| {
+            archive.clear_anchors();
+            black_box(archive.checkout(1).expect("checkout").len())
+        });
+    });
+    // Golden-ratio stride: successive targets land far apart, so anchor
+    // reuse is minimal and the byte-bounded cache churns constantly.
+    let mut tick = 0u64;
+    group.bench_function("adversarial_alternating", |b| {
+        b.iter(|| {
+            tick = tick.wrapping_add(1);
+            let t = 1 + tick.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n64;
+            black_box(archive.checkout(t).expect("checkout").len())
+        });
+    });
+    // The pre-ladder behavior: unit backward deltas from head all the way
+    // down. Cost is O(n) per call by construction.
+    if n <= UNCACHED_MAX_DEPTH {
+        group.bench_function("uncached_linear", |b| {
+            b.iter(|| black_box(archive.checkout_uncached(1).expect("checkout").len()));
+        });
+    }
+    group.finish();
+}
+
+fn find<'a>(results: &'a [BenchResult], needle: &str) -> Option<&'a BenchResult> {
+    results.iter().find(|r| r.label.contains(needle))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// `(ns_per_iter, mean replay depth)` for one depth/pattern series. The
+/// mean comes from the per-bench delta of the replay-depth histogram the
+/// archive maintains on every checkout.
+fn series(results: &[BenchResult], n: usize, pattern: &str) -> (f64, f64) {
+    let Some(r) = find(results, &format!("history_depth_{n}/{pattern}")) else {
+        return (0.0, 0.0);
+    };
+    let get = |k: &str| r.metrics.get(k).copied().unwrap_or(0.0);
+    let count = get("neptune_storage_delta_replay_depth_count");
+    let mean = if count > 0.0 {
+        get("neptune_storage_delta_replay_depth_sum") / count
+    } else {
+        0.0
+    };
+    (r.ns_per_iter, mean)
+}
+
+struct Derived {
+    cold_ns_ratio: f64,
+    cold_depth_ratio: f64,
+    cold_depth_hi: f64,
+    uncached_vs_hier: f64,
+    anchor_bytes: f64,
+    live_archives: usize,
+}
+
+fn write_report(c: &Criterion, archives: &[(usize, Archive)]) -> Derived {
+    let results = c.results();
+    let mut out = String::from("{\n  \"bench\": \"history_depth\",\n");
+    out.push_str(&format!(
+        "  \"smoke\": {},\n",
+        neptune_bench::harness::smoke_mode()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let metrics = r
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v:.1}", json_escape(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}, \"metrics\": {{{metrics}}}}}{}\n",
+            json_escape(&r.label),
+            r.ns_per_iter,
+            r.iterations,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"derived\": {\n");
+
+    // Per-depth summary: cold-checkout cost, mean replay depth, the linear
+    // baseline, and the persisted index's size relative to the delta chain.
+    out.push_str("    \"per_depth\": {\n");
+    for (i, (n, archive)) in archives.iter().enumerate() {
+        let (cold_ns, cold_depth) = series(results, *n, "cold_oldest");
+        let (uncached_ns, uncached_depth) = series(results, *n, "uncached_linear");
+        let storage = archive.storage_bytes().max(1);
+        out.push_str(&format!(
+            "      \"{n}\": {{\"cold_ns\": {cold_ns:.1}, \"cold_mean_replay_depth\": \
+             {cold_depth:.1}, \"uncached_ns\": {uncached_ns:.1}, \
+             \"uncached_mean_replay_depth\": {uncached_depth:.1}, \
+             \"skip_count\": {}, \"anchor_bytes\": {}, \
+             \"index_overhead_ratio\": {:.4}}}{}\n",
+            archive.skip_count(),
+            archive.anchor_bytes(),
+            archive.index_bytes() as f64 / storage as f64,
+            if i + 1 < archives.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    },\n");
+
+    let (lo_ns, lo_depth) = series(results, GUARD_LO, "cold_oldest");
+    let (hi_ns, hi_depth) = series(results, GUARD_HI, "cold_oldest");
+    let (uncached_hi_ns, _) = series(results, GUARD_HI, "uncached_linear");
+    let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+    let derived = Derived {
+        cold_ns_ratio: ratio(hi_ns, lo_ns),
+        cold_depth_ratio: ratio(hi_depth, lo_depth),
+        cold_depth_hi: hi_depth,
+        uncached_vs_hier: ratio(uncached_hi_ns, hi_ns),
+        anchor_bytes: {
+            let snapshot = neptune_obs::registry().flat_snapshot();
+            snapshot
+                .get("neptune_storage_index_anchor_bytes")
+                .copied()
+                .unwrap_or(0.0)
+        },
+        live_archives: archives.len(),
+    };
+    let snapshot = neptune_obs::registry().flat_snapshot();
+    let flat = |key: &str| snapshot.get(key).copied().unwrap_or(0.0);
+    out.push_str(&format!(
+        "    \"cold_ns_ratio_{GUARD_HI}_vs_{GUARD_LO}\": {:.2},\n",
+        derived.cold_ns_ratio
+    ));
+    out.push_str(&format!(
+        "    \"cold_replay_depth_ratio_{GUARD_HI}_vs_{GUARD_LO}\": {:.2},\n",
+        derived.cold_depth_ratio
+    ));
+    out.push_str(&format!(
+        "    \"uncached_vs_hierarchical_{GUARD_HI}\": {:.1},\n",
+        derived.uncached_vs_hier
+    ));
+    out.push_str(&format!(
+        "    \"anchor_bytes_gauge\": {:.0},\n",
+        derived.anchor_bytes
+    ));
+    out.push_str(&format!(
+        "    \"anchor_budget_per_archive\": {DEFAULT_ANCHOR_BUDGET},\n"
+    ));
+    out.push_str(&format!(
+        "    \"index_hits_total\": {:.0},\n",
+        flat("neptune_storage_index_hits_total")
+    ));
+    let levels_count = flat("neptune_storage_index_levels_depth_count");
+    let mean_levels = if levels_count > 0.0 {
+        flat("neptune_storage_index_levels_depth_sum") / levels_count
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "    \"mean_skip_levels_used\": {mean_levels:.2}\n"
+    ));
+    out.push_str("  }\n}\n");
+
+    let path = std::env::var("NEPTUNE_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_history_depth.json".to_string());
+    let mut file = std::fs::File::create(&path).expect("create bench report");
+    file.write_all(out.as_bytes()).expect("write bench report");
+    println!("wrote {path}");
+    println!(
+        "cold checkout at depth {GUARD_HI} vs {GUARD_LO}: {:.2}x time, {:.2}x replay depth \
+         ({:.1} vs {:.1} deltas applied)",
+        derived.cold_ns_ratio, derived.cold_depth_ratio, hi_depth, lo_depth
+    );
+    println!(
+        "linear uncached baseline at depth {GUARD_HI}: {:.0}x slower than hierarchical",
+        derived.uncached_vs_hier
+    );
+    println!(
+        "anchor cache occupancy: {:.0} bytes across {} archives (budget {} each)",
+        derived.anchor_bytes, derived.live_archives, DEFAULT_ANCHOR_BUDGET
+    );
+    derived
+}
+
+/// Regression floors for CI smoke runs (`NEPTUNE_BENCH_GUARD` set).
+///
+/// The acceptance criterion for the skip ladder is that cold checkout at
+/// depth 10^5 costs within 4x of depth 10^3 *on the same run* — both in
+/// wall time and in the replay-depth histogram, which is timing-noise
+/// immune (the theoretical walk is ~25 applications at either depth, so
+/// 4x leaves slack without admitting a linear term: linear would be
+/// ~100x). The absolute ceiling catches a ladder that silently stopped
+/// being built (a pure-ratio guard would pass if *both* depths degraded
+/// to linear). The uncached floor proves the baseline really is worse —
+/// i.e. the bench is measuring the ladder, not a trivial workload — and
+/// the anchor-bytes ceiling proves eviction keeps the cache inside its
+/// per-archive budget even under the adversarial stride.
+fn guard(d: &Derived) {
+    if std::env::var("NEPTUNE_BENCH_GUARD").map_or(true, |v| v.is_empty()) {
+        return;
+    }
+    let mut failed = false;
+    if d.cold_ns_ratio > 4.0 {
+        eprintln!(
+            "GUARD FAIL: cold_ns_ratio_{GUARD_HI}_vs_{GUARD_LO} = {:.2} > 4.0",
+            d.cold_ns_ratio
+        );
+        failed = true;
+    }
+    if d.cold_depth_ratio > 4.0 {
+        eprintln!(
+            "GUARD FAIL: cold_replay_depth_ratio_{GUARD_HI}_vs_{GUARD_LO} = {:.2} > 4.0",
+            d.cold_depth_ratio
+        );
+        failed = true;
+    }
+    if d.cold_depth_hi > 150.0 {
+        eprintln!(
+            "GUARD FAIL: cold mean replay depth at {GUARD_HI} = {:.1} > 150 \
+             (logarithmic bound lost; linear would be ~{GUARD_HI})",
+            d.cold_depth_hi
+        );
+        failed = true;
+    }
+    if d.uncached_vs_hier < 10.0 {
+        eprintln!(
+            "GUARD FAIL: uncached_vs_hierarchical_{GUARD_HI} = {:.1} < 10 \
+             (linear baseline should be dramatically worse than the ladder)",
+            d.uncached_vs_hier
+        );
+        failed = true;
+    }
+    let ceiling = (d.live_archives * DEFAULT_ANCHOR_BUDGET) as f64;
+    if d.anchor_bytes > ceiling {
+        eprintln!(
+            "GUARD FAIL: anchor_bytes_gauge = {:.0} > {:.0} \
+             ({} archives x {} byte budget); eviction is not holding",
+            d.anchor_bytes, ceiling, d.live_archives, DEFAULT_ANCHOR_BUDGET
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "bench guard passed (cold {:.2}x time / {:.2}x depth at {GUARD_HI} vs {GUARD_LO}, \
+         uncached {:.0}x worse, anchors {:.0}B <= {:.0}B)",
+        d.cold_ns_ratio, d.cold_depth_ratio, d.uncached_vs_hier, d.anchor_bytes, ceiling
+    );
+}
+
+fn main() {
+    // Start from zeroed counters so the emitted snapshot reflects this run
+    // only (the registry is process-global).
+    neptune_obs::registry().reset();
+    let mut criterion = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+
+    let mut depths: Vec<usize> = DEPTHS.to_vec();
+    if !neptune_bench::harness::smoke_mode() {
+        depths.push(FULL_DEPTH);
+    }
+    // Archives stay alive until after the report so the anchor-occupancy
+    // gauge still reflects the benched caches when the guard reads it.
+    let mut archives: Vec<(usize, Archive)> = Vec::new();
+    for &n in &depths {
+        let start = std::time::Instant::now();
+        let archive = build_archive(n);
+        println!(
+            "built {n}-version archive in {:.2}s ({} skip rungs, {} index bytes)",
+            start.elapsed().as_secs_f64(),
+            archive.skip_count(),
+            archive.index_bytes()
+        );
+        archives.push((n, archive));
+    }
+    for (n, archive) in &archives {
+        bench_depth(&mut criterion, archive, *n);
+    }
+    let derived = write_report(&criterion, &archives);
+    guard(&derived);
+}

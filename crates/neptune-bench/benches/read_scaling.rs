@@ -6,8 +6,8 @@
 //! `NEPTUNE_BENCH_OUT`):
 //!
 //! 1. **Deep-history checkout.** Opening a version `k` steps back replays
-//!    `k` backward deltas; the materialization cache (plus archive
-//!    keyframes) turns repeated access into a cache hit. Measured with the
+//!    `k` backward deltas; the materialization cache (plus the archive's
+//!    skip ladder) turns repeated access into a cache hit. Measured with the
 //!    cache disabled (full replay) and enabled, at depth 100.
 //! 2. **Zero-copy cache hits.** With `Arc<[u8]>` contents a cache hit is a
 //!    refcount bump, not a memcpy, so hit cost must stay near-flat from

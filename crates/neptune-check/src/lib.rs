@@ -44,8 +44,8 @@ use neptune_storage::{Result as StorageResult, StorageError};
 /// Re-exported rule names for the in-memory invariants (see
 /// [`neptune_ham::invariants`]).
 pub use neptune_ham::invariants::{
-    RULE_CONTEXT_PARTITION, RULE_DANGLING_ENDPOINT, RULE_DELTA_CHAIN, RULE_DEMON_DEAD_ATTR,
-    RULE_LINK_OFFSET, RULE_NON_MONOTONIC_HISTORY,
+    RULE_ARCHIVE_INDEX, RULE_CONTEXT_PARTITION, RULE_DANGLING_ENDPOINT, RULE_DELTA_CHAIN,
+    RULE_DEMON_DEAD_ATTR, RULE_LINK_OFFSET, RULE_NON_MONOTONIC_HISTORY,
 };
 
 /// Rule name: the snapshot file is missing, has a bad header, or fails its
@@ -135,6 +135,9 @@ impl From<neptune_ham::invariants::Violation> for Finding {
     fn from(v: neptune_ham::invariants::Violation) -> Finding {
         let severity = match v.rule {
             RULE_DEMON_DEAD_ATTR => Severity::Warning,
+            // Anchors are derived data: checkout falls back to unit-delta
+            // replay and rebuilds the rung, so contents are never wrong.
+            RULE_ARCHIVE_INDEX => Severity::Warning,
             _ => Severity::Error,
         };
         Finding {

@@ -5,7 +5,7 @@ use std::path::Path;
 use neptune_ham::ham::{Ham, SNAPSHOT_FILE, WAL_FILE};
 use neptune_ham::invariants;
 use neptune_storage::checksum::crc32;
-use neptune_storage::snapshot::SNAPSHOT_MAGIC;
+use neptune_storage::snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_MAGIC_V1};
 use neptune_storage::wal::WAL_MAGIC;
 
 use crate::{Finding, Severity, RULE_SNAPSHOT_CHECKSUM, RULE_STORE_UNOPENABLE, RULE_WAL_CHECKSUM};
@@ -43,7 +43,12 @@ fn scan_snapshot(directory: &Path, findings: &mut Vec<Finding>) {
         }
     };
     let header_len = SNAPSHOT_MAGIC.len() + 8 + 4;
-    if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+    // Both snapshot format versions share the header layout; v1 stores
+    // (pre-index archives) stay verifiable without migration.
+    let known_magic = bytes.len() >= SNAPSHOT_MAGIC.len()
+        && (&bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC
+            || &bytes[..SNAPSHOT_MAGIC_V1.len()] == SNAPSHOT_MAGIC_V1);
+    if bytes.len() < header_len || !known_magic {
         findings.push(Finding::new(
             Severity::Critical,
             RULE_SNAPSHOT_CHECKSUM,

@@ -5,8 +5,8 @@
 use std::path::PathBuf;
 
 use neptune_check::{
-    verify_store, Severity, RULE_CONTEXT_PARTITION, RULE_DELTA_CHAIN, RULE_LINK_OFFSET,
-    RULE_SNAPSHOT_CHECKSUM, RULE_STORE_UNOPENABLE, RULE_WAL_CHECKSUM,
+    verify_store, Severity, RULE_ARCHIVE_INDEX, RULE_CONTEXT_PARTITION, RULE_DELTA_CHAIN,
+    RULE_LINK_OFFSET, RULE_SNAPSHOT_CHECKSUM, RULE_STORE_UNOPENABLE, RULE_WAL_CHECKSUM,
 };
 use neptune_ham::demons::{DemonSpec, Event};
 use neptune_ham::ham::{Ham, SNAPSHOT_FILE, WAL_FILE};
@@ -215,6 +215,80 @@ fn flipped_delta_length_breaks_the_chain() {
         .expect("delta-chain finding");
     assert_eq!(broken.severity, Severity::Error);
     assert!(broken.detail.contains("64"), "{broken}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_persisted_anchor_is_caught_and_recovery_replays_around_it() {
+    let dir = tmpdir("anchor-flip");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+    let (n, mut t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    // 40 versions, each a unique line sharing nothing with its neighbors,
+    // so every back-delta (and every persisted skip rung) carries the full
+    // literal of its target version.
+    let mut versions: Vec<(Time, Vec<u8>)> = Vec::new();
+    for i in 0..40 {
+        let contents =
+            format!("version {i:03} totally distinct marker payload line\n").into_bytes();
+        t = ham
+            .modify_node(MAIN_CONTEXT, n, t, contents.clone(), &[])
+            .unwrap();
+        versions.push((t, contents));
+    }
+    ham.checkpoint().unwrap();
+    drop(ham);
+
+    // Every version literal appears once in the unit delta chain (or, for
+    // the newest, as the stored head); a second occurrence can only be a
+    // persisted skip rung in the archive's index blob, appended after the
+    // canonical fields. Tamper the middle of that second occurrence — the
+    // rung decodes fine but fails its checksum on application.
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut payload = read_snapshot(&path).unwrap();
+    let (tampered_at, literal) = versions
+        .iter()
+        .find_map(|(time, contents)| {
+            let hits: Vec<usize> = payload
+                .windows(contents.len())
+                .enumerate()
+                .filter(|(_, w)| *w == contents.as_slice())
+                .map(|(i, _)| i)
+                .collect();
+            (hits.len() >= 2).then(|| (*time, (contents.clone(), hits[1])))
+        })
+        .expect("some version literal must be persisted in a skip rung");
+    let (contents, hit) = literal;
+    payload[hit + contents.len() / 2] ^= 0x01;
+    write_snapshot(&path, &payload).unwrap();
+
+    let findings = verify_store(&dir);
+    let anchor = findings
+        .iter()
+        .find(|f| f.rule == RULE_ARCHIVE_INDEX)
+        .expect("archive-index finding");
+    assert_eq!(
+        anchor.severity,
+        Severity::Warning,
+        "anchors are derived data: a bad rung warns, it is not fatal"
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == RULE_STORE_UNOPENABLE),
+        "a corrupt anchor must never make the store unopenable, got {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == RULE_DELTA_CHAIN),
+        "the unit delta chain itself is intact, got {findings:?}"
+    );
+
+    // Recovery falls back to unit-delta replay: the historical read at the
+    // tampered version still returns the exact original bytes.
+    let (mut ham, _, _) = Ham::open_existing(&dir).unwrap();
+    let opened = ham.open_node(MAIN_CONTEXT, n, tampered_at, &[]).unwrap();
+    assert_eq!(opened.contents.as_ref(), contents.as_slice());
+    for (time, expected) in &versions {
+        let opened = ham.open_node(MAIN_CONTEXT, n, *time, &[]).unwrap();
+        assert_eq!(opened.contents.as_ref(), expected.as_slice());
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

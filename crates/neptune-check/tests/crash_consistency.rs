@@ -585,6 +585,94 @@ fn checkpoint_crash_point_matrix() {
     }
 }
 
+/// Satellite: sweep the anchor-persistence I/O. A node with a deep history
+/// persists its skip-delta ladder inside the snapshot payload; fault every
+/// I/O step of the checkpoint that rewrites it and assert that a torn
+/// anchor write never makes the store unopenable and never changes
+/// recovered contents (anchors are derived data — the unit delta chain is
+/// the source of truth, and the fingerprint reads every version of every
+/// node through the recovered archive).
+#[test]
+fn anchor_persistence_checkpoint_fault_sweep() {
+    fn build_deep_store(dir: &Path, vfs: &FaultVfs) -> (Ham, NodeIndex) {
+        let (mut ham, _, _) =
+            Ham::create_graph_with(Arc::new(vfs.clone()), dir, Protections::DEFAULT).unwrap();
+        let (n, mut t) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+        // 34 versions: deep enough for two level-0 skip rungs (span 16).
+        for i in 0..34 {
+            t = ham
+                .modify_node(
+                    MAIN_CONTEXT,
+                    n,
+                    t,
+                    format!("deep history version {i}\n").into_bytes(),
+                    &[],
+                )
+                .unwrap();
+        }
+        // First checkpoint persists the ladder; the swept checkpoint below
+        // must atomically replace it.
+        ham.checkpoint().unwrap();
+        for i in 34..38 {
+            t = ham
+                .modify_node(
+                    MAIN_CONTEXT,
+                    n,
+                    t,
+                    format!("deep history version {i}\n").into_bytes(),
+                    &[],
+                )
+                .unwrap();
+        }
+        (ham, n)
+    }
+
+    for kind in FaultKind::ALL {
+        let mut at = 0;
+        loop {
+            let _trace = obs_cell(kind, at);
+            let dir = tmpdir(&format!("anchor-{kind}-{at}"));
+            let vfs = FaultVfs::new();
+            let (mut ham, node) = build_deep_store(&dir, &vfs);
+            let before = fingerprint(&ham);
+            vfs.arm(kind, at);
+            let r = ham.checkpoint();
+            drop(ham);
+            if vfs.injected() == 0 {
+                r.unwrap_or_else(|e| panic!("{kind}: clean checkpoint failed: {e}"));
+                // The clean run must actually exercise persisted anchors.
+                let (ham, _, _) = Ham::open_existing(&dir).unwrap();
+                let skips = ham
+                    .graph(MAIN_CONTEXT)
+                    .unwrap()
+                    .node(node)
+                    .unwrap()
+                    .archive()
+                    .expect("deep node is an archive")
+                    .skip_count();
+                assert!(skips > 0, "{kind}: snapshot should carry skip rungs");
+                drop(ham);
+                let _ = std::fs::remove_dir_all(&dir);
+                break;
+            }
+            let (wham, _, _) = Ham::open_existing(&dir).unwrap_or_else(|e| {
+                panic!("{kind} at {at}: torn anchor write made the store unopenable: {e}")
+            });
+            assert_eq!(fingerprint(&wham), before, "{kind} at {at}: working tree");
+            drop(wham);
+            vfs.power_off();
+            vfs.materialize_durable(&dir).unwrap();
+            assert_clean(&dir, &format!("anchor sweep {kind} at {at}"));
+            let (dham, _, _) = Ham::open_existing(&dir)
+                .unwrap_or_else(|e| panic!("{kind} at {at}: durable image failed to reopen: {e}"));
+            assert_eq!(fingerprint(&dham), before, "{kind} at {at}: durable image");
+            drop(dham);
+            let _ = std::fs::remove_dir_all(&dir);
+            at += 1;
+        }
+    }
+}
+
 // ===========================================================================
 // Ordering-bug regressions
 // ===========================================================================

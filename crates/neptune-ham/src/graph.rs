@@ -12,7 +12,7 @@ use neptune_storage::error::Result as StorageResult;
 use crate::attributes::{AttrMap, AttributeTable, ObjKind, ValueIndex};
 use crate::demons::DemonTable;
 use crate::error::{HamError, Result};
-use crate::history::Versioned;
+use crate::history::{TemporalIndex, Versioned};
 use crate::link::Link;
 use crate::node::Node;
 use crate::pmap::Pam;
@@ -42,11 +42,13 @@ pub struct HamGraph {
     pub graph_demons: DemonTable,
     graph_versions: Vec<Version>,
     value_index: ValueIndex,
+    temporal_index: TemporalIndex,
 }
 
 impl PartialEq for HamGraph {
     fn eq(&self, other: &Self) -> bool {
-        // The value index is derived state; compare canonical state only.
+        // The value and temporal indexes are derived state; compare
+        // canonical state only.
         self.project_id == other.project_id
             && self.created == other.created
             && self.clock == other.clock
@@ -75,6 +77,7 @@ impl HamGraph {
             graph_demons: DemonTable::new(),
             graph_versions: vec![Version::new(Time(1), "graph created")],
             value_index: ValueIndex::new(),
+            temporal_index: TemporalIndex::new(),
         }
     }
 
@@ -177,6 +180,7 @@ impl HamGraph {
         let id = NodeIndex(self.next_node);
         self.next_node += 1;
         self.nodes.insert(id.0, Node::new(id, now, keep_history));
+        self.temporal_index.record_node(now, id.0);
         (id, now)
     }
 
@@ -185,6 +189,7 @@ impl HamGraph {
         self.set_clock(now);
         self.next_node = self.next_node.max(id.0 + 1);
         self.nodes.insert(id.0, Node::new(id, now, keep_history));
+        self.temporal_index.record_node(now, id.0);
     }
 
     /// Delete a node: records its death and that of every incident link
@@ -247,6 +252,7 @@ impl HamGraph {
         let from_node = link.from.node;
         let to_node = link.to.node;
         self.links.insert(id.0, link);
+        self.temporal_index.record_link(now, id.0);
         if let Some(n) = self.nodes.get_mut(from_node.0) {
             n.attach_link(id);
             n.record_minor(now, "link added");
@@ -425,14 +431,18 @@ impl HamGraph {
         }
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
+        // Historical scan, pruned by the temporal index: objects created
+        // after `time` cannot carry a value at `time`.
         let node_vals = self
-            .nodes
-            .values()
+            .nodes_created_by(time)
+            .into_iter()
+            .filter_map(|id| self.nodes.get(id.0))
             .filter(|n| n.exists_at(time))
             .filter_map(|n| n.attrs.get(attr, time));
         let link_vals = self
-            .links
-            .values()
+            .links_created_by(time)
+            .into_iter()
+            .filter_map(|id| self.links.get(id.0))
             .filter(|l| l.exists_at(time))
             .filter_map(|l| l.attrs.get(attr, time));
         for v in node_vals.chain(link_vals) {
@@ -492,6 +502,7 @@ impl HamGraph {
         self.clock = time.0;
         self.next_node = self.nodes.keys().map(|n| n + 1).max().unwrap_or(1);
         self.next_link = self.links.keys().map(|l| l + 1).max().unwrap_or(1);
+        self.temporal_index.truncate_after(time);
         self.rebuild_value_index();
     }
 
@@ -514,6 +525,48 @@ impl HamGraph {
         }
         self.value_index = index;
     }
+
+    /// Rebuild the derived temporal index from canonical creation times.
+    pub fn rebuild_temporal_index(&mut self) {
+        let nodes = self.nodes.values().map(|n| (n.created, n.id.0)).collect();
+        let links = self.links.values().map(|l| (l.created, l.id.0)).collect();
+        self.temporal_index = TemporalIndex::from_records(nodes, links);
+    }
+
+    /// The temporal-index accelerator (query planner hook).
+    pub fn temporal_index(&self) -> &TemporalIndex {
+        &self.temporal_index
+    }
+
+    /// Candidate nodes for a read at `time`: every node created at or
+    /// before `time` (for `CURRENT`, every node). A conservative superset —
+    /// callers still filter with `exists_at` — but it skips objects the
+    /// clock proves cannot exist yet, so deep-history graphs answer
+    /// historical queries without probing every archive ever created.
+    pub fn nodes_created_by(&self, time: Time) -> Vec<NodeIndex> {
+        let ids = self.temporal_index.nodes_created_by(time);
+        observe_temporal_pruned(self.temporal_index.len().0 - ids.len());
+        ids.into_iter().map(NodeIndex).collect()
+    }
+
+    /// Candidate links for a read at `time`; see [`Self::nodes_created_by`].
+    pub fn links_created_by(&self, time: Time) -> Vec<LinkIndex> {
+        let ids = self.temporal_index.links_created_by(time);
+        observe_temporal_pruned(self.temporal_index.len().1 - ids.len());
+        ids.into_iter().map(LinkIndex).collect()
+    }
+}
+
+/// Count objects a historical read skipped thanks to the temporal index.
+fn observe_temporal_pruned(pruned: usize) {
+    if pruned == 0 || !neptune_obs::enabled() {
+        return;
+    }
+    static PRUNED: std::sync::OnceLock<std::sync::Arc<neptune_obs::Counter>> =
+        std::sync::OnceLock::new();
+    PRUNED
+        .get_or_init(|| neptune_obs::registry().counter("neptune_ham_temporal_pruned_total"))
+        .add(pruned as u64);
 }
 
 impl Encode for HamGraph {
@@ -572,8 +625,10 @@ impl Decode for HamGraph {
             graph_demons: DemonTable::decode(r)?,
             graph_versions: decode_seq(r)?,
             value_index: ValueIndex::new(),
+            temporal_index: TemporalIndex::new(),
         };
         graph.rebuild_value_index();
+        graph.rebuild_temporal_index();
         Ok(graph)
     }
 }

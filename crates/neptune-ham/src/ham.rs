@@ -1386,8 +1386,9 @@ impl Ham {
     }
 
     /// Enable or disable the version-materialization cache. Disabling also
-    /// makes historical reads bypass archive keyframes, giving the true
-    /// full-replay baseline; it drops all cached entries.
+    /// makes historical reads bypass the archive's temporal index (skip
+    /// ladder and anchors), giving the true full-replay baseline; it drops
+    /// all cached entries.
     pub fn set_version_cache_enabled(&self, enabled: bool) {
         self.lock_vcache().set_enabled(enabled);
     }

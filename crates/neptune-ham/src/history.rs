@@ -146,6 +146,106 @@ impl<T> Versioned<T> {
     }
 }
 
+/// A derived creation-time index over the graph's nodes and links: two
+/// time-sorted lists of `(created, id)` pairs. Because the graph's version
+/// clock is monotone, an object created after `t` cannot exist at `t`, so
+/// whole-graph historical reads (`getGraphQuery`, attribute queries at time
+/// `t`) can restrict themselves to the `created <= t` prefix instead of
+/// probing every archive ever created — the graph-level half of the
+/// temporal index (DeltaGraph-style retrieval; the per-archive half lives
+/// in `neptune_storage::archive`).
+///
+/// The index is *conservative*: it may list an object that does not exist
+/// at `t` (deleted, or an id reused across a forced re-insert), but never
+/// misses one that does. Consumers still filter with `exists_at`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TemporalIndex {
+    nodes_by_created: Vec<(Time, u64)>,
+    links_by_created: Vec<(Time, u64)>,
+}
+
+fn insert_sorted(list: &mut Vec<(Time, u64)>, time: Time, id: u64) {
+    match list.last() {
+        // Normal case: the clock is monotone, so records append.
+        Some(&(last, _)) if last > time => {
+            let pos = list.partition_point(|&(t, _)| t <= time);
+            list.insert(pos, (time, id));
+        }
+        _ => list.push((time, id)),
+    }
+}
+
+/// Ids in the `created <= time` prefix of a sorted list.
+fn created_by(list: &[(Time, u64)], time: Time) -> Vec<u64> {
+    let end = if time.is_current() {
+        list.len()
+    } else {
+        list.partition_point(|&(t, _)| t <= time)
+    };
+    list[..end].iter().map(|&(_, id)| id).collect()
+}
+
+impl TemporalIndex {
+    /// An empty index.
+    pub fn new() -> TemporalIndex {
+        TemporalIndex::default()
+    }
+
+    /// Rebuild from unsorted `(created, id)` records (snapshot decode,
+    /// rollback recovery).
+    pub fn from_records(mut nodes: Vec<(Time, u64)>, mut links: Vec<(Time, u64)>) -> TemporalIndex {
+        nodes.sort_unstable();
+        links.sort_unstable();
+        TemporalIndex {
+            nodes_by_created: nodes,
+            links_by_created: links,
+        }
+    }
+
+    /// Record a node creation.
+    pub fn record_node(&mut self, time: Time, id: u64) {
+        insert_sorted(&mut self.nodes_by_created, time, id);
+    }
+
+    /// Record a link creation.
+    pub fn record_link(&mut self, time: Time, id: u64) {
+        insert_sorted(&mut self.links_by_created, time, id);
+    }
+
+    /// Ids of every node created at or before `time` (unordered by id; may
+    /// contain duplicates when an id was reused across a rollback).
+    pub fn nodes_created_by(&self, time: Time) -> Vec<u64> {
+        created_by(&self.nodes_by_created, time)
+    }
+
+    /// Ids of every link created at or before `time`.
+    pub fn links_created_by(&self, time: Time) -> Vec<u64> {
+        created_by(&self.links_by_created, time)
+    }
+
+    /// Total recorded creations, `(nodes, links)`.
+    pub fn len(&self) -> (usize, usize) {
+        (self.nodes_by_created.len(), self.links_by_created.len())
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes_by_created.is_empty() && self.links_by_created.is_empty()
+    }
+
+    /// Drop every record newer than `time` (rollback support).
+    pub fn truncate_after(&mut self, time: Time) {
+        self.nodes_by_created.retain(|&(t, _)| t <= time);
+        self.links_by_created.retain(|&(t, _)| t <= time);
+    }
+
+    /// Clear the index.
+    pub fn clear(&mut self) {
+        self.nodes_by_created.clear();
+        self.links_by_created.clear();
+    }
+}
+
 impl<T: Encode> Encode for Versioned<T> {
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.entries.len() as u64);
@@ -265,6 +365,35 @@ mod tests {
         let v = Versioned::with_initial(Time(3), 7u64);
         assert_eq!(v.get_at(Time(3)), Some(&7));
         assert_eq!(v.get_at(Time(2)), None);
+    }
+
+    #[test]
+    fn temporal_index_prefixes_by_creation_time() {
+        let mut ix = TemporalIndex::new();
+        ix.record_node(Time(2), 1);
+        ix.record_node(Time(5), 2);
+        ix.record_link(Time(7), 1);
+        ix.record_node(Time(9), 3);
+        assert_eq!(ix.nodes_created_by(Time(1)), Vec::<u64>::new());
+        assert_eq!(ix.nodes_created_by(Time(5)), vec![1, 2]);
+        assert_eq!(ix.nodes_created_by(Time::CURRENT), vec![1, 2, 3]);
+        assert_eq!(ix.links_created_by(Time(6)), Vec::<u64>::new());
+        assert_eq!(ix.links_created_by(Time(8)), vec![1]);
+    }
+
+    #[test]
+    fn temporal_index_tolerates_out_of_order_and_truncates() {
+        let mut ix = TemporalIndex::new();
+        ix.record_node(Time(5), 2);
+        // Forced WAL replays can insert behind the newest record; the
+        // index must stay sorted.
+        ix.record_node(Time(2), 1);
+        assert_eq!(ix.nodes_created_by(Time(3)), vec![1]);
+        ix.record_node(Time(9), 3);
+        ix.truncate_after(Time(5));
+        assert_eq!(ix.nodes_created_by(Time::CURRENT), vec![1, 2]);
+        ix.clear();
+        assert!(ix.is_empty());
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub const RULE_NON_MONOTONIC_HISTORY: &str = "non-monotonic-history";
 /// Rule name: a mark-node demon references an attribute name that is not
 /// (or is no longer) in the attribute table.
 pub const RULE_DEMON_DEAD_ATTR: &str = "demon-dead-attr";
+/// Rule name: a persisted archive skip-delta (temporal-index anchor)
+/// disagrees with the unit delta chain. Derived data — checkout falls back
+/// to unit replay and heals the rung — so this warns rather than errors.
+pub const RULE_ARCHIVE_INDEX: &str = "archive-index";
 
 /// One violated invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +107,13 @@ pub fn graph_violations(ctx: ContextId, graph: &HamGraph) -> Vec<Violation> {
             if let Err(detail) = archive.verify_chain() {
                 out.push(Violation {
                     rule: RULE_DELTA_CHAIN,
+                    entity: entity.clone(),
+                    detail,
+                });
+            }
+            if let Err(detail) = archive.verify_index() {
+                out.push(Violation {
+                    rule: RULE_ARCHIVE_INDEX,
                     entity: entity.clone(),
                     detail,
                 });

@@ -219,8 +219,12 @@ impl Encode for Node {
         self.alive.encode(w);
         match &self.contents {
             NodeContents::Archive(a) => {
-                w.put_u8(0);
-                a.encode(w);
+                // Tag 2 is the v2 archive layout: canonical chain plus the
+                // persisted skip ladder, so reopened stores keep sublinear
+                // cold checkout. Tag 0 (ladder-less v1) is still decoded for
+                // read compatibility; the next checkpoint re-encodes as v2.
+                w.put_u8(2);
+                a.encode_with_index(w);
             }
             NodeContents::File { data, time } => {
                 w.put_u8(1);
@@ -248,6 +252,7 @@ impl Decode for Node {
                 data: r.get_bytes()?.into(),
                 time: Time::decode(r)?,
             },
+            2 => NodeContents::Archive(Archive::decode_with_index(r)?),
             tag => {
                 return Err(neptune_storage::StorageError::InvalidTag {
                     context: "NodeContents",
@@ -364,5 +369,45 @@ mod tests {
 
         let f = Node::new(NodeIndex(9), Time(1), false);
         assert_eq!(Node::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn v2_encoding_carries_the_archive_index() {
+        let mut n = Node::new(NodeIndex(10), Time(1), true);
+        for i in 0..40u64 {
+            n.modify(format!("draft {i}\n").into_bytes(), Time(i + 2), "edit")
+                .unwrap();
+        }
+        assert!(n.archive().unwrap().skip_count() > 0);
+        let decoded = Node::from_bytes(&n.to_bytes()).unwrap();
+        assert_eq!(decoded, n);
+        assert_eq!(
+            decoded.archive().unwrap().skip_count(),
+            n.archive().unwrap().skip_count(),
+            "the skip ladder must survive the node encoding"
+        );
+    }
+
+    #[test]
+    fn legacy_v1_archive_tag_still_decodes() {
+        let mut n = Node::new(NodeIndex(11), Time(1), true);
+        n.modify(b"v2 contents".to_vec(), Time(2), "edit").unwrap();
+        // Re-encode by hand with the pre-index tag 0 layout, as a store
+        // written before the format bump would contain.
+        let mut w = Writer::new();
+        n.id.encode(&mut w);
+        n.created.encode(&mut w);
+        n.alive.encode(&mut w);
+        w.put_u8(0);
+        n.archive().unwrap().encode(&mut w);
+        n.attrs.encode(&mut w);
+        n.demons.encode(&mut w);
+        n.protections.encode(&mut w);
+        encode_seq(&n.incident_links, &mut w);
+        encode_seq(&n.major_versions, &mut w);
+        encode_seq(&n.minor_versions, &mut w);
+        let decoded = Node::from_bytes(&w.into_bytes()).unwrap();
+        assert_eq!(decoded, n, "v1 nodes must decode identically");
+        assert_eq!(decoded.archive().unwrap().skip_count(), 0);
     }
 }

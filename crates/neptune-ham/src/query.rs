@@ -205,7 +205,11 @@ pub fn get_graph_query(
                 None => Vec::new(),
             }
         }
-        _ => graph.nodes().map(|n| n.id).collect(),
+        // No usable index hint: candidates are every node the temporal
+        // index says was created by `time` (all of them for CURRENT) —
+        // historical queries over deep graphs skip objects that postdate
+        // the asked time instead of probing every archive.
+        _ => graph.nodes_created_by(time),
     };
     query_from_candidates(
         graph, candidates, time, node_pred, link_pred, node_attrs, link_attrs,
@@ -248,7 +252,16 @@ fn query_from_candidates(
                 .push((id, node_values(graph, id, time, node_attrs)));
         }
     }
-    for link in graph.links() {
+    // Links, pruned by creation time like the nodes above; result order is
+    // by link index, so sort (the temporal index yields creation order and
+    // may repeat an id reused across a rollback).
+    let mut link_ids = graph.links_created_by(time);
+    link_ids.sort_unstable();
+    link_ids.dedup();
+    for id in link_ids {
+        let Ok(link) = graph.link(id) else {
+            continue;
+        };
         if !link.exists_at(time) {
             continue;
         }
@@ -459,6 +472,28 @@ mod tests {
         assert_eq!(now.nodes.len(), 1);
         let before = get_graph_query(&g, t_before, &pred, &Predicate::True, &[], &[]).unwrap();
         assert!(before.nodes.is_empty());
+    }
+
+    #[test]
+    fn historical_query_prunes_late_objects_but_agrees_with_scan() {
+        let (mut g, ids) = document_graph();
+        let t_mid = g.now();
+        // Objects created after t_mid: the temporal index must exclude
+        // them from historical candidates without changing any result.
+        for _ in 0..10 {
+            let (n, _) = g.add_node(true);
+            g.add_link(LinkPt::current(ids[0], 1), LinkPt::current(n, 0))
+                .unwrap();
+        }
+        let fast =
+            get_graph_query(&g, t_mid, &Predicate::True, &Predicate::True, &[], &[]).unwrap();
+        let slow =
+            get_graph_query_scan(&g, t_mid, &Predicate::True, &Predicate::True, &[], &[]).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.nodes.len(), 5);
+        assert_eq!(fast.links.len(), 4);
+        assert_eq!(g.nodes_created_by(t_mid).len(), 5);
+        assert_eq!(g.nodes_created_by(Time::CURRENT).len(), 15);
     }
 
     #[test]

@@ -1,37 +1,62 @@
-//! Backward-delta version archives.
+//! Backward-delta version archives with a hierarchical temporal index.
 //!
 //! Paper §A.2: *"Each node is either an archive or a file. Complete version
 //! histories are maintained for archives; only the current version is
 //! available for files."* An [`Archive`] keeps the **current** contents in
 //! full and, for every older version, a backward [`Delta`] that rebuilds it
 //! from the next-newer version — exactly RCS's reverse-delta scheme \[Tic82\],
-//! which the paper cites. Check-out of the head is O(size); check-out of a
-//! version `k` steps back applies `k` deltas.
+//! which the paper cites. Check-out of the head is O(size); naive check-out
+//! of a version `k` steps back applies `k` deltas.
 //!
-//! To keep deep-history reads cheap, an archive lazily remembers
-//! **keyframes**: full materializations of every [`KEYFRAME_INTERVAL`]-th
-//! version, captured as a side effect of replay. A warm [`Archive::checkout`]
-//! therefore applies at most `KEYFRAME_INTERVAL - 1` deltas no matter how
-//! long the chain is. Keyframes are derived, in-memory state only: they are
-//! excluded from the wire format, from equality, and are rebuilt on demand
-//! after a reload. [`Archive::checkout_uncached`] performs the original full
-//! replay for benchmarks and cross-checking.
+//! To make *any* historical checkout cheap — not just ones near a warm
+//! cache — the archive maintains a **skip-delta ladder** in the DeltaGraph
+//! style (Khurana & Deshpande, "Efficient Snapshot Retrieval over Historical
+//! Graph Data"): at level `ℓ ∈ 1..=4`, every [`SKIP_SPANS`]`[ℓ-1]`-th version
+//! stores one extra backward delta that rebuilds it directly from the
+//! version a whole span newer. Checkout descends greedily — coarsest ladder
+//! rung first, unit deltas for the remainder — so reaching any of `n`
+//! versions applies O(log n) deltas instead of O(distance-to-head). The
+//! ladder is *persistent* derived data: it rides the v2 archive encoding
+//! ([`Archive::encode_with_index`]) so a fresh process gets sublinear cold
+//! checkout, yet it is excluded from equality and validated defensively —
+//! every skip application is checksummed, and a corrupt or stale skip is
+//! dropped on the spot with replay falling back to finer steps.
+//!
+//! Alongside the ladder, a byte-bounded **anchor cache** (the successor of
+//! the old unbounded keyframe map) retains full materializations captured
+//! at every [`KEYFRAME_INTERVAL`]-th version during replay, with LRU
+//! eviction under [`DEFAULT_ANCHOR_BUDGET`]. Anchors are in-memory only.
+//! [`Archive::checkout_uncached`] performs the original full replay for
+//! benchmarks and cross-checking; [`Archive::verify_index`] audits every
+//! persisted skip against the canonical delta chain.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use crate::checksum::crc32;
 use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::delta::Delta;
 use crate::error::{Result, StorageError};
 
 /// Every this-many versions along the backward chain, replay retains a full
-/// materialization so later checkouts start from a nearby keyframe instead
-/// of the head.
+/// materialization in the anchor cache so later checkouts start nearby.
+/// Also the grain of the finest skip-ladder level.
 pub const KEYFRAME_INTERVAL: usize = 16;
 
-/// Record how many backward deltas one checkout had to apply into the
-/// `neptune_storage_delta_replay_depth` histogram — the first-class signal
-/// for whether keyframes/caching are doing their job.
+/// Number of skip-ladder levels.
+pub const SKIP_LEVELS: usize = 4;
+
+/// Version span covered by one skip delta at each level: level `ℓ` (1-based)
+/// spans `16^ℓ` versions, so four levels cover histories past 10^6 versions
+/// with ≤ 15 applications per level — O(log n) total.
+pub const SKIP_SPANS: [usize; SKIP_LEVELS] = [16, 256, 4096, 65536];
+
+/// Default per-archive byte budget for the anchor cache.
+pub const DEFAULT_ANCHOR_BUDGET: usize = 256 * 1024;
+
+/// Record how many backward deltas (unit or skip) one checkout had to apply
+/// into the `neptune_storage_delta_replay_depth` histogram — the first-class
+/// signal for whether the ladder and anchors are doing their job.
 fn observe_replay_depth(depth: usize) {
     static HIST: std::sync::OnceLock<Arc<neptune_obs::Histogram>> = std::sync::OnceLock::new();
     if neptune_obs::enabled() {
@@ -42,6 +67,31 @@ fn observe_replay_depth(depth: usize) {
     }
 }
 
+/// Record one materialization's use of the temporal index: whether it was
+/// served by an anchor or skip at all, and the coarsest ladder level used.
+fn observe_index_usage(hit: bool, max_level: usize) {
+    static HITS: std::sync::OnceLock<Arc<neptune_obs::Counter>> = std::sync::OnceLock::new();
+    static LEVELS: std::sync::OnceLock<Arc<neptune_obs::Histogram>> = std::sync::OnceLock::new();
+    if !neptune_obs::enabled() {
+        return;
+    }
+    if hit {
+        HITS.get_or_init(|| neptune_obs::registry().counter("neptune_storage_index_hits_total"))
+            .inc();
+    }
+    LEVELS
+        .get_or_init(|| neptune_obs::registry().histogram("neptune_storage_index_levels_depth"))
+        .observe(max_level as u64);
+}
+
+/// Process-wide occupancy of every live anchor cache, in bytes. Kept
+/// balanced across insert/evict/clone/drop rather than gated on the obs
+/// kill-switch, so the gauge never drifts when tracing is toggled mid-run.
+fn anchor_bytes_gauge() -> &'static Arc<neptune_obs::Gauge> {
+    static GAUGE: std::sync::OnceLock<Arc<neptune_obs::Gauge>> = std::sync::OnceLock::new();
+    GAUGE.get_or_init(|| neptune_obs::registry().gauge("neptune_storage_index_anchor_bytes"))
+}
+
 /// One historical version's metadata plus the backward delta to reach it
 /// from its successor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +100,207 @@ struct BackEntry {
     time: u64,
     /// Rebuilds this version's contents from the next-newer version.
     back_delta: Delta,
+}
+
+/// Per-level lazy-backfill buffer: the newest (position, bytes) pair a
+/// descent materialized on each level's span grid.
+type PendingBoundaries = [Option<(usize, Arc<[u8]>)>; SKIP_LEVELS];
+
+/// One rung of the skip ladder: applied to the contents of version index
+/// `start + span(level)`, `delta` rebuilds version index `start` directly.
+/// `crc` is the checksum of the target bytes, verified on every application
+/// so a corrupt skip can never change what a checkout returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SkipDelta {
+    start: usize,
+    crc: u32,
+    delta: Delta,
+}
+
+/// Byte-bounded LRU cache of full materializations keyed by entry index.
+#[derive(Debug)]
+struct AnchorCache {
+    frames: HashMap<usize, (Arc<[u8]>, u64)>,
+    tick: u64,
+    held: usize,
+    budget: usize,
+}
+
+impl AnchorCache {
+    fn new(budget: usize) -> Self {
+        AnchorCache {
+            frames: HashMap::new(),
+            tick: 0,
+            held: 0,
+            budget,
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn get(&mut self, idx: usize) -> Option<Arc<[u8]>> {
+        let tick = self.next_tick();
+        self.frames.get_mut(&idx).map(|(bytes, used)| {
+            *used = tick;
+            bytes.clone()
+        })
+    }
+
+    /// Nearest anchor strictly newer than `idx` and no newer than `max`,
+    /// touched for LRU purposes.
+    fn nearest_above(&mut self, idx: usize, max: usize) -> Option<(usize, Arc<[u8]>)> {
+        let key = self
+            .frames
+            .keys()
+            .copied()
+            .filter(|&k| k > idx && k <= max)
+            .min()?;
+        self.get(key).map(|bytes| (key, bytes))
+    }
+
+    fn insert(&mut self, idx: usize, bytes: Arc<[u8]>) {
+        if bytes.len() > self.budget {
+            return; // would evict everything and still bust the budget
+        }
+        let tick = self.next_tick();
+        if let Some((old, _)) = self.frames.insert(idx, (bytes.clone(), tick)) {
+            self.held -= old.len();
+            anchor_bytes_gauge().add(-(old.len() as i64));
+        }
+        self.held += bytes.len();
+        anchor_bytes_gauge().add(bytes.len() as i64);
+        if self.held > self.budget {
+            // Evict past the budget down to a low-water mark: the O(n log n)
+            // age sort is then paid once per budget/8 bytes of churn rather
+            // than once per insert, which matters when a deep checkout
+            // inserts dozens of boundary anchors back to back. The
+            // just-inserted entry has the newest tick, so it goes last.
+            self.evict_to(self.budget - self.budget / 8);
+        }
+    }
+
+    /// Evict least-recently-used frames until at most `target` bytes are
+    /// held.
+    fn evict_to(&mut self, target: usize) {
+        if self.held <= target {
+            return;
+        }
+        let mut by_age: Vec<(u64, usize)> = self
+            .frames
+            .iter()
+            .map(|(&idx, &(_, used))| (used, idx))
+            .collect();
+        by_age.sort_unstable();
+        for (_, idx) in by_age {
+            if self.held <= target {
+                break;
+            }
+            self.remove(idx);
+        }
+    }
+
+    fn remove(&mut self, idx: usize) {
+        if let Some((old, _)) = self.frames.remove(&idx) {
+            self.held -= old.len();
+            anchor_bytes_gauge().add(-(old.len() as i64));
+        }
+    }
+
+    fn retain_below(&mut self, cut: usize) {
+        let dropped: Vec<usize> = self.frames.keys().copied().filter(|&k| k >= cut).collect();
+        for k in dropped {
+            self.remove(k);
+        }
+    }
+
+    fn clear(&mut self) {
+        anchor_bytes_gauge().add(-(self.held as i64));
+        self.frames.clear();
+        self.held = 0;
+    }
+
+    fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+        self.evict_to(budget);
+    }
+}
+
+impl Clone for AnchorCache {
+    fn clone(&self) -> Self {
+        // Frames are Arc'd so cloning is refcount bumps; the gauge counts
+        // bytes held per cache instance, so a clone adds its share.
+        anchor_bytes_gauge().add(self.held as i64);
+        AnchorCache {
+            frames: self.frames.clone(),
+            tick: self.tick,
+            held: self.held,
+            budget: self.budget,
+        }
+    }
+}
+
+impl Drop for AnchorCache {
+    fn drop(&mut self) {
+        anchor_bytes_gauge().add(-(self.held as i64));
+    }
+}
+
+/// The derived temporal index of one archive: the persistent skip ladder
+/// plus the in-memory anchor cache. Everything here can be rebuilt from the
+/// canonical chain; nothing here may change what a checkout returns.
+#[derive(Debug, Clone)]
+struct ArchiveIndex {
+    /// Skip deltas per level, each sorted by `start`.
+    levels: [Vec<SkipDelta>; SKIP_LEVELS],
+    anchors: AnchorCache,
+}
+
+impl ArchiveIndex {
+    fn new(budget: usize) -> Self {
+        ArchiveIndex {
+            levels: Default::default(),
+            anchors: AnchorCache::new(budget),
+        }
+    }
+
+    fn find_skip(&self, level: usize, start: usize) -> Option<&SkipDelta> {
+        let skips = &self.levels[level];
+        skips
+            .binary_search_by_key(&start, |s| s.start)
+            .ok()
+            .map(|i| &skips[i])
+    }
+
+    fn insert_skip(&mut self, level: usize, skip: SkipDelta) {
+        let skips = &mut self.levels[level];
+        if let Err(pos) = skips.binary_search_by_key(&skip.start, |s| s.start) {
+            skips.insert(pos, skip);
+        }
+    }
+
+    fn remove_skip(&mut self, level: usize, start: usize) {
+        let skips = &mut self.levels[level];
+        if let Ok(pos) = skips.binary_search_by_key(&start, |s| s.start) {
+            skips.remove(pos);
+        }
+    }
+
+    fn skip_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Drop skips whose source version no longer exists after the history
+    /// was truncated to `len` entries. Surviving skips reference only
+    /// versions `0..=len`, which truncation never rewrites.
+    fn retain_skips_for_len(&mut self, len: usize) {
+        for (level, skips) in self.levels.iter_mut().enumerate() {
+            let span = SKIP_SPANS[level];
+            skips.retain(|s| s.start + span <= len);
+        }
+    }
 }
 
 /// A versioned byte container storing the head in full and older versions as
@@ -65,30 +316,30 @@ pub struct Archive {
     /// Older versions, most recent last; `entries[i].back_delta` applied to
     /// version `i+1` (or to the head for the last entry) yields version `i`.
     entries: Vec<BackEntry>,
-    /// Lazily captured full materializations: entry index → contents of that
-    /// version. Derived state — see the module docs. Interior mutability lets
-    /// `checkout(&self)` warm it; the mutex keeps `Archive: Sync` so whole
-    /// graphs can sit behind the server's reader lock.
-    keyframes: Mutex<HashMap<usize, Arc<[u8]>>>,
+    /// Skip ladder plus anchor cache. Derived state — see the module docs.
+    /// Interior mutability lets `checkout(&self)` warm anchors and backfill
+    /// skips; the mutex keeps `Archive: Sync` so whole graphs can sit
+    /// behind the server's reader lock.
+    index: Mutex<ArchiveIndex>,
 }
 
 impl Clone for Archive {
     fn clone(&self) -> Self {
-        // Keyframes are Arc'd, so cloning the map is cheap and keeps
-        // context forks warm.
-        let frames = self.lock_keyframes().clone();
+        // Skips and anchors are Arc'd/owned-small, so cloning the index
+        // keeps context forks warm.
+        let index = self.lock_index().clone();
         Archive {
             head: self.head.clone(),
             head_time: self.head_time,
             entries: self.entries.clone(),
-            keyframes: Mutex::new(frames),
+            index: Mutex::new(index),
         }
     }
 }
 
 impl PartialEq for Archive {
     fn eq(&self, other: &Self) -> bool {
-        // Canonical state only: keyframes are derived and never observable.
+        // Canonical state only: the index is derived and never observable.
         self.head == other.head
             && self.head_time == other.head_time
             && self.entries == other.entries
@@ -112,22 +363,22 @@ impl Archive {
             head: contents.into(),
             head_time: time,
             entries: Vec::new(),
-            keyframes: Mutex::new(HashMap::new()),
+            index: Mutex::new(ArchiveIndex::new(DEFAULT_ANCHOR_BUDGET)),
         }
     }
 
-    fn lock_keyframes(&self) -> MutexGuard<'_, HashMap<usize, Arc<[u8]>>> {
+    fn lock_index(&self) -> MutexGuard<'_, ArchiveIndex> {
         // A panic while holding the lock leaves only derived state behind;
         // recover it rather than poisoning every future checkout.
-        self.keyframes
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.index.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Check in a new current version at `time`.
     ///
     /// `time` must exceed the head's time: version history is append-only and
-    /// totally ordered, as the HAM's version clock guarantees.
+    /// totally ordered, as the HAM's version clock guarantees. Whenever the
+    /// entry count crosses a skip-span boundary the matching ladder rung is
+    /// built eagerly — amortized O(1) extra delta work per check-in.
     pub fn checkin(&mut self, contents: impl Into<Arc<[u8]>>, time: u64) -> Result<()> {
         if time <= self.head_time {
             return Err(StorageError::NoSuchVersion { time });
@@ -141,7 +392,33 @@ impl Archive {
             back_delta,
         });
         self.head_time = time;
+        self.maintain_skips();
         Ok(())
+    }
+
+    /// Build any ladder rung that ends at the current entry count. Finest
+    /// level first, so coarser builds can descend via the rungs just laid.
+    /// Best-effort: a build failure only costs future replay speed.
+    fn maintain_skips(&mut self) {
+        let n = self.entries.len();
+        for (level, &span) in SKIP_SPANS.iter().enumerate() {
+            if n < span || !n.is_multiple_of(span) {
+                continue;
+            }
+            let start = n - span;
+            if self.lock_index().find_skip(level, start).is_some() {
+                continue;
+            }
+            let Ok(target) = self.materialize_idx(start) else {
+                continue;
+            };
+            let skip = SkipDelta {
+                start,
+                crc: crc32(&target),
+                delta: Delta::compute(&self.head, &target),
+            };
+            self.lock_index().insert_skip(level, skip);
+        }
     }
 
     /// Contents of the current version.
@@ -174,26 +451,28 @@ impl Archive {
 
     /// The version time in effect *at* logical time `t`: the newest version
     /// whose check-in time is ≤ `t`. Time `0` means "current" throughout the
-    /// HAM (paper §A.2).
+    /// HAM (paper §A.2). Binary-searches the entries in place — no
+    /// allocation on this path, which every checkout crosses.
     pub fn resolve_time(&self, t: u64) -> Result<u64> {
         if t == 0 || t >= self.head_time {
             return Ok(self.head_time);
         }
-        let times = self.version_times();
-        match times.binary_search(&t) {
+        match self.entries.binary_search_by_key(&t, |e| e.time) {
             Ok(_) => Ok(t),
             Err(0) => Err(StorageError::NoSuchVersion { time: t }),
-            Err(pos) => Ok(times[pos - 1]),
+            Err(pos) => Ok(self.entries[pos - 1].time),
         }
     }
 
     /// Contents as of logical time `t` (`0` = current).
     ///
-    /// Starts from the nearest keyframe at or above the target version (the
-    /// head if none is warm yet) and applies the delta suffix down to it,
-    /// capturing new keyframes along the way. Cold cost is proportional to
-    /// how far back `t` lies; warm cost is at most [`KEYFRAME_INTERVAL`]
-    /// delta applications.
+    /// Starts from the nearest anchor at or above the target version (the
+    /// head if none is warm) and descends the skip ladder greedily —
+    /// coarsest rung first, unit deltas for the remainder — so both cold
+    /// and warm checkouts apply O(log n) deltas. Anchors are captured at
+    /// every [`KEYFRAME_INTERVAL`]-th version passed, and missing ladder
+    /// rungs (e.g. after migrating a v1 store) are backfilled from the
+    /// materializations the walk produces anyway.
     pub fn checkout(&self, t: u64) -> Result<Arc<[u8]>> {
         let resolved = self.resolve_time(t)?;
         if resolved == self.head_time {
@@ -203,36 +482,118 @@ impl Archive {
             .entries
             .binary_search_by_key(&resolved, |e| e.time)
             .map_err(|_| StorageError::NoSuchVersion { time: t })?;
-        let (mut current, from) = {
-            let frames = self.lock_keyframes();
-            if let Some(data) = frames.get(&idx) {
-                observe_replay_depth(0);
-                return Ok(data.clone());
+        self.materialize_idx(idx)
+    }
+
+    /// Rebuild the contents of entry index `idx` (`entries.len()` = head).
+    fn materialize_idx(&self, idx: usize) -> Result<Arc<[u8]>> {
+        let (bytes, depth, used_index, max_level) = self.materialize_stats(idx)?;
+        observe_replay_depth(depth);
+        observe_index_usage(used_index, max_level);
+        Ok(bytes)
+    }
+
+    /// The hierarchical descent itself, reporting (contents, deltas
+    /// applied, whether any anchor or skip served the walk, coarsest ladder
+    /// level used) so callers and tests can observe replay cost.
+    fn materialize_stats(&self, idx: usize) -> Result<(Arc<[u8]>, usize, bool, usize)> {
+        let len = self.entries.len();
+        debug_assert!(idx <= len);
+        if idx == len {
+            return Ok((self.head.clone(), 0, false, 0));
+        }
+        // Exact anchor hit: zero deltas applied.
+        if let Some(bytes) = self.lock_index().anchors.get(idx) {
+            return Ok((bytes, 0, true, 0));
+        }
+        let (start_bytes, start_pos, from_anchor) =
+            match self.lock_index().anchors.nearest_above(idx, len) {
+                Some((k, bytes)) => (bytes, k, true),
+                None => (self.head.clone(), len, false),
+            };
+        // Per-level source buffers for lazy ladder backfill: the newest
+        // materialization this walk produced at a span boundary.
+        let mut pending: PendingBoundaries = [None, None, None, None];
+        self.note_boundary(&mut pending, start_pos, &start_bytes);
+        let mut current: Vec<u8> = start_bytes.to_vec();
+        let mut pos = start_pos;
+        let mut depth = 0usize;
+        let mut max_level = 0usize;
+        while pos > idx {
+            let mut stepped = 0usize;
+            if pos % SKIP_SPANS[0] == 0 {
+                let mut ix = self.lock_index();
+                for level in (0..SKIP_LEVELS).rev() {
+                    let span = SKIP_SPANS[level];
+                    if pos % span != 0 || pos < span || pos - span < idx {
+                        continue;
+                    }
+                    let start = pos - span;
+                    let Some(skip) = ix.find_skip(level, start) else {
+                        continue;
+                    };
+                    match skip.delta.apply(&current) {
+                        Ok(next) if crc32(&next) == skip.crc => {
+                            current = next;
+                            stepped = span;
+                            max_level = max_level.max(level + 1);
+                            break;
+                        }
+                        // A skip that fails to apply or produces the wrong
+                        // bytes is corrupt derived data: drop it and let the
+                        // descent fall back to finer rungs or unit deltas.
+                        _ => ix.remove_skip(level, start),
+                    }
+                }
             }
-            // Nearest warm keyframe newer than the target, else the head.
-            match frames
-                .iter()
-                .filter(|(&k, _)| k > idx && k <= self.entries.len())
-                .min_by_key(|(&k, _)| k)
-            {
-                Some((&k, data)) => (data.to_vec(), k),
-                None => (self.head.to_vec(), self.entries.len()),
+            if stepped == 0 {
+                current = self.entries[pos - 1].back_delta.apply(&current)?;
+                stepped = 1;
             }
-        };
-        observe_replay_depth(from - idx);
-        for m in (idx..from).rev() {
-            current = self.entries[m].back_delta.apply(&current)?;
-            if m % KEYFRAME_INTERVAL == 0 {
-                self.lock_keyframes().insert(m, Arc::from(&current[..]));
+            pos -= stepped;
+            depth += 1;
+            if pos % KEYFRAME_INTERVAL == 0 {
+                let shared: Arc<[u8]> = Arc::from(&current[..]);
+                self.note_boundary(&mut pending, pos, &shared);
+                self.lock_index().anchors.insert(pos, shared);
             }
         }
-        Ok(current.into())
+        Ok((
+            current.into(),
+            depth,
+            from_anchor || max_level > 0,
+            max_level,
+        ))
+    }
+
+    /// Record that this walk holds the contents of version index `pos`, and
+    /// backfill any missing ladder rung whose source was the previous
+    /// boundary one span newer — this is how an index-less store migrated
+    /// from the v1 format regrows its ladder from ordinary reads.
+    fn note_boundary(&self, pending: &mut PendingBoundaries, pos: usize, bytes: &Arc<[u8]>) {
+        for level in 0..SKIP_LEVELS {
+            let span = SKIP_SPANS[level];
+            if !pos.is_multiple_of(span) {
+                continue;
+            }
+            if let Some((source_pos, source_bytes)) = pending[level].take() {
+                if source_pos == pos + span && self.lock_index().find_skip(level, pos).is_none() {
+                    let skip = SkipDelta {
+                        start: pos,
+                        crc: crc32(bytes),
+                        delta: Delta::compute(&source_bytes, bytes),
+                    };
+                    self.lock_index().insert_skip(level, skip);
+                }
+            }
+            pending[level] = Some((pos, bytes.clone()));
+        }
     }
 
     /// Contents as of logical time `t`, always replaying the full backward
-    /// chain from the head and never touching keyframes. This is the
-    /// reference implementation [`Archive::checkout`] must agree with, and
-    /// what "cache disabled" means in the read-scaling benchmarks.
+    /// chain from the head and never touching the temporal index. This is
+    /// the reference implementation [`Archive::checkout`] must agree with,
+    /// and what "cache disabled" means in the scaling benchmarks.
     pub fn checkout_uncached(&self, t: u64) -> Result<Arc<[u8]>> {
         let resolved = self.resolve_time(t)?;
         if resolved == self.head_time {
@@ -268,10 +629,33 @@ impl Archive {
         self.entries.truncate(idx);
         self.head = new_head;
         self.head_time = resolved;
-        // Keyframes at or past the cut refer to discarded versions; a later
+        // Anchors at or past the cut refer to discarded versions; a later
         // checkin would reuse those entry indices with different contents.
-        self.lock_keyframes().retain(|&k, _| k < idx);
+        // Skips whose source version was cut away go with them.
+        let mut ix = self.lock_index();
+        ix.anchors.retain_below(idx);
+        ix.retain_skips_for_len(idx);
         Ok(())
+    }
+
+    /// Per-archive anchor-cache byte budget, for benchmarks and tests.
+    pub fn set_anchor_budget(&self, budget: usize) {
+        self.lock_index().anchors.set_budget(budget);
+    }
+
+    /// Bytes currently held by this archive's anchor cache.
+    pub fn anchor_bytes(&self) -> usize {
+        self.lock_index().anchors.held
+    }
+
+    /// Drop every cached anchor, forcing the next checkout to be cold.
+    pub fn clear_anchors(&self) {
+        self.lock_index().anchors.clear();
+    }
+
+    /// Number of skip deltas currently in the ladder, across all levels.
+    pub fn skip_count(&self) -> usize {
+        self.lock_index().skip_count()
     }
 
     /// Walk the entire backward-delta chain verifying structural integrity:
@@ -309,9 +693,96 @@ impl Archive {
         Ok(())
     }
 
+    /// Audit the persisted skip ladder against the canonical delta chain:
+    /// every skip must sit on its level's span grid inside the live history,
+    /// apply cleanly to its true source version, match its own checksum, and
+    /// reproduce the exact bytes the unit chain yields at its target. One
+    /// head-to-oldest walk; at most one outstanding buffer per level.
+    /// Returns a description of the first problem.
+    pub fn verify_index(&self) -> std::result::Result<(), String> {
+        let ix = self.lock_index();
+        let len = self.entries.len();
+        for (level, skips) in ix.levels.iter().enumerate() {
+            let span = SKIP_SPANS[level];
+            let mut prev: Option<usize> = None;
+            for s in skips {
+                if s.start % span != 0 || s.start + span > len {
+                    return Err(format!(
+                        "level-{} skip at version index {} is off-grid or out of range \
+                         (history has {len} entries)",
+                        level + 1,
+                        s.start
+                    ));
+                }
+                if prev.is_some_and(|p| p >= s.start) {
+                    return Err(format!(
+                        "level-{} skips unsorted or duplicated at version index {}",
+                        level + 1,
+                        s.start
+                    ));
+                }
+                prev = Some(s.start);
+            }
+        }
+        // (level, target index, bytes the skip produced) — compared when the
+        // unit walk reaches the target.
+        let mut outstanding: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+        let mut current = self.head.to_vec();
+        let mut pos = len;
+        loop {
+            for (level, skips) in ix.levels.iter().enumerate() {
+                let span = SKIP_SPANS[level];
+                if pos < span || !pos.is_multiple_of(span) {
+                    continue;
+                }
+                let start = pos - span;
+                if let Ok(i) = skips.binary_search_by_key(&start, |s| s.start) {
+                    let skip = &skips[i];
+                    let applied = skip.delta.apply(&current).map_err(|e| {
+                        format!(
+                            "level-{} skip for version index {start} fails to apply: {e}",
+                            level + 1
+                        )
+                    })?;
+                    if crc32(&applied) != skip.crc {
+                        return Err(format!(
+                            "level-{} skip for version index {start} fails its checksum",
+                            level + 1
+                        ));
+                    }
+                    outstanding.push((level, start, applied));
+                }
+            }
+            if let Some(i) = outstanding.iter().position(|(_, start, _)| *start == pos) {
+                let (level, start, applied) = outstanding.swap_remove(i);
+                if applied != current {
+                    return Err(format!(
+                        "level-{} skip for version index {start} disagrees with the delta chain",
+                        level + 1
+                    ));
+                }
+            }
+            if pos == 0 {
+                break;
+            }
+            current = self.entries[pos - 1]
+                .back_delta
+                .apply(&current)
+                .map_err(|e| {
+                    format!(
+                        "delta for version at time {} fails to apply: {e}",
+                        self.entries[pos - 1].time
+                    )
+                })?;
+            pos -= 1;
+        }
+        Ok(())
+    }
+
     /// Total bytes of stored state: head plus all encoded deltas. This is
     /// the quantity the paper's backward-delta design minimizes relative to
-    /// keeping every version in full.
+    /// keeping every version in full. The skip ladder is derived state and
+    /// intentionally not counted here.
     pub fn storage_bytes(&self) -> u64 {
         self.head.len() as u64
             + self
@@ -319,6 +790,17 @@ impl Archive {
                 .iter()
                 .map(|e| e.back_delta.storage_size())
                 .sum::<u64>()
+    }
+
+    /// Encoded size of the skip ladder alone — the storage price of
+    /// sublinear cold checkout, reported by the history-depth benchmark.
+    pub fn index_bytes(&self) -> u64 {
+        let ix = self.lock_index();
+        ix.levels
+            .iter()
+            .flatten()
+            .map(|s| 12 + s.delta.storage_size())
+            .sum()
     }
 
     /// Sum of the lengths of every version in full — what naive full-copy
@@ -332,6 +814,77 @@ impl Archive {
         }
         Ok(total)
     }
+
+    /// Encode canonical state plus the skip ladder — the v2 archive format
+    /// used by snapshots, so a reopened store starts with its temporal index
+    /// already built. The ladder travels as one length-prefixed blob that
+    /// [`Archive::decode_with_index`] parses defensively: derived data must
+    /// never make a store unopenable.
+    pub fn encode_with_index(&self, w: &mut Writer) {
+        self.encode(w);
+        let mut iw = Writer::new();
+        let ix = self.lock_index();
+        iw.put_u64(SKIP_LEVELS as u64);
+        for skips in ix.levels.iter() {
+            iw.put_u64(skips.len() as u64);
+            for s in skips {
+                iw.put_u64(s.start as u64);
+                iw.put_u64(s.crc as u64);
+                s.delta.encode(&mut iw);
+            }
+        }
+        drop(ix);
+        w.put_bytes(iw.as_slice());
+    }
+
+    /// Decode the v2 format written by [`Archive::encode_with_index`]. A
+    /// malformed or implausible index blob is discarded wholesale — the
+    /// archive opens with an empty ladder and rebuilds it from reads — and
+    /// individual skips are still checksum-verified on every application,
+    /// so nothing decoded here is trusted to change checkout results.
+    pub fn decode_with_index(r: &mut Reader<'_>) -> Result<Self> {
+        let archive = Archive::decode(r)?;
+        let blob = r.get_bytes()?;
+        if let Some(levels) = decode_index_blob(blob, archive.entries.len()) {
+            archive.lock_index().levels = levels;
+        }
+        Ok(archive)
+    }
+}
+
+/// Parse a skip-ladder blob, returning `None` — an empty ladder — on any
+/// structural problem: truncated data, trailing garbage, unknown level
+/// layout, off-grid or out-of-range starts, or unsorted entries.
+fn decode_index_blob(blob: &[u8], len: usize) -> Option<[Vec<SkipDelta>; SKIP_LEVELS]> {
+    let mut r = Reader::new(blob);
+    if r.get_u64().ok()? as usize != SKIP_LEVELS {
+        return None;
+    }
+    let mut levels: [Vec<SkipDelta>; SKIP_LEVELS] = Default::default();
+    for (level, slot) in levels.iter_mut().enumerate() {
+        let span = SKIP_SPANS[level];
+        let count = r.get_u64().ok()? as usize;
+        let mut skips = Vec::with_capacity(count.min(r.remaining()));
+        let mut prev: Option<usize> = None;
+        for _ in 0..count {
+            let start = r.get_u64().ok()? as usize;
+            let crc = u32::try_from(r.get_u64().ok()?).ok()?;
+            let delta = Delta::decode(&mut r).ok()?;
+            if !start.is_multiple_of(span) || start.checked_add(span)? > len {
+                return None;
+            }
+            if prev.is_some_and(|p| p >= start) {
+                return None;
+            }
+            prev = Some(start);
+            skips.push(SkipDelta { start, crc, delta });
+        }
+        *slot = skips;
+    }
+    if !r.is_at_end() {
+        return None;
+    }
+    Some(levels)
 }
 
 impl Encode for Archive {
@@ -361,7 +914,7 @@ impl Decode for Archive {
             head,
             head_time,
             entries,
-            keyframes: Mutex::new(HashMap::new()),
+            index: Mutex::new(ArchiveIndex::new(DEFAULT_ANCHOR_BUDGET)),
         })
     }
 }
@@ -389,6 +942,13 @@ mod tests {
             a.checkin(version(i), (i + 1) as u64).unwrap();
         }
         a
+    }
+
+    /// Round-trip through the v2 wire format, as a reopen would.
+    fn reopen(a: &Archive) -> Archive {
+        let mut w = Writer::new();
+        a.encode_with_index(&mut w);
+        Archive::decode_with_index(&mut Reader::new(&w.into_bytes())).unwrap()
     }
 
     #[test]
@@ -504,15 +1064,15 @@ mod tests {
     }
 
     #[test]
-    fn keyframes_accelerate_without_changing_results() {
+    fn anchors_accelerate_without_changing_results() {
         let a = build(100);
-        // Cold pass populates keyframes; warm pass must reread identically.
+        // Cold pass populates anchors; warm pass must reread identically.
         for i in (0..100).rev() {
             assert_eq!(&a.checkout((i + 1) as u64).unwrap()[..], version(i));
         }
         assert!(
-            !a.lock_keyframes().is_empty(),
-            "deep replay should have captured keyframes"
+            a.anchor_bytes() > 0,
+            "deep replay should have captured anchors"
         );
         for i in 0..100 {
             let t = (i + 1) as u64;
@@ -521,11 +1081,11 @@ mod tests {
     }
 
     #[test]
-    fn keyframes_are_dropped_by_truncate() {
+    fn anchors_are_dropped_by_truncate() {
         let mut a = build(64);
-        a.checkout(1).unwrap(); // warm keyframes along the whole chain
+        a.checkout(1).unwrap(); // warm anchors along the whole chain
         a.truncate_after(40).unwrap();
-        assert!(a.lock_keyframes().keys().all(|&k| k < 39));
+        assert!(a.lock_index().anchors.frames.keys().all(|&k| k < 39));
         // Regrow the history past the cut; the reused entry indices must not
         // resurrect pre-truncation contents.
         for i in 40..64 {
@@ -537,20 +1097,160 @@ mod tests {
         for i in 40..64 {
             assert_eq!(&a.checkout((i + 10) as u64).unwrap()[..], version(i));
         }
+        a.verify_index().unwrap();
     }
 
     #[test]
-    fn clones_and_codec_ignore_keyframes() {
+    fn clones_and_canonical_codec_ignore_the_index() {
         let a = build(40);
         a.checkout(1).unwrap();
         let b = a.clone();
-        assert_eq!(a, b, "equality must ignore derived keyframes");
+        assert_eq!(a, b, "equality must ignore the derived index");
         let decoded = Archive::from_bytes(&a.to_bytes()).unwrap();
         assert_eq!(decoded, a);
-        assert!(
-            decoded.lock_keyframes().is_empty(),
-            "keyframes must not travel through the wire format"
+        assert_eq!(
+            decoded.skip_count(),
+            0,
+            "the ladder must not travel through the canonical format"
         );
+        assert_eq!(decoded.anchor_bytes(), 0);
+    }
+
+    #[test]
+    fn checkin_builds_the_skip_ladder_eagerly() {
+        let a = build(257);
+        // 256 entries: level-1 rungs at 0,16,..,240 and one level-2 rung.
+        assert_eq!(a.skip_count(), 17);
+        a.verify_index().unwrap();
+    }
+
+    #[test]
+    fn skip_ladder_bounds_cold_replay_depth() {
+        let a = build(1200);
+        assert!(
+            a.skip_count() >= 1199 / 16,
+            "eager maintenance should have built every level-1 rung"
+        );
+        // Cold walk to the oldest of 1200 versions: 15 unit steps to the
+        // 16-grid, ≤15 level-1 rungs to the 256-grid, ≤4 level-2 rungs to
+        // zero — logarithmic, nowhere near the 1199 of linear replay.
+        a.clear_anchors();
+        let (bytes, depth, used_index, max_level) = a.materialize_stats(0).unwrap();
+        assert_eq!(&bytes[..], version(0));
+        assert!(depth <= 40, "cold replay depth {depth} is not logarithmic");
+        assert!(used_index);
+        assert!(max_level >= 2, "the level-2 rungs should have been used");
+        a.clear_anchors();
+        assert_eq!(a.checkout(1).unwrap(), a.checkout_uncached(1).unwrap());
+        a.verify_index().unwrap();
+    }
+
+    #[test]
+    fn index_survives_reopen_and_serves_cold_checkouts() {
+        let a = build(600);
+        let d = reopen(&a);
+        assert_eq!(d, a);
+        assert_eq!(d.skip_count(), a.skip_count());
+        assert!(d.skip_count() >= 599 / 16);
+        // Cold process, cold anchors: contents must still be exact.
+        for i in [0usize, 1, 17, 255, 256, 300, 599] {
+            assert_eq!(&d.checkout((i + 1) as u64).unwrap()[..], version(i));
+        }
+        d.verify_index().unwrap();
+    }
+
+    #[test]
+    fn corrupt_skip_is_detected_and_replay_falls_back() {
+        let a = build(300);
+        a.clear_anchors();
+        // Sabotage the level-2 rung (spans entries 0..256).
+        {
+            let mut ix = a.lock_index();
+            ix.levels[1][0].crc ^= 0xDEAD_BEEF;
+        }
+        assert!(
+            a.verify_index().unwrap_err().contains("checksum"),
+            "the audit must flag the tampered rung"
+        );
+        // Checkout must still return exact bytes: the corrupt rung is
+        // dropped mid-descent, the walk falls back to finer steps, and the
+        // boundary backfill lays a fresh, correct rung in its place.
+        let before = a.skip_count();
+        assert_eq!(&a.checkout(1).unwrap()[..], version(0));
+        assert_eq!(
+            a.skip_count(),
+            before,
+            "rung should be dropped then rebuilt"
+        );
+        a.verify_index().unwrap();
+    }
+
+    #[test]
+    fn garbage_index_blob_is_discarded_not_fatal() {
+        let a = build(80);
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        w.put_bytes(b"this is not a skip ladder");
+        let d = Archive::decode_with_index(&mut Reader::new(&w.into_bytes())).unwrap();
+        assert_eq!(d, a, "canonical state must survive a garbage index");
+        assert_eq!(d.skip_count(), 0);
+        assert_eq!(&d.checkout(1).unwrap()[..], version(0));
+        // Out-of-range rung claims are rejected wholesale too.
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let mut iw = Writer::new();
+        iw.put_u64(SKIP_LEVELS as u64);
+        iw.put_u64(1); // one level-1 skip...
+        iw.put_u64(9999 * 16); // ...far past the 79 real entries
+        iw.put_u64(0);
+        Delta::compute(b"a", b"b").encode(&mut iw);
+        for _ in 1..SKIP_LEVELS {
+            iw.put_u64(0);
+        }
+        w.put_bytes(iw.as_slice());
+        let d = Archive::decode_with_index(&mut Reader::new(&w.into_bytes())).unwrap();
+        assert_eq!(d.skip_count(), 0);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn lazy_backfill_regrows_ladder_from_reads() {
+        // A canonical-only decode (a migrated v1 store) has no ladder; a
+        // deep cold read rebuilds the rungs it walks past.
+        let a = build(200);
+        let d = Archive::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(d.skip_count(), 0);
+        assert_eq!(&d.checkout(1).unwrap()[..], version(0));
+        assert!(
+            d.skip_count() >= 199 / 16,
+            "a full walk should backfill every level-1 rung it crossed"
+        );
+        d.verify_index().unwrap();
+        assert_eq!(d.checkout(1).unwrap(), d.checkout_uncached(1).unwrap());
+    }
+
+    #[test]
+    fn anchor_cache_is_byte_bounded_with_lru_eviction() {
+        let a = build(400);
+        let budget = 4 * 1024;
+        a.set_anchor_budget(budget);
+        for i in (0..400).step_by(7) {
+            a.checkout((i + 1) as u64).unwrap();
+            assert!(
+                a.anchor_bytes() <= budget,
+                "anchor cache exceeded its budget at probe {i}"
+            );
+        }
+        assert!(a.anchor_bytes() > 0, "some anchors should fit the budget");
+        // Shrinking the budget evicts down to the new bound immediately.
+        a.set_anchor_budget(1024);
+        assert!(a.anchor_bytes() <= 1024);
+        // Oversized contents are simply not cached.
+        a.set_anchor_budget(16);
+        a.clear_anchors();
+        a.checkout(1).unwrap();
+        assert_eq!(a.anchor_bytes(), 0);
+        assert_eq!(&a.checkout(1).unwrap()[..], version(0));
     }
 
     #[test]
@@ -561,9 +1261,11 @@ mod tests {
             let initial_len = 64 + rng.index(256);
             let mut contents = rng.bytes(initial_len);
             let mut a = Archive::new(contents.clone(), 1);
+            // Small budgets keep eviction hot in the property runs.
+            a.set_anchor_budget([usize::MAX, 8 * 1024, 64 * 1024][rng.index(3)]);
             let mut clock = 1u64;
             let mut live: Vec<u64> = vec![1];
-            for _ in 0..rng.index(60) + 20 {
+            for step in 0..rng.index(60) + 20 {
                 if rng.chance(1, 10) && live.len() > 1 {
                     // Rewind to a random surviving version, like an abort.
                     let cut = live[rng.index(live.len())];
@@ -582,6 +1284,13 @@ mod tests {
                     a.checkin(contents.clone(), clock).unwrap();
                     live.push(clock);
                 }
+                if step % 13 == 7 {
+                    // Reopen from disk mid-history: the persisted ladder
+                    // must keep agreeing with the chain it rode in with.
+                    let d = reopen(&a);
+                    assert_eq!(d, a, "seed {seed} reopen at step {step}");
+                    a = d;
+                }
                 // Probe a few random historical times each step.
                 for _ in 0..3 {
                     let t = live[rng.index(live.len())];
@@ -593,6 +1302,7 @@ mod tests {
                 }
             }
             a.verify_chain().unwrap();
+            a.verify_index().unwrap();
         }
     }
 

@@ -16,7 +16,8 @@
 //!   domain (`getNodeDifferences`, the node-differences browser);
 //! * [`delta`] — copy/add deltas between byte buffers;
 //! * [`archive`] — backward-delta version archives (paper §A.2 "archives"),
-//!   with lazy keyframes bounding deep-history replay;
+//!   with a persisted hierarchical skip ladder and a byte-bounded anchor
+//!   cache making any checkout O(log n) deltas;
 //! * [`vcache`] — a bounded LRU cache of fully materialized node versions;
 //! * [`wal`] — a write-ahead log giving transaction durability and
 //!   crash recovery (paper §2.2);

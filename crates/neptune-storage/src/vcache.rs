@@ -1,7 +1,8 @@
 //! Bounded LRU cache of materialized node versions.
 //!
 //! `Archive::checkout` of an old version replays a backward-delta chain;
-//! keyframes (see [`crate::archive`]) bound that replay, and this cache
+//! the hierarchical skip ladder (see [`crate::archive`]) bounds that replay
+//! to O(log n) applications, and this cache
 //! removes it entirely for repeated reads: the HAM keys fully materialized
 //! contents by `(context, node, resolved time)` so the second checkout of
 //! any version is a hash lookup. Entries are `Arc`'d byte buffers; the cache

@@ -59,6 +59,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     c.add_node(MAIN_CONTEXT, true)?;
     c.commit_transaction()?;
 
+    // Deep history: enough versions to cross a 16-version skip boundary, so
+    // historical opens exercise the archive's hierarchical temporal index.
+    // Opening the (empty) initial version lands on the anchor the eager
+    // skip build left behind — an exact index hit.
+    let (d, t_first) = c.add_node(MAIN_CONTEXT, true)?;
+    let mut td = t_first;
+    let mut deep_times = Vec::new();
+    for i in 0..24 {
+        let contents = format!("deep draft {i}\n").into_bytes();
+        td = c.modify_node(MAIN_CONTEXT, d, td, contents, vec![])?;
+        deep_times.push(td);
+    }
+    c.open_node(MAIN_CONTEXT, d, t_first, vec![])?;
+
+    // Cold restart: checkpoint persists the skip ladder, then a fresh Ham
+    // (empty version cache, empty anchor cache) serves a mid-history read
+    // by descending the *persisted* ladder — which caches a non-empty
+    // boundary anchor, so the occupancy gauge is live at scrape time.
+    c.checkpoint()?;
+    drop(c);
+    server.stop();
+    let (ham, _, _) = Ham::open_existing(&dir)?;
+    let server = serve(ham, "127.0.0.1:0")?;
+    let mut c = Client::connect(server.addr())?;
+    c.open_node(MAIN_CONTEXT, d, deep_times[2], vec![])?;
+
     let exposition = c.metrics()?;
     server.stop();
 
@@ -80,6 +106,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "neptune_storage_op_ns",
         "neptune_ham_txn_commits_total",
         "neptune_storage_vcache_misses_total",
+        "neptune_storage_index_hits_total",
+        "neptune_storage_index_levels_depth",
+        "neptune_storage_index_anchor_bytes",
         "neptune_obs_traces_recorded_total",
         "neptune_obs_trace_ns",
         "neptune_obs_trace_spans_total",
