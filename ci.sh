@@ -64,6 +64,19 @@ NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
     NEPTUNE_BENCH_OUT="$PWD/BENCH_history_depth.json" \
     cargo bench -p neptune-bench --bench history_depth
 
+# Smoke-run the write-scaling bench (parallel commits on disjoint shards
+# vs the same writers serialized behind one shard lock): leaves
+# BENCH_write_scaling.json at the repo root. NEPTUNE_BENCH_GUARD arms the
+# sharding floors: 8 disjoint-shard writers >= 2x the single-shard
+# aggregate commit throughput on 4+ core runners (1.2x on 2-3 cores; a
+# 0.6x no-regression sanity floor on single-core ones, where there is no
+# parallelism to win and the guard only checks that per-shard bookkeeping
+# costs noise), and neptune_ham_multiview_torn_total must stay 0 — no
+# assembled cross-shard view may expose half of a two-phase commit.
+NEPTUNE_BENCH_SMOKE=1 NEPTUNE_BENCH_GUARD=1 \
+    NEPTUNE_BENCH_OUT="$PWD/BENCH_write_scaling.json" \
+    cargo bench -p neptune-bench --bench write_scaling
+
 # Observability smoke: scripted workload over the wire, then a Metrics RPC.
 # Exits non-zero if the exposition is empty or a required family never
 # moved; leaves METRICS_snapshot.prom at the repo root.
@@ -82,7 +95,9 @@ if [ "${NEPTUNE_CI_NIGHTLY:-0}" = "1" ]; then
         -p neptune-server --test server_integration --test batch_pipeline \
         --test metrics_rpc --test snapshot_reads
     # TSan over the lock-free snapshot-view property tests: concurrent
-    # readers on published views racing fork/merge/rollback on the writer.
+    # readers on published views racing fork/merge/rollback on the writer,
+    # including the multi-shard fork/merge/destroy property test and the
+    # 4-writer/4-reader cross-shard torn-view stress.
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
         -p neptune-ham --test snapshot_view

@@ -33,7 +33,7 @@
 
 use std::hint::black_box;
 use std::io::Write;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use neptune_bench::harness::{BenchResult, BenchmarkId, Criterion, Throughput};
 use neptune_bench::{fresh_ham, main_ctx, versioned_node};
@@ -271,6 +271,63 @@ fn measure_tracing_overhead() -> TracingOverhead {
     }
 }
 
+/// Paired median-of-rounds estimate of the round-trip amortization ratio
+/// (the number behind the single-core guard fallback).
+///
+/// The criterion-derived `batch_speedup` divides two medians measured in
+/// separate benchmark groups — in smoke mode each side is a handful of
+/// iterations, so near the 1.1 floor the quotient sits inside run-to-run
+/// jitter and the guard flaked. Here each round runs one lockstep flight
+/// and one batched flight back-to-back on the same connection and yields
+/// its own ratio; a scheduler stall or noisy neighbor then skews one
+/// round, and the median round discards it. The floor itself stays at
+/// 1.1 — the measurement got tighter, not the bar lower.
+fn measure_batch_ratio() -> f64 {
+    let mut ham = fresh_ham("rs-batch-floor");
+    let (node, _) = versioned_node(&mut ham, main_ctx(), 16 * 1024, 20, 2);
+    let server = serve(ham, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let requests = vec![open_req(node); OPS_PER_READER];
+
+    let lockstep_flight = |client: &mut Client| {
+        let start = Instant::now();
+        for _ in 0..OPS_PER_READER {
+            let opened = client
+                .open_node(main_ctx(), node, Time::CURRENT, vec![])
+                .unwrap();
+            black_box(opened.contents.len());
+        }
+        start.elapsed()
+    };
+    let batched_flight = |client: &mut Client, requests: &[Request]| {
+        let start = Instant::now();
+        let responses = client.batch(requests.to_vec()).unwrap();
+        black_box(responses.len());
+        start.elapsed()
+    };
+
+    for _ in 0..2 {
+        lockstep_flight(&mut client);
+        batched_flight(&mut client, &requests);
+    }
+    let rounds = if neptune_bench::harness::smoke_mode() {
+        9
+    } else {
+        15
+    };
+    let mut ratios: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let lockstep = lockstep_flight(&mut client);
+            let batched = batched_flight(&mut client, &requests);
+            lockstep.as_nanos() as f64 / batched.as_nanos().max(1) as f64
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[(ratios.len() - 1) / 2];
+    server.stop();
+    median
+}
+
 fn find<'a>(results: &'a [BenchResult], needle: &str) -> Option<&'a BenchResult> {
     results.iter().find(|r| r.label.contains(needle))
 }
@@ -287,7 +344,11 @@ fn rate(results: &[BenchResult], variant: &str, readers: usize) -> f64 {
         .unwrap_or(0.0)
 }
 
-fn write_report(c: &Criterion, overhead: &TracingOverhead) -> (f64, f64, f64, f64) {
+fn write_report(
+    c: &Criterion,
+    overhead: &TracingOverhead,
+    batch_ratio_median: f64,
+) -> (f64, f64, f64, f64) {
     let results = c.results();
     let mut out = String::from("{\n  \"bench\": \"read_scaling\",\n");
     out.push_str(&format!(
@@ -364,6 +425,11 @@ fn write_report(c: &Criterion, overhead: &TracingOverhead) -> (f64, f64, f64, f6
         }
     };
     out.push_str(&format!("    \"batch_speedup\": {batch_speedup:.2},\n"));
+    // The paired median-of-rounds variant of the same ratio — the number
+    // the single-core guard fallback checks (see measure_batch_ratio).
+    out.push_str(&format!(
+        "    \"batch_speedup_paired_median\": {batch_ratio_median:.2},\n"
+    ));
     // Lock-free serving: reads completed without touching the gate or the
     // HAM lock, and the worst-case ratio of the under-foreign-transaction
     // pipelined variant to plain lockstep calls (must stay >= 1: a read
@@ -454,7 +520,9 @@ fn write_report(c: &Criterion, overhead: &TracingOverhead) -> (f64, f64, f64, f6
     file.write_all(out.as_bytes()).expect("write bench report");
     println!("wrote {path}");
     println!("checkout cache speedup at depth {DEPTH}: {speedup:.1}x");
-    println!("batch speedup at 1 reader: {batch_speedup:.2}x");
+    println!(
+        "batch speedup at 1 reader: {batch_speedup:.2}x (paired median {batch_ratio_median:.2}x)"
+    );
     let scaling = if rate(results, "readers", 1) > 0.0 {
         rate(results, "readers", 8) / rate(results, "readers", 1)
     } else {
@@ -480,10 +548,14 @@ fn write_report(c: &Criterion, overhead: &TracingOverhead) -> (f64, f64, f64, f6
 /// 8-vs-1 ratio is physically pinned near 1 for any wire discipline. There
 /// the guard checks the round-trip amortization win instead — batching
 /// must still beat lockstep calls, which is what a reintroduced per-read
-/// copy or per-element lock acquisition would break. With cores to spare,
-/// lock-free snapshot reads raise the bar: 8 readers must reach at least
-/// `min(cores, 8)/2`× one reader (4× on an 8-core runner — the old 2×
-/// floor was the single-RwLock ceiling this PR removed).
+/// copy or per-element lock acquisition would break. That fallback checks
+/// the *paired median-of-rounds* ratio ([`measure_batch_ratio`]), not the
+/// quotient of two separately-measured medians: back-to-back flights on
+/// one connection make each round its own comparison, so the 1.1 floor
+/// sits against a tight number instead of smoke-run jitter. With cores to
+/// spare, lock-free snapshot reads raise the bar: 8 readers must reach at
+/// least `min(cores, 8)/2`× one reader (4× on an 8-core runner — the old
+/// 2× floor was the single-RwLock ceiling this PR removed).
 ///
 /// The lock-free floor is core-count independent: pipelined reads under a
 /// foreign open transaction must never be slower than lockstep calls with
@@ -492,7 +564,7 @@ fn write_report(c: &Criterion, overhead: &TracingOverhead) -> (f64, f64, f64, f6
 fn guard(
     speedup: f64,
     scaling: f64,
-    batch_speedup: f64,
+    batch_ratio_median: f64,
     lock_free_floor: f64,
     overhead: &TracingOverhead,
 ) {
@@ -514,8 +586,11 @@ fn guard(
             );
             failed = true;
         }
-    } else if batch_speedup < 1.1 {
-        eprintln!("GUARD FAIL: single-core runner and batch_speedup = {batch_speedup:.2} < 1.1");
+    } else if batch_ratio_median < 1.1 {
+        eprintln!(
+            "GUARD FAIL: single-core runner and batch_speedup_paired_median = \
+             {batch_ratio_median:.2} < 1.1"
+        );
         failed = true;
     }
     // PR 7's floor was 1.0 (lock-free pipelined reads under a foreign
@@ -556,8 +631,8 @@ fn guard(
     }
     println!(
         "bench guard passed (cache speedup {speedup:.1}x, reader scaling {scaling:.2}x, \
-         batch speedup {batch_speedup:.2}x, lock-free/lockstep {lock_free_floor:.2}x, \
-         {cores} core(s))"
+         paired batch speedup {batch_ratio_median:.2}x, lock-free/lockstep \
+         {lock_free_floor:.2}x, {cores} core(s))"
     );
 }
 
@@ -573,6 +648,14 @@ fn main() {
     bench_contents_size(&mut criterion);
     bench_reader_scaling(&mut criterion);
     let overhead = measure_tracing_overhead();
-    let (speedup, scaling, batch_speedup, lock_free_floor) = write_report(&criterion, &overhead);
-    guard(speedup, scaling, batch_speedup, lock_free_floor, &overhead);
+    let batch_ratio_median = measure_batch_ratio();
+    let (speedup, scaling, _batch_speedup, lock_free_floor) =
+        write_report(&criterion, &overhead, batch_ratio_median);
+    guard(
+        speedup,
+        scaling,
+        batch_ratio_median,
+        lock_free_floor,
+        &overhead,
+    );
 }

@@ -36,7 +36,9 @@ mod lint;
 mod store;
 
 pub use lint::{lint_modules, lint_project, KNOWN_LIBRARY_MODULES};
-pub use store::{scan_files, verify_ham, verify_open_ham, verify_store, verify_view};
+pub use store::{
+    scan_files, verify_ham, verify_open_ham, verify_sharded, verify_store, verify_view,
+};
 
 use neptune_storage::codec::{Decode, Encode, Reader, Writer};
 use neptune_storage::{Result as StorageResult, StorageError};

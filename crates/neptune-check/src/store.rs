@@ -4,6 +4,7 @@ use std::path::Path;
 
 use neptune_ham::ham::{Ham, SNAPSHOT_FILE, WAL_FILE};
 use neptune_ham::invariants;
+use neptune_ham::ShardedHam;
 use neptune_storage::checksum::crc32;
 use neptune_storage::snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_MAGIC_V1};
 use neptune_storage::wal::WAL_MAGIC;
@@ -221,21 +222,64 @@ pub fn verify_view(view: &neptune_ham::CommittedView) -> Vec<Finding> {
 /// Verify the graph store in `directory` end to end: scan the files, then
 /// open the store and re-check every semantic invariant.
 ///
+/// Sharded stores (a `shards.meta` at the root) are verified shard by
+/// shard — each shard directory gets the same file scan, and the open runs
+/// through [`ShardedHam`] so the cross-shard fork topology is checked over
+/// the union of all shards.
+///
 /// Note that opening the store runs recovery, which truncates a torn WAL
 /// tail; the file scan happens first precisely so such damage is still
 /// reported.
 pub fn verify_store(directory: impl AsRef<Path>) -> Vec<Finding> {
     let directory = directory.as_ref();
-    let mut findings = scan_files(directory);
-    match Ham::open_existing(directory) {
-        Ok((ham, _, _)) => findings.extend(verify_ham(&ham)),
-        Err(e) => findings.push(Finding::new(
-            Severity::Critical,
-            RULE_STORE_UNOPENABLE,
-            directory.display().to_string(),
-            format!("store cannot be opened: {e}"),
-        )),
+    let nshards =
+        neptune_ham::shard::read_shard_count(&neptune_storage::StdVfs, directory).unwrap_or(1);
+    let mut findings = Vec::new();
+    for k in 0..nshards {
+        findings.extend(scan_files(neptune_ham::shard::shard_dir(directory, k)));
     }
+    if nshards == 1 {
+        match Ham::open_existing(directory) {
+            Ok((ham, _, _)) => findings.extend(verify_ham(&ham)),
+            Err(e) => findings.push(Finding::new(
+                Severity::Critical,
+                RULE_STORE_UNOPENABLE,
+                directory.display().to_string(),
+                format!("store cannot be opened: {e}"),
+            )),
+        }
+    } else {
+        match ShardedHam::open(directory) {
+            Ok((sharded, _, _)) => {
+                findings.extend(sharded.violations().into_iter().map(Finding::from));
+            }
+            Err(e) => findings.push(Finding::new(
+                Severity::Critical,
+                RULE_STORE_UNOPENABLE,
+                directory.display().to_string(),
+                format!("sharded store cannot be opened: {e}"),
+            )),
+        }
+    }
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    findings
+}
+
+/// [`verify_ham`] for an already-open sharded machine: every shard's
+/// graphs plus the merged cross-shard fork topology.
+pub fn verify_sharded(sharded: &ShardedHam) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for k in 0..sharded.shard_count() {
+        findings.extend(scan_files(neptune_ham::shard::shard_dir(
+            sharded.directory(),
+            k,
+        )));
+    }
+    findings.extend(sharded.violations().into_iter().map(Finding::from));
     findings.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)

@@ -21,6 +21,7 @@
 //! neptune-check --test crash_consistency`. Every assertion message carries
 //! the seed.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
@@ -28,7 +29,7 @@ use neptune_check::verify_store;
 use neptune_ham::context::ConflictPolicy;
 use neptune_ham::ham::WAL_FILE;
 use neptune_ham::types::{LinkPt, NodeIndex, Protections, Time, MAIN_CONTEXT};
-use neptune_ham::{Ham, Value};
+use neptune_ham::{Ham, ShardedHam, Value};
 use neptune_storage::fault::{FaultKind, FaultVfs};
 use neptune_storage::testutil::XorShift;
 
@@ -817,4 +818,273 @@ fn crash_between_snapshot_and_truncate_does_not_double_apply() {
         "WAL records already folded into the snapshot were applied again"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ===========================================================================
+// Sharded recovery sweep
+// ===========================================================================
+//
+// The single-machine matrix above proves exact prefix recovery. Sharding
+// relaxes that in exactly one documented way (DESIGN.md §13): a cross-shard
+// merge is two per-shard commits under one logical sequence number, and a
+// crash between them may persist the parent half alone. So the sharded
+// sweep asserts *per-context* prefix equivalence — every context recovers
+// to its state at the completed prefix or at the next step — plus a clean
+// `verify_sharded` report over the merged cross-shard topology.
+
+/// Each sharded op is one logical commit (cross-shard merges: two commits
+/// under one sequence), so per-context states line up with step indices.
+#[derive(Debug, Clone)]
+enum SOp {
+    Fork(usize),
+    AddNode(usize),
+    ModifyNode(usize, Vec<u8>),
+    Merge(usize),
+    Checkpoint,
+}
+
+fn gen_sharded_ops(seed: u64, count: usize) -> Vec<SOp> {
+    let mut rng = XorShift::new(seed);
+    (0..count)
+        .map(|_| match rng.below(16) {
+            0..=2 => SOp::Fork(rng.next_u64() as usize),
+            3..=4 => SOp::Merge(rng.next_u64() as usize),
+            5 => SOp::Checkpoint,
+            6..=10 => SOp::AddNode(rng.next_u64() as usize),
+            _ => {
+                let len = rng.below(16) as usize;
+                SOp::ModifyNode(rng.next_u64() as usize, rng.bytes(len))
+            }
+        })
+        .collect()
+}
+
+fn apply_sharded(
+    sharded: &ShardedHam,
+    ctxs: &mut Vec<neptune_ham::ContextId>,
+    op: &SOp,
+) -> neptune_ham::Result<()> {
+    match op {
+        SOp::Fork(i) => {
+            let parent = ctxs[i % ctxs.len()];
+            let child = sharded.create_context(parent)?;
+            ctxs.push(child);
+        }
+        SOp::AddNode(i) => {
+            let ctx = ctxs[i % ctxs.len()];
+            let mut guard = sharded.lock_home(ctx)?;
+            guard.add_node(ctx, true)?;
+        }
+        SOp::ModifyNode(i, contents) => {
+            let ctx = ctxs[i % ctxs.len()];
+            let mut guard = sharded.lock_home(ctx)?;
+            let nodes: Vec<NodeIndex> = guard
+                .graph(ctx)?
+                .nodes()
+                .filter(|n| n.exists_at(Time::CURRENT))
+                .map(|n| n.id)
+                .collect();
+            if nodes.is_empty() {
+                return Ok(());
+            }
+            let node = nodes[i % nodes.len()];
+            let opened = guard.open_node(ctx, node, Time::CURRENT, &[])?;
+            guard.modify_node(ctx, node, opened.current_time, contents.clone(), &[])?;
+        }
+        SOp::Merge(i) => {
+            let children: Vec<_> = ctxs
+                .iter()
+                .copied()
+                .filter(|c| *c != MAIN_CONTEXT)
+                .collect();
+            if !children.is_empty() {
+                let child = children[i % children.len()];
+                sharded
+                    .merge_context(child, ConflictPolicy::PreferChild)
+                    .map(|_| ())?;
+            }
+        }
+        SOp::Checkpoint => sharded.checkpoint()?,
+    }
+    Ok(())
+}
+
+/// Per-context observable fingerprint of a sharded store's live machines.
+fn sharded_fps(sharded: &ShardedHam) -> BTreeMap<u64, String> {
+    let mut out = BTreeMap::new();
+    for ctx in sharded.live_contexts() {
+        let guard = sharded.lock_shard(sharded.shard_of(ctx));
+        let graph = guard.graph(ctx).unwrap();
+        let mut s = format!("clock {}\n", graph.now().0);
+        for t in 1..=graph.now().0 {
+            let time = Time(t);
+            for n in graph.nodes() {
+                if !n.exists_at(time) {
+                    continue;
+                }
+                s.push_str(&format!("t{t} node {} ", n.id.0));
+                for (attr, value) in n.attrs.all_at(time) {
+                    s.push_str(&format!("{}={} ", attr.0, value));
+                }
+                s.push('\n');
+            }
+        }
+        out.insert(ctx.0, s);
+    }
+    out
+}
+
+const SHARD_SWEEP_SHARDS: usize = 3;
+const SHARD_SWEEP_OPS: usize = 60;
+
+/// Per-step fingerprints of every context, keyed by context id.
+type ShardedFps = Vec<BTreeMap<u64, String>>;
+
+fn sharded_oracle() -> &'static (Vec<SOp>, ShardedFps) {
+    static ORACLE: OnceLock<(Vec<SOp>, ShardedFps)> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let ops = gen_sharded_ops(seed() ^ 0x5AD, SHARD_SWEEP_OPS);
+        let dir = tmpdir("sharded-oracle");
+        let (sharded, _, _) =
+            ShardedHam::create(&dir, Protections::DEFAULT, SHARD_SWEEP_SHARDS).unwrap();
+        let mut ctxs = vec![MAIN_CONTEXT];
+        let mut fps = vec![sharded_fps(&sharded)];
+        for (i, op) in ops.iter().enumerate() {
+            apply_sharded(&sharded, &mut ctxs, op).unwrap_or_else(|e| {
+                panic!("sharded oracle step {i} failed (seed {:#x}): {e}", seed())
+            });
+            fps.push(sharded_fps(&sharded));
+        }
+        drop(sharded);
+        assert_clean(&dir, "sharded oracle final state");
+        let _ = std::fs::remove_dir_all(&dir);
+        (ops, fps)
+    })
+}
+
+/// Every recovered context must match its oracle state at the completed
+/// prefix (`lo`) or one step later (`hi`), and no committed context may
+/// vanish.
+fn assert_per_context_prefix(
+    recovered: &BTreeMap<u64, String>,
+    lo: &BTreeMap<u64, String>,
+    hi: &BTreeMap<u64, String>,
+    what: &str,
+) {
+    for (ctx, fp) in recovered {
+        let ok = lo.get(ctx) == Some(fp) || hi.get(ctx) == Some(fp);
+        assert!(
+            ok,
+            "{what} (seed {:#x}): context {ctx} recovered to a state that is \
+             neither the completed prefix nor the next step:\n{fp}",
+            seed()
+        );
+    }
+    for ctx in lo.keys() {
+        assert!(
+            recovered.contains_key(ctx),
+            "{what} (seed {:#x}): committed context {ctx} vanished on recovery",
+            seed()
+        );
+    }
+}
+
+fn sharded_fault_run(kind: FaultKind, at: u64) -> Option<()> {
+    let _trace = obs_cell(kind, at);
+    let (ops, fps) = sharded_oracle();
+    let s = seed();
+    let dir = tmpdir(&format!("sharded-{kind}-{at}"));
+    let vfs = FaultVfs::new();
+    let (sharded, _, _) = ShardedHam::create_with(
+        Arc::new(vfs.clone()),
+        &dir,
+        Protections::DEFAULT,
+        SHARD_SWEEP_SHARDS,
+    )
+    .unwrap();
+    vfs.arm(kind, at);
+
+    let mut ctxs = vec![MAIN_CONTEXT];
+    let mut completed = 0;
+    for op in ops {
+        match apply_sharded(&sharded, &mut ctxs, op) {
+            Ok(()) => completed += 1,
+            Err(e) => {
+                assert!(
+                    vfs.injected() > 0,
+                    "sharded {kind} at {at} (seed {s:#x}): step {completed} \
+                     failed without a fault being injected: {e}"
+                );
+                break;
+            }
+        }
+    }
+    drop(sharded);
+    if vfs.injected() == 0 {
+        let _ = std::fs::remove_dir_all(&dir);
+        return None;
+    }
+
+    let lo = &fps[completed];
+    let hi = &fps[(completed + 1).min(fps.len() - 1)];
+
+    // Crash image A: every issued write reached disk.
+    {
+        let (recovered, _, _) = ShardedHam::open(&dir).unwrap_or_else(|e| {
+            panic!("sharded {kind} at {at} (seed {s:#x}): working tree failed to reopen: {e}")
+        });
+        assert_per_context_prefix(
+            &sharded_fps(&recovered),
+            lo,
+            hi,
+            &format!("sharded {kind} at {at} working tree"),
+        );
+    }
+
+    // Crash image B: nothing unsynced survived.
+    vfs.power_off();
+    vfs.materialize_durable(&dir).unwrap();
+    let (recovered, _, _) = ShardedHam::open(&dir).unwrap_or_else(|e| {
+        panic!("sharded {kind} at {at} (seed {s:#x}): durable image failed to reopen: {e}")
+    });
+    let findings = neptune_check::verify_sharded(&recovered);
+    assert!(
+        findings.is_empty(),
+        "sharded {kind} at {at} durable image (seed {s:#x}): verify found {findings:?}"
+    );
+    assert_per_context_prefix(
+        &sharded_fps(&recovered),
+        lo,
+        hi,
+        &format!("sharded {kind} at {at} durable image"),
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    Some(())
+}
+
+fn sharded_sweep(kind: FaultKind) {
+    let mut at = 0;
+    while sharded_fault_run(kind, at).is_some() {
+        at += 1;
+    }
+    assert!(
+        at > 0,
+        "sharded {kind}: workload produced no matching fault points"
+    );
+}
+
+#[test]
+fn sharded_recovery_power_cut() {
+    sharded_sweep(FaultKind::PowerCut);
+}
+
+#[test]
+fn sharded_recovery_short_write() {
+    sharded_sweep(FaultKind::ShortWrite);
+}
+
+#[test]
+fn sharded_recovery_fail_sync() {
+    sharded_sweep(FaultKind::FailSync);
 }

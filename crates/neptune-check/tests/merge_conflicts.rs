@@ -1,0 +1,113 @@
+//! Conflicting context merges, end to end through the HAM facade.
+//!
+//! The graph-level unit tests in `context.rs` prove `merge_context`'s
+//! policy matrix; these tests prove the machine-level contract around a
+//! conflicting merge: the conflict is surfaced (as an error under `Fail`,
+//! as `MergeReport::conflicts` otherwise), `neptune_ham_merge_conflicts_total`
+//! counts every resolved conflict, and the store — including after the
+//! failed-and-rolled-back merge — stays `verify_store`-clean.
+
+use neptune_check::{verify_open_ham, verify_store};
+use neptune_ham::context::ConflictPolicy;
+use neptune_ham::error::HamError;
+use neptune_ham::types::{Protections, Time, MAIN_CONTEXT};
+use neptune_ham::value::Value;
+use neptune_ham::Ham;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "neptune-merge-conflicts-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn conflict_count() -> u64 {
+    neptune_obs::registry()
+        .counter("neptune_ham_merge_conflicts_total")
+        .get()
+}
+
+#[test]
+fn conflicting_merges_surface_count_and_stay_clean() {
+    let dir = tmpdir("matrix");
+    let (mut ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
+
+    // ---- Content-vs-content conflict ----------------------------------
+    let (node, t0) = ham.add_node(MAIN_CONTEXT, true).unwrap();
+    let t1 = ham
+        .modify_node(MAIN_CONTEXT, node, t0, b"base contents\n".to_vec(), &[])
+        .unwrap();
+    let child = ham.create_context(MAIN_CONTEXT).unwrap();
+    ham.modify_node(MAIN_CONTEXT, node, t1, b"parent edit\n".to_vec(), &[])
+        .unwrap();
+    ham.modify_node(child, node, t1, b"child edit\n".to_vec(), &[])
+        .unwrap();
+
+    // Fail policy: the conflict aborts the merge before anything resolves,
+    // so the counter must not move and the rollback must leave the store
+    // verify-clean.
+    let before = conflict_count();
+    let err = ham.merge_context(child, ConflictPolicy::Fail);
+    assert!(
+        matches!(err, Err(HamError::MergeConflict { .. })),
+        "content-vs-content merge under Fail must surface the conflict, got {err:?}"
+    );
+    assert_eq!(conflict_count(), before, "Fail resolves nothing");
+    assert_eq!(verify_open_ham(&ham), Vec::new());
+
+    // PreferChild: resolved, reported, counted, and the child's edit wins.
+    let report = ham
+        .merge_context(child, ConflictPolicy::PreferChild)
+        .unwrap();
+    assert_eq!(report.conflicts.len(), 1, "one content conflict resolved");
+    assert_eq!(
+        conflict_count(),
+        before + 1,
+        "resolved conflicts increment neptune_ham_merge_conflicts_total"
+    );
+    let merged = ham
+        .open_node(MAIN_CONTEXT, node, Time::CURRENT, &[])
+        .unwrap();
+    assert_eq!(&merged.contents[..], b"child edit\n");
+    assert_eq!(verify_open_ham(&ham), Vec::new());
+
+    // ---- Attribute-vs-attribute conflict ------------------------------
+    let status = ham.get_attribute_index(MAIN_CONTEXT, "status").unwrap();
+    ham.set_node_attribute_value(MAIN_CONTEXT, node, status, Value::str("base"))
+        .unwrap();
+    let child2 = ham.create_context(MAIN_CONTEXT).unwrap();
+    ham.set_node_attribute_value(MAIN_CONTEXT, node, status, Value::str("parent"))
+        .unwrap();
+    let status_c = ham.get_attribute_index(child2, "status").unwrap();
+    ham.set_node_attribute_value(child2, node, status_c, Value::str("child"))
+        .unwrap();
+
+    let before = conflict_count();
+    let err = ham.merge_context(child2, ConflictPolicy::Fail);
+    assert!(
+        matches!(err, Err(HamError::MergeConflict { .. })),
+        "attribute-vs-attribute merge under Fail must surface the conflict, got {err:?}"
+    );
+    assert_eq!(conflict_count(), before);
+    assert_eq!(verify_open_ham(&ham), Vec::new());
+
+    // PreferParent: resolved and counted, and the parent's value stands.
+    let report = ham
+        .merge_context(child2, ConflictPolicy::PreferParent)
+        .unwrap();
+    assert_eq!(report.conflicts.len(), 1, "one attribute conflict resolved");
+    assert_eq!(conflict_count(), before + 1);
+    assert_eq!(
+        ham.get_node_attribute_value(MAIN_CONTEXT, node, status, Time::CURRENT)
+            .unwrap(),
+        Value::str("parent")
+    );
+    assert_eq!(verify_open_ham(&ham), Vec::new());
+
+    // The durable image is clean too: close and re-verify from disk.
+    drop(ham);
+    assert_eq!(verify_store(&dir), Vec::new());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -112,6 +112,23 @@ impl Decode for AttributeTable {
     }
 }
 
+/// Count one attribute point-get and the probes its binary search made.
+/// `neptune_ham_attr_probes_total / neptune_ham_attr_gets_total` is the
+/// mean probe depth — O(log versions) when healthy; a linear regression
+/// would push it toward the version count.
+fn observe_attr_get(probes: u32) {
+    use std::sync::{Arc, OnceLock};
+    static PROBES: OnceLock<Arc<neptune_obs::Counter>> = OnceLock::new();
+    static GETS: OnceLock<Arc<neptune_obs::Counter>> = OnceLock::new();
+    if neptune_obs::enabled() {
+        PROBES
+            .get_or_init(|| neptune_obs::registry().counter("neptune_ham_attr_probes_total"))
+            .add(u64::from(probes));
+        GETS.get_or_init(|| neptune_obs::registry().counter("neptune_ham_attr_gets_total"))
+            .inc();
+    }
+}
+
 /// The versioned attribute/value pairs attached to one node or link.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AttrMap {
@@ -143,9 +160,15 @@ impl AttrMap {
     }
 
     /// The value of `attr` at `time` — `getNodeAttributeValue` /
-    /// `getLinkAttributeValue`.
+    /// `getLinkAttributeValue`. Binary-searches the sorted version vector;
+    /// the probe count feeds `neptune_ham_attr_probes_total` so a
+    /// regression back to a linear walk shows up in metrics, not just in
+    /// latency.
     pub fn get(&self, attr: AttributeIndex, time: Time) -> Option<&Value> {
-        self.values.get(&attr).and_then(|v| v.get_at(time))
+        let versions = self.values.get(&attr)?;
+        let (value, probes) = versions.get_at_counted(time);
+        observe_attr_get(probes);
+        value
     }
 
     /// All `(attribute, value)` pairs with a value at `time` —
@@ -172,10 +195,14 @@ impl AttrMap {
 
     /// Attributes whose value changed (set or deleted) strictly after
     /// `time` — used by context merging to find divergent attributes.
+    /// Only the newest change time matters, so this reads it in O(1) per
+    /// attribute instead of materializing every attribute's full
+    /// `change_times()` vector (the linear-walk shape merge paid per
+    /// attribute per merge).
     pub fn attrs_changed_after(&self, time: Time) -> Vec<AttributeIndex> {
         self.values
             .iter()
-            .filter(|(_, v)| v.change_times().last().is_some_and(|t| *t > time))
+            .filter(|(_, v)| v.last_change_time().is_some_and(|t| t > time))
             .map(|(idx, _)| *idx)
             .collect()
     }

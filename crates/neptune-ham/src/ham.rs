@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{self, AtomicU64};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use neptune_storage::blobstore::BlobStore;
@@ -105,6 +106,23 @@ pub struct Ham {
     published: Arc<Published<CommittedView>>,
     /// Epoch stamped into the next published view (monotonic from 1).
     view_epoch: u64,
+    /// Source of global commit sequence numbers. Private to this machine
+    /// for an unsharded store; shared by every shard of a
+    /// [`crate::shard::ShardedHam`], so sequences order commits across
+    /// shards.
+    commit_seq: Arc<AtomicU64>,
+    /// Sequence stamped into the most recent durable commit (0 before the
+    /// first). Published into every [`CommittedView`].
+    last_seq: u64,
+    /// A sequence pre-assigned by a cross-shard coordinator for the next
+    /// commit; consumed by `log_txn` instead of drawing a fresh one, so
+    /// every participant of a cross-shard transaction stamps the same
+    /// sequence.
+    forced_seq: Option<u64>,
+    /// This machine's shard identity `(index, count)`; `(0, 1)` for an
+    /// unsharded store. Consulted by the fork-topology invariant rules: a
+    /// context adopted from another shard legitimately has no local parent.
+    shard: (u32, u32),
 }
 
 impl std::fmt::Debug for Ham {
@@ -158,7 +176,14 @@ impl Ham {
         let wal = Wal::open_with(vfs.as_ref(), directory.join(WAL_FILE))?;
         let blobs = BlobStore::open_with(Arc::clone(&vfs), directory.join(NODES_DIR), protections)?;
         let vcache = Arc::new(Mutex::new(MaterializationCache::default()));
-        let view = CommittedView::new(1, &threads, Arc::clone(&vcache), directory.clone());
+        let view = CommittedView::new(
+            1,
+            0,
+            (0, 1),
+            &threads,
+            Arc::clone(&vcache),
+            directory.clone(),
+        );
         let mut ham = Ham {
             directory,
             vfs,
@@ -177,6 +202,10 @@ impl Ham {
             vcache,
             published: Arc::new(Published::new(view)),
             view_epoch: 1,
+            commit_seq: Arc::new(AtomicU64::new(0)),
+            last_seq: 0,
+            forced_seq: None,
+            shard: (0, 1),
         };
         ham.write_meta()?;
         ham.checkpoint()?;
@@ -247,10 +276,17 @@ impl Ham {
         // after the snapshot rename became durable but before the log
         // truncation did, replaying the whole log would apply every folded
         // transaction a second time.
-        let committed = wal.recover_after(state.boundary_lsn)?;
+        let committed = wal.recover_committed_after(state.boundary_lsn)?;
         let blobs = BlobStore::open_with(Arc::clone(&vfs), directory.join(NODES_DIR), protections)?;
         let vcache = Arc::new(Mutex::new(MaterializationCache::default()));
-        let view = CommittedView::new(1, &state.threads, Arc::clone(&vcache), directory.clone());
+        let view = CommittedView::new(
+            1,
+            state.last_seq,
+            (0, 1),
+            &state.threads,
+            Arc::clone(&vcache),
+            directory.clone(),
+        );
         let mut ham = Ham {
             directory,
             vfs,
@@ -269,16 +305,25 @@ impl Ham {
             vcache,
             published: Arc::new(Published::new(view)),
             view_epoch: 1,
+            commit_seq: Arc::new(AtomicU64::new(state.last_seq)),
+            last_seq: state.last_seq,
+            forced_seq: None,
+            shard: (0, 1),
         };
         // Replay committed transactions that postdate the snapshot.
         ham.replaying = true;
-        for (txn_id, ops) in committed {
-            ham.next_txn = ham.next_txn.max(txn_id + 1);
-            for payload in ops {
+        for txn in committed {
+            ham.next_txn = ham.next_txn.max(txn.txn_id + 1);
+            for payload in txn.ops {
                 let op = RedoOp::from_bytes(&payload)?;
                 ham.apply_redo(op)?;
             }
+            // Re-adopt the persisted sequence so post-recovery commits
+            // continue the global order.
+            ham.last_seq = ham.last_seq.max(txn.seq);
         }
+        ham.commit_seq
+            .fetch_max(ham.last_seq, atomic::Ordering::Relaxed);
         ham.replaying = false;
         // The placeholder epoch-1 view predates replay; republish so
         // lock-free readers see the recovered state.
@@ -1009,6 +1054,9 @@ impl Ham {
             reason: "no active transaction",
         })?;
         if txn.redo.is_empty() {
+            // A coordinator-forced sequence must not outlive the (empty)
+            // commit it was meant for.
+            self.forced_seq = None;
             self.count_txn_outcome("neptune_ham_txn_commits_total");
             return Ok(()); // read-only transaction: nothing new to publish
         }
@@ -1030,13 +1078,22 @@ impl Ham {
         Ok(())
     }
 
-    /// Append a transaction's records and force the commit to disk.
+    /// Append a transaction's records and force the commit to disk. The
+    /// commit record is stamped with the next global commit sequence (or a
+    /// coordinator-forced one for cross-shard transactions); the sequence
+    /// becomes `last_seq` — and visible to readers — only once durable.
     fn log_txn(&mut self, txn: &ActiveTxn) -> neptune_storage::Result<()> {
         self.wal.append(txn.id, RecordKind::Begin, Vec::new())?;
         for op in &txn.redo {
             self.wal.append(txn.id, RecordKind::Op, op.to_bytes())?;
         }
-        self.wal.append_commit(txn.id)?;
+        let seq = match self.forced_seq.take() {
+            Some(seq) => seq,
+            None => self.commit_seq.fetch_add(1, atomic::Ordering::Relaxed) + 1,
+        };
+        self.wal
+            .append_commit_with(txn.id, seq.to_le_bytes().to_vec())?;
+        self.last_seq = seq;
         Ok(())
     }
 
@@ -1079,6 +1136,9 @@ impl Ham {
     /// Undo everything a transaction did in memory (shared by explicit
     /// aborts and failed commits).
     fn rollback(&mut self, txn: ActiveTxn) {
+        // A commit the WAL refused must not leak its forced sequence into
+        // a later unrelated commit.
+        self.forced_seq = None;
         // Contexts destroyed/overwritten during the txn come back first.
         for (id, graph) in txn.saved_contexts.into_iter().rev() {
             let forked_from = self.threads.get(&id).and_then(|t| t.forked_from);
@@ -1086,6 +1146,14 @@ impl Ham {
         }
         for id in txn.created_contexts {
             self.threads.remove(&id);
+        }
+        // Fork points rewritten by merges are not clock-versioned; restore
+        // them explicitly, oldest record last so the pre-transaction value
+        // wins when one context was re-forked twice.
+        for (id, forked_from) in txn.saved_forks.into_iter().rev() {
+            if let Some(thread) = self.threads.get_mut(&id) {
+                thread.forked_from = forked_from;
+            }
         }
         for (context, start) in txn.start_times {
             if let Some(thread) = self.threads.get_mut(&context) {
@@ -1160,6 +1228,7 @@ impl Ham {
             boundary_lsn,
             self.next_context,
             self.next_txn,
+            self.last_seq,
             &self.threads,
         );
         write_snapshot_with(
@@ -1198,13 +1267,28 @@ impl Ham {
     /// Fork a new context ("private world") from `from`, sharing all its
     /// history up to now.
     pub fn create_context(&mut self, from: ContextId) -> Result<ContextId> {
+        let id = ContextId(self.next_context);
+        self.create_context_as(id, from)?;
+        Ok(id)
+    }
+
+    /// [`Ham::create_context`] with a caller-assigned id: a
+    /// [`crate::shard::ShardedHam`] allocates context ids globally (so a
+    /// context's home shard is a pure function of its id) and hands each
+    /// shard the id to use. `id` must be at least this machine's next free
+    /// id; the internal allocator is advanced past it.
+    pub fn create_context_as(&mut self, id: ContextId, from: ContextId) -> Result<()> {
         let _span = neptune_obs::span!("ham.create_context", "from {}", from.0);
         self.auto_txn(|ham| {
+            if ham.threads.contains_key(&id) {
+                return Err(HamError::TransactionState {
+                    reason: "context id already in use",
+                });
+            }
             let parent = ham.thread(from)?;
             let fork_time = parent.graph.now();
             let graph = parent.graph.clone();
-            let id = ContextId(ham.next_context);
-            ham.next_context += 1;
+            ham.next_context = ham.next_context.max(id.0 + 1);
             ham.threads.insert(
                 id,
                 GraphThread {
@@ -1220,7 +1304,7 @@ impl Ham {
                 from,
                 time: fork_time,
             });
-            Ok(id)
+            Ok(())
         })
     }
 
@@ -1251,7 +1335,14 @@ impl Ham {
             }
             let new_fork = ham.graph(parent_id)?.now();
             if let Some(thread) = ham.threads.get_mut(&child) {
+                // Fork points are not clock-versioned: save the old one so
+                // an abort restores it (truncating the parent alone would
+                // leave the child forked beyond the parent's clock).
+                let old = thread.forked_from;
                 thread.forked_from = Some((parent_id, new_fork));
+                if let Some(txn) = &mut ham.txn {
+                    txn.saved_forks.push((child, old));
+                }
             }
             ham.push_redo(RedoOp::MergeContext {
                 child,
@@ -1289,6 +1380,173 @@ impl Ham {
         let mut ids: Vec<ContextId> = self.threads.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    // =====================================================================
+    // Cross-shard context surgery (driven by `crate::shard::ShardedHam`)
+    // =====================================================================
+    //
+    // Each op is journaled with enough state (including encoded foreign
+    // graphs) that this shard's WAL replays without consulting any other
+    // shard — per-shard recovery stays independent ("recovery fan-in" is
+    // simply opening every shard).
+
+    /// A read-only export of `context`'s graph and clock, cloned O(changes)
+    /// thanks to the persistent node/link tries. The coordinator hands it
+    /// to another shard's [`Ham::adopt_context`] or [`Ham::merge_foreign`].
+    pub(crate) fn export_graph(&self, context: ContextId) -> Result<(HamGraph, Time)> {
+        let thread = self.thread(context)?;
+        Ok((thread.graph.clone(), thread.graph.now()))
+    }
+
+    /// Adopt a context forked on another shard: install `graph` (the parent
+    /// shard's export) as context `id`, forked from the foreign context
+    /// `from` at `time`.
+    pub(crate) fn adopt_context(
+        &mut self,
+        id: ContextId,
+        from: ContextId,
+        time: Time,
+        graph: HamGraph,
+    ) -> Result<()> {
+        let _span = neptune_obs::span!("ham.adopt_context", "context {}", id.0);
+        self.auto_txn(|ham| {
+            if ham.threads.contains_key(&id) {
+                return Err(HamError::TransactionState {
+                    reason: "context id already in use",
+                });
+            }
+            let mut gw = Writer::new();
+            graph.encode(&mut gw);
+            let encoded = gw.into_bytes();
+            ham.next_context = ham.next_context.max(id.0 + 1);
+            ham.threads.insert(
+                id,
+                GraphThread {
+                    graph,
+                    forked_from: Some((from, time)),
+                },
+            );
+            if let Some(txn) = &mut ham.txn {
+                txn.created_contexts.push(id);
+            }
+            ham.push_redo(RedoOp::AdoptContext {
+                id,
+                from,
+                time,
+                graph: encoded,
+            });
+            Ok(())
+        })
+    }
+
+    /// Merge a foreign (other-shard) child graph into local context `into`.
+    /// The parent half of a cross-shard merge; the child shard separately
+    /// re-forks via [`Ham::set_fork_point`].
+    pub(crate) fn merge_foreign(
+        &mut self,
+        into: ContextId,
+        child_graph: &HamGraph,
+        fork_time: Time,
+        policy: ConflictPolicy,
+    ) -> Result<MergeReport> {
+        let _span = neptune_obs::span!("ham.merge_foreign", "into {}", into.0);
+        self.auto_txn(|ham| {
+            ham.note_context(into)?;
+            let parent = ham.graph_mut(into)?;
+            let report = merge_context(parent, child_graph, fork_time, policy)?;
+            if neptune_obs::enabled() && !report.conflicts.is_empty() {
+                neptune_obs::registry()
+                    .counter("neptune_ham_merge_conflicts_total")
+                    .add(report.conflicts.len() as u64);
+            }
+            let mut gw = Writer::new();
+            child_graph.encode(&mut gw);
+            ham.push_redo(RedoOp::MergeForeign {
+                into,
+                policy: policy_tag(policy),
+                fork_time,
+                graph: gw.into_bytes(),
+            });
+            // Merges only append at fresh parent clock ticks, so resolved
+            // historical keys stay valid; the invalidation drops now-stale
+            // current-version materializations.
+            ham.lock_vcache().invalidate_context(into.0);
+            Ok(report)
+        })
+    }
+
+    /// Rewrite `child`'s fork point to `(into, time)` — the child half of a
+    /// cross-shard merge, after the parent shard folded the child in.
+    pub(crate) fn set_fork_point(
+        &mut self,
+        child: ContextId,
+        into: ContextId,
+        time: Time,
+    ) -> Result<()> {
+        let _span = neptune_obs::span!("ham.set_fork_point", "context {}", child.0);
+        self.auto_txn(|ham| {
+            let thread = ham
+                .threads
+                .get_mut(&child)
+                .ok_or(HamError::NoSuchContext(child))?;
+            let old = thread.forked_from;
+            thread.forked_from = Some((into, time));
+            if let Some(txn) = &mut ham.txn {
+                txn.saved_forks.push((child, old));
+            }
+            ham.push_redo(RedoOp::RefixFork { child, into, time });
+            Ok(())
+        })
+    }
+
+    /// The shared commit-sequence source (see [`Ham::attach_commit_seq`]).
+    pub(crate) fn commit_seq_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.commit_seq)
+    }
+
+    /// Rebind this machine to a shared commit-sequence source, raising it
+    /// to at least this shard's last persisted sequence. Called once per
+    /// shard when a [`crate::shard::ShardedHam`] assembles.
+    pub(crate) fn attach_commit_seq(&mut self, seq: Arc<AtomicU64>) {
+        seq.fetch_max(self.last_seq, atomic::Ordering::Relaxed);
+        self.commit_seq = seq;
+    }
+
+    /// Sequence stamped into the most recent durable commit (0 before any).
+    pub fn last_commit_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Pre-assign the sequence for the next commit. Used by the cross-shard
+    /// coordinator so every participant of one logical transaction stamps
+    /// the same sequence; consumed (or discarded on rollback) by that
+    /// commit.
+    pub(crate) fn force_commit_seq(&mut self, seq: u64) {
+        self.forced_seq = Some(seq);
+    }
+
+    /// Declare this machine shard `index` of `count` (invariant rules use
+    /// this to recognize legitimately-foreign fork parents).
+    pub(crate) fn set_shard_identity(&mut self, index: usize, count: usize) {
+        self.shard = (index as u32, count as u32);
+    }
+
+    /// This machine's shard identity `(index, count)`; `(0, 1)` unsharded.
+    pub(crate) fn shard_identity(&self) -> (u32, u32) {
+        self.shard
+    }
+
+    /// The next context id this machine would allocate on its own.
+    pub(crate) fn next_context_hint(&self) -> u64 {
+        self.next_context
+    }
+
+    /// Re-publish the current committed state; used after
+    /// [`crate::shard::ShardedHam`] assembly rebinds shard identity and the
+    /// commit-sequence source, both of which are stamped into views.
+    pub(crate) fn republish(&mut self) {
+        self.publish_view();
     }
 
     // =====================================================================
@@ -1354,6 +1612,8 @@ impl Ham {
         self.view_epoch += 1;
         let view = CommittedView::new(
             self.view_epoch,
+            self.last_seq,
+            self.shard,
             &self.threads,
             Arc::clone(&self.vcache),
             self.directory.clone(),
@@ -1745,6 +2005,43 @@ impl Ham {
             RedoOp::DestroyContext { id } => {
                 self.threads.remove(&id);
             }
+            RedoOp::AdoptContext {
+                id,
+                from,
+                time,
+                graph,
+            } => {
+                // The record carries the encoded parent graph, so replay
+                // never consults the (foreign) parent shard.
+                let mut r = Reader::new(&graph);
+                let graph = HamGraph::decode(&mut r)?;
+                self.next_context = self.next_context.max(id.0 + 1);
+                self.threads.insert(
+                    id,
+                    GraphThread {
+                        graph,
+                        forked_from: Some((from, time)),
+                    },
+                );
+            }
+            RedoOp::MergeForeign {
+                into,
+                policy,
+                fork_time,
+                graph,
+            } => {
+                let mut r = Reader::new(&graph);
+                let child_graph = HamGraph::decode(&mut r)?;
+                let parent = self.graph_mut(into)?;
+                merge_context(parent, &child_graph, fork_time, policy_from_tag(policy))?;
+            }
+            RedoOp::RefixFork { child, into, time } => {
+                let thread = self
+                    .threads
+                    .get_mut(&child)
+                    .ok_or(HamError::NoSuchContext(child))?;
+                thread.forked_from = Some((into, time));
+            }
         }
         Ok(())
     }
@@ -1799,21 +2096,34 @@ struct StoreState {
     boundary_lsn: u64,
     next_context: u64,
     next_txn: u64,
+    /// Commit sequence of the last transaction folded into this snapshot
+    /// (v2 snapshots only; v1 decodes as 0).
+    last_seq: u64,
     threads: HashMap<ContextId, GraphThread>,
 }
+
+/// v2 snapshots open with this sentinel where v1 stored `boundary_lsn`.
+/// An LSN can never reach it (the WAL would overflow first), so the first
+/// u64 unambiguously selects the format.
+const STORE_STATE_SENTINEL: u64 = u64::MAX;
+const STORE_STATE_VERSION: u8 = 2;
 
 fn encode_store_state(
     boundary_lsn: u64,
     next_context: u64,
     next_txn: u64,
+    last_seq: u64,
     threads: &HashMap<ContextId, GraphThread>,
 ) -> Vec<u8> {
     let mut ids: Vec<ContextId> = threads.keys().copied().collect();
     ids.sort_unstable();
     let mut w = Writer::new();
+    w.put_u64(STORE_STATE_SENTINEL);
+    w.put_u8(STORE_STATE_VERSION);
     w.put_u64(boundary_lsn);
     w.put_u64(next_context);
     w.put_u64(next_txn);
+    w.put_u64(last_seq);
     w.put_u64(ids.len() as u64);
     for id in ids {
         let t = &threads[&id];
@@ -1826,9 +2136,29 @@ fn encode_store_state(
 
 fn decode_store_state(bytes: &[u8]) -> Result<StoreState> {
     let mut r = Reader::new(bytes);
-    let boundary_lsn = r.get_u64()?;
+    let first = r.get_u64()?;
+    let (boundary_lsn, last_seq) = if first == STORE_STATE_SENTINEL {
+        let version = r.get_u8()?;
+        if version != STORE_STATE_VERSION {
+            return Err(HamError::Storage(
+                neptune_storage::StorageError::BadFileHeader {
+                    context: "store snapshot: unknown version",
+                },
+            ));
+        }
+        let boundary_lsn = r.get_u64()?;
+        // next_context / next_txn read below, shared with v1.
+        (boundary_lsn, None)
+    } else {
+        // v1: the first u64 *was* boundary_lsn; no sequence persisted.
+        (first, Some(0))
+    };
     let next_context = r.get_u64()?;
     let next_txn = r.get_u64()?;
+    let last_seq = match last_seq {
+        Some(s) => s,
+        None => r.get_u64()?,
+    };
     let count = r.get_u64()? as usize;
     let mut threads = HashMap::with_capacity(count.min(r.remaining()));
     for _ in 0..count {
@@ -1841,6 +2171,7 @@ fn decode_store_state(bytes: &[u8]) -> Result<StoreState> {
         boundary_lsn,
         next_context,
         next_txn,
+        last_seq,
         threads,
     })
 }

@@ -96,17 +96,45 @@ impl<T> Versioned<T> {
     }
 
     fn index_at(&self, time: Time) -> Option<usize> {
+        self.index_at_counted(time).0
+    }
+
+    /// [`Versioned::get_at`] plus the number of entries the lookup probed —
+    /// the instrumented variant behind the attribute read path, so metrics
+    /// can prove point-gets stay O(log n) as histories deepen.
+    pub(crate) fn get_at_counted(&self, time: Time) -> (Option<&T>, u32) {
+        let (idx, probes) = self.index_at_counted(time);
+        (idx.and_then(|i| self.entries[i].1.as_ref()), probes)
+    }
+
+    /// Index of the newest entry at or before `time`, with a probe count.
+    /// Hand-rolled binary search (identical result to
+    /// `binary_search_by_key` + `Err` adjustment) so each comparison is
+    /// observable; `CURRENT` resolves in zero probes.
+    fn index_at_counted(&self, time: Time) -> (Option<usize>, u32) {
         if self.entries.is_empty() {
-            return None;
+            return (None, 0);
         }
         if time.is_current() {
-            return Some(self.entries.len() - 1);
+            return (Some(self.entries.len() - 1), 0);
         }
-        // Newest entry with entry.0 <= time.
-        match self.entries.binary_search_by_key(&time, |e| e.0) {
-            Ok(i) => Some(i),
-            Err(0) => None,
-            Err(i) => Some(i - 1),
+        // partition point of `entry.0 <= time`, counting comparisons.
+        let mut lo = 0usize;
+        let mut hi = self.entries.len();
+        let mut probes = 0u32;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            if self.entries[mid].0 <= time {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            (None, probes)
+        } else {
+            (Some(lo - 1), probes)
         }
     }
 
@@ -118,6 +146,12 @@ impl<T> Versioned<T> {
     /// Times at which the value changed, oldest first.
     pub fn change_times(&self) -> Vec<Time> {
         self.entries.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Time of the newest change, if any — O(1), unlike
+    /// `change_times().last()`, which materializes the whole history.
+    pub fn last_change_time(&self) -> Option<Time> {
+        self.entries.last().map(|(t, _)| *t)
     }
 
     /// Number of recorded changes.

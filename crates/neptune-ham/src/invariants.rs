@@ -250,25 +250,38 @@ pub fn graph_violations(ctx: ContextId, graph: &HamGraph) -> Vec<Violation> {
 /// All integrity violations in an open machine: every context's graph plus
 /// the context-partition (fork) topology.
 pub fn ham_violations(ham: &Ham) -> Vec<Violation> {
-    thread_violations(ham.threads())
+    thread_violations(ham.threads(), ham.shard_identity())
 }
 
 /// [`ham_violations`] against a published committed snapshot — the
 /// lock-free `Verify` path checks the view it serves reads from, not the
 /// live machine.
 pub fn view_violations(view: &crate::view::CommittedView) -> Vec<Violation> {
-    thread_violations(view.threads())
+    thread_violations(view.threads(), view.shard())
 }
 
-fn thread_violations(
+/// `shard = (index, count)` identifies which slice of the context-id space
+/// this thread map covers: contexts whose home (`id % count`) is a
+/// different shard legitimately appear only as *fork parents* here, so the
+/// context-partition rules skip them — [`crate::shard::ShardedHam`] runs
+/// the full cross-shard topology check over the merged map with `(0, 1)`.
+pub(crate) fn thread_violations(
     threads: &std::collections::HashMap<ContextId, crate::ham::GraphThread>,
+    shard: (u32, u32),
 ) -> Vec<Violation> {
+    let (shard_index, shard_count) = (shard.0 as u64, shard.1.max(1) as u64);
     let mut ids: Vec<ContextId> = threads.keys().copied().collect();
     ids.sort_unstable();
     let mut out = Vec::new();
     for ctx in ids {
         let thread = &threads[&ctx];
         if let Some((parent, fork_time)) = thread.forked_from {
+            if parent.0 % shard_count != shard_index {
+                // Foreign parent: it lives on another shard, so neither its
+                // existence nor its clock can be judged from this map.
+                out.extend(graph_violations(ctx, &thread.graph));
+                continue;
+            }
             match threads.get(&parent) {
                 None => out.push(Violation {
                     rule: RULE_CONTEXT_PARTITION,

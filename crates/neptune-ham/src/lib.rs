@@ -32,6 +32,7 @@ pub mod node;
 pub mod pmap;
 pub mod predicate;
 pub mod query;
+pub mod shard;
 pub mod txn;
 pub mod types;
 pub mod value;
@@ -43,6 +44,7 @@ pub use error::{HamError, Result};
 pub use graph::HamGraph;
 pub use ham::Ham;
 pub use predicate::Predicate;
+pub use shard::{MultiView, ShardedHam};
 pub use types::{
     AttributeIndex, ContextId, LinkIndex, LinkPt, Machine, NodeIndex, Position, ProjectId,
     Protections, Time, Version, MAIN_CONTEXT,

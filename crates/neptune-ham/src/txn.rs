@@ -204,6 +204,44 @@ pub enum RedoOp {
         /// The discarded context.
         id: ContextId,
     },
+    /// A cross-shard `createContext`: this shard adopted a context whose
+    /// parent lives on another shard. The record carries the parent graph's
+    /// encoded bytes so replay of this shard's log is self-contained — the
+    /// parent shard's log is never consulted.
+    AdoptContext {
+        /// The new context's id.
+        id: ContextId,
+        /// The (foreign) context it was forked from.
+        from: ContextId,
+        /// Fork time (in the parent's clock).
+        time: Time,
+        /// Encoded [`crate::graph::HamGraph`] snapshot of the parent at the
+        /// fork point.
+        graph: Vec<u8>,
+    },
+    /// A cross-shard `mergeContext`, parent side: fold an encoded foreign
+    /// child graph into `into`. Self-contained for the same reason as
+    /// [`RedoOp::AdoptContext`].
+    MergeForeign {
+        /// The receiving (parent) context on this shard.
+        into: ContextId,
+        /// Conflict policy tag (see [`crate::context::ConflictPolicy`]).
+        policy: u8,
+        /// The child's fork time in the parent's clock.
+        fork_time: Time,
+        /// Encoded [`crate::graph::HamGraph`] of the (foreign) child.
+        graph: Vec<u8>,
+    },
+    /// A cross-shard `mergeContext`, child side: after the parent shard
+    /// folded the child in, re-fork the child at the parent's new clock.
+    RefixFork {
+        /// The re-forked child context on this shard.
+        child: ContextId,
+        /// The (foreign) parent context.
+        into: ContextId,
+        /// The new fork time (in the parent's clock).
+        time: Time,
+    },
 }
 
 impl RedoOp {
@@ -225,6 +263,9 @@ impl RedoOp {
             RedoOp::CreateContext { .. } => 13,
             RedoOp::MergeContext { .. } => 14,
             RedoOp::DestroyContext { .. } => 15,
+            RedoOp::AdoptContext { .. } => 16,
+            RedoOp::MergeForeign { .. } => 17,
+            RedoOp::RefixFork { .. } => 18,
         }
     }
 }
@@ -407,6 +448,33 @@ impl Encode for RedoOp {
             RedoOp::DestroyContext { id } => {
                 id.encode(w);
             }
+            RedoOp::AdoptContext {
+                id,
+                from,
+                time,
+                graph,
+            } => {
+                id.encode(w);
+                from.encode(w);
+                time.encode(w);
+                w.put_bytes(graph);
+            }
+            RedoOp::MergeForeign {
+                into,
+                policy,
+                fork_time,
+                graph,
+            } => {
+                into.encode(w);
+                w.put_u8(*policy);
+                fork_time.encode(w);
+                w.put_bytes(graph);
+            }
+            RedoOp::RefixFork { child, into, time } => {
+                child.encode(w);
+                into.encode(w);
+                time.encode(w);
+            }
         }
     }
 }
@@ -506,6 +574,23 @@ impl Decode for RedoOp {
             15 => RedoOp::DestroyContext {
                 id: ContextId::decode(r)?,
             },
+            16 => RedoOp::AdoptContext {
+                id: ContextId::decode(r)?,
+                from: ContextId::decode(r)?,
+                time: Time::decode(r)?,
+                graph: r.get_bytes()?.to_vec(),
+            },
+            17 => RedoOp::MergeForeign {
+                into: ContextId::decode(r)?,
+                policy: r.get_u8()?,
+                fork_time: Time::decode(r)?,
+                graph: r.get_bytes()?.to_vec(),
+            },
+            18 => RedoOp::RefixFork {
+                child: ContextId::decode(r)?,
+                into: ContextId::decode(r)?,
+                time: Time::decode(r)?,
+            },
             tag => {
                 return Err(StorageError::InvalidTag {
                     context: "RedoOp",
@@ -529,6 +614,10 @@ pub struct ActiveTxn {
     /// Contexts destroyed or merged inside this transaction, with their
     /// pre-transaction state (restored on abort).
     pub saved_contexts: Vec<(ContextId, crate::graph::HamGraph)>,
+    /// Fork points rewritten inside this transaction (by the cross-shard
+    /// `RefixFork` path), with their pre-transaction values. Fork points
+    /// are not clock-versioned, so abort must restore them explicitly.
+    pub saved_forks: Vec<(ContextId, Option<(ContextId, Time)>)>,
     /// Redo records accumulated so far.
     pub redo: Vec<RedoOp>,
 }
@@ -541,6 +630,7 @@ impl ActiveTxn {
             start_times: HashMap::new(),
             created_contexts: Vec::new(),
             saved_contexts: Vec::new(),
+            saved_forks: Vec::new(),
             redo: Vec::new(),
         }
     }
@@ -648,6 +738,23 @@ mod tests {
                 policy: 1,
             },
             RedoOp::DestroyContext { id: ContextId(2) },
+            RedoOp::AdoptContext {
+                id: ContextId(9),
+                from: ContextId(4),
+                time: Time(20),
+                graph: vec![1, 2, 3, 4],
+            },
+            RedoOp::MergeForeign {
+                into: ContextId(4),
+                policy: 2,
+                fork_time: Time(20),
+                graph: vec![5, 6, 7],
+            },
+            RedoOp::RefixFork {
+                child: ContextId(9),
+                into: ContextId(4),
+                time: Time(25),
+            },
         ];
         for op in ops {
             let decoded = RedoOp::from_bytes(&op.to_bytes()).unwrap();

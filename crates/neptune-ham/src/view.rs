@@ -381,9 +381,20 @@ impl<'a> ReadCore<'a> {
 /// docs). All read-only HAM operations are available directly on the view.
 pub struct CommittedView {
     epoch: u64,
+    /// Global commit sequence of the last durable commit folded into this
+    /// view (0 for a freshly created store). Per-shard epochs are local;
+    /// this sequence is what orders publishes *across* shards, so
+    /// cross-shard readers can assemble a consistent cut (see
+    /// [`crate::shard`]).
+    commit_seq: u64,
     /// Materialization-cache generation current at publish time; every
     /// cache interaction through this view is pinned to it.
     generation: u64,
+    /// Shard identity `(index, count)` of the machine that published this
+    /// view; `(0, 1)` for unsharded stores. Invariant checkers use it to
+    /// skip fork-topology rules whose parent context lives on another
+    /// shard.
+    shard: (u32, u32),
     directory: PathBuf,
     threads: HashMap<ContextId, GraphThread>,
     /// Shared with the live machine: view readers warm the same cache.
@@ -404,6 +415,8 @@ impl std::fmt::Debug for CommittedView {
 impl CommittedView {
     pub(crate) fn new(
         epoch: u64,
+        commit_seq: u64,
+        shard: (u32, u32),
         threads: &HashMap<ContextId, GraphThread>,
         vcache: Arc<Mutex<MaterializationCache>>,
         directory: PathBuf,
@@ -414,7 +427,9 @@ impl CommittedView {
             .generation();
         CommittedView {
             epoch,
+            commit_seq,
             generation,
+            shard,
             directory,
             // O(changes), not O(graph): HamGraph's node/link maps are
             // persistent tries, so this clone is Arc bumps plus the small
@@ -442,6 +457,24 @@ impl CommittedView {
     /// the machine's lifetime, starting at 1 for the freshly opened state).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The global commit sequence of the last commit folded into this view
+    /// (0 until the first commit). Monotonic per shard; unique across
+    /// shards except for cross-shard transactions, whose participants all
+    /// stamp the same sequence.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Shard identity `(index, count)` of the publishing machine.
+    pub(crate) fn shard(&self) -> (u32, u32) {
+        self.shard
+    }
+
+    /// The logical clock of `context` as of this snapshot.
+    pub fn context_now(&self, context: ContextId) -> Result<Time> {
+        Ok(self.graph(context)?.now())
     }
 
     /// The materialization-cache generation this view is pinned to.

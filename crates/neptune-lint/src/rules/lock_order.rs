@@ -1,28 +1,35 @@
 //! `lock-order`: the server's lock hierarchy (DESIGN.md §9) is committed
-//! view first, then the gate mutex, then the HAM `RwLock` — never the
-//! reverse — and nothing that can block indefinitely may run while a HAM
-//! guard is held. A view load sits *below* every lock because the lock-free
-//! read path must never develop a blocking dependency: loading a snapshot
-//! while holding the gate or the HAM lock smuggles the publication slot
-//! into a critical section.
+//! view first, then the gate mutex, then the legacy whole-machine HAM
+//! lock, then the shard locks in ascending index order — never the
+//! reverse — and nothing that can block indefinitely may run while a
+//! machine guard is held. A view load sits *below* every lock because the
+//! lock-free read path must never develop a blocking dependency: loading
+//! a snapshot while holding the gate or a shard lock smuggles the
+//! publication slot into a critical section.
 //!
 //! The pass is a linear scan over the token stream that tracks *live
 //! guards*: every syntactic acquisition site (`load_view()`,
-//! `view.load()`, `lock_gate()`, `wait_for_gate(...)`, `gate.lock()`,
-//! `read_ham()`/`write_ham()`, `ham.read()`/`ham.write()`) records a
-//! ranked guard bound to its `let` binding (or to the enclosing statement
-//! for temporaries). A guard dies at `drop(name)`, at the end of its
-//! statement (temporaries), or when its scope's brace closes. Two
+//! `load_multi_view()`, `view.load()`, `multi_view()`, `lock_gate()`,
+//! `wait_for_gate(...)`, `gate.lock()`, `read_ham()`/`write_ham()`,
+//! `ham.read()`/`ham.write()`, `lock_home(...)`/`lock_shard(...)`)
+//! records a ranked guard bound to its `let` binding (or to the enclosing
+//! statement for temporaries). A guard dies at `drop(name)`, at the end
+//! of its statement (temporaries), or when its scope's brace closes. Two
 //! violations:
 //!
 //! * acquiring a rank while a guard of equal or higher rank is live
-//!   (e.g. taking the gate while holding the HAM — the inversion that
-//!   deadlocks against the correct order);
+//!   (e.g. taking the gate while holding a shard — the inversion that
+//!   deadlocks against the correct order). Shard-over-shard acquisition
+//!   in *ascending index* order is the two-phase cross-shard path and
+//!   lives inside neptune-ham, which this server-scoped pass does not
+//!   scan; server code holds at most one shard guard, so same-rank shard
+//!   re-entry is flagged like any other re-entry;
 //! * calling a blocking primitive (condvar waits, sleeps, fsync-shaped
-//!   syncs, socket frame I/O) while any HAM guard is live. HAM *methods*
-//!   that fsync internally (`checkpoint`, `commit_transaction`) are the
-//!   durability barrier and are intentionally exempt: the contract is about
-//!   foreign blocking work, not the HAM's own write path.
+//!   syncs, socket frame I/O) while any HAM or shard guard is live.
+//!   Machine *methods* that fsync internally (`checkpoint`,
+//!   `commit_transaction`) are the durability barrier and are
+//!   intentionally exempt: the contract is about foreign blocking work,
+//!   not the machine's own write path.
 
 use crate::tokutil::text;
 use crate::{lexer::Token, Finding, Kind, SourceFile};
@@ -30,6 +37,7 @@ use crate::{lexer::Token, Finding, Kind, SourceFile};
 const RANK_VIEW: u8 = 0;
 const RANK_GATE: u8 = 1;
 const RANK_HAM: u8 = 2;
+const RANK_SHARD: u8 = 3;
 
 const BLOCKING_CALLS: &[&str] = &[
     "wait",
@@ -116,8 +124,9 @@ pub fn run(file: &SourceFile) -> Vec<Finding> {
                     col: t.col,
                     message: format!(
                         "{what} acquired while {} (acquired line {}) is still held; \
-                         the hierarchy is view \u{2192} gate \u{2192} HAM, and no \
-                         lock rank may be re-entered (DESIGN.md \u{a7}9)",
+                         the hierarchy is view \u{2192} gate \u{2192} HAM \u{2192} \
+                         shard[i] ascending, and no lock rank may be re-entered \
+                         (DESIGN.md \u{a7}9)",
                         held.what, held.line
                     ),
                 });
@@ -134,16 +143,17 @@ pub fn run(file: &SourceFile) -> Vec<Finding> {
             && text(toks, i + 1) == "("
             && text(toks, i.wrapping_sub(1)) != "fn"
         {
-            if let Some(held) = guards.iter().find(|g| g.rank == RANK_HAM) {
+            if let Some(held) = guards.iter().find(|g| g.rank >= RANK_HAM) {
                 findings.push(Finding {
                     rule: "lock-order",
                     path: file.rel_path.clone(),
                     line: t.line,
                     col: t.col,
                     message: format!(
-                        "blocking call `{}` while the HAM guard from line {} is held; \
-                         blocking under the RwLock starves every reader (DESIGN.md \u{a7}9)",
-                        t.text, held.line
+                        "blocking call `{}` while {} from line {} is held; \
+                         blocking under a machine lock starves every writer queued \
+                         on that shard (DESIGN.md \u{a7}9)",
+                        t.text, held.what, held.line
                     ),
                 });
             }
@@ -169,7 +179,7 @@ fn acquisition(toks: &[Token], i: usize) -> Option<(u8, &'static str)> {
         ""
     };
     match t.text.as_str() {
-        "load_view" => Some((RANK_VIEW, "the committed view")),
+        "load_view" | "load_multi_view" | "multi_view" => Some((RANK_VIEW, "the committed view")),
         "load" if receiver.contains("view") || receiver.contains("published") => {
             Some((RANK_VIEW, "the committed view"))
         }
@@ -179,6 +189,7 @@ fn acquisition(toks: &[Token], i: usize) -> Option<(u8, &'static str)> {
         "write_ham" => Some((RANK_HAM, "the HAM write guard")),
         "read" if receiver == "ham" => Some((RANK_HAM, "the HAM read guard")),
         "write" if receiver == "ham" => Some((RANK_HAM, "the HAM write guard")),
+        "lock_home" | "lock_shard" => Some((RANK_SHARD, "a shard guard")),
         _ => None,
     }
 }

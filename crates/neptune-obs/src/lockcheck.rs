@@ -34,7 +34,20 @@ pub const VIEW: Rank = Rank(5);
 pub const GATE: Rank = Rank(10);
 
 /// The HAM `RwLock` (`Shared::ham` in neptune-server), read or write side.
+/// Retained for unsharded embedders; the sharded server replaces it with
+/// per-shard ranks from [`shard`].
 pub const HAM: Rank = Rank(20);
+
+/// Base rank of the per-shard machine locks: shard `i` ranks at
+/// `SHARD_BASE + i`, so acquiring shards in ascending index order is
+/// automatically rank-ordered — the cross-shard two-phase commit's
+/// deadlock-freedom argument, checked at runtime.
+pub const SHARD_BASE: Rank = Rank(30);
+
+/// The rank of shard `index`'s machine lock (see [`SHARD_BASE`]).
+pub const fn shard(index: usize) -> Rank {
+    Rank(SHARD_BASE.0 + index as u32)
+}
 
 /// Witness that a lock of some rank is held by the current thread.
 /// Dropping it releases the rank. Zero-sized in release builds.
@@ -88,8 +101,8 @@ mod debug_impl {
             if let Some(conflict) = held.iter().find(|e| e.rank >= rank) {
                 panic!(
                     "lock-order violation: acquiring `{name}` (rank {}) while holding \
-                     `{}` (rank {}); the hierarchy is view \u{2192} gate \u{2192} HAM, \
-                     lower ranks first (DESIGN.md \u{a7}9)",
+                     `{}` (rank {}); the hierarchy is view \u{2192} gate \u{2192} \
+                     shard[i] ascending, lower ranks first (DESIGN.md \u{a7}9)",
                     rank.0, conflict.name, conflict.rank.0
                 );
             }
@@ -161,6 +174,22 @@ mod tests {
         let _view = acquire(VIEW, "view");
         #[cfg(not(debug_assertions))]
         panic!("lock-order violation (tracker compiled out)");
+    }
+
+    #[test]
+    fn ascending_shard_acquisition_is_clean_and_descending_is_not() {
+        let s0 = acquire(shard(0), "shard 0");
+        let s3 = acquire(shard(3), "shard 3");
+        drop(s0);
+        drop(s3);
+        let caught = std::thread::spawn(|| {
+            let _s3 = acquire(shard(3), "shard 3");
+            let _s1 = acquire(shard(1), "shard 1");
+        })
+        .join();
+        if cfg!(debug_assertions) {
+            assert!(caught.is_err(), "descending shard order should panic");
+        }
     }
 
     #[test]

@@ -23,4 +23,6 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use proto::{ObsSetting, Request, Response, TracedRequest, TRACE_EXT_TAG};
-pub use server::{serve, serve_with, ServeOptions, ServerHandle};
+pub use server::{
+    serve, serve_sharded, serve_sharded_with, serve_with, ServeOptions, ServerHandle,
+};

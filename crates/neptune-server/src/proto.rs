@@ -548,6 +548,67 @@ impl Request {
         }
     }
 
+    /// The context this request is scoped to, if any — the sharded
+    /// server's routing key: context-scoped requests go to the context's
+    /// home shard, `None` means machine-global (served from a multi-shard
+    /// view when read-only, or under the gate when not).
+    ///
+    /// `MergeContext` reports the *child* context: the server routes to
+    /// the sharded merge which discovers the parent (possibly on another
+    /// shard) itself. A `Batch` is global — the server classifies its
+    /// elements individually.
+    pub fn context_id(&self) -> Option<ContextId> {
+        use Request::*;
+        match self {
+            AddNode { context, .. }
+            | DeleteNode { context, .. }
+            | AddLink { context, .. }
+            | CopyLink { context, .. }
+            | DeleteLink { context, .. }
+            | LinearizeGraph { context, .. }
+            | GetGraphQuery { context, .. }
+            | OpenNode { context, .. }
+            | ModifyNode { context, .. }
+            | GetNodeTimeStamp { context, .. }
+            | ChangeNodeProtection { context, .. }
+            | GetNodeVersions { context, .. }
+            | GetNodeDifferences { context, .. }
+            | GetToNode { context, .. }
+            | GetFromNode { context, .. }
+            | GetAttributes { context, .. }
+            | GetAttributeValues { context, .. }
+            | GetAttributeIndex { context, .. }
+            | SetNodeAttributeValue { context, .. }
+            | DeleteNodeAttribute { context, .. }
+            | GetNodeAttributeValue { context, .. }
+            | GetNodeAttributes { context, .. }
+            | SetLinkAttributeValue { context, .. }
+            | DeleteLinkAttribute { context, .. }
+            | GetLinkAttributeValue { context, .. }
+            | GetLinkAttributes { context, .. }
+            | SetGraphDemonValue { context, .. }
+            | GetGraphDemons { context, .. }
+            | SetNodeDemon { context, .. }
+            | GetNodeDemons { context, .. } => Some(*context),
+            CreateContext { from } => Some(*from),
+            MergeContext { child, .. } => Some(*child),
+            DestroyContext { id } => Some(*id),
+            BeginTransaction
+            | CommitTransaction
+            | AbortTransaction
+            | ListContexts
+            | Checkpoint
+            | Ping
+            | Verify
+            | CacheStats
+            | Metrics
+            | Batch(..)
+            | FlightDump
+            | Trace { .. }
+            | ObsControl { .. } => None,
+        }
+    }
+
     /// The variant's name, used as the `op` label of the server's
     /// per-request latency histograms (`neptune_server_rpc_ns{op=...}`).
     pub fn name(&self) -> &'static str {

@@ -20,27 +20,36 @@
 //! the exclusive path so it observes its own uncommitted writes
 //! (read-your-writes).
 //!
+//! The HAM behind the server is a [`ShardedHam`]: contexts hash to a home
+//! shard, and writes touching different shards commit in parallel — the
+//! gate serializes only *explicit transactions*, not independent
+//! single-context writes. Context-scoped reads load the home shard's
+//! published view; global reads (`ListContexts`, `Verify`, batches) use a
+//! [`MultiView`] — a commit-sequence-consistent vector of every shard's
+//! view — so a batch never observes half of a cross-shard merge.
+//!
 //! Lock hierarchy (always acquired in this order, never the reverse):
 //!
-//! 1. `view` — the publication slot behind `Published::load`, ranked
+//! 1. `view` — the publication slots behind `Published::load`, ranked
 //!    lowest: a view may only be loaded while holding *nothing*.
 //! 2. `gate` — a small mutex guarding transaction ownership; the
 //!    [`Condvar`] `txn_released` is associated with it.
-//! 3. `ham` — the `RwLock` over the HAM itself, acquired exclusively
-//!    *while still holding the gate*, so no transaction can begin between
-//!    the ownership check and lock acquisition. The gate is released as
-//!    soon as the HAM lock is held.
+//! 3. `shard[i]` — the per-shard machine mutexes, ranked ascending by
+//!    shard index and acquired *while still holding the gate*, so no
+//!    transaction can begin between the ownership check and lock
+//!    acquisition. The gate is released as soon as the shard lock is held,
+//!    which is what lets disjoint-shard writers run concurrently.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use neptune_ham::predicate::Predicate;
 use neptune_ham::types::Time;
-use neptune_ham::{CommittedView, Ham, Published};
+use neptune_ham::{CommittedView, Ham, MultiView, ShardedHam};
 use neptune_obs::lockcheck;
 
 use crate::frame::FrameBuf;
@@ -72,14 +81,17 @@ impl Default for ServeOptions {
 struct Gate {
     /// Connection currently holding an explicit transaction, if any.
     txn_owner: Option<u64>,
+    /// Standalone (non-transactional) writes in flight. Writers register
+    /// here and release the gate before locking their home shard, so
+    /// disjoint-shard writes commit concurrently; `BeginTransaction`
+    /// claims `txn_owner` first (stopping new registrations) and then
+    /// waits for this count to drain to zero, so an explicit transaction
+    /// still gets the machine to itself.
+    active_writers: u64,
 }
 
 struct Shared {
-    ham: RwLock<Ham>,
-    /// Publication handle for committed snapshots, cloned from the HAM at
-    /// startup; the lock-free read path loads from here and never touches
-    /// `ham` or `gate`.
-    view: Arc<Published<CommittedView>>,
+    ham: ShardedHam,
     gate: Mutex<Gate>,
     txn_released: Condvar,
     shutdown: AtomicBool,
@@ -101,23 +113,22 @@ impl Shared {
         }
     }
 
-    /// Load the current committed snapshot — the lock-free read path. The
+    /// Load `context`'s home-shard snapshot — the lock-free read path. The
     /// rank token covers only the load itself (one atomic load, or a brief
     /// slot-mutex clone on the first load after a publish); holding the
     /// returned view is not a lock.
-    fn load_view(&self) -> Arc<CommittedView> {
+    fn load_view(&self, context: neptune_ham::ContextId) -> Arc<CommittedView> {
         let _held = lockcheck::acquire(lockcheck::VIEW, "server.view");
-        self.view.load()
+        self.ham.read_view(context)
     }
 
-    /// Exclusive (writer) access to the HAM, recovering from poison.
-    fn write_ham(&self) -> HamWriteGuard<'_> {
-        let held = lockcheck::acquire(lockcheck::HAM, "server.ham(write)");
-        count("neptune_server_ham_lock_acquisitions_total");
-        HamWriteGuard {
-            guard: self.ham.write().unwrap_or_else(PoisonError::into_inner),
-            _held: held,
-        }
+    /// Assemble a commit-sequence-consistent snapshot of every shard for
+    /// global reads and read-only batches. Lock-free in the common case
+    /// (the skew-retry loop reloads publication slots); the rank token
+    /// covers the loads.
+    fn load_multi_view(&self) -> MultiView {
+        let _held = lockcheck::acquire(lockcheck::VIEW, "server.view");
+        self.ham.multi_view()
     }
 }
 
@@ -142,25 +153,6 @@ impl DerefMut for GateGuard<'_> {
     }
 }
 
-/// HAM writer-lock guard carrying its [`lockcheck`] rank token.
-struct HamWriteGuard<'a> {
-    guard: RwLockWriteGuard<'a, Ham>,
-    _held: lockcheck::Held,
-}
-
-impl Deref for HamWriteGuard<'_> {
-    type Target = Ham;
-    fn deref(&self) -> &Ham {
-        &self.guard
-    }
-}
-
-impl DerefMut for HamWriteGuard<'_> {
-    fn deref_mut(&mut self) -> &mut Ham {
-        &mut self.guard
-    }
-}
-
 /// Cleans up a connection's transaction no matter how its thread exits.
 ///
 /// Constructed at the top of every connection thread; its `Drop` runs on
@@ -176,11 +168,8 @@ impl Drop for ConnGuard {
     fn drop(&mut self) {
         let mut gate = self.shared.lock_gate();
         if gate.txn_owner == Some(self.conn_id) {
-            {
-                let mut ham = self.shared.write_ham();
-                if ham.in_transaction() {
-                    let _ = ham.abort_transaction();
-                }
+            if self.shared.ham.in_transaction() {
+                let _ = self.shared.ham.abort_transaction();
             }
             gate.txn_owner = None;
             drop(gate);
@@ -222,12 +211,11 @@ impl ServerHandle {
             let _ = t.join();
         }
         let mut gate = self.shared.lock_gate();
-        let mut ham = self.shared.write_ham();
-        if ham.in_transaction() {
-            let _ = ham.abort_transaction();
+        if self.shared.ham.in_transaction() {
+            let _ = self.shared.ham.abort_transaction();
         }
         gate.txn_owner = None;
-        let _ = ham.checkpoint();
+        let _ = self.shared.ham.checkpoint();
     }
 }
 
@@ -239,14 +227,30 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Start serving `ham` on `addr` (use port 0 for an ephemeral port).
+/// Start serving a single-shard `ham` on `addr` (use port 0 for an
+/// ephemeral port). The machine is wrapped as a one-shard [`ShardedHam`];
+/// sharded stores go through [`serve_sharded`].
 pub fn serve(ham: Ham, addr: impl Into<String>) -> std::io::Result<ServerHandle> {
-    serve_with(ham, addr, ServeOptions::default())
+    serve_sharded_with(ShardedHam::from_ham(ham), addr, ServeOptions::default())
 }
 
-/// Start serving `ham` on `addr` with explicit [`ServeOptions`].
+/// [`serve`] with explicit [`ServeOptions`].
 pub fn serve_with(
     ham: Ham,
+    addr: impl Into<String>,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    serve_sharded_with(ShardedHam::from_ham(ham), addr, options)
+}
+
+/// Start serving a sharded store on `addr`.
+pub fn serve_sharded(ham: ShardedHam, addr: impl Into<String>) -> std::io::Result<ServerHandle> {
+    serve_sharded_with(ham, addr, ServeOptions::default())
+}
+
+/// [`serve_sharded`] with explicit [`ServeOptions`].
+pub fn serve_sharded_with(
+    ham: ShardedHam,
     addr: impl Into<String>,
     options: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
@@ -256,11 +260,12 @@ pub fn serve_with(
     let listener = TcpListener::bind(addr.into())?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
-    let view = ham.published_handle();
     let shared = Arc::new(Shared {
-        ham: RwLock::new(ham),
-        view,
-        gate: Mutex::new(Gate { txn_owner: None }),
+        ham,
+        gate: Mutex::new(Gate {
+            txn_owner: None,
+            active_writers: 0,
+        }),
         txn_released: Condvar::new(),
         shutdown: AtomicBool::new(false),
         next_conn: AtomicU64::new(1),
@@ -520,10 +525,12 @@ fn execute_batch(
         }
     }
     if elements.iter().all(Request::is_read_only) && !conn.owns_txn {
-        // Lock-free read batch: every element is served from one snapshot
-        // load, so the batch is internally consistent by construction —
-        // no gate, no HAM lock, no waiting on a foreign transaction.
-        let view = shared.load_view();
+        // Lock-free read batch: every element is served from one
+        // commit-sequence-consistent multi-shard snapshot, so the batch is
+        // internally consistent by construction — a cross-shard merge is
+        // either entirely visible or entirely absent, and there is no
+        // gate, no shard lock, and no waiting on a foreign transaction.
+        let mv = shared.load_multi_view();
         let inflight = scoped_gauge("neptune_server_read_ops_inflight");
         let mut responses = Vec::with_capacity(elements.len());
         let mut bounced = false;
@@ -534,7 +541,11 @@ fn execute_batch(
             }
             let op = element.name();
             let start = Instant::now();
-            match dispatch_read(&view, element.clone()) {
+            let served = match element.context_id() {
+                Some(context) => dispatch_read(mv.view_for(context), element.clone()),
+                None => Ok(global_read(shared, &mv, element.clone())),
+            };
+            match served {
                 Ok(response) => {
                     count("neptune_server_reads_lockfree_total");
                     observe_rpc(op, start.elapsed(), &response);
@@ -555,17 +566,19 @@ fn execute_batch(
         drop(inflight);
         count("neptune_server_read_bounces_total");
     }
-    // Exclusive path: one gate wait and one write-lock acquisition
-    // amortized over the whole batch.
+    // Exclusive path: one gate wait and one writer registration amortized
+    // over the whole batch — no explicit transaction can begin until every
+    // element has run, and each element locks only its home shard, so a
+    // mutating batch never blocks writers bound for other shards.
     let deadline = Instant::now() + shared.lock_timeout;
-    let gate = match wait_for_gate(shared, conn_id, deadline) {
+    let mut gate = match wait_for_gate(shared, conn_id, deadline) {
         Ok(gate) => gate,
         Err(response) => return *response,
     };
-    // Acquired while holding the gate (lock order: gate → ham).
-    let mut ham = shared.write_ham();
-    drop(gate);
     let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
+    gate.active_writers += 1;
+    drop(gate);
+    let _writer = ActiveWriter { shared };
     let responses = elements
         .into_iter()
         .map(|element| {
@@ -574,7 +587,7 @@ fn execute_batch(
             }
             let op = element.name();
             let start = Instant::now();
-            let response = dispatch(&mut ham, element);
+            let response = dispatch_exclusive(shared, element);
             observe_rpc(op, start.elapsed(), &response);
             response
         })
@@ -600,9 +613,22 @@ fn execute_inner(
 ) -> Response {
     let mut request = request;
     if request.is_read_only() && !conn.owns_txn {
-        let view = shared.load_view();
         let inflight = scoped_gauge("neptune_server_read_ops_inflight");
-        match dispatch_read(&view, request) {
+        let served = match request.context_id() {
+            Some(context) => {
+                // Context-scoped read: one lock-free load of the home
+                // shard's published snapshot.
+                let view = shared.load_view(context);
+                dispatch_read(&view, request)
+            }
+            None => {
+                // Global read (ListContexts, Verify, …): assemble a
+                // consistent multi-shard snapshot.
+                let mv = shared.load_multi_view();
+                Ok(global_read(shared, &mv, request))
+            }
+        };
+        match served {
             Ok(response) => {
                 count("neptune_server_reads_lockfree_total");
                 return response;
@@ -622,14 +648,46 @@ fn execute_inner(
     };
     match request {
         Request::BeginTransaction => {
-            let mut ham = shared.write_ham();
-            return match ham.begin_transaction() {
+            // Claim ownership first so no new standalone writer can
+            // register, then drain the ones already in flight — the
+            // transaction must observe (and exclude) every independent
+            // shard commit that was admitted before it.
+            let claimed = gate.txn_owner.is_none();
+            if claimed {
+                gate.txn_owner = Some(conn_id);
+            }
+            while gate.active_writers > 0 {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    if claimed {
+                        gate.txn_owner = None;
+                    }
+                    drop(gate);
+                    shared.txn_released.notify_all();
+                    count("neptune_server_lock_timeouts_total");
+                    return Response::Error(
+                        "timed out waiting for in-flight writes to drain".into(),
+                    );
+                };
+                let GateGuard { guard, held } = gate;
+                let (guard, _) = shared
+                    .txn_released
+                    .wait_timeout(guard, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                gate = GateGuard { guard, held };
+            }
+            return match shared.ham.begin_transaction() {
                 Ok(id) => {
-                    gate.txn_owner = Some(conn_id);
                     conn.owns_txn = true;
                     Response::TxnStarted(id)
                 }
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => {
+                    if claimed {
+                        gate.txn_owner = None;
+                        drop(gate);
+                        shared.txn_released.notify_all();
+                    }
+                    Response::Error(e.to_string())
+                }
             };
         }
         Request::CommitTransaction | Request::AbortTransaction => {
@@ -640,14 +698,10 @@ fn execute_inner(
             if gate.txn_owner != Some(conn_id) {
                 return Response::Error("no transaction owned by this connection".into());
             }
-            let commit = matches!(request, Request::CommitTransaction);
-            let r = {
-                let mut ham = shared.write_ham();
-                if commit {
-                    ham.commit_transaction()
-                } else {
-                    ham.abort_transaction()
-                }
+            let r = if matches!(request, Request::CommitTransaction) {
+                shared.ham.commit_transaction()
+            } else {
+                shared.ham.abort_transaction()
             };
             gate.txn_owner = None;
             drop(gate);
@@ -656,17 +710,125 @@ fn execute_inner(
         }
         _ => {}
     }
-    // Acquired while holding the gate (lock order: gate → ham).
-    let mut ham = shared.write_ham();
-    drop(gate);
+    // Standalone write (or the transaction owner's own operation): register
+    // with the gate and release it *before* touching any shard, so writers
+    // on disjoint shards validate, WAL-append, and publish concurrently.
+    // The registration is what BeginTransaction drains, preserving an
+    // explicit transaction's exclusivity without serializing everyone else.
     let _inflight = scoped_gauge("neptune_server_exclusive_ops_inflight");
-    dispatch(&mut ham, request)
+    gate.active_writers += 1;
+    drop(gate);
+    let _writer = ActiveWriter { shared };
+    dispatch_exclusive(shared, request)
+}
+
+/// Decrements the gate's standalone-writer count on drop (panic-safe), and
+/// wakes any `BeginTransaction` waiting for writers to drain.
+struct ActiveWriter<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for ActiveWriter<'_> {
+    fn drop(&mut self) {
+        let mut gate = self.shared.lock_gate();
+        gate.active_writers = gate.active_writers.saturating_sub(1);
+        drop(gate);
+        self.shared.txn_released.notify_all();
+    }
 }
 
 fn result_to_response(r: neptune_ham::Result<Response>) -> Response {
     match r {
         Ok(resp) => resp,
         Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// Sum the per-shard version-cache counters of a consistent snapshot —
+/// the lock-free way to serve `CacheStats`/`Metrics` from the read path.
+fn multi_cache_stats(mv: &MultiView) -> neptune_storage::vcache::CacheStats {
+    let mut total = neptune_storage::vcache::CacheStats::default();
+    for k in 0..mv.shard_count() {
+        let s = mv.view(k).version_cache_stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.entries += s.entries;
+        total.bytes += s.bytes;
+    }
+    total
+}
+
+/// Age of the freshest shard snapshot — "time since the last commit
+/// anywhere", which is what the staleness gauge means on a sharded store.
+fn multi_view_age(mv: &MultiView) -> Duration {
+    (0..mv.shard_count())
+        .map(|k| mv.view(k).age())
+        .min()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Serve a read-only request that is not scoped to a single context
+/// (`Request::context_id()` returned `None`) against a consistent
+/// multi-shard snapshot. Infallible: none of these can bounce to the
+/// exclusive path.
+fn global_read(shared: &Shared, mv: &MultiView, request: Request) -> Response {
+    use Request as Q;
+    use Response as A;
+    match request {
+        Q::ListContexts => A::Contexts(mv.contexts()),
+        Q::Verify => A::Findings(neptune_check::verify_sharded(&shared.ham)),
+        Q::CacheStats => cache_stats_response(multi_cache_stats(mv)),
+        Q::Metrics => metrics_response(multi_cache_stats(mv), multi_view_age(mv)),
+        Q::Ping => A::Ok,
+        Q::FlightDump => flight_dump_response(),
+        Q::Trace { trace_id } => trace_response(trace_id),
+        Q::ObsControl { setting } => obs_control_response(setting),
+        _ => A::Error("internal: non-global request routed to the global read path".into()),
+    }
+}
+
+/// Dispatch on the exclusive path: machine-level operations go to the
+/// sharded coordinator; context-scoped operations lock the context's home
+/// shard and run against that machine alone. Callers have already passed
+/// the gate (and either hold it or are registered as an active writer).
+fn dispatch_exclusive(shared: &Shared, request: Request) -> Response {
+    use Request as Q;
+    use Response as A;
+    match request {
+        Q::CreateContext { from } => {
+            result_to_response(shared.ham.create_context(from).map(A::Context))
+        }
+        Q::MergeContext { child, policy } => {
+            result_to_response(shared.ham.merge_context(child, policy).map(A::Merged))
+        }
+        Q::DestroyContext { id } => {
+            result_to_response(shared.ham.destroy_context(id).map(|_| A::Ok))
+        }
+        Q::Checkpoint => result_to_response(shared.ham.checkpoint().map(|_| A::Ok)),
+        Q::ListContexts => A::Contexts(shared.ham.live_contexts()),
+        Q::Verify => A::Findings(neptune_check::verify_sharded(&shared.ham)),
+        Q::CacheStats => cache_stats_response(shared.ham.version_cache_stats()),
+        Q::Metrics => {
+            let mv = shared.ham.multi_view();
+            metrics_response(shared.ham.version_cache_stats(), multi_view_age(&mv))
+        }
+        Q::Ping => A::Ok,
+        Q::FlightDump => flight_dump_response(),
+        Q::Trace { trace_id } => trace_response(trace_id),
+        Q::ObsControl { setting } => obs_control_response(setting),
+        Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
+            A::Error("internal: transaction control reached dispatch".into())
+        }
+        Q::Batch(..) => A::Error("internal: batch reached element dispatch".into()),
+        request => {
+            let Some(context) = request.context_id() else {
+                return A::Error("internal: unrouted machine-scoped request".into());
+            };
+            match shared.ham.lock_home(context) {
+                Ok(mut guard) => dispatch(&mut guard, request),
+                Err(e) => A::Error(e.to_string()),
+            }
+        }
     }
 }
 
@@ -1093,24 +1255,24 @@ fn dispatch(ham: &mut Ham, request: Request) -> Response {
                 node,
                 time,
             } => A::Demons(ham.get_node_demons(context, node, time)?),
-            Q::CreateContext { from } => A::Context(ham.create_context(from)?),
-            Q::MergeContext { child, policy } => A::Merged(ham.merge_context(child, policy)?),
-            Q::DestroyContext { id } => {
-                ham.destroy_context(id)?;
-                A::Ok
-            }
-            Q::ListContexts => A::Contexts(ham.contexts()),
-            Q::Checkpoint => {
-                ham.checkpoint()?;
-                A::Ok
+            Q::CreateContext { .. }
+            | Q::MergeContext { .. }
+            | Q::DestroyContext { .. }
+            | Q::ListContexts
+            | Q::Checkpoint
+            | Q::Verify
+            | Q::CacheStats
+            | Q::Metrics
+            | Q::FlightDump
+            | Q::Trace { .. }
+            | Q::ObsControl { .. } => {
+                // Machine-level operations must go through the sharded
+                // coordinator (`dispatch_exclusive` intercepts them before
+                // this per-shard dispatcher); running one against a single
+                // shard would corrupt the global context-id space.
+                A::Error("internal: machine-scoped request routed to a single shard".into())
             }
             Q::Ping => A::Ok,
-            Q::Verify => A::Findings(neptune_check::verify_open_ham(ham)),
-            Q::CacheStats => cache_stats_response(ham.version_cache_stats()),
-            Q::Metrics => metrics_response(ham.version_cache_stats(), ham.committed_view().age()),
-            Q::FlightDump => flight_dump_response(),
-            Q::Trace { trace_id } => trace_response(trace_id),
-            Q::ObsControl { setting } => obs_control_response(setting),
             Q::BeginTransaction | Q::CommitTransaction | Q::AbortTransaction => {
                 // execute_inner consumes these before dispatch; degrade to
                 // an error rather than panicking if that routing changes.
@@ -1176,11 +1338,12 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let (ham, _, _) = Ham::create_graph(&dir, Protections::DEFAULT).unwrap();
-        let view = ham.published_handle();
         Shared {
-            ham: RwLock::new(ham),
-            view,
-            gate: Mutex::new(Gate { txn_owner: None }),
+            ham: ShardedHam::from_ham(ham),
+            gate: Mutex::new(Gate {
+                txn_owner: None,
+                active_writers: 0,
+            }),
             txn_released: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(1),
@@ -1191,14 +1354,14 @@ mod tests {
     #[test]
     fn guards_follow_declared_order() {
         let shared = test_shared("ordered");
-        // The server's canonical sequence: gate, then HAM, gate released
-        // first. Must not trip the dynamic checker.
+        // The server's canonical sequence: gate, then home shard, gate
+        // released first. Must not trip the dynamic checker.
         let gate = shared.lock_gate();
-        let ham = shared.write_ham();
+        let shard = shared.ham.lock_home(neptune_ham::MAIN_CONTEXT).unwrap();
         drop(gate);
-        drop(ham);
+        drop(shard);
         // A view load while holding nothing is always legal.
-        let view = shared.load_view();
+        let view = shared.load_view(neptune_ham::MAIN_CONTEXT);
         let gate = shared.lock_gate();
         drop(gate);
         drop(view);
@@ -1208,9 +1371,10 @@ mod tests {
     #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
     fn inverted_guard_acquisition_panics() {
         let shared = test_shared("inverted");
-        // Deliberate hierarchy inversion: HAM before gate. In debug builds
-        // the lockcheck token panics before `gate.lock()` can deadlock.
-        let _ham = shared.write_ham();
+        // Deliberate hierarchy inversion: shard before gate. In debug
+        // builds the lockcheck token panics before `gate.lock()` can
+        // deadlock.
+        let _shard = shared.ham.lock_home(neptune_ham::MAIN_CONTEXT).unwrap();
         let _gate = shared.lock_gate();
         #[cfg(not(debug_assertions))]
         panic!("lock-order violation (tracker compiled out)");
@@ -1224,7 +1388,7 @@ mod tests {
         // while holding the gate would hide a blocking dependency inside
         // the "lock-free" path.
         let _gate = shared.lock_gate();
-        let _view = shared.load_view();
+        let _view = shared.load_view(neptune_ham::MAIN_CONTEXT);
         #[cfg(not(debug_assertions))]
         panic!("lock-order violation (tracker compiled out)");
     }

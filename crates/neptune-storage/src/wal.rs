@@ -122,6 +122,19 @@ impl Decode for WalRecord {
     }
 }
 
+/// One committed transaction as recovered from the log: its id, the global
+/// commit sequence stamped into its commit record (0 for logs written
+/// before commit records carried a sequence), and its `Op` payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTxn {
+    /// Transaction id.
+    pub txn_id: u64,
+    /// Global commit sequence stamped by the HAM (0 when absent).
+    pub seq: u64,
+    /// The transaction's `Op` payloads, in append order.
+    pub ops: Vec<Vec<u8>>,
+}
+
 /// An append-only, checksummed write-ahead log file.
 #[derive(Debug)]
 pub struct Wal {
@@ -297,7 +310,16 @@ impl Wal {
 
     /// Append a commit record and force everything to disk.
     pub fn append_commit(&mut self, txn_id: u64) -> Result<u64> {
-        let lsn = self.append(txn_id, RecordKind::Commit, Vec::new())?;
+        self.append_commit_with(txn_id, Vec::new())
+    }
+
+    /// Append a commit record carrying `payload` and force everything to
+    /// disk. The HAM stamps the global commit sequence here (8 bytes LE)
+    /// so recovery and cross-shard view assembly can order commits across
+    /// independent per-shard logs; an empty payload (every pre-shard log)
+    /// decodes as sequence 0.
+    pub fn append_commit_with(&mut self, txn_id: u64, payload: Vec<u8>) -> Result<u64> {
+        let lsn = self.append(txn_id, RecordKind::Commit, payload)?;
         self.sync()?;
         Ok(lsn)
     }
@@ -329,15 +351,11 @@ impl Wal {
         self.recover_after(0)
     }
 
-    /// Replay the log, ignoring every record with `lsn <= boundary` — they
-    /// are already folded into the snapshot the boundary was read from.
-    ///
-    /// The boundary guards the crash window between a snapshot rename
-    /// becoming durable and the log truncation becoming durable: replaying
-    /// the full log onto the *new* snapshot would apply every transaction a
-    /// second time. Storing the boundary LSN inside the snapshot makes the
-    /// skip atomic with the state it protects.
-    pub fn recover_after(&mut self, boundary: u64) -> Result<Vec<(u64, Vec<Vec<u8>>)>> {
+    /// [`Wal::recover_after`], additionally surfacing each committed
+    /// transaction's global commit sequence (the first 8 LE bytes of its
+    /// commit record's payload; 0 for pre-shard logs with empty commit
+    /// payloads).
+    pub fn recover_committed_after(&mut self, boundary: u64) -> Result<Vec<CommittedTxn>> {
         let _span = neptune_obs::span!("storage.wal_recover");
         let records = self.records()?;
         // Start from the last checkpoint, if any.
@@ -347,7 +365,7 @@ impl Wal {
             .map(|i| i + 1)
             .unwrap_or(0);
         let mut pending: HashMap<u64, Vec<Vec<u8>>> = HashMap::new();
-        let mut committed: Vec<(u64, Vec<Vec<u8>>)> = Vec::new();
+        let mut committed: Vec<CommittedTxn> = Vec::new();
         for r in records[start..].iter().filter(|r| r.lsn > boundary) {
             match r.kind {
                 RecordKind::Begin => {
@@ -358,7 +376,17 @@ impl Wal {
                 }
                 RecordKind::Commit => {
                     if let Some(ops) = pending.remove(&r.txn_id) {
-                        committed.push((r.txn_id, ops));
+                        let seq = match r.payload.get(..8) {
+                            Some(bytes) => {
+                                u64::from_le_bytes(bytes.try_into().expect("8-byte slice"))
+                            }
+                            None => 0,
+                        };
+                        committed.push(CommittedTxn {
+                            txn_id: r.txn_id,
+                            seq,
+                            ops,
+                        });
                     }
                 }
                 RecordKind::Abort => {
@@ -373,6 +401,22 @@ impl Wal {
                 .add(committed.len() as u64);
         }
         Ok(committed)
+    }
+
+    /// Replay the log, ignoring every record with `lsn <= boundary` — they
+    /// are already folded into the snapshot the boundary was read from.
+    ///
+    /// The boundary guards the crash window between a snapshot rename
+    /// becoming durable and the log truncation becoming durable: replaying
+    /// the full log onto the *new* snapshot would apply every transaction a
+    /// second time. Storing the boundary LSN inside the snapshot makes the
+    /// skip atomic with the state it protects.
+    pub fn recover_after(&mut self, boundary: u64) -> Result<Vec<(u64, Vec<Vec<u8>>)>> {
+        Ok(self
+            .recover_committed_after(boundary)?
+            .into_iter()
+            .map(|t| (t.txn_id, t.ops))
+            .collect())
     }
 
     /// Write a checkpoint record and truncate the log so replay starts fresh.
@@ -628,6 +672,27 @@ mod tests {
         let mut wal = Wal::open(dir.join("wal")).unwrap();
         assert!(wal.recover().unwrap().is_empty());
         assert_eq!(wal.next_lsn(), 1);
+    }
+
+    #[test]
+    fn commit_sequence_roundtrips_and_legacy_commits_decode_as_zero() {
+        let dir = tmpdir("commit-seq");
+        let path = dir.join("wal");
+        let mut wal = Wal::open(&path).unwrap();
+        // Legacy commit: empty payload.
+        wal.append(1, RecordKind::Begin, vec![]).unwrap();
+        wal.append(1, RecordKind::Op, b"old".to_vec()).unwrap();
+        wal.append_commit(1).unwrap();
+        // Stamped commit.
+        wal.append(2, RecordKind::Begin, vec![]).unwrap();
+        wal.append(2, RecordKind::Op, b"new".to_vec()).unwrap();
+        wal.append_commit_with(2, 42u64.to_le_bytes().to_vec())
+            .unwrap();
+        let committed = wal.recover_committed_after(0).unwrap();
+        assert_eq!(committed.len(), 2);
+        assert_eq!((committed[0].txn_id, committed[0].seq), (1, 0));
+        assert_eq!((committed[1].txn_id, committed[1].seq), (2, 42));
+        assert_eq!(committed[1].ops, vec![b"new".to_vec()]);
     }
 
     #[test]
