@@ -271,9 +271,17 @@ pub fn verify_store(directory: impl AsRef<Path>) -> Vec<Finding> {
 
 /// [`verify_ham`] for an already-open sharded machine: every shard's
 /// graphs plus the merged cross-shard fork topology.
+///
+/// Each shard's files are scanned while holding that shard's lock: WAL
+/// appends and checkpoints only happen inside the lock, so a scan under it
+/// can never observe a partially-written tail (which would read as
+/// torn-frame corruption while concurrent writers commit). Locks are taken
+/// one at a time in ascending (hierarchy) order and released between
+/// shards, so writers on the other shards keep committing during the scan.
 pub fn verify_sharded(sharded: &ShardedHam) -> Vec<Finding> {
     let mut findings = Vec::new();
     for k in 0..sharded.shard_count() {
+        let _guard = sharded.lock_shard(k);
         findings.extend(scan_files(neptune_ham::shard::shard_dir(
             sharded.directory(),
             k,

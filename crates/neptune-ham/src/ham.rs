@@ -1542,6 +1542,13 @@ impl Ham {
         self.next_context
     }
 
+    /// The next transaction id this machine would hand out — the sharded
+    /// coordinator seeds its logical transaction counter above every
+    /// shard's, so ids it returns never collide with persisted ones.
+    pub(crate) fn next_txn_hint(&self) -> u64 {
+        self.next_txn
+    }
+
     /// Re-publish the current committed state; used after
     /// [`crate::shard::ShardedHam`] assembly rebinds shard identity and the
     /// commit-sequence source, both of which are stamped into views.

@@ -203,6 +203,11 @@ pub struct ShardedHam {
     /// serialized while one is open (the server's gate does this), exactly
     /// as `&mut Ham` serializes the unsharded machine.
     txn: Mutex<Option<TxnState>>,
+    /// Logical transaction-id allocator for [`ShardedHam::begin_transaction`],
+    /// seeded above every id any shard has persisted — a real identifier,
+    /// not a prediction of the commit sequence (which is only chosen at
+    /// commit time).
+    next_txn: AtomicU64,
     directory: PathBuf,
     project_id: ProjectId,
 }
@@ -336,10 +341,12 @@ impl ShardedHam {
         let count = hams.len();
         let commit_seq = hams[0].commit_seq_handle();
         let mut next_context = 1;
+        let mut next_txn = 1;
         for (k, ham) in hams.iter_mut().enumerate() {
             ham.set_shard_identity(k, count);
             ham.attach_commit_seq(Arc::clone(&commit_seq));
             next_context = next_context.max(ham.next_context_hint());
+            next_txn = next_txn.max(ham.next_txn_hint());
         }
         // The identity/sequence rebinding above predates any publication a
         // reader could load through these handles, because nothing shares
@@ -366,6 +373,7 @@ impl ShardedHam {
             next_context: Mutex::new(next_context),
             cross_log: Mutex::new(CrossLog::default()),
             txn: Mutex::new(None),
+            next_txn: AtomicU64::new(next_txn),
             directory,
             project_id,
         }
@@ -409,17 +417,28 @@ impl ShardedHam {
     pub fn lock_home(&self, context: ContextId) -> Result<ShardGuard<'_>> {
         let index = self.shard_of(context);
         let mut guard = self.lock_shard(index);
-        // Brief txn-state peek *after* taking the shard lock; the commit
-        // path never waits on a shard lock while holding the txn state, so
-        // this ordering cannot deadlock.
-        let mut txn = self.txn.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(state) = txn.as_mut() {
-            if state.shards.insert(index) {
-                guard.begin_transaction()?;
-            }
-        }
-        drop(txn);
+        self.join_txn(index, &mut guard)?;
         Ok(guard)
+    }
+
+    /// Join shard `index` (already locked by the caller, its machine at
+    /// `guard`) to the open explicit transaction, if any: the first time
+    /// the logical transaction touches a shard, a per-shard transaction is
+    /// begun on it so the shard's operations defer and then commit (or
+    /// abort) with the logical one. Returns whether a transaction is open.
+    ///
+    /// Brief txn-state peek *after* the caller took the shard lock; the
+    /// commit path never waits on a shard lock while holding the txn
+    /// state, so this ordering cannot deadlock.
+    fn join_txn(&self, index: usize, guard: &mut Ham) -> Result<bool> {
+        let mut txn = self.txn.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(state) = txn.as_mut() else {
+            return Ok(false);
+        };
+        if state.shards.insert(index) {
+            guard.begin_transaction()?;
+        }
+        Ok(true)
     }
 
     /// Lock several shards deadlock-free: ascending index order is
@@ -470,16 +489,28 @@ impl ShardedHam {
             .iter_mut()
             .find(|(k, _)| *k == child_shard)
             .expect("child shard locked");
+        // Join the open explicit transaction, if any. Only the child shard
+        // writes (the parent is just read), so only it joins — the adopted
+        // context then commits or rolls back with the logical transaction,
+        // exactly as a fork inside a transaction does on the unsharded
+        // machine. The commit counters move to commit_transaction in that
+        // case, where the deferred work actually becomes durable.
+        let deferred = self.join_txn(child_shard, &mut child.1)?;
         child.1.adopt_context(id, from, fork_time, graph)?;
-        count_metric("neptune_ham_cross_shard_txns_total");
-        count_shard_commit(child_shard);
+        if !deferred {
+            count_metric("neptune_ham_cross_shard_txns_total");
+            count_shard_commit(child_shard);
+        }
         Ok(id)
     }
 
     /// Merge `child` back into its parent. Same-shard pairs take the
     /// single-machine path; cross-shard pairs run the two-phase protocol:
     /// both shards locked in rank order, one forced commit sequence, the
-    /// pair noted in the cross log before either half commits.
+    /// pair noted in the cross log before either half commits. Inside an
+    /// open explicit transaction, a cross-shard pair instead joins the
+    /// transaction (both halves defer), so the logical commit/abort
+    /// resolves the merge with everything else.
     pub fn merge_context(&self, child: ContextId, policy: ConflictPolicy) -> Result<MergeReport> {
         let child_shard = self.shard_of(child);
         let (parent, fork_time) = {
@@ -521,6 +552,41 @@ impl ShardedHam {
                 .expect("child shard locked");
             child_g.1.export_graph(child)?.0
         };
+        // An open explicit transaction absorbs the merge instead of the
+        // immediate two-phase commit below: both shards join it, the two
+        // halves defer into their per-shard transactions, and
+        // commit_transaction later stamps one shared sequence (plus the
+        // cross-log entry) for the whole logical transaction — so
+        // abort_transaction rolls the merge back atomically, matching the
+        // unsharded machine.
+        let mut deferred = false;
+        for (k, guard) in guards.iter_mut() {
+            deferred = self.join_txn(*k, guard)?;
+        }
+        if deferred {
+            let report = {
+                let parent_g = guards
+                    .iter_mut()
+                    .find(|(k, _)| *k == parent_shard)
+                    .expect("parent shard locked");
+                parent_g
+                    .1
+                    .merge_foreign(parent, &child_export, fork_time, policy)?
+            };
+            let new_fork = {
+                let parent_g = guards
+                    .iter()
+                    .find(|(k, _)| *k == parent_shard)
+                    .expect("parent shard locked");
+                parent_g.1.graph(parent)?.now()
+            };
+            let child_g = guards
+                .iter_mut()
+                .find(|(k, _)| *k == child_shard)
+                .expect("child shard locked");
+            child_g.1.set_fork_point(child, parent, new_fork)?;
+            return Ok(report);
+        }
         let seq = self.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mask = (1u64 << parent_shard) | (1u64 << child_shard);
         self.push_cross_entry(CrossEntry { seq, mask });
@@ -634,6 +700,11 @@ impl ShardedHam {
     /// Begin an explicit transaction. Shards join lazily as
     /// [`ShardedHam::lock_home`] routes operations to them. Writers must
     /// be externally serialized while one is open (the server's gate).
+    ///
+    /// Returns the logical transaction id: a dedicated monotonic counter
+    /// (mirroring the unsharded [`Ham::begin_transaction`]), *not* the
+    /// commit sequence the transaction will eventually stamp — that is
+    /// only chosen at commit time.
     pub fn begin_transaction(&self) -> Result<u64> {
         let mut txn = self.txn.lock().unwrap_or_else(PoisonError::into_inner);
         if txn.is_some() {
@@ -642,7 +713,7 @@ impl ShardedHam {
             });
         }
         *txn = Some(TxnState::default());
-        Ok(self.commit_seq.load(Ordering::Relaxed) + 1)
+        Ok(self.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Commit the active explicit transaction on every shard it touched.
@@ -671,20 +742,21 @@ impl ShardedHam {
         }
         let mut first_err = None;
         for (k, guard) in guards.iter_mut() {
+            if first_err.is_some() {
+                // An earlier shard's commit failed (and rolled itself
+                // back): abort this shard's half so the logical transaction
+                // fails whole on every not-yet-committed shard
+                // (already-committed shards stay durable — the cross-shard
+                // atomicity limit documented above).
+                let _ = guard.abort_transaction();
+                continue;
+            }
             if let Some(seq) = entry_seq {
                 guard.force_commit_seq(seq);
             }
             match guard.commit_transaction() {
                 Ok(()) => count_shard_commit(*k),
-                Err(e) => {
-                    // This shard rolled back; abort the rest so the logical
-                    // transaction fails whole on every not-yet-committed
-                    // shard (already-committed shards stay durable — the
-                    // cross-shard atomicity limit documented above).
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
+                Err(e) => first_err = Some(e),
             }
         }
         if let Some(e) = first_err {
@@ -1138,6 +1210,174 @@ mod tests {
             .collect();
         assert_eq!(seqs.len(), 1, "all shards must publish the same sequence");
         assert_eq!(ham.violations(), Vec::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_shard_context_ops_join_explicit_transaction() {
+        let dir = tmpdir("txncross");
+        let (ham, _, _) = ShardedHam::create(&dir, Protections::DEFAULT, 4).unwrap();
+        let child = loop {
+            let c = ham.create_context(MAIN_CONTEXT).unwrap();
+            if ham.shard_of(c) != 0 {
+                break c;
+            }
+        };
+        {
+            let mut guard = ham.lock_home(child).unwrap();
+            let (node, t) = guard.add_node(child, true).unwrap();
+            guard
+                .modify_node(child, node, t, b"txn fodder\n".to_vec(), &[])
+                .unwrap();
+        }
+        let contexts_before = ham.contexts();
+        let main_before = ham
+            .read_view(MAIN_CONTEXT)
+            .context_now(MAIN_CONTEXT)
+            .unwrap();
+        let fork_before = ham
+            .read_view(child)
+            .context_forked_from(child)
+            .unwrap()
+            .unwrap();
+
+        // Abort: the cross-shard fork and both halves of the cross-shard
+        // merge must roll back atomically, as on the unsharded machine.
+        ham.begin_transaction().unwrap();
+        let forked = loop {
+            let c = ham.create_context(MAIN_CONTEXT).unwrap();
+            if ham.shard_of(c) != 0 {
+                break c;
+            }
+        };
+        assert_ne!(ham.shard_of(forked), 0);
+        ham.merge_context(child, ConflictPolicy::PreferChild)
+            .unwrap();
+        ham.abort_transaction().unwrap();
+        assert_eq!(
+            ham.live_contexts(),
+            contexts_before,
+            "contexts forked inside the aborted transaction must roll back"
+        );
+        assert_eq!(
+            ham.read_view(MAIN_CONTEXT)
+                .context_now(MAIN_CONTEXT)
+                .unwrap(),
+            main_before,
+            "the parent half of the merge must roll back"
+        );
+        assert_eq!(
+            ham.read_view(child)
+                .context_forked_from(child)
+                .unwrap()
+                .unwrap(),
+            fork_before,
+            "the child's fork point must roll back"
+        );
+        assert_eq!(ham.violations(), Vec::new());
+
+        // Commit: the same ops land, both merge halves publishing one
+        // shared sequence like any multi-shard logical transaction.
+        ham.begin_transaction().unwrap();
+        let kept = loop {
+            let c = ham.create_context(MAIN_CONTEXT).unwrap();
+            if ham.shard_of(c) != 0 {
+                break c;
+            }
+        };
+        ham.merge_context(child, ConflictPolicy::PreferChild)
+            .unwrap();
+        ham.commit_transaction().unwrap();
+        assert!(ham.contexts().contains(&kept));
+        assert!(
+            ham.read_view(MAIN_CONTEXT)
+                .context_now(MAIN_CONTEXT)
+                .unwrap()
+                > main_before
+        );
+        let seqs: BTreeSet<u64> = [MAIN_CONTEXT, child]
+            .iter()
+            .map(|&c| ham.read_view(c).commit_seq())
+            .collect();
+        assert_eq!(
+            seqs.len(),
+            1,
+            "both merge halves must publish the same forced sequence"
+        );
+        assert_eq!(ham.violations(), Vec::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_failure_aborts_remaining_shards() {
+        use neptune_storage::fault::{FaultKind, FaultVfs};
+        let dir = tmpdir("txnfail");
+        let vfs = FaultVfs::new();
+        let (ham, _, _) =
+            ShardedHam::create_with(Arc::new(vfs.clone()), &dir, Protections::DEFAULT, 4).unwrap();
+        let ctxs = fork_onto_every_shard(&ham);
+        let before: Vec<Time> = ctxs
+            .iter()
+            .map(|&c| ham.read_view(c).context_now(c).unwrap())
+            .collect();
+        ham.begin_transaction().unwrap();
+        for &ctx in &ctxs {
+            let mut guard = ham.lock_home(ctx).unwrap();
+            guard.add_node(ctx, true).unwrap();
+        }
+        // The commit's first WAL append (the lowest-ranked shard's Begin
+        // record) fails: that shard rolls back, and the remaining shards
+        // must be *aborted*, not durably committed behind the error the
+        // caller receives.
+        vfs.arm(FaultKind::FailWrite, 0);
+        let err = ham.commit_transaction();
+        vfs.disarm();
+        assert!(err.is_err(), "commit must surface the injected failure");
+        assert!(vfs.injected() > 0, "the armed fault must actually fire");
+        for (&ctx, &t) in ctxs.iter().zip(&before) {
+            assert_eq!(
+                ham.read_view(ctx).context_now(ctx).unwrap(),
+                t,
+                "no shard may durably commit a failed logical transaction ({ctx:?})"
+            );
+        }
+        assert!(!ham.in_transaction());
+        // The aborted shards hold no dangling per-shard transaction: a new
+        // logical transaction can join (and commit on) them again. The
+        // failing shard's WAL poisoned itself, so the new work stays off
+        // shard 0.
+        ham.begin_transaction().unwrap();
+        let far = ctxs
+            .iter()
+            .find(|c| ham.shard_of(**c) != 0)
+            .copied()
+            .unwrap();
+        {
+            let mut guard = ham.lock_home(far).unwrap();
+            guard.add_node(far, true).unwrap();
+        }
+        ham.commit_transaction().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transaction_ids_are_dedicated_monotonic_counters() {
+        let dir = tmpdir("txnid");
+        let (ham, _, _) = ShardedHam::create(&dir, Protections::DEFAULT, 2).unwrap();
+        let a = ham.begin_transaction().unwrap();
+        {
+            let mut guard = ham.lock_home(MAIN_CONTEXT).unwrap();
+            guard.add_node(MAIN_CONTEXT, true).unwrap();
+        }
+        ham.commit_transaction().unwrap();
+        let b = ham.begin_transaction().unwrap();
+        ham.abort_transaction().unwrap();
+        let c = ham.begin_transaction().unwrap();
+        ham.commit_transaction().unwrap();
+        // A real identifier — distinct and monotonic per transaction, not
+        // a prediction of whatever commit sequence the transaction might
+        // end up stamping.
+        assert!(a < b && b < c, "txn ids must be monotonic: {a} {b} {c}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

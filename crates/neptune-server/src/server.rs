@@ -776,6 +776,9 @@ fn global_read(shared: &Shared, mv: &MultiView, request: Request) -> Response {
     use Response as A;
     match request {
         Q::ListContexts => A::Contexts(mv.contexts()),
+        // Verify scans on-disk files, which is only safe against quiescent
+        // files — verify_sharded takes each shard's lock (one at a time)
+        // for its scan phase, the one "read" here that is not lock-free.
         Q::Verify => A::Findings(neptune_check::verify_sharded(&shared.ham)),
         Q::CacheStats => cache_stats_response(multi_cache_stats(mv)),
         Q::Metrics => metrics_response(multi_cache_stats(mv), multi_view_age(mv)),
